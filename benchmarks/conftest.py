@@ -1,0 +1,37 @@
+"""Shared fixtures for the benchmark suite.
+
+Every benchmark regenerates one table/figure of the paper at the scale
+selected by ``REPRO_SCALE`` (default ``bench``) and writes the rendered
+table to ``benchmarks/results/<name>.txt`` so EXPERIMENTS.md can quote it.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only            # bench scale, ~15 min
+    REPRO_SCALE=smoke pytest benchmarks/ --benchmark-only   # structure only
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+from repro.experiments import get_scale
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def scale():
+    return get_scale()
+
+
+@pytest.fixture(scope="session")
+def save_result():
+    RESULTS_DIR.mkdir(exist_ok=True)
+
+    def _save(name: str, text: str) -> None:
+        (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+        print("\n" + text)
+
+    return _save

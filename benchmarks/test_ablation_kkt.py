@@ -1,0 +1,16 @@
+"""Benchmark: the Theorem 1 vs Theorem 2 solver trade-off (DESIGN.md)."""
+
+from repro.experiments.ablation_kkt import run_kkt_ablation
+
+
+def test_kkt_ablation(benchmark, save_result):
+    table = benchmark.pedantic(
+        lambda: run_kkt_ablation(sizes=(6, 8, 10, 12), trials=3),
+        rounds=1, iterations=1)
+    save_result("ablation_kkt", table.render())
+
+    exact = table.column("exact ms")
+    relaxed = table.column("relaxed ms")
+    # exact runtime must blow up with n while relaxed stays flat
+    assert exact["n=12"] > 5.0 * exact["n=6"]
+    assert relaxed["n=12"] < 20.0 * relaxed["n=6"]

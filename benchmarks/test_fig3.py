@@ -1,0 +1,14 @@
+"""Benchmark: Fig. 3 (sparsity of the recovered attention scores)."""
+
+from repro.experiments import run_fig3
+
+
+def test_fig3(benchmark, scale, save_result):
+    table = benchmark.pedantic(
+        lambda: run_fig3(scale), rounds=1, iterations=1)
+    save_result("fig3", table.render())
+    assert set(table.rows) == {"maxHoyer", "minNorm", "adaH"}
+    hoyer = {name: cells[0].mean for name, cells in table.rows.items()}
+    ordering = sorted(hoyer, key=hoyer.get, reverse=True)
+    print(f"[shape] sparsity ordering (Eq. 14, sparsest first): {ordering} "
+          f"(paper: maxHoyer sparsest)")

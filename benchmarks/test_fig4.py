@@ -1,0 +1,23 @@
+"""Benchmark: Fig. 4 (scalability in features and temporal length, RQ4)."""
+
+from repro.experiments import run_fig4
+
+
+def test_fig4(benchmark, scale, save_result):
+    tables = benchmark.pedantic(
+        lambda: run_fig4(scale), rounds=1, iterations=1)
+    assert len(tables) == 4
+    names = ["fig4_time_vs_features", "fig4_mse_vs_features",
+             "fig4_time_vs_length", "fig4_mse_vs_length"]
+    for name, table in zip(names, tables):
+        save_result(name, table.render())
+
+    # shape: every model's epoch time must grow with dataset size, and
+    # DIFFODE's growth factor is reported against the baselines'.
+    time_table = tables[0]
+    growth = {}
+    for model, cells in time_table.rows.items():
+        growth[model] = cells[-1].mean / max(cells[0].mean, 1e-9)
+    print(f"[shape] time growth 20%->100% stations: "
+          f"{ {k: round(v, 2) for k, v in growth.items()} } "
+          f"(paper: DIFFODE grows slowest)")

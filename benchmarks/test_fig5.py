@@ -1,0 +1,14 @@
+"""Benchmark: Fig. 5 (component ablation, RQ6)."""
+
+from repro.experiments import run_fig5
+
+
+def test_fig5(benchmark, scale, save_result):
+    table = benchmark.pedantic(
+        lambda: run_fig5(scale), rounds=1, iterations=1)
+    save_result("fig5", table.render())
+    assert "DIFFODE (full)" in table.rows
+    full_acc = table.rows["DIFFODE (full)"][0].mean
+    noattn_acc = table.rows["w/o Attn"][0].mean
+    print(f"[shape] Synthetic: full {full_acc:.3f} vs w/o Attn "
+          f"{noattn_acc:.3f} (paper: full >> w/o Attn)")

@@ -1,0 +1,16 @@
+"""Benchmark: Fig. 6 (multi-head attention ablation, RQ6)."""
+
+from repro.experiments import run_fig6
+
+
+def test_fig6(benchmark, scale, save_result):
+    table = benchmark.pedantic(
+        lambda: run_fig6(scale), rounds=1, iterations=1)
+    save_result("fig6", table.render())
+    rows = list(table.rows.items())
+    assert len(rows) >= 2
+    t_first = rows[0][1][1].mean
+    t_last = rows[-1][1][1].mean
+    print(f"[shape] s/epoch {rows[0][0]}: {t_first:.2f} -> "
+          f"{rows[-1][0]}: {t_last:.2f} (paper: time grows with heads, "
+          f"MSE roughly flat)")

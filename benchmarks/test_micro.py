@@ -1,0 +1,100 @@
+"""Micro-benchmarks of the hot code paths inside DIFFODE.
+
+These complement the table/figure regenerations with per-component
+throughput numbers: the Eq. 32 solver, the Eq. 34 recovery (closed form vs
+literal pinv - quantifying the DESIGN.md derivation note), one DHS dynamics
+evaluation, and one implicit-Adams step.
+"""
+
+import numpy as np
+import pytest
+
+from repro.autodiff import Tensor, no_grad
+from repro.core import (
+    DHSContext,
+    DHSDynamics,
+    dhs_attention,
+    recover_z,
+    recover_z_literal,
+    solve_p_max_hoyer,
+)
+from repro.odeint import AdamsBashforthMoulton
+
+
+@pytest.fixture(scope="module")
+def problem():
+    rng = np.random.default_rng(0)
+    batch, n, d = 16, 48, 8
+    z = Tensor(rng.normal(size=(batch, n, d)))
+    ctx = DHSContext(z, None, ridge=1e-6)
+    s, _ = dhs_attention(Tensor(rng.normal(size=(batch, d))), ctx.z, None)
+    h2 = Tensor(rng.normal(size=(n,)))
+    return ctx, s, h2
+
+
+def test_bench_context_build(benchmark):
+    rng = np.random.default_rng(0)
+    z = Tensor(rng.normal(size=(16, 48, 8)))
+    with no_grad():
+        benchmark(lambda: DHSContext(z, None))
+
+
+def test_bench_max_hoyer_solver(benchmark, problem):
+    ctx, s, _ = problem
+    with no_grad():
+        benchmark(lambda: solve_p_max_hoyer(ctx, s))
+
+
+def test_bench_z_recovery_closed_form(benchmark, problem):
+    ctx, s, h2 = problem
+    with no_grad():
+        p = solve_p_max_hoyer(ctx, s)
+        benchmark(lambda: recover_z(p, ctx, h2))
+
+
+def test_bench_z_recovery_literal_pinv(benchmark, problem):
+    ctx, s, h2 = problem
+    with no_grad():
+        p = solve_p_max_hoyer(ctx, s)
+        benchmark(lambda: recover_z_literal(p, ctx, h2))
+
+
+def test_closed_form_faster_than_literal(problem):
+    """The DESIGN.md claim: O(nd) closed form beats the O(n^3) pinv."""
+    import time
+    ctx, s, h2 = problem
+    with no_grad():
+        p = solve_p_max_hoyer(ctx, s)
+
+        def timeit(fn, reps=5):
+            best = float("inf")
+            for _ in range(reps):
+                start = time.perf_counter()
+                fn()
+                best = min(best, time.perf_counter() - start)
+            return best
+
+        fast = timeit(lambda: recover_z(p, ctx, h2))
+        slow = timeit(lambda: recover_z_literal(p, ctx, h2))
+    assert fast < slow, (fast, slow)
+
+
+def test_bench_dhs_dynamics_eval(benchmark, problem):
+    ctx, s, _ = problem
+    dyn = DHSDynamics(8, 32, np.random.default_rng(0), max_len=64)
+    dyn.bind([ctx])
+    with no_grad():
+        benchmark(lambda: dyn(0.5, s))
+
+
+def test_bench_implicit_adams_step(benchmark, problem):
+    ctx, s, _ = problem
+    dyn = DHSDynamics(8, 32, np.random.default_rng(0), max_len=64)
+    dyn.bind([ctx])
+    solver = AdamsBashforthMoulton(dyn)
+    with no_grad():
+        # fill the ABM history so the steady-state step is measured
+        y = s
+        for i in range(4):
+            y = solver.step(i * 0.05, 0.05, y)
+        benchmark(lambda: solver.step(0.5, 0.05, y))

@@ -1,0 +1,31 @@
+"""Benchmark: regenerate Table III (classification accuracy, RQ1).
+
+One benchmark per dataset column; each trains all 13 models and prints the
+accuracy column next to the paper's reported numbers.
+"""
+
+import pytest
+
+from repro.experiments import run_table3
+
+
+def _run_column(dataset, scale, save_result):
+    table = run_table3(scale, datasets=[dataset])
+    save_result(f"table3_{dataset.lower()}", table.render())
+    ours = table.column(dataset)
+    assert len(ours) == 13
+    assert all(0.0 <= v <= 1.0 for v in ours.values())
+    return table
+
+
+@pytest.mark.parametrize("dataset", ["Synthetic", "Lorenz63", "Lorenz96"])
+def test_table3_column(benchmark, dataset, scale, save_result):
+    table = benchmark.pedantic(
+        _run_column, args=(dataset, scale, save_result),
+        rounds=1, iterations=1)
+    # Shape check (recorded, not asserted strictly at reduced scale):
+    # DIFFODE should be competitive - flag it in the saved notes if not.
+    ours = table.column(dataset)
+    rank = sorted(ours.values(), reverse=True).index(ours["DIFFODE"]) + 1
+    print(f"[shape] DIFFODE rank on {dataset}: {rank}/13 "
+          f"(paper: 1/13)")

@@ -1,0 +1,27 @@
+"""Benchmark: regenerate Table IV (interpolation/extrapolation MSE, RQ2)."""
+
+import pytest
+
+from repro.experiments import run_table4
+
+
+def _run_dataset(dataset, scale, save_result):
+    table = run_table4(scale, datasets=[dataset])
+    save_result(f"table4_{dataset.lower()}", table.render())
+    for task in ("interp", "extrap"):
+        col = table.column(f"{dataset}/{task}")
+        assert len(col) == 13
+        assert all(v >= 0.0 for v in col.values())
+    return table
+
+
+@pytest.mark.parametrize("dataset", ["USHCN", "PhysioNet", "LargeST"])
+def test_table4_dataset(benchmark, dataset, scale, save_result):
+    table = benchmark.pedantic(
+        _run_dataset, args=(dataset, scale, save_result),
+        rounds=1, iterations=1)
+    for task in ("interp", "extrap"):
+        col = table.column(f"{dataset}/{task}")
+        rank = sorted(col.values()).index(col["DIFFODE"]) + 1
+        print(f"[shape] DIFFODE rank on {dataset}/{task}: {rank}/13 "
+              f"(paper: 1/13, lower MSE = better)")

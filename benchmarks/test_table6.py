@@ -1,0 +1,17 @@
+"""Benchmark: Table VI (Hoyer-metric ablation of the p_t solver, RQ5)."""
+
+from repro.experiments import run_table6
+
+
+def test_table6(benchmark, scale, save_result):
+    table = benchmark.pedantic(
+        lambda: run_table6(scale), rounds=1, iterations=1)
+    save_result("table6", table.render())
+    assert set(table.rows) == {"USHCN/interp", "USHCN/extrap",
+                               "PhysioNet/interp", "PhysioNet/extrap"}
+    wins = 0
+    for row in table.rows.values():
+        means = [c.mean for c in row if hasattr(c, "mean")]
+        if means[0] == min(means):  # maxHoyer column first
+            wins += 1
+    print(f"[shape] maxHoyer best in {wins}/4 settings (paper: 4/4)")

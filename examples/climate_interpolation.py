@@ -1,0 +1,49 @@
+"""Interpolate missing climate observations (USHCN-like data).
+
+Reproduces the paper's Table IV interpolation protocol on the synthetic
+USHCN stand-in: 5 weather variables, half the time points removed, 20% of
+the remaining observations dropped; the model reconstructs the held-out
+points from the sparse context.
+
+    python examples/climate_interpolation.py
+"""
+
+import numpy as np
+
+from repro.core import DiffODE, DiffODEConfig
+from repro.data import collate, load_ushcn, train_val_test_split
+from repro.training import TrainConfig, Trainer
+
+
+def main() -> None:
+    dataset = load_ushcn(num_stations=60, length=150, task="interpolation",
+                         holdout_frac=0.3, seed=0, min_obs=12)
+    splits = train_val_test_split(dataset, 0.6, 0.2,
+                                  np.random.default_rng(0))
+    train_set, val_set, test_set = splits
+    print(f"USHCN-like: {len(dataset)} stations x 5 variables; "
+          f"input width {dataset.input_dim} (values + mask channels)")
+
+    model = DiffODE(DiffODEConfig(
+        input_dim=dataset.input_dim, latent_dim=8, hidden_dim=32,
+        hippo_dim=8, info_dim=8, out_dim=dataset.num_features,
+        p_solver="max_hoyer", step_size=0.1))
+    trainer = Trainer(model, "regression", TrainConfig(
+        epochs=20, batch_size=8, lr=3e-3, patience=8, seed=0, verbose=True))
+    trainer.fit(train_set, val_set)
+
+    result = trainer.evaluate(test_set)
+    print(f"\ntest interpolation MSE: {result.mse:.3f} "
+          f"(paper, real USHCN: 0.765)")
+
+    # Show one reconstruction.
+    batch = collate(test_set.samples[:1])
+    pred = model.forward(batch).data[0]
+    observed = batch.target_mask[0] > 0
+    errs = (pred - batch.target_values[0])[observed]
+    print(f"per-point |error| on station 0: mean {np.abs(errs).mean():.3f}, "
+          f"worst {np.abs(errs).max():.3f} (standardized units)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,68 @@
+"""Using DIFFODE on your own irregular time series.
+
+Shows the minimal adapter: wrap your (times, values) records into
+``repro.data.Sample`` objects, build a ``Dataset``, and pick a task.  Here
+we forecast a damped oscillator's future from sparse noisy observations -
+the data could equally come from a CSV of sensor readings.
+
+    python examples/custom_dataset.py
+"""
+
+import numpy as np
+
+from repro.core import DiffODE, DiffODEConfig
+from repro.data import Dataset, Sample, make_extrapolation_sample, \
+    train_val_test_split
+from repro.training import TrainConfig, Trainer
+
+
+def damped_oscillator(rng: np.random.Generator, n_obs: int = 40):
+    """One record: y(t) = e^{-zeta t} cos(omega t), observed irregularly."""
+    zeta = rng.uniform(0.5, 2.0)
+    omega = rng.uniform(6.0, 12.0)
+    times = np.sort(rng.random(n_obs))
+    values = (np.exp(-zeta * times) * np.cos(omega * times))[:, None]
+    values += 0.02 * rng.normal(size=values.shape)
+    return times, values
+
+
+def main() -> None:
+    rng = np.random.default_rng(0)
+
+    # 1. Adapt your records: each becomes a Sample.  For forecasting we use
+    #    the extrapolation builder (first half observed, full series target).
+    samples = []
+    for _ in range(80):
+        times, values = damped_oscillator(rng)
+        samples.append(make_extrapolation_sample(times, values,
+                                                 feature_mask=None,
+                                                 min_context=12))
+    dataset = Dataset("oscillators", samples, num_features=1)
+
+    # 2. Standard split + model + training.
+    splits = train_val_test_split(dataset, 0.6, 0.2, rng)
+    model = DiffODE(DiffODEConfig(
+        input_dim=dataset.input_dim, latent_dim=8, hidden_dim=32,
+        hippo_dim=8, info_dim=8, out_dim=1, step_size=0.1))
+    trainer = Trainer(model, "regression", TrainConfig(
+        epochs=25, batch_size=10, lr=3e-3, patience=10, seed=0))
+    trainer.fit(splits[0], splits[1])
+    print(f"forecast MSE on unseen oscillators: "
+          f"{trainer.evaluate(splits[2]).mse:.4f}")
+
+    # 3. Dense predictions at arbitrary times - the point of a continuous
+    #    latent state: query wherever you like, no grid alignment needed.
+    sample = splits[2].samples[0]
+    dense_t = np.linspace(0.0, 1.0, 101)[None, :]
+    from repro.data import collate
+    batch = collate([sample])
+    pred = model.forward_regression(batch.values, batch.times, batch.mask,
+                                    dense_t).data[0, :, 0]
+    truth_t = dense_t[0]
+    print("\ndense forecast vs ground truth (every 20th point):")
+    for k in range(0, 101, 20):
+        print(f"  t={truth_t[k]:.2f}  predicted={pred[k]: .3f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,103 @@
+"""Reproduce Fig. 1: fragmented vs continuous latent processes.
+
+The paper's motivating figure contrasts three model classes on the same
+irregular series:
+
+  (a) NODE with jump updates (ODE-RNN): the latent state is *discontinuous*
+      at every observation - the "fragmented latent process";
+  (b) NCDE: continuous, but driven only by a local spline interpolation;
+  (c) DIFFODE: continuous *and* conditioned on all observations through the
+      DHS attention.
+
+This script makes the claim quantitative: it measures the largest latent
+jump each model exhibits across a dense time grid, and draws the latent
+trajectories as ASCII sparklines.
+
+    python examples/fig1_latent_continuity.py
+"""
+
+import numpy as np
+
+from repro.autodiff import Tensor, no_grad
+from repro.baselines import NCDEBaseline, ODERNNBaseline
+from repro.core import DiffODE, DiffODEConfig
+from repro.data import collate, load_synthetic
+
+SPARK = " .:-=+*#%@"
+
+
+def sparkline(values: np.ndarray, width: int = 72) -> str:
+    v = np.interp(np.linspace(0, len(values) - 1, width),
+                  np.arange(len(values)), values)
+    lo, hi = v.min(), v.max()
+    scaled = (v - lo) / (hi - lo + 1e-12)
+    return "".join(SPARK[int(s * (len(SPARK) - 1))] for s in scaled)
+
+
+def latent_trajectory_odernn(model, batch, grid):
+    with no_grad():
+        traj = model._trajectory(batch.values, batch.times, batch.mask)
+    return np.linalg.norm(traj.data[:, 0, :], axis=-1)
+
+
+def latent_trajectory_ncde(model, batch, grid):
+    with no_grad():
+        traj = model._trajectory(batch.values, batch.times, batch.mask)
+    return np.linalg.norm(traj.data[:, 0, :], axis=-1)
+
+
+def latent_trajectory_diffode(model, batch, grid):
+    with no_grad():
+        states, _ = model.integrate(batch.values, batch.times, batch.mask)
+    d = model.config.latent_dim
+    return np.linalg.norm(states.data[:, 0, :d], axis=-1)
+
+
+def max_jump(values: np.ndarray) -> float:
+    """Largest single-step change, normalized by the trajectory's range."""
+    span = values.max() - values.min() + 1e-12
+    return float(np.abs(np.diff(values)).max() / span)
+
+
+def main() -> None:
+    dataset = load_synthetic(num_series=4, grid_points=60, keep_rate=0.5,
+                             seed=7, min_obs=12)
+    batch = collate(dataset.samples[:1])
+    grid_size = 61
+    grid = np.linspace(0, 1, grid_size)
+
+    rng = np.random.default_rng(0)
+    odernn = ODERNNBaseline(input_dim=1, hidden_dim=12, rng=rng,
+                            grid_size=grid_size, num_classes=2)
+    ncde = NCDEBaseline(input_dim=1, hidden_dim=12,
+                        rng=np.random.default_rng(1),
+                        grid_size=grid_size, num_classes=2)
+    diffode = DiffODE(DiffODEConfig(
+        input_dim=1, latent_dim=8, hidden_dim=16, hippo_dim=8, info_dim=8,
+        num_classes=2, step_size=1.0 / (grid_size - 1)))
+
+    rows = [
+        ("(a) ODE-RNN ", latent_trajectory_odernn(odernn, batch, grid)),
+        ("(b) NCDE    ", latent_trajectory_ncde(ncde, batch, grid)),
+        ("(c) DIFFODE ", latent_trajectory_diffode(diffode, batch, grid)),
+    ]
+
+    print("latent-state norm over time (one irregular series, "
+          f"{int(batch.mask[0].sum())} observations):\n")
+    for name, traj in rows:
+        print(f"{name} |{sparkline(traj)}|  max normalized jump: "
+              f"{max_jump(traj):.3f}")
+
+    print("\nFig. 1's claim: the jump-update model (a) is discontinuous at "
+          "observations,\nwhile (b) and (c) evolve smoothly; DIFFODE (c) "
+          "additionally conditions on all\nobservations via the DHS "
+          "attention rather than a local interpolation.")
+
+    jumps = {name.strip(): max_jump(traj) for name, traj in rows}
+    assert jumps["(c) DIFFODE"] <= jumps["(a) ODE-RNN"] + 1e-9, \
+        "expected DIFFODE to be at least as smooth as ODE-RNN"
+    print("\ncheck passed: DIFFODE's largest jump <= ODE-RNN's.")
+
+
+if __name__ == "__main__":
+    main()

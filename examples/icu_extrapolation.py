@@ -1,0 +1,47 @@
+"""Forecast ICU vitals from the first half of a stay (PhysioNet-like).
+
+The extrapolation protocol of Section IV-C: the model observes the first
+24 hours of a 48-hour ICU stay (37 channels, sparse and irregular) and
+predicts the whole trajectory.  Also demonstrates the Table VI ablation:
+how the choice of p_t solver (maxHoyer / minNorm / adaH) affects accuracy.
+
+    python examples/icu_extrapolation.py
+"""
+
+import numpy as np
+
+from repro.core import DiffODE, DiffODEConfig
+from repro.data import load_physionet, train_val_test_split
+from repro.training import TrainConfig, Trainer
+
+
+def main() -> None:
+    dataset = load_physionet(num_patients=48, task="extrapolation", seed=0,
+                             min_obs=12)
+    splits = train_val_test_split(dataset, 0.6, 0.2,
+                                  np.random.default_rng(0))
+    train_set, val_set, test_set = splits
+    print(f"PhysioNet-like: {len(dataset)} patients, 37 channels, "
+          f"6-minute rounding, first half observed")
+
+    results = {}
+    for solver in ("max_hoyer", "min_norm", "ada_h"):
+        model = DiffODE(DiffODEConfig(
+            input_dim=dataset.input_dim, latent_dim=8, hidden_dim=32,
+            hippo_dim=8, info_dim=8, out_dim=dataset.num_features,
+            p_solver=solver, step_size=0.1))
+        trainer = Trainer(model, "regression", TrainConfig(
+            epochs=12, batch_size=8, lr=3e-3, patience=6, seed=0))
+        trainer.fit(train_set, val_set)
+        results[solver] = trainer.evaluate(test_set).mse
+        print(f"p_solver={solver:10s} extrapolation MSE: "
+              f"{results[solver]:.4f}")
+
+    print("\npaper reference (Table VI, PhysioNet extrap): "
+          "maxHoyer 0.308 < adaH 0.351 ~ minNorm 0.346")
+    best = min(results, key=results.get)
+    print(f"best here: {best}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,59 @@
+"""Quickstart: train DIFFODE on the paper's synthetic periodic dataset.
+
+Runs in under a minute on a laptop CPU::
+
+    python examples/quickstart.py
+
+What it shows:
+  1. generating an irregular time-series dataset,
+  2. configuring and training DIFFODE for classification,
+  3. evaluating top-1 accuracy (the paper's Table III metric).
+"""
+
+import numpy as np
+
+from repro import DiffODE, DiffODEConfig, TrainConfig, Trainer
+from repro.data import load_synthetic, train_val_test_split
+
+
+def main() -> None:
+    # 1. Data: x(t) = sin(t + phi) cos(3(t + phi)), Poisson-sampled at 70%,
+    #    label = I(x(5) > 0.5).  (Small sizes so the demo is fast.)
+    dataset = load_synthetic(num_series=150, grid_points=60, keep_rate=0.7,
+                             seed=0, min_obs=14)
+    rng = np.random.default_rng(0)
+    train_set, val_set, test_set = train_val_test_split(dataset, 0.5, 0.25,
+                                                        rng)
+    print(f"dataset: {len(train_set)} train / {len(val_set)} val / "
+          f"{len(test_set)} test series")
+
+    # 2. Model: the DHS latent dimension d must be smaller than the number
+    #    of observations per series (n > d).
+    config = DiffODEConfig(
+        input_dim=dataset.num_features,
+        latent_dim=8,          # DHS dimension d
+        hidden_dim=32,         # width of the phi / f_r / readout MLPs
+        hippo_dim=8,           # HiPPO memory c_t
+        info_dim=8,            # information state r_t
+        p_solver="max_hoyer",  # Theorem 2 closed form (Eq. 32)
+        method="implicit_adams",
+        step_size=0.1,
+        num_classes=2,
+    )
+    model = DiffODE(config)
+    print(f"DIFFODE with {model.num_parameters()} parameters")
+
+    # 3. Train with the paper's protocol (Adam, weight decay, early stop).
+    trainer = Trainer(model, "classification", TrainConfig(
+        epochs=30, batch_size=16, lr=3e-3, weight_decay=1e-3, patience=10,
+        seed=0, verbose=True))
+    trainer.fit(train_set, val_set)
+
+    result = trainer.evaluate(test_set)
+    print(f"\ntest top-1 accuracy: {result.accuracy:.3f} "
+          f"(cross-entropy {result.loss:.4f})")
+    print("paper reference (full scale, 250 epochs): 0.997")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,88 @@
+"""Graph extension: forecasting on a road-sensor network.
+
+The related-work section of the paper points to graph extensions of neural
+ODEs (GNODE, TGNN4I); this example runs the repo's :class:`GraphDiffODE`
+- per-node DHS dynamics coupled by GCN-style message passing on the sensor
+graph - against the "no coupling" ablation, on a simulated traffic network
+where congestion diffuses between neighbouring sensors.
+
+    python examples/traffic_graph_forecast.py
+"""
+
+import numpy as np
+
+from repro.autodiff import masked_mse_loss, no_grad
+from repro.core import GraphDiffODE
+from repro.data import make_graph_batches, simulate_traffic_graph
+from repro.training import Adam, clip_grad_norm
+
+
+def train(model, batches, epochs: int = 20, lr: float = 5e-3) -> None:
+    opt = Adam(model.parameters(), lr=lr)
+    for epoch in range(epochs):
+        total = 0.0
+        for b in batches:
+            opt.zero_grad()
+            loss = masked_mse_loss(model.forward(b), b.target_values,
+                                   b.target_mask)
+            loss.backward()
+            clip_grad_norm(opt.params, 5.0)
+            opt.step()
+            total += loss.item()
+        if epoch % 5 == 0:
+            print(f"  epoch {epoch:2d}  loss {total / len(batches):.4f}")
+
+
+def evaluate(model, batches) -> float:
+    errors = []
+    with no_grad():
+        for b in batches:
+            loss = masked_mse_loss(model.forward(b), b.target_values,
+                                   b.target_mask)
+            errors.append(loss.item())
+    return float(np.mean(errors))
+
+
+def main() -> None:
+    graph, flows = simulate_traffic_graph(num_nodes=10, hours=24 * 8,
+                                          coupling=0.35, seed=0)
+    print(f"sensor graph: {graph.number_of_nodes()} nodes, "
+          f"{graph.number_of_edges()} edges; {flows.shape[1]} hours")
+    batches = make_graph_batches(graph, flows, window=48, num_windows=10,
+                                 seed=0)
+    train_batches, test_batches = batches[:7], batches[7:]
+
+    print("\ntraining GraphDiffODE (with message passing):")
+    coupled = GraphDiffODE(graph, latent_dim=6, hidden_dim=24,
+                           step_size=0.125, seed=0)
+    train(coupled, train_batches)
+    mse_coupled = evaluate(coupled, test_batches)
+
+    print("\ntraining the no-coupling ablation (independent nodes):")
+    independent = GraphDiffODE(graph, latent_dim=6, hidden_dim=24,
+                               step_size=0.125, seed=0)
+    independent.dynamics.mix.weight.data[...] = 0.0
+    # freeze the coupling at zero by removing its gradient every step
+    opt = Adam([p for p in independent.parameters()
+                if p is not independent.dynamics.mix.weight], lr=5e-3)
+    for epoch in range(20):
+        for b in train_batches:
+            opt.zero_grad()
+            loss = masked_mse_loss(independent.forward(b),
+                                   b.target_values, b.target_mask)
+            loss.backward()
+            clip_grad_norm(opt.params, 5.0)
+            opt.step()
+    mse_indep = evaluate(independent, test_batches)
+
+    print(f"\nforecast MSE  with coupling: {mse_coupled:.4f}")
+    print(f"forecast MSE  independent  : {mse_indep:.4f}")
+    if mse_coupled < mse_indep:
+        print("-> the graph structure helps, as congestion propagates "
+              "between neighbours")
+    else:
+        print("-> no benefit at this scale (try more epochs/windows)")
+
+
+if __name__ == "__main__":
+    main()

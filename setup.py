@@ -1,0 +1,8 @@
+"""Setup shim for environments without the ``wheel`` package.
+
+``pip install -e . --no-build-isolation`` works where wheel is available;
+otherwise ``python setup.py develop`` installs the same editable layout.
+"""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,32 @@
+"""DIFFODE reproduction: neural ODEs with a differentiable hidden state for
+irregular time series analysis (Zhang et al., ICDE 2025).
+
+Top-level convenience re-exports; see the subpackages for the full API:
+
+* :mod:`repro.autodiff` - reverse-mode autodiff engine (numpy-backed)
+* :mod:`repro.nn` - neural network layers
+* :mod:`repro.odeint` - differentiable ODE solvers
+* :mod:`repro.linalg` - generalized inverses, Hoyer metric, HiPPO
+* :mod:`repro.core` - the DIFFODE model (the paper's contribution)
+* :mod:`repro.baselines` - the 12 comparison models of Tables III/IV
+* :mod:`repro.data` - dataset generators and batching
+* :mod:`repro.training` - optimizers, metrics, trainer
+* :mod:`repro.experiments` - one module per table/figure of the paper
+"""
+
+from .core import DiffODE, DiffODEConfig
+from .data import Dataset, Sample, collate
+from .training import TrainConfig, Trainer
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "DiffODE",
+    "DiffODEConfig",
+    "Trainer",
+    "TrainConfig",
+    "Dataset",
+    "Sample",
+    "collate",
+    "__version__",
+]

@@ -1,0 +1,23 @@
+"""Post-hoc analysis: diagnostics and statistical comparisons."""
+
+from .diagnostics import (
+    GapErrorCurve,
+    attention_statistics,
+    classification_confidence,
+    error_vs_gap,
+    latent_trajectory,
+    per_feature_errors,
+)
+from .stats import BootstrapResult, improvement_percent, paired_bootstrap
+
+__all__ = [
+    "error_vs_gap",
+    "GapErrorCurve",
+    "latent_trajectory",
+    "attention_statistics",
+    "classification_confidence",
+    "per_feature_errors",
+    "paired_bootstrap",
+    "BootstrapResult",
+    "improvement_percent",
+]

@@ -1,0 +1,159 @@
+"""Model diagnostics for irregular time-series predictors.
+
+Tools a practitioner reaches for after training:
+
+* :func:`error_vs_gap` - how prediction error grows with the time elapsed
+  since the last observation (the canonical probe of whether a model truly
+  exploits continuous dynamics or just holds the last value);
+* :func:`latent_trajectory` - extract the DHS / HiPPO / information states
+  over a dense grid for inspection;
+* :func:`attention_statistics` - per-timestep sparsity and entropy of the
+  recovered ``p_t``;
+* :func:`classification_confidence` - calibration-style histogram data.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..autodiff import no_grad, softmax, Tensor
+from ..core import DiffODE
+from ..data import Batch
+from ..linalg import hoyer_np
+
+__all__ = [
+    "error_vs_gap",
+    "GapErrorCurve",
+    "latent_trajectory",
+    "attention_statistics",
+    "classification_confidence",
+    "per_feature_errors",
+]
+
+
+@dataclass
+class GapErrorCurve:
+    bin_edges: np.ndarray     # (K+1,)
+    mean_error: np.ndarray    # (K,) mean squared error per gap bin
+    counts: np.ndarray        # (K,) samples per bin
+
+
+def error_vs_gap(model, batch: Batch, num_bins: int = 8) -> GapErrorCurve:
+    """Bin target-point squared errors by time since the last observation."""
+    if batch.target_times is None:
+        raise ValueError("batch has no regression targets")
+    with no_grad():
+        pred = model.forward(batch).data
+    sq_err = (pred - batch.target_values) ** 2
+    tmask = np.asarray(batch.target_mask)
+
+    # gap of each target point to its nearest earlier observation
+    gaps = np.zeros_like(batch.target_times)
+    for b in range(batch.batch_size):
+        obs_t = batch.times[b][batch.mask[b] > 0]
+        for j, tq in enumerate(batch.target_times[b]):
+            earlier = obs_t[obs_t <= tq]
+            gaps[b, j] = tq - earlier.max() if len(earlier) else tq
+
+    flat_gap = np.repeat(gaps[..., None], sq_err.shape[-1], axis=-1).ravel()
+    flat_err = sq_err.ravel()
+    flat_m = tmask.ravel() > 0
+    flat_gap, flat_err = flat_gap[flat_m], flat_err[flat_m]
+
+    edges = np.linspace(0.0, max(flat_gap.max(), 1e-9), num_bins + 1)
+    means = np.zeros(num_bins)
+    counts = np.zeros(num_bins, dtype=np.int64)
+    which = np.clip(np.digitize(flat_gap, edges) - 1, 0, num_bins - 1)
+    for k in range(num_bins):
+        sel = which == k
+        counts[k] = sel.sum()
+        means[k] = flat_err[sel].mean() if counts[k] else np.nan
+    return GapErrorCurve(bin_edges=edges, mean_error=means, counts=counts)
+
+
+def latent_trajectory(model: DiffODE, batch: Batch) -> dict[str, np.ndarray]:
+    """Integrate and split the state into its named components.
+
+    Returns ``{"grid": (L,), "S": (L,B,d), "c": (L,B,dc), "r": (L,B,dr)}``
+    (``c``/``r`` only when the HiPPO head is enabled).
+    """
+    with no_grad():
+        states, grid = model.integrate(batch.values, batch.times, batch.mask)
+    d = model.config.latent_dim
+    out = {"grid": grid, "S": states.data[:, :, :d]}
+    if model.config.use_hippo:
+        dc = model.config.hippo_dim
+        out["c"] = states.data[:, :, d:d + dc]
+        out["r"] = states.data[:, :, d + dc:]
+    return out
+
+
+def attention_statistics(model: DiffODE, batch: Batch) -> dict[str, np.ndarray]:
+    """Hoyer sparsity and entropy of ``p_t`` along the integration grid.
+
+    Returns per-grid-point arrays averaged over the batch (first head).
+    """
+    if not model.config.use_attention:
+        raise ValueError("model has no attention to analyze")
+    with no_grad():
+        z = model.encode(batch.values, batch.times, batch.mask)
+        contexts = model.build_contexts(z, batch.mask)
+        model.latent_dynamics.bind(contexts)
+        states, grid = model.integrate(batch.values, batch.times, batch.mask)
+        ctx = contexts[0]
+        hd = model.config.latent_dim // model.config.num_heads
+        hoyer, entropy = [], []
+        for k in range(states.shape[0]):
+            p = model.latent_dynamics.solve_p(ctx, states[k][:, :hd]).data
+            p = p * ctx.mask
+            hoyer.append(hoyer_np(p, axis=-1).mean())
+            q = np.abs(p) / (np.abs(p).sum(-1, keepdims=True) + 1e-12)
+            entropy.append(float(
+                (-(q * np.log(q + 1e-12)).sum(-1)).mean()))
+    return {"grid": grid, "hoyer": np.array(hoyer),
+            "entropy": np.array(entropy)}
+
+
+def classification_confidence(model, batch: Batch,
+                              num_bins: int = 10) -> dict[str, np.ndarray]:
+    """Reliability-diagram data: per-confidence-bin accuracy."""
+    if batch.labels is None:
+        raise ValueError("batch has no labels")
+    with no_grad():
+        probs = softmax(model.forward(batch), axis=-1).data
+    conf = probs.max(axis=-1)
+    pred = probs.argmax(axis=-1)
+    correct = (pred == batch.labels).astype(np.float64)
+    edges = np.linspace(0.0, 1.0, num_bins + 1)
+    acc = np.full(num_bins, np.nan)
+    counts = np.zeros(num_bins, dtype=np.int64)
+    which = np.clip(np.digitize(conf, edges) - 1, 0, num_bins - 1)
+    for k in range(num_bins):
+        sel = which == k
+        counts[k] = sel.sum()
+        if counts[k]:
+            acc[k] = correct[sel].mean()
+    return {"bin_edges": edges, "accuracy": acc, "counts": counts,
+            "mean_confidence": conf.mean()}
+
+
+def per_feature_errors(model, batch: Batch) -> dict[str, np.ndarray]:
+    """Per-feature masked MSE/MAE for a multivariate regression batch.
+
+    Useful on USHCN/PhysioNet-style data where channels have very different
+    predictabilities (e.g. temperature vs precipitation).
+    """
+    if batch.target_times is None:
+        raise ValueError("batch has no regression targets")
+    with no_grad():
+        pred = model.forward(batch).data
+    diff = pred - batch.target_values
+    m = np.asarray(batch.target_mask)
+    denom = np.maximum(m.sum(axis=(0, 1)), 1.0)
+    return {
+        "mse": ((diff ** 2) * m).sum(axis=(0, 1)) / denom,
+        "mae": (np.abs(diff) * m).sum(axis=(0, 1)) / denom,
+        "count": m.sum(axis=(0, 1)).astype(np.int64),
+    }

@@ -1,0 +1,78 @@
+"""Statistical comparison utilities for model evaluation.
+
+The paper reports mean +- std over runs; for claims like "DIFFODE surpasses
+the best baseline by 5.1%" a paired significance test is the honest
+companion.  These helpers are used by the EXPERIMENTS.md generation and are
+available to downstream users comparing their own models.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["paired_bootstrap", "BootstrapResult", "improvement_percent"]
+
+
+@dataclass
+class BootstrapResult:
+    """Outcome of a paired bootstrap comparison."""
+
+    mean_diff: float          # mean(metric_a - metric_b)
+    ci_low: float             # bootstrap CI lower bound of the difference
+    ci_high: float
+    p_value: float            # two-sided sign-flip p-value
+    n_samples: int
+
+    @property
+    def significant(self) -> bool:
+        """True when the CI excludes zero (95% by default)."""
+        return self.ci_low > 0 or self.ci_high < 0
+
+
+def paired_bootstrap(metric_a, metric_b, num_resamples: int = 10_000,
+                     confidence: float = 0.95,
+                     seed: int = 0) -> BootstrapResult:
+    """Paired bootstrap over per-sample metrics of two models.
+
+    Parameters
+    ----------
+    metric_a / metric_b:
+        Per-example metric values (same examples, same order) - e.g.
+        per-series squared errors or 0/1 correctness indicators.
+    """
+    a = np.asarray(metric_a, dtype=np.float64).ravel()
+    b = np.asarray(metric_b, dtype=np.float64).ravel()
+    if a.shape != b.shape:
+        raise ValueError("paired metrics must have identical shapes")
+    if a.size < 2:
+        raise ValueError("need at least two paired samples")
+    diff = a - b
+    rng = np.random.default_rng(seed)
+    n = diff.size
+    idx = rng.integers(0, n, size=(num_resamples, n))
+    means = diff[idx].mean(axis=1)
+    alpha = (1.0 - confidence) / 2.0
+    lo, hi = np.quantile(means, [alpha, 1.0 - alpha])
+    # sign-flip permutation p-value
+    flips = rng.choice([-1.0, 1.0], size=(num_resamples, n))
+    null = (diff[None, :] * flips).mean(axis=1)
+    observed = abs(diff.mean())
+    p = float((np.abs(null) >= observed - 1e-15).mean())
+    return BootstrapResult(mean_diff=float(diff.mean()), ci_low=float(lo),
+                           ci_high=float(hi), p_value=p, n_samples=n)
+
+
+def improvement_percent(ours: float, best_baseline: float,
+                        lower_is_better: bool = True) -> float:
+    """The paper's headline statistic, e.g. "+42.2% over the best baseline".
+
+    For losses: ``(baseline - ours) / baseline * 100``.
+    For accuracies: ``(ours - baseline) / baseline * 100``.
+    """
+    if best_baseline == 0:
+        raise ZeroDivisionError("baseline metric is zero")
+    if lower_is_better:
+        return (best_baseline - ours) / abs(best_baseline) * 100.0
+    return (ours - best_baseline) / abs(best_baseline) * 100.0

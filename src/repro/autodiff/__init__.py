@@ -1,0 +1,50 @@
+"""Reverse-mode autodiff substrate (numpy-backed), the stand-in for PyTorch."""
+
+from .tensor import (
+    Tensor,
+    as_tensor,
+    concat,
+    is_grad_enabled,
+    maximum,
+    minimum,
+    no_grad,
+    stack,
+    where,
+)
+from .functional import (
+    binary_cross_entropy_with_logits,
+    cross_entropy,
+    dropout,
+    log_softmax,
+    masked_mse_loss,
+    masked_softmax,
+    mse_loss,
+    one_hot,
+    softmax,
+)
+from .einsum import einsum
+from .gradcheck import gradcheck, numeric_grad
+
+__all__ = [
+    "Tensor",
+    "as_tensor",
+    "concat",
+    "stack",
+    "where",
+    "maximum",
+    "minimum",
+    "no_grad",
+    "is_grad_enabled",
+    "softmax",
+    "log_softmax",
+    "masked_softmax",
+    "cross_entropy",
+    "mse_loss",
+    "masked_mse_loss",
+    "binary_cross_entropy_with_logits",
+    "one_hot",
+    "dropout",
+    "einsum",
+    "gradcheck",
+    "numeric_grad",
+]

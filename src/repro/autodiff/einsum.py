@@ -1,0 +1,98 @@
+"""Differentiable einsum.
+
+Supports explicit two-operand (and single-operand) expressions with an
+output specification (``"bnd,bn->bd"``).  The gradient of an einsum w.r.t.
+one operand is itself an einsum with the output and the other operand's
+subscripts swapped - plus care for subscripts that are *summed out* (absent
+from both the output and the other operand), which must be restored by
+broadcasting before the adjoint contraction.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .tensor import Tensor, as_tensor
+
+__all__ = ["einsum"]
+
+
+def _parse(spec: str, num_operands: int) -> tuple[list[str], str]:
+    if "->" not in spec:
+        raise ValueError("einsum spec must be explicit: 'in1,in2->out'")
+    lhs, out = spec.split("->")
+    ins = lhs.split(",")
+    if len(ins) != num_operands:
+        raise ValueError(f"spec has {len(ins)} operands, got {num_operands}")
+    if any("..." in part for part in ins + [out]):
+        raise ValueError("ellipsis is not supported")
+    return ins, out
+
+
+def _grad_one(spec_self: str, spec_other: str | None, spec_out: str,
+              grad: np.ndarray, other: np.ndarray | None,
+              self_shape: tuple[int, ...]) -> np.ndarray:
+    """Gradient w.r.t. the operand with subscripts ``spec_self``."""
+    # Subscripts of self that appear nowhere else were summed out; the
+    # adjoint must broadcast the gradient along them.  Repeated subscripts
+    # within one operand (traces) are not supported.
+    if len(set(spec_self)) != len(spec_self):
+        raise ValueError("repeated subscripts within one operand are not "
+                         "supported")
+    visible = set(spec_out) | (set(spec_other) if spec_other else set())
+    missing = [s for s in spec_self if s not in visible]
+
+    in_specs = [spec_out]
+    operands = [grad]
+    if spec_other is not None:
+        in_specs.append(spec_other)
+        operands.append(other)
+    target = "".join(s for s in spec_self if s not in missing)
+    partial = np.einsum(f"{','.join(in_specs)}->{target}", *operands)
+
+    if missing:
+        # insert the summed-out axes (broadcast copies of the gradient)
+        expand = partial.reshape(partial.shape + (1,) * len(missing))
+        full_spec = target + "".join(missing)
+        sizes = dict(zip(target, partial.shape))
+        sizes.update({s: self_shape[spec_self.index(s)] for s in missing})
+        expand = np.broadcast_to(expand, tuple(sizes[s] for s in full_spec))
+        # reorder axes to match spec_self
+        perm = [full_spec.index(s) for s in spec_self]
+        return np.ascontiguousarray(np.transpose(expand, perm))
+    perm = [target.index(s) for s in spec_self]
+    return np.ascontiguousarray(np.transpose(partial, perm))
+
+
+def einsum(spec: str, *operands) -> Tensor:
+    """Differentiable ``np.einsum`` for one or two operands.
+
+    Examples
+    --------
+    >>> einsum("bnd,bn->bd", z, p)      # weighted sum of rows
+    >>> einsum("bij->bji", a)           # transpose
+    >>> einsum("bij->b", a)             # full reduction per batch
+    """
+    tensors = [as_tensor(op) for op in operands]
+    ins, out = _parse(spec, len(tensors))
+    data = np.einsum(spec, *[t.data for t in tensors])
+
+    if len(tensors) == 1:
+        a = tensors[0]
+
+        def backward(g):
+            return (_grad_one(ins[0], None, out, g, None, a.shape),)
+
+        return Tensor._make(np.asarray(data), (a,), backward)
+
+    a, b = tensors
+
+    def backward(g):
+        ga = gb = None
+        if a.requires_grad:
+            ga = _grad_one(ins[0], ins[1], out, g, b.data, a.shape)
+        if b.requires_grad:
+            gb = _grad_one(ins[1], ins[0], out, g, a.data, b.shape)
+        return (ga, gb)
+
+    return Tensor._make(np.asarray(data), (a, b), backward)

@@ -1,0 +1,114 @@
+"""Composite differentiable functions built from Tensor primitives.
+
+Everything here is expressed in terms of the primitives in
+:mod:`repro.autodiff.tensor`, so gradients come for free and are covered by
+the same gradcheck machinery.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .tensor import Tensor, as_tensor, where
+
+__all__ = [
+    "softmax",
+    "log_softmax",
+    "masked_softmax",
+    "cross_entropy",
+    "mse_loss",
+    "masked_mse_loss",
+    "binary_cross_entropy_with_logits",
+    "one_hot",
+    "dropout",
+]
+
+
+def softmax(x: Tensor, axis: int = -1) -> Tensor:
+    """Numerically stable softmax along ``axis``."""
+    x = as_tensor(x)
+    shifted = x - Tensor(x.data.max(axis=axis, keepdims=True))
+    exp = shifted.exp()
+    return exp / exp.sum(axis=axis, keepdims=True)
+
+
+def log_softmax(x: Tensor, axis: int = -1) -> Tensor:
+    """Numerically stable log-softmax along ``axis``."""
+    x = as_tensor(x)
+    shifted = x - Tensor(x.data.max(axis=axis, keepdims=True))
+    return shifted - shifted.exp().sum(axis=axis, keepdims=True).log()
+
+
+def masked_softmax(x: Tensor, mask: np.ndarray, axis: int = -1) -> Tensor:
+    """Softmax that assigns exactly zero probability where ``mask`` is 0.
+
+    Parameters
+    ----------
+    x:
+        Attention logits.
+    mask:
+        Binary array broadcastable to ``x.shape``; 1 marks valid positions.
+    """
+    mask = np.asarray(mask, dtype=np.float64)
+    neg = np.where(mask > 0, 0.0, -1e30)
+    shifted = x + Tensor(neg)
+    probs = softmax(shifted, axis=axis)
+    # Multiply by the mask so padded entries are *exactly* zero, which the
+    # generalized-inverse algebra in repro.core relies on.
+    return probs * Tensor(mask)
+
+
+def one_hot(labels: np.ndarray, num_classes: int) -> np.ndarray:
+    """Integer labels -> one-hot float matrix."""
+    labels = np.asarray(labels, dtype=np.int64)
+    out = np.zeros((labels.size, num_classes), dtype=np.float64)
+    out[np.arange(labels.size), labels.reshape(-1)] = 1.0
+    return out.reshape(labels.shape + (num_classes,))
+
+
+def cross_entropy(logits: Tensor, labels: np.ndarray) -> Tensor:
+    """Mean cross-entropy between ``logits`` (..., C) and integer labels."""
+    logp = log_softmax(logits, axis=-1)
+    target = one_hot(labels, logits.shape[-1])
+    picked = (logp * Tensor(target)).sum(axis=-1)
+    return -picked.mean()
+
+
+def mse_loss(pred: Tensor, target) -> Tensor:
+    """Mean squared error."""
+    target = as_tensor(target)
+    diff = pred - target
+    return (diff * diff).mean()
+
+
+def masked_mse_loss(pred: Tensor, target, mask) -> Tensor:
+    """MSE restricted to positions where ``mask`` is 1.
+
+    Used for the interpolation/extrapolation tasks where only observed
+    entries contribute to the loss.
+    """
+    target = as_tensor(target)
+    mask_arr = np.asarray(mask.data if isinstance(mask, Tensor) else mask,
+                          dtype=np.float64)
+    diff = (pred - target) * Tensor(mask_arr)
+    denom = max(mask_arr.sum(), 1.0)
+    return (diff * diff).sum() * (1.0 / denom)
+
+
+def binary_cross_entropy_with_logits(logits: Tensor, target) -> Tensor:
+    """Stable BCE on logits: ``max(x,0) - x*y + log(1+exp(-|x|))``."""
+    target = as_tensor(target)
+    zeros = Tensor(np.zeros_like(logits.data))
+    loss = where(logits.data > 0, logits, zeros) - logits * target \
+        + (-logits.abs()).exp().__add__(1.0).log()
+    return loss.mean()
+
+
+def dropout(x: Tensor, rate: float, rng: np.random.Generator,
+            training: bool = True) -> Tensor:
+    """Inverted dropout; identity when not training or rate == 0."""
+    if not training or rate <= 0.0:
+        return x
+    keep = 1.0 - rate
+    mask = (rng.random(x.shape) < keep).astype(np.float64) / keep
+    return x * Tensor(mask)

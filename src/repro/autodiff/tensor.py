@@ -1,0 +1,646 @@
+"""Reverse-mode automatic differentiation on numpy arrays.
+
+This module is the foundation of the whole reproduction: every model in
+``repro`` (DIFFODE itself and all baselines) is trained by backpropagating
+through a dynamically built tape of :class:`Tensor` operations, exactly the
+role PyTorch plays for the original paper.
+
+Design
+------
+* A :class:`Tensor` wraps a ``numpy.ndarray`` plus an optional gradient
+  closure.  Each differentiable operation records its parents and a
+  ``backward`` function mapping the output gradient to parent gradients.
+* ``Tensor.backward()`` runs a topological sort of the tape and accumulates
+  gradients into the leaves (``requires_grad=True`` tensors with no parents).
+* Broadcasting follows numpy semantics; gradients are "unbroadcast" (summed)
+  back to each parent's shape.
+* :func:`no_grad` disables tape construction, used for evaluation loops.
+
+Only genuinely primitive operations live here; composite functions (softmax,
+losses, attention) are built from these primitives in
+:mod:`repro.autodiff.functional`.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import threading
+from typing import Callable, Iterable, Sequence
+
+import numpy as np
+
+__all__ = [
+    "Tensor",
+    "no_grad",
+    "is_grad_enabled",
+    "as_tensor",
+    "concat",
+    "stack",
+    "where",
+    "maximum",
+    "minimum",
+]
+
+_STATE = threading.local()
+
+
+def is_grad_enabled() -> bool:
+    """Return True when operations should be recorded on the tape."""
+    return getattr(_STATE, "grad_enabled", True)
+
+
+@contextlib.contextmanager
+def no_grad():
+    """Context manager that disables gradient recording.
+
+    Inside the block every operation produces constant tensors, which makes
+    evaluation passes cheaper and prevents accidental graph growth.
+    """
+    previous = is_grad_enabled()
+    _STATE.grad_enabled = False
+    try:
+        yield
+    finally:
+        _STATE.grad_enabled = previous
+
+
+def _unbroadcast(grad: np.ndarray, shape: tuple[int, ...]) -> np.ndarray:
+    """Sum ``grad`` down to ``shape``, undoing numpy broadcasting."""
+    if grad.shape == shape:
+        return grad
+    # Sum over leading dimensions added by broadcasting.
+    extra = grad.ndim - len(shape)
+    if extra > 0:
+        grad = grad.sum(axis=tuple(range(extra)))
+    # Sum over dimensions that were 1 in the original shape.
+    axes = tuple(i for i, n in enumerate(shape) if n == 1 and grad.shape[i] != 1)
+    if axes:
+        grad = grad.sum(axis=axes, keepdims=True)
+    return grad.reshape(shape)
+
+
+class Tensor:
+    """A numpy array with reverse-mode gradient support.
+
+    Parameters
+    ----------
+    data:
+        Array-like payload; converted to ``float64`` ndarray.
+    requires_grad:
+        Whether gradients should be accumulated into this tensor.
+    """
+
+    __slots__ = ("data", "grad", "requires_grad", "_backward", "_parents", "name")
+    __array_priority__ = 100  # make numpy defer to our reflected operators
+
+    def __init__(self, data, requires_grad: bool = False, name: str = ""):
+        if isinstance(data, Tensor):
+            data = data.data
+        self.data = np.asarray(data, dtype=np.float64)
+        self.grad: np.ndarray | None = None
+        self.requires_grad = bool(requires_grad) and is_grad_enabled()
+        self._backward: Callable[[np.ndarray], Sequence[np.ndarray | None]] | None = None
+        self._parents: tuple[Tensor, ...] = ()
+        self.name = name
+
+    # ------------------------------------------------------------------
+    # construction helpers
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _make(data: np.ndarray, parents: tuple["Tensor", ...],
+              backward: Callable[[np.ndarray], Sequence[np.ndarray | None]]) -> "Tensor":
+        out = Tensor(data)
+        if is_grad_enabled() and any(p.requires_grad for p in parents):
+            out.requires_grad = True
+            out._parents = parents
+            out._backward = backward
+        return out
+
+    @property
+    def shape(self) -> tuple[int, ...]:
+        return self.data.shape
+
+    @property
+    def ndim(self) -> int:
+        return self.data.ndim
+
+    @property
+    def size(self) -> int:
+        return self.data.size
+
+    @property
+    def T(self) -> "Tensor":
+        return self.transpose()
+
+    def __len__(self) -> int:
+        return len(self.data)
+
+    def __repr__(self) -> str:
+        head = f"Tensor(shape={self.shape}, requires_grad={self.requires_grad}"
+        if self.name:
+            head += f", name={self.name!r}"
+        return head + ")"
+
+    def numpy(self) -> np.ndarray:
+        """Return the underlying ndarray (shared, not copied)."""
+        return self.data
+
+    def item(self) -> float:
+        return float(self.data)
+
+    def detach(self) -> "Tensor":
+        """Return a constant tensor sharing this tensor's data."""
+        return Tensor(self.data)
+
+    def zero_grad(self) -> None:
+        self.grad = None
+
+    # ------------------------------------------------------------------
+    # backward pass
+    # ------------------------------------------------------------------
+    def backward(self, grad: np.ndarray | None = None) -> None:
+        """Backpropagate from this tensor through the recorded tape.
+
+        Parameters
+        ----------
+        grad:
+            Gradient of the final objective w.r.t. this tensor.  Defaults to
+            1.0, which requires the tensor to be a scalar.
+        """
+        if not self.requires_grad:
+            raise RuntimeError("backward() called on a tensor without grad")
+        if grad is None:
+            if self.size != 1:
+                raise RuntimeError("grad must be provided for non-scalar outputs")
+            grad = np.ones_like(self.data)
+        grad = np.asarray(grad, dtype=np.float64)
+
+        order: list[Tensor] = []
+        seen: set[int] = set()
+        stack: list[tuple[Tensor, bool]] = [(self, False)]
+        while stack:
+            node, processed = stack.pop()
+            if processed:
+                order.append(node)
+                continue
+            if id(node) in seen:
+                continue
+            seen.add(id(node))
+            stack.append((node, True))
+            for parent in node._parents:
+                if parent.requires_grad and id(parent) not in seen:
+                    stack.append((parent, False))
+
+        grads: dict[int, np.ndarray] = {id(self): grad}
+        for node in reversed(order):
+            node_grad = grads.pop(id(node), None)
+            if node_grad is None:
+                continue
+            if node._backward is None:
+                node.grad = node_grad if node.grad is None else node.grad + node_grad
+                continue
+            parent_grads = node._backward(node_grad)
+            for parent, pgrad in zip(node._parents, parent_grads):
+                if pgrad is None or not parent.requires_grad:
+                    continue
+                key = id(parent)
+                if key in grads:
+                    grads[key] = grads[key] + pgrad
+                else:
+                    grads[key] = pgrad
+        # Anything left belongs to leaves encountered exactly once.
+        for node in order:
+            remaining = grads.pop(id(node), None)
+            if remaining is not None:
+                node.grad = remaining if node.grad is None else node.grad + remaining
+
+    # ------------------------------------------------------------------
+    # arithmetic primitives
+    # ------------------------------------------------------------------
+    def __add__(self, other) -> "Tensor":
+        other = as_tensor(other)
+        data = self.data + other.data
+
+        def backward(g):
+            return (_unbroadcast(g, self.shape), _unbroadcast(g, other.shape))
+
+        return Tensor._make(data, (self, other), backward)
+
+    __radd__ = __add__
+
+    def __sub__(self, other) -> "Tensor":
+        other = as_tensor(other)
+        data = self.data - other.data
+
+        def backward(g):
+            return (_unbroadcast(g, self.shape), _unbroadcast(-g, other.shape))
+
+        return Tensor._make(data, (self, other), backward)
+
+    def __rsub__(self, other) -> "Tensor":
+        return as_tensor(other) - self
+
+    def __mul__(self, other) -> "Tensor":
+        other = as_tensor(other)
+        data = self.data * other.data
+        a, b = self, other
+
+        def backward(g):
+            return (
+                _unbroadcast(g * b.data, a.shape),
+                _unbroadcast(g * a.data, b.shape),
+            )
+
+        return Tensor._make(data, (a, b), backward)
+
+    __rmul__ = __mul__
+
+    def __truediv__(self, other) -> "Tensor":
+        other = as_tensor(other)
+        data = self.data / other.data
+        a, b = self, other
+
+        def backward(g):
+            return (
+                _unbroadcast(g / b.data, a.shape),
+                _unbroadcast(-g * a.data / (b.data ** 2), b.shape),
+            )
+
+        return Tensor._make(data, (a, b), backward)
+
+    def __rtruediv__(self, other) -> "Tensor":
+        return as_tensor(other) / self
+
+    def __neg__(self) -> "Tensor":
+        data = -self.data
+
+        def backward(g):
+            return (-g,)
+
+        return Tensor._make(data, (self,), backward)
+
+    def __pow__(self, exponent: float) -> "Tensor":
+        if not isinstance(exponent, (int, float)):
+            raise TypeError("only scalar exponents are supported")
+        data = self.data ** exponent
+        base = self
+
+        def backward(g):
+            return (g * exponent * base.data ** (exponent - 1),)
+
+        return Tensor._make(data, (self,), backward)
+
+    def __matmul__(self, other) -> "Tensor":
+        other = as_tensor(other)
+        a, b = self, other
+        data = a.data @ b.data
+
+        def backward(g):
+            ga = gb = None
+            if a.requires_grad:
+                if b.ndim == 1:
+                    ga = np.multiply.outer(g, b.data) if a.ndim > 1 else g * b.data
+                    ga = _unbroadcast(np.asarray(ga), a.shape)
+                elif a.ndim == 1:
+                    # out[..., j] = sum_k a[k] b[..., k, j]
+                    ga = (b.data * g[..., None, :]).sum(axis=-1)
+                    ga = _unbroadcast(ga, a.shape)
+                else:
+                    ga = _unbroadcast(g @ np.swapaxes(b.data, -1, -2), a.shape)
+            if b.requires_grad:
+                if a.ndim == 1:
+                    if b.ndim > 1:
+                        # out[..., j] = sum_k a[k] b[..., k, j]
+                        gb = a.data[:, None] * g[..., None, :]
+                    else:
+                        gb = a.data * g
+                    gb = _unbroadcast(np.asarray(gb), b.shape)
+                elif b.ndim == 1:
+                    if a.ndim > 1:
+                        # out[..., i] = sum_k a[..., i, k] b[k]
+                        gb = (a.data * g[..., :, None]).sum(
+                            axis=tuple(range(a.ndim - 1)))
+                    else:
+                        gb = a.data * g
+                    gb = _unbroadcast(np.asarray(gb), b.shape)
+                else:
+                    gb = _unbroadcast(np.swapaxes(a.data, -1, -2) @ g, b.shape)
+            return (ga, gb)
+
+        return Tensor._make(data, (a, b), backward)
+
+    def __rmatmul__(self, other) -> "Tensor":
+        return as_tensor(other) @ self
+
+    # comparisons produce constant (non-differentiable) tensors
+    def __gt__(self, other):
+        return Tensor(self.data > as_tensor(other).data)
+
+    def __lt__(self, other):
+        return Tensor(self.data < as_tensor(other).data)
+
+    def __ge__(self, other):
+        return Tensor(self.data >= as_tensor(other).data)
+
+    def __le__(self, other):
+        return Tensor(self.data <= as_tensor(other).data)
+
+    # ------------------------------------------------------------------
+    # shape primitives
+    # ------------------------------------------------------------------
+    def reshape(self, *shape) -> "Tensor":
+        if len(shape) == 1 and isinstance(shape[0], (tuple, list)):
+            shape = tuple(shape[0])
+        original = self.shape
+        data = self.data.reshape(shape)
+
+        def backward(g):
+            return (g.reshape(original),)
+
+        return Tensor._make(data, (self,), backward)
+
+    def transpose(self, axis0: int | None = None, axis1: int | None = None) -> "Tensor":
+        """Swap two axes (defaults to the last two, or reverse for 2-D)."""
+        if axis0 is None and axis1 is None:
+            if self.ndim < 2:
+                return self
+            axis0, axis1 = -2, -1
+        data = np.swapaxes(self.data, axis0, axis1)
+
+        def backward(g):
+            return (np.swapaxes(g, axis0, axis1),)
+
+        return Tensor._make(data, (self,), backward)
+
+    def permute(self, *axes: int) -> "Tensor":
+        data = np.transpose(self.data, axes)
+        inverse = np.argsort(axes)
+
+        def backward(g):
+            return (np.transpose(g, inverse),)
+
+        return Tensor._make(data, (self,), backward)
+
+    def __getitem__(self, index) -> "Tensor":
+        data = self.data[index]
+        shape = self.shape
+
+        def backward(g):
+            out = np.zeros(shape, dtype=np.float64)
+            np.add.at(out, index, g)
+            return (out,)
+
+        return Tensor._make(data, (self,), backward)
+
+    def broadcast_to(self, shape: tuple[int, ...]) -> "Tensor":
+        original = self.shape
+        data = np.broadcast_to(self.data, shape)
+
+        def backward(g):
+            return (_unbroadcast(g, original),)
+
+        return Tensor._make(np.ascontiguousarray(data), (self,), backward)
+
+    # ------------------------------------------------------------------
+    # reductions
+    # ------------------------------------------------------------------
+    def sum(self, axis=None, keepdims: bool = False) -> "Tensor":
+        data = self.data.sum(axis=axis, keepdims=keepdims)
+        shape = self.shape
+
+        def backward(g):
+            if axis is None:
+                return (np.broadcast_to(g, shape).copy(),)
+            g_exp = g if keepdims else np.expand_dims(g, axis)
+            return (np.broadcast_to(g_exp, shape).copy(),)
+
+        return Tensor._make(data, (self,), backward)
+
+    def mean(self, axis=None, keepdims: bool = False) -> "Tensor":
+        if axis is None:
+            count = self.size
+        else:
+            axes = axis if isinstance(axis, tuple) else (axis,)
+            count = int(np.prod([self.shape[a] for a in axes]))
+        return self.sum(axis=axis, keepdims=keepdims) * (1.0 / count)
+
+    def max(self, axis=None, keepdims: bool = False) -> "Tensor":
+        data = self.data.max(axis=axis, keepdims=keepdims)
+        shape = self.shape
+
+        def backward(g):
+            if axis is None:
+                mask = (self.data == data).astype(np.float64)
+                mask /= mask.sum()
+                return (mask * g,)
+            expanded = data if keepdims else np.expand_dims(data, axis)
+            mask = (self.data == expanded).astype(np.float64)
+            mask /= mask.sum(axis=axis, keepdims=True)
+            g_exp = g if keepdims else np.expand_dims(g, axis)
+            return (np.broadcast_to(g_exp, shape) * mask,)
+
+        return Tensor._make(data, (self,), backward)
+
+    # ------------------------------------------------------------------
+    # elementwise primitives
+    # ------------------------------------------------------------------
+    def exp(self) -> "Tensor":
+        data = np.exp(self.data)
+
+        def backward(g):
+            return (g * data,)
+
+        return Tensor._make(data, (self,), backward)
+
+    def log(self) -> "Tensor":
+        data = np.log(self.data)
+        src = self.data
+
+        def backward(g):
+            return (g / src,)
+
+        return Tensor._make(data, (self,), backward)
+
+    def sqrt(self) -> "Tensor":
+        data = np.sqrt(self.data)
+
+        def backward(g):
+            return (g * 0.5 / data,)
+
+        return Tensor._make(data, (self,), backward)
+
+    def tanh(self) -> "Tensor":
+        data = np.tanh(self.data)
+
+        def backward(g):
+            return (g * (1.0 - data ** 2),)
+
+        return Tensor._make(data, (self,), backward)
+
+    def sigmoid(self) -> "Tensor":
+        data = 1.0 / (1.0 + np.exp(-np.clip(self.data, -60.0, 60.0)))
+
+        def backward(g):
+            return (g * data * (1.0 - data),)
+
+        return Tensor._make(data, (self,), backward)
+
+    def relu(self) -> "Tensor":
+        data = np.maximum(self.data, 0.0)
+        mask = (self.data > 0).astype(np.float64)
+
+        def backward(g):
+            return (g * mask,)
+
+        return Tensor._make(data, (self,), backward)
+
+    def softplus(self) -> "Tensor":
+        # numerically stable: log(1 + e^x) = max(x, 0) + log1p(e^{-|x|})
+        data = np.maximum(self.data, 0.0) + np.log1p(np.exp(-np.abs(self.data)))
+        sig = 1.0 / (1.0 + np.exp(-np.clip(self.data, -60.0, 60.0)))
+
+        def backward(g):
+            return (g * sig,)
+
+        return Tensor._make(data, (self,), backward)
+
+    def abs(self) -> "Tensor":
+        data = np.abs(self.data)
+        sign = np.sign(self.data)
+
+        def backward(g):
+            return (g * sign,)
+
+        return Tensor._make(data, (self,), backward)
+
+    def clip(self, lo: float, hi: float) -> "Tensor":
+        data = np.clip(self.data, lo, hi)
+        mask = ((self.data >= lo) & (self.data <= hi)).astype(np.float64)
+
+        def backward(g):
+            return (g * mask,)
+
+        return Tensor._make(data, (self,), backward)
+
+    def sin(self) -> "Tensor":
+        data = np.sin(self.data)
+        src = self.data
+
+        def backward(g):
+            return (g * np.cos(src),)
+
+        return Tensor._make(data, (self,), backward)
+
+    def cos(self) -> "Tensor":
+        data = np.cos(self.data)
+        src = self.data
+
+        def backward(g):
+            return (-g * np.sin(src),)
+
+        return Tensor._make(data, (self,), backward)
+
+    # ------------------------------------------------------------------
+    # linear algebra primitives
+    # ------------------------------------------------------------------
+    def inv(self) -> "Tensor":
+        """Batched matrix inverse with analytic gradient."""
+        data = np.linalg.inv(self.data)
+
+        def backward(g):
+            inv_t = np.swapaxes(data, -1, -2)
+            return (-inv_t @ g @ inv_t,)
+
+        return Tensor._make(data, (self,), backward)
+
+    def pinv(self, rcond: float = 1e-15) -> "Tensor":
+        """Batched Moore-Penrose pseudo-inverse with analytic gradient.
+
+        Uses the classical differential (Golub & Pereyra 1973):
+
+        ``dA+ = -A+ dA A+ + A+ A+^T dA^T (I - A A+) + (I - A+ A) dA^T A+^T A+``
+
+        ``rcond`` truncates singular values below ``rcond * sigma_max``,
+        which matters for structurally rank-deficient matrices perturbed by
+        round-off (e.g. ``J p - I`` in Eq. 34).
+        """
+        a = self.data
+        plus = np.linalg.pinv(a, rcond=rcond)
+
+        def backward(g):
+            at = np.swapaxes(a, -1, -2)
+            pt = np.swapaxes(plus, -1, -2)
+            m = a.shape[-2]
+            n = a.shape[-1]
+            eye_m = np.eye(m)
+            eye_n = np.eye(n)
+            # VJP of the forward differential above.
+            term1 = -pt @ g @ pt
+            term2 = (eye_m - a @ plus) @ np.swapaxes(g, -1, -2) @ (plus @ pt)
+            term3 = (pt @ plus) @ np.swapaxes(g, -1, -2) @ (eye_n - plus @ a)
+            del at, eye_m, eye_n
+            return (term1 + term2 + term3,)
+
+        return Tensor._make(plus, (self,), backward)
+
+
+def as_tensor(value) -> Tensor:
+    """Coerce ``value`` to a (constant) :class:`Tensor`."""
+    if isinstance(value, Tensor):
+        return value
+    return Tensor(value)
+
+
+def concat(tensors: Iterable[Tensor], axis: int = -1) -> Tensor:
+    """Concatenate tensors along ``axis`` with gradient support."""
+    tensors = tuple(as_tensor(t) for t in tensors)
+    data = np.concatenate([t.data for t in tensors], axis=axis)
+    sizes = [t.shape[axis] for t in tensors]
+    splits = np.cumsum(sizes)[:-1]
+
+    def backward(g):
+        return tuple(np.array_split(g, splits, axis=axis))
+
+    return Tensor._make(data, tensors, backward)
+
+
+def stack(tensors: Iterable[Tensor], axis: int = 0) -> Tensor:
+    """Stack tensors along a new ``axis`` with gradient support."""
+    tensors = tuple(as_tensor(t) for t in tensors)
+    data = np.stack([t.data for t in tensors], axis=axis)
+
+    def backward(g):
+        pieces = np.split(g, len(tensors), axis=axis)
+        return tuple(np.squeeze(p, axis=axis) for p in pieces)
+
+    return Tensor._make(data, tensors, backward)
+
+
+def where(condition, a, b) -> Tensor:
+    """Elementwise select: gradient flows to the chosen branch only."""
+    cond = np.asarray(condition.data if isinstance(condition, Tensor) else condition)
+    a = as_tensor(a)
+    b = as_tensor(b)
+    data = np.where(cond, a.data, b.data)
+
+    def backward(g):
+        return (
+            _unbroadcast(np.where(cond, g, 0.0), a.shape),
+            _unbroadcast(np.where(cond, 0.0, g), b.shape),
+        )
+
+    return Tensor._make(data, (a, b), backward)
+
+
+def maximum(a, b) -> Tensor:
+    """Elementwise maximum (ties send gradient to the first argument)."""
+    a = as_tensor(a)
+    b = as_tensor(b)
+    return where(a.data >= b.data, a, b)
+
+
+def minimum(a, b) -> Tensor:
+    """Elementwise minimum (ties send gradient to the first argument)."""
+    a = as_tensor(a)
+    b = as_tensor(b)
+    return where(a.data <= b.data, a, b)

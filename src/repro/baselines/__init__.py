@@ -1,0 +1,105 @@
+"""Baseline models: every non-DIFFODE row of Tables III/IV.
+
+The :data:`BASELINE_REGISTRY` maps the names used in the paper's tables to
+constructors with a uniform signature, so the experiment harness can sweep
+over models generically:
+
+``build_baseline(name, input_dim, hidden_dim, seed,
+                 num_classes=..., out_dim=..., **overrides)``
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import SequenceModel, encoder_features, previous_state_readout, snap_to_grid
+from .gru import GRUBaseline, GRUDBaseline
+from .odernn import GRUODEBayesBaseline, ODERNNBaseline, PolyODEBaseline
+from .latent_ode import LatentODEBaseline
+from .latent_ode_vae import LatentODEVAEBaseline, gaussian_kl
+from .nrde import NRDEBaseline, logsignature_depth2
+from .mtan import MTANBaseline
+from .contiformer import ContiFormerBaseline
+from .hippo_rnn import HiPPOObsBaseline, HiPPORNNBaseline
+from .ncde import NCDEBaseline
+from .s4 import S4Baseline
+
+__all__ = [
+    "SequenceModel",
+    "encoder_features",
+    "previous_state_readout",
+    "snap_to_grid",
+    "GRUBaseline",
+    "GRUDBaseline",
+    "ODERNNBaseline",
+    "GRUODEBayesBaseline",
+    "PolyODEBaseline",
+    "LatentODEBaseline",
+    "LatentODEVAEBaseline",
+    "gaussian_kl",
+    "NRDEBaseline",
+    "logsignature_depth2",
+    "MTANBaseline",
+    "ContiFormerBaseline",
+    "HiPPORNNBaseline",
+    "HiPPOObsBaseline",
+    "S4Baseline",
+    "NCDEBaseline",
+    "BASELINE_REGISTRY",
+    "BASELINE_CATEGORIES",
+    "build_baseline",
+]
+
+#: paper-table name -> constructor
+BASELINE_REGISTRY = {
+    "mTAN": MTANBaseline,
+    "ContiFormer": ContiFormerBaseline,
+    "HiPPO-obs": HiPPOObsBaseline,
+    "HiPPO-RNN": HiPPORNNBaseline,
+    "S4": S4Baseline,
+    "GRU": GRUBaseline,
+    "GRU-D": GRUDBaseline,
+    "ODE-RNN": ODERNNBaseline,
+    "Latent ODE": LatentODEBaseline,
+    "GRU-ODE-Bayes": GRUODEBayesBaseline,
+    "NRDE": NRDEBaseline,
+    "PolyODE": PolyODEBaseline,
+    # extension beyond the paper's table rows: the Fig. 1(b) model class
+    "NCDE": NCDEBaseline,
+    "Latent ODE (VAE)": LatentODEVAEBaseline,
+}
+
+#: Table III groups each baseline into a category
+BASELINE_CATEGORIES = {
+    "mTAN": "Attention-based",
+    "ContiFormer": "Attention-based",
+    "HiPPO-obs": "SSM-based",
+    "HiPPO-RNN": "SSM-based",
+    "S4": "SSM-based",
+    "GRU": "RNN-based",
+    "GRU-D": "RNN-based",
+    "ODE-RNN": "ODE-based",
+    "Latent ODE": "ODE-based",
+    "GRU-ODE-Bayes": "ODE-based",
+    "NRDE": "ODE-based",
+    "PolyODE": "ODE-based",
+    "NCDE": "ODE-based",
+    "Latent ODE (VAE)": "ODE-based",
+}
+
+
+def build_baseline(name: str, input_dim: int, hidden_dim: int, seed: int = 0,
+                   num_classes: int | None = None, out_dim: int | None = None,
+                   **overrides) -> SequenceModel:
+    """Instantiate a baseline by its paper-table name."""
+    if name not in BASELINE_REGISTRY:
+        raise KeyError(f"unknown baseline {name!r}; "
+                       f"choose from {sorted(BASELINE_REGISTRY)}")
+    rng = np.random.default_rng(seed)
+    cls = BASELINE_REGISTRY[name]
+    kwargs = dict(input_dim=input_dim, hidden_dim=hidden_dim, rng=rng,
+                  num_classes=num_classes, out_dim=out_dim)
+    if cls in (LatentODEBaseline, LatentODEVAEBaseline):
+        kwargs.setdefault("latent_dim", max(4, hidden_dim // 2))
+    kwargs.update(overrides)
+    return cls(**kwargs)

@@ -1,0 +1,127 @@
+"""Shared plumbing for baseline models.
+
+Every baseline implements the same protocol as :class:`repro.core.DiffODE`:
+``forward(batch) -> Tensor`` returning class logits (B, C) or per-query
+predictions (B, nq, F_out), so the :class:`repro.training.Trainer` drives
+them all identically.
+
+Two readout helpers cover the two families of models:
+
+* :func:`previous_state_readout` - discrete models (GRU, GRU-D, S4,
+  HiPPO-obs, NRDE): a query at time ``t`` reads the state of the last
+  observation at or before ``t`` plus the elapsed gap;
+* :func:`snap_to_grid` - continuous models that integrate on a uniform grid
+  (ODE-RNN, GRU-ODE-Bayes, PolyODE): observations are snapped to grid cells
+  so the jump updates stay fully vectorized over the batch.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..autodiff import Tensor, concat
+from ..nn import Module
+
+__all__ = [
+    "SequenceModel",
+    "encoder_features",
+    "previous_state_readout",
+    "snap_to_grid",
+]
+
+
+class SequenceModel(Module):
+    """Base class: dispatches on task, mirrors DiffODE's entry point."""
+
+    def __init__(self, num_classes: int | None = None,
+                 out_dim: int | None = None):
+        super().__init__()
+        if num_classes is None and out_dim is None:
+            raise ValueError("set num_classes or out_dim")
+        self.num_classes = num_classes
+        self.out_dim = out_dim
+
+    def forward(self, batch) -> Tensor:
+        if self.num_classes is not None:
+            return self.forward_classification(batch.values, batch.times,
+                                               batch.mask)
+        return self.forward_regression(batch.values, batch.times, batch.mask,
+                                       batch.target_times)
+
+    def forward_classification(self, values, times, mask):  # pragma: no cover
+        raise NotImplementedError
+
+    def forward_regression(self, values, times, mask, query_times):  # pragma: no cover
+        raise NotImplementedError
+
+
+def encoder_features(values: np.ndarray, times: np.ndarray) -> np.ndarray:
+    """Standard per-step inputs ``[x, dt, t]`` used by recurrent encoders."""
+    values = np.asarray(values, dtype=np.float64)
+    times = np.asarray(times, dtype=np.float64)
+    dt = np.diff(times, axis=1, prepend=times[:, :1])
+    return np.concatenate([values, dt[..., None], times[..., None]], axis=-1)
+
+
+def previous_state_readout(states: Tensor, times: np.ndarray,
+                           mask: np.ndarray,
+                           query_times: np.ndarray) -> Tensor:
+    """For each query time, the state of the last valid observation <= t.
+
+    Parameters
+    ----------
+    states:
+        (B, n, H) per-observation states.
+    times / mask:
+        (B, n) observation times and validity.
+    query_times:
+        (B, nq).
+
+    Returns
+    -------
+    Tensor (B, nq, H + 1): gathered state concatenated with the elapsed
+    time since that observation (so heads can extrapolate).
+    """
+    times = np.asarray(times)
+    mask = np.asarray(mask)
+    q = np.asarray(query_times)
+    batch, n = times.shape
+    # Invalid rows get +inf so they are never selected.
+    masked_times = np.where(mask > 0, times, np.inf)
+    order = np.argsort(masked_times, axis=1)
+    sorted_times = np.take_along_axis(masked_times, order, axis=1)
+    # idx of last sorted time <= query (clipped to >= 0)
+    pos = np.zeros_like(q, dtype=np.int64)
+    for b in range(batch):
+        pos[b] = np.searchsorted(sorted_times[b], q[b], side="right") - 1
+    pos = np.clip(pos, 0, n - 1)
+    gather_idx = np.take_along_axis(order, pos, axis=1)   # (B, nq)
+    batch_idx = np.arange(batch)[:, None]
+    picked = states[batch_idx, gather_idx]                # (B, nq, H)
+    elapsed = q - np.take_along_axis(times, gather_idx, axis=1)
+    return concat([picked, Tensor(elapsed[..., None])], axis=-1)
+
+
+def snap_to_grid(values: np.ndarray, times: np.ndarray, mask: np.ndarray,
+                 grid: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Assign each observation to its nearest grid cell (last one wins).
+
+    Returns ``(grid_values (B, L, D), grid_mask (B, L))`` where
+    ``grid_mask[b, k] = 1`` iff sequence ``b`` has an observation in cell
+    ``k``.  Used by the jump-ODE baselines to keep updates batched.
+    """
+    values = np.asarray(values)
+    times = np.asarray(times)
+    mask = np.asarray(mask)
+    batch, n, d = values.shape
+    num_cells = len(grid)
+    cell = np.clip(np.searchsorted(grid, times, side="right") - 1,
+                   0, num_cells - 1)
+    grid_values = np.zeros((batch, num_cells, d))
+    grid_mask = np.zeros((batch, num_cells))
+    for b in range(batch):
+        valid = mask[b] > 0
+        # Later observations overwrite earlier ones in the same cell.
+        grid_values[b, cell[b, valid]] = values[b, valid]
+        grid_mask[b, cell[b, valid]] = 1.0
+    return grid_values, grid_mask

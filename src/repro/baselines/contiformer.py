@@ -1,0 +1,81 @@
+"""ContiFormer (Chen et al. 2024), simplified to its core idea.
+
+ContiFormer extends the Transformer to continuous time: each observation's
+value embedding is *evolved by a latent ODE* from its own timestamp to the
+query time before keys/values enter the attention, so the attention at
+time ``t`` sees "what each observation would look like now".  We implement
+the evolution with a learned one-step flow
+``v_i(t) = v_i + (t - t_i) * f(v_i)`` (an explicit-Euler latent ODE over
+the elapsed gap - the dominant cost term ``O(d^2 n^2 L)`` of Table V comes
+from evolving every observation to every query), followed by standard
+masked attention with sinusoidal time embeddings.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..autodiff import Tensor, concat, masked_softmax
+from ..nn import LayerNorm, Linear, MLP
+from .base import SequenceModel
+
+__all__ = ["ContiFormerBaseline"]
+
+
+def _sinusoidal(t: np.ndarray, dim: int) -> np.ndarray:
+    """Fixed sinusoidal embedding of times (B, L) -> (B, L, dim)."""
+    t = np.asarray(t)[..., None]
+    freqs = np.exp(np.linspace(0.0, 4.0, dim // 2)) * np.pi
+    ang = t * freqs
+    return np.concatenate([np.sin(ang), np.cos(ang)], axis=-1)
+
+
+class ContiFormerBaseline(SequenceModel):
+    def __init__(self, input_dim: int, hidden_dim: int,
+                 rng: np.random.Generator, time_dim: int = 8,
+                 num_queries: int = 16,
+                 num_classes: int | None = None, out_dim: int | None = None):
+        super().__init__(num_classes, out_dim)
+        self.time_dim = time_dim
+        self.num_queries = num_queries
+        self.embed = Linear(input_dim + time_dim, hidden_dim, rng)
+        self.flow = MLP(hidden_dim, [hidden_dim], hidden_dim, rng)
+        self.wq = Linear(time_dim, hidden_dim, rng)
+        self.wk = Linear(hidden_dim, hidden_dim, rng)
+        self.wv = Linear(hidden_dim, hidden_dim, rng)
+        self.ffn = MLP(hidden_dim, [hidden_dim], hidden_dim, rng)
+        self.norm = LayerNorm(hidden_dim)
+        self.head = MLP(hidden_dim, [hidden_dim], num_classes or out_dim, rng)
+
+    def _representation(self, query_times: np.ndarray, values, times,
+                        mask) -> Tensor:
+        """Continuous-time attention at ``query_times`` (B, Q) -> (B, Q, H)."""
+        times = np.asarray(times)
+        obs_emb = self.embed(Tensor(np.concatenate(
+            [np.asarray(values), _sinusoidal(times, self.time_dim)], axis=-1)))
+        v_dot = self.flow(obs_emb).tanh()                      # (B, n, H)
+        q_emb = self.wq(Tensor(_sinusoidal(query_times, self.time_dim)))
+
+        # Evolve each observation embedding to each query time:
+        # v_i(t_q) = v_i + (t_q - t_i) f(v_i);  gap (B, Q, n, 1).
+        gap = (np.asarray(query_times)[:, :, None]
+               - times[:, None, :])[..., None]
+        evolved = obs_emb[:, None, :, :] + v_dot[:, None, :, :] * Tensor(gap)
+        k = self.wk(evolved)                                   # (B, Q, n, H)
+        v = self.wv(evolved)
+        scores = (k @ q_emb[:, :, :, None])[..., 0]            # (B, Q, n)
+        scores = scores * (1.0 / np.sqrt(k.shape[-1]))
+        probs = masked_softmax(scores, np.asarray(mask)[:, None, :], axis=-1)
+        attended = (probs[:, :, None, :] @ v)[:, :, 0, :]      # (B, Q, H)
+        # post-norm residual block, as in the transformer stack
+        return self.norm(attended + self.ffn(attended))
+
+    def forward_classification(self, values, times, mask) -> Tensor:
+        batch = np.asarray(values).shape[0]
+        queries = np.tile(np.linspace(0.0, 1.0, self.num_queries), (batch, 1))
+        rep = self._representation(queries, values, times, mask)
+        return self.head(rep.mean(axis=1))
+
+    def forward_regression(self, values, times, mask, query_times) -> Tensor:
+        rep = self._representation(np.asarray(query_times), values, times, mask)
+        return self.head(rep)

@@ -1,0 +1,123 @@
+"""RNN-based baselines: GRU and GRU-D (Che et al. 2018)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..autodiff import Tensor, concat, stack
+from ..nn import GRUCell, MLP, Parameter
+from .base import SequenceModel, encoder_features, previous_state_readout
+
+__all__ = ["GRUBaseline", "GRUDBaseline"]
+
+
+class GRUBaseline(SequenceModel):
+    """Plain GRU over ``[x, dt, t]``; ignores the irregularity beyond the
+    delta-time input channel."""
+
+    def __init__(self, input_dim: int, hidden_dim: int, rng: np.random.Generator,
+                 num_classes: int | None = None, out_dim: int | None = None):
+        super().__init__(num_classes, out_dim)
+        self.cell = GRUCell(input_dim + 2, hidden_dim, rng)
+        head_in = hidden_dim if num_classes is not None else hidden_dim + 1
+        self.head = MLP(head_in, [hidden_dim], num_classes or out_dim, rng)
+
+    def _encode(self, values, times, mask) -> Tensor:
+        feats = encoder_features(values, times)
+        batch, steps, _ = feats.shape
+        h = self.cell.initial_state(batch)
+        states = []
+        m = np.asarray(mask)
+        for t in range(steps):
+            h_new = self.cell(Tensor(feats[:, t]), h)
+            gate = Tensor(m[:, t:t + 1])
+            h = h_new * gate + h * (1.0 - gate)  # skip padded steps
+            states.append(h)
+        return stack(states, axis=1)  # (B, n, H)
+
+    def forward_classification(self, values, times, mask) -> Tensor:
+        states = self._encode(values, times, mask)
+        return self.head(states[:, -1, :])
+
+    def forward_regression(self, values, times, mask, query_times) -> Tensor:
+        states = self._encode(values, times, mask)
+        readout = previous_state_readout(states, times, mask, query_times)
+        return self.head(readout)
+
+
+class GRUDBaseline(SequenceModel):
+    """GRU-D: trainable exponential decay of both the missing inputs
+    (towards the empirical mean) and the hidden state, driven by the time
+    since the last observation of each feature."""
+
+    def __init__(self, input_dim: int, hidden_dim: int, rng: np.random.Generator,
+                 num_classes: int | None = None, out_dim: int | None = None,
+                 raw_features: int | None = None):
+        super().__init__(num_classes, out_dim)
+        # When the dataset carries mask channels, inputs are [x*m, m]; the
+        # raw feature count is then input_dim // 2.
+        self.raw_features = raw_features or input_dim
+        self.hidden_dim = hidden_dim
+        f = self.raw_features
+        self.gamma_x = Parameter(np.zeros(f), name="gamma_x")
+        self.gamma_h = Parameter(np.zeros(hidden_dim), name="gamma_h")
+        self.cell = GRUCell(2 * f + 1, hidden_dim, rng)
+        head_in = hidden_dim if num_classes is not None else hidden_dim + 1
+        self.head = MLP(head_in, [hidden_dim], num_classes or out_dim, rng)
+
+    def _split(self, values: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        f = self.raw_features
+        values = np.asarray(values)
+        if values.shape[-1] == 2 * f:
+            return values[..., :f], values[..., f:]
+        return values, np.ones_like(values)
+
+    def _encode(self, values, times, mask) -> Tensor:
+        x, fm = self._split(values)
+        times = np.asarray(times)
+        m = np.asarray(mask)
+        batch, steps, f = x.shape
+
+        # Per-feature time since last observation (numpy preprocessing).
+        delta = np.zeros((batch, steps, f))
+        last_t = np.tile(times[:, :1, None], (1, 1, f))[:, 0]
+        last_x = np.zeros((batch, f))
+        seen = np.zeros((batch, f))
+        x_mean = (x * fm).sum(axis=(0, 1)) / np.maximum(fm.sum(axis=(0, 1)), 1)
+        x_filled = np.zeros_like(x)
+        for t in range(steps):
+            delta[:, t] = times[:, t:t + 1] - last_t
+            obs = fm[:, t] * m[:, t:t + 1]
+            x_filled[:, t] = np.where(obs > 0, x[:, t],
+                                      np.where(seen > 0, last_x, x_mean))
+            last_x = np.where(obs > 0, x[:, t], last_x)
+            last_t = np.where(obs > 0, times[:, t:t + 1], last_t)
+            seen = np.maximum(seen, obs)
+
+        h = self.cell.initial_state(batch)
+        states = []
+        for t in range(steps):
+            d = Tensor(delta[:, t])
+            # input decay towards the mean
+            gx = (-(self.gamma_x.relu() * d)).exp()
+            x_hat = Tensor(x_filled[:, t]) * gx + Tensor(x_mean) * (1.0 - gx)
+            # hidden decay
+            dt_scalar = Tensor(delta[:, t].mean(axis=-1, keepdims=True))
+            gh = (-(self.gamma_h.relu() * dt_scalar)).exp()
+            h = h * gh
+            step_in = concat([x_hat, Tensor(fm[:, t]),
+                              Tensor(np.asarray(times)[:, t:t + 1])], axis=-1)
+            h_new = self.cell(step_in, h)
+            gate = Tensor(m[:, t:t + 1])
+            h = h_new * gate + h * (1.0 - gate)
+            states.append(h)
+        return stack(states, axis=1)
+
+    def forward_classification(self, values, times, mask) -> Tensor:
+        states = self._encode(values, times, mask)
+        return self.head(states[:, -1, :])
+
+    def forward_regression(self, values, times, mask, query_times) -> Tensor:
+        states = self._encode(values, times, mask)
+        readout = previous_state_readout(states, times, mask, query_times)
+        return self.head(readout)

@@ -1,0 +1,120 @@
+"""SSM baselines built on HiPPO: HiPPO-RNN and HiPPO-obs (Gu et al. 2020).
+
+* **HiPPO-RNN**: a GRU whose scalar readout of the hidden state is
+  continuously compressed into HiPPO-LegS coefficients; the coefficients
+  feed back into the next GRU step (the architecture of the HiPPO paper).
+* **HiPPO-obs** (the PolyODE paper's variant, adopted here): the HiPPO
+  operator is applied *directly to the observed series*, one LegS update
+  per observation per feature; only the readout MLP is trainable.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..autodiff import Tensor, concat, stack
+from ..linalg import hippo_legs, legs_discrete_update
+from ..nn import GRUCell, Linear, MLP
+from .base import SequenceModel, previous_state_readout
+
+__all__ = ["HiPPORNNBaseline", "HiPPOObsBaseline"]
+
+
+class HiPPORNNBaseline(SequenceModel):
+    def __init__(self, input_dim: int, hidden_dim: int,
+                 rng: np.random.Generator, memory_order: int = 16,
+                 num_classes: int | None = None, out_dim: int | None = None):
+        super().__init__(num_classes, out_dim)
+        self.memory_order = memory_order
+        self.hidden_dim = hidden_dim
+        a, b = hippo_legs(memory_order)
+        self._a, self._b = a, b
+        self.cell = GRUCell(input_dim + 1 + memory_order, hidden_dim, rng)
+        self.readout = Linear(hidden_dim, 1, rng)
+        head_in = hidden_dim + memory_order
+        if num_classes is None:
+            head_in += 1
+        self.head = MLP(head_in, [hidden_dim], num_classes or out_dim, rng)
+
+    def _encode(self, values, times, mask) -> Tensor:
+        values = np.asarray(values)
+        times = np.asarray(times)
+        m = np.asarray(mask)
+        batch, steps, _ = values.shape
+        h = self.cell.initial_state(batch)
+        c = Tensor(np.zeros((batch, self.memory_order)))
+        states = []
+        order = self.memory_order
+        eye = np.eye(order)
+        for t in range(steps):
+            step_in = concat([Tensor(values[:, t]),
+                              Tensor(times[:, t:t + 1]), c], axis=-1)
+            h_new = self.cell(step_in, h)
+            gate = Tensor(m[:, t:t + 1])
+            h = h_new * gate + h * (1.0 - gate)
+            # Differentiable LegS update of the memory with u = readout(h).
+            k = t + 1
+            u = self.readout(h)                                 # (B, 1)
+            lhs_inv = np.linalg.inv(eye - self._a / (2.0 * k))
+            rhs_mat = (eye + self._a / (2.0 * k))
+            c_new = c @ Tensor((lhs_inv @ rhs_mat).T) \
+                + u @ Tensor(((self._b / k) @ lhs_inv.T)[None, :])
+            c = c_new * gate + c * (1.0 - gate)
+            states.append(concat([h, c], axis=-1))
+        return stack(states, axis=1)  # (B, n, H + order)
+
+    def forward_classification(self, values, times, mask) -> Tensor:
+        states = self._encode(values, times, mask)
+        return self.head(states[:, -1, :])
+
+    def forward_regression(self, values, times, mask, query_times) -> Tensor:
+        states = self._encode(values, times, mask)
+        readout = previous_state_readout(states, times, mask, query_times)
+        return self.head(readout)
+
+
+class HiPPOObsBaseline(SequenceModel):
+    """HiPPO operator applied directly to the observations.
+
+    The per-feature LegS coefficients are a pure function of the data
+    (computed in numpy); only the readout head is trainable, making this
+    the cheapest baseline in Table V.
+    """
+
+    def __init__(self, input_dim: int, hidden_dim: int,
+                 rng: np.random.Generator, memory_order: int = 8,
+                 num_classes: int | None = None, out_dim: int | None = None):
+        super().__init__(num_classes, out_dim)
+        self.memory_order = memory_order
+        self.input_dim = input_dim
+        a, b = hippo_legs(memory_order)
+        self._a, self._b = a, b
+        head_in = input_dim * memory_order
+        if num_classes is None:
+            head_in += 1
+        self.head = MLP(head_in, [hidden_dim, hidden_dim],
+                        num_classes or out_dim, rng)
+
+    def _coefficients(self, values, mask) -> np.ndarray:
+        """Running LegS coefficients: (B, n, F * order)."""
+        values = np.asarray(values)
+        m = np.asarray(mask)
+        batch, steps, feats = values.shape
+        c = np.zeros((batch, feats, self.memory_order))
+        out = np.zeros((batch, steps, feats * self.memory_order))
+        for t in range(steps):
+            c_new = legs_discrete_update(c, values[:, t], t + 1,
+                                         self._a, self._b)
+            gate = m[:, t, None, None]
+            c = c_new * gate + c * (1.0 - gate)
+            out[:, t] = c.reshape(batch, -1)
+        return out
+
+    def forward_classification(self, values, times, mask) -> Tensor:
+        coeff = self._coefficients(values, mask)
+        return self.head(Tensor(coeff[:, -1, :]))
+
+    def forward_regression(self, values, times, mask, query_times) -> Tensor:
+        coeff = Tensor(self._coefficients(values, mask))
+        readout = previous_state_readout(coeff, times, mask, query_times)
+        return self.head(readout)

@@ -1,0 +1,63 @@
+"""Latent ODE (Chen et al. 2018 / Rubanova et al. 2019).
+
+Encoder: a GRU consumes the observations in *reverse* time order (as in the
+original paper) and emits the initial latent state ``z_0``; a neural ODE
+then rolls the latent forward and a decoder reads out predictions.  We use
+the deterministic autoencoder variant (posterior mean, no KL term) since
+the comparison tasks are point-prediction; the VAE machinery does not
+change the latent-dynamics behaviour that Tables III/IV probe.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..autodiff import Tensor, concat
+from ..nn import GRUCell, MLP
+from ..odeint import odeint
+from ..core.model import interpolate_grid_states
+from .base import SequenceModel, encoder_features
+
+__all__ = ["LatentODEBaseline"]
+
+
+class LatentODEBaseline(SequenceModel):
+    def __init__(self, input_dim: int, hidden_dim: int, latent_dim: int,
+                 rng: np.random.Generator, grid_size: int = 24,
+                 num_classes: int | None = None, out_dim: int | None = None):
+        super().__init__(num_classes, out_dim)
+        self.latent_dim = latent_dim
+        self.grid = np.linspace(0.0, 1.0, grid_size)
+        self.encoder_cell = GRUCell(input_dim + 2, hidden_dim, rng)
+        self.to_z0 = MLP(hidden_dim, [hidden_dim], latent_dim, rng)
+        self.f = MLP(latent_dim + 1, [hidden_dim], latent_dim, rng)
+        self.head = MLP(latent_dim, [hidden_dim], num_classes or out_dim, rng)
+
+    def _encode_z0(self, values, times, mask) -> Tensor:
+        feats = encoder_features(values, times)
+        m = np.asarray(mask)
+        batch, steps, _ = feats.shape
+        h = self.encoder_cell.initial_state(batch)
+        for t in range(steps - 1, -1, -1):  # reverse-time encoding
+            h_new = self.encoder_cell(Tensor(feats[:, t]), h)
+            gate = Tensor(m[:, t:t + 1])
+            h = h_new * gate + h * (1.0 - gate)
+        return self.to_z0(h)
+
+    def _dynamics(self, t: float, z: Tensor) -> Tensor:
+        t_col = Tensor(np.full((z.shape[0], 1), float(t)))
+        return self.f(concat([z, t_col], axis=-1))
+
+    def _trajectory(self, values, times, mask) -> Tensor:
+        z0 = self._encode_z0(values, times, mask)
+        return odeint(self._dynamics, z0, self.grid, method="rk4",
+                      step_size=float(self.grid[1] - self.grid[0]))
+
+    def forward_classification(self, values, times, mask) -> Tensor:
+        traj = self._trajectory(values, times, mask)
+        return self.head(traj[-1])
+
+    def forward_regression(self, values, times, mask, query_times) -> Tensor:
+        traj = self._trajectory(values, times, mask)
+        at_q = interpolate_grid_states(traj, self.grid, np.asarray(query_times))
+        return self.head(at_q)

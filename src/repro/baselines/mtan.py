@@ -1,0 +1,74 @@
+"""mTAN - Multi-Time Attention Networks (Shukla & Marlin 2021).
+
+Core mechanism: learnable continuous time embeddings turn attention over
+*time points* into a way to re-represent an irregular series at any set of
+reference times.  Queries are the embeddings of reference (or target)
+times, keys are the embeddings of observation times, and values are the
+observed measurements - so the output is a fixed-length, time-aligned
+representation of arbitrary-length irregular input.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..autodiff import Tensor, masked_softmax
+from ..nn import Linear, MLP, Parameter
+from .base import SequenceModel
+
+__all__ = ["MTANBaseline", "TimeEmbedding"]
+
+
+class TimeEmbedding:
+    """Learnable sinusoidal time embedding: one linear + (E-1) periodic."""
+
+    def __init__(self, embed_dim: int, rng: np.random.Generator, owner) -> None:
+        self.embed_dim = embed_dim
+        self.w = Parameter(rng.normal(scale=1.0, size=(embed_dim,)), name="te_w")
+        self.b = Parameter(rng.normal(scale=1.0, size=(embed_dim,)), name="te_b")
+        # register on the owning module
+        owner.te_w = self.w
+        owner.te_b = self.b
+
+    def __call__(self, t: np.ndarray) -> Tensor:
+        """t (B, L) -> (B, L, E); first channel linear, rest sinusoidal."""
+        t = Tensor(np.asarray(t)[..., None])
+        raw = t * self.w + self.b
+        linear = raw[..., :1]
+        periodic = raw[..., 1:].sin()
+        from ..autodiff import concat
+        return concat([linear, periodic], axis=-1)
+
+
+class MTANBaseline(SequenceModel):
+    def __init__(self, input_dim: int, hidden_dim: int,
+                 rng: np.random.Generator, embed_dim: int = 16,
+                 num_ref_points: int = 16,
+                 num_classes: int | None = None, out_dim: int | None = None):
+        super().__init__(num_classes, out_dim)
+        self.time_embed = TimeEmbedding(embed_dim, rng, self)
+        self.num_ref_points = num_ref_points
+        self.value_proj = Linear(input_dim, hidden_dim, rng)
+        self.q_proj = Linear(embed_dim, embed_dim, rng)
+        self.k_proj = Linear(embed_dim, embed_dim, rng)
+        self.mixer = MLP(hidden_dim, [hidden_dim], hidden_dim, rng)
+        self.head = MLP(hidden_dim, [hidden_dim], num_classes or out_dim, rng)
+
+    def _attend(self, ref_times: np.ndarray, values, times, mask) -> Tensor:
+        """Time attention from ``ref_times`` (B, R) onto the observations."""
+        q = self.q_proj(self.time_embed(ref_times))        # (B, R, E)
+        k = self.k_proj(self.time_embed(np.asarray(times)))  # (B, n, E)
+        scores = (q @ k.transpose()) * (1.0 / np.sqrt(q.shape[-1]))
+        probs = masked_softmax(scores, np.asarray(mask)[:, None, :], axis=-1)
+        v = self.value_proj(Tensor(np.asarray(values)))    # (B, n, H)
+        return self.mixer(probs @ v)                       # (B, R, H)
+
+    def forward_classification(self, values, times, mask) -> Tensor:
+        refs = np.tile(np.linspace(0.0, 1.0, self.num_ref_points),
+                       (np.asarray(values).shape[0], 1))
+        rep = self._attend(refs, values, times, mask)
+        return self.head(rep.mean(axis=1))
+
+    def forward_regression(self, values, times, mask, query_times) -> Tensor:
+        rep = self._attend(np.asarray(query_times), values, times, mask)
+        return self.head(rep)

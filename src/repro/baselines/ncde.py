@@ -1,0 +1,93 @@
+"""Neural Controlled Differential Equation (Kidger et al. 2020).
+
+The second family the paper discusses (Fig. 1(b)): observations are
+interpolated into a continuous control path ``X(t)`` by natural cubic
+splines and the latent state follows
+
+    ``dh/dt = f(h) dX/dt``
+
+with a learned matrix-valued vector field ``f``.  This is the model whose
+limitation — "relying only on the two nearest observations at any given
+time point" — motivates the DHS; it is included beyond the paper's own
+baseline set so the Fig. 1 comparison is executable (see
+``examples/fig1_latent_continuity.py``).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..autodiff import Tensor
+from ..linalg.spline import NaturalCubicSpline
+from ..nn import Linear, MLP
+from ..core.model import interpolate_grid_states
+from .base import SequenceModel
+
+__all__ = ["NCDEBaseline"]
+
+
+class NCDEBaseline(SequenceModel):
+    def __init__(self, input_dim: int, hidden_dim: int,
+                 rng: np.random.Generator, grid_size: int = 24,
+                 num_classes: int | None = None, out_dim: int | None = None):
+        super().__init__(num_classes, out_dim)
+        self.hidden_dim = hidden_dim
+        self.control_dim = input_dim + 1  # time-augmented path
+        self.grid = np.linspace(0.0, 1.0, grid_size)
+        self.h0 = Linear(self.control_dim, hidden_dim, rng)
+        # f: R^H -> R^{H x C}, applied to dX/dt
+        self.field = MLP(hidden_dim, [hidden_dim],
+                         hidden_dim * self.control_dim, rng,
+                         final_activation="tanh")
+        self.head = MLP(hidden_dim, [hidden_dim], num_classes or out_dim,
+                        rng)
+
+    def _control_derivatives(self, values, times, mask) -> tuple[np.ndarray,
+                                                                 np.ndarray]:
+        """Spline dX/dt at grid midpoints: (B, L-1, C); plus X(t0): (B, C)."""
+        values = np.asarray(values)
+        times = np.asarray(times)
+        mask = np.asarray(mask)
+        batch = values.shape[0]
+        mids = (self.grid[:-1] + self.grid[1:]) / 2.0
+        dx = np.zeros((batch, len(mids), self.control_dim))
+        x0 = np.zeros((batch, self.control_dim))
+        for b in range(batch):
+            valid = mask[b] > 0
+            t = times[b, valid]
+            x = values[b, valid]
+            # deduplicate times (splines need strictly increasing knots)
+            t_unique, idx = np.unique(t, return_index=True)
+            path = np.concatenate([t_unique[:, None], x[idx]], axis=-1)
+            if len(t_unique) < 2:
+                x0[b] = path[0]
+                continue
+            spline = NaturalCubicSpline(t_unique, path)
+            dx[b] = spline.derivative(mids)
+            x0[b] = spline.evaluate(np.array([self.grid[0]]))[0]
+        return dx, x0
+
+    def _trajectory(self, values, times, mask) -> Tensor:
+        dx, x0 = self._control_derivatives(values, times, mask)
+        batch = dx.shape[0]
+        h = self.h0(Tensor(x0)).tanh()
+        from ..autodiff import stack
+        states = [h]
+        dt = np.diff(self.grid)
+        for k in range(len(self.grid) - 1):
+            f = self.field(h).reshape(batch, self.hidden_dim,
+                                      self.control_dim)
+            # midpoint rule for the CDE integral over the interval
+            h = h + (f @ Tensor(dx[:, k, :, None]))[:, :, 0] * float(dt[k])
+            states.append(h)
+        return stack(states, axis=0)  # (L, B, H)
+
+    def forward_classification(self, values, times, mask) -> Tensor:
+        traj = self._trajectory(values, times, mask)
+        return self.head(traj[-1])
+
+    def forward_regression(self, values, times, mask, query_times) -> Tensor:
+        traj = self._trajectory(values, times, mask)
+        at_q = interpolate_grid_states(traj, self.grid,
+                                       np.asarray(query_times))
+        return self.head(at_q)

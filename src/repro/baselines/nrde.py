@@ -1,0 +1,117 @@
+"""Neural Rough Differential Equations (Morrill et al. 2021).
+
+NRDE drives a latent CDE with the depth-2 *log-signature* of the input path
+over successive windows:
+
+* level 1: the total increment of the (time-augmented) path;
+* level 2: the Levy areas ``0.5 * integral (x_i dx_j - x_j dx_i)``.
+
+The latent update per window is the standard log-ODE step
+``h <- h + f(h) @ logsig`` with a learned vector field ``f``.  Log-signature
+extraction is plain numpy (it is a function of the data only), the vector
+field is trainable.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..autodiff import Tensor, stack
+from ..nn import Linear, MLP
+from .base import SequenceModel, previous_state_readout
+
+__all__ = ["NRDEBaseline", "logsignature_depth2"]
+
+
+def logsignature_depth2(path: np.ndarray) -> np.ndarray:
+    """Depth-2 log-signature of a path (steps, D).
+
+    Returns a vector of length ``D + D(D-1)/2``: increments then the
+    strictly-upper-triangular Levy areas.
+    """
+    path = np.asarray(path, dtype=np.float64)
+    if len(path) < 2:
+        d = path.shape[-1]
+        return np.zeros(d + d * (d - 1) // 2)
+    inc = np.diff(path, axis=0)              # (steps-1, D)
+    total = inc.sum(axis=0)                  # level 1
+    # Levy area: 0.5 * sum_k (X_k - X_0) ^ dX_k (antisymmetric part).
+    rel = path[:-1] - path[0]
+    outer = rel.T @ inc                      # (D, D): sum_k rel_k inc_k^T
+    area = 0.5 * (outer - outer.T)
+    iu = np.triu_indices(path.shape[-1], k=1)
+    return np.concatenate([total, area[iu]])
+
+
+class NRDEBaseline(SequenceModel):
+    """Windowed log-ODE method with a neural vector field."""
+
+    def __init__(self, input_dim: int, hidden_dim: int,
+                 rng: np.random.Generator, num_windows: int = 12,
+                 sig_proj: int = 8,
+                 num_classes: int | None = None, out_dim: int | None = None):
+        super().__init__(num_classes, out_dim)
+        self.hidden_dim = hidden_dim
+        self.num_windows = num_windows
+        self.sig_proj = sig_proj
+        aug = input_dim + 1  # time-augmented path
+        self.sig_dim = aug + aug * (aug - 1) // 2
+        # Project the (possibly large) log-signature to a fixed width, then
+        # apply the vector field f: h -> (H x sig_proj).
+        self.proj = Linear(self.sig_dim, sig_proj, rng)
+        self.field = MLP(hidden_dim, [hidden_dim], hidden_dim * sig_proj, rng)
+        self.h0 = Linear(aug, hidden_dim, rng)
+        head_in = hidden_dim if num_classes is not None else hidden_dim + 1
+        self.head = MLP(head_in, [hidden_dim], num_classes or out_dim, rng)
+
+    def _window_logsigs(self, values, times, mask) -> tuple[np.ndarray, np.ndarray]:
+        """Per-sequence log-signatures over uniform windows of [0, 1].
+
+        Returns (logsigs (B, W, sig_dim), window_ends (W,)).
+        """
+        values = np.asarray(values)
+        times = np.asarray(times)
+        mask = np.asarray(mask)
+        batch = values.shape[0]
+        edges = np.linspace(0.0, 1.0, self.num_windows + 1)
+        sigs = np.zeros((batch, self.num_windows, self.sig_dim))
+        for b in range(batch):
+            valid = mask[b] > 0
+            t = times[b, valid]
+            x = values[b, valid]
+            path = np.concatenate([t[:, None], x], axis=-1)
+            for w in range(self.num_windows):
+                lo, hi = edges[w], edges[w + 1]
+                inside = (t >= lo) & (t <= hi)
+                if inside.sum() >= 2:
+                    sigs[b, w] = logsignature_depth2(path[inside])
+        return sigs, edges[1:]
+
+    def _trajectory(self, values, times, mask) -> Tensor:
+        sigs, _ = self._window_logsigs(values, times, mask)
+        batch = sigs.shape[0]
+        # Initial state from the first observation of the augmented path.
+        first = np.concatenate([np.asarray(times)[:, :1],
+                                np.asarray(values)[:, 0, :]], axis=-1)
+        h = self.h0(Tensor(first)).tanh()
+        states = []
+        for w in range(self.num_windows):
+            u = self.proj(Tensor(sigs[:, w]))                    # (B, P)
+            f = self.field(h).reshape(batch, self.hidden_dim, self.sig_proj)
+            h = h + (f @ u[:, :, None])[:, :, 0]
+            states.append(h)
+        return stack(states, axis=1)  # (B, W, H)
+
+    def forward_classification(self, values, times, mask) -> Tensor:
+        states = self._trajectory(values, times, mask)
+        return self.head(states[:, -1, :])
+
+    def forward_regression(self, values, times, mask, query_times) -> Tensor:
+        states = self._trajectory(values, times, mask)
+        batch = states.shape[0]
+        ends = np.tile(np.linspace(0.0, 1.0, self.num_windows + 1)[1:],
+                       (batch, 1))
+        readout = previous_state_readout(states, ends,
+                                         np.ones_like(ends),
+                                         np.asarray(query_times))
+        return self.head(readout)

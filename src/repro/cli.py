@@ -1,0 +1,167 @@
+"""Command-line interface for training and evaluating models.
+
+Examples::
+
+    python -m repro.cli train --model DIFFODE --dataset synthetic \
+        --epochs 30 --save diffode.npz
+    python -m repro.cli train --model ODE-RNN --dataset ushcn \
+        --task interpolation
+    python -m repro.cli evaluate --checkpoint diffode.npz \
+        --dataset synthetic
+    python -m repro.cli list
+
+Dataset sizes follow the scale preset (``--scale`` / ``REPRO_SCALE``).
+"""
+
+from __future__ import annotations
+
+import argparse
+
+import numpy as np
+
+from .data import Dataset, train_val_test_split
+from .experiments import (
+    ALL_MODELS,
+    build_model,
+    classification_dataset,
+    get_scale,
+    regression_dataset,
+)
+from .training import TrainConfig, Trainer, load_diffode, save_diffode
+
+__all__ = ["main", "build_parser"]
+
+_CLS_DATASETS = {"synthetic": "Synthetic", "lorenz63": "Lorenz63",
+                 "lorenz96": "Lorenz96"}
+_REG_DATASETS = {"ushcn": "USHCN", "physionet": "PhysioNet",
+                 "largest": "LargeST"}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.cli",
+        description="Train/evaluate DIFFODE and baselines.")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    train = sub.add_parser("train", help="train a model")
+    train.add_argument("--model", default="DIFFODE",
+                       help=f"one of {ALL_MODELS}")
+    train.add_argument("--dataset", required=True,
+                       choices=sorted(_CLS_DATASETS) + sorted(_REG_DATASETS))
+    train.add_argument("--task", default=None,
+                       choices=["classification", "interpolation",
+                                "extrapolation"],
+                       help="defaults to the dataset's natural task")
+    train.add_argument("--scale", default=None,
+                       choices=["smoke", "bench", "paper"])
+    train.add_argument("--epochs", type=int, default=None)
+    train.add_argument("--lr", type=float, default=None)
+    train.add_argument("--seed", type=int, default=0)
+    train.add_argument("--save", default=None,
+                       help="write a .npz checkpoint (DIFFODE only)")
+
+    ev = sub.add_parser("evaluate", help="evaluate a DIFFODE checkpoint")
+    ev.add_argument("--checkpoint", required=True)
+    ev.add_argument("--dataset", required=True,
+                    choices=sorted(_CLS_DATASETS) + sorted(_REG_DATASETS))
+    ev.add_argument("--task", default=None,
+                    choices=["classification", "interpolation",
+                             "extrapolation"])
+    ev.add_argument("--scale", default=None,
+                    choices=["smoke", "bench", "paper"])
+    ev.add_argument("--seed", type=int, default=0)
+
+    sub.add_parser("list", help="list available models and datasets")
+    return parser
+
+
+def _resolve_dataset(name: str, task: str | None, scale,
+                     seed: int) -> tuple[Dataset, str]:
+    if name in _CLS_DATASETS:
+        if task not in (None, "classification"):
+            raise SystemExit(f"{name} is a classification dataset")
+        return (classification_dataset(_CLS_DATASETS[name], scale,
+                                       seed=seed), "classification")
+    task = task or "extrapolation"
+    if task == "classification":
+        raise SystemExit(f"{name} supports interpolation/extrapolation")
+    return (regression_dataset(_REG_DATASETS[name], task, scale, seed=seed),
+            "regression")
+
+
+def _split(dataset: Dataset, task: str, seed: int):
+    rng = np.random.default_rng(seed + 1)
+    if task == "classification":
+        return train_val_test_split(dataset, 0.5, 0.25, rng)
+    return train_val_test_split(dataset, 0.6, 0.2, rng)
+
+
+def _cmd_train(args) -> int:
+    scale = get_scale(args.scale)
+    dataset, task = _resolve_dataset(args.dataset, args.task, scale,
+                                     args.seed)
+    train_set, val_set, test_set = _split(dataset, task, args.seed)
+    model = build_model(args.model, dataset, scale, seed=args.seed)
+    epochs = args.epochs or (scale.epochs_cls if task == "classification"
+                             else scale.epochs_reg)
+    config = TrainConfig(
+        epochs=epochs,
+        batch_size=(scale.batch_cls if task == "classification"
+                    else scale.batch_reg),
+        lr=args.lr or scale.lr, weight_decay=scale.weight_decay,
+        patience=scale.patience, seed=args.seed, verbose=True)
+    trainer = Trainer(model, task, config)
+    print(f"training {args.model} on {dataset.name} "
+          f"({len(train_set)} train series, {epochs} epochs max)")
+    trainer.fit(train_set, val_set)
+    result = trainer.evaluate(test_set)
+    if task == "classification":
+        print(f"test accuracy: {result.accuracy:.4f}")
+    else:
+        print(f"test MSE: {result.mse:.4f}")
+    if args.save:
+        if args.model != "DIFFODE":
+            raise SystemExit("--save currently supports DIFFODE only")
+        save_diffode(model, args.save)
+        print(f"checkpoint written to {args.save}")
+    return 0
+
+
+def _cmd_evaluate(args) -> int:
+    scale = get_scale(args.scale)
+    model = load_diffode(args.checkpoint)
+    task = ("classification" if model.config.num_classes is not None
+            else "regression")
+    want = args.task
+    if task == "classification" and want in ("interpolation",
+                                             "extrapolation"):
+        raise SystemExit("checkpoint is a classification model")
+    dataset, _ = _resolve_dataset(args.dataset, want, scale, args.seed)
+    _, _, test_set = _split(dataset, task, args.seed)
+    trainer = Trainer(model, task)
+    result = trainer.evaluate(test_set)
+    if task == "classification":
+        print(f"test accuracy: {result.accuracy:.4f}")
+    else:
+        print(f"test MSE: {result.mse:.4f}")
+    return 0
+
+
+def _cmd_list(_args) -> int:
+    print("models:")
+    for name in ALL_MODELS:
+        print(f"  {name}")
+    print("classification datasets:", ", ".join(sorted(_CLS_DATASETS)))
+    print("regression datasets:    ", ", ".join(sorted(_REG_DATASETS)))
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    handlers = {"train": _cmd_train, "evaluate": _cmd_evaluate,
+                "list": _cmd_list}
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

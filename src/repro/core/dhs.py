@@ -1,0 +1,256 @@
+"""Differentiable Hidden State (DHS): forward attention and its inversion.
+
+Implements Sections III-B and III-C of the paper:
+
+* :func:`dhs_attention` - Eq. 5: ``a = zZ^T/sqrt(d)``, ``p = softmax(a)``,
+  ``S = pZ``.
+* :class:`DHSContext` - per-batch constants derived from ``Z`` that the ODE
+  right-hand side needs at every integration step: the Moore-Penrose inverse
+  ``(Z^T)^+`` and the null-space projector ``A_p = I - (Z^T)^+ Z^T``.
+* the three strategies for recovering ``p_t`` from ``S_t`` (RQ5 / Table VI):
+  ``max_hoyer`` (Theorem 2, closed form Eq. 32), ``min_norm`` (the plain
+  least-norm solution ``b_p``), and ``ada_h`` (trainable ``h``);
+* the exact KKT solver of Theorem 1 (``solve_p_exact_kkt``) for small ``n``;
+* recovery of ``z_t`` from ``p_t`` (Eq. 34), in both the literal pinv form
+  and an O(n) closed form (see DESIGN.md section 4).
+
+Masking convention: every formula that contains ``I_n`` or the all-ones
+vector ``J`` in the paper uses ``diag(m)`` / ``m`` instead, where ``m`` is
+the per-sequence observation mask.  Padded coordinates then remain exactly
+zero through the whole pipeline.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+
+import numpy as np
+
+from ..autodiff import Tensor, as_tensor, masked_softmax, softmax
+from ..linalg import pinv_full_row_rank
+
+__all__ = [
+    "dhs_attention",
+    "DHSContext",
+    "solve_p_min_norm",
+    "solve_p_max_hoyer",
+    "solve_p_adaptive",
+    "solve_p_exact_kkt",
+    "recover_z",
+    "recover_z_literal",
+    "P_SOLVERS",
+]
+
+_EPS = 1e-9
+
+
+def dhs_attention(z_query: Tensor, z_all: Tensor,
+                  mask: np.ndarray | None = None) -> tuple[Tensor, Tensor]:
+    """Forward DHS (Eq. 5): returns ``(S, p)``.
+
+    Parameters
+    ----------
+    z_query:
+        Latent query ``z_t`` of shape (B, d).
+    z_all:
+        Latent representations ``Z`` of all observations, (B, n, d).
+    mask:
+        Optional (B, n) validity mask.
+    """
+    d = z_all.shape[-1]
+    scores = (z_query[:, None, :] @ z_all.transpose()) * (1.0 / np.sqrt(d))
+    scores = scores[:, 0, :]  # (B, n)
+    if mask is not None:
+        p = masked_softmax(scores, mask, axis=-1)
+    else:
+        p = softmax(scores, axis=-1)
+    s = (p[:, None, :] @ z_all)[:, 0, :]  # (B, d)
+    return s, p
+
+
+class DHSContext:
+    """Batch constants for integrating the DHS dynamics.
+
+    Built once per forward pass from the encoder output ``Z``; consumed by
+    every evaluation of the ODE right-hand side.
+
+    Attributes
+    ----------
+    z : Tensor (B, n, d)
+        Latent representations (masked rows are zero).
+    zt_pinv : Tensor (B, n, d)
+        ``(Z^T)^+`` computed with the full-row-rank identity.
+    a_null : Tensor (B, n, n)
+        ``A_p = diag(m) - (Z^T)^+ Z^T`` (null-space projector of ``Z^T``).
+    mask : ndarray (B, n)
+        Observation mask (all ones when no padding).
+    """
+
+    def __init__(self, z: Tensor, mask: np.ndarray | None = None,
+                 ridge: float = 1e-6):
+        z = as_tensor(z)
+        batch, n, d = z.shape
+        if n <= d:
+            raise ValueError(
+                f"DHS requires more observations than latent dims (n > d); "
+                f"got n={n}, d={d}")
+        if mask is None:
+            mask = np.ones((batch, n))
+        self.mask = np.asarray(mask, dtype=np.float64)
+        # Zero out padded rows so they do not contribute to the Gram matrix.
+        z = z * Tensor(self.mask[..., None])
+        self.z = z
+        self.d = d
+        self.n = n
+        self.zt_pinv = pinv_full_row_rank(z, ridge=ridge)
+        eye = np.zeros((batch, n, n))
+        idx = np.arange(n)
+        eye[:, idx, idx] = self.mask
+        self.a_null = Tensor(eye) - self.zt_pinv @ z.transpose()
+        # Cached pieces of the Eq. 32 closed form.
+        m_col = Tensor(self.mask[..., None])          # (B, n, 1)
+        self._a_ones = self.a_null @ m_col            # A_p J      (B, n, 1)
+        denom = (m_col.transpose() @ self._a_ones)    # J A_p J    (B, 1, 1)
+        self._denom = denom[:, 0, :] + _EPS           # (B, 1)
+
+    # ------------------------------------------------------------------
+    def least_norm_p(self, s: Tensor) -> Tensor:
+        """``b_p = ((Z^T)^+ S^T)^T`` - the minimum-norm solution, (B, n)."""
+        return (self.zt_pinv @ s[:, :, None])[:, :, 0]
+
+
+def solve_p_min_norm(ctx: DHSContext, s: Tensor, **_unused) -> Tensor:
+    """``minNorm`` variant: take ``p = b_p`` directly (Section IV-F)."""
+    return ctx.least_norm_p(s)
+
+
+def solve_p_max_hoyer(ctx: DHSContext, s: Tensor, **_unused) -> Tensor:
+    """``maxHoyer`` variant: Theorem 2 closed form (Eq. 32).
+
+    ``p^T = b_p - (J b_p - 1) A_p J / (J A_p J)`` with ``J -> mask``.
+    """
+    b = ctx.least_norm_p(s)                                  # (B, n)
+    excess = (b * Tensor(ctx.mask)).sum(axis=-1, keepdims=True) - 1.0
+    correction = ctx._a_ones[:, :, 0] * (excess / ctx._denom)
+    return b - correction
+
+
+def solve_p_adaptive(ctx: DHSContext, s: Tensor,
+                     h: Tensor | None = None, **_unused) -> Tensor:
+    """``adaH`` variant: ``p = b_p + A_p h`` with a trainable ``h`` (Eq. 13)."""
+    if h is None:
+        raise ValueError("ada_h solver requires the trainable vector h")
+    b = ctx.least_norm_p(s)
+    correction = (ctx.a_null @ h.reshape(-1)[None, :, None])[:, :, 0]
+    return b + correction * Tensor(ctx.mask)
+
+
+P_SOLVERS = {
+    "min_norm": solve_p_min_norm,
+    "max_hoyer": solve_p_max_hoyer,
+    "ada_h": solve_p_adaptive,
+}
+
+
+def solve_p_exact_kkt(b: np.ndarray, a: np.ndarray,
+                      max_n: int = 14, tol: float = 1e-8) -> np.ndarray:
+    """Theorem 1: exact solution of Eq. 15 by KKT active-set enumeration.
+
+    Maximizes ``p p^T`` subject to ``p >= 0``, ``sum(p) = 1`` and
+    ``p = b + A h``.  Enumerates all subsets of active (``p_i = 0``)
+    constraints - the O(2^n) procedure of the paper - so it is only usable
+    for small ``n``; the test-suite uses it to validate the relaxed
+    Theorem-2 formula.
+
+    Parameters
+    ----------
+    b : (n,) least-norm solution ``b_p``.
+    a : (n, n) null-space projector ``A_p``.
+    """
+    n = b.shape[0]
+    if n > max_n:
+        raise ValueError(f"exact KKT enumeration is O(2^n); n={n} > {max_n}")
+    alpha_rows = a.sum(axis=1)
+    alpha = float(a.sum())
+    if abs(alpha) < tol:
+        raise np.linalg.LinAlgError(
+            "sum(A) ~= 0: the all-ones vector is (numerically) in the row "
+            "space of Z^T, the constraint sum(p)=1 cannot be adjusted")
+
+    best_p: np.ndarray | None = None
+    best_val = -np.inf
+    ones = np.ones(n)
+
+    for k in range(0, n):  # size of the active set (mu != 0)
+        for active in combinations(range(n), k):
+            idx = np.array(active, dtype=int)
+            mu = np.zeros(n)
+            if k > 0:
+                a_nn = a[np.ix_(idx, idx)]
+                alpha_n = alpha_rows[idx]
+                lhs = 0.5 * (a_nn - np.outer(alpha_n, alpha_n) / alpha)
+                rhs = b[idx] - (b.sum() - 1.0) / alpha * alpha_n
+                mu_n, *_ = np.linalg.lstsq(lhs, rhs, rcond=None)
+                if not np.allclose(lhs @ mu_n, rhs, atol=1e-6):
+                    continue  # inconsistent active set
+                mu[idx] = mu_n
+            lam = 2.0 / alpha * (b.sum() - 1.0 - 0.5 * (alpha_rows * mu).sum())
+            # From A(2h + mu + lambda J) = 0: A h = -A(mu + lambda J)/2.
+            p = b - a @ (mu + lam * ones) / 2.0
+            feasible = (
+                p.min() >= -1e-7
+                and abs(p.sum() - 1.0) < 1e-6
+                and mu.min() >= -1e-7
+                and (k == 0 or np.abs(p[idx]).max() < 1e-6)
+            )
+            if feasible:
+                val = float(p @ p)
+                if val > best_val:
+                    best_val = val
+                    best_p = p
+    if best_p is None:
+        raise RuntimeError("no feasible KKT point found")
+    return best_p
+
+
+def recover_z(p: Tensor, ctx: DHSContext, h2: Tensor) -> Tensor:
+    """Recover ``z_t`` from ``p_t`` (Eq. 34) via the O(n) closed form.
+
+    With ``M = J_{n,1} p - I_n`` and ``p`` summing to one, ``M^2 = -M`` and
+    ``range(M) = { y : p^T y = 0 }``; therefore
+    ``I - M M^+ = p p^T / (p^T p)`` and Eq. 34 collapses to
+
+        ``a_h = (h2 . p / p . p) p - J``,  ``z = sqrt(d) a_h (Z^T)^+``.
+
+    Equality with the literal pinv form is covered by the tests.
+    """
+    mask = Tensor(ctx.mask)
+    p = p * mask
+    pp = (p * p).sum(axis=-1, keepdims=True) + _EPS
+    hp = (p * h2.reshape(-1)[None, :]).sum(axis=-1, keepdims=True)
+    a_h = p * (hp / pp) - mask
+    return (a_h[:, None, :] @ ctx.zt_pinv)[:, 0, :] * np.sqrt(ctx.d)
+
+
+def recover_z_literal(p: Tensor, ctx: DHSContext, h2: Tensor) -> Tensor:
+    """Recover ``z_t`` (Eq. 34) literally, with an explicit Moore-Penrose
+    inverse of ``(J_{n,1} p - I_n)`` at each call.  O(n^3); used only by
+    tests to validate :func:`recover_z`.
+    """
+    batch, n, _ = ctx.z.shape
+    mask = Tensor(ctx.mask)
+    p = p * mask
+    # Renormalize so sum(p) = 1 *exactly*: the rank deficiency of
+    # ``J p - I`` (which the closed form exploits) holds only then, and a
+    # 1e-10 drift in the sum otherwise turns a structurally zero singular
+    # value into a huge spurious direction of the pseudo-inverse.
+    p = p * (1.0 / p.sum(axis=-1, keepdims=True))
+    eye = np.zeros((batch, n, n))
+    idx = np.arange(n)
+    eye[:, idx, idx] = ctx.mask
+    ones_col = Tensor(ctx.mask[..., None])  # J_{n,1} restricted to valid rows
+    m_mat = ones_col @ p[:, None, :] - Tensor(eye)
+    proj = Tensor(eye) - m_mat @ m_mat.pinv(rcond=1e-8)
+    a_h = (h2.reshape(-1)[None, None, :] * Tensor(ctx.mask[:, None, :])) @ proj \
+        - Tensor(ctx.mask[:, None, :])
+    return (a_h @ ctx.zt_pinv)[:, 0, :] * np.sqrt(ctx.d)

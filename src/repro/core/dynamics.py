@@ -1,0 +1,161 @@
+"""ODE right-hand sides for DIFFODE.
+
+:class:`DHSDynamics` implements ``F_s`` (Eq. 12 with the backward-computed
+``p_t`` and ``z_t`` of Eqs. 32/34); :class:`AugmentedDynamics` couples it
+with the HiPPO output system (Eq. 36).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..autodiff import Tensor, concat
+from ..linalg import hippo_legt
+from ..nn import MLP, Linear, Module, Parameter
+from .dhs import DHSContext, P_SOLVERS, recover_z
+
+__all__ = ["DHSDynamics", "AugmentedDynamics", "PlainLatentDynamics"]
+
+
+class DHSDynamics(Module):
+    """``dS/dt = phi(z_t, t) Z^T (P_diag - p^T p) Z / sqrt(d)`` (Eq. 12).
+
+    Supports multi-head operation (Fig. 6): the latent dimension is split
+    into ``num_heads`` slices, each with its own attention context, while
+    the dynamics network ``phi`` is shared across heads.
+
+    The trainable vectors ``h`` (adaH solver, Eq. 13) and ``h2`` (Eq. 34)
+    are position-indexed parameters of length ``max_len``, sliced to the
+    current number of observations - the paper leaves their handling of
+    variable-length sequences unspecified, and this is the natural choice.
+    """
+
+    def __init__(self, latent_dim: int, hidden_dim: int,
+                 rng: np.random.Generator, p_solver: str = "max_hoyer",
+                 num_heads: int = 1, max_len: int = 512,
+                 ds_clip: float | None = 50.0):
+        super().__init__()
+        if p_solver not in P_SOLVERS:
+            raise ValueError(f"unknown p_solver {p_solver!r}; "
+                             f"choose from {sorted(P_SOLVERS)}")
+        if latent_dim % num_heads != 0:
+            raise ValueError("latent_dim must be divisible by num_heads")
+        self.latent_dim = latent_dim
+        self.num_heads = num_heads
+        self.head_dim = latent_dim // num_heads
+        self.p_solver = p_solver
+        #: stability guard: |dS/dt| is capped here because the Eq. 12
+        #: coupling grows with ||Z||^2, and once training pushes the latent
+        #: scale up the ODE can turn stiff enough to overflow explicit
+        #: solvers.  The cap is far above the operating range on
+        #: standardized data, so it only binds when integration is already
+        #: diverging.
+        self.ds_clip = ds_clip
+        self.phi = MLP(latent_dim + 1, [hidden_dim], latent_dim, rng)
+        self.h = Parameter(rng.normal(scale=0.1, size=(max_len,)), name="h")
+        self.h2 = Parameter(rng.normal(scale=0.1, size=(max_len,)), name="h2")
+        self._contexts: list[DHSContext] | None = None
+
+    # ------------------------------------------------------------------
+    def bind(self, contexts: list[DHSContext]) -> None:
+        """Attach the per-head attention contexts for the current batch."""
+        if len(contexts) != self.num_heads:
+            raise ValueError(f"expected {self.num_heads} contexts, "
+                             f"got {len(contexts)}")
+        self._contexts = contexts
+
+    def solve_p(self, ctx: DHSContext, s_head: Tensor) -> Tensor:
+        solver = P_SOLVERS[self.p_solver]
+        return solver(ctx, s_head, h=self.h[:ctx.n])
+
+    # ------------------------------------------------------------------
+    def forward(self, t: float, s: Tensor) -> Tensor:
+        """Evaluate ``dS/dt`` at scalar time ``t`` for states ``s`` (B, d)."""
+        if self._contexts is None:
+            raise RuntimeError("DHSDynamics.bind() must be called first")
+        batch = s.shape[0]
+        hd = self.head_dim
+        z_parts: list[Tensor] = []
+        head_data: list[tuple[DHSContext, Tensor]] = []
+        for head, ctx in enumerate(self._contexts):
+            s_head = s[:, head * hd:(head + 1) * hd]
+            p = self.solve_p(ctx, s_head)
+            z_parts.append(recover_z(p, ctx, self.h2[:ctx.n]))
+            head_data.append((ctx, p))
+
+        z = concat(z_parts, axis=-1)
+        t_col = Tensor(np.full((batch, 1), float(t)))
+        dz = self.phi(concat([z, t_col], axis=-1))  # (B, latent_dim)
+
+        ds_parts: list[Tensor] = []
+        for head, (ctx, p) in enumerate(head_data):
+            dz_head = dz[:, head * hd:(head + 1) * hd]
+            # Z^T P_diag Z computed as (Z * p)^T Z; Z^T p^T p Z = s~^T s~
+            # with s~ = pZ (equals S up to the ridge regularizer).
+            zw = ctx.z * p[:, :, None]
+            m1 = zw.transpose() @ ctx.z                   # (B, hd, hd)
+            s_tilde = (p[:, None, :] @ ctx.z)             # (B, 1, hd)
+            m2 = s_tilde.transpose() @ s_tilde            # (B, hd, hd)
+            coupling = (m1 - m2) * (1.0 / np.sqrt(hd))
+            ds_parts.append((dz_head[:, None, :] @ coupling)[:, 0, :])
+        ds = concat(ds_parts, axis=-1)
+        if self.ds_clip is not None:
+            ds = ds.clip(-self.ds_clip, self.ds_clip)
+        return ds
+
+
+class PlainLatentDynamics(Module):
+    """Ablation "w/o Attn": a vanilla neural ODE ``dS/dt = phi(S, t)``.
+
+    Removing the attention collapses DIFFODE to a NODE feeding the HiPPO
+    head, which the paper notes is "similar to HiPPO-RNN" (Section IV-G).
+    """
+
+    def __init__(self, latent_dim: int, hidden_dim: int,
+                 rng: np.random.Generator):
+        super().__init__()
+        self.phi = MLP(latent_dim + 1, [hidden_dim], latent_dim, rng)
+
+    def bind(self, contexts) -> None:  # interface parity with DHSDynamics
+        return None
+
+    def forward(self, t: float, s: Tensor) -> Tensor:
+        t_col = Tensor(np.full((s.shape[0], 1), float(t)))
+        return self.phi(concat([s, t_col], axis=-1))
+
+
+class AugmentedDynamics(Module):
+    """Joint system of Eq. 36: state ``[S_t, c_t, r_t]``.
+
+    * ``dS/dt`` - the DHS dynamics (or the plain-NODE ablation);
+    * ``dc/dt = A c + B (W_r r)`` - HiPPO-LegT memory of the information
+      state;
+    * ``dr/dt = f_r(S || c || r)`` - the information state itself.
+    """
+
+    def __init__(self, latent_dynamics: Module, latent_dim: int,
+                 hippo_dim: int, info_dim: int, hidden_dim: int,
+                 rng: np.random.Generator, window: float = 1.0):
+        super().__init__()
+        self.latent = latent_dynamics
+        self.latent_dim = latent_dim
+        self.hippo_dim = hippo_dim
+        self.info_dim = info_dim
+        a, b = hippo_legt(hippo_dim, theta=window)
+        self._a_t = a.T.copy()           # apply as c @ A^T
+        self._b = b.copy()
+        self.w_r = Linear(info_dim, 1, rng)
+        self.f_r = MLP(latent_dim + hippo_dim + info_dim, [hidden_dim],
+                       info_dim, rng)
+
+    def split(self, state: Tensor) -> tuple[Tensor, Tensor, Tensor]:
+        d, dc = self.latent_dim, self.hippo_dim
+        return state[:, :d], state[:, d:d + dc], state[:, d + dc:]
+
+    def forward(self, t: float, state: Tensor) -> Tensor:
+        s, c, r = self.split(state)
+        ds = self.latent(t, s)
+        u = self.w_r(r)                                   # (B, 1)
+        dc = c @ Tensor(self._a_t) + u * Tensor(self._b)
+        dr = self.f_r(concat([s, c, r], axis=-1))
+        return concat([ds, dc, dr], axis=-1)

@@ -1,0 +1,211 @@
+"""The DIFFODE model (Fig. 2 of the paper).
+
+Pipeline per batch of irregular series:
+
+1. the input network ``psi`` (one-layer GRU, Eq. 4) encodes observations
+   ``(x_t, dt, t)`` into latent representations ``Z``;
+2. per attention head, a :class:`~repro.core.dhs.DHSContext` precomputes the
+   generalized-inverse constants;
+3. the initial DHS ``S_0`` comes from the *forward* attention (Eq. 5) with
+   the first observation's latent as query;
+4. ``[S, c, r]`` is integrated with the implicit Adams solver through the
+   :class:`~repro.core.dynamics.AugmentedDynamics` (Eq. 36);
+5. a small MLP reads out class logits or per-time predictions.
+
+Readout happens on a uniform grid over the normalized time axis [0, 1];
+values at arbitrary query times are linear interpolations of the two
+neighbouring grid states (differentiable gather + blend).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..autodiff import Tensor, concat
+from ..nn import GRU, Linear, MLP, Module
+from ..odeint import odeint
+from .config import DiffODEConfig
+from .dhs import DHSContext, dhs_attention
+from .dynamics import AugmentedDynamics, DHSDynamics, PlainLatentDynamics
+
+__all__ = ["DiffODE", "interpolate_grid_states"]
+
+
+def interpolate_grid_states(states: Tensor, grid: np.ndarray,
+                            query_times: np.ndarray) -> Tensor:
+    """Linearly interpolate ODE states at arbitrary per-sequence times.
+
+    Parameters
+    ----------
+    states:
+        (L, B, D) solution on the uniform ``grid``.
+    grid:
+        (L,) strictly increasing grid times.
+    query_times:
+        (B, nq) times to evaluate at (clipped into the grid range).
+
+    Returns
+    -------
+    Tensor (B, nq, D).
+    """
+    grid = np.asarray(grid, dtype=np.float64)
+    q = np.clip(np.asarray(query_times, dtype=np.float64),
+                grid[0], grid[-1])
+    # Position of each query on the grid.
+    idx_hi = np.searchsorted(grid, q, side="left")
+    idx_hi = np.clip(idx_hi, 1, len(grid) - 1)
+    idx_lo = idx_hi - 1
+    denom = grid[idx_hi] - grid[idx_lo]
+    w_hi = (q - grid[idx_lo]) / np.where(denom > 0, denom, 1.0)
+    w_lo = 1.0 - w_hi
+
+    batch_idx = np.arange(q.shape[0])[:, None]
+    lo = states[idx_lo, batch_idx]     # (B, nq, D)
+    hi = states[idx_hi, batch_idx]
+    return lo * Tensor(w_lo[..., None]) + hi * Tensor(w_hi[..., None])
+
+
+class DiffODE(Module):
+    """Differentiable-hidden-state neural ODE for irregular time series."""
+
+    def __init__(self, config: DiffODEConfig):
+        super().__init__()
+        self.config = config
+        rng = np.random.default_rng(config.seed)
+        d = config.latent_dim
+
+        if config.encoder == "gru":
+            # psi(x_t, t, E(x_t)): the GRU recurrence carries the history.
+            # A linear projection follows so the latent scale is unbounded:
+            # the Eq. 12 coupling Z^T(P - p^T p)Z / sqrt(d) scales with
+            # ||Z||^2, and a tanh-bounded Z would freeze the DHS dynamics.
+            self.encoder = GRU(config.input_dim + 2, config.hidden_dim, rng)
+            self.enc_proj = Linear(config.hidden_dim, d, rng)
+        elif config.encoder == "mlp":
+            # Fig. 5 ablation: E(x_t) = empty set, pointwise encoding.
+            self.encoder = MLP(config.input_dim + 1, [config.hidden_dim], d, rng)
+        else:
+            raise ValueError(f"unknown encoder {config.encoder!r}")
+
+        if config.use_attention:
+            latent_dyn = DHSDynamics(
+                d, config.hidden_dim, rng, p_solver=config.p_solver,
+                num_heads=config.num_heads, max_len=config.max_len)
+        else:
+            latent_dyn = PlainLatentDynamics(d, config.hidden_dim, rng)
+        self.latent_dynamics = latent_dyn
+
+        if config.use_hippo:
+            self.dynamics = AugmentedDynamics(
+                latent_dyn, d, config.hippo_dim, config.info_dim,
+                config.hidden_dim, rng)
+            state_dim = d + config.hippo_dim + config.info_dim
+        else:
+            self.dynamics = latent_dyn
+            state_dim = d
+        self.state_dim = state_dim
+
+        if config.num_classes is not None:
+            # DHS pooled over all integration points + final state (Eq. 35).
+            self.head = MLP(d + state_dim, [config.hidden_dim],
+                            config.num_classes, rng)
+        else:
+            self.head = MLP(state_dim, [config.hidden_dim],
+                            config.out_dim, rng)
+
+    # ------------------------------------------------------------------
+    # encoding
+    # ------------------------------------------------------------------
+    def encode(self, values: np.ndarray, times: np.ndarray,
+               mask: np.ndarray) -> Tensor:
+        """Run ``psi`` over the observations; returns ``Z`` (B, n, d)."""
+        values = np.asarray(values, dtype=np.float64)
+        times = np.asarray(times, dtype=np.float64)
+        dt = np.diff(times, axis=1, prepend=times[:, :1])
+        feats = np.concatenate([values, dt[..., None], times[..., None]],
+                               axis=-1)
+        if self.config.encoder == "gru":
+            return self.enc_proj(self.encoder(Tensor(feats)))
+        # MLP encoder sees (x_t, t) only.
+        feats = np.concatenate([values, times[..., None]], axis=-1)
+        return self.encoder(Tensor(feats))
+
+    def build_contexts(self, z: Tensor, mask: np.ndarray) -> list[DHSContext]:
+        """One attention context per head over the head's latent slice."""
+        heads = self.config.num_heads
+        hd = self.config.latent_dim // heads
+        return [DHSContext(z[:, :, i * hd:(i + 1) * hd], mask,
+                           ridge=self.config.ridge)
+                for i in range(heads)]
+
+    def initial_state(self, z: Tensor, contexts: list[DHSContext]) -> Tensor:
+        """``S_0`` from forward attention (plus zero HiPPO/info states)."""
+        batch = z.shape[0]
+        if self.config.use_attention:
+            hd = self.config.latent_dim // self.config.num_heads
+            parts = []
+            for head, ctx in enumerate(contexts):
+                q = z[:, 0, head * hd:(head + 1) * hd]
+                s0, _ = dhs_attention(q, ctx.z, ctx.mask)
+                parts.append(s0)
+            s0 = concat(parts, axis=-1)
+        else:
+            s0 = z[:, 0, :]
+        if not self.config.use_hippo:
+            return s0
+        zeros = Tensor(np.zeros((batch,
+                                 self.config.hippo_dim + self.config.info_dim)))
+        return concat([s0, zeros], axis=-1)
+
+    # ------------------------------------------------------------------
+    # integration + readout
+    # ------------------------------------------------------------------
+    def grid(self) -> np.ndarray:
+        steps = max(2, int(round(1.0 / self.config.step_size)) + 1)
+        return np.linspace(0.0, 1.0, steps)
+
+    def integrate(self, values: np.ndarray, times: np.ndarray,
+                  mask: np.ndarray) -> tuple[Tensor, np.ndarray]:
+        """Encode, bind contexts and solve the ODE on the readout grid."""
+        z = self.encode(values, times, mask)
+        contexts = (self.build_contexts(z, mask)
+                    if self.config.use_attention else [])
+        self.latent_dynamics.bind(contexts)
+        state0 = self.initial_state(z, contexts)
+        grid = self.grid()
+        states = odeint(self.dynamics, state0, grid,
+                        method=self.config.method,
+                        step_size=self.config.step_size)
+        return states, grid
+
+    # ------------------------------------------------------------------
+    # task heads
+    # ------------------------------------------------------------------
+    def forward_classification(self, values: np.ndarray, times: np.ndarray,
+                               mask: np.ndarray) -> Tensor:
+        """Class logits (B, C) from the DHS over all integration points."""
+        if self.config.num_classes is None:
+            raise RuntimeError("model was not configured for classification")
+        states, _ = self.integrate(values, times, mask)
+        d = self.config.latent_dim
+        s_mean = states[:, :, :d].mean(axis=0)     # DHS pooled over the grid
+        final = states[-1]
+        return self.head(concat([s_mean, final], axis=-1))
+
+    def forward_regression(self, values: np.ndarray, times: np.ndarray,
+                           mask: np.ndarray,
+                           query_times: np.ndarray) -> Tensor:
+        """Predictions (B, nq, out_dim) at per-sequence ``query_times``."""
+        if self.config.out_dim is None:
+            raise RuntimeError("model was not configured for regression")
+        states, grid = self.integrate(values, times, mask)
+        at_queries = interpolate_grid_states(states, grid, query_times)
+        return self.head(at_queries)
+
+    # unified entry point used by the task harness
+    def forward(self, batch) -> Tensor:
+        if self.config.num_classes is not None:
+            return self.forward_classification(batch.values, batch.times,
+                                               batch.mask)
+        return self.forward_regression(batch.values, batch.times, batch.mask,
+                                       batch.target_times)

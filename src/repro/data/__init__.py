@@ -1,0 +1,62 @@
+"""Datasets and irregular-sampling utilities."""
+
+from .base import (
+    Batch,
+    Dataset,
+    Sample,
+    batch_iter,
+    collate,
+    train_val_test_split,
+)
+from .sampling import (
+    drop_time_points,
+    make_extrapolation_sample,
+    make_interpolation_sample,
+    poisson_subsample,
+    random_feature_dropout,
+)
+from .synthetic import load_synthetic
+from .lorenz import load_lorenz, simulate_lorenz63, simulate_lorenz96
+from .ushcn import USHCN_VARIABLES, generate_station, load_ushcn
+from .physionet import NUM_CHANNELS, generate_patient, load_physionet
+from .largest import generate_sensor, load_largest
+from .io import load_dataset, read_long_csv, save_dataset
+from .windows import forecast_dataset, make_forecast_sample, sliding_windows
+from .traffic_graph import make_graph_batches, simulate_traffic_graph
+from .imputation import IMPUTERS, impute_to_grid
+
+__all__ = [
+    "Sample",
+    "Dataset",
+    "Batch",
+    "collate",
+    "batch_iter",
+    "train_val_test_split",
+    "poisson_subsample",
+    "random_feature_dropout",
+    "drop_time_points",
+    "make_interpolation_sample",
+    "make_extrapolation_sample",
+    "load_synthetic",
+    "load_lorenz",
+    "simulate_lorenz63",
+    "simulate_lorenz96",
+    "load_ushcn",
+    "generate_station",
+    "USHCN_VARIABLES",
+    "load_physionet",
+    "generate_patient",
+    "NUM_CHANNELS",
+    "load_largest",
+    "generate_sensor",
+    "save_dataset",
+    "load_dataset",
+    "read_long_csv",
+    "sliding_windows",
+    "make_forecast_sample",
+    "forecast_dataset",
+    "simulate_traffic_graph",
+    "make_graph_batches",
+    "impute_to_grid",
+    "IMPUTERS",
+]

@@ -1,0 +1,180 @@
+"""Containers for irregular time series datasets.
+
+A :class:`Sample` is a single irregular series: observation times, values,
+a per-feature observation mask (for datasets where individual channels go
+missing, e.g. USHCN/PhysioNet) and task supervision (a class label or
+target times/values for interpolation/extrapolation).
+
+:func:`collate` pads a list of samples into a dense :class:`Batch`; the
+padding convention (mask = 0, times repeated from the last valid one so the
+sequence stays monotone) is what the masked DHS algebra in ``repro.core``
+expects.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Iterator, Sequence
+
+import numpy as np
+
+__all__ = ["Sample", "Dataset", "Batch", "collate", "batch_iter", "train_val_test_split"]
+
+
+@dataclass
+class Sample:
+    """One irregular time series plus its supervision."""
+
+    times: np.ndarray                      # (n,) in [0, 1]
+    values: np.ndarray                     # (n, F); zeros where unobserved
+    feature_mask: np.ndarray | None = None  # (n, F); None = fully observed
+    label: int | None = None
+    target_times: np.ndarray | None = None   # (nq,)
+    target_values: np.ndarray | None = None  # (nq, F_out)
+    target_mask: np.ndarray | None = None    # (nq, F_out)
+
+    @property
+    def num_obs(self) -> int:
+        return len(self.times)
+
+    def model_inputs(self) -> np.ndarray:
+        """Feature matrix the encoder sees: values (+ mask channels)."""
+        if self.feature_mask is None:
+            return self.values
+        return np.concatenate([self.values * self.feature_mask,
+                               self.feature_mask], axis=-1)
+
+
+@dataclass
+class Dataset:
+    """A named collection of samples with task metadata."""
+
+    name: str
+    samples: list[Sample]
+    num_features: int
+    num_classes: int | None = None
+    has_feature_mask: bool = False
+    metadata: dict = field(default_factory=dict)
+
+    def __len__(self) -> int:
+        return len(self.samples)
+
+    def __getitem__(self, idx: int) -> Sample:
+        return self.samples[idx]
+
+    @property
+    def input_dim(self) -> int:
+        """Width of the encoder input (doubled when mask channels exist)."""
+        return self.num_features * (2 if self.has_feature_mask else 1)
+
+    def subset(self, indices: Sequence[int], name: str | None = None) -> "Dataset":
+        return replace(self, name=name or self.name,
+                       samples=[self.samples[i] for i in indices])
+
+
+@dataclass
+class Batch:
+    """Dense padded batch; all arrays are numpy (the model wraps them)."""
+
+    values: np.ndarray                 # (B, n, D_in)
+    times: np.ndarray                  # (B, n)
+    mask: np.ndarray                   # (B, n)
+    labels: np.ndarray | None = None   # (B,)
+    target_times: np.ndarray | None = None   # (B, nq)
+    target_values: np.ndarray | None = None  # (B, nq, F_out)
+    target_mask: np.ndarray | None = None    # (B, nq, F_out)
+
+    @property
+    def batch_size(self) -> int:
+        return self.values.shape[0]
+
+
+def collate(samples: Sequence[Sample]) -> Batch:
+    """Pad samples to the longest observation/target length in the batch."""
+    batch = len(samples)
+    n_max = max(s.num_obs for s in samples)
+    d_in = samples[0].model_inputs().shape[-1]
+
+    values = np.zeros((batch, n_max, d_in))
+    times = np.zeros((batch, n_max))
+    mask = np.zeros((batch, n_max))
+    for i, s in enumerate(samples):
+        n = s.num_obs
+        values[i, :n] = s.model_inputs()
+        times[i, :n] = s.times
+        # Repeat the last time so padded grids remain monotone.
+        times[i, n:] = s.times[-1] if n else 0.0
+        mask[i, :n] = 1.0
+
+    labels = None
+    if samples[0].label is not None:
+        labels = np.array([s.label for s in samples], dtype=np.int64)
+
+    target_times = target_values = target_mask = None
+    if samples[0].target_times is not None:
+        nq_max = max(len(s.target_times) for s in samples)
+        f_out = samples[0].target_values.shape[-1]
+        target_times = np.zeros((batch, nq_max))
+        target_values = np.zeros((batch, nq_max, f_out))
+        target_mask = np.zeros((batch, nq_max, f_out))
+        for i, s in enumerate(samples):
+            nq = len(s.target_times)
+            target_times[i, :nq] = s.target_times
+            target_times[i, nq:] = s.target_times[-1] if nq else 0.0
+            target_values[i, :nq] = s.target_values
+            if s.target_mask is not None:
+                target_mask[i, :nq] = s.target_mask
+            else:
+                target_mask[i, :nq] = 1.0
+
+    return Batch(values=values, times=times, mask=mask, labels=labels,
+                 target_times=target_times, target_values=target_values,
+                 target_mask=target_mask)
+
+
+def batch_iter(dataset: Dataset, batch_size: int,
+               rng: np.random.Generator | None = None,
+               shuffle: bool = True,
+               bucket_by_length: bool = False,
+               bucket_factor: int = 8) -> Iterator[Batch]:
+    """Yield padded batches, optionally shuffled.
+
+    ``bucket_by_length=True`` sorts samples by observation count inside
+    shuffled super-buckets of ``bucket_factor * batch_size`` samples, so
+    each batch pads to a near-uniform length.  This keeps the randomness
+    needed for SGD while cutting the padded-cell overhead substantially on
+    datasets with very uneven series lengths (e.g. PhysioNet).
+    """
+    order = np.arange(len(dataset))
+    if shuffle:
+        if rng is None:
+            raise ValueError("shuffle=True requires an rng")
+        order = rng.permutation(order)
+    if bucket_by_length:
+        lengths = np.array([dataset.samples[i].num_obs for i in order])
+        super_size = max(batch_size, bucket_factor * batch_size)
+        pieces = []
+        for start in range(0, len(order), super_size):
+            chunk = order[start:start + super_size]
+            chunk_lengths = lengths[start:start + super_size]
+            pieces.append(chunk[np.argsort(chunk_lengths, kind="stable")])
+        order = np.concatenate(pieces) if pieces else order
+    for start in range(0, len(order), batch_size):
+        chunk = order[start:start + batch_size]
+        yield collate([dataset.samples[i] for i in chunk])
+
+
+def train_val_test_split(dataset: Dataset, train: float, val: float,
+                         rng: np.random.Generator
+                         ) -> tuple[Dataset, Dataset, Dataset]:
+    """Random split by fractions (test gets the remainder)."""
+    if train + val >= 1.0 + 1e-9:
+        raise ValueError("train + val fractions must be < 1")
+    order = rng.permutation(len(dataset))
+    n_train = int(round(train * len(dataset)))
+    n_val = int(round(val * len(dataset)))
+    return (
+        dataset.subset(order[:n_train], f"{dataset.name}/train"),
+        dataset.subset(order[n_train:n_train + n_val], f"{dataset.name}/val"),
+        dataset.subset(order[n_train + n_val:], f"{dataset.name}/test"),
+    )

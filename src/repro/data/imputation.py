@@ -1,0 +1,103 @@
+"""Classical imputation baselines for irregular series.
+
+The paper's introduction notes that RNN-class models "often require
+explicit preprocessing (e.g., interpolation) to handle irregular
+timestamps, which can distort temporal dynamics".  These imputers make
+that preprocessing available - both to build such pipelines and to
+quantify the distortion the paper warns about (see
+``tests/data/test_imputation.py``).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..linalg.spline import NaturalCubicSpline
+
+__all__ = ["impute_to_grid", "IMPUTERS"]
+
+
+def _forward_fill(obs_t, obs_x, grid):
+    idx = np.clip(np.searchsorted(obs_t, grid, side="right") - 1, 0,
+                  len(obs_t) - 1)
+    return obs_x[idx]
+
+
+def _nearest(obs_t, obs_x, grid):
+    right = np.clip(np.searchsorted(obs_t, grid), 0, len(obs_t) - 1)
+    left = np.clip(right - 1, 0, len(obs_t) - 1)
+    use_right = np.abs(obs_t[right] - grid) < np.abs(grid - obs_t[left])
+    return np.where(use_right[:, None], obs_x[right], obs_x[left])
+
+
+def _linear(obs_t, obs_x, grid):
+    out = np.empty((len(grid), obs_x.shape[1]))
+    for j in range(obs_x.shape[1]):
+        out[:, j] = np.interp(grid, obs_t, obs_x[:, j])
+    return out
+
+
+def _spline(obs_t, obs_x, grid):
+    if len(obs_t) < 2:
+        return np.repeat(obs_x[:1], len(grid), axis=0)
+    t_unique, idx = np.unique(obs_t, return_index=True)
+    if len(t_unique) < 2:
+        return np.repeat(obs_x[:1], len(grid), axis=0)
+    spline = NaturalCubicSpline(t_unique, obs_x[idx])
+    return spline.evaluate(grid)
+
+
+def _mean(obs_t, obs_x, grid):
+    return np.repeat(obs_x.mean(axis=0, keepdims=True), len(grid), axis=0)
+
+
+IMPUTERS = {
+    "forward_fill": _forward_fill,
+    "nearest": _nearest,
+    "linear": _linear,
+    "spline": _spline,
+    "mean": _mean,
+}
+
+
+def impute_to_grid(times: np.ndarray, values: np.ndarray,
+                   grid: np.ndarray, method: str = "linear",
+                   feature_mask: np.ndarray | None = None) -> np.ndarray:
+    """Resample an irregular (possibly per-feature-masked) series onto a
+    regular grid.
+
+    Parameters
+    ----------
+    times : (n,) observation times.
+    values : (n, F) values (entries with mask 0 are ignored).
+    grid : (L,) target grid.
+    method : one of ``forward_fill | nearest | linear | spline | mean``.
+
+    Returns
+    -------
+    (L, F) imputed values; features with no observations become zeros.
+    """
+    if method not in IMPUTERS:
+        raise ValueError(f"unknown imputer {method!r}; "
+                         f"choose from {sorted(IMPUTERS)}")
+    times = np.asarray(times, dtype=np.float64)
+    values = np.asarray(values, dtype=np.float64)
+    if values.ndim == 1:
+        values = values[:, None]
+    grid = np.asarray(grid, dtype=np.float64)
+    fn = IMPUTERS[method]
+
+    if feature_mask is None:
+        if len(times) == 0:
+            return np.zeros((len(grid), values.shape[1]))
+        return fn(times, values, grid)
+
+    feature_mask = np.asarray(feature_mask)
+    out = np.zeros((len(grid), values.shape[1]))
+    for j in range(values.shape[1]):
+        observed = feature_mask[:, j] > 0
+        if observed.sum() == 0:
+            continue
+        col = fn(times[observed], values[observed][:, j:j + 1], grid)
+        out[:, j] = col[:, 0]
+    return out

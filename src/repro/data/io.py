@@ -1,0 +1,122 @@
+"""Dataset persistence: save/load irregular datasets as .npz archives and
+import long-format CSV records.
+
+The CSV importer accepts the common long format for irregular multivariate
+series::
+
+    series_id,time,variable,value
+    0,0.125,temperature,21.4
+    0,0.300,humidity,0.61
+    ...
+
+which is how most real-world irregular data (ICU charts, sensor logs)
+arrives; variables become feature columns with a per-entry observation
+mask.
+"""
+
+from __future__ import annotations
+
+import csv
+import pathlib
+
+import numpy as np
+
+from .base import Dataset, Sample
+
+__all__ = ["save_dataset", "load_dataset", "read_long_csv"]
+
+
+def save_dataset(dataset: Dataset, path) -> None:
+    """Serialize a Dataset to one ``.npz`` file (ragged arrays flattened)."""
+    arrays: dict[str, np.ndarray] = {
+        "__name__": np.frombuffer(dataset.name.encode(), dtype=np.uint8),
+        "__num_features__": np.array([dataset.num_features]),
+        "__num_classes__": np.array(
+            [-1 if dataset.num_classes is None else dataset.num_classes]),
+        "__has_fmask__": np.array([int(dataset.has_feature_mask)]),
+        "__count__": np.array([len(dataset)]),
+    }
+    for i, s in enumerate(dataset.samples):
+        arrays[f"t{i}"] = s.times
+        arrays[f"v{i}"] = s.values
+        if s.feature_mask is not None:
+            arrays[f"fm{i}"] = s.feature_mask
+        if s.label is not None:
+            arrays[f"y{i}"] = np.array([s.label])
+        if s.target_times is not None:
+            arrays[f"qt{i}"] = s.target_times
+            arrays[f"qv{i}"] = s.target_values
+            if s.target_mask is not None:
+                arrays[f"qm{i}"] = s.target_mask
+    np.savez_compressed(pathlib.Path(path), **arrays)
+
+
+def load_dataset(path) -> Dataset:
+    """Inverse of :func:`save_dataset`."""
+    path = pathlib.Path(path)
+    with np.load(path if path.suffix == ".npz" else f"{path}.npz") as data:
+        name = bytes(data["__name__"]).decode()
+        num_features = int(data["__num_features__"][0])
+        nc = int(data["__num_classes__"][0])
+        has_fmask = bool(data["__has_fmask__"][0])
+        count = int(data["__count__"][0])
+        samples = []
+        for i in range(count):
+            samples.append(Sample(
+                times=data[f"t{i}"],
+                values=data[f"v{i}"],
+                feature_mask=data[f"fm{i}"] if f"fm{i}" in data else None,
+                label=int(data[f"y{i}"][0]) if f"y{i}" in data else None,
+                target_times=data[f"qt{i}"] if f"qt{i}" in data else None,
+                target_values=data[f"qv{i}"] if f"qv{i}" in data else None,
+                target_mask=data[f"qm{i}"] if f"qm{i}" in data else None,
+            ))
+    return Dataset(name=name, samples=samples, num_features=num_features,
+                   num_classes=None if nc < 0 else nc,
+                   has_feature_mask=has_fmask)
+
+
+def read_long_csv(path, normalize_times: bool = True) -> Dataset:
+    """Import long-format CSV (series_id, time, variable, value).
+
+    Variables are ordered by first appearance; each sample carries a
+    feature mask marking which variables were observed at each timestamp.
+    """
+    path = pathlib.Path(path)
+    records: dict[str, dict[float, dict[str, float]]] = {}
+    variables: list[str] = []
+    with open(path, newline="") as fh:
+        reader = csv.DictReader(fh)
+        required = {"series_id", "time", "variable", "value"}
+        if reader.fieldnames is None or not required <= set(reader.fieldnames):
+            raise ValueError(f"CSV must have columns {sorted(required)}")
+        for row in reader:
+            sid = row["series_id"]
+            t = float(row["time"])
+            var = row["variable"]
+            if var not in variables:
+                variables.append(var)
+            records.setdefault(sid, {}).setdefault(t, {})[var] = \
+                float(row["value"])
+
+    if not records:
+        raise ValueError("CSV contains no data rows")
+    samples = []
+    var_index = {v: j for j, v in enumerate(variables)}
+    for sid in sorted(records):
+        times = np.array(sorted(records[sid]))
+        values = np.zeros((len(times), len(variables)))
+        fmask = np.zeros_like(values)
+        for i, t in enumerate(times):
+            for var, val in records[sid][t].items():
+                j = var_index[var]
+                values[i, j] = val
+                fmask[i, j] = 1.0
+        if normalize_times:
+            span = times[-1] - times[0]
+            times = (times - times[0]) / (span if span > 0 else 1.0)
+        samples.append(Sample(times=times, values=values,
+                              feature_mask=fmask))
+    return Dataset(name=path.stem, samples=samples,
+                   num_features=len(variables), has_feature_mask=True,
+                   metadata={"variables": variables})

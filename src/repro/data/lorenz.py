@@ -1,0 +1,112 @@
+"""Chaotic dynamical systems: Lorenz-63 and Lorenz-96 (Section IV-A1).
+
+The paper builds classification datasets from chaotic attractors, removes
+the last state dimension (so the system is never fully observed) and thins
+the trajectory with a 30% Poisson keep-rate.  Labels are derived from the
+*hidden* (removed) dimension at the window end - a task that genuinely
+requires learning the underlying dynamics, as chaotic trajectories diverge
+exponentially from nearby initial conditions.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import Dataset, Sample
+from .sampling import poisson_subsample
+
+__all__ = ["simulate_lorenz63", "simulate_lorenz96", "load_lorenz"]
+
+
+def _rk4_trajectory(deriv, x0: np.ndarray, dt: float, steps: int) -> np.ndarray:
+    """Integrate ``dx/dt = deriv(x)`` with classic RK4; returns (steps, D)."""
+    out = np.empty((steps, len(x0)))
+    x = np.array(x0, dtype=np.float64)
+    for i in range(steps):
+        k1 = deriv(x)
+        k2 = deriv(x + 0.5 * dt * k1)
+        k3 = deriv(x + 0.5 * dt * k2)
+        k4 = deriv(x + dt * k3)
+        x = x + dt / 6.0 * (k1 + 2 * k2 + 2 * k3 + k4)
+        out[i] = x
+    return out
+
+
+def simulate_lorenz63(steps: int, dt: float = 0.02,
+                      sigma: float = 10.0, rho: float = 28.0,
+                      beta: float = 8.0 / 3.0,
+                      rng: np.random.Generator | None = None,
+                      burn_in: int = 500) -> np.ndarray:
+    """Lorenz-63 trajectory (steps, 3), transient discarded."""
+    rng = rng or np.random.default_rng(0)
+
+    def deriv(x):
+        return np.array([
+            sigma * (x[1] - x[0]),
+            x[0] * (rho - x[2]) - x[1],
+            x[0] * x[1] - beta * x[2],
+        ])
+
+    x0 = rng.normal(size=3) + np.array([1.0, 1.0, 25.0])
+    traj = _rk4_trajectory(deriv, x0, dt, burn_in + steps)
+    return traj[burn_in:]
+
+
+def simulate_lorenz96(steps: int, dims: int = 96, dt: float = 0.01,
+                      forcing: float = 8.0,
+                      rng: np.random.Generator | None = None,
+                      burn_in: int = 500) -> np.ndarray:
+    """Lorenz-96 trajectory (steps, dims) with cyclic coupling."""
+    rng = rng or np.random.default_rng(0)
+
+    def deriv(x):
+        return ((np.roll(x, -1) - np.roll(x, 2)) * np.roll(x, 1)
+                - x + forcing)
+
+    x0 = forcing + rng.normal(scale=0.5, size=dims)
+    traj = _rk4_trajectory(deriv, x0, dt, burn_in + steps)
+    return traj[burn_in:]
+
+
+def load_lorenz(system: str = "lorenz63", num_windows: int = 500,
+                window: int = 60, keep_rate: float = 0.3,
+                dims: int | None = None, seed: int = 0,
+                min_obs: int = 12) -> Dataset:
+    """Build a classification dataset of trajectory windows.
+
+    Each sample is a window of the (standardized) trajectory with the last
+    dimension removed; the label says whether the *removed* dimension ends
+    the window above its global median.
+    """
+    rng = np.random.default_rng(seed)
+    if system == "lorenz63":
+        traj = simulate_lorenz63(num_windows * 8 + window, rng=rng)
+    elif system == "lorenz96":
+        traj = simulate_lorenz96(num_windows * 8 + window,
+                                 dims=dims or 96, rng=rng)
+    else:
+        raise ValueError(f"unknown system {system!r}")
+
+    mean = traj.mean(axis=0)
+    std = traj.std(axis=0) + 1e-8
+    traj = (traj - mean) / std
+    hidden = traj[:, -1]
+    observed = traj[:, :-1]
+    threshold = np.median(hidden)
+
+    grid = np.arange(window, dtype=np.float64)
+    starts = rng.choice(len(traj) - window, size=num_windows, replace=False)
+    samples: list[Sample] = []
+    for start in starts:
+        win = observed[start:start + window]
+        label = int(hidden[start + window - 1] > threshold)
+        while True:
+            t_obs, x_obs = poisson_subsample(grid, win, keep_rate, rng,
+                                             min_keep=min_obs)
+            if len(t_obs) >= min_obs:
+                break
+        samples.append(Sample(times=t_obs / (window - 1.0),
+                              values=x_obs, label=label))
+    return Dataset(name=system, samples=samples,
+                   num_features=observed.shape[1], num_classes=2,
+                   metadata={"window": window, "keep_rate": keep_rate})

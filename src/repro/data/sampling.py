@@ -1,0 +1,115 @@
+"""Irregularity operators: Poisson subsampling, random masking, task builders.
+
+These reproduce the paper's preprocessing: "sample from them according to a
+Poisson process with a rate of 70%" (synthetic), "30%" (Lorenz), "removing
+half of the time points and randomly removing 20% of the observations"
+(USHCN), "randomly masked half of the data points" (LargeST).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import Sample
+
+__all__ = [
+    "poisson_subsample",
+    "random_feature_dropout",
+    "drop_time_points",
+    "make_interpolation_sample",
+    "make_extrapolation_sample",
+]
+
+
+def poisson_subsample(times: np.ndarray, values: np.ndarray, rate: float,
+                      rng: np.random.Generator,
+                      min_keep: int = 2) -> tuple[np.ndarray, np.ndarray]:
+    """Thin a regular grid, keeping each point independently w.p. ``rate``.
+
+    Thinning a regular grid with i.i.d. keep-probability ``rate`` is the
+    discrete analogue of sampling observation times from a Poisson process
+    with intensity ``rate``/grid-step, matching the paper's setup.
+    """
+    keep = rng.random(len(times)) < rate
+    if keep.sum() < min_keep:
+        idx = rng.choice(len(times), size=min_keep, replace=False)
+        keep[:] = False
+        keep[np.sort(idx)] = True
+    return times[keep], values[keep]
+
+
+def random_feature_dropout(feature_mask: np.ndarray, drop_frac: float,
+                           rng: np.random.Generator) -> np.ndarray:
+    """Remove a fraction of the *observed* entries of a feature mask."""
+    mask = feature_mask.copy()
+    observed = np.argwhere(mask > 0)
+    n_drop = int(round(drop_frac * len(observed)))
+    if n_drop:
+        drop_idx = rng.choice(len(observed), size=n_drop, replace=False)
+        rows = observed[drop_idx]
+        mask[rows[:, 0], rows[:, 1]] = 0.0
+    return mask
+
+
+def drop_time_points(times: np.ndarray, arrays: list[np.ndarray],
+                     keep_frac: float, rng: np.random.Generator,
+                     min_keep: int = 2) -> tuple[np.ndarray, list[np.ndarray]]:
+    """Keep a random fraction of time points (USHCN-style sparsification)."""
+    n = len(times)
+    n_keep = max(min_keep, int(round(keep_frac * n)))
+    idx = np.sort(rng.choice(n, size=n_keep, replace=False))
+    return times[idx], [a[idx] for a in arrays]
+
+
+def make_interpolation_sample(times: np.ndarray, values: np.ndarray,
+                              feature_mask: np.ndarray | None,
+                              holdout_frac: float,
+                              rng: np.random.Generator,
+                              min_context: int) -> Sample:
+    """Split observed points into context (input) and held-out (target).
+
+    The model sees the context subset and must reconstruct the values at the
+    held-out time points - the interpolation protocol of Section IV-C.
+    """
+    n = len(times)
+    n_hold = int(round(holdout_frac * n))
+    n_hold = min(n_hold, n - min_context)
+    if n_hold < 1:
+        raise ValueError(f"series too short for interpolation: n={n}, "
+                         f"min_context={min_context}")
+    hold_idx = np.sort(rng.choice(n, size=n_hold, replace=False))
+    keep = np.ones(n, dtype=bool)
+    keep[hold_idx] = False
+    fmask = feature_mask if feature_mask is not None else np.ones_like(values)
+    return Sample(
+        times=times[keep],
+        values=values[keep],
+        feature_mask=fmask[keep] if feature_mask is not None else None,
+        target_times=times[hold_idx],
+        target_values=values[hold_idx],
+        target_mask=fmask[hold_idx],
+    )
+
+
+def make_extrapolation_sample(times: np.ndarray, values: np.ndarray,
+                              feature_mask: np.ndarray | None,
+                              min_context: int) -> Sample:
+    """First half observed, full sequence as the prediction target.
+
+    "we divide the time series into two equal parts: the first half is
+    utilized for model training, while the full sequence is employed for
+    making predictions" (Section IV-C).
+    """
+    n = len(times)
+    split = max(min_context, n // 2)
+    if split >= n:
+        raise ValueError(f"series too short for extrapolation: n={n}")
+    fmask = feature_mask if feature_mask is not None else np.ones_like(values)
+    return Sample(
+        times=times[:split],
+        values=values[:split],
+        feature_mask=fmask[:split] if feature_mask is not None else None,
+        target_times=times,
+        target_values=values,
+        target_mask=fmask,
+    )

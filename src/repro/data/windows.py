@@ -1,0 +1,106 @@
+"""Windowing and forecasting task builders.
+
+Beyond the paper's interpolation/extrapolation protocols, production users
+typically need (a) sliding windows over one long recording and (b) fixed-
+horizon forecasting.  Both compose with the generators in this package; the
+LargeST-style traffic data in particular is one long per-sensor series that
+the paper windows implicitly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import Dataset, Sample
+
+__all__ = ["sliding_windows", "make_forecast_sample", "forecast_dataset"]
+
+
+def sliding_windows(times: np.ndarray, values: np.ndarray,
+                    window: float, stride: float,
+                    feature_mask: np.ndarray | None = None,
+                    min_obs: int = 2,
+                    renormalize: bool = True) -> list[Sample]:
+    """Cut one long irregular series into (possibly overlapping) windows.
+
+    Parameters
+    ----------
+    window / stride:
+        In the series' own time units.
+    renormalize:
+        Rescale each window's times to [0, 1] (what the models expect).
+    """
+    if window <= 0 or stride <= 0:
+        raise ValueError("window and stride must be positive")
+    times = np.asarray(times, dtype=np.float64)
+    values = np.asarray(values, dtype=np.float64)
+    out: list[Sample] = []
+    start = times[0]
+    t_end = times[-1]
+    while start + window <= t_end + 1e-12:
+        inside = (times >= start) & (times <= start + window)
+        if inside.sum() >= min_obs:
+            t_win = times[inside]
+            if renormalize:
+                t_win = (t_win - start) / window
+            out.append(Sample(
+                times=t_win,
+                values=values[inside],
+                feature_mask=(feature_mask[inside]
+                              if feature_mask is not None else None)))
+        start += stride
+    return out
+
+
+def make_forecast_sample(times: np.ndarray, values: np.ndarray,
+                         feature_mask: np.ndarray | None,
+                         horizon_frac: float,
+                         min_context: int) -> Sample:
+    """Fixed-horizon forecasting: observe ``[0, 1 - h]``, predict ``(1-h, 1]``.
+
+    Unlike the paper's extrapolation protocol (targets = the *full*
+    sequence), the targets here are only the unseen future - the usual
+    deployment setting.
+    """
+    if not 0.0 < horizon_frac < 1.0:
+        raise ValueError("horizon_frac must be in (0, 1)")
+    times = np.asarray(times, dtype=np.float64)
+    cut = times[0] + (1.0 - horizon_frac) * (times[-1] - times[0])
+    context = times <= cut
+    future = ~context
+    if context.sum() < min_context:
+        raise ValueError(f"too few context points: {int(context.sum())} "
+                         f"< {min_context}")
+    if future.sum() < 1:
+        raise ValueError("no future observations to forecast")
+    fmask = feature_mask if feature_mask is not None \
+        else np.ones_like(values)
+    return Sample(
+        times=times[context],
+        values=values[context],
+        feature_mask=fmask[context] if feature_mask is not None else None,
+        target_times=times[future],
+        target_values=values[future],
+        target_mask=fmask[future],
+    )
+
+
+def forecast_dataset(dataset: Dataset, horizon_frac: float = 0.25,
+                     min_context: int = 8) -> Dataset:
+    """Re-task an observation-only dataset (or the context part of any
+    dataset) as fixed-horizon forecasting; series too short are skipped."""
+    samples = []
+    for s in dataset.samples:
+        try:
+            samples.append(make_forecast_sample(
+                s.times, s.values, s.feature_mask, horizon_frac,
+                min_context))
+        except ValueError:
+            continue
+    if not samples:
+        raise ValueError("no series long enough for the requested horizon")
+    return Dataset(name=f"{dataset.name}-forecast", samples=samples,
+                   num_features=dataset.num_features,
+                   has_feature_mask=dataset.has_feature_mask,
+                   metadata={**dataset.metadata,
+                             "horizon_frac": horizon_frac})

@@ -1,0 +1,74 @@
+"""Experiment harness: one module per table/figure of the paper."""
+
+from .scale import SCALES, Scale, get_scale
+from .reporting import Cell, TableResult, render_table
+from .common import (
+    ALL_MODELS,
+    CLS_DATASETS,
+    REG_DATASETS,
+    build_model,
+    classification_dataset,
+    regression_dataset,
+    train_and_eval,
+)
+from .table2_datasets import dataset_statistics, run_table2
+from .table3_classification import run_table3
+from .table4_interp_extrap import run_table4
+from .table5_efficiency import measure_epoch_seconds, run_table5
+from .table6_hoyer import P_SOLVER_LABELS, run_table6
+from .fig3_sparsity import ascii_heatmap, collect_attention_map, run_fig3
+from .fig4_scalability import FIG4_FRACTIONS, FIG4_MODELS, run_fig4
+from .fig5_ablation import ABLATION_VARIANTS, run_fig5
+from .fig6_heads import run_fig6
+from .ablation_kkt import run_kkt_ablation
+from .report import generate_report
+
+#: experiment id -> callable returning TableResult (or a list of them)
+EXPERIMENTS = {
+    "table2": run_table2,
+    "table3": run_table3,
+    "table4": run_table4,
+    "table5": run_table5,
+    "table6": run_table6,
+    "fig3": run_fig3,
+    "fig4": run_fig4,
+    "fig5": run_fig5,
+    "fig6": run_fig6,
+    "kkt": run_kkt_ablation,
+}
+
+__all__ = [
+    "Scale",
+    "SCALES",
+    "get_scale",
+    "Cell",
+    "TableResult",
+    "render_table",
+    "ALL_MODELS",
+    "CLS_DATASETS",
+    "REG_DATASETS",
+    "build_model",
+    "classification_dataset",
+    "regression_dataset",
+    "train_and_eval",
+    "run_table2",
+    "dataset_statistics",
+    "run_table3",
+    "run_table4",
+    "run_table5",
+    "run_table6",
+    "run_fig3",
+    "run_fig4",
+    "run_fig5",
+    "run_fig6",
+    "measure_epoch_seconds",
+    "collect_attention_map",
+    "ascii_heatmap",
+    "P_SOLVER_LABELS",
+    "ABLATION_VARIANTS",
+    "FIG4_MODELS",
+    "FIG4_FRACTIONS",
+    "EXPERIMENTS",
+    "run_kkt_ablation",
+    "generate_report",
+]

@@ -1,0 +1,49 @@
+"""CLI: regenerate any table/figure of the paper.
+
+Usage::
+
+    python -m repro.experiments table3 [--scale smoke|bench|paper]
+    python -m repro.experiments all --scale bench
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from . import EXPERIMENTS, get_scale
+from .reporting import TableResult
+
+
+def _print_result(result) -> None:
+    if isinstance(result, TableResult):
+        print(result.render())
+    else:  # fig4 returns a list of tables
+        for table in result:
+            print(table.render())
+            print()
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Regenerate the paper's tables and figures.")
+    parser.add_argument("experiment",
+                        choices=sorted(EXPERIMENTS) + ["all"],
+                        help="which table/figure to run")
+    parser.add_argument("--scale", default=None,
+                        choices=["smoke", "bench", "paper"],
+                        help="size preset (default: $REPRO_SCALE or bench)")
+    args = parser.parse_args(argv)
+
+    scale = get_scale(args.scale)
+    names = sorted(EXPERIMENTS) if args.experiment == "all" \
+        else [args.experiment]
+    for name in names:
+        print(f"=== {name} (scale={scale.name}) ===")
+        _print_result(EXPERIMENTS[name](scale))
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

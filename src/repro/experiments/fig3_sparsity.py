@@ -1,0 +1,103 @@
+"""Fig. 3: sparsity of the recovered attention scores ``p_t`` (RQ5).
+
+For each of the three ``p_t`` strategies we train a small DIFFODE on USHCN
+interpolation, record ``p_t`` at every integration grid point, report the
+Hoyer sparsity (Eq. 14) and render the gray-scale map of |p| as ASCII art
+(the harness equivalent of the paper's heat maps).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..autodiff import no_grad
+from ..data import collate, train_val_test_split
+from ..linalg import hoyer_np
+from ..training import TrainConfig, Trainer
+from .common import build_model, regression_dataset
+from .reporting import Cell, TableResult
+from .scale import Scale, get_scale
+from .table6_hoyer import P_SOLVER_LABELS
+
+__all__ = ["run_fig3", "collect_attention_map", "ascii_heatmap"]
+
+_SHADES = " .:-=+*#%@"
+
+
+def collect_attention_map(model, batch) -> np.ndarray:
+    """``p_t`` of the first head for the first sequence: (L, n)."""
+    with no_grad():
+        z = model.encode(batch.values, batch.times, batch.mask)
+        contexts = model.build_contexts(z, batch.mask)
+        model.latent_dynamics.bind(contexts)
+        states, grid = model.integrate(batch.values, batch.times, batch.mask)
+        ctx = contexts[0]
+        hd = model.config.latent_dim // model.config.num_heads
+        rows = []
+        for k in range(states.shape[0]):
+            s_head = states[k][:, :hd]
+            p = model.latent_dynamics.solve_p(ctx, s_head)
+            rows.append(p.data[0])
+    return np.stack(rows, axis=0)
+
+
+def ascii_heatmap(matrix: np.ndarray, width: int = 60) -> str:
+    """Render |matrix| as ASCII shades; lighter = smaller = sparser."""
+    mat = np.abs(matrix)
+    if mat.shape[1] > width:
+        # average-pool columns down to the display width
+        idx = np.linspace(0, mat.shape[1], width + 1).astype(int)
+        mat = np.stack([mat[:, a:b].mean(axis=1) if b > a else mat[:, a]
+                        for a, b in zip(idx[:-1], idx[1:])], axis=1)
+    hi = mat.max() or 1.0
+    levels = np.clip((mat / hi * (len(_SHADES) - 1)).astype(int),
+                     0, len(_SHADES) - 1)
+    return "\n".join("".join(_SHADES[v] for v in row) for row in levels)
+
+
+def run_fig3(scale: Scale | None = None, train_epochs: int | None = None,
+             show_maps: bool = True) -> TableResult:
+    """Regenerate Fig. 3: sparsity measurements + ASCII maps of p_t."""
+    scale = scale or get_scale()
+    result = TableResult(
+        title=f"Fig. 3 - sparsity of p_t per strategy [{scale.name}]",
+        columns=["Hoyer (Eq.14)", "Hoyer (|.|)", "frac |p| < 0.01"],
+        notes=["higher Hoyer / higher small-entry fraction = sparser; the "
+               "paper's claim is that maxHoyer yields the sparsest maps",
+               "reproduction finding: the relaxed Eq. 32 solution is the "
+               "*stationary* point of an unbounded maximization - it is in "
+               "fact the minimum-norm sum-1 solution, hence the LEAST "
+               "sparse feasible p by the Hoyer identity; only the exact "
+               "Theorem-1 KKT solver (see the ablation_kkt benchmark) "
+               "attains the sparse vertices the paper depicts"])
+
+    dataset = regression_dataset("USHCN", "interpolation", scale, seed=0)
+    rng = np.random.default_rng(1)
+    train_set, val_set, _ = train_val_test_split(dataset, 0.6, 0.2, rng)
+    epochs = train_epochs if train_epochs is not None else \
+        max(2, scale.epochs_reg // 3)
+
+    for solver, label in P_SOLVER_LABELS.items():
+        model = build_model("DIFFODE", dataset, scale, seed=0,
+                            p_solver=solver)
+        trainer = Trainer(model, "regression", TrainConfig(
+            epochs=epochs, batch_size=scale.batch_reg, lr=scale.lr, seed=0))
+        trainer.fit(train_set, val_set)
+        batch = collate(val_set.samples[:4])
+        pmap = collect_attention_map(model, batch)
+        n_valid = int(batch.mask[0].sum())
+        pmap = pmap[:, :n_valid]
+        result.add_row(label, [
+            Cell(float(hoyer_np(pmap, use_abs=False).mean())),
+            Cell(float(hoyer_np(pmap, use_abs=True).mean())),
+            Cell(float((np.abs(pmap) < 0.01).mean())),
+        ])
+        if show_maps:
+            result.notes.append(f"{label} |p_t| map (rows=time, "
+                                f"cols=observations):\n"
+                                + ascii_heatmap(pmap))
+    return result
+
+
+if __name__ == "__main__":  # pragma: no cover
+    print(run_fig3().render())

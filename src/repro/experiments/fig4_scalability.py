@@ -1,0 +1,64 @@
+"""Fig. 4: scalability in dataset size (RQ4).
+
+Two sweeps over USHCN interpolation subsets - fraction of stations
+("features" axis of the figure) and fraction of the time span - measuring
+training time per epoch and test MSE for DIFFODE plus six well-performing
+baselines.
+"""
+
+from __future__ import annotations
+
+from .common import build_model, regression_dataset, train_and_eval
+from .reporting import Cell, TableResult
+from .scale import Scale, get_scale
+
+__all__ = ["run_fig4", "FIG4_MODELS", "FIG4_FRACTIONS"]
+
+FIG4_MODELS = ["ContiFormer", "HiPPO-obs", "GRU-D", "ODE-RNN", "Latent ODE",
+               "PolyODE", "DIFFODE"]
+FIG4_FRACTIONS = (0.2, 0.4, 0.6, 0.8, 1.0)
+
+
+def _sweep(axis: str, scale: Scale, models: list[str],
+           fractions) -> tuple[TableResult, TableResult]:
+    time_table = TableResult(
+        title=f"Fig. 4 - s/epoch vs {axis} fraction [{scale.name}]",
+        columns=[f"{int(f * 100)}%" for f in fractions])
+    mse_table = TableResult(
+        title=f"Fig. 4 - interpolation MSE x 1e-2 vs {axis} fraction "
+              f"[{scale.name}]",
+        columns=[f"{int(f * 100)}%" for f in fractions])
+    for model_name in models:
+        times, mses = [], []
+        for frac in fractions:
+            kwargs = ({"features_frac": frac} if axis == "features"
+                      else {"length_frac": frac})
+            dataset = regression_dataset("USHCN", "interpolation", scale,
+                                         seed=0, **kwargs)
+            model = build_model(model_name, dataset, scale, seed=0)
+            outcome = train_and_eval(model, dataset, scale, seed=0,
+                                     epochs=max(2, scale.epochs_reg // 3),
+                                     model_name=model_name)
+            times.append(Cell(outcome.seconds_per_epoch))
+            mses.append(Cell(outcome.metric))
+        time_table.add_row(model_name, times)
+        mse_table.add_row(model_name, mses)
+    return time_table, mse_table
+
+
+def run_fig4(scale: Scale | None = None, models: list[str] | None = None,
+             fractions=FIG4_FRACTIONS) -> list[TableResult]:
+    """Returns four tables: time & MSE for each of the two sweep axes."""
+    scale = scale or get_scale()
+    models = models or FIG4_MODELS
+    out: list[TableResult] = []
+    for axis in ("features", "length"):
+        time_table, mse_table = _sweep(axis, scale, models, fractions)
+        out.extend([time_table, mse_table])
+    return out
+
+
+if __name__ == "__main__":  # pragma: no cover
+    for table in run_fig4():
+        print(table.render())
+        print()

@@ -1,0 +1,105 @@
+"""Markdown results digest generated from ``benchmarks/results/``.
+
+After a benchmark run, ``python -m repro.experiments.report`` collects the
+saved ASCII tables into one markdown document with a computed scorecard
+(DIFFODE's rank per Table III/IV column), ready to paste into
+EXPERIMENTS.md or a PR description.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import re
+
+__all__ = ["parse_result_table", "diffode_rank", "generate_report"]
+
+_EXPERIMENT_ORDER = [
+    ("table3", "Table III - classification accuracy"),
+    ("table4", "Table IV - interpolation/extrapolation MSE"),
+    ("table5", "Table V - efficiency"),
+    ("table6", "Table VI - Hoyer ablation"),
+    ("fig3", "Fig. 3 - attention sparsity"),
+    ("fig4", "Fig. 4 - scalability"),
+    ("fig5", "Fig. 5 - component ablation"),
+    ("fig6", "Fig. 6 - multi-head attention"),
+    ("ablation_kkt", "Extension - exact KKT vs relaxed solver"),
+]
+
+
+def parse_result_table(text: str) -> dict[str, list[float]]:
+    """Parse an ASCII table produced by ``render_table`` into
+    ``{row_name: [numeric cells...]}`` (non-numeric cells skipped)."""
+    rows: dict[str, list[float]] = {}
+    for line in text.splitlines():
+        if "|" not in line or set(line.strip()) <= {"-", "+", "|", " "}:
+            continue
+        cells = [c.strip() for c in line.split("|")]
+        name, rest = cells[0], cells[1:]
+        if name in ("Model", "") or name.startswith("note:"):
+            continue
+        numbers = []
+        for cell in rest:
+            m = re.match(r"^(-?\d+(?:\.\d+)?)", cell)
+            if m:
+                numbers.append(float(m.group(1)))
+        if numbers:
+            rows[name] = numbers
+    return rows
+
+
+def diffode_rank(rows: dict[str, list[float]], column: int,
+                 lower_is_better: bool) -> tuple[int, int] | None:
+    """(rank, total) of the DIFFODE row in one numeric column."""
+    values = {name: cells[column] for name, cells in rows.items()
+              if len(cells) > column}
+    if "DIFFODE" not in values:
+        return None
+    ordered = sorted(values.values(), reverse=not lower_is_better)
+    return ordered.index(values["DIFFODE"]) + 1, len(values)
+
+
+def generate_report(results_dir) -> str:
+    """Assemble the markdown digest from every saved result table."""
+    results_dir = pathlib.Path(results_dir)
+    files = sorted(results_dir.glob("*.txt"))
+    if not files:
+        raise FileNotFoundError(f"no result tables in {results_dir}; run "
+                                "`pytest benchmarks/ --benchmark-only` first")
+    by_prefix: dict[str, list[pathlib.Path]] = {}
+    for f in files:
+        prefix = f.stem.split("_")[0] if not f.stem.startswith(
+            ("ablation", "fig4")) else ("ablation_kkt"
+                                        if f.stem.startswith("ablation")
+                                        else "fig4")
+        by_prefix.setdefault(prefix, []).append(f)
+
+    lines = ["# Benchmark results digest", ""]
+
+    # scorecard
+    lines += ["## DIFFODE rank scorecard", "",
+              "| experiment | column 0 rank |", "|---|---|"]
+    for f in files:
+        if not f.stem.startswith(("table3", "table4")):
+            continue
+        rows = parse_result_table(f.read_text())
+        lower = f.stem.startswith("table4")
+        # measured columns alternate with paper columns; column 0 = ours
+        rank = diffode_rank(rows, 0, lower_is_better=lower)
+        if rank:
+            lines.append(f"| {f.stem} | {rank[0]}/{rank[1]} |")
+    lines.append("")
+
+    for prefix, title in _EXPERIMENT_ORDER:
+        group = by_prefix.get(prefix, [])
+        if not group:
+            continue
+        lines += [f"## {title}", ""]
+        for f in group:
+            lines += [f"### {f.stem}", "", "```text",
+                      f.read_text().rstrip(), "```", ""]
+    return "\n".join(lines)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    base = pathlib.Path(__file__).resolve().parents[3] / "benchmarks" / "results"
+    print(generate_report(base))

@@ -1,0 +1,83 @@
+"""Result containers and ASCII-table rendering for the experiment suite."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["Cell", "TableResult", "render_table", "format_cell"]
+
+
+@dataclass
+class Cell:
+    """mean +- std over seeds (std omitted for single-seed runs)."""
+
+    mean: float
+    std: float | None = None
+
+    @classmethod
+    def from_values(cls, values) -> "Cell":
+        values = np.asarray(list(values), dtype=np.float64)
+        if values.size == 0:
+            return cls(float("nan"))
+        if values.size == 1:
+            return cls(float(values[0]))
+        return cls(float(values.mean()), float(values.std()))
+
+
+def format_cell(cell: Cell | float | str, digits: int = 3) -> str:
+    if isinstance(cell, str):
+        return cell
+    if isinstance(cell, (int, float)):
+        return f"{cell:.{digits}f}"
+    if cell.std is None:
+        return f"{cell.mean:.{digits}f}"
+    return f"{cell.mean:.{digits}f} +- {cell.std:.{digits}f}"
+
+
+@dataclass
+class TableResult:
+    """A reproduced table/figure: named rows of named columns."""
+
+    title: str
+    columns: list[str]
+    rows: dict[str, list[Cell | float | str]] = field(default_factory=dict)
+    notes: list[str] = field(default_factory=list)
+
+    def add_row(self, name: str, cells) -> None:
+        self.rows[name] = list(cells)
+
+    def column(self, col: str) -> dict[str, float]:
+        """Extract one column as {row: mean} (strings skipped)."""
+        j = self.columns.index(col)
+        out = {}
+        for name, cells in self.rows.items():
+            cell = cells[j]
+            if isinstance(cell, Cell):
+                out[name] = cell.mean
+            elif isinstance(cell, (int, float)):
+                out[name] = float(cell)
+        return out
+
+    def render(self, digits: int = 3) -> str:
+        return render_table(self, digits=digits)
+
+
+def render_table(result: TableResult, digits: int = 3) -> str:
+    """Plain-text table: the harness's stand-in for the paper's LaTeX."""
+    headers = ["Model"] + result.columns
+    body = [[name] + [format_cell(c, digits) for c in cells]
+            for name, cells in result.rows.items()]
+    widths = [max(len(str(row[i])) for row in [headers] + body)
+              for i in range(len(headers))]
+
+    def fmt(row):
+        return " | ".join(str(v).ljust(w) for v, w in zip(row, widths))
+
+    sep = "-+-".join("-" * w for w in widths)
+    lines = [result.title, fmt(headers), sep]
+    lines += [fmt(row) for row in body]
+    for note in result.notes:
+        lines.append(f"  note: {note}")
+    return "\n".join(lines)

@@ -1,0 +1,110 @@
+"""Scale presets: smoke (tests), bench (default benchmarks), paper.
+
+The paper's experiments run for hours on a GPU over thousands of series;
+this reproduction runs on CPU through a numpy autodiff, so every experiment
+is parameterized by a :class:`Scale`.  ``bench`` is sized so the full
+benchmark suite finishes in minutes while preserving the *relative*
+comparisons; ``paper`` restores the paper's dataset sizes and training
+budgets.  Select via the ``REPRO_SCALE`` environment variable.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, replace
+
+__all__ = ["Scale", "get_scale", "SCALES"]
+
+
+@dataclass(frozen=True)
+class Scale:
+    name: str
+    # dataset sizes ----------------------------------------------------
+    synthetic_series: int
+    synthetic_grid: int
+    lorenz_windows: int
+    lorenz_window: int
+    lorenz96_dims: int
+    ushcn_stations: int
+    ushcn_length: int
+    physionet_patients: int
+    largest_sensors: int
+    largest_length: int
+    holdout_frac: float
+    # model sizes --------------------------------------------------------
+    latent_dim: int
+    hidden_dim: int
+    hippo_dim: int
+    info_dim: int
+    #: number of integration/readout grid points over [0, 1]
+    grid_size: int
+    # training -----------------------------------------------------------
+    epochs_cls: int
+    epochs_reg: int
+    batch_cls: int
+    batch_reg: int
+    lr: float
+    weight_decay: float
+    patience: int
+    seeds: tuple[int, ...]
+
+    @property
+    def step_size(self) -> float:
+        return 1.0 / (self.grid_size - 1)
+
+
+SCALES = {
+    "smoke": Scale(
+        name="smoke",
+        synthetic_series=24, synthetic_grid=40,
+        lorenz_windows=24, lorenz_window=40, lorenz96_dims=8,
+        ushcn_stations=12, ushcn_length=60,
+        physionet_patients=10,
+        largest_sensors=12, largest_length=96, holdout_frac=0.3,
+        latent_dim=6, hidden_dim=12, hippo_dim=6, info_dim=6,
+        grid_size=8,
+        epochs_cls=2, epochs_reg=2, batch_cls=8, batch_reg=4,
+        lr=3e-3, weight_decay=1e-3, patience=5, seeds=(0,),
+    ),
+    "bench": Scale(
+        name="bench",
+        synthetic_series=120, synthetic_grid=60,
+        lorenz_windows=120, lorenz_window=60, lorenz96_dims=12,
+        ushcn_stations=48, ushcn_length=120,
+        physionet_patients=32,
+        largest_sensors=48, largest_length=168, holdout_frac=0.3,
+        latent_dim=8, hidden_dim=32, hippo_dim=8, info_dim=8,
+        grid_size=11,
+        epochs_cls=30, epochs_reg=25, batch_cls=16, batch_reg=8,
+        lr=3e-3, weight_decay=1e-3, patience=10, seeds=(0,),
+    ),
+    "paper": Scale(
+        name="paper",
+        synthetic_series=1000, synthetic_grid=100,
+        lorenz_windows=500, lorenz_window=100, lorenz96_dims=96,
+        ushcn_stations=1168, ushcn_length=1461,
+        physionet_patients=8000,
+        largest_sensors=8600, largest_length=720, holdout_frac=0.3,
+        latent_dim=16, hidden_dim=32, hippo_dim=16, info_dim=16,
+        grid_size=21,
+        epochs_cls=250, epochs_reg=100, batch_cls=128, batch_reg=32,
+        lr=1e-3, weight_decay=1e-3, patience=20, seeds=(0, 1, 2),
+    ),
+}
+
+
+def get_scale(name: str | None = None) -> Scale:
+    """Resolve a scale by name / ``REPRO_SCALE`` / default ``bench``.
+
+    ``REPRO_SEEDS=0,1,2`` overrides the seed list (more seeds = slower but
+    gives the +- columns of the paper's tables).
+    """
+    name = name or os.environ.get("REPRO_SCALE", "bench")
+    if name not in SCALES:
+        raise KeyError(f"unknown scale {name!r}; choose from {sorted(SCALES)}")
+    scale = SCALES[name]
+    seeds_env = os.environ.get("REPRO_SEEDS")
+    if seeds_env:
+        seeds = tuple(int(s) for s in seeds_env.split(","))
+        scale = replace(scale, seeds=seeds)
+    return scale

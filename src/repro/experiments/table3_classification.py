@@ -1,0 +1,58 @@
+"""Table III: irregular time-series classification (RQ1).
+
+Top-1 accuracy of 13 models on Synthetic / Lorenz63 / Lorenz96.
+"""
+
+from __future__ import annotations
+
+from .common import ALL_MODELS, CLS_DATASETS, build_model, \
+    classification_dataset, train_and_eval
+from .paper_values import TABLE3_ACCURACY
+from .reporting import Cell, TableResult
+from .scale import Scale, get_scale
+
+__all__ = ["run_table3"]
+
+
+def run_table3(scale: Scale | None = None, models: list[str] | None = None,
+               datasets: list[str] | None = None,
+               include_paper: bool = True) -> TableResult:
+    """Regenerate Table III: train every model on every dataset and
+    report test top-1 accuracy next to the paper's numbers."""
+    scale = scale or get_scale()
+    models = models or ALL_MODELS
+    datasets = datasets or CLS_DATASETS
+
+    columns = []
+    for ds in datasets:
+        columns.append(ds)
+        if include_paper:
+            columns.append(f"{ds} (paper)")
+    result = TableResult(
+        title=f"Table III - classification top-1 accuracy [{scale.name}]",
+        columns=columns,
+        notes=[f"scale={scale.name}: sizes/epochs reduced vs the paper; "
+               "compare ordering, not absolute accuracy"])
+
+    data_cache = {(ds, seed): classification_dataset(ds, scale, seed=seed)
+                  for ds in datasets for seed in scale.seeds}
+    for model_name in models:
+        cells: list = []
+        for ds in datasets:
+            values = []
+            for seed in scale.seeds:
+                dataset = data_cache[(ds, seed)]
+                model = build_model(model_name, dataset, scale, seed=seed)
+                outcome = train_and_eval(model, dataset, scale, seed=seed,
+                                         model_name=model_name)
+                values.append(outcome.metric)
+            cells.append(Cell.from_values(values))
+            if include_paper:
+                paper = TABLE3_ACCURACY.get(model_name, {}).get(ds)
+                cells.append("-" if paper is None else f"{paper:.3f}")
+        result.add_row(model_name, cells)
+    return result
+
+
+if __name__ == "__main__":  # pragma: no cover
+    print(run_table3().render())

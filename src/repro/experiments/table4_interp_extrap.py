@@ -1,0 +1,70 @@
+"""Table IV: interpolation & extrapolation MSE (RQ2).
+
+MSE (x 10^-2, Eq. 38) of 13 models on USHCN / PhysioNet / LargeST for both
+tasks.
+"""
+
+from __future__ import annotations
+
+from .common import ALL_MODELS, REG_DATASETS, build_model, \
+    regression_dataset, train_and_eval
+from .paper_values import TABLE4_MSE
+from .reporting import Cell, TableResult
+from .scale import Scale, get_scale
+
+__all__ = ["run_table4"]
+
+_TASKS = (("interpolation", "interp"), ("extrapolation", "extrap"))
+
+
+def run_table4(scale: Scale | None = None, models: list[str] | None = None,
+               datasets: list[str] | None = None,
+               include_paper: bool = True) -> TableResult:
+    """Regenerate Table IV: interpolation + extrapolation MSE for every
+    model on every regression dataset."""
+    scale = scale or get_scale()
+    models = models or ALL_MODELS
+    datasets = datasets or REG_DATASETS
+
+    columns = []
+    for ds in datasets:
+        for _, short in _TASKS:
+            columns.append(f"{ds}/{short}")
+            if include_paper:
+                columns.append(f"{ds}/{short} (paper)")
+    result = TableResult(
+        title=f"Table IV - interpolation/extrapolation MSE x 1e-2 "
+              f"[{scale.name}]",
+        columns=columns,
+        notes=["lower is better; synthetic stand-ins for USHCN/PhysioNet/"
+               "LargeST (see DESIGN.md) so absolute values differ"])
+
+    data_cache = {}
+    for ds in datasets:
+        for task, _ in _TASKS:
+            for seed in scale.seeds:
+                data_cache[(ds, task, seed)] = regression_dataset(
+                    ds, task, scale, seed=seed)
+
+    for model_name in models:
+        cells: list = []
+        for ds in datasets:
+            for task, short in _TASKS:
+                values = []
+                for seed in scale.seeds:
+                    dataset = data_cache[(ds, task, seed)]
+                    model = build_model(model_name, dataset, scale, seed=seed)
+                    outcome = train_and_eval(model, dataset, scale,
+                                             seed=seed,
+                                             model_name=model_name)
+                    values.append(outcome.metric)
+                cells.append(Cell.from_values(values))
+                if include_paper:
+                    paper = TABLE4_MSE.get(model_name, {}).get((ds, short))
+                    cells.append("-" if paper is None else f"{paper:.3f}")
+        result.add_row(model_name, cells)
+    return result
+
+
+if __name__ == "__main__":  # pragma: no cover
+    print(run_table4().render())

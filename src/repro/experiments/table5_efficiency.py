@@ -1,0 +1,63 @@
+"""Table V: model efficiency (RQ3).
+
+Theoretical time complexity plus measured wall-clock seconds per training
+epoch on the USHCN interpolation task, for the seven models the paper
+lists.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from ..training import TrainConfig, Trainer
+from ..data import train_val_test_split
+from .common import build_model, regression_dataset
+from .paper_values import TABLE5_TIME
+from .reporting import TableResult
+from .scale import Scale, get_scale
+
+__all__ = ["run_table5", "measure_epoch_seconds"]
+
+_MODELS = list(TABLE5_TIME)
+
+
+def measure_epoch_seconds(model_name: str, scale: Scale, seed: int = 0,
+                          repeats: int = 1) -> float:
+    """Median wall-clock time of one training epoch on USHCN interp."""
+    dataset = regression_dataset("USHCN", "interpolation", scale, seed=seed)
+    train_set, _, _ = train_val_test_split(
+        dataset, 0.6, 0.2, np.random.default_rng(seed + 1))
+    model = build_model(model_name, dataset, scale, seed=seed)
+    trainer = Trainer(model, "regression", TrainConfig(
+        epochs=1, batch_size=scale.batch_reg, lr=scale.lr, seed=seed))
+    rng = np.random.default_rng(seed)
+    times = []
+    for _ in range(repeats):
+        start = time.perf_counter()
+        trainer.train_epoch(train_set, rng)
+        times.append(time.perf_counter() - start)
+    return float(np.median(times))
+
+
+def run_table5(scale: Scale | None = None,
+               models: list[str] | None = None) -> TableResult:
+    """Regenerate Table V: complexity column + measured seconds/epoch."""
+    scale = scale or get_scale()
+    models = models or _MODELS
+    result = TableResult(
+        title=f"Table V - efficiency on USHCN interpolation [{scale.name}]",
+        columns=["Complexity", "s/epoch", "s/epoch (paper)"],
+        notes=["absolute times are CPU+numpy vs the paper's GPU; compare "
+               "relative ordering"])
+    for name in models:
+        complexity, paper_sec = TABLE5_TIME.get(name, ("-", None))
+        sec = measure_epoch_seconds(name, scale)
+        result.add_row(name, [complexity, sec,
+                              "-" if paper_sec is None else f"{paper_sec}"])
+    return result
+
+
+if __name__ == "__main__":  # pragma: no cover
+    print(run_table5().render())

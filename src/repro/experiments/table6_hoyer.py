@@ -1,0 +1,61 @@
+"""Table VI: effect of the Hoyer metric (RQ5).
+
+DIFFODE with the three strategies for recovering ``p_t`` - maxHoyer
+(Theorem 2), minNorm (least-norm solution), adaH (trainable ``h``) - on
+USHCN and PhysioNet, interpolation and extrapolation.
+"""
+
+from __future__ import annotations
+
+from .common import build_model, regression_dataset, train_and_eval
+from .paper_values import TABLE6_MSE
+from .reporting import Cell, TableResult
+from .scale import Scale, get_scale
+
+__all__ = ["run_table6", "P_SOLVER_LABELS"]
+
+P_SOLVER_LABELS = {"max_hoyer": "maxHoyer", "min_norm": "minNorm",
+                   "ada_h": "adaH"}
+_SETTINGS = [("USHCN", "interpolation", "interp"),
+             ("USHCN", "extrapolation", "extrap"),
+             ("PhysioNet", "interpolation", "interp"),
+             ("PhysioNet", "extrapolation", "extrap")]
+
+
+def run_table6(scale: Scale | None = None,
+               datasets: list[str] | None = None,
+               include_paper: bool = True) -> TableResult:
+    """Regenerate Table VI: DIFFODE under the three p_t strategies."""
+    scale = scale or get_scale()
+    settings = [s for s in _SETTINGS
+                if datasets is None or s[0] in datasets]
+    columns = []
+    for solver in P_SOLVER_LABELS.values():
+        columns.append(solver)
+        if include_paper:
+            columns.append(f"{solver} (paper)")
+    result = TableResult(
+        title=f"Table VI - p_t strategy ablation, MSE x 1e-2 [{scale.name}]",
+        columns=columns)
+
+    for ds, task, short in settings:
+        cells: list = []
+        for solver, label in P_SOLVER_LABELS.items():
+            values = []
+            for seed in scale.seeds:
+                dataset = regression_dataset(ds, task, scale, seed=seed)
+                model = build_model("DIFFODE", dataset, scale, seed=seed,
+                                    p_solver=solver)
+                outcome = train_and_eval(model, dataset, scale, seed=seed,
+                                         model_name="DIFFODE")
+                values.append(outcome.metric)
+            cells.append(Cell.from_values(values))
+            if include_paper:
+                paper = TABLE6_MSE.get((ds, short), {}).get(label)
+                cells.append("-" if paper is None else f"{paper:.3f}")
+        result.add_row(f"{ds}/{short}", cells)
+    return result
+
+
+if __name__ == "__main__":  # pragma: no cover
+    print(run_table6().render())

@@ -1,0 +1,27 @@
+"""Linear-algebra substrate: generalized inverses, Hoyer metric, HiPPO."""
+
+from .pinv import (
+    check_moore_penrose,
+    pinv,
+    pinv_full_row_rank,
+    projector_complement,
+)
+from .hoyer import hoyer, hoyer_abs, hoyer_np
+from .spline import NaturalCubicSpline, natural_cubic_coefficients
+from .hippo import hippo_legs, hippo_legt, legs_discrete_update, reconstruct_legs
+
+__all__ = [
+    "pinv",
+    "pinv_full_row_rank",
+    "projector_complement",
+    "check_moore_penrose",
+    "hoyer",
+    "hoyer_abs",
+    "hoyer_np",
+    "NaturalCubicSpline",
+    "natural_cubic_coefficients",
+    "hippo_legs",
+    "hippo_legt",
+    "legs_discrete_update",
+    "reconstruct_legs",
+]

@@ -1,0 +1,83 @@
+"""HiPPO operators (Gu et al. 2020) used by DIFFODE's output head (Eq. 36)
+and by the HiPPO-RNN / HiPPO-obs / S4 baselines.
+
+We implement the two classic measure families:
+
+* **LegT** (translated Legendre, sliding window): the ODE form
+  ``dc/dt = A c + B f(t)`` with the LegT ``(A, B)`` matrices;
+* **LegS** (scaled Legendre, full history): ``dc/dt = (1/t)(A c + B f(t))``
+  and its bilinear discrete update used by HiPPO-RNN.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "hippo_legt",
+    "hippo_legs",
+    "legs_discrete_update",
+    "reconstruct_legs",
+]
+
+
+def hippo_legt(order: int, theta: float = 1.0) -> tuple[np.ndarray, np.ndarray]:
+    """LegT transition matrices for window length ``theta``.
+
+    Returns ``(A, B)`` with ``A`` (order, order), ``B`` (order,).
+    """
+    q = np.arange(order, dtype=np.float64)
+    a = np.zeros((order, order))
+    for n in range(order):
+        for k in range(order):
+            if n >= k:
+                a[n, k] = -(2 * n + 1) * 1.0
+            else:
+                a[n, k] = -(2 * n + 1) * (-1.0) ** (n - k)
+    b = (2 * q + 1) * ((-1.0) ** q)
+    return a / theta, b / theta
+
+
+def hippo_legs(order: int) -> tuple[np.ndarray, np.ndarray]:
+    """LegS transition matrices (scaled Legendre measure, Eq. 2 of HiPPO).
+
+    ``A[n,k] = -(2n+1)^{1/2}(2k+1)^{1/2}`` for n > k, ``-(n+1)`` for n == k,
+    0 otherwise; ``B[n] = (2n+1)^{1/2}``.
+    """
+    q = np.arange(order, dtype=np.float64)
+    col, row = np.meshgrid(q, q)
+    r = 2 * q + 1
+    m = -(np.where(row >= col, np.sqrt(r[:, None] * r[None, :]), 0.0))
+    a = m + np.diag(q)  # combine: diagonal becomes -(n+1)
+    b = np.sqrt(2 * q + 1)
+    return a, b
+
+
+def legs_discrete_update(c: np.ndarray, f: np.ndarray, step: int,
+                         a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Bilinear (Tustin) discretized LegS update at integer ``step >= 1``.
+
+    ``c_k = (I - A/(2k))^{-1} [ (I + A/(2k)) c_{k-1} + B/k * f_k ]``
+
+    Shapes: ``c`` (..., order), ``f`` (...,) scalar feature per series.
+    """
+    order = a.shape[0]
+    k = float(step)
+    lhs = np.eye(order) - a / (2.0 * k)
+    rhs = (np.eye(order) + a / (2.0 * k)) @ c[..., None]
+    rhs = rhs[..., 0] + (b / k) * np.asarray(f)[..., None]
+    return np.linalg.solve(lhs, rhs[..., None])[..., 0]
+
+
+def reconstruct_legs(c: np.ndarray, num_points: int = 100) -> np.ndarray:
+    """Reconstruct the history signal encoded by LegS coefficients.
+
+    Evaluates ``sum_n c_n sqrt(2n+1) P_n(2s - 1)`` on ``s in [0, 1]``; used
+    by tests to confirm the HiPPO memory actually stores the sequence.
+    """
+    order = c.shape[-1]
+    s = np.linspace(0.0, 1.0, num_points)
+    x = 2.0 * s - 1.0
+    basis = np.stack([np.polynomial.legendre.Legendre.basis(n)(x)
+                      * np.sqrt(2 * n + 1) for n in range(order)], axis=-1)
+    return c @ basis.T

@@ -1,0 +1,50 @@
+"""Hoyer sparsity metric (Hurley & Rickard 2009), Definition 2 of the paper.
+
+``Hoyer(x) = (sqrt(N) - ||x||_1 / ||x||_2) / (sqrt(N) - 1)``
+
+Note the paper writes ``sum(x_i)`` rather than ``sum(|x_i|)`` in Eq. 14;
+for attention probabilities (non-negative, summing to one) the two agree,
+and the relaxed Theorem-2 solution explicitly allows negative entries, so we
+keep the paper's literal form by default and expose the absolute-value
+variant as ``hoyer_abs`` for measurement purposes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..autodiff import Tensor, as_tensor
+
+__all__ = ["hoyer", "hoyer_abs", "hoyer_np"]
+
+_EPS = 1e-12
+
+
+def hoyer(x: Tensor, axis: int = -1) -> Tensor:
+    """Differentiable Hoyer metric along ``axis`` (paper's Eq. 14)."""
+    x = as_tensor(x)
+    n = x.shape[axis]
+    root_n = float(np.sqrt(n))
+    l1 = x.sum(axis=axis)
+    l2 = ((x * x).sum(axis=axis) + _EPS).sqrt()
+    return (root_n - l1 / l2) * (1.0 / (root_n - 1.0))
+
+
+def hoyer_abs(x: Tensor, axis: int = -1) -> Tensor:
+    """Hoyer metric with the conventional ``||x||_1`` numerator."""
+    x = as_tensor(x)
+    n = x.shape[axis]
+    root_n = float(np.sqrt(n))
+    l1 = x.abs().sum(axis=axis)
+    l2 = ((x * x).sum(axis=axis) + _EPS).sqrt()
+    return (root_n - l1 / l2) * (1.0 / (root_n - 1.0))
+
+
+def hoyer_np(x: np.ndarray, axis: int = -1, use_abs: bool = True) -> np.ndarray:
+    """Plain-numpy Hoyer for reporting (Fig. 3 sparsity measurements)."""
+    x = np.asarray(x, dtype=np.float64)
+    n = x.shape[axis]
+    root_n = np.sqrt(n)
+    l1 = np.abs(x).sum(axis=axis) if use_abs else x.sum(axis=axis)
+    l2 = np.sqrt((x ** 2).sum(axis=axis) + _EPS)
+    return (root_n - l1 / l2) / (root_n - 1.0)

@@ -1,0 +1,84 @@
+"""Generalized inverses used by the DHS backward-attention computation.
+
+The paper (Definition 1) builds on the Moore-Penrose inverse.  Two
+differentiable implementations are provided:
+
+* :func:`pinv` - general Moore-Penrose inverse (Tensor primitive with the
+  Golub-Pereyra differential, defined in :mod:`repro.autodiff.tensor`);
+* :func:`pinv_full_row_rank` - the fast path the paper uses: for
+  ``A = Z^T`` (d x n) with full row rank, ``A^+ = Z (Z^T Z)^{-1}``.
+
+Plus :func:`check_moore_penrose` which verifies all four M-P equations, used
+by the test-suite to validate both paths.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..autodiff import Tensor, as_tensor
+
+__all__ = [
+    "pinv",
+    "pinv_full_row_rank",
+    "projector_complement",
+    "check_moore_penrose",
+]
+
+
+def pinv(a: Tensor) -> Tensor:
+    """Differentiable Moore-Penrose inverse of ``a`` (batched)."""
+    return as_tensor(a).pinv()
+
+
+def pinv_full_row_rank(z: Tensor, ridge: float = 1e-8) -> Tensor:
+    """Moore-Penrose inverse of ``Z^T`` assuming ``Z^T`` has full row rank.
+
+    Given ``Z`` of shape (..., n, d) with ``n > d`` and rank d, returns
+    ``(Z^T)^+ = Z (Z^T Z)^{-1}`` of shape (..., n, d).  A tiny ridge keeps
+    the Gram matrix invertible when latent representations are nearly
+    collinear early in training.
+    """
+    z = as_tensor(z)
+    d = z.shape[-1]
+    gram = z.transpose() @ z
+    if ridge:
+        gram = gram + Tensor(ridge * np.eye(d))
+    return z @ gram.inv()
+
+
+def projector_complement(z: Tensor, zt_pinv: Tensor,
+                         mask: np.ndarray | None = None) -> Tensor:
+    """The matrix ``A = I_n - (Z^T)^+ Z^T`` from Eq. 13 / Eq. 32.
+
+    ``A`` projects onto the null space of ``Z^T``, i.e. the directions of
+    ``p`` that do not change ``S = pZ``.  With padding, the identity is
+    replaced by ``diag(mask)`` so padded coordinates stay exactly zero.
+    """
+    z = as_tensor(z)
+    n = z.shape[-2]
+    if mask is None:
+        eye = np.eye(n)
+    else:
+        mask = np.asarray(mask, dtype=np.float64)
+        eye = np.zeros(mask.shape[:-1] + (n, n))
+        idx = np.arange(n)
+        eye[..., idx, idx] = mask
+    return Tensor(eye) - zt_pinv @ z.transpose()
+
+
+def check_moore_penrose(a: np.ndarray, g: np.ndarray,
+                        atol: float = 1e-8) -> dict[str, bool]:
+    """Check which of the four Moore-Penrose equations ``g`` satisfies.
+
+    Returns a dict with keys ``AGA``, ``GAG``, ``(AG)^H`` and ``(GA)^H``
+    (Definition 1 of the paper).
+    """
+    ag = a @ g
+    ga = g @ a
+    return {
+        "AGA": bool(np.allclose(a @ g @ a, a, atol=atol)),
+        "GAG": bool(np.allclose(g @ a @ g, g, atol=atol)),
+        "(AG)^H": bool(np.allclose(ag.conj().T, ag, atol=atol)),
+        "(GA)^H": bool(np.allclose(ga.conj().T, ga, atol=atol)),
+    }

@@ -1,0 +1,24 @@
+"""Neural-network layer library built on repro.autodiff."""
+
+from .module import Module, Parameter, Sequential
+from .linear import MLP, Identity, LayerNorm, Linear, ReLU, Sigmoid, Tanh
+from .recurrent import GRU, GRUCell, LSTMCell
+from .attention import MultiHeadAttention, scaled_dot_product_attention
+
+__all__ = [
+    "Module",
+    "Parameter",
+    "Sequential",
+    "Linear",
+    "MLP",
+    "Tanh",
+    "ReLU",
+    "Sigmoid",
+    "Identity",
+    "LayerNorm",
+    "GRUCell",
+    "LSTMCell",
+    "GRU",
+    "MultiHeadAttention",
+    "scaled_dot_product_attention",
+]

@@ -1,0 +1,65 @@
+"""Attention blocks shared by DIFFODE (DHS) and attention baselines."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..autodiff import Tensor, concat, masked_softmax, softmax
+from .linear import Linear
+from .module import Module
+
+__all__ = ["scaled_dot_product_attention", "MultiHeadAttention"]
+
+
+def scaled_dot_product_attention(query: Tensor, key: Tensor, value: Tensor,
+                                 mask: np.ndarray | None = None
+                                 ) -> tuple[Tensor, Tensor]:
+    """Classic attention: returns (output, probabilities).
+
+    Shapes: query (..., Lq, d), key (..., Lk, d), value (..., Lk, dv);
+    mask broadcasts to (..., Lq, Lk) and marks valid key positions with 1.
+    """
+    d = query.shape[-1]
+    scores = (query @ key.transpose()) * (1.0 / np.sqrt(d))
+    if mask is not None:
+        probs = masked_softmax(scores, mask, axis=-1)
+    else:
+        probs = softmax(scores, axis=-1)
+    return probs @ value, probs
+
+
+class MultiHeadAttention(Module):
+    """Multi-head attention with per-head projections.
+
+    Used by the ContiFormer/mTAN baselines and by the multi-head ablation of
+    DIFFODE (Fig. 6).
+    """
+
+    def __init__(self, model_dim: int, num_heads: int, rng: np.random.Generator):
+        super().__init__()
+        if model_dim % num_heads != 0:
+            raise ValueError("model_dim must be divisible by num_heads")
+        self.num_heads = num_heads
+        self.head_dim = model_dim // num_heads
+        self.wq = Linear(model_dim, model_dim, rng)
+        self.wk = Linear(model_dim, model_dim, rng)
+        self.wv = Linear(model_dim, model_dim, rng)
+        self.wo = Linear(model_dim, model_dim, rng)
+
+    def _split(self, x: Tensor) -> Tensor:
+        """(B, L, D) -> (B, H, L, Dh)."""
+        b, length, _ = x.shape
+        return x.reshape(b, length, self.num_heads, self.head_dim).permute(0, 2, 1, 3)
+
+    def forward(self, query: Tensor, key: Tensor, value: Tensor,
+                mask: np.ndarray | None = None) -> Tensor:
+        b, lq, _ = query.shape
+        q = self._split(self.wq(query))
+        k = self._split(self.wk(key))
+        v = self._split(self.wv(value))
+        head_mask = None
+        if mask is not None:
+            head_mask = np.asarray(mask)[:, None, None, :]  # (B,1,1,Lk)
+        out, _ = scaled_dot_product_attention(q, k, v, mask=head_mask)
+        merged = out.permute(0, 2, 1, 3).reshape(b, lq, self.num_heads * self.head_dim)
+        return self.wo(merged)

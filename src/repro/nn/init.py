@@ -1,0 +1,42 @@
+"""Weight initializers (numpy RNG based, fully seedable)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["xavier_uniform", "kaiming_uniform", "orthogonal", "zeros", "normal"]
+
+
+def xavier_uniform(rng: np.random.Generator, fan_in: int, fan_out: int,
+                   shape: tuple[int, ...] | None = None) -> np.ndarray:
+    """Glorot uniform initialization."""
+    limit = np.sqrt(6.0 / (fan_in + fan_out))
+    shape = shape or (fan_in, fan_out)
+    return rng.uniform(-limit, limit, size=shape)
+
+
+def kaiming_uniform(rng: np.random.Generator, fan_in: int,
+                    shape: tuple[int, ...]) -> np.ndarray:
+    """He uniform initialization for ReLU fan-in."""
+    limit = np.sqrt(3.0 / fan_in)
+    return rng.uniform(-limit, limit, size=shape)
+
+
+def orthogonal(rng: np.random.Generator, rows: int, cols: int,
+               gain: float = 1.0) -> np.ndarray:
+    """Orthogonal initialization (QR of a Gaussian), good for RNN kernels."""
+    a = rng.normal(size=(max(rows, cols), min(rows, cols)))
+    q, r = np.linalg.qr(a)
+    q *= np.sign(np.diag(r))
+    if rows < cols:
+        q = q.T
+    return gain * q[:rows, :cols]
+
+
+def zeros(shape: tuple[int, ...]) -> np.ndarray:
+    return np.zeros(shape, dtype=np.float64)
+
+
+def normal(rng: np.random.Generator, shape: tuple[int, ...],
+           std: float = 0.02) -> np.ndarray:
+    return rng.normal(scale=std, size=shape)

@@ -1,0 +1,101 @@
+"""Dense layers: Linear, MLP and simple activation modules."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..autodiff import Tensor
+from . import init
+from .module import Module, Parameter
+
+__all__ = ["Linear", "MLP", "Tanh", "ReLU", "Sigmoid", "Identity",
+           "LayerNorm"]
+
+
+class Linear(Module):
+    """Affine map ``y = x W + b`` acting on the last axis."""
+
+    def __init__(self, in_features: int, out_features: int,
+                 rng: np.random.Generator, bias: bool = True):
+        super().__init__()
+        self.in_features = in_features
+        self.out_features = out_features
+        self.weight = Parameter(
+            init.xavier_uniform(rng, in_features, out_features), name="weight")
+        self.bias = Parameter(init.zeros((out_features,)), name="bias") if bias else None
+
+    def forward(self, x: Tensor) -> Tensor:
+        out = x @ self.weight
+        if self.bias is not None:
+            out = out + self.bias
+        return out
+
+
+class Tanh(Module):
+    def forward(self, x: Tensor) -> Tensor:
+        return x.tanh()
+
+
+class ReLU(Module):
+    def forward(self, x: Tensor) -> Tensor:
+        return x.relu()
+
+
+class Sigmoid(Module):
+    def forward(self, x: Tensor) -> Tensor:
+        return x.sigmoid()
+
+
+class Identity(Module):
+    def forward(self, x: Tensor) -> Tensor:
+        return x
+
+
+_ACTIVATIONS = {"tanh": Tanh, "relu": ReLU, "sigmoid": Sigmoid, "identity": Identity}
+
+
+class MLP(Module):
+    """Multi-layer perceptron with configurable hidden widths.
+
+    The paper's DIFFODE uses "an MLP with one hidden layer" for both the
+    dynamics network phi and the output mapping; this class covers those and
+    the deeper heads used by some baselines.
+    """
+
+    def __init__(self, in_features: int, hidden: list[int] | tuple[int, ...],
+                 out_features: int, rng: np.random.Generator,
+                 activation: str = "tanh", final_activation: str = "identity"):
+        super().__init__()
+        if activation not in _ACTIVATIONS or final_activation not in _ACTIVATIONS:
+            raise ValueError(f"unknown activation: {activation}/{final_activation}")
+        widths = [in_features, *hidden, out_features]
+        self.linears: list[Linear] = []
+        for i, (a, b) in enumerate(zip(widths[:-1], widths[1:])):
+            layer = Linear(a, b, rng)
+            setattr(self, f"fc{i}", layer)
+            self.linears.append(layer)
+        self.act = _ACTIVATIONS[activation]()
+        self.final_act = _ACTIVATIONS[final_activation]()
+
+    def forward(self, x: Tensor) -> Tensor:
+        for layer in self.linears[:-1]:
+            x = self.act(layer(x))
+        return self.final_act(self.linears[-1](x))
+
+
+class LayerNorm(Module):
+    """Layer normalization over the last axis with learnable scale/shift."""
+
+    def __init__(self, dim: int, eps: float = 1e-5):
+        super().__init__()
+        from .module import Parameter
+        self.eps = eps
+        self.gamma = Parameter(np.ones(dim), name="gamma")
+        self.beta = Parameter(init.zeros((dim,)), name="beta")
+
+    def forward(self, x: Tensor) -> Tensor:
+        mean = x.mean(axis=-1, keepdims=True)
+        centered = x - mean
+        var = (centered * centered).mean(axis=-1, keepdims=True)
+        normed = centered / (var + self.eps).sqrt()
+        return normed * self.gamma + self.beta

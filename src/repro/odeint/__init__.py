@@ -1,0 +1,21 @@
+"""Differentiable ODE solvers (the torchdiffeq stand-in)."""
+
+from .interface import METHODS, odeint
+from .adjoint import odeint_adjoint
+from .events import odeint_event
+from .adams import AdamsBashforthMoulton
+from .dopri5 import dopri5_integrate
+from .fixed import FIXED_STEPPERS, euler_step, midpoint_step, rk4_step
+
+__all__ = [
+    "odeint",
+    "odeint_adjoint",
+    "odeint_event",
+    "METHODS",
+    "AdamsBashforthMoulton",
+    "dopri5_integrate",
+    "FIXED_STEPPERS",
+    "euler_step",
+    "midpoint_step",
+    "rk4_step",
+]

@@ -1,0 +1,92 @@
+"""Adaptive Dormand-Prince 4(5) solver with PI step-size control.
+
+Step-size decisions are made on detached values (standard practice: the
+controller is piecewise-constant in the inputs so it does not need a
+gradient), while the accepted states remain differentiable Tensor
+expressions.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from ..autodiff import Tensor
+
+__all__ = ["dopri5_integrate"]
+
+OdeFunc = Callable[[float, Tensor], Tensor]
+
+# Butcher tableau for Dormand-Prince RK45.
+_C = (0.0, 1 / 5, 3 / 10, 4 / 5, 8 / 9, 1.0, 1.0)
+_A = (
+    (),
+    (1 / 5,),
+    (3 / 40, 9 / 40),
+    (44 / 45, -56 / 15, 32 / 9),
+    (19372 / 6561, -25360 / 2187, 64448 / 6561, -212 / 729),
+    (9017 / 3168, -355 / 33, 46732 / 5247, 49 / 176, -5103 / 18656),
+    (35 / 384, 0.0, 500 / 1113, 125 / 192, -2187 / 6784, 11 / 84),
+)
+_B5 = (35 / 384, 0.0, 500 / 1113, 125 / 192, -2187 / 6784, 11 / 84, 0.0)
+_B4 = (5179 / 57600, 0.0, 7571 / 16695, 393 / 640, -92097 / 339200,
+       187 / 2100, 1 / 40)
+
+
+def _error_norm(err: np.ndarray, y0: np.ndarray, y1: np.ndarray,
+                rtol: float, atol: float) -> float:
+    scale = atol + rtol * np.maximum(np.abs(y0), np.abs(y1))
+    return float(np.sqrt(np.mean((err / scale) ** 2)))
+
+
+def dopri5_integrate(func: OdeFunc, y0: Tensor, t0: float, t1: float,
+                     rtol: float = 1e-5, atol: float = 1e-7,
+                     first_step: float | None = None,
+                     max_steps: int = 10_000) -> Tensor:
+    """Integrate from ``t0`` to ``t1`` adaptively; returns y(t1)."""
+    if t1 == t0:
+        return y0
+    direction = 1.0 if t1 > t0 else -1.0
+    span = abs(t1 - t0)
+    dt = first_step if first_step is not None else span / 10.0
+    dt = min(dt, span)
+
+    t = t0
+    y = y0
+    steps = 0
+    while (t1 - t) * direction > 1e-12:
+        if steps >= max_steps:
+            raise RuntimeError(f"dopri5 exceeded {max_steps} steps")
+        steps += 1
+        dt = min(dt, abs(t1 - t))
+        h = direction * dt
+
+        k: list[Tensor] = []
+        for stage in range(7):
+            ti = t + _C[stage] * h
+            yi = y
+            for j, a in enumerate(_A[stage]):
+                if a != 0.0:
+                    yi = yi + k[j] * (a * h)
+            k.append(func(ti, yi))
+
+        y5 = y
+        for j, b in enumerate(_B5):
+            if b != 0.0:
+                y5 = y5 + k[j] * (b * h)
+        # Embedded 4th-order estimate for error control (values only).
+        y4 = y.data.copy()
+        for j, b in enumerate(_B4):
+            if b != 0.0:
+                y4 = y4 + k[j].data * (b * h)
+
+        err = _error_norm(y5.data - y4, y.data, y5.data, rtol, atol)
+        if err <= 1.0 or dt <= 1e-10 * span:
+            t = t + h
+            y = y5
+            growth = 0.9 * (max(err, 1e-10) ** -0.2)
+            dt = dt * float(np.clip(growth, 0.2, 5.0))
+        else:
+            dt = dt * float(np.clip(0.9 * err ** -0.25, 0.1, 0.9))
+    return y

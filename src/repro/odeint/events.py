@@ -1,0 +1,74 @@
+"""Event-terminated integration: solve until a scalar event function
+crosses zero (torchdiffeq's ``odeint_event`` analogue).
+
+Used to answer questions like "when does the predicted vital sign cross a
+clinical threshold?" - see ``tests/odeint/test_events.py`` for worked
+examples.  The event time is located by bisection on the sign change;
+states stay differentiable Tensor expressions (the event *time* itself is
+returned as a plain float, i.e. we do not implement the implicit-function
+gradient of the event time).
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from ..autodiff import Tensor
+from .fixed import FIXED_STEPPERS
+
+__all__ = ["odeint_event"]
+
+OdeFunc = Callable[[float, Tensor], Tensor]
+EventFunc = Callable[[float, Tensor], float]
+
+
+def odeint_event(func: OdeFunc, y0: Tensor, t0: float,
+                 event_fn: EventFunc, t_max: float,
+                 method: str = "rk4", step_size: float = 0.01,
+                 bisect_iters: int = 30) -> tuple[float, Tensor]:
+    """Integrate from ``t0`` until ``event_fn(t, y)`` changes sign.
+
+    Parameters
+    ----------
+    event_fn:
+        Scalar function of ``(t, y)``; integration stops at its first zero
+        crossing.  Must be nonzero at ``(t0, y0)``.
+    t_max:
+        Give up (raise RuntimeError) if no event occurs by this time.
+
+    Returns
+    -------
+    ``(t_event, y_event)``.
+    """
+    if method not in FIXED_STEPPERS:
+        raise ValueError(f"unsupported method {method!r}")
+    if t_max <= t0:
+        raise ValueError("t_max must exceed t0")
+    stepper = FIXED_STEPPERS[method]
+
+    t = float(t0)
+    y = y0
+    sign0 = np.sign(event_fn(t, y))
+    if sign0 == 0:
+        return t, y
+
+    while t < t_max - 1e-12:
+        dt = min(step_size, t_max - t)
+        y_next = stepper(func, t, dt, y)
+        if np.sign(event_fn(t + dt, y_next)) != sign0:
+            # bracket found: bisect on the step fraction
+            lo, hi = 0.0, dt
+            for _ in range(bisect_iters):
+                mid = (lo + hi) / 2.0
+                y_mid = stepper(func, t, mid, y)
+                if np.sign(event_fn(t + mid, y_mid)) != sign0:
+                    hi = mid
+                else:
+                    lo = mid
+            y_event = stepper(func, t, hi, y)
+            return t + hi, y_event
+        t += dt
+        y = y_next
+    raise RuntimeError(f"no event before t_max={t_max}")

@@ -1,0 +1,44 @@
+"""Fixed-grid explicit solvers: Euler, midpoint, RK4.
+
+Each ``step`` maps ``(func, t, dt, y) -> y_next`` using Tensor operations, so
+gradients flow through the solver (discrete backprop-through-the-solver, the
+default training mode of this reproduction, equivalent to torchdiffeq's
+``odeint`` without the adjoint).
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from ..autodiff import Tensor
+
+__all__ = ["euler_step", "midpoint_step", "rk4_step", "FIXED_STEPPERS"]
+
+OdeFunc = Callable[[float, Tensor], Tensor]
+
+
+def euler_step(func: OdeFunc, t: float, dt: float, y: Tensor) -> Tensor:
+    """Explicit Euler: first order."""
+    return y + func(t, y) * dt
+
+
+def midpoint_step(func: OdeFunc, t: float, dt: float, y: Tensor) -> Tensor:
+    """Explicit midpoint: second order."""
+    half = func(t, y) * (dt / 2.0)
+    return y + func(t + dt / 2.0, y + half) * dt
+
+
+def rk4_step(func: OdeFunc, t: float, dt: float, y: Tensor) -> Tensor:
+    """Classic fourth-order Runge-Kutta."""
+    k1 = func(t, y)
+    k2 = func(t + dt / 2.0, y + k1 * (dt / 2.0))
+    k3 = func(t + dt / 2.0, y + k2 * (dt / 2.0))
+    k4 = func(t + dt, y + k3 * dt)
+    return y + (k1 + (k2 + k3) * 2.0 + k4) * (dt / 6.0)
+
+
+FIXED_STEPPERS: dict[str, Callable[[OdeFunc, float, float, Tensor], Tensor]] = {
+    "euler": euler_step,
+    "midpoint": midpoint_step,
+    "rk4": rk4_step,
+}

@@ -1,0 +1,107 @@
+"""User-facing ``odeint`` entry point (the torchdiffeq stand-in).
+
+``odeint(func, y0, t)`` integrates ``dy/dt = func(t, y)`` and returns the
+solution at every requested time, stacked along a new leading axis.  All
+methods are differentiable by backprop through the solver's internal Tensor
+expressions; :mod:`repro.odeint.adjoint` offers the memory-light continuous
+adjoint alternative.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Sequence
+
+import numpy as np
+
+from ..autodiff import Tensor, stack
+from .adams import AdamsBashforthMoulton
+from .dopri5 import dopri5_integrate
+from .fixed import FIXED_STEPPERS
+
+__all__ = ["odeint", "METHODS"]
+
+OdeFunc = Callable[[float, Tensor], Tensor]
+
+METHODS = ("euler", "midpoint", "rk4", "implicit_adams", "dopri5")
+
+
+def _validate_times(t: Sequence[float]) -> np.ndarray:
+    times = np.asarray(t, dtype=np.float64).reshape(-1)
+    if times.size < 2:
+        raise ValueError("odeint needs at least two time points")
+    diffs = np.diff(times)
+    if not (np.all(diffs > 0) or np.all(diffs < 0)):
+        raise ValueError("time points must be strictly monotonic")
+    return times
+
+
+def odeint(func: OdeFunc, y0: Tensor, t: Sequence[float],
+           method: str = "rk4", step_size: float | None = None,
+           rtol: float = 1e-5, atol: float = 1e-7,
+           corrector_iters: int = 1) -> Tensor:
+    """Integrate an ODE and evaluate at times ``t``.
+
+    Parameters
+    ----------
+    func:
+        Right-hand side ``f(t, y) -> dy/dt``; must accept/return Tensors of
+        the same shape as ``y0``.
+    y0:
+        Initial state at ``t[0]``.
+    t:
+        Strictly monotonic sequence of output times (first entry = initial
+        time).
+    method:
+        One of ``euler | midpoint | rk4 | implicit_adams | dopri5``.
+    step_size:
+        Maximum internal step for the fixed-grid methods; defaults to the
+        spacing of ``t`` (one step per interval).
+
+    Returns
+    -------
+    Tensor of shape ``(len(t), *y0.shape)``.
+    """
+    times = _validate_times(t)
+    if method not in METHODS:
+        raise ValueError(f"unknown method {method!r}; choose from {METHODS}")
+
+    outputs: list[Tensor] = [y0]
+    y = y0
+
+    if method == "dopri5":
+        for t0, t1 in zip(times[:-1], times[1:]):
+            y = dopri5_integrate(func, y, float(t0), float(t1),
+                                 rtol=rtol, atol=atol, first_step=step_size)
+            outputs.append(y)
+        return stack(outputs, axis=0)
+
+    if method == "implicit_adams":
+        solver = AdamsBashforthMoulton(func, corrector_iters=corrector_iters)
+        last_dt = None
+        for t0, t1 in zip(times[:-1], times[1:]):
+            span = float(t1 - t0)
+            n_sub = max(1, math.ceil(abs(span) / step_size)) if step_size else 1
+            dt = span / n_sub
+            if last_dt is not None and abs(dt - last_dt) > 1e-12:
+                # ABM history is only valid on a uniform grid.
+                solver.reset()
+            last_dt = dt
+            tau = float(t0)
+            for _ in range(n_sub):
+                y = solver.step(tau, dt, y)
+                tau += dt
+            outputs.append(y)
+        return stack(outputs, axis=0)
+
+    stepper = FIXED_STEPPERS[method]
+    for t0, t1 in zip(times[:-1], times[1:]):
+        span = float(t1 - t0)
+        n_sub = max(1, math.ceil(abs(span) / step_size)) if step_size else 1
+        dt = span / n_sub
+        tau = float(t0)
+        for _ in range(n_sub):
+            y = stepper(func, tau, dt, y)
+            tau += dt
+        outputs.append(y)
+    return stack(outputs, axis=0)

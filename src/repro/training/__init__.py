@@ -1,0 +1,50 @@
+"""Training substrate: optimizers, metrics, trainer."""
+
+from .optim import SGD, Adam, AdamW, clip_grad_norm
+from .metrics import MSE_SCALE, RunningAverage, mae, rmse, scaled_mse, top1_accuracy
+from .schedule import (
+    ConstantLR,
+    CosineAnnealingLR,
+    LRScheduler,
+    ReduceLROnPlateau,
+    StepLR,
+    WarmupWrapper,
+)
+from .serialization import (
+    load_checkpoint,
+    load_diffode,
+    save_checkpoint,
+    save_diffode,
+)
+from .sweep import SweepResult, SweepTrial, grid, run_sweep
+from .trainer import EvalResult, TrainConfig, Trainer
+
+__all__ = [
+    "SGD",
+    "Adam",
+    "AdamW",
+    "clip_grad_norm",
+    "top1_accuracy",
+    "scaled_mse",
+    "MSE_SCALE",
+    "mae",
+    "rmse",
+    "RunningAverage",
+    "Trainer",
+    "TrainConfig",
+    "EvalResult",
+    "LRScheduler",
+    "ConstantLR",
+    "StepLR",
+    "CosineAnnealingLR",
+    "WarmupWrapper",
+    "ReduceLROnPlateau",
+    "save_checkpoint",
+    "load_checkpoint",
+    "save_diffode",
+    "load_diffode",
+    "grid",
+    "run_sweep",
+    "SweepResult",
+    "SweepTrial",
+]

@@ -1,0 +1,122 @@
+"""Learning-rate schedules.
+
+The paper trains with a constant learning rate; these schedules are the
+standard extensions a production training harness needs (warmup for the
+attention components, cosine/step decay for long runs).  Each schedule
+wraps an optimizer and is advanced once per epoch (or per step, the unit is
+the caller's choice).
+"""
+
+from __future__ import annotations
+
+import math
+
+from .optim import Optimizer
+
+__all__ = ["LRScheduler", "ConstantLR", "StepLR", "CosineAnnealingLR",
+           "WarmupWrapper", "ReduceLROnPlateau"]
+
+
+class LRScheduler:
+    """Base: remembers the optimizer's initial lr and a step counter."""
+
+    def __init__(self, optimizer: Optimizer):
+        self.optimizer = optimizer
+        self.base_lr = optimizer.lr
+        self.step_count = 0
+
+    def get_lr(self) -> float:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def step(self) -> float:
+        """Advance one unit and apply the new lr; returns it."""
+        self.step_count += 1
+        lr = self.get_lr()
+        self.optimizer.lr = lr
+        return lr
+
+
+class ConstantLR(LRScheduler):
+    """No-op schedule (the paper's setting)."""
+
+    def get_lr(self) -> float:
+        return self.base_lr
+
+
+class StepLR(LRScheduler):
+    """Multiply the lr by ``gamma`` every ``step_size`` units."""
+
+    def __init__(self, optimizer: Optimizer, step_size: int,
+                 gamma: float = 0.1):
+        super().__init__(optimizer)
+        if step_size < 1:
+            raise ValueError("step_size must be >= 1")
+        self.step_size = step_size
+        self.gamma = gamma
+
+    def get_lr(self) -> float:
+        return self.base_lr * self.gamma ** (self.step_count // self.step_size)
+
+
+class CosineAnnealingLR(LRScheduler):
+    """Cosine decay from base_lr to ``eta_min`` over ``t_max`` units."""
+
+    def __init__(self, optimizer: Optimizer, t_max: int,
+                 eta_min: float = 0.0):
+        super().__init__(optimizer)
+        if t_max < 1:
+            raise ValueError("t_max must be >= 1")
+        self.t_max = t_max
+        self.eta_min = eta_min
+
+    def get_lr(self) -> float:
+        t = min(self.step_count, self.t_max)
+        return self.eta_min + 0.5 * (self.base_lr - self.eta_min) \
+            * (1.0 + math.cos(math.pi * t / self.t_max))
+
+
+class WarmupWrapper(LRScheduler):
+    """Linear warmup over ``warmup`` units, then delegate to ``inner``."""
+
+    def __init__(self, inner: LRScheduler, warmup: int):
+        super().__init__(inner.optimizer)
+        if warmup < 1:
+            raise ValueError("warmup must be >= 1")
+        self.inner = inner
+        self.warmup = warmup
+
+    def get_lr(self) -> float:
+        if self.step_count <= self.warmup:
+            return self.base_lr * self.step_count / self.warmup
+        self.inner.step_count = self.step_count - self.warmup
+        return self.inner.get_lr()
+
+
+class ReduceLROnPlateau(LRScheduler):
+    """Halve (by ``factor``) when the monitored value stops improving."""
+
+    def __init__(self, optimizer: Optimizer, factor: float = 0.5,
+                 patience: int = 5, min_lr: float = 1e-6):
+        super().__init__(optimizer)
+        self.factor = factor
+        self.patience = patience
+        self.min_lr = min_lr
+        self._best = float("inf")
+        self._bad = 0
+        self._lr = optimizer.lr
+
+    def get_lr(self) -> float:
+        return self._lr
+
+    def step_metric(self, value: float) -> float:
+        """Report the latest validation metric (lower = better)."""
+        if value < self._best - 1e-12:
+            self._best = value
+            self._bad = 0
+        else:
+            self._bad += 1
+            if self._bad > self.patience:
+                self._lr = max(self.min_lr, self._lr * self.factor)
+                self._bad = 0
+        self.optimizer.lr = self._lr
+        return self._lr

@@ -1,0 +1,66 @@
+"""Model checkpointing: save/load any Module to a single ``.npz`` file.
+
+The parameter tensors go into the npz archive; an optional JSON-able
+``config`` dict rides along under a reserved key, so a DIFFODE checkpoint
+can be fully reconstructed with :func:`load_diffode`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import pathlib
+
+import numpy as np
+
+from ..core import DiffODE, DiffODEConfig
+from ..nn import Module
+
+__all__ = ["save_checkpoint", "load_checkpoint", "save_diffode",
+           "load_diffode"]
+
+_CONFIG_KEY = "__config_json__"
+
+
+def save_checkpoint(model: Module, path, config: dict | None = None) -> None:
+    """Write every parameter (by dotted name) plus optional config JSON."""
+    path = pathlib.Path(path)
+    arrays = dict(model.state_dict())
+    if config is not None:
+        arrays[_CONFIG_KEY] = np.frombuffer(
+            json.dumps(config).encode("utf-8"), dtype=np.uint8)
+    np.savez(path, **arrays)
+
+
+def load_checkpoint(model: Module, path) -> dict | None:
+    """Load parameters saved by :func:`save_checkpoint` into ``model``.
+
+    Returns the stored config dict (or None).
+    """
+    path = pathlib.Path(path)
+    with np.load(path if path.suffix == ".npz" else f"{path}.npz") as data:
+        arrays = {k: data[k] for k in data.files}
+    config = None
+    if _CONFIG_KEY in arrays:
+        config = json.loads(bytes(arrays.pop(_CONFIG_KEY)).decode("utf-8"))
+    model.load_state_dict(arrays)
+    return config
+
+
+def save_diffode(model: DiffODE, path) -> None:
+    """Checkpoint a DIFFODE model including its full configuration."""
+    config = dataclasses.asdict(model.config)
+    save_checkpoint(model, path, config=config)
+
+
+def load_diffode(path) -> DiffODE:
+    """Rebuild a DIFFODE model from a checkpoint written by
+    :func:`save_diffode` (architecture + weights)."""
+    path = pathlib.Path(path)
+    with np.load(path if path.suffix == ".npz" else f"{path}.npz") as data:
+        if _CONFIG_KEY not in data.files:
+            raise KeyError("checkpoint has no stored DiffODEConfig")
+        config = json.loads(bytes(data[_CONFIG_KEY]).decode("utf-8"))
+    model = DiffODE(DiffODEConfig(**config))
+    load_checkpoint(model, path)
+    return model

@@ -1,0 +1,158 @@
+"""Generic training loop with early stopping, shared by DIFFODE and every
+baseline (all expose ``forward(batch) -> Tensor`` and ``parameters()``)."""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..autodiff import Tensor, cross_entropy, masked_mse_loss, no_grad
+from ..data import Batch, Dataset, batch_iter, collate
+from .metrics import RunningAverage, scaled_mse, top1_accuracy
+from .optim import Adam, clip_grad_norm
+
+__all__ = ["TrainConfig", "Trainer", "EvalResult"]
+
+
+@dataclass
+class TrainConfig:
+    """Optimization settings (paper defaults in Section IV-A4)."""
+
+    epochs: int = 100
+    batch_size: int = 32
+    lr: float = 1e-3
+    weight_decay: float = 1e-3
+    clip_norm: float = 5.0
+    #: early stopping patience in epochs (paper: 20)
+    patience: int = 20
+    seed: int = 0
+    verbose: bool = False
+
+
+@dataclass
+class EvalResult:
+    loss: float
+    accuracy: float | None = None
+    mse: float | None = None
+
+    @property
+    def primary(self) -> float:
+        """Metric to report: accuracy (higher better) or scaled MSE."""
+        return self.accuracy if self.accuracy is not None else self.mse
+
+
+@dataclass
+class TrainHistory:
+    train_loss: list[float] = field(default_factory=list)
+    val_loss: list[float] = field(default_factory=list)
+    epoch_seconds: list[float] = field(default_factory=list)
+    best_epoch: int = -1
+
+
+class Trainer:
+    """Train/evaluate a model on a classification or regression task."""
+
+    def __init__(self, model, task: str, config: TrainConfig | None = None,
+                 scheduler_factory=None):
+        """``scheduler_factory``: optional callable mapping the optimizer to
+        an :class:`~repro.training.LRScheduler`, stepped once per epoch."""
+        if task not in ("classification", "regression"):
+            raise ValueError(f"unknown task {task!r}")
+        self.model = model
+        self.task = task
+        self.config = config or TrainConfig()
+        self.optimizer = Adam(model.parameters(), lr=self.config.lr,
+                              weight_decay=self.config.weight_decay)
+        self.scheduler = (scheduler_factory(self.optimizer)
+                          if scheduler_factory is not None else None)
+
+    # ------------------------------------------------------------------
+    def loss_fn(self, batch: Batch) -> Tensor:
+        # Models with their own training objective (e.g. the VAE Latent ODE
+        # with an ELBO) expose compute_loss(batch); evaluation still goes
+        # through forward() so metrics stay comparable.
+        if hasattr(self.model, "compute_loss"):
+            return self.model.compute_loss(batch)
+        out = self.model.forward(batch)
+        if self.task == "classification":
+            return cross_entropy(out, batch.labels)
+        return masked_mse_loss(out, batch.target_values, batch.target_mask)
+
+    def train_epoch(self, dataset: Dataset, rng: np.random.Generator) -> float:
+        self.model.train()
+        avg = RunningAverage()
+        for batch in batch_iter(dataset, self.config.batch_size, rng):
+            self.optimizer.zero_grad()
+            loss = self.loss_fn(batch)
+            loss.backward()
+            clip_grad_norm(self.optimizer.params, self.config.clip_norm)
+            self.optimizer.step()
+            avg.update(loss.item(), batch.batch_size)
+        return avg.value
+
+    def evaluate(self, dataset: Dataset, batch_size: int | None = None) -> EvalResult:
+        self.model.eval()
+        batch_size = batch_size or self.config.batch_size
+        loss_avg = RunningAverage()
+        metric_avg = RunningAverage()
+        with no_grad():
+            for start in range(0, len(dataset), batch_size):
+                batch = collate(dataset.samples[start:start + batch_size])
+                out = self.model.forward(batch)
+                if self.task == "classification":
+                    loss = cross_entropy(out, batch.labels)
+                    metric_avg.update(top1_accuracy(out.data, batch.labels),
+                                      batch.batch_size)
+                else:
+                    loss = masked_mse_loss(out, batch.target_values,
+                                           batch.target_mask)
+                    metric_avg.update(
+                        scaled_mse(out.data, batch.target_values,
+                                   batch.target_mask),
+                        max(float(np.asarray(batch.target_mask).sum()), 1.0))
+                loss_avg.update(loss.item(), batch.batch_size)
+        if self.task == "classification":
+            return EvalResult(loss=loss_avg.value, accuracy=metric_avg.value)
+        return EvalResult(loss=loss_avg.value, mse=metric_avg.value)
+
+    # ------------------------------------------------------------------
+    def fit(self, train_set: Dataset, val_set: Dataset | None = None) -> TrainHistory:
+        """Train with early stopping; restores the best-validation weights."""
+        cfg = self.config
+        rng = np.random.default_rng(cfg.seed)
+        history = TrainHistory()
+        best_val = float("inf")
+        best_state = None
+        bad_epochs = 0
+
+        for epoch in range(cfg.epochs):
+            start = time.perf_counter()
+            train_loss = self.train_epoch(train_set, rng)
+            history.train_loss.append(train_loss)
+            history.epoch_seconds.append(time.perf_counter() - start)
+            if self.scheduler is not None:
+                self.scheduler.step()
+
+            if val_set is not None and len(val_set):
+                val = self.evaluate(val_set)
+                history.val_loss.append(val.loss)
+                if val.loss < best_val - 1e-9:
+                    best_val = val.loss
+                    best_state = self.model.state_dict()
+                    history.best_epoch = epoch
+                    bad_epochs = 0
+                else:
+                    bad_epochs += 1
+                if cfg.verbose:
+                    print(f"epoch {epoch:3d} train {train_loss:.4f} "
+                          f"val {val.loss:.4f}")
+                if bad_epochs >= cfg.patience:
+                    break
+            elif cfg.verbose:
+                print(f"epoch {epoch:3d} train {train_loss:.4f}")
+
+        if best_state is not None:
+            self.model.load_state_dict(best_state)
+        return history

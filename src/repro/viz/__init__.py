@@ -1,0 +1,19 @@
+"""SVG figure rendering (matplotlib is unavailable offline)."""
+
+from .svg import Heatmap, LineChart, PALETTE
+from .figures import (
+    attention_heatmap,
+    figure_fig6,
+    figure_from_sweep,
+    render_all,
+)
+
+__all__ = [
+    "LineChart",
+    "Heatmap",
+    "PALETTE",
+    "figure_from_sweep",
+    "figure_fig6",
+    "attention_heatmap",
+    "render_all",
+]

@@ -1,0 +1,25 @@
+"""CLI: render every figure SVG into ``figures/``.
+
+    python -m repro.viz [--out figures] [--scale smoke|bench|paper]
+"""
+
+import argparse
+
+from ..experiments import get_scale
+from .figures import render_all
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(prog="python -m repro.viz")
+    parser.add_argument("--out", default="figures")
+    parser.add_argument("--scale", default=None,
+                        choices=["smoke", "bench", "paper"])
+    args = parser.parse_args(argv)
+    paths = render_all(args.out, get_scale(args.scale))
+    for p in paths:
+        print(f"wrote {p}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

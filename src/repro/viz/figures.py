@@ -1,0 +1,102 @@
+"""Render the paper's figures as SVG files from TableResult objects.
+
+``python -m repro.viz`` regenerates every figure from the saved benchmark
+tables (or freshly, at smoke scale, when none exist).
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import numpy as np
+
+from ..experiments.reporting import TableResult
+from .svg import Heatmap, LineChart
+
+__all__ = ["figure_from_sweep", "figure_fig6", "attention_heatmap",
+           "render_all"]
+
+
+def _row_means(table: TableResult, name: str) -> np.ndarray:
+    cells = table.rows[name]
+    return np.array([c.mean for c in cells if hasattr(c, "mean")])
+
+
+def figure_from_sweep(table: TableResult, y_label: str,
+                      log_y: bool = False) -> LineChart:
+    """Fig. 4 style: one line per model over the sweep columns."""
+    fractions = []
+    for col in table.columns:
+        fractions.append(float(col.rstrip("%")) if col.endswith("%")
+                         else len(fractions))
+    chart = LineChart(title=table.title, x_label="dataset fraction (%)",
+                      y_label=y_label, log_y=log_y)
+    for name in table.rows:
+        chart.add_series(name, fractions, _row_means(table, name))
+    return chart
+
+
+def figure_fig6(table: TableResult) -> LineChart:
+    """Fig. 6: MSE and epoch time vs number of attention heads."""
+    heads = [int(name.split()[0]) for name in table.rows]
+    mse = [row[0].mean for row in table.rows.values()]
+    sec = [row[1].mean for row in table.rows.values()]
+    chart = LineChart(title=table.title, x_label="attention heads",
+                      y_label="MSE / s-per-epoch")
+    chart.add_series("MSE", heads, mse)
+    chart.add_series("s/epoch", heads, sec)
+    return chart
+
+
+def attention_heatmap(p_map: np.ndarray, title: str) -> Heatmap:
+    """Fig. 3: |p_t| over (integration time x observations)."""
+    return Heatmap(matrix=p_map, title=title, x_label="observation index",
+                   y_label="integration time")
+
+
+def render_all(out_dir, scale=None) -> list[pathlib.Path]:
+    """Regenerate Fig. 3/4/5/6 SVGs by running the experiments."""
+    from ..data import collate, train_val_test_split
+    from ..experiments import (
+        get_scale,
+        run_fig4,
+        run_fig6,
+    )
+    from ..experiments.common import build_model, regression_dataset
+    from ..experiments.fig3_sparsity import collect_attention_map
+    from ..experiments.table6_hoyer import P_SOLVER_LABELS
+
+    scale = scale or get_scale()
+    out_dir = pathlib.Path(out_dir)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    written: list[pathlib.Path] = []
+
+    # Fig. 3: attention maps per solver (untrained weights are enough to
+    # visualize the structural differences; training sharpens them).
+    dataset = regression_dataset("USHCN", "interpolation", scale, seed=0)
+    batch = collate(dataset.samples[:2])
+    for solver, label in P_SOLVER_LABELS.items():
+        model = build_model("DIFFODE", dataset, scale, seed=0,
+                            p_solver=solver)
+        pmap = collect_attention_map(model, batch)
+        n_valid = int(batch.mask[0].sum())
+        fig = attention_heatmap(pmap[:, :n_valid],
+                                f"Fig. 3 - |p_t| under {label}")
+        written.append(fig.save(out_dir / f"fig3_{solver}.svg"))
+
+    # Fig. 4: scalability sweeps.
+    tables = run_fig4(scale, models=["HiPPO-obs", "ODE-RNN", "DIFFODE"],
+                      fractions=(0.5, 1.0) if scale.name == "smoke"
+                      else (0.2, 0.4, 0.6, 0.8, 1.0))
+    names = ["fig4_time_vs_features", "fig4_mse_vs_features",
+             "fig4_time_vs_length", "fig4_mse_vs_length"]
+    for name, table in zip(names, tables):
+        y = "s/epoch" if "time" in name else "MSE"
+        written.append(figure_from_sweep(table, y).save(
+            out_dir / f"{name}.svg"))
+
+    # Fig. 6: heads ablation.
+    table6 = run_fig6(scale, heads=(1, 2) if scale.name == "smoke"
+                      else (1, 2, 4))
+    written.append(figure_fig6(table6).save(out_dir / "fig6.svg"))
+    return written

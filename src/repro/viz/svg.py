@@ -1,0 +1,209 @@
+"""Dependency-free SVG chart rendering.
+
+matplotlib is not available offline, so the figure reproductions
+(Figs. 3-6) are rendered as hand-written SVG: line charts with axes,
+legends and markers, plus grayscale heat maps for the attention figures.
+The output is deterministic, making the SVG files diff- and test-friendly.
+"""
+
+from __future__ import annotations
+
+import pathlib
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["LineChart", "Heatmap", "PALETTE"]
+
+#: color-blind-safe categorical palette (Okabe-Ito)
+PALETTE = ["#0072B2", "#D55E00", "#009E73", "#CC79A7", "#F0E442",
+           "#56B4E9", "#E69F00", "#000000"]
+
+
+def _esc(text: str) -> str:
+    return (str(text).replace("&", "&amp;").replace("<", "&lt;")
+            .replace(">", "&gt;"))
+
+
+def _ticks(lo: float, hi: float, count: int = 5) -> np.ndarray:
+    if hi <= lo:
+        hi = lo + 1.0
+    raw = np.linspace(lo, hi, count)
+    return raw
+
+
+@dataclass
+class LineChart:
+    """Multi-series line chart with axes, ticks and a legend."""
+
+    title: str = ""
+    x_label: str = ""
+    y_label: str = ""
+    width: int = 560
+    height: int = 360
+    log_y: bool = False
+    series: list[tuple[str, np.ndarray, np.ndarray]] = field(
+        default_factory=list)
+
+    _MARGIN_L = 64
+    _MARGIN_R = 130
+    _MARGIN_T = 36
+    _MARGIN_B = 48
+
+    def add_series(self, name: str, x, y) -> "LineChart":
+        x = np.asarray(x, dtype=np.float64).ravel()
+        y = np.asarray(y, dtype=np.float64).ravel()
+        if x.shape != y.shape:
+            raise ValueError("x and y must have equal length")
+        if len(x) == 0:
+            raise ValueError("empty series")
+        self.series.append((name, x, y))
+        return self
+
+    # ------------------------------------------------------------------
+    def _transforms(self):
+        all_x = np.concatenate([s[1] for s in self.series])
+        all_y = np.concatenate([s[2] for s in self.series])
+        if self.log_y:
+            all_y = np.log10(np.maximum(all_y, 1e-12))
+        x_lo, x_hi = float(all_x.min()), float(all_x.max())
+        y_lo, y_hi = float(all_y.min()), float(all_y.max())
+        if x_hi == x_lo:
+            x_hi = x_lo + 1.0
+        if y_hi == y_lo:
+            y_hi = y_lo + 1.0
+        pad = 0.05 * (y_hi - y_lo)
+        y_lo -= pad
+        y_hi += pad
+        plot_w = self.width - self._MARGIN_L - self._MARGIN_R
+        plot_h = self.height - self._MARGIN_T - self._MARGIN_B
+
+        def tx(x):
+            return self._MARGIN_L + (x - x_lo) / (x_hi - x_lo) * plot_w
+
+        def ty(y):
+            if self.log_y:
+                y = np.log10(np.maximum(y, 1e-12))
+            return self._MARGIN_T + (y_hi - y) / (y_hi - y_lo) * plot_h
+
+        return tx, ty, (x_lo, x_hi), (y_lo, y_hi)
+
+    def render(self) -> str:
+        if not self.series:
+            raise ValueError("chart has no series")
+        tx, ty, (x_lo, x_hi), (y_lo, y_hi) = self._transforms()
+        parts = [
+            f'<svg xmlns="http://www.w3.org/2000/svg" width="{self.width}" '
+            f'height="{self.height}" font-family="sans-serif" '
+            f'font-size="11">',
+            f'<rect width="{self.width}" height="{self.height}" '
+            f'fill="white"/>',
+        ]
+        # axes box
+        x0, y0 = self._MARGIN_L, self._MARGIN_T
+        x1 = self.width - self._MARGIN_R
+        y1 = self.height - self._MARGIN_B
+        parts.append(f'<rect x="{x0}" y="{y0}" width="{x1 - x0}" '
+                     f'height="{y1 - y0}" fill="none" stroke="#999"/>')
+        # ticks
+        for xt in _ticks(x_lo, x_hi):
+            px = tx(xt)
+            parts.append(f'<line x1="{px:.1f}" y1="{y1}" x2="{px:.1f}" '
+                         f'y2="{y1 + 4}" stroke="#666"/>')
+            parts.append(f'<text x="{px:.1f}" y="{y1 + 16}" '
+                         f'text-anchor="middle">{xt:.3g}</text>')
+        for yt in _ticks(y_lo, y_hi):
+            display = 10 ** yt if self.log_y else yt
+            py = self._MARGIN_T + (y_hi - yt) / (y_hi - y_lo) \
+                * (y1 - y0)
+            parts.append(f'<line x1="{x0 - 4}" y1="{py:.1f}" x2="{x0}" '
+                         f'y2="{py:.1f}" stroke="#666"/>')
+            parts.append(f'<text x="{x0 - 8}" y="{py + 4:.1f}" '
+                         f'text-anchor="end">{display:.3g}</text>')
+        # series
+        for i, (name, xs, ys) in enumerate(self.series):
+            color = PALETTE[i % len(PALETTE)]
+            pts = " ".join(f"{tx(x):.1f},{ty(y):.1f}"
+                           for x, y in zip(xs, ys))
+            parts.append(f'<polyline points="{pts}" fill="none" '
+                         f'stroke="{color}" stroke-width="1.8"/>')
+            for x, y in zip(xs, ys):
+                parts.append(f'<circle cx="{tx(x):.1f}" cy="{ty(y):.1f}" '
+                             f'r="2.6" fill="{color}"/>')
+            ly = self._MARGIN_T + 14 * (i + 1)
+            lx = self.width - self._MARGIN_R + 10
+            parts.append(f'<line x1="{lx}" y1="{ly - 4}" x2="{lx + 18}" '
+                         f'y2="{ly - 4}" stroke="{color}" '
+                         f'stroke-width="2"/>')
+            parts.append(f'<text x="{lx + 22}" y="{ly}">{_esc(name)}</text>')
+        # labels
+        if self.title:
+            parts.append(f'<text x="{self.width / 2:.0f}" y="20" '
+                         f'text-anchor="middle" font-size="14">'
+                         f'{_esc(self.title)}</text>')
+        if self.x_label:
+            parts.append(f'<text x="{(x0 + x1) / 2:.0f}" '
+                         f'y="{self.height - 8}" text-anchor="middle">'
+                         f'{_esc(self.x_label)}</text>')
+        if self.y_label:
+            parts.append(f'<text x="14" y="{(y0 + y1) / 2:.0f}" '
+                         f'text-anchor="middle" transform="rotate(-90 14 '
+                         f'{(y0 + y1) / 2:.0f})">{_esc(self.y_label)}</text>')
+        parts.append("</svg>")
+        return "\n".join(parts)
+
+    def save(self, path) -> pathlib.Path:
+        path = pathlib.Path(path)
+        path.write_text(self.render())
+        return path
+
+
+@dataclass
+class Heatmap:
+    """Grayscale heat map (the Fig. 3 attention maps)."""
+
+    matrix: np.ndarray
+    title: str = ""
+    x_label: str = ""
+    y_label: str = ""
+    cell: int = 8
+
+    def render(self) -> str:
+        mat = np.abs(np.asarray(self.matrix, dtype=np.float64))
+        hi = mat.max() or 1.0
+        rows, cols = mat.shape
+        margin_l, margin_t = 46, 34
+        width = margin_l + cols * self.cell + 16
+        height = margin_t + rows * self.cell + 40
+        parts = [
+            f'<svg xmlns="http://www.w3.org/2000/svg" width="{width}" '
+            f'height="{height}" font-family="sans-serif" font-size="11">',
+            f'<rect width="{width}" height="{height}" fill="white"/>',
+        ]
+        for i in range(rows):
+            for j in range(cols):
+                # darker = larger |p| (matches the paper's gray maps)
+                level = int(255 * (1.0 - mat[i, j] / hi))
+                parts.append(
+                    f'<rect x="{margin_l + j * self.cell}" '
+                    f'y="{margin_t + i * self.cell}" width="{self.cell}" '
+                    f'height="{self.cell}" '
+                    f'fill="rgb({level},{level},{level})"/>')
+        if self.title:
+            parts.append(f'<text x="{width / 2:.0f}" y="18" '
+                         f'text-anchor="middle" font-size="13">'
+                         f'{_esc(self.title)}</text>')
+        if self.x_label:
+            parts.append(f'<text x="{width / 2:.0f}" y="{height - 10}" '
+                         f'text-anchor="middle">{_esc(self.x_label)}</text>')
+        if self.y_label:
+            parts.append(f'<text x="12" y="{height / 2:.0f}" '
+                         f'text-anchor="middle" transform="rotate(-90 12 '
+                         f'{height / 2:.0f})">{_esc(self.y_label)}</text>')
+        parts.append("</svg>")
+        return "\n".join(parts)
+
+    def save(self, path) -> pathlib.Path:
+        path = pathlib.Path(path)
+        path.write_text(self.render())
+        return path

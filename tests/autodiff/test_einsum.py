@@ -1,0 +1,71 @@
+"""Differentiable einsum tests."""
+
+import numpy as np
+import pytest
+
+from repro.autodiff import Tensor, einsum, gradcheck
+
+
+class TestValues:
+    @pytest.mark.parametrize("spec,shapes", [
+        ("bnd,bn->bd", [(2, 5, 3), (2, 5)]),
+        ("bnd,bmd->bnm", [(2, 4, 3), (2, 5, 3)]),
+        ("ij,jk->ik", [(3, 4), (4, 5)]),
+        ("bij->bji", [(2, 3, 4)]),
+        ("bij->b", [(2, 3, 4)]),
+        ("i,j->ij", [(3,), (4,)]),
+        ("bi,i->b", [(2, 5), (5,)]),
+    ])
+    def test_matches_numpy(self, rng, spec, shapes):
+        arrays = [rng.normal(size=s) for s in shapes]
+        out = einsum(spec, *[Tensor(a) for a in arrays])
+        np.testing.assert_allclose(out.data, np.einsum(spec, *arrays))
+
+    def test_attention_weighted_sum(self, rng):
+        """The DHS core contraction: S = sum_n p_n z_n."""
+        z = rng.normal(size=(3, 7, 4))
+        p = rng.normal(size=(3, 7))
+        out = einsum("bn,bnd->bd", Tensor(p), Tensor(z))
+        np.testing.assert_allclose(out.data,
+                                   (p[..., None] * z).sum(axis=1))
+
+
+class TestGradients:
+    @pytest.mark.parametrize("spec,shapes", [
+        ("bnd,bn->bd", [(2, 5, 3), (2, 5)]),
+        ("ij,jk->ik", [(3, 4), (4, 5)]),
+        ("bij->bji", [(2, 3, 4)]),
+        ("bij->b", [(2, 3, 4)]),        # summed-out subscripts
+        ("bnd->nd", [(3, 4, 2)]),       # reduction over batch
+        ("i,j->ij", [(3,), (4,)]),      # outer product
+        ("bi,i->b", [(2, 5), (5,)]),
+    ])
+    def test_gradcheck(self, rng, spec, shapes):
+        gradcheck(lambda *ts: (einsum(spec, *ts) ** 2).sum(),
+                  [rng.normal(size=s) for s in shapes])
+
+    def test_only_required_grads_computed(self, rng):
+        a = Tensor(rng.normal(size=(3, 4)), requires_grad=True)
+        b = Tensor(rng.normal(size=(4, 5)))  # constant
+        einsum("ij,jk->ik", a, b).sum().backward()
+        assert a.grad is not None and b.grad is None
+
+
+class TestValidation:
+    def test_requires_explicit_output(self):
+        with pytest.raises(ValueError):
+            einsum("ij,jk", Tensor(np.ones((2, 2))), Tensor(np.ones((2, 2))))
+
+    def test_operand_count_checked(self):
+        with pytest.raises(ValueError):
+            einsum("ij,jk->ik", Tensor(np.ones((2, 2))))
+
+    def test_ellipsis_rejected(self):
+        with pytest.raises(ValueError):
+            einsum("...i->...", Tensor(np.ones((2, 3))))
+
+    def test_trace_rejected_in_backward(self, rng):
+        t = Tensor(rng.normal(size=(3, 3)), requires_grad=True)
+        out = einsum("ii->i", t)
+        with pytest.raises(ValueError):
+            out.sum().backward()

@@ -1,0 +1,136 @@
+"""Tests for composite differentiable functions."""
+
+import numpy as np
+import pytest
+
+from repro.autodiff import (
+    Tensor,
+    binary_cross_entropy_with_logits,
+    cross_entropy,
+    dropout,
+    gradcheck,
+    log_softmax,
+    masked_mse_loss,
+    masked_softmax,
+    mse_loss,
+    one_hot,
+    softmax,
+)
+
+
+class TestSoftmax:
+    def test_rows_sum_to_one(self, rng):
+        p = softmax(Tensor(rng.normal(size=(4, 7)))).data
+        np.testing.assert_allclose(p.sum(axis=-1), np.ones(4))
+
+    def test_invariant_to_shift(self, rng):
+        x = rng.normal(size=(3, 5))
+        np.testing.assert_allclose(softmax(Tensor(x)).data,
+                                   softmax(Tensor(x + 100.0)).data)
+
+    def test_extreme_logits_stable(self):
+        p = softmax(Tensor(np.array([[1000.0, 0.0, -1000.0]]))).data
+        assert np.all(np.isfinite(p))
+        np.testing.assert_allclose(p[0, 0], 1.0)
+
+    def test_grad(self, rng):
+        gradcheck(lambda a: (softmax(a) ** 2).sum(), [rng.normal(size=(2, 5))])
+
+    def test_log_softmax_matches_log_of_softmax(self, rng):
+        x = rng.normal(size=(3, 6))
+        np.testing.assert_allclose(log_softmax(Tensor(x)).data,
+                                   np.log(softmax(Tensor(x)).data))
+
+    def test_axis_argument(self, rng):
+        x = rng.normal(size=(3, 4))
+        p = softmax(Tensor(x), axis=0).data
+        np.testing.assert_allclose(p.sum(axis=0), np.ones(4))
+
+
+class TestMaskedSoftmax:
+    def test_masked_entries_exactly_zero(self, rng):
+        mask = np.array([[1, 1, 0, 0], [1, 0, 1, 0]], dtype=float)
+        p = masked_softmax(Tensor(rng.normal(size=(2, 4))), mask).data
+        assert np.all(p[mask == 0] == 0.0)
+        np.testing.assert_allclose(p.sum(axis=-1), np.ones(2))
+
+    def test_reduces_to_softmax_with_full_mask(self, rng):
+        x = rng.normal(size=(2, 5))
+        np.testing.assert_allclose(
+            masked_softmax(Tensor(x), np.ones((2, 5))).data,
+            softmax(Tensor(x)).data)
+
+    def test_grad(self, rng):
+        mask = np.array([[1, 1, 1, 0]], dtype=float)
+        gradcheck(lambda a: (masked_softmax(a, mask) ** 2).sum(),
+                  [rng.normal(size=(1, 4))])
+
+
+class TestLosses:
+    def test_cross_entropy_perfect_prediction_near_zero(self):
+        logits = Tensor(np.array([[100.0, 0.0], [0.0, 100.0]]))
+        assert cross_entropy(logits, np.array([0, 1])).item() < 1e-10
+
+    def test_cross_entropy_uniform_is_log_c(self):
+        logits = Tensor(np.zeros((5, 4)))
+        np.testing.assert_allclose(
+            cross_entropy(logits, np.zeros(5, dtype=int)).item(), np.log(4))
+
+    def test_cross_entropy_grad(self, rng):
+        gradcheck(lambda a: cross_entropy(a, np.array([0, 2, 1])),
+                  [rng.normal(size=(3, 4))])
+
+    def test_mse_matches_numpy(self, rng):
+        a, b = rng.normal(size=(3, 4)), rng.normal(size=(3, 4))
+        np.testing.assert_allclose(mse_loss(Tensor(a), b).item(),
+                                   ((a - b) ** 2).mean())
+
+    def test_masked_mse_ignores_masked(self, rng):
+        pred = Tensor(rng.normal(size=(2, 3)))
+        target = rng.normal(size=(2, 3))
+        mask = np.array([[1, 0, 0], [1, 1, 0]], dtype=float)
+        expected = (((pred.data - target) ** 2) * mask).sum() / 3.0
+        np.testing.assert_allclose(
+            masked_mse_loss(pred, target, mask).item(), expected)
+
+    def test_masked_mse_all_masked_is_zero(self, rng):
+        loss = masked_mse_loss(Tensor(rng.normal(size=(2, 2))),
+                               rng.normal(size=(2, 2)), np.zeros((2, 2)))
+        assert loss.item() == 0.0
+
+    def test_masked_mse_grad(self, rng):
+        mask = np.array([[1.0, 0.0], [1.0, 1.0]])
+        target = rng.normal(size=(2, 2))
+        gradcheck(lambda a: masked_mse_loss(a, target, mask),
+                  [rng.normal(size=(2, 2))])
+
+    def test_bce_with_logits_matches_reference(self, rng):
+        x = rng.normal(size=(8,))
+        y = (rng.random(8) > 0.5).astype(float)
+        ref = np.mean(np.maximum(x, 0) - x * y + np.log1p(np.exp(-np.abs(x))))
+        np.testing.assert_allclose(
+            binary_cross_entropy_with_logits(Tensor(x), y).item(), ref)
+
+
+class TestUtilities:
+    def test_one_hot(self):
+        out = one_hot(np.array([0, 2]), 3)
+        np.testing.assert_allclose(out, [[1, 0, 0], [0, 0, 1]])
+
+    def test_one_hot_multidim(self):
+        out = one_hot(np.array([[0], [1]]), 2)
+        assert out.shape == (2, 1, 2)
+
+    def test_dropout_eval_is_identity(self, rng):
+        x = Tensor(rng.normal(size=(4, 4)))
+        out = dropout(x, 0.5, rng, training=False)
+        np.testing.assert_allclose(out.data, x.data)
+
+    def test_dropout_preserves_expectation(self, rng):
+        x = Tensor(np.ones((200, 200)))
+        out = dropout(x, 0.3, rng, training=True)
+        assert abs(out.data.mean() - 1.0) < 0.02
+
+    def test_dropout_zero_rate_identity(self, rng):
+        x = Tensor(rng.normal(size=(3,)))
+        assert dropout(x, 0.0, rng).data is x.data

@@ -1,0 +1,90 @@
+"""Property-based tests (hypothesis) for the autodiff engine."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import array_shapes, arrays
+
+from repro.autodiff import Tensor, gradcheck, softmax
+
+_floats = st.floats(min_value=-5.0, max_value=5.0,
+                    allow_nan=False, allow_infinity=False)
+
+
+def _arr(shape_max=3):
+    return arrays(np.float64,
+                  array_shapes(min_dims=1, max_dims=shape_max, min_side=1,
+                               max_side=4),
+                  elements=_floats)
+
+
+@settings(max_examples=30, deadline=None)
+@given(_arr())
+def test_addition_gradient_is_ones(x):
+    t = Tensor(x, requires_grad=True)
+    (t + t).sum().backward()
+    np.testing.assert_allclose(t.grad, 2.0 * np.ones_like(x))
+
+
+@settings(max_examples=30, deadline=None)
+@given(_arr())
+def test_mul_gradient_matches_product_rule(x):
+    t = Tensor(x, requires_grad=True)
+    (t * t).sum().backward()
+    np.testing.assert_allclose(t.grad, 2.0 * x, rtol=1e-10, atol=1e-10)
+
+
+@settings(max_examples=25, deadline=None)
+@given(_arr(2))
+def test_sum_then_backward_broadcasts_ones(x):
+    t = Tensor(x, requires_grad=True)
+    t.sum().backward()
+    np.testing.assert_allclose(t.grad, np.ones_like(x))
+
+
+@settings(max_examples=25, deadline=None)
+@given(_arr(2))
+def test_tanh_gradcheck(x):
+    gradcheck(lambda a: a.tanh().sum(), [x])
+
+
+@settings(max_examples=25, deadline=None)
+@given(arrays(np.float64, st.tuples(st.integers(1, 4), st.integers(2, 5)),
+              elements=_floats))
+def test_softmax_simplex(x):
+    p = softmax(Tensor(x)).data
+    assert np.all(p >= 0)
+    np.testing.assert_allclose(p.sum(axis=-1), np.ones(x.shape[0]),
+                               atol=1e-12)
+
+
+@settings(max_examples=25, deadline=None)
+@given(_arr(2), _arr(2))
+def test_add_commutes_values_and_grads(x, y):
+    if x.shape != y.shape:
+        return
+    a1 = Tensor(x, requires_grad=True)
+    b1 = Tensor(y, requires_grad=True)
+    (a1 + b1).sum().backward()
+    a2 = Tensor(x, requires_grad=True)
+    b2 = Tensor(y, requires_grad=True)
+    (b2 + a2).sum().backward()
+    np.testing.assert_allclose(a1.grad, a2.grad)
+    np.testing.assert_allclose(b1.grad, b2.grad)
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.integers(2, 5), st.integers(2, 5))
+def test_matmul_transpose_identity(n, m):
+    rng = np.random.default_rng(n * 10 + m)
+    a = rng.normal(size=(n, m))
+    t = Tensor(a)
+    np.testing.assert_allclose((t.transpose() @ t).data, a.T @ a)
+
+
+@settings(max_examples=20, deadline=None)
+@given(_arr(2))
+def test_reshape_roundtrip_preserves_grad(x):
+    t = Tensor(x, requires_grad=True)
+    t.reshape(-1).reshape(*x.shape).sum().backward()
+    np.testing.assert_allclose(t.grad, np.ones_like(x))

@@ -1,0 +1,283 @@
+"""Gradcheck and semantics tests for every Tensor primitive."""
+
+import numpy as np
+import pytest
+
+from repro.autodiff import (
+    Tensor,
+    concat,
+    gradcheck,
+    maximum,
+    minimum,
+    no_grad,
+    stack,
+    where,
+)
+
+
+class TestArithmetic:
+    def test_add_grad(self, rng):
+        gradcheck(lambda a, b: (a + b).sum(),
+                  [rng.normal(size=(3, 4)), rng.normal(size=(3, 4))])
+
+    def test_add_broadcast_grad(self, rng):
+        gradcheck(lambda a, b: (a + b).sum(),
+                  [rng.normal(size=(3, 4)), rng.normal(size=(4,))])
+
+    def test_sub_grad(self, rng):
+        gradcheck(lambda a, b: ((a - b) ** 2).sum(),
+                  [rng.normal(size=(2, 3)), rng.normal(size=(1, 3))])
+
+    def test_rsub_scalar(self, rng):
+        gradcheck(lambda a: (5.0 - a).sum(), [rng.normal(size=(4,))])
+
+    def test_mul_broadcast_grad(self, rng):
+        gradcheck(lambda a, b: (a * b).sum(),
+                  [rng.normal(size=(2, 1, 4)), rng.normal(size=(3, 1))])
+
+    def test_div_grad(self, rng):
+        gradcheck(lambda a, b: (a / b).sum(),
+                  [rng.normal(size=(3,)), rng.normal(size=(3,)) + 3.0])
+
+    def test_rdiv_scalar(self, rng):
+        gradcheck(lambda a: (1.0 / a).sum(), [rng.normal(size=(4,)) + 3.0])
+
+    def test_neg(self, rng):
+        gradcheck(lambda a: (-a).sum(), [rng.normal(size=(3,))])
+
+    def test_pow_grad(self, rng):
+        gradcheck(lambda a: (a ** 3).sum(), [rng.normal(size=(3, 2))])
+
+    def test_pow_rejects_tensor_exponent(self):
+        with pytest.raises(TypeError):
+            Tensor([1.0]) ** Tensor([2.0])
+
+    def test_values_match_numpy(self, rng):
+        a = rng.normal(size=(3, 4))
+        b = rng.normal(size=(4,))
+        out = (Tensor(a) * Tensor(b) + Tensor(b)) / 2.0
+        np.testing.assert_allclose(out.data, (a * b + b) / 2.0)
+
+
+class TestMatmul:
+    @pytest.mark.parametrize("sa,sb", [
+        ((3, 4), (4, 5)),
+        ((2, 3, 4), (2, 4, 5)),
+        ((2, 3, 4), (4, 5)),        # broadcast batch
+        ((3, 4), (4,)),
+        ((4,), (4, 5)),
+        ((2, 3, 4), (4,)),
+        ((4,), (2, 4, 5)),
+        ((4,), (4,)),
+        ((1, 3, 4), (5, 1, 4, 2)),  # double broadcast
+    ])
+    def test_matmul_grad(self, rng, sa, sb):
+        a = rng.normal(size=sa)
+        b = rng.normal(size=sb)
+
+        def fn(x, y):
+            out = x @ y
+            return (out ** 2).sum() if out.size > 1 else out
+
+        gradcheck(fn, [a, b])
+
+    def test_matmul_value(self, rng):
+        a, b = rng.normal(size=(2, 3, 4)), rng.normal(size=(2, 4, 5))
+        np.testing.assert_allclose((Tensor(a) @ Tensor(b)).data, a @ b)
+
+
+class TestShape:
+    def test_reshape_grad(self, rng):
+        gradcheck(lambda a: (a.reshape(6, 2) ** 2).sum(),
+                  [rng.normal(size=(3, 4))])
+
+    def test_reshape_minus_one(self, rng):
+        t = Tensor(rng.normal(size=(2, 3, 4)))
+        assert t.reshape(2, -1).shape == (2, 12)
+
+    def test_transpose_default_last_two(self, rng):
+        t = Tensor(rng.normal(size=(2, 3, 4)))
+        assert t.transpose().shape == (2, 4, 3)
+
+    def test_transpose_grad(self, rng):
+        gradcheck(lambda a: (a.transpose(0, 2) ** 3).sum(),
+                  [rng.normal(size=(2, 3, 4))])
+
+    def test_permute_grad(self, rng):
+        gradcheck(lambda a: (a.permute(1, 2, 0) ** 2).sum(),
+                  [rng.normal(size=(2, 3, 4))])
+
+    def test_getitem_slice_grad(self, rng):
+        gradcheck(lambda a: (a[1:, ::2] ** 2).sum(), [rng.normal(size=(4, 6))])
+
+    def test_getitem_fancy_grad(self, rng):
+        idx = np.array([[0, 2], [1, 1]])
+        batch = np.array([[0, 0], [1, 1]])
+        gradcheck(lambda a: (a[batch, idx] ** 2).sum(),
+                  [rng.normal(size=(2, 3, 5))])
+
+    def test_getitem_duplicate_indices_accumulate(self):
+        t = Tensor(np.array([1.0, 2.0, 3.0]), requires_grad=True)
+        out = t[np.array([0, 0, 1])].sum()
+        out.backward()
+        np.testing.assert_allclose(t.grad, [2.0, 1.0, 0.0])
+
+    def test_broadcast_to_grad(self, rng):
+        gradcheck(lambda a: (a.broadcast_to((4, 3)) ** 2).sum(),
+                  [rng.normal(size=(1, 3))])
+
+
+class TestReductions:
+    def test_sum_all(self, rng):
+        gradcheck(lambda a: a.sum(), [rng.normal(size=(3, 4))])
+
+    def test_sum_axis_keepdims(self, rng):
+        gradcheck(lambda a: (a.sum(axis=1, keepdims=True) ** 2).sum(),
+                  [rng.normal(size=(3, 4))])
+
+    def test_mean_axes_tuple(self, rng):
+        gradcheck(lambda a: (a.mean(axis=(0, 2)) ** 2).sum(),
+                  [rng.normal(size=(2, 3, 4))])
+
+    def test_max_all(self, rng):
+        x = rng.normal(size=(3, 4))
+        assert Tensor(x).max().item() == x.max()
+
+    def test_max_axis_grad(self, rng):
+        # use distinct values to keep the max subgradient unique
+        x = rng.permutation(12).reshape(3, 4).astype(float)
+        gradcheck(lambda a: (a.max(axis=1) ** 2).sum(), [x])
+
+    def test_max_tie_splits_gradient(self):
+        t = Tensor(np.array([2.0, 2.0, 1.0]), requires_grad=True)
+        t.max().backward()
+        np.testing.assert_allclose(t.grad, [0.5, 0.5, 0.0])
+
+
+class TestElementwise:
+    @pytest.mark.parametrize("op", ["exp", "tanh", "sigmoid", "relu",
+                                    "softplus", "abs", "sin", "cos"])
+    def test_unary_grad(self, rng, op):
+        x = rng.normal(size=(3, 4))
+        if op in ("relu", "abs"):
+            x = x + np.sign(x) * 0.1  # keep away from the kink
+        gradcheck(lambda a: getattr(a, op)().sum(), [x])
+
+    def test_log_sqrt_grad(self, rng):
+        x = np.abs(rng.normal(size=(3,))) + 0.5
+        gradcheck(lambda a: (a.log() + a.sqrt()).sum(), [x])
+
+    def test_clip_grad_zero_outside(self):
+        t = Tensor(np.array([-2.0, 0.0, 2.0]), requires_grad=True)
+        t.clip(-1.0, 1.0).sum().backward()
+        np.testing.assert_allclose(t.grad, [0.0, 1.0, 0.0])
+
+    def test_sigmoid_saturation_is_finite(self):
+        t = Tensor(np.array([-1000.0, 1000.0]))
+        out = t.sigmoid().data
+        assert np.all(np.isfinite(out))
+        np.testing.assert_allclose(out, [0.0, 1.0], atol=1e-12)
+
+    def test_softplus_large_inputs_finite(self):
+        out = Tensor(np.array([-800.0, 800.0])).softplus().data
+        assert np.all(np.isfinite(out))
+        np.testing.assert_allclose(out, [0.0, 800.0], atol=1e-9)
+
+
+class TestLinalgPrimitives:
+    def test_inv_value(self, rng):
+        a = rng.normal(size=(3, 3)) + 4 * np.eye(3)
+        np.testing.assert_allclose(Tensor(a).inv().data, np.linalg.inv(a))
+
+    def test_inv_grad(self, rng):
+        a = rng.normal(size=(3, 3)) + 4 * np.eye(3)
+        gradcheck(lambda m: (m.inv() ** 2).sum(), [a])
+
+    def test_inv_batched_grad(self, rng):
+        a = rng.normal(size=(2, 3, 3)) + 4 * np.eye(3)
+        gradcheck(lambda m: (m.inv() ** 2).sum(), [a])
+
+    @pytest.mark.parametrize("shape", [(3, 5), (5, 3), (2, 4, 3), (2, 3, 4)])
+    def test_pinv_grad(self, rng, shape):
+        gradcheck(lambda m: (m.pinv() ** 2).sum(), [rng.normal(size=shape)])
+
+    def test_pinv_value(self, rng):
+        a = rng.normal(size=(4, 6))
+        np.testing.assert_allclose(Tensor(a).pinv().data, np.linalg.pinv(a))
+
+
+class TestCombinators:
+    def test_concat_grad(self, rng):
+        gradcheck(lambda a, b: (concat([a, b], axis=1) ** 2).sum(),
+                  [rng.normal(size=(2, 3)), rng.normal(size=(2, 4))])
+
+    def test_stack_grad(self, rng):
+        gradcheck(lambda a, b: (stack([a, b], axis=1) ** 2).sum(),
+                  [rng.normal(size=(2, 3)), rng.normal(size=(2, 3))])
+
+    def test_where_routes_gradient(self):
+        a = Tensor(np.array([1.0, 2.0]), requires_grad=True)
+        b = Tensor(np.array([3.0, 4.0]), requires_grad=True)
+        where(np.array([True, False]), a, b).sum().backward()
+        np.testing.assert_allclose(a.grad, [1.0, 0.0])
+        np.testing.assert_allclose(b.grad, [0.0, 1.0])
+
+    def test_maximum_minimum_values(self, rng):
+        a, b = rng.normal(size=5), rng.normal(size=5)
+        np.testing.assert_allclose(maximum(Tensor(a), Tensor(b)).data,
+                                   np.maximum(a, b))
+        np.testing.assert_allclose(minimum(Tensor(a), Tensor(b)).data,
+                                   np.minimum(a, b))
+
+
+class TestBackwardMechanics:
+    def test_grad_accumulates_over_reuse(self):
+        x = Tensor(np.array([3.0]), requires_grad=True)
+        y = x * x + x  # x used three times
+        y.backward()
+        np.testing.assert_allclose(x.grad, [7.0])
+
+    def test_diamond_graph(self):
+        x = Tensor(np.array([2.0]), requires_grad=True)
+        a = x * 3.0
+        b = x * 5.0
+        (a * b).backward()  # d/dx 15x^2 = 30x
+        np.testing.assert_allclose(x.grad, [60.0])
+
+    def test_backward_requires_scalar_without_grad_arg(self):
+        x = Tensor(np.ones(3), requires_grad=True)
+        with pytest.raises(RuntimeError):
+            (x * 2.0).backward()
+
+    def test_backward_on_constant_raises(self):
+        with pytest.raises(RuntimeError):
+            Tensor(np.ones(1)).backward()
+
+    def test_explicit_grad_argument(self):
+        x = Tensor(np.ones(3), requires_grad=True)
+        (x * 2.0).backward(np.array([1.0, 2.0, 3.0]))
+        np.testing.assert_allclose(x.grad, [2.0, 4.0, 6.0])
+
+    def test_repeated_backward_accumulates_into_leaf(self):
+        x = Tensor(np.array([1.0]), requires_grad=True)
+        (x * 2.0).backward()
+        (x * 2.0).backward()
+        np.testing.assert_allclose(x.grad, [4.0])
+
+    def test_no_grad_blocks_tape(self):
+        x = Tensor(np.ones(3), requires_grad=True)
+        with no_grad():
+            y = x * 2.0
+        assert not y.requires_grad
+
+    def test_no_grad_restores_state(self):
+        with no_grad():
+            pass
+        x = Tensor(np.ones(1), requires_grad=True)
+        assert (x * 1.0).requires_grad
+
+    def test_detach_cuts_graph(self):
+        x = Tensor(np.array([2.0]), requires_grad=True)
+        y = (x * 3.0).detach() * x
+        y.backward()
+        np.testing.assert_allclose(x.grad, [6.0])  # only the direct factor

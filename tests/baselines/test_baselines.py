@@ -1,0 +1,119 @@
+"""Uniform contract tests over every baseline in the registry."""
+
+import numpy as np
+import pytest
+
+from repro.autodiff import cross_entropy, masked_mse_loss
+from repro.baselines import BASELINE_CATEGORIES, BASELINE_REGISTRY, \
+    build_baseline
+from repro.data import collate, load_synthetic, load_ushcn
+
+ALL = sorted(BASELINE_REGISTRY)
+
+
+@pytest.fixture(scope="module")
+def cls_batch():
+    ds = load_synthetic(num_series=10, grid_points=40, seed=0, min_obs=10)
+    return collate(ds.samples[:6])
+
+
+@pytest.fixture(scope="module")
+def reg_batch():
+    ds = load_ushcn(num_stations=5, length=70, task="interpolation", seed=0,
+                    min_obs=8)
+    return collate(ds.samples[:4]), ds
+
+
+class TestRegistry:
+    def test_registry_covers_every_table_row(self):
+        table_rows = {"mTAN", "ContiFormer", "HiPPO-obs", "HiPPO-RNN", "S4",
+                      "GRU", "GRU-D", "ODE-RNN", "Latent ODE",
+                      "GRU-ODE-Bayes", "NRDE", "PolyODE"}
+        assert table_rows <= set(BASELINE_REGISTRY)
+        # extensions beyond the paper's rows
+        assert "NCDE" in BASELINE_REGISTRY
+
+    def test_categories_match_table3(self):
+        assert BASELINE_CATEGORIES["mTAN"] == "Attention-based"
+        assert BASELINE_CATEGORIES["S4"] == "SSM-based"
+        assert BASELINE_CATEGORIES["GRU-D"] == "RNN-based"
+        assert BASELINE_CATEGORIES["PolyODE"] == "ODE-based"
+        assert set(BASELINE_CATEGORIES) == set(BASELINE_REGISTRY)
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(KeyError):
+            build_baseline("Transformer-XL", 1, 8)
+
+    def test_task_required(self):
+        with pytest.raises(ValueError):
+            build_baseline("GRU", 1, 8)
+
+
+@pytest.mark.parametrize("name", ALL)
+class TestClassificationContract:
+    def test_logits_shape(self, name, cls_batch):
+        model = build_baseline(name, input_dim=1, hidden_dim=8,
+                               num_classes=2)
+        out = model.forward(cls_batch)
+        assert out.shape == (6, 2)
+        assert np.all(np.isfinite(out.data))
+
+    def test_gradients_flow(self, name, cls_batch):
+        model = build_baseline(name, input_dim=1, hidden_dim=8,
+                               num_classes=2)
+        loss = cross_entropy(model.forward(cls_batch), cls_batch.labels)
+        loss.backward()
+        grads = [p.grad for p in model.parameters() if p.grad is not None]
+        assert grads, f"{name}: no gradients at all"
+        assert any(np.abs(g).sum() > 0 for g in grads)
+
+    def test_deterministic_given_seed(self, name, cls_batch):
+        m1 = build_baseline(name, input_dim=1, hidden_dim=8, num_classes=2,
+                            seed=5)
+        m2 = build_baseline(name, input_dim=1, hidden_dim=8, num_classes=2,
+                            seed=5)
+        np.testing.assert_array_equal(m1.forward(cls_batch).data,
+                                      m2.forward(cls_batch).data)
+
+
+@pytest.mark.parametrize("name", ALL)
+class TestRegressionContract:
+    def _model(self, name, ds):
+        kw = {}
+        if name == "GRU-D":
+            kw["raw_features"] = ds.num_features
+        return build_baseline(name, input_dim=ds.input_dim, hidden_dim=8,
+                              out_dim=ds.num_features, **kw)
+
+    def test_prediction_shape(self, name, reg_batch):
+        batch, ds = reg_batch
+        model = self._model(name, ds)
+        out = model.forward(batch)
+        assert out.shape == batch.target_values.shape
+        assert np.all(np.isfinite(out.data))
+
+    def test_loss_backward(self, name, reg_batch):
+        batch, ds = reg_batch
+        model = self._model(name, ds)
+        loss = masked_mse_loss(model.forward(batch), batch.target_values,
+                               batch.target_mask)
+        loss.backward()
+        assert any(p.grad is not None for p in model.parameters())
+
+
+class TestPaddingInvariance:
+    """Padded rows must not change a model's output for other sequences."""
+
+    @pytest.mark.parametrize("name", ["GRU", "S4", "mTAN", "ODE-RNN",
+                                      "HiPPO-obs"])
+    def test_padding_does_not_leak(self, name):
+        ds = load_synthetic(num_series=6, grid_points=40, seed=3, min_obs=10)
+        # batch A: sample 0 alone; batch B: sample 0 + a longer sample
+        lengths = [s.num_obs for s in ds.samples]
+        short = ds.samples[int(np.argmin(lengths))]
+        longer = ds.samples[int(np.argmax(lengths))]
+        model = build_baseline(name, input_dim=1, hidden_dim=8,
+                               num_classes=2, seed=0)
+        solo = model.forward(collate([short])).data[0]
+        padded = model.forward(collate([short, longer])).data[0]
+        np.testing.assert_allclose(solo, padded, atol=1e-8)

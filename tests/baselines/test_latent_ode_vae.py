@@ -1,0 +1,104 @@
+"""VAE Latent ODE: ELBO, KL, sampling."""
+
+import numpy as np
+import pytest
+
+from repro.autodiff import Tensor, gradcheck
+from repro.baselines import LatentODEVAEBaseline, build_baseline, gaussian_kl
+from repro.data import collate, load_synthetic, load_ushcn
+from repro.training import TrainConfig, Trainer
+
+
+class TestGaussianKL:
+    def test_standard_normal_is_zero(self):
+        mu = Tensor(np.zeros((3, 4)))
+        logvar = Tensor(np.zeros((3, 4)))
+        assert gaussian_kl(mu, logvar).item() == pytest.approx(0.0)
+
+    def test_matches_closed_form(self, rng):
+        mu = rng.normal(size=(2, 3))
+        logvar = rng.normal(size=(2, 3))
+        expected = 0.5 * (mu ** 2 + np.exp(logvar) - logvar - 1.0)
+        np.testing.assert_allclose(
+            gaussian_kl(Tensor(mu), Tensor(logvar)).item(),
+            expected.sum(-1).mean())
+
+    def test_nonnegative(self, rng):
+        for _ in range(5):
+            mu = Tensor(rng.normal(size=(4, 6)))
+            logvar = Tensor(rng.normal(size=(4, 6)))
+            assert gaussian_kl(mu, logvar).item() >= -1e-10
+
+    def test_differentiable(self, rng):
+        gradcheck(lambda m, lv: gaussian_kl(m, lv),
+                  [rng.normal(size=(2, 3)), rng.normal(size=(2, 3))])
+
+
+class TestVAEModel:
+    @pytest.fixture(scope="class")
+    def cls_batch(self):
+        ds = load_synthetic(num_series=8, grid_points=30, seed=0, min_obs=8)
+        return collate(ds.samples[:5])
+
+    def test_elbo_backward(self, cls_batch):
+        model = build_baseline("Latent ODE (VAE)", input_dim=1,
+                               hidden_dim=12, num_classes=2)
+        model.compute_loss(cls_batch).backward()
+        assert all(np.all(np.isfinite(p.grad)) for p in model.parameters()
+                   if p.grad is not None)
+
+    def test_eval_is_deterministic(self, cls_batch):
+        """forward() uses the posterior mean - no sampling noise."""
+        model = build_baseline("Latent ODE (VAE)", input_dim=1,
+                               hidden_dim=12, num_classes=2, seed=3)
+        out1 = model.forward(cls_batch).data
+        out2 = model.forward(cls_batch).data
+        np.testing.assert_array_equal(out1, out2)
+
+    def test_training_loss_is_stochastic(self, cls_batch):
+        model = build_baseline("Latent ODE (VAE)", input_dim=1,
+                               hidden_dim=12, num_classes=2)
+        l1 = model.compute_loss(cls_batch).item()
+        l2 = model.compute_loss(cls_batch).item()
+        assert l1 != l2  # fresh eps each call
+
+    def test_regression_elbo(self):
+        ds = load_ushcn(num_stations=4, length=60, task="interpolation",
+                        seed=0, min_obs=8)
+        batch = collate(ds.samples)
+        model = build_baseline("Latent ODE (VAE)", input_dim=ds.input_dim,
+                               hidden_dim=12, out_dim=5)
+        loss = model.compute_loss(batch)
+        assert np.isfinite(loss.item())
+
+    def test_prior_sampling_shapes(self):
+        model = LatentODEVAEBaseline(input_dim=1, hidden_dim=8,
+                                     latent_dim=4,
+                                     rng=np.random.default_rng(0),
+                                     out_dim=1)
+        out = model.sample_prior(3, np.linspace(0, 1, 7))
+        assert out.shape == (3, 7, 1)
+
+    def test_trainer_uses_elbo(self, cls_batch):
+        """Trainer must pick up compute_loss for training."""
+        ds = load_synthetic(num_series=16, grid_points=30, seed=1,
+                            min_obs=8)
+        model = build_baseline("Latent ODE (VAE)", input_dim=1,
+                               hidden_dim=12, num_classes=2)
+        trainer = Trainer(model, "classification",
+                          TrainConfig(epochs=2, batch_size=8, lr=3e-3))
+        history = trainer.fit(ds, None)
+        assert len(history.train_loss) == 2
+
+    def test_kl_weight_zero_reduces_to_reconstruction(self, cls_batch):
+        m_zero = LatentODEVAEBaseline(
+            input_dim=1, hidden_dim=8, latent_dim=4,
+            rng=np.random.default_rng(1), num_classes=2, kl_weight=0.0,
+            sample_seed=7)
+        m_full = LatentODEVAEBaseline(
+            input_dim=1, hidden_dim=8, latent_dim=4,
+            rng=np.random.default_rng(1), num_classes=2, kl_weight=1.0,
+            sample_seed=7)
+        l0 = m_zero.compute_loss(cls_batch).item()
+        l1 = m_full.compute_loss(cls_batch).item()
+        assert l1 >= l0  # adding a non-negative KL can only increase

@@ -1,0 +1,71 @@
+"""NCDE baseline specifics."""
+
+import numpy as np
+import pytest
+
+from repro.autodiff import cross_entropy, masked_mse_loss
+from repro.baselines import NCDEBaseline, build_baseline
+from repro.data import collate, load_synthetic, load_ushcn
+
+
+@pytest.fixture(scope="module")
+def cls_batch():
+    ds = load_synthetic(num_series=8, grid_points=40, seed=0, min_obs=10)
+    return collate(ds.samples[:5])
+
+
+class TestNCDE:
+    def test_classification_shape(self, cls_batch):
+        model = build_baseline("NCDE", input_dim=1, hidden_dim=8,
+                               num_classes=2)
+        out = model.forward(cls_batch)
+        assert out.shape == (5, 2)
+        assert np.all(np.isfinite(out.data))
+
+    def test_regression_shape(self):
+        ds = load_ushcn(num_stations=3, length=60, task="interpolation",
+                        seed=0, min_obs=8)
+        batch = collate(ds.samples)
+        model = build_baseline("NCDE", input_dim=ds.input_dim, hidden_dim=8,
+                               out_dim=5)
+        out = model.forward(batch)
+        assert out.shape == batch.target_values.shape
+
+    def test_gradients_flow_to_vector_field(self, cls_batch):
+        model = NCDEBaseline(input_dim=1, hidden_dim=8,
+                             rng=np.random.default_rng(0), num_classes=2)
+        loss = cross_entropy(model.forward(cls_batch), cls_batch.labels)
+        loss.backward()
+        assert model.field.fc0.weight.grad is not None
+        assert np.abs(model.field.fc0.weight.grad).sum() > 0
+
+    def test_duplicate_timestamps_handled(self, rng):
+        """The spline needs strictly increasing knots; duplicates must be
+        deduplicated, not crash."""
+        from repro.data import Sample
+        times = np.array([0.0, 0.2, 0.2, 0.5, 0.8, 1.0])
+        sample = Sample(times=times, values=rng.normal(size=(6, 1)),
+                        label=0)
+        batch = collate([sample])
+        model = build_baseline("NCDE", input_dim=1, hidden_dim=8,
+                               num_classes=2)
+        out = model.forward(batch)
+        assert np.all(np.isfinite(out.data))
+
+    def test_latent_is_continuous(self, cls_batch):
+        """Continuity = per-step changes shrink as the grid refines
+        (a jump model's largest step would stay constant)."""
+        from repro.autodiff import no_grad
+
+        def max_step(grid_size):
+            model = NCDEBaseline(input_dim=1, hidden_dim=8,
+                                 rng=np.random.default_rng(1),
+                                 grid_size=grid_size, num_classes=2)
+            with no_grad():
+                traj = model._trajectory(cls_batch.values, cls_batch.times,
+                                         cls_batch.mask).data
+            return np.linalg.norm(np.diff(traj, axis=0), axis=-1).max()
+
+        coarse = max_step(20)
+        fine = max_step(80)
+        assert fine < 0.6 * coarse, (coarse, fine)

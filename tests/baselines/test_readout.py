@@ -1,0 +1,78 @@
+"""Readout helpers: previous-state gather and grid snapping."""
+
+import numpy as np
+import pytest
+
+from repro.autodiff import Tensor
+from repro.baselines import previous_state_readout, snap_to_grid
+
+
+class TestPreviousStateReadout:
+    def test_picks_last_observation_before_query(self):
+        states = Tensor(np.arange(8, dtype=float).reshape(1, 4, 2))
+        times = np.array([[0.1, 0.3, 0.6, 0.9]])
+        mask = np.ones((1, 4))
+        out = previous_state_readout(states, times, mask,
+                                     np.array([[0.5, 0.95]]))
+        np.testing.assert_allclose(out.data[0, 0, :2], [2.0, 3.0])  # t=0.3
+        np.testing.assert_allclose(out.data[0, 1, :2], [6.0, 7.0])  # t=0.9
+
+    def test_elapsed_channel(self):
+        states = Tensor(np.zeros((1, 3, 1)))
+        times = np.array([[0.0, 0.4, 0.8]])
+        out = previous_state_readout(states, times, np.ones((1, 3)),
+                                     np.array([[0.5]]))
+        np.testing.assert_allclose(out.data[0, 0, -1], 0.1, atol=1e-12)
+
+    def test_query_before_first_observation_clamps(self):
+        states = Tensor(np.arange(6, dtype=float).reshape(1, 3, 2))
+        times = np.array([[0.2, 0.5, 0.8]])
+        out = previous_state_readout(states, times, np.ones((1, 3)),
+                                     np.array([[0.0]]))
+        np.testing.assert_allclose(out.data[0, 0, :2], [0.0, 1.0])
+
+    def test_masked_observations_skipped(self):
+        states = Tensor(np.arange(8, dtype=float).reshape(1, 4, 2))
+        times = np.array([[0.1, 0.3, 0.6, 0.9]])
+        mask = np.array([[1.0, 1.0, 0.0, 0.0]])  # last two are padding
+        out = previous_state_readout(states, times, mask,
+                                     np.array([[0.7]]))
+        np.testing.assert_allclose(out.data[0, 0, :2], [2.0, 3.0])
+
+    def test_gradient_flows_to_selected_states(self):
+        states = Tensor(np.zeros((1, 3, 2)), requires_grad=True)
+        times = np.array([[0.1, 0.5, 0.9]])
+        out = previous_state_readout(states, times, np.ones((1, 3)),
+                                     np.array([[0.6, 0.65]]))
+        out.sum().backward()
+        # both queries hit index 1 -> gradient 2 on that row
+        np.testing.assert_allclose(states.grad[0, 1], [2.0, 2.0])
+        np.testing.assert_allclose(states.grad[0, 0], [0.0, 0.0])
+
+
+class TestSnapToGrid:
+    def test_basic_assignment(self):
+        grid = np.linspace(0.0, 1.0, 5)  # cells at 0, .25, .5, .75, 1
+        values = np.array([[[1.0], [2.0], [3.0]]])
+        times = np.array([[0.1, 0.3, 0.8]])
+        mask = np.ones((1, 3))
+        gv, gm = snap_to_grid(values, times, mask, grid)
+        assert gv.shape == (1, 5, 1)
+        np.testing.assert_array_equal(gm[0], [1, 1, 0, 1, 0])
+        assert gv[0, 0, 0] == 1.0 and gv[0, 1, 0] == 2.0 and gv[0, 3, 0] == 3.0
+
+    def test_later_observation_wins_cell(self):
+        grid = np.linspace(0.0, 1.0, 3)
+        values = np.array([[[1.0], [2.0]]])
+        times = np.array([[0.1, 0.2]])  # same cell
+        gv, gm = snap_to_grid(values, times, np.ones((1, 2)), grid)
+        assert gv[0, 0, 0] == 2.0
+
+    def test_masked_points_ignored(self):
+        grid = np.linspace(0.0, 1.0, 4)
+        values = np.array([[[1.0], [9.0]]])
+        times = np.array([[0.1, 0.9]])
+        mask = np.array([[1.0, 0.0]])
+        gv, gm = snap_to_grid(values, times, mask, grid)
+        assert gm[0].sum() == 1.0
+        assert gv[0, -1, 0] == 0.0

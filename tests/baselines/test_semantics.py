@@ -1,0 +1,107 @@
+"""Model-specific semantic tests beyond the uniform contract."""
+
+import numpy as np
+import pytest
+
+from repro.autodiff import Tensor, no_grad
+from repro.baselines import (
+    HiPPOObsBaseline,
+    LatentODEBaseline,
+    MTANBaseline,
+    S4Baseline,
+)
+from repro.data import Sample, collate
+
+
+def _batch(rng, n=12, f=1):
+    samples = [Sample(times=np.sort(rng.random(n)),
+                      values=rng.normal(size=(n, f)), label=i % 2)
+               for i in range(3)]
+    return collate(samples)
+
+
+class TestMTAN:
+    def test_time_embedding_distinguishes_times(self, rng):
+        model = MTANBaseline(input_dim=1, hidden_dim=8,
+                             rng=np.random.default_rng(0), num_classes=2)
+        t = np.array([[0.1, 0.9]])
+        emb = model.time_embed(t).data
+        assert not np.allclose(emb[0, 0], emb[0, 1])
+
+    def test_regression_queries_attend_locally(self, rng):
+        """A query at an observation's exact time should weight that
+        observation's value more than a far-away one, once times are
+        embedded - check via output sensitivity."""
+        model = MTANBaseline(input_dim=1, hidden_dim=8,
+                             rng=np.random.default_rng(1), out_dim=1)
+        batch = _batch(rng)
+        with no_grad():
+            base = model.forward_regression(batch.values, batch.times,
+                                            batch.mask,
+                                            batch.times[:, :3]).data
+        # perturb values at the queried observations
+        values2 = batch.values.copy()
+        values2[:, :3] += 5.0
+        with no_grad():
+            moved = model.forward_regression(values2, batch.times,
+                                             batch.mask,
+                                             batch.times[:, :3]).data
+        assert not np.allclose(base, moved)
+
+
+class TestS4:
+    def test_decay_rates_positive(self, rng):
+        model = S4Baseline(input_dim=1, hidden_dim=8,
+                           rng=np.random.default_rng(0), num_classes=2)
+        lam = np.exp(model.log_lambda.data)
+        assert np.all(lam > 0)
+
+    def test_state_decays_over_long_gaps(self, rng):
+        """With no input, a long time gap must shrink the SSM state."""
+        model = S4Baseline(input_dim=1, hidden_dim=8,
+                           rng=np.random.default_rng(1), num_classes=2)
+        # two observations: identical values, different gap to a third
+        values = np.zeros((1, 3, 1))
+        values[0, 0, 0] = 5.0
+        short = np.array([[0.0, 0.01, 0.02]])
+        long = np.array([[0.0, 0.5, 1.0]])
+        with no_grad():
+            out_short = model._scan(values, short, np.ones((1, 3))).data
+            out_long = model._scan(values, long, np.ones((1, 3))).data
+        # after a longer gap, less of the initial impulse remains
+        assert np.abs(out_long[0, -1]).sum() < np.abs(out_short[0, -1]).sum()
+
+
+class TestHiPPOObs:
+    def test_only_head_parameters_trainable(self, rng):
+        model = HiPPOObsBaseline(input_dim=1, hidden_dim=8,
+                                 rng=np.random.default_rng(0),
+                                 num_classes=2)
+        names = [n for n, _ in model.named_parameters()]
+        assert all(n.startswith("head.") for n in names)
+
+    def test_coefficients_deterministic(self, rng):
+        model = HiPPOObsBaseline(input_dim=1, hidden_dim=8,
+                                 rng=np.random.default_rng(0),
+                                 num_classes=2)
+        batch = _batch(rng)
+        c1 = model._coefficients(batch.values, batch.mask)
+        c2 = model._coefficients(batch.values, batch.mask)
+        np.testing.assert_array_equal(c1, c2)
+
+
+class TestLatentODEEncoder:
+    def test_reverse_encoding_prioritizes_early_observations(self, rng):
+        """The reverse-time GRU's final state is computed at t=0, so
+        perturbing the FIRST observation must change z0 strongly."""
+        model = LatentODEBaseline(input_dim=1, hidden_dim=8, latent_dim=4,
+                                  rng=np.random.default_rng(0),
+                                  num_classes=2)
+        batch = _batch(rng)
+        with no_grad():
+            z_base = model._encode_z0(batch.values, batch.times,
+                                      batch.mask).data
+            values2 = batch.values.copy()
+            values2[:, 0] += 3.0
+            z_pert = model._encode_z0(values2, batch.times, batch.mask).data
+        assert not np.allclose(z_base, z_pert)

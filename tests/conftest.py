@@ -1,0 +1,14 @@
+"""Shared fixtures for the repro test-suite."""
+
+import numpy as np
+import pytest
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def rng2():
+    return np.random.default_rng(99)

@@ -1,0 +1,135 @@
+"""GraphDiffODE extension tests."""
+
+import numpy as np
+import networkx as nx
+import pytest
+
+from repro.autodiff import masked_mse_loss, no_grad
+from repro.core import GraphDiffODE, normalized_adjacency
+from repro.data import make_graph_batches, simulate_traffic_graph
+
+
+class TestNormalizedAdjacency:
+    def test_from_networkx(self):
+        a = normalized_adjacency(nx.path_graph(4))
+        assert a.shape == (4, 4)
+        # symmetric and nonnegative
+        np.testing.assert_allclose(a, a.T)
+        assert np.all(a >= 0)
+
+    def test_from_matrix(self):
+        a = normalized_adjacency(np.array([[0, 1], [1, 0]], float))
+        # A + I = all-ones, degrees 2 -> every entry 1/2
+        np.testing.assert_allclose(a, np.full((2, 2), 0.5))
+
+    def test_spectral_radius_at_most_one(self):
+        a = normalized_adjacency(nx.erdos_renyi_graph(10, 0.4, seed=1))
+        assert np.abs(np.linalg.eigvals(a)).max() <= 1.0 + 1e-9
+
+    def test_rejects_non_square(self):
+        with pytest.raises(ValueError):
+            normalized_adjacency(np.ones((2, 3)))
+
+
+class TestSimulation:
+    def test_flow_shapes_and_positivity(self):
+        g, flows = simulate_traffic_graph(num_nodes=8, hours=72, seed=0)
+        assert flows.shape == (8, 72)
+        assert np.all(flows >= 0)
+        assert nx.is_connected(g)
+
+    def test_rush_hour_structure(self):
+        _, flows = simulate_traffic_graph(num_nodes=10, hours=24 * 10,
+                                          seed=1)
+        tod = np.arange(flows.shape[1]) % 24
+        assert flows[:, tod == 8].mean() > flows[:, tod == 3].mean()
+
+    def test_neighbors_more_correlated_than_strangers(self):
+        g, flows = simulate_traffic_graph(num_nodes=12, hours=24 * 20,
+                                          coupling=0.4, seed=2)
+        dev = flows - flows.mean(axis=1, keepdims=True)
+        corr = np.corrcoef(dev)
+        pairs = [(u, v) for u, v in g.edges() if u != v]
+        non_edges = [(u, v) for u in range(12) for v in range(u + 1, 12)
+                     if not g.has_edge(u, v)]
+        if pairs and non_edges:
+            edge_corr = np.mean([corr[u, v] for u, v in pairs])
+            far_corr = np.mean([corr[u, v] for u, v in non_edges])
+            assert edge_corr > far_corr - 0.05
+
+    def test_batches_layout(self):
+        g, flows = simulate_traffic_graph(num_nodes=5, hours=80, seed=3)
+        batches = make_graph_batches(g, flows, window=40, num_windows=4,
+                                     seed=3)
+        assert len(batches) == 4
+        b = batches[0]
+        assert b.values.shape[:2] == (1, 5)
+        assert b.target_values.shape[1] == 5
+        # context times strictly before the query horizon
+        assert b.times.max() <= b.target_times.min() + 1e-9
+
+
+class TestGraphModel:
+    @pytest.fixture(scope="class")
+    def setup(self):
+        g, flows = simulate_traffic_graph(num_nodes=5, hours=80, seed=0)
+        batches = make_graph_batches(g, flows, window=40, num_windows=2,
+                                     seed=0)
+        model = GraphDiffODE(g, latent_dim=4, hidden_dim=8, step_size=0.25,
+                             seed=0)
+        return g, batches, model
+
+    def test_forward_shape(self, setup):
+        _, batches, model = setup
+        pred = model.forward(batches[0])
+        assert pred.shape == batches[0].target_values.shape
+
+    def test_backward_reaches_coupling(self, setup):
+        _, batches, model = setup
+        loss = masked_mse_loss(model.forward(batches[0]),
+                               batches[0].target_values,
+                               batches[0].target_mask)
+        loss.backward()
+        assert model.dynamics.mix.weight.grad is not None
+
+    def test_node_count_validated(self, setup):
+        g, batches, model = setup
+        bad = batches[0].values[:, :3]
+        with pytest.raises(ValueError):
+            model.forward_regression(bad, batches[0].times[:, :3],
+                                     batches[0].mask[:, :3],
+                                     batches[0].target_times)
+
+    def test_zero_coupling_matches_independent_nodes(self, setup):
+        """With the mixing matrix zeroed, node predictions must not depend
+        on other nodes' data."""
+        g, batches, model = setup
+        model.dynamics.mix.weight.data[...] = 0.0
+        b = batches[0]
+        with no_grad():
+            base = model.forward(b).data
+            perturbed_values = b.values.copy()
+            perturbed_values[0, 1] += 10.0  # corrupt node 1 only
+            out = model.forward_regression(perturbed_values, b.times,
+                                           b.mask, b.target_times).data
+        np.testing.assert_allclose(base[0, 0], out[0, 0], atol=1e-8)
+        assert not np.allclose(base[0, 1], out[0, 1])
+
+    def test_training_reduces_loss(self, setup):
+        g, batches, model = setup
+        from repro.training import Adam
+        model = GraphDiffODE(g, latent_dim=4, hidden_dim=8,
+                             step_size=0.25, seed=1)
+        opt = Adam(model.parameters(), lr=5e-3)
+        losses = []
+        for _ in range(8):
+            total = 0.0
+            for b in batches:
+                opt.zero_grad()
+                loss = masked_mse_loss(model.forward(b), b.target_values,
+                                       b.target_mask)
+                loss.backward()
+                opt.step()
+                total += loss.item()
+            losses.append(total)
+        assert losses[-1] < losses[0]

@@ -1,0 +1,56 @@
+"""Property-based tests for grid-state interpolation."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.autodiff import Tensor
+from repro.core import interpolate_grid_states
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.integers(0, 10_000), st.integers(3, 10), st.integers(1, 5))
+def test_interpolation_between_bounds(seed, grid_len, nq):
+    """Interpolated values stay inside the convex hull of the two
+    neighbouring grid states (per component)."""
+    rng = np.random.default_rng(seed)
+    grid = np.linspace(0.0, 1.0, grid_len)
+    states = Tensor(rng.normal(size=(grid_len, 2, 3)))
+    q = rng.random((2, nq))
+    out = interpolate_grid_states(states, grid, q).data
+    for b in range(2):
+        for j in range(nq):
+            hi_idx = np.clip(np.searchsorted(grid, q[b, j]), 1,
+                             grid_len - 1)
+            lo = states.data[hi_idx - 1, b]
+            hi = states.data[hi_idx, b]
+            low = np.minimum(lo, hi) - 1e-9
+            high = np.maximum(lo, hi) + 1e-9
+            assert np.all(out[b, j] >= low) and np.all(out[b, j] <= high)
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.integers(0, 10_000), st.integers(3, 8))
+def test_linear_states_interpolate_exactly(seed, grid_len):
+    """If states vary linearly along the grid, interpolation is exact."""
+    rng = np.random.default_rng(seed)
+    grid = np.linspace(0.0, 1.0, grid_len)
+    slope = rng.normal(size=(1, 4))
+    states = Tensor(grid[:, None, None] * slope[None])
+    q = rng.random((1, 6))
+    out = interpolate_grid_states(states, grid, q).data
+    expected = q[..., None] * slope[None]
+    np.testing.assert_allclose(out, expected, atol=1e-10)
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.integers(0, 10_000))
+def test_interpolation_is_monotone_in_query(seed):
+    """For monotone-increasing scalar states, outputs are monotone in t."""
+    rng = np.random.default_rng(seed)
+    grid = np.linspace(0.0, 1.0, 7)
+    values = np.sort(rng.normal(size=7))
+    states = Tensor(values[:, None, None])
+    q = np.sort(rng.random((1, 8)), axis=1)
+    out = interpolate_grid_states(states, grid, q).data[0, :, 0]
+    assert np.all(np.diff(out) >= -1e-12)

@@ -1,0 +1,108 @@
+"""Additional DiffODE behaviours: grid construction, masking invariance,
+encoder properties."""
+
+import numpy as np
+import pytest
+
+from repro.autodiff import no_grad
+from repro.core import DiffODE, DiffODEConfig
+
+
+def _model(**kw):
+    base = dict(input_dim=1, latent_dim=6, hidden_dim=8, hippo_dim=6,
+                info_dim=6, num_classes=2, step_size=0.25)
+    base.update(kw)
+    return DiffODE(DiffODEConfig(**base))
+
+
+class TestGrid:
+    def test_grid_length_from_step(self):
+        assert len(_model(step_size=0.25).grid()) == 5
+        assert len(_model(step_size=0.1).grid()) == 11
+
+    def test_grid_spans_unit_interval(self):
+        grid = _model(step_size=0.2).grid()
+        assert grid[0] == 0.0 and grid[-1] == 1.0
+
+
+class TestPaddingInvariance:
+    def test_padded_batch_matches_unpadded(self, rng):
+        """DIFFODE's mask algebra: a padded copy of a sequence must score
+        identically to the unpadded version."""
+        model = _model()
+        n = 14
+        values = rng.normal(size=(1, n, 1))
+        times = np.sort(rng.random((1, n)), axis=1)
+        mask = np.ones((1, n))
+        with no_grad():
+            solo = model.forward_classification(values, times, mask).data
+
+        pad = 6
+        values_p = np.concatenate([values, np.zeros((1, pad, 1))], axis=1)
+        times_p = np.concatenate(
+            [times, np.repeat(times[:, -1:], pad, axis=1)], axis=1)
+        mask_p = np.concatenate([mask, np.zeros((1, pad))], axis=1)
+        with no_grad():
+            padded = model.forward_classification(values_p, times_p,
+                                                  mask_p).data
+        np.testing.assert_allclose(solo, padded, atol=1e-6)
+
+    def test_batch_composition_does_not_leak(self, rng):
+        """Sequence 0's logits must not change when sequence 1 differs."""
+        model = _model()
+        n = 14
+        v = rng.normal(size=(2, n, 1))
+        t = np.sort(rng.random((2, n)), axis=1)
+        m = np.ones((2, n))
+        with no_grad():
+            base = model.forward_classification(v, t, m).data
+            v2 = v.copy()
+            v2[1] += 10.0
+            out = model.forward_classification(v2, t, m).data
+        np.testing.assert_allclose(base[0], out[0], atol=1e-8)
+        assert not np.allclose(base[1], out[1])
+
+
+class TestEncoderProperties:
+    def test_gru_encoder_is_causal(self, rng):
+        model = _model()
+        n = 14
+        v = rng.normal(size=(1, n, 1))
+        t = np.sort(rng.random((1, n)), axis=1)
+        m = np.ones((1, n))
+        with no_grad():
+            z1 = model.encode(v, t, m).data
+            v2 = v.copy()
+            v2[0, -1] += 5.0  # change only the last observation
+            z2 = model.encode(v2, t, m).data
+        np.testing.assert_allclose(z1[0, :-1], z2[0, :-1], atol=1e-12)
+        assert not np.allclose(z1[0, -1], z2[0, -1])
+
+    def test_mlp_encoder_is_pointwise(self, rng):
+        model = _model(encoder="mlp")
+        n = 14
+        v = rng.normal(size=(1, n, 1))
+        t = np.sort(rng.random((1, n)), axis=1)
+        m = np.ones((1, n))
+        with no_grad():
+            z1 = model.encode(v, t, m).data
+            v2 = v.copy()
+            v2[0, 3] += 5.0
+            z2 = model.encode(v2, t, m).data
+        # only row 3 changes
+        changed = ~np.isclose(z1[0], z2[0]).all(axis=-1)
+        assert changed[3] and changed.sum() == 1
+
+
+class TestTimeNormalizationAssumption:
+    def test_query_outside_unit_interval_clipped_not_crashing(self, rng):
+        model = _model(num_classes=None, out_dim=1)
+        n = 14
+        v = rng.normal(size=(1, n, 1))
+        t = np.sort(rng.random((1, n)), axis=1)
+        m = np.ones((1, n))
+        q = np.array([[-0.5, 0.5, 1.5]])
+        with no_grad():
+            out = model.forward_regression(v, t, m, q)
+        assert out.shape == (1, 3, 1)
+        assert np.all(np.isfinite(out.data))

@@ -1,0 +1,144 @@
+"""Containers, collation and splitting."""
+
+import numpy as np
+import pytest
+
+from repro.data import Dataset, Sample, batch_iter, collate, \
+    train_val_test_split
+
+
+def _sample(rng, n=6, f=2, label=None, with_targets=False, with_fmask=False):
+    times = np.sort(rng.random(n))
+    values = rng.normal(size=(n, f))
+    fmask = (rng.random((n, f)) > 0.3).astype(float) if with_fmask else None
+    kw = {}
+    if with_targets:
+        kw = dict(target_times=np.sort(rng.random(3)),
+                  target_values=rng.normal(size=(3, f)),
+                  target_mask=np.ones((3, f)))
+    return Sample(times=times, values=values, feature_mask=fmask,
+                  label=label, **kw)
+
+
+class TestSample:
+    def test_model_inputs_plain(self, rng):
+        s = _sample(rng)
+        np.testing.assert_array_equal(s.model_inputs(), s.values)
+
+    def test_model_inputs_with_mask_doubles_width(self, rng):
+        s = _sample(rng, with_fmask=True)
+        inputs = s.model_inputs()
+        assert inputs.shape == (6, 4)
+        np.testing.assert_array_equal(inputs[:, 2:], s.feature_mask)
+        # unobserved values must be zeroed in the input channels
+        np.testing.assert_array_equal(inputs[:, :2],
+                                      s.values * s.feature_mask)
+
+
+class TestCollate:
+    def test_pads_to_longest(self, rng):
+        samples = [_sample(rng, n=4, label=0), _sample(rng, n=7, label=1)]
+        batch = collate(samples)
+        assert batch.values.shape == (2, 7, 2)
+        np.testing.assert_array_equal(batch.mask[0],
+                                      [1, 1, 1, 1, 0, 0, 0])
+
+    def test_padded_times_stay_monotone(self, rng):
+        samples = [_sample(rng, n=3, label=0), _sample(rng, n=8, label=0)]
+        batch = collate(samples)
+        assert np.all(np.diff(batch.times[0]) >= 0)
+
+    def test_labels_collected(self, rng):
+        batch = collate([_sample(rng, label=1), _sample(rng, label=0)])
+        np.testing.assert_array_equal(batch.labels, [1, 0])
+
+    def test_targets_padded_with_zero_mask(self, rng):
+        s1 = _sample(rng, with_targets=True)
+        s2 = _sample(rng, with_targets=True)
+        s2.target_times = s2.target_times[:2]
+        s2.target_values = s2.target_values[:2]
+        s2.target_mask = s2.target_mask[:2]
+        batch = collate([s1, s2])
+        assert batch.target_values.shape == (2, 3, 2)
+        np.testing.assert_array_equal(batch.target_mask[1, 2], [0, 0])
+
+    def test_batch_size_property(self, rng):
+        assert collate([_sample(rng, label=0)] * 3).batch_size == 3
+
+
+class TestSplitsAndIteration:
+    def _dataset(self, rng, n=20):
+        return Dataset("toy", [_sample(rng, label=i % 2) for i in range(n)],
+                       num_features=2, num_classes=2)
+
+    def test_split_fractions(self, rng):
+        ds = self._dataset(rng)
+        tr, va, te = train_val_test_split(ds, 0.5, 0.25, rng)
+        assert (len(tr), len(va), len(te)) == (10, 5, 5)
+
+    def test_split_is_partition(self, rng):
+        ds = self._dataset(rng)
+        tr, va, te = train_val_test_split(ds, 0.5, 0.25, rng)
+        ids = [id(s) for part in (tr, va, te) for s in part.samples]
+        assert len(set(ids)) == 20
+
+    def test_split_rejects_bad_fractions(self, rng):
+        with pytest.raises(ValueError):
+            train_val_test_split(self._dataset(rng), 0.8, 0.3, rng)
+
+    def test_batch_iter_covers_everything(self, rng):
+        ds = self._dataset(rng)
+        total = sum(b.batch_size for b in batch_iter(ds, 6, rng))
+        assert total == 20
+
+    def test_batch_iter_no_shuffle_is_ordered(self, rng):
+        ds = self._dataset(rng)
+        batches = list(batch_iter(ds, 7, shuffle=False))
+        assert batches[0].batch_size == 7 and batches[-1].batch_size == 6
+
+    def test_shuffle_requires_rng(self, rng):
+        with pytest.raises(ValueError):
+            list(batch_iter(self._dataset(rng), 4, None, shuffle=True))
+
+    def test_subset_and_input_dim(self, rng):
+        ds = self._dataset(rng)
+        sub = ds.subset([0, 1, 2], name="mini")
+        assert len(sub) == 3 and sub.name == "mini"
+        assert ds.input_dim == 2
+        ds.has_feature_mask = True
+        assert ds.input_dim == 4
+
+
+class TestBucketedBatching:
+    def _uneven_dataset(self, rng, n=64):
+        samples = []
+        for i in range(n):
+            length = int(rng.integers(4, 40))
+            samples.append(_sample(rng, n=length, label=i % 2))
+        return Dataset("uneven", samples, num_features=2, num_classes=2)
+
+    def _padded_cells(self, batches):
+        return sum(b.values.shape[1] * b.batch_size - int(b.mask.sum())
+                   for b in batches)
+
+    def test_bucketing_reduces_padding(self, rng):
+        ds = self._uneven_dataset(rng)
+        plain = list(batch_iter(ds, 8, np.random.default_rng(0)))
+        bucketed = list(batch_iter(ds, 8, np.random.default_rng(0),
+                                   bucket_by_length=True))
+        assert self._padded_cells(bucketed) < self._padded_cells(plain)
+
+    def test_bucketing_covers_every_sample(self, rng):
+        ds = self._uneven_dataset(rng, n=30)
+        total = sum(b.batch_size for b in batch_iter(
+            ds, 7, np.random.default_rng(1), bucket_by_length=True))
+        assert total == 30
+
+    def test_bucketing_still_shuffles_across_epochs(self, rng):
+        ds = self._uneven_dataset(rng, n=40)
+        rng_iter = np.random.default_rng(2)
+        first = [tuple(b.labels) for b in batch_iter(
+            ds, 8, rng_iter, bucket_by_length=True)]
+        second = [tuple(b.labels) for b in batch_iter(
+            ds, 8, rng_iter, bucket_by_length=True)]
+        assert first != second  # new permutation each epoch

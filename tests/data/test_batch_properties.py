@@ -1,0 +1,59 @@
+"""Property-based tests for padding/collation invariants."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data import Sample, collate
+
+
+def _random_sample(rng, n, f, with_label=True):
+    return Sample(times=np.sort(rng.random(n)),
+                  values=rng.normal(size=(n, f)),
+                  label=int(rng.integers(0, 2)) if with_label else None)
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.integers(0, 10_000),
+       st.lists(st.integers(2, 12), min_size=1, max_size=5),
+       st.integers(1, 3))
+def test_collate_preserves_observations(seed, lengths, f):
+    rng = np.random.default_rng(seed)
+    samples = [_random_sample(rng, n, f) for n in lengths]
+    batch = collate(samples)
+    for i, s in enumerate(samples):
+        n = s.num_obs
+        np.testing.assert_array_equal(batch.values[i, :n], s.values)
+        np.testing.assert_array_equal(batch.times[i, :n], s.times)
+        assert batch.mask[i, :n].all()
+        assert not batch.mask[i, n:].any()
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.integers(0, 10_000),
+       st.lists(st.integers(2, 12), min_size=1, max_size=5))
+def test_collate_padded_times_monotone(seed, lengths):
+    rng = np.random.default_rng(seed)
+    samples = [_random_sample(rng, n, 1) for n in lengths]
+    batch = collate(samples)
+    assert np.all(np.diff(batch.times, axis=1) >= -1e-12)
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.integers(0, 10_000), st.integers(2, 8), st.integers(1, 4))
+def test_collate_batch_of_identical_samples(seed, n, b):
+    rng = np.random.default_rng(seed)
+    sample = _random_sample(rng, n, 2)
+    batch = collate([sample] * b)
+    for i in range(1, b):
+        np.testing.assert_array_equal(batch.values[0], batch.values[i])
+        np.testing.assert_array_equal(batch.mask[0], batch.mask[i])
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.integers(0, 10_000), st.integers(3, 10))
+def test_collate_width_is_max_length(seed, extra):
+    rng = np.random.default_rng(seed)
+    samples = [_random_sample(rng, 3, 1), _random_sample(rng, 3 + extra, 1)]
+    batch = collate(samples)
+    assert batch.values.shape[1] == 3 + extra

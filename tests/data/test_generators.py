@@ -1,0 +1,186 @@
+"""Dataset generator tests: shapes, statistics, task structure."""
+
+import numpy as np
+import pytest
+
+from repro.data import (
+    generate_sensor,
+    generate_station,
+    load_largest,
+    load_lorenz,
+    load_physionet,
+    load_synthetic,
+    load_ushcn,
+    simulate_lorenz63,
+    simulate_lorenz96,
+)
+
+
+class TestSynthetic:
+    def test_sizes_and_labels(self):
+        ds = load_synthetic(num_series=40, grid_points=50, seed=0)
+        assert len(ds) == 40 and ds.num_classes == 2
+        labels = [s.label for s in ds.samples]
+        assert 0.3 < np.mean(labels) < 0.7  # roughly balanced
+
+    def test_signal_formula(self):
+        ds = load_synthetic(num_series=3, grid_points=50, keep_rate=1.0,
+                            seed=1, min_obs=5)
+        s = ds[0]
+        # with keep_rate 1 every grid point survives; recover phi via
+        # brute force and check the analytic form
+        t = s.times * 10.0
+        x = s.values[:, 0]
+        phis = np.linspace(-4 * np.pi, 4 * np.pi, 20001)
+        errs = [np.abs(np.sin(t + p) * np.cos(3 * (t + p)) - x).max()
+                for p in phis]
+        assert min(errs) < 1e-2
+
+    def test_times_normalized(self):
+        ds = load_synthetic(num_series=5, seed=2)
+        for s in ds.samples:
+            assert 0.0 <= s.times.min() and s.times.max() <= 1.0
+            assert np.all(np.diff(s.times) > 0)
+
+    def test_min_obs_enforced(self):
+        ds = load_synthetic(num_series=10, grid_points=40, keep_rate=0.2,
+                            seed=3, min_obs=15)
+        assert all(s.num_obs >= 15 for s in ds.samples)
+
+    def test_deterministic(self):
+        a = load_synthetic(num_series=5, seed=9)
+        b = load_synthetic(num_series=5, seed=9)
+        np.testing.assert_array_equal(a[0].values, b[0].values)
+
+
+class TestLorenz:
+    def test_lorenz63_visits_both_wings(self):
+        traj = simulate_lorenz63(4000)
+        assert traj.shape == (4000, 3)
+        # the butterfly: x changes sign many times
+        assert (np.diff(np.sign(traj[:, 0])) != 0).sum() > 10
+
+    def test_lorenz63_stays_on_attractor(self):
+        traj = simulate_lorenz63(2000)
+        assert np.all(np.abs(traj) < 100.0)
+        assert traj[:, 2].min() > 0  # z stays positive on the attractor
+
+    def test_lorenz96_shape_and_boundedness(self):
+        traj = simulate_lorenz96(1000, dims=10)
+        assert traj.shape == (1000, 10)
+        assert np.all(np.abs(traj) < 50.0)
+
+    def test_sensitivity_to_initial_conditions(self):
+        t1 = simulate_lorenz63(2000, rng=np.random.default_rng(0))
+        t2 = simulate_lorenz63(2000, rng=np.random.default_rng(1))
+        assert np.abs(t1[-1] - t2[-1]).max() > 1.0
+
+    def test_dataset_hides_last_dimension(self):
+        ds = load_lorenz("lorenz63", num_windows=10, window=40, seed=0,
+                         min_obs=8)
+        assert ds.num_features == 2  # 3 dims - 1 hidden
+
+    def test_lorenz96_dims_parameter(self):
+        ds = load_lorenz("lorenz96", num_windows=5, window=40, dims=9,
+                         seed=0, min_obs=8)
+        assert ds.num_features == 8
+
+    def test_unknown_system_rejected(self):
+        with pytest.raises(ValueError):
+            load_lorenz("lorenz42", num_windows=2, window=30)
+
+    def test_labels_roughly_balanced(self):
+        ds = load_lorenz("lorenz63", num_windows=60, window=40, seed=1,
+                         min_obs=8)
+        frac = np.mean([s.label for s in ds.samples])
+        assert 0.2 < frac < 0.8
+
+
+class TestUSHCN:
+    def test_station_physics(self, rng):
+        values, fmask = generate_station(365, rng)
+        precip, snowfall, depth, tmin, tmax = values.T
+        assert np.all(tmin <= tmax)
+        assert np.all(precip >= 0) and np.all(depth >= 0)
+        # snowfall only when cold
+        assert np.all(snowfall[tmax.squeeze() >= 2.0] == 0)
+
+    def test_snow_depth_rarely_collected(self, rng):
+        _, fmask = generate_station(2000, rng)
+        assert fmask[:, 2].mean() < fmask[:, 4].mean()
+
+    def test_interpolation_dataset_structure(self):
+        ds = load_ushcn(num_stations=6, length=80, task="interpolation",
+                        seed=0, min_obs=8)
+        assert ds.has_feature_mask and ds.num_features == 5
+        s = ds[0]
+        assert s.target_times is not None
+        assert set(s.target_times).isdisjoint(set(s.times))
+
+    def test_extrapolation_dataset_structure(self):
+        ds = load_ushcn(num_stations=4, length=80, task="extrapolation",
+                        seed=0, min_obs=8)
+        s = ds[0]
+        assert len(s.target_times) > len(s.times)
+
+    def test_standardization(self):
+        ds = load_ushcn(num_stations=30, length=120, task="interpolation",
+                        seed=1, min_obs=8)
+        # pooled observed values should be near zero-mean unit-variance
+        vals = np.concatenate([s.values[s.feature_mask > 0].ravel()
+                               for s in ds.samples])
+        assert abs(vals.mean()) < 0.3
+        assert 0.5 < vals.std() < 1.5
+
+    def test_unknown_task_rejected(self):
+        with pytest.raises(ValueError):
+            load_ushcn(num_stations=2, length=60, task="forecast")
+
+
+class TestPhysioNet:
+    def test_structure(self):
+        ds = load_physionet(num_patients=4, task="extrapolation", seed=0,
+                            min_obs=8)
+        assert ds.num_features == 37 and ds.has_feature_mask
+        assert len(ds) == 4
+
+    def test_six_minute_rounding(self):
+        ds = load_physionet(num_patients=3, task="interpolation", seed=1,
+                            min_obs=8)
+        for s in ds.samples:
+            # times are multiples of 0.1h / 48h
+            steps = s.times * 48.0 / 0.1
+            np.testing.assert_allclose(steps, np.round(steps), atol=1e-6)
+
+    def test_vitals_sampled_more_than_labs(self):
+        ds = load_physionet(num_patients=10, task="interpolation", seed=2,
+                            min_obs=8)
+        vit = np.mean([s.feature_mask[:, :7].sum() for s in ds.samples])
+        lab = np.mean([s.feature_mask[:, 7:].sum() / 30 * 7
+                       for s in ds.samples])
+        assert vit > 2 * lab
+
+
+class TestLargeST:
+    def test_rush_hour_peaks(self, rng):
+        flow = generate_sensor(24 * 14, rng)
+        tod = np.arange(24 * 14) % 24
+        assert flow[tod == 8].mean() > flow[tod == 3].mean()
+
+    def test_nonnegative(self, rng):
+        assert generate_sensor(500, rng).min() >= 0.0
+
+    def test_weekend_flattening(self, rng):
+        flow = np.mean([generate_sensor(24 * 28, np.random.default_rng(i))
+                        for i in range(5)], axis=0)
+        hours = np.arange(24 * 28)
+        weekday_peak = flow[(hours % 24 == 8) & ((hours // 24) % 7 < 5)].mean()
+        weekend_peak = flow[(hours % 24 == 8) & ((hours // 24) % 7 >= 5)].mean()
+        assert weekday_peak > weekend_peak
+
+    def test_dataset_masks_half(self):
+        ds = load_largest(num_sensors=8, length=200, task="interpolation",
+                          seed=0, min_obs=8)
+        obs_frac = np.mean([(s.num_obs + len(s.target_times)) / 200
+                            for s in ds.samples])
+        assert 0.35 < obs_frac < 0.65

@@ -1,0 +1,110 @@
+"""Imputation baselines."""
+
+import numpy as np
+import pytest
+
+from repro.data import IMPUTERS, impute_to_grid
+
+
+@pytest.fixture
+def series(rng):
+    times = np.sort(rng.random(15))
+    values = np.sin(4 * times)[:, None]
+    return times, values
+
+
+class TestMethods:
+    def test_all_methods_registered(self):
+        assert set(IMPUTERS) == {"forward_fill", "nearest", "linear",
+                                 "spline", "mean"}
+
+    def test_unknown_method_rejected(self, series):
+        times, values = series
+        with pytest.raises(ValueError):
+            impute_to_grid(times, values, np.linspace(0, 1, 5), "magic")
+
+    def test_forward_fill_holds_last_value(self):
+        times = np.array([0.0, 0.5])
+        values = np.array([[1.0], [2.0]])
+        out = impute_to_grid(times, values, np.array([0.0, 0.4, 0.6, 1.0]),
+                             "forward_fill")
+        np.testing.assert_allclose(out[:, 0], [1.0, 1.0, 2.0, 2.0])
+
+    def test_nearest_picks_closest(self):
+        times = np.array([0.0, 1.0])
+        values = np.array([[0.0], [10.0]])
+        out = impute_to_grid(times, values, np.array([0.1, 0.9]), "nearest")
+        np.testing.assert_allclose(out[:, 0], [0.0, 10.0])
+
+    def test_linear_interpolates_exactly(self):
+        times = np.array([0.0, 1.0])
+        values = np.array([[0.0], [2.0]])
+        out = impute_to_grid(times, values, np.array([0.25, 0.5]), "linear")
+        np.testing.assert_allclose(out[:, 0], [0.5, 1.0])
+
+    def test_mean_is_constant(self, series):
+        times, values = series
+        out = impute_to_grid(times, values, np.linspace(0, 1, 7), "mean")
+        np.testing.assert_allclose(out, np.full_like(out, values.mean()))
+
+    def test_spline_beats_forward_fill_on_smooth_signal(self, rng):
+        times = np.sort(rng.random(25))
+        truth = lambda t: np.sin(2 * np.pi * t)
+        values = truth(times)[:, None]
+        grid = np.linspace(times.min(), times.max(), 60)
+        err_spline = np.abs(impute_to_grid(times, values, grid, "spline")
+                            [:, 0] - truth(grid)).mean()
+        err_ffill = np.abs(impute_to_grid(times, values, grid,
+                                          "forward_fill")[:, 0]
+                           - truth(grid)).mean()
+        assert err_spline < err_ffill
+
+    def test_interpolation_passes_through_observations(self, series):
+        times, values = series
+        for method in ("linear", "spline", "nearest", "forward_fill"):
+            out = impute_to_grid(times, values, times, method)
+            np.testing.assert_allclose(out, values, atol=1e-8,
+                                       err_msg=method)
+
+
+class TestFeatureMask:
+    def test_per_feature_masking(self, rng):
+        times = np.linspace(0, 1, 10)
+        values = np.stack([times, 10 * times], axis=-1)
+        fmask = np.ones((10, 2))
+        fmask[::2, 1] = 0  # feature 1 only observed at odd indices
+        out = impute_to_grid(times, values, times, "linear",
+                             feature_mask=fmask)
+        np.testing.assert_allclose(out[:, 0], times, atol=1e-9)
+        # feature 1 is linear so interpolation through half the points is
+        # still exact *within* its observed range (t=0 is an unobserved
+        # left edge that np.interp clamps)
+        np.testing.assert_allclose(out[1:, 1], 10 * times[1:], atol=1e-9)
+
+    def test_fully_missing_feature_is_zero(self, rng):
+        times = np.linspace(0, 1, 5)
+        values = rng.normal(size=(5, 2))
+        fmask = np.ones((5, 2))
+        fmask[:, 1] = 0
+        out = impute_to_grid(times, values, times, "linear",
+                             feature_mask=fmask)
+        np.testing.assert_allclose(out[:, 1], 0.0)
+
+    def test_empty_series_returns_zeros(self):
+        out = impute_to_grid(np.array([]), np.zeros((0, 3)),
+                             np.linspace(0, 1, 4), "linear")
+        np.testing.assert_allclose(out, np.zeros((4, 3)))
+
+
+class TestDistortion:
+    def test_imputation_distorts_dynamics(self, rng):
+        """The paper's motivating claim: imputing to a grid loses the true
+        high-frequency dynamics when sampling is sparse."""
+        t_dense = np.linspace(0, 1, 400)
+        truth = np.sin(6 * np.pi * t_dense)
+        keep = rng.random(400) < 0.05  # very sparse
+        keep[0] = keep[-1] = True
+        obs_t, obs_x = t_dense[keep], truth[keep][:, None]
+        recon = impute_to_grid(obs_t, obs_x, t_dense, "linear")[:, 0]
+        err = np.abs(recon - truth).mean()
+        assert err > 0.05  # visible distortion remains

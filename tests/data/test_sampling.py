@@ -1,0 +1,111 @@
+"""Irregularity operators and task builders."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data import (
+    drop_time_points,
+    make_extrapolation_sample,
+    make_interpolation_sample,
+    poisson_subsample,
+    random_feature_dropout,
+)
+
+
+class TestPoissonSubsample:
+    def test_keep_rate_statistics(self, rng):
+        times = np.arange(10000, dtype=float)
+        values = np.zeros(10000)
+        t, _ = poisson_subsample(times, values, 0.7, rng)
+        assert abs(len(t) / 10000 - 0.7) < 0.02
+
+    def test_preserves_order_and_pairing(self, rng):
+        times = np.arange(50, dtype=float)
+        values = times * 2.0
+        t, v = poisson_subsample(times, values, 0.5, rng)
+        assert np.all(np.diff(t) > 0)
+        np.testing.assert_array_equal(v, t * 2.0)
+
+    def test_min_keep_enforced(self, rng):
+        times = np.arange(20, dtype=float)
+        t, _ = poisson_subsample(times, times, 0.0, rng, min_keep=5)
+        assert len(t) == 5
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.floats(min_value=0.1, max_value=0.9), st.integers(0, 100))
+    def test_subset_property(self, rate, seed):
+        rng = np.random.default_rng(seed)
+        times = np.arange(30, dtype=float)
+        t, _ = poisson_subsample(times, times, rate, rng)
+        assert set(t).issubset(set(times))
+
+
+class TestFeatureDropout:
+    def test_drops_requested_fraction(self, rng):
+        mask = np.ones((100, 5))
+        out = random_feature_dropout(mask, 0.2, rng)
+        assert out.sum() == 500 - 100
+
+    def test_never_unmasks(self, rng):
+        mask = (rng.random((30, 4)) > 0.5).astype(float)
+        out = random_feature_dropout(mask, 0.3, rng)
+        assert np.all(out <= mask)
+
+    def test_zero_drop_is_identity(self, rng):
+        mask = np.ones((10, 3))
+        np.testing.assert_array_equal(
+            random_feature_dropout(mask, 0.0, rng), mask)
+
+
+class TestDropTimePoints:
+    def test_keeps_fraction(self, rng):
+        times = np.arange(100, dtype=float)
+        vals = rng.normal(size=(100, 2))
+        t, (v,) = drop_time_points(times, [vals], 0.5, rng)
+        assert len(t) == 50 and v.shape == (50, 2)
+
+    def test_alignment_preserved(self, rng):
+        times = np.arange(40, dtype=float)
+        t, (v,) = drop_time_points(times, [times * 3.0], 0.4, rng)
+        np.testing.assert_array_equal(v, t * 3.0)
+
+
+class TestTaskBuilders:
+    def _series(self, rng, n=30, f=2):
+        return (np.sort(rng.random(n)), rng.normal(size=(n, f)),
+                np.ones((n, f)))
+
+    def test_interpolation_partition(self, rng):
+        t, v, m = self._series(rng)
+        s = make_interpolation_sample(t, v, m, 0.3, rng, min_context=5)
+        assert len(s.times) + len(s.target_times) == 30
+        assert set(s.target_times).isdisjoint(set(s.times))
+
+    def test_interpolation_respects_min_context(self, rng):
+        t, v, m = self._series(rng, n=10)
+        s = make_interpolation_sample(t, v, m, 0.9, rng, min_context=6)
+        assert len(s.times) >= 6
+
+    def test_interpolation_too_short_raises(self, rng):
+        t, v, m = self._series(rng, n=4)
+        with pytest.raises(ValueError):
+            make_interpolation_sample(t, v, m, 0.1, rng, min_context=4)
+
+    def test_extrapolation_first_half_context(self, rng):
+        t, v, m = self._series(rng)
+        s = make_extrapolation_sample(t, v, m, min_context=5)
+        assert len(s.times) == 15
+        assert len(s.target_times) == 30
+        np.testing.assert_array_equal(s.target_times, t)
+
+    def test_extrapolation_targets_include_future(self, rng):
+        t, v, m = self._series(rng)
+        s = make_extrapolation_sample(t, v, m, min_context=5)
+        assert s.target_times.max() > s.times.max()
+
+    def test_extrapolation_too_short_raises(self, rng):
+        t, v, m = self._series(rng, n=4)
+        with pytest.raises(ValueError):
+            make_extrapolation_sample(t, v, m, min_context=4)

@@ -1,0 +1,118 @@
+"""Windowing and forecast task builders."""
+
+import numpy as np
+import pytest
+
+from repro.data import (
+    Dataset,
+    Sample,
+    forecast_dataset,
+    make_forecast_sample,
+    sliding_windows,
+)
+
+
+class TestSlidingWindows:
+    def _series(self, rng, n=100):
+        times = np.sort(rng.random(n) * 10.0)
+        values = rng.normal(size=(n, 2))
+        return times, values
+
+    def test_window_count(self, rng):
+        times, values = self._series(rng)
+        wins = sliding_windows(times, values, window=2.0, stride=2.0)
+        # span ~10 -> about 4-5 non-overlapping windows
+        assert 3 <= len(wins) <= 5
+
+    def test_overlapping_stride(self, rng):
+        times, values = self._series(rng)
+        non = sliding_windows(times, values, window=2.0, stride=2.0)
+        over = sliding_windows(times, values, window=2.0, stride=1.0)
+        assert len(over) > len(non)
+
+    def test_renormalized_times(self, rng):
+        times, values = self._series(rng)
+        for w in sliding_windows(times, values, window=2.0, stride=2.0):
+            assert w.times.min() >= 0.0 and w.times.max() <= 1.0
+
+    def test_no_renormalize_keeps_units(self, rng):
+        times, values = self._series(rng)
+        wins = sliding_windows(times, values, window=2.0, stride=2.0,
+                               renormalize=False)
+        assert wins[-1].times.max() > 1.0
+
+    def test_min_obs_filters_sparse_windows(self, rng):
+        times = np.array([0.0, 0.1, 5.0, 5.1, 5.2, 9.9])
+        values = np.zeros((6, 1))
+        wins = sliding_windows(times, values, window=1.0, stride=1.0,
+                               min_obs=2)
+        assert all(w.num_obs >= 2 for w in wins)
+
+    def test_feature_mask_carried(self, rng):
+        times, values = self._series(rng, n=40)
+        fmask = (rng.random((40, 2)) > 0.5).astype(float)
+        wins = sliding_windows(times, values, window=5.0, stride=5.0,
+                               feature_mask=fmask)
+        assert all(w.feature_mask is not None for w in wins)
+
+    def test_invalid_params(self, rng):
+        times, values = self._series(rng)
+        with pytest.raises(ValueError):
+            sliding_windows(times, values, window=0.0, stride=1.0)
+        with pytest.raises(ValueError):
+            sliding_windows(times, values, window=1.0, stride=-1.0)
+
+
+class TestForecastTask:
+    def test_context_future_partition(self, rng):
+        times = np.sort(rng.random(40))
+        values = rng.normal(size=(40, 1))
+        s = make_forecast_sample(times, values, None, horizon_frac=0.25,
+                                 min_context=5)
+        assert s.times.max() <= s.target_times.min()
+        assert len(s.times) + len(s.target_times) == 40
+
+    def test_horizon_frac_bounds(self, rng):
+        times = np.sort(rng.random(20))
+        values = np.zeros((20, 1))
+        with pytest.raises(ValueError):
+            make_forecast_sample(times, values, None, 0.0, 2)
+        with pytest.raises(ValueError):
+            make_forecast_sample(times, values, None, 1.0, 2)
+
+    def test_min_context_enforced(self, rng):
+        times = np.sort(rng.random(10))
+        values = np.zeros((10, 1))
+        with pytest.raises(ValueError):
+            make_forecast_sample(times, values, None, 0.9, min_context=5)
+
+    def test_forecast_dataset_skips_short_series(self, rng):
+        good = Sample(times=np.linspace(0, 1, 30),
+                      values=rng.normal(size=(30, 1)))
+        bad = Sample(times=np.linspace(0, 1, 4),
+                     values=rng.normal(size=(4, 1)))
+        ds = Dataset("mix", [good, bad], num_features=1)
+        out = forecast_dataset(ds, horizon_frac=0.3, min_context=8)
+        assert len(out) == 1
+        assert out.name == "mix-forecast"
+
+    def test_all_short_raises(self, rng):
+        bad = Sample(times=np.linspace(0, 1, 4),
+                     values=rng.normal(size=(4, 1)))
+        with pytest.raises(ValueError):
+            forecast_dataset(Dataset("x", [bad], num_features=1),
+                             min_context=8)
+
+    def test_model_consumable(self, rng):
+        """Forecast batches must run through DIFFODE end-to-end."""
+        from repro.core import DiffODE, DiffODEConfig
+        from repro.data import collate
+        samples = [make_forecast_sample(
+            np.sort(rng.random(30)), rng.normal(size=(30, 1)), None,
+            0.25, 5) for _ in range(3)]
+        batch = collate(samples)
+        model = DiffODE(DiffODEConfig(
+            input_dim=1, latent_dim=4, hidden_dim=8, hippo_dim=4,
+            info_dim=4, out_dim=1, step_size=0.25))
+        out = model.forward(batch)
+        assert out.shape == batch.target_values.shape

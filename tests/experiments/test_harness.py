@@ -1,0 +1,157 @@
+"""Experiment harness structure tests (smoke scale)."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import (
+    ALL_MODELS,
+    Cell,
+    SCALES,
+    TableResult,
+    build_model,
+    classification_dataset,
+    get_scale,
+    regression_dataset,
+    render_table,
+    train_and_eval,
+)
+from repro.experiments.paper_values import TABLE3_ACCURACY, TABLE4_MSE, \
+    TABLE5_TIME, TABLE6_MSE
+
+
+class TestScale:
+    def test_presets_exist(self):
+        assert set(SCALES) == {"smoke", "bench", "paper"}
+
+    def test_env_override(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "smoke")
+        assert get_scale().name == "smoke"
+
+    def test_seed_override(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SEEDS", "3,4,5")
+        assert get_scale("smoke").seeds == (3, 4, 5)
+
+    def test_unknown_scale(self):
+        with pytest.raises(KeyError):
+            get_scale("galactic")
+
+    def test_step_size(self):
+        s = SCALES["smoke"]
+        assert s.step_size == pytest.approx(1.0 / (s.grid_size - 1))
+
+    def test_paper_scale_matches_paper_sizes(self):
+        p = SCALES["paper"]
+        assert p.synthetic_series == 1000
+        assert p.ushcn_stations == 1168
+        assert p.physionet_patients == 8000
+        assert p.epochs_cls == 250 and p.epochs_reg == 100
+        assert p.lr == 1e-3 and p.weight_decay == 1e-3 and p.patience == 20
+
+
+class TestReporting:
+    def test_cell_from_values(self):
+        c = Cell.from_values([1.0, 2.0, 3.0])
+        assert c.mean == pytest.approx(2.0)
+        assert c.std == pytest.approx(np.std([1, 2, 3]))
+
+    def test_cell_single_value_no_std(self):
+        assert Cell.from_values([5.0]).std is None
+
+    def test_render_contains_rows_and_columns(self):
+        t = TableResult("demo", ["A", "B"])
+        t.add_row("model1", [Cell(1.0), "x"])
+        text = render_table(t)
+        assert "demo" in text and "model1" in text and "A" in text
+
+    def test_column_extraction(self):
+        t = TableResult("demo", ["A", "B"])
+        t.add_row("m1", [Cell(1.0), "note"])
+        t.add_row("m2", [2.5, "note"])
+        assert t.column("A") == {"m1": 1.0, "m2": 2.5}
+
+
+class TestPaperValues:
+    def test_table3_diffode_is_best_or_tied(self):
+        for ds in ("Synthetic", "Lorenz63", "Lorenz96"):
+            best = max(v[ds] for v in TABLE3_ACCURACY.values())
+            assert TABLE3_ACCURACY["DIFFODE"][ds] == best
+
+    def test_table4_diffode_lowest_everywhere(self):
+        for key in TABLE4_MSE["DIFFODE"]:
+            best = min(v[key] for v in TABLE4_MSE.values())
+            assert TABLE4_MSE["DIFFODE"][key] == best
+
+    def test_table6_maxhoyer_wins(self):
+        for setting, row in TABLE6_MSE.items():
+            assert row["maxHoyer"] == min(row.values())
+
+    def test_table5_has_seven_models(self):
+        assert len(TABLE5_TIME) == 7 and "DIFFODE" in TABLE5_TIME
+
+
+class TestDatasetBuilders:
+    def test_all_classification_datasets(self):
+        scale = SCALES["smoke"]
+        for name in ("Synthetic", "Lorenz63", "Lorenz96"):
+            ds = classification_dataset(name, scale)
+            assert len(ds) > 0 and ds.num_classes == 2
+
+    def test_all_regression_datasets(self):
+        scale = SCALES["smoke"]
+        for name in ("USHCN", "PhysioNet", "LargeST"):
+            for task in ("interpolation", "extrapolation"):
+                ds = regression_dataset(name, task, scale)
+                assert ds[0].target_times is not None
+
+    def test_unknown_names(self):
+        with pytest.raises(KeyError):
+            classification_dataset("MNIST", SCALES["smoke"])
+        with pytest.raises(KeyError):
+            regression_dataset("MNIST", "interpolation", SCALES["smoke"])
+
+    def test_fraction_shrinks_dataset(self):
+        scale = SCALES["smoke"]
+        full = regression_dataset("USHCN", "interpolation", scale)
+        frac = regression_dataset("USHCN", "interpolation", scale,
+                                  features_frac=0.5)
+        assert len(frac) < len(full)
+
+
+class TestModelFactory:
+    def test_builds_every_table_row(self):
+        scale = SCALES["smoke"]
+        ds = classification_dataset("Synthetic", scale)
+        for name in ALL_MODELS:
+            model = build_model(name, ds, scale)
+            assert model.num_parameters() > 0
+
+    def test_diffode_overrides(self):
+        scale = SCALES["smoke"]
+        ds = regression_dataset("USHCN", "interpolation", scale)
+        model = build_model("DIFFODE", ds, scale, p_solver="min_norm")
+        assert model.config.p_solver == "min_norm"
+
+    def test_train_and_eval_runs(self):
+        scale = SCALES["smoke"]
+        ds = classification_dataset("Synthetic", scale)
+        model = build_model("GRU", ds, scale)
+        outcome = train_and_eval(model, ds, scale, epochs=1)
+        assert 0.0 <= outcome.metric <= 1.0
+        assert outcome.epochs_run >= 1
+
+
+class TestRegistryConsistency:
+    def test_every_experiment_has_a_benchmark_file(self):
+        import pathlib
+        bench_dir = pathlib.Path(__file__).resolve().parents[2] / "benchmarks"
+        from repro.experiments import EXPERIMENTS
+        for name in EXPERIMENTS:
+            expected = (bench_dir / f"test_{name}.py",
+                        bench_dir / f"test_ablation_{name}.py")
+            assert any(p.exists() for p in expected), name
+
+    def test_every_experiment_callable_documented(self):
+        import inspect
+        from repro.experiments import EXPERIMENTS
+        for name, fn in EXPERIMENTS.items():
+            assert inspect.getdoc(fn), name

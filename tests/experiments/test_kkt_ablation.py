@@ -1,0 +1,37 @@
+"""Tests for the Theorem 1 vs Theorem 2 ablation experiment."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.ablation_kkt import run_kkt_ablation
+
+
+class TestKKTAblation:
+    @pytest.fixture(scope="class")
+    def table(self):
+        return run_kkt_ablation(sizes=(6, 8), d=3, trials=3, seed=0)
+
+    def test_rows_per_size(self, table):
+        assert set(table.rows) == {"n=6", "n=8"}
+
+    def test_exact_slower_than_relaxed(self, table):
+        exact = table.column("exact ms")
+        relaxed = table.column("relaxed ms")
+        for n in ("n=6", "n=8"):
+            assert exact[n] > relaxed[n]
+
+    def test_exact_runtime_grows(self, table):
+        exact = table.column("exact ms")
+        assert exact["n=8"] > exact["n=6"]
+
+    def test_exact_hoyer_at_least_relaxed(self, table):
+        """The exact maximizer must be at least as Hoyer-sparse on average
+        (it maximizes over a superset of the relaxed candidates)."""
+        he = table.column("exact Hoyer")
+        hr = table.column("relaxed Hoyer")
+        for n in ("n=6", "n=8"):
+            assert he[n] >= hr[n] - 1e-9
+
+    def test_feasibility_column_is_percentage(self, table):
+        feas = table.column("relaxed feasible %")
+        assert all(0.0 <= v <= 100.0 for v in feas.values())

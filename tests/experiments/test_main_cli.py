@@ -1,0 +1,36 @@
+"""python -m repro.experiments CLI tests."""
+
+import pytest
+
+from repro.experiments.__main__ import main
+
+
+@pytest.fixture(autouse=True)
+def smoke(monkeypatch):
+    monkeypatch.setenv("REPRO_SCALE", "smoke")
+
+
+class TestExperimentCLI:
+    def test_requires_experiment(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_rejects_unknown_experiment(self):
+        with pytest.raises(SystemExit):
+            main(["table99"])
+
+    def test_kkt_runs_fast(self, capsys):
+        assert main(["kkt"]) == 0
+        out = capsys.readouterr().out
+        assert "exact ms" in out and "relaxed ms" in out
+
+    @pytest.mark.slow
+    def test_table5_smoke(self, capsys):
+        assert main(["table5", "--scale", "smoke"]) == 0
+        out = capsys.readouterr().out
+        assert "DIFFODE" in out and "Complexity" in out
+
+    @pytest.mark.slow
+    def test_fig6_smoke(self, capsys):
+        assert main(["fig6", "--scale", "smoke"]) == 0
+        assert "head(s)" in capsys.readouterr().out

@@ -1,0 +1,60 @@
+"""Sanity checks over the transcribed paper numbers themselves."""
+
+import pytest
+
+from repro.experiments.paper_values import (
+    FIG6_HEADS,
+    TABLE3_ACCURACY,
+    TABLE4_MSE,
+    TABLE5_TIME,
+    TABLE6_MSE,
+)
+
+
+class TestTranscriptionIntegrity:
+    def test_table3_all_models_all_datasets(self):
+        datasets = {"Synthetic", "Lorenz63", "Lorenz96"}
+        for model, row in TABLE3_ACCURACY.items():
+            assert set(row) == datasets, model
+            assert all(0.0 < v <= 1.0 for v in row.values()), model
+
+    def test_table4_all_models_all_settings(self):
+        settings = {(d, t) for d in ("USHCN", "PhysioNet", "LargeST")
+                    for t in ("interp", "extrap")}
+        for model, row in TABLE4_MSE.items():
+            assert set(row) == settings, model
+            assert all(v > 0 for v in row.values()), model
+
+    def test_table4_largest_magnitudes(self):
+        """LargeST columns are in the hundreds (unstandardized flows)."""
+        for model, row in TABLE4_MSE.items():
+            assert row[("LargeST", "interp")] > 100
+            assert row[("LargeST", "extrap")] > 100
+
+    def test_paper_improvement_claims_consistent(self):
+        """The abstract's 42.2% USHCN-extrapolation improvement must be
+        derivable from the transcribed Table IV numbers."""
+        from repro.analysis import improvement_percent
+        ours = TABLE4_MSE["DIFFODE"][("USHCN", "extrap")]
+        best_baseline = min(row[("USHCN", "extrap")]
+                            for name, row in TABLE4_MSE.items()
+                            if name != "DIFFODE")
+        assert improvement_percent(ours, best_baseline) == \
+            pytest.approx(42.2, abs=0.1)
+
+    def test_physionet_interp_improvement(self):
+        """Paper: 14.6% over the best baseline on PhysioNet interp."""
+        from repro.analysis import improvement_percent
+        ours = TABLE4_MSE["DIFFODE"][("PhysioNet", "interp")]
+        best = min(row[("PhysioNet", "interp")]
+                   for name, row in TABLE4_MSE.items() if name != "DIFFODE")
+        assert improvement_percent(ours, best) == pytest.approx(14.6,
+                                                                abs=0.2)
+
+    def test_table5_and_fig6_structure(self):
+        assert all(len(v) == 2 for v in TABLE5_TIME.values())
+        assert tuple(FIG6_HEADS) == (1, 2, 4, 8)
+
+    def test_table6_settings(self):
+        for key, row in TABLE6_MSE.items():
+            assert set(row) == {"maxHoyer", "minNorm", "adaH"}, key

@@ -1,0 +1,68 @@
+"""Markdown report generator tests."""
+
+import pathlib
+
+import pytest
+
+from repro.experiments.report import (
+    diffode_rank,
+    generate_report,
+    parse_result_table,
+)
+
+SAMPLE = """Table X - demo [bench]
+Model   | A     | A (paper) | B
+--------+-------+-----------+------
+GRU     | 0.700 | 0.735     | 1.5
+DIFFODE | 0.900 | 0.997     | 0.5
+  note: something
+"""
+
+
+class TestParse:
+    def test_rows_and_numbers(self):
+        rows = parse_result_table(SAMPLE)
+        assert rows["GRU"] == [0.700, 0.735, 1.5]
+        assert rows["DIFFODE"] == [0.900, 0.997, 0.5]
+
+    def test_skips_header_and_notes(self):
+        rows = parse_result_table(SAMPLE)
+        assert "Model" not in rows
+
+    def test_handles_plus_minus_cells(self):
+        text = ("Model | A\n------+---\nGRU   | 0.5 +- 0.1\n")
+        assert parse_result_table(text)["GRU"] == [0.5]
+
+
+class TestRank:
+    def test_higher_is_better(self):
+        rows = parse_result_table(SAMPLE)
+        assert diffode_rank(rows, 0, lower_is_better=False) == (1, 2)
+
+    def test_lower_is_better(self):
+        rows = parse_result_table(SAMPLE)
+        assert diffode_rank(rows, 2, lower_is_better=True) == (1, 2)
+
+    def test_missing_diffode(self):
+        assert diffode_rank({"GRU": [1.0]}, 0, True) is None
+
+
+class TestGenerate:
+    def test_from_directory(self, tmp_path):
+        (tmp_path / "table3_demo.txt").write_text(SAMPLE)
+        (tmp_path / "fig5.txt").write_text(SAMPLE)
+        report = generate_report(tmp_path)
+        assert "scorecard" in report
+        assert "table3_demo" in report and "fig5" in report
+        assert "1/2" in report
+
+    def test_empty_dir_raises(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            generate_report(tmp_path)
+
+    def test_real_results_if_present(self):
+        base = pathlib.Path("benchmarks/results")
+        if not base.exists() or not list(base.glob("*.txt")):
+            pytest.skip("no benchmark results yet")
+        report = generate_report(base)
+        assert "Table III" in report

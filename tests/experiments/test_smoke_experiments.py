@@ -1,0 +1,123 @@
+"""Run each table/figure experiment end-to-end at smoke scale.
+
+These are the structural tests of the reproduction harness: every
+experiment must produce a well-formed table with the expected rows and
+finite values.  Scientific comparisons happen at bench/paper scale via the
+benchmarks/ directory.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments import (
+    SCALES,
+    ascii_heatmap,
+    run_fig3,
+    run_fig4,
+    run_fig5,
+    run_fig6,
+    run_table3,
+    run_table4,
+    run_table5,
+    run_table6,
+)
+
+SMOKE = SCALES["smoke"]
+
+
+def _finite_cells(table):
+    for name, cells in table.rows.items():
+        for cell in cells:
+            if hasattr(cell, "mean"):
+                assert np.isfinite(cell.mean), (table.title, name)
+
+
+@pytest.mark.slow
+class TestTables:
+    def test_table3_structure(self):
+        t = run_table3(SMOKE, models=["GRU", "DIFFODE"],
+                       datasets=["Synthetic"])
+        assert set(t.rows) == {"GRU", "DIFFODE"}
+        _finite_cells(t)
+        acc = t.column("Synthetic")
+        assert all(0.0 <= v <= 1.0 for v in acc.values())
+
+    def test_table4_structure(self):
+        t = run_table4(SMOKE, models=["GRU", "DIFFODE"],
+                       datasets=["USHCN"])
+        assert "USHCN/interp" in t.columns and "USHCN/extrap" in t.columns
+        _finite_cells(t)
+        assert all(v >= 0 for v in t.column("USHCN/interp").values())
+
+    def test_table5_structure(self):
+        t = run_table5(SMOKE, models=["HiPPO-obs", "DIFFODE"])
+        _finite_cells(t)
+        assert all(v > 0 for v in t.column("s/epoch").values())
+
+    def test_table6_structure(self):
+        t = run_table6(SMOKE, datasets=["USHCN"])
+        assert set(t.rows) == {"USHCN/interp", "USHCN/extrap"}
+        _finite_cells(t)
+
+
+@pytest.mark.slow
+class TestFigures:
+    def test_fig3_measures_all_solvers(self):
+        t = run_fig3(SMOKE, train_epochs=1, show_maps=False)
+        assert set(t.rows) == {"maxHoyer", "minNorm", "adaH"}
+        _finite_cells(t)
+
+    def test_fig4_four_tables(self):
+        tables = run_fig4(SMOKE, models=["HiPPO-obs", "DIFFODE"],
+                          fractions=(0.5, 1.0))
+        assert len(tables) == 4
+        for t in tables:
+            _finite_cells(t)
+
+    def test_fig5_variants(self):
+        t = run_fig5(SMOKE, variants={"DIFFODE (full)": {},
+                                      "w/o Attn": {"use_attention": False}})
+        assert set(t.rows) == {"DIFFODE (full)", "w/o Attn"}
+        _finite_cells(t)
+
+    def test_fig6_heads(self):
+        t = run_fig6(SMOKE, heads=(1, 2))
+        assert "1 head(s)" in t.rows
+        _finite_cells(t)
+
+
+class TestHeatmap:
+    def test_ascii_heatmap_shape(self, rng):
+        art = ascii_heatmap(rng.random((4, 10)))
+        lines = art.split("\n")
+        assert len(lines) == 4 and len(lines[0]) == 10
+
+    def test_ascii_heatmap_pools_wide_matrices(self, rng):
+        art = ascii_heatmap(rng.random((2, 200)), width=50)
+        assert len(art.split("\n")[0]) == 50
+
+    def test_zero_matrix_renders_blanks(self):
+        art = ascii_heatmap(np.zeros((2, 3)))
+        assert art == "   \n   "
+
+
+@pytest.mark.slow
+class TestMultiSeed:
+    def test_two_seeds_produce_std_columns(self, monkeypatch):
+        from dataclasses import replace
+        scale = replace(SMOKE, seeds=(0, 1))
+        t = run_table3(scale, models=["GRU"], datasets=["Synthetic"])
+        cell = t.rows["GRU"][0]
+        assert cell.std is not None
+        assert "+-" in t.render()
+
+
+@pytest.mark.slow
+class TestFigureRendering:
+    def test_render_all_produces_svgs(self, tmp_path):
+        from repro.viz import render_all
+        paths = render_all(tmp_path, SMOKE)
+        assert len(paths) >= 6
+        for p in paths:
+            text = p.read_text()
+            assert text.startswith("<svg") and text.rstrip().endswith("</svg>")

@@ -1,0 +1,106 @@
+"""SVG chart rendering tests."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.reporting import Cell, TableResult
+from repro.viz import Heatmap, LineChart, attention_heatmap, figure_fig6, \
+    figure_from_sweep
+
+
+class TestLineChart:
+    def test_renders_valid_svg(self, rng):
+        chart = LineChart(title="demo", x_label="x", y_label="y")
+        chart.add_series("a", [0, 1, 2], [1.0, 2.0, 1.5])
+        svg = chart.render()
+        assert svg.startswith("<svg") and svg.endswith("</svg>")
+        assert "polyline" in svg and "demo" in svg
+
+    def test_multiple_series_get_distinct_colors(self, rng):
+        chart = LineChart()
+        chart.add_series("a", [0, 1], [0, 1])
+        chart.add_series("b", [0, 1], [1, 0])
+        svg = chart.render()
+        assert svg.count("polyline") == 2
+        assert "#0072B2" in svg and "#D55E00" in svg
+
+    def test_log_scale(self):
+        chart = LineChart(log_y=True)
+        chart.add_series("a", [0, 1, 2], [1.0, 10.0, 100.0])
+        svg = chart.render()
+        assert "polyline" in svg
+
+    def test_rejects_mismatched_lengths(self):
+        with pytest.raises(ValueError):
+            LineChart().add_series("a", [0, 1], [1.0])
+
+    def test_rejects_empty_chart(self):
+        with pytest.raises(ValueError):
+            LineChart().render()
+
+    def test_escapes_labels(self):
+        chart = LineChart(title="a < b & c")
+        chart.add_series("s", [0, 1], [0, 1])
+        svg = chart.render()
+        assert "a &lt; b &amp; c" in svg
+
+    def test_constant_series_no_nan(self):
+        chart = LineChart()
+        chart.add_series("flat", [0, 1, 2], [5.0, 5.0, 5.0])
+        assert "nan" not in chart.render().lower()
+
+    def test_save(self, tmp_path):
+        chart = LineChart()
+        chart.add_series("a", [0, 1], [0, 1])
+        path = chart.save(tmp_path / "c.svg")
+        assert path.exists() and path.read_text().startswith("<svg")
+
+
+class TestHeatmap:
+    def test_renders_cells(self, rng):
+        hm = Heatmap(matrix=rng.random((3, 5)), title="t")
+        svg = hm.render()
+        assert svg.count("<rect") >= 3 * 5
+        assert "</svg>" in svg
+
+    def test_darkest_cell_is_max(self):
+        mat = np.array([[0.0, 1.0]])
+        svg = Heatmap(matrix=mat).render()
+        assert "rgb(0,0,0)" in svg and "rgb(255,255,255)" in svg
+
+    def test_zero_matrix(self):
+        svg = Heatmap(matrix=np.zeros((2, 2))).render()
+        assert "rgb(255,255,255)" in svg
+
+    def test_save(self, tmp_path, rng):
+        path = Heatmap(matrix=rng.random((2, 2))).save(tmp_path / "h.svg")
+        assert path.exists()
+
+
+class TestFigureBuilders:
+    def test_sweep_figure(self):
+        table = TableResult("Fig. 4 demo", ["20%", "100%"])
+        table.add_row("modelA", [Cell(0.1), Cell(0.3)])
+        table.add_row("modelB", [Cell(0.2), Cell(0.5)])
+        chart = figure_from_sweep(table, "s/epoch")
+        svg = chart.render()
+        assert "modelA" in svg and "modelB" in svg
+
+    def test_fig6_figure(self):
+        table = TableResult("Fig. 6 demo", ["MSE x 1e-2", "s/epoch"])
+        table.add_row("1 head(s)", [Cell(0.4), Cell(0.3)])
+        table.add_row("2 head(s)", [Cell(0.38), Cell(0.5)])
+        svg = figure_fig6(table).render()
+        assert "MSE" in svg and "s/epoch" in svg
+
+    def test_attention_heatmap(self, rng):
+        fig = attention_heatmap(rng.random((4, 9)), "p map")
+        assert "p map" in fig.render()
+
+
+class TestVizCLI:
+    def test_main_writes_figures(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "smoke")
+        from repro.viz.__main__ import main
+        assert main(["--out", str(tmp_path), "--scale", "smoke"]) == 0
+        assert len(list(tmp_path.glob("*.svg"))) >= 6

@@ -1,0 +1,166 @@
+"""Analysis-package tests: diagnostics and statistics."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    attention_statistics,
+    classification_confidence,
+    error_vs_gap,
+    improvement_percent,
+    latent_trajectory,
+    paired_bootstrap,
+)
+from repro.core import DiffODE, DiffODEConfig
+from repro.data import collate, load_synthetic, load_ushcn
+
+
+@pytest.fixture(scope="module")
+def reg_model_and_batch():
+    ds = load_ushcn(num_stations=6, length=60, task="interpolation", seed=0,
+                    min_obs=8)
+    model = DiffODE(DiffODEConfig(
+        input_dim=ds.input_dim, latent_dim=4, hidden_dim=8, hippo_dim=4,
+        info_dim=4, out_dim=ds.num_features, step_size=0.25))
+    return model, collate(ds.samples[:4])
+
+
+@pytest.fixture(scope="module")
+def cls_model_and_batch():
+    ds = load_synthetic(num_series=8, grid_points=30, seed=0, min_obs=6)
+    model = DiffODE(DiffODEConfig(
+        input_dim=1, latent_dim=4, hidden_dim=8, hippo_dim=4, info_dim=4,
+        num_classes=2, step_size=0.25))
+    return model, collate(ds.samples)
+
+
+class TestErrorVsGap:
+    def test_structure(self, reg_model_and_batch):
+        model, batch = reg_model_and_batch
+        curve = error_vs_gap(model, batch, num_bins=5)
+        assert len(curve.bin_edges) == 6
+        assert len(curve.mean_error) == 5
+        assert curve.counts.sum() == int(np.asarray(batch.target_mask).sum())
+
+    def test_requires_targets(self, cls_model_and_batch):
+        model, batch = cls_model_and_batch
+        with pytest.raises(ValueError):
+            error_vs_gap(model, batch)
+
+
+class TestLatentTrajectory:
+    def test_components_present(self, reg_model_and_batch):
+        model, batch = reg_model_and_batch
+        traj = latent_trajectory(model, batch)
+        assert set(traj) == {"grid", "S", "c", "r"}
+        L = len(traj["grid"])
+        assert traj["S"].shape == (L, batch.batch_size, 4)
+        assert traj["c"].shape[-1] == 4 and traj["r"].shape[-1] == 4
+
+    def test_no_hippo_only_s(self):
+        ds = load_synthetic(num_series=4, grid_points=30, seed=1, min_obs=6)
+        model = DiffODE(DiffODEConfig(
+            input_dim=1, latent_dim=4, hidden_dim=8, hippo_dim=4,
+            info_dim=4, num_classes=2, step_size=0.25, use_hippo=False))
+        traj = latent_trajectory(model, collate(ds.samples))
+        assert set(traj) == {"grid", "S"}
+
+
+class TestAttentionStatistics:
+    def test_shapes_and_finiteness(self, reg_model_and_batch):
+        model, batch = reg_model_and_batch
+        stats = attention_statistics(model, batch)
+        L = len(stats["grid"])
+        assert stats["hoyer"].shape == (L,)
+        assert stats["entropy"].shape == (L,)
+        assert np.all(np.isfinite(stats["entropy"]))
+
+    def test_rejects_no_attention_model(self):
+        ds = load_synthetic(num_series=4, grid_points=30, seed=2, min_obs=6)
+        model = DiffODE(DiffODEConfig(
+            input_dim=1, latent_dim=4, hidden_dim=8, hippo_dim=4,
+            info_dim=4, num_classes=2, step_size=0.25, use_attention=False))
+        with pytest.raises(ValueError):
+            attention_statistics(model, collate(ds.samples))
+
+
+class TestCalibration:
+    def test_reliability_bins(self, cls_model_and_batch):
+        model, batch = cls_model_and_batch
+        out = classification_confidence(model, batch, num_bins=4)
+        assert out["counts"].sum() == batch.batch_size
+        assert 0.0 <= out["mean_confidence"] <= 1.0
+
+    def test_requires_labels(self, reg_model_and_batch):
+        model, batch = reg_model_and_batch
+        with pytest.raises(ValueError):
+            classification_confidence(model, batch)
+
+
+class TestBootstrap:
+    def test_detects_clear_difference(self, rng):
+        a = rng.normal(loc=1.0, scale=0.1, size=100)
+        b = rng.normal(loc=0.0, scale=0.1, size=100)
+        res = paired_bootstrap(a, b, num_resamples=2000, seed=0)
+        assert res.significant
+        assert res.mean_diff > 0.8
+        assert res.p_value < 0.01
+
+    def test_no_difference_not_significant(self, rng):
+        a = rng.normal(size=60)
+        res = paired_bootstrap(a, a + rng.normal(scale=1e-3, size=60),
+                               num_resamples=2000, seed=0)
+        assert not res.significant or abs(res.mean_diff) < 1e-2
+
+    def test_rejects_mismatched(self, rng):
+        with pytest.raises(ValueError):
+            paired_bootstrap(np.ones(5), np.ones(6))
+
+    def test_rejects_tiny(self):
+        with pytest.raises(ValueError):
+            paired_bootstrap([1.0], [2.0])
+
+    def test_ci_contains_mean(self, rng):
+        a = rng.normal(size=50)
+        b = rng.normal(size=50)
+        res = paired_bootstrap(a, b, num_resamples=3000, seed=1)
+        assert res.ci_low <= res.mean_diff <= res.ci_high
+
+
+class TestImprovement:
+    def test_lower_is_better(self):
+        # paper: DIFFODE 0.869 vs best baseline 1.504 on USHCN extrap
+        assert improvement_percent(0.869, 1.504) == pytest.approx(42.2,
+                                                                  abs=0.1)
+
+    def test_higher_is_better(self):
+        assert improvement_percent(0.9, 0.8, lower_is_better=False) \
+            == pytest.approx(12.5)
+
+    def test_zero_baseline(self):
+        with pytest.raises(ZeroDivisionError):
+            improvement_percent(1.0, 0.0)
+
+
+class TestPerFeatureErrors:
+    def test_shapes_and_counts(self, reg_model_and_batch):
+        from repro.analysis import per_feature_errors
+        model, batch = reg_model_and_batch
+        out = per_feature_errors(model, batch)
+        f = batch.target_values.shape[-1]
+        assert out["mse"].shape == (f,) and out["mae"].shape == (f,)
+        assert out["count"].sum() == int(np.asarray(batch.target_mask).sum())
+
+    def test_mae_le_rmse_per_feature(self, reg_model_and_batch):
+        from repro.analysis import per_feature_errors
+        model, batch = reg_model_and_batch
+        out = per_feature_errors(model, batch)
+        observed = out["count"] > 0
+        assert np.all(out["mae"][observed] <= np.sqrt(out["mse"][observed])
+                      + 1e-12)
+
+    def test_requires_targets(self, cls_model_and_batch):
+        from repro.analysis import per_feature_errors
+        model, batch = cls_model_and_batch
+        with pytest.raises(ValueError):
+            per_feature_errors(model, batch)

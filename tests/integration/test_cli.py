@@ -1,0 +1,78 @@
+"""CLI behaviour (train/evaluate/list) at smoke scale."""
+
+import numpy as np
+import pytest
+
+from repro.cli import build_parser, main
+
+
+@pytest.fixture(autouse=True)
+def smoke_scale(monkeypatch):
+    monkeypatch.setenv("REPRO_SCALE", "smoke")
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_train_requires_dataset(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["train"])
+
+    def test_rejects_unknown_dataset(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["train", "--dataset", "mnist"])
+
+
+class TestList:
+    def test_lists_models(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "DIFFODE" in out and "synthetic" in out
+
+
+@pytest.mark.slow
+class TestTrainEvaluate:
+    def test_train_classification(self, capsys):
+        assert main(["train", "--dataset", "synthetic", "--epochs", "1"]) == 0
+        assert "test accuracy" in capsys.readouterr().out
+
+    def test_train_baseline_regression(self, capsys):
+        assert main(["train", "--model", "GRU", "--dataset", "ushcn",
+                     "--task", "interpolation", "--epochs", "1"]) == 0
+        assert "test MSE" in capsys.readouterr().out
+
+    def test_task_mismatch_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["train", "--dataset", "synthetic", "--task",
+                  "interpolation", "--epochs", "1"])
+
+    def test_save_then_evaluate_roundtrip(self, tmp_path, capsys):
+        ckpt = str(tmp_path / "m.npz")
+        assert main(["train", "--dataset", "synthetic", "--epochs", "1",
+                     "--save", ckpt]) == 0
+        assert main(["evaluate", "--checkpoint", ckpt,
+                     "--dataset", "synthetic"]) == 0
+        assert "test accuracy" in capsys.readouterr().out
+
+    def test_save_rejected_for_baselines(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["train", "--model", "GRU", "--dataset", "synthetic",
+                  "--epochs", "1", "--save", str(tmp_path / "x.npz")])
+
+    def test_regression_checkpoint_roundtrip(self, tmp_path, capsys):
+        ckpt = str(tmp_path / "reg.npz")
+        assert main(["train", "--dataset", "largest", "--task",
+                     "interpolation", "--epochs", "1", "--save", ckpt]) == 0
+        assert main(["evaluate", "--checkpoint", ckpt, "--dataset",
+                     "largest", "--task", "interpolation"]) == 0
+        assert "test MSE" in capsys.readouterr().out
+
+    def test_evaluate_task_mismatch_rejected(self, tmp_path):
+        ckpt = str(tmp_path / "cls.npz")
+        main(["train", "--dataset", "synthetic", "--epochs", "1",
+              "--save", ckpt])
+        with pytest.raises(SystemExit):
+            main(["evaluate", "--checkpoint", ckpt, "--dataset", "ushcn",
+                  "--task", "interpolation"])

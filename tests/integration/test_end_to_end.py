@@ -1,0 +1,110 @@
+"""End-to-end learning tests: the models must actually learn signal.
+
+These train tiny models for a handful of epochs on easy synthetic tasks and
+assert better-than-chance performance - the strongest guard against silent
+wiring bugs anywhere in the encoder -> ODE -> readout -> loss -> optimizer
+chain.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import DiffODE, DiffODEConfig
+from repro.data import Dataset, Sample, load_synthetic, train_val_test_split
+from repro.experiments import SCALES, build_model
+from repro.training import TrainConfig, Trainer
+
+
+def _easy_classification(rng, n=80):
+    """Very separable task: class decides the level of the whole series."""
+    samples = []
+    for i in range(n):
+        label = i % 2
+        level = 1.5 if label else -1.5
+        m = 18
+        times = np.sort(rng.random(m))
+        values = level + 0.3 * rng.normal(size=(m, 1))
+        samples.append(Sample(times=times, values=values[:, :1],
+                              label=label))
+    return Dataset("easy", samples, num_features=1, num_classes=2)
+
+
+def _easy_regression(rng, n=50):
+    """Interpolate smooth sinusoids from irregular observations.
+
+    The phase is binary (0 or pi), so the model must read it from the
+    observed context - exercising the DHS - but with enough train samples
+    per mode to learn quickly at test scale.
+    """
+    samples = []
+    for i in range(n):
+        phase = np.pi * (i % 2)
+        m = 24
+        times = np.sort(rng.random(m))
+        values = np.sin(2 * np.pi * times + phase)[:, None]
+        hold = rng.choice(m, size=6, replace=False)
+        keep = np.setdiff1d(np.arange(m), hold)
+        samples.append(Sample(
+            times=times[keep], values=values[keep],
+            target_times=times[hold], target_values=values[hold],
+            target_mask=np.ones((6, 1))))
+    return Dataset("sine", samples, num_features=1)
+
+
+@pytest.mark.slow
+class TestDiffODELearns:
+    def test_classification_beats_chance(self, rng):
+        ds = _easy_classification(rng)
+        model = DiffODE(DiffODEConfig(
+            input_dim=1, latent_dim=6, hidden_dim=16, hippo_dim=6,
+            info_dim=6, num_classes=2, step_size=0.2))
+        trainer = Trainer(model, "classification", TrainConfig(
+            epochs=12, batch_size=16, lr=5e-3, seed=0))
+        trainer.fit(ds.subset(range(60)), None)
+        acc = trainer.evaluate(ds.subset(range(60, 80))).accuracy
+        assert acc >= 0.85, acc
+
+    def test_interpolation_beats_mean_predictor(self, rng):
+        ds = _easy_regression(rng)
+        model = DiffODE(DiffODEConfig(
+            input_dim=1, latent_dim=6, hidden_dim=16, hippo_dim=6,
+            info_dim=6, out_dim=1, step_size=0.1))
+        trainer = Trainer(model, "regression", TrainConfig(
+            epochs=30, batch_size=10, lr=5e-3, seed=0))
+        trainer.fit(ds.subset(range(40)), None)
+        mse = trainer.evaluate(ds.subset(range(40, 50))).mse
+        # predicting 0 everywhere would give ~var(sin) = 0.5
+        assert mse < 0.25, mse
+
+
+@pytest.mark.slow
+class TestBaselinesLearn:
+    @pytest.mark.parametrize("name", ["GRU", "S4", "mTAN", "ODE-RNN"])
+    def test_baseline_beats_chance_on_easy_task(self, rng, name):
+        ds = _easy_classification(rng)
+        scale = SCALES["smoke"]
+        model = build_model(name, ds, scale)
+        trainer = Trainer(model, "classification", TrainConfig(
+            epochs=15, batch_size=16, lr=1e-2, seed=0))
+        trainer.fit(ds.subset(range(60)), None)
+        acc = trainer.evaluate(ds.subset(range(60, 80))).accuracy
+        assert acc >= 0.8, (name, acc)
+
+
+@pytest.mark.slow
+class TestPaperPipeline:
+    def test_synthetic_pipeline_full_circle(self):
+        """The paper's synthetic task end-to-end at miniature scale."""
+        ds = load_synthetic(num_series=60, grid_points=50, seed=0,
+                            min_obs=10)
+        rng = np.random.default_rng(0)
+        train, val, test = train_val_test_split(ds, 0.5, 0.25, rng)
+        model = DiffODE(DiffODEConfig(
+            input_dim=1, latent_dim=8, hidden_dim=24, hippo_dim=8,
+            info_dim=8, num_classes=2, step_size=0.125))
+        trainer = Trainer(model, "classification", TrainConfig(
+            epochs=15, batch_size=15, lr=3e-3, seed=0, patience=15))
+        history = trainer.fit(train, val)
+        assert history.train_loss[-1] < history.train_loss[0]
+        result = trainer.evaluate(test)
+        assert np.isfinite(result.loss)

@@ -1,0 +1,87 @@
+"""HiPPO operator tests: matrices and memory reconstruction."""
+
+import numpy as np
+import pytest
+
+from repro.linalg import (
+    hippo_legs,
+    hippo_legt,
+    legs_discrete_update,
+    reconstruct_legs,
+)
+
+
+class TestMatrices:
+    def test_legs_shapes(self):
+        a, b = hippo_legs(8)
+        assert a.shape == (8, 8) and b.shape == (8,)
+
+    def test_legs_diagonal(self):
+        a, _ = hippo_legs(5)
+        np.testing.assert_allclose(np.diag(a), -(np.arange(5) + 1.0))
+
+    def test_legs_strictly_lower_triangular_plus_diag(self):
+        a, _ = hippo_legs(6)
+        assert np.all(np.triu(a, k=1) == 0.0)
+
+    def test_legs_b_vector(self):
+        _, b = hippo_legs(4)
+        np.testing.assert_allclose(b, np.sqrt(2 * np.arange(4) + 1))
+
+    def test_legt_hurwitz(self):
+        """LegT A matrix must be stable (eigenvalues in the left half-plane)."""
+        a, _ = hippo_legt(8)
+        assert np.all(np.linalg.eigvals(a).real < 1e-9)
+
+    def test_legt_window_scaling(self):
+        a1, b1 = hippo_legt(4, theta=1.0)
+        a2, b2 = hippo_legt(4, theta=2.0)
+        np.testing.assert_allclose(a2, a1 / 2.0)
+        np.testing.assert_allclose(b2, b1 / 2.0)
+
+
+class TestMemory:
+    def test_constant_signal_reconstruction(self):
+        a, b = hippo_legs(12)
+        c = np.zeros(12)
+        for k in range(1, 101):
+            c = legs_discrete_update(c, 3.0, k, a, b)
+        recon = reconstruct_legs(c, num_points=50)
+        # polynomial reconstructions ring near the s=0 edge; check interior
+        np.testing.assert_allclose(recon[5:], np.full(45, 3.0), atol=0.2)
+
+    def test_linear_ramp_reconstruction(self):
+        a, b = hippo_legs(16)
+        steps = 200
+        c = np.zeros(16)
+        for k in range(1, steps + 1):
+            c = legs_discrete_update(c, (k - 1) / (steps - 1), k, a, b)
+        recon = reconstruct_legs(c, num_points=steps)
+        target = np.linspace(0.0, 1.0, steps)
+        # ignore the edges where polynomial approximations ring
+        err = np.abs(recon[10:-10] - target[10:-10]).max()
+        assert err < 0.05, err
+
+    def test_sinusoid_reconstruction_improves_with_order(self):
+        steps = 300
+        signal = np.sin(4 * np.pi * np.linspace(0, 1, steps))
+
+        def reconstruction_error(order):
+            a, b = hippo_legs(order)
+            c = np.zeros(order)
+            for k in range(1, steps + 1):
+                c = legs_discrete_update(c, signal[k - 1], k, a, b)
+            recon = reconstruct_legs(c, num_points=steps)
+            return np.abs(recon[20:-20] - signal[20:-20]).mean()
+
+        assert reconstruction_error(24) < reconstruction_error(6)
+
+    def test_batched_update(self, rng):
+        a, b = hippo_legs(8)
+        c = rng.normal(size=(4, 3, 8))
+        f = rng.normal(size=(4, 3))
+        out = legs_discrete_update(c, f, 5, a, b)
+        assert out.shape == (4, 3, 8)
+        # matches per-item update
+        single = legs_discrete_update(c[0, 0], f[0, 0], 5, a, b)
+        np.testing.assert_allclose(out[0, 0], single)

@@ -1,0 +1,101 @@
+"""The Hoyer metric's four properties (Definition 2, criteria a-d)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.autodiff import Tensor, gradcheck
+from repro.linalg import hoyer, hoyer_abs, hoyer_np
+
+_pos = st.lists(st.floats(min_value=0.05, max_value=10.0), min_size=3,
+                max_size=10)
+
+
+class TestDefinition:
+    def test_one_hot_is_maximally_sparse(self):
+        x = np.zeros(10)
+        x[3] = 5.0
+        np.testing.assert_allclose(hoyer_np(x), 1.0)
+
+    def test_uniform_is_minimally_sparse(self):
+        np.testing.assert_allclose(hoyer_np(np.full(10, 2.0)), 0.0,
+                                   atol=1e-6)
+
+    def test_matches_formula(self, rng):
+        x = np.abs(rng.normal(size=7)) + 0.1
+        n = 7
+        expected = (np.sqrt(n) - x.sum() / np.sqrt((x ** 2).sum())) \
+            / (np.sqrt(n) - 1)
+        np.testing.assert_allclose(hoyer_np(x, use_abs=False), expected,
+                                   rtol=1e-9)
+
+    def test_tensor_and_numpy_agree(self, rng):
+        x = np.abs(rng.normal(size=(3, 6))) + 0.1
+        np.testing.assert_allclose(hoyer(Tensor(x)).data,
+                                   hoyer_np(x, use_abs=False), rtol=1e-8)
+
+    def test_grad(self, rng):
+        x = np.abs(rng.normal(size=(6,))) + 0.2
+        gradcheck(lambda a: hoyer(a).sum(), [x])
+
+
+class TestPaperProperties:
+    """Criteria (a)-(d) of Definition 2, on non-negative vectors."""
+
+    @settings(max_examples=30, deadline=None)
+    @given(_pos, st.floats(min_value=0.01, max_value=0.4))
+    def test_property_a_robin_hood_decreases_sparsity(self, values, frac):
+        x = np.array(values)
+        i, j = int(np.argmax(x)), int(np.argmin(x))
+        if x[i] - x[j] < 1e-6:
+            return
+        alpha = frac * (x[i] - x[j]) / 2.0
+        y = x.copy()
+        y[i] -= alpha
+        y[j] += alpha
+        assert hoyer_np(y) <= hoyer_np(x) + 1e-9
+
+    @settings(max_examples=30, deadline=None)
+    @given(_pos, st.floats(min_value=0.1, max_value=10.0))
+    def test_property_b_scale_invariance(self, values, alpha):
+        x = np.array(values)
+        # the tiny eps guard inside the L2 norm breaks *exact* invariance,
+        # so tolerate 1e-5 relative drift
+        np.testing.assert_allclose(hoyer_np(alpha * x), hoyer_np(x),
+                                   rtol=1e-5, atol=1e-7)
+
+    @settings(max_examples=30, deadline=None)
+    @given(_pos)
+    def test_property_c_dominant_element_increases_sparsity(self, values):
+        x = np.array(values)
+        beta = 10.0 * x.sum()
+        y1, y2 = x.copy(), x.copy()
+        y1[0] += beta
+        y2[0] += beta + 5.0 * x.sum()
+        assert hoyer_np(y2) >= hoyer_np(y1) - 1e-9
+
+    @settings(max_examples=30, deadline=None)
+    @given(_pos)
+    def test_property_d_appending_zero_increases_sparsity(self, values):
+        x = np.array(values)
+        padded = np.concatenate([x, [0.0]])
+        assert hoyer_np(padded) > hoyer_np(x) - 1e-12
+
+
+class TestAbsVariant:
+    def test_abs_handles_negative_entries(self):
+        x = np.array([1.0, -1.0, 0.0, 0.0])
+        # |x| has 2 of 4 entries active
+        expected = (2.0 - 2.0 / np.sqrt(2.0)) / (2.0 - 1.0)
+        np.testing.assert_allclose(hoyer_np(x), expected, rtol=1e-9)
+
+    def test_hoyer_abs_tensor(self, rng):
+        x = rng.normal(size=(8,))
+        np.testing.assert_allclose(hoyer_abs(Tensor(x)).data,
+                                   hoyer_np(x, use_abs=True), rtol=1e-8)
+
+    def test_signed_form_can_exceed_one_with_negatives(self):
+        # the paper's literal Eq. 14 on signed vectors is not bounded by 1
+        x = np.array([1.0, -0.9, 0.05])
+        assert hoyer_np(x, use_abs=False) > 1.0

@@ -1,0 +1,96 @@
+"""Generalized-inverse tests (Definition 1 of the paper)."""
+
+import numpy as np
+import pytest
+
+from repro.autodiff import Tensor, gradcheck
+from repro.linalg import (
+    check_moore_penrose,
+    pinv,
+    pinv_full_row_rank,
+    projector_complement,
+)
+
+
+class TestMoorePenrose:
+    def test_pinv_satisfies_all_four_equations(self, rng):
+        a = rng.normal(size=(3, 6))
+        g = pinv(Tensor(a)).data
+        assert all(check_moore_penrose(a, g).values())
+
+    def test_transpose_not_an_mp_inverse_generally(self, rng):
+        a = rng.normal(size=(3, 6))
+        checks = check_moore_penrose(a, a.T)
+        assert not all(checks.values())
+
+    def test_inverse_is_mp_inverse_for_square_full_rank(self, rng):
+        a = rng.normal(size=(4, 4)) + 4 * np.eye(4)
+        assert all(check_moore_penrose(a, np.linalg.inv(a)).values())
+
+    def test_rank_deficient_matrix(self, rng):
+        u = rng.normal(size=(5, 2))
+        a = u @ u.T  # rank 2
+        g = pinv(Tensor(a)).data
+        assert all(check_moore_penrose(a, g).values())
+
+
+class TestFullRowRankPath:
+    def test_matches_numpy_pinv(self, rng):
+        z = rng.normal(size=(10, 3))  # Z^T is 3x10, full row rank
+        fast = pinv_full_row_rank(Tensor(z), ridge=0.0).data
+        np.testing.assert_allclose(fast, np.linalg.pinv(z.T), atol=1e-8)
+
+    def test_batched(self, rng):
+        z = rng.normal(size=(4, 8, 3))
+        fast = pinv_full_row_rank(Tensor(z), ridge=0.0).data
+        for b in range(4):
+            np.testing.assert_allclose(fast[b], np.linalg.pinv(z[b].T),
+                                       atol=1e-8)
+
+    def test_ridge_keeps_near_collinear_stable(self, rng):
+        z = np.ones((10, 3)) + 1e-9 * rng.normal(size=(10, 3))
+        out = pinv_full_row_rank(Tensor(z), ridge=1e-6).data
+        assert np.all(np.isfinite(out))
+
+    def test_gradcheck(self, rng):
+        z = rng.normal(size=(6, 2))
+        gradcheck(lambda m: (pinv_full_row_rank(m, ridge=0.0) ** 2).sum(),
+                  [z])
+
+    def test_left_inverse_property(self, rng):
+        """(Z^T)^+ is a right inverse of Z^T: Z^T (Z^T)^+ = I_d."""
+        z = rng.normal(size=(9, 4))
+        g = pinv_full_row_rank(Tensor(z), ridge=0.0).data
+        np.testing.assert_allclose(z.T @ g, np.eye(4), atol=1e-8)
+
+
+class TestProjector:
+    def test_projects_onto_null_space(self, rng):
+        z = rng.normal(size=(1, 8, 3))
+        zt_pinv = pinv_full_row_rank(Tensor(z), ridge=0.0)
+        a = projector_complement(Tensor(z), zt_pinv).data[0]
+        # A p lies in null(Z^T) for any p
+        p = rng.normal(size=8)
+        np.testing.assert_allclose(z[0].T @ (a @ p), np.zeros(3), atol=1e-8)
+
+    def test_idempotent(self, rng):
+        z = rng.normal(size=(1, 8, 3))
+        zt_pinv = pinv_full_row_rank(Tensor(z), ridge=0.0)
+        a = projector_complement(Tensor(z), zt_pinv).data[0]
+        np.testing.assert_allclose(a @ a, a, atol=1e-8)
+
+    def test_rank_is_n_minus_d(self, rng):
+        z = rng.normal(size=(1, 8, 3))
+        zt_pinv = pinv_full_row_rank(Tensor(z), ridge=0.0)
+        a = projector_complement(Tensor(z), zt_pinv).data[0]
+        assert np.linalg.matrix_rank(a) == 8 - 3
+
+    def test_masked_rows_stay_zero(self, rng):
+        z = rng.normal(size=(1, 8, 3))
+        mask = np.ones((1, 8))
+        mask[0, 6:] = 0
+        zm = z * mask[..., None]
+        zt_pinv = pinv_full_row_rank(Tensor(zm), ridge=0.0)
+        a = projector_complement(Tensor(zm), zt_pinv, mask=mask).data[0]
+        np.testing.assert_allclose(a[6:, :], 0.0, atol=1e-10)
+        np.testing.assert_allclose(a[:, 6:], 0.0, atol=1e-10)

@@ -1,0 +1,114 @@
+"""Natural cubic spline correctness (the NCDE control path)."""
+
+import numpy as np
+import pytest
+
+from repro.linalg import NaturalCubicSpline, natural_cubic_coefficients
+
+
+class TestInterpolationConditions:
+    def test_passes_through_knots(self, rng):
+        knots = np.sort(rng.random(8))
+        values = rng.normal(size=(8, 3))
+        spline = NaturalCubicSpline(knots, values)
+        np.testing.assert_allclose(spline.evaluate(knots), values,
+                                   atol=1e-10)
+
+    def test_two_knots_is_linear(self):
+        spline = NaturalCubicSpline(np.array([0.0, 1.0]),
+                                    np.array([[1.0], [3.0]]))
+        np.testing.assert_allclose(spline.evaluate(np.array([0.5]))[0],
+                                   [2.0])
+        np.testing.assert_allclose(spline.derivative(np.array([0.25]))[0],
+                                   [2.0])
+
+    def test_requires_increasing_knots(self):
+        with pytest.raises(ValueError):
+            natural_cubic_coefficients(np.array([0.0, 0.0, 1.0]),
+                                       np.zeros((3, 1)))
+
+    def test_requires_two_knots(self):
+        with pytest.raises(ValueError):
+            natural_cubic_coefficients(np.array([0.0]), np.zeros((1, 1)))
+
+
+class TestSmoothness:
+    def test_first_derivative_continuous_at_knots(self, rng):
+        # well-separated knots: random nearly-coincident knots make the
+        # derivative change arbitrarily fast across the joint
+        knots = np.linspace(0.0, 1.0, 7) + 0.02 * rng.random(7)
+        spline = NaturalCubicSpline(knots, rng.normal(size=(7, 2)))
+        eps = 1e-7
+        for k in knots[1:-1]:
+            left = spline.derivative(np.array([k - eps]))
+            right = spline.derivative(np.array([k + eps]))
+            np.testing.assert_allclose(left, right, atol=1e-4)
+
+    def test_second_derivative_continuous_at_knots(self, rng):
+        knots = np.linspace(0, 1, 6)
+        spline = NaturalCubicSpline(knots, rng.normal(size=(6, 1)))
+        eps = 1e-5
+
+        def second(t):
+            h = 1e-4
+            f = lambda x: spline.evaluate(np.array([x]))[0, 0]
+            return (f(t + h) - 2 * f(t) + f(t - h)) / h ** 2
+
+        for k in knots[1:-1]:
+            assert abs(second(k - eps) - second(k + eps)) < 1e-2
+
+    def test_natural_boundary_zero_curvature(self, rng):
+        knots = np.linspace(0, 1, 8)
+        values = rng.normal(size=(8, 1))
+        a, b, c, d = natural_cubic_coefficients(knots, values)
+        np.testing.assert_allclose(c[0], 0.0, atol=1e-10)  # f''(t0) = 2c_0
+
+
+class TestAccuracy:
+    def test_reproduces_cubic_exactly(self):
+        knots = np.linspace(0, 1, 9)
+        # natural splines reproduce functions with zero end-curvature;
+        # use f(t) = t (linear) and a dense check
+        values = (2.0 * knots - 1.0)[:, None]
+        spline = NaturalCubicSpline(knots, values)
+        t = np.linspace(0, 1, 100)
+        np.testing.assert_allclose(spline.evaluate(t)[:, 0], 2 * t - 1,
+                                   atol=1e-10)
+
+    def test_approximates_sine_well(self):
+        knots = np.linspace(0, 1, 20)
+        spline = NaturalCubicSpline(knots, np.sin(2 * np.pi * knots)[:, None])
+        t = np.linspace(0.05, 0.95, 200)
+        err = np.abs(spline.evaluate(t)[:, 0] - np.sin(2 * np.pi * t)).max()
+        assert err < 5e-3
+
+    def test_derivative_matches_numeric(self, rng):
+        knots = np.sort(rng.random(10))
+        spline = NaturalCubicSpline(knots, rng.normal(size=(10, 2)))
+        t0 = (knots[2] + knots[3]) / 2
+        eps = 1e-6
+        numeric = (spline.evaluate(np.array([t0 + eps]))
+                   - spline.evaluate(np.array([t0 - eps]))) / (2 * eps)
+        np.testing.assert_allclose(spline.derivative(np.array([t0])),
+                                   numeric, atol=1e-5)
+
+    def test_linear_extension_outside_range(self):
+        knots = np.linspace(0.2, 0.8, 5)
+        spline = NaturalCubicSpline(knots, (knots ** 1)[:, None])
+        below = spline.evaluate(np.array([0.0]))[0, 0]
+        # extrapolation continues the first segment polynomial
+        assert np.isfinite(below)
+
+
+class TestAgainstScipy:
+    def test_matches_scipy_natural_spline(self, rng):
+        from scipy.interpolate import CubicSpline
+        knots = np.sort(rng.random(10))
+        values = rng.normal(size=10)
+        mine = NaturalCubicSpline(knots, values[:, None])
+        ref = CubicSpline(knots, values, bc_type="natural")
+        t = np.linspace(knots[0], knots[-1], 200)
+        np.testing.assert_allclose(mine.evaluate(t)[:, 0], ref(t),
+                                   atol=1e-10)
+        np.testing.assert_allclose(mine.derivative(t)[:, 0], ref(t, 1),
+                                   atol=1e-9)

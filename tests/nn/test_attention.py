@@ -1,0 +1,65 @@
+"""Attention block tests."""
+
+import numpy as np
+import pytest
+
+from repro.autodiff import Tensor
+from repro.nn import MultiHeadAttention, scaled_dot_product_attention
+
+
+class TestScaledDotProduct:
+    def test_shapes(self, rng):
+        q = Tensor(rng.normal(size=(2, 3, 4)))
+        k = Tensor(rng.normal(size=(2, 5, 4)))
+        v = Tensor(rng.normal(size=(2, 5, 6)))
+        out, probs = scaled_dot_product_attention(q, k, v)
+        assert out.shape == (2, 3, 6)
+        assert probs.shape == (2, 3, 5)
+
+    def test_probs_are_simplex(self, rng):
+        q = Tensor(rng.normal(size=(1, 2, 4)))
+        k = Tensor(rng.normal(size=(1, 6, 4)))
+        _, probs = scaled_dot_product_attention(q, k, k)
+        np.testing.assert_allclose(probs.data.sum(-1), np.ones((1, 2)))
+
+    def test_mask_zeroes_banned_keys(self, rng):
+        q = Tensor(rng.normal(size=(1, 2, 4)))
+        k = Tensor(rng.normal(size=(1, 4, 4)))
+        mask = np.array([[[1, 1, 0, 0], [1, 1, 0, 0]]], dtype=float)
+        _, probs = scaled_dot_product_attention(q, k, k, mask=mask)
+        assert np.all(probs.data[..., 2:] == 0.0)
+
+    def test_identical_keys_give_uniform_attention(self):
+        q = Tensor(np.ones((1, 1, 4)))
+        k = Tensor(np.ones((1, 5, 4)))
+        _, probs = scaled_dot_product_attention(q, k, k)
+        np.testing.assert_allclose(probs.data, np.full((1, 1, 5), 0.2))
+
+
+class TestMultiHead:
+    def test_output_shape(self, rng):
+        mha = MultiHeadAttention(8, 2, rng)
+        x = Tensor(rng.normal(size=(2, 5, 8)))
+        assert mha(x, x, x).shape == (2, 5, 8)
+
+    def test_rejects_indivisible_heads(self, rng):
+        with pytest.raises(ValueError):
+            MultiHeadAttention(7, 2, rng)
+
+    def test_mask_applied_per_head(self, rng):
+        mha = MultiHeadAttention(8, 4, rng)
+        x = rng.normal(size=(1, 5, 8))
+        mask = np.array([[1, 1, 1, 0, 0]], dtype=float)
+        out1 = mha(Tensor(x), Tensor(x), Tensor(x), mask=mask).data
+        x2 = x.copy()
+        x2[0, 3:] += 100.0  # masked keys: changing them must not matter
+        out2 = mha(Tensor(x2[:, :, :]), Tensor(x2), Tensor(x2), mask=mask).data
+        # queries at masked positions differ (their own input changed),
+        # but the *unmasked* query rows must be unaffected by masked keys
+        np.testing.assert_allclose(out1[0, :3], out2[0, :3])
+
+    def test_gradients_flow(self, rng):
+        mha = MultiHeadAttention(8, 2, rng)
+        x = Tensor(rng.normal(size=(2, 4, 8)))
+        (mha(x, x, x) ** 2).sum().backward()
+        assert all(p.grad is not None for p in mha.parameters())

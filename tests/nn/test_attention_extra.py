@@ -1,0 +1,72 @@
+"""Extra attention coverage: gradients, determinism and scaling."""
+
+import numpy as np
+import pytest
+
+from repro.autodiff import Tensor, gradcheck
+from repro.nn import MultiHeadAttention, scaled_dot_product_attention
+
+
+class TestAttentionGradients:
+    def test_gradcheck_small(self, rng):
+        def fn(q, k, v):
+            out, _ = scaled_dot_product_attention(q, k, v)
+            return (out ** 2).sum()
+
+        gradcheck(fn, [rng.normal(size=(1, 2, 3)),
+                       rng.normal(size=(1, 4, 3)),
+                       rng.normal(size=(1, 4, 2))])
+
+    def test_gradcheck_masked(self, rng):
+        mask = np.array([[[1, 1, 0, 1], [1, 0, 1, 1]]], dtype=float)
+
+        def fn(q, k, v):
+            out, _ = scaled_dot_product_attention(q, k, v, mask=mask)
+            return (out ** 2).sum()
+
+        gradcheck(fn, [rng.normal(size=(1, 2, 3)),
+                       rng.normal(size=(1, 4, 3)),
+                       rng.normal(size=(1, 4, 2))])
+
+
+class TestScaling:
+    def test_temperature_scaling_applied(self, rng):
+        """Scores divide by sqrt(d): doubling d (with same raw logits)
+        flattens the distribution."""
+        q = np.ones((1, 1, 4))
+        k = rng.normal(size=(1, 6, 4))
+        _, p4 = scaled_dot_product_attention(Tensor(q), Tensor(k),
+                                             Tensor(k))
+        q16 = np.concatenate([q] * 4, axis=-1)
+        k16 = np.concatenate([k] * 4, axis=-1)
+        _, p16 = scaled_dot_product_attention(Tensor(q16), Tensor(k16),
+                                              Tensor(k16))
+        # identical raw logit pattern scaled by 4/sqrt(16)=1 vs 1/sqrt(4)...
+        # larger head dim with replicated features -> sharper (scores x2)
+        ent4 = -(p4.data * np.log(p4.data + 1e-12)).sum()
+        ent16 = -(p16.data * np.log(p16.data + 1e-12)).sum()
+        assert ent16 < ent4 + 1e-9
+
+
+class TestMultiHeadExtra:
+    def test_single_head_equals_full_width_attention_shape(self, rng):
+        mha1 = MultiHeadAttention(8, 1, rng)
+        x = Tensor(rng.normal(size=(2, 5, 8)))
+        assert mha1(x, x, x).shape == (2, 5, 8)
+
+    def test_deterministic_forward(self, rng):
+        mha = MultiHeadAttention(8, 2, rng)
+        x = Tensor(rng.normal(size=(1, 4, 8)))
+        np.testing.assert_array_equal(mha(x, x, x).data, mha(x, x, x).data)
+
+    def test_cross_attention_shapes(self, rng):
+        mha = MultiHeadAttention(8, 2, rng)
+        q = Tensor(rng.normal(size=(2, 3, 8)))
+        kv = Tensor(rng.normal(size=(2, 7, 8)))
+        assert mha(q, kv, kv).shape == (2, 3, 8)
+
+    def test_all_params_get_grads(self, rng):
+        mha = MultiHeadAttention(8, 4, rng)
+        x = Tensor(rng.normal(size=(1, 5, 8)))
+        (mha(x, x, x) ** 2).sum().backward()
+        assert all(p.grad is not None for p in mha.parameters())

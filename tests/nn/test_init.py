@@ -1,0 +1,45 @@
+"""Initializer sanity checks."""
+
+import numpy as np
+
+from repro.nn import init
+
+
+class TestInitializers:
+    def test_xavier_bounds(self, rng):
+        w = init.xavier_uniform(rng, 10, 20)
+        limit = np.sqrt(6.0 / 30.0)
+        assert w.shape == (10, 20)
+        assert np.all(np.abs(w) <= limit)
+
+    def test_xavier_custom_shape(self, rng):
+        w = init.xavier_uniform(rng, 4, 12, shape=(4, 12))
+        assert w.shape == (4, 12)
+
+    def test_kaiming_bounds(self, rng):
+        w = init.kaiming_uniform(rng, 16, (16, 8))
+        assert np.all(np.abs(w) <= np.sqrt(3.0 / 16.0))
+
+    def test_orthogonal_columns(self, rng):
+        w = init.orthogonal(rng, 8, 8)
+        np.testing.assert_allclose(w.T @ w, np.eye(8), atol=1e-10)
+
+    def test_orthogonal_rectangular(self, rng):
+        w = init.orthogonal(rng, 4, 8)
+        np.testing.assert_allclose(w @ w.T, np.eye(4), atol=1e-10)
+        w2 = init.orthogonal(rng, 8, 4)
+        np.testing.assert_allclose(w2.T @ w2, np.eye(4), atol=1e-10)
+
+    def test_orthogonal_gain(self, rng):
+        w = init.orthogonal(rng, 5, 5, gain=2.0)
+        np.testing.assert_allclose(w.T @ w, 4.0 * np.eye(5), atol=1e-9)
+
+    def test_zeros_and_normal(self, rng):
+        assert np.all(init.zeros((3, 3)) == 0)
+        w = init.normal(rng, (1000,), std=0.1)
+        assert abs(w.std() - 0.1) < 0.02
+
+    def test_deterministic_given_seed(self):
+        a = init.xavier_uniform(np.random.default_rng(7), 5, 5)
+        b = init.xavier_uniform(np.random.default_rng(7), 5, 5)
+        np.testing.assert_array_equal(a, b)

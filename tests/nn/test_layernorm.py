@@ -1,0 +1,51 @@
+"""LayerNorm tests."""
+
+import numpy as np
+import pytest
+
+from repro.autodiff import Tensor, gradcheck
+from repro.nn import LayerNorm
+
+
+class TestLayerNorm:
+    def test_normalizes_last_axis(self, rng):
+        ln = LayerNorm(6)
+        out = ln(Tensor(rng.normal(loc=5.0, scale=3.0, size=(4, 6)))).data
+        np.testing.assert_allclose(out.mean(-1), 0.0, atol=1e-9)
+        np.testing.assert_allclose(out.std(-1), 1.0, atol=1e-3)
+
+    def test_works_on_3d(self, rng):
+        ln = LayerNorm(4)
+        out = ln(Tensor(rng.normal(size=(2, 5, 4)))).data
+        np.testing.assert_allclose(out.mean(-1), 0.0, atol=1e-9)
+
+    def test_learnable_affine(self, rng):
+        ln = LayerNorm(3)
+        ln.gamma.data[:] = 2.0
+        ln.beta.data[:] = 1.0
+        out = ln(Tensor(rng.normal(size=(10, 3)))).data
+        np.testing.assert_allclose(out.mean(-1), 1.0, atol=1e-9)
+        np.testing.assert_allclose(out.std(-1), 2.0, atol=5e-3)
+
+    def test_gradcheck_through_affine(self, rng):
+        ln = LayerNorm(5)
+
+        def fn(x, g, b):
+            ln.gamma.data[:] = g.data
+            mean = x.mean(axis=-1, keepdims=True)
+            centered = x - mean
+            var = (centered * centered).mean(axis=-1, keepdims=True)
+            return (((centered / (var + ln.eps).sqrt()) * g + b) ** 2).sum()
+
+        gradcheck(fn, [rng.normal(size=(2, 5)), rng.normal(size=(5,)),
+                       rng.normal(size=(5,))])
+
+    def test_constant_input_stable(self):
+        ln = LayerNorm(4)
+        out = ln(Tensor(np.full((2, 4), 7.0))).data
+        assert np.all(np.isfinite(out))
+        np.testing.assert_allclose(out, 0.0, atol=1e-6)
+
+    def test_parameters_registered(self):
+        ln = LayerNorm(3)
+        assert {n for n, _ in ln.named_parameters()} == {"gamma", "beta"}

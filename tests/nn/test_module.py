@@ -1,0 +1,111 @@
+"""Module/Parameter registration, state_dict, train/eval."""
+
+import numpy as np
+import pytest
+
+from repro.autodiff import Tensor
+from repro.nn import Linear, MLP, Module, Parameter, Sequential, Tanh
+
+
+class Toy(Module):
+    def __init__(self, rng):
+        super().__init__()
+        self.lin = Linear(3, 2, rng)
+        self.scale = Parameter(np.ones(2))
+
+    def forward(self, x):
+        return self.lin(x) * self.scale
+
+
+class TestRegistration:
+    def test_parameters_recurse(self, rng):
+        m = Toy(rng)
+        names = {n for n, _ in m.named_parameters()}
+        assert names == {"lin.weight", "lin.bias", "scale"}
+
+    def test_num_parameters(self, rng):
+        m = Toy(rng)
+        assert m.num_parameters() == 3 * 2 + 2 + 2
+
+    def test_modules_iterates_tree(self, rng):
+        m = Toy(rng)
+        assert m in list(m.modules())
+        assert m.lin in list(m.modules())
+
+    def test_zero_grad(self, rng):
+        m = Toy(rng)
+        out = m(Tensor(rng.normal(size=(4, 3)))).sum()
+        out.backward()
+        assert any(p.grad is not None for p in m.parameters())
+        m.zero_grad()
+        assert all(p.grad is None for p in m.parameters())
+
+    def test_train_eval_propagates(self, rng):
+        m = Toy(rng)
+        m.eval()
+        assert not m.lin.training
+        m.train()
+        assert m.lin.training
+
+
+class TestStateDict:
+    def test_roundtrip(self, rng, rng2):
+        m1, m2 = Toy(rng), Toy(rng2)
+        assert not np.allclose(m1.lin.weight.data, m2.lin.weight.data)
+        m2.load_state_dict(m1.state_dict())
+        np.testing.assert_allclose(m1.lin.weight.data, m2.lin.weight.data)
+
+    def test_state_dict_is_a_copy(self, rng):
+        m = Toy(rng)
+        state = m.state_dict()
+        state["scale"][:] = 99.0
+        assert not np.allclose(m.scale.data, 99.0)
+
+    def test_load_rejects_missing_keys(self, rng):
+        m = Toy(rng)
+        state = m.state_dict()
+        del state["scale"]
+        with pytest.raises(KeyError):
+            m.load_state_dict(state)
+
+    def test_load_rejects_bad_shape(self, rng):
+        m = Toy(rng)
+        state = m.state_dict()
+        state["scale"] = np.ones(5)
+        with pytest.raises(ValueError):
+            m.load_state_dict(state)
+
+
+class TestSequential:
+    def test_chains_layers(self, rng):
+        seq = Sequential(Linear(3, 4, rng), Tanh(), Linear(4, 2, rng))
+        out = seq(Tensor(rng.normal(size=(5, 3))))
+        assert out.shape == (5, 2)
+
+    def test_registers_all_layers(self, rng):
+        seq = Sequential(Linear(3, 4, rng), Linear(4, 2, rng))
+        assert len(list(seq.parameters())) == 4
+
+
+class TestMLP:
+    def test_output_shape(self, rng):
+        mlp = MLP(3, [8, 8], 2, rng)
+        assert mlp(Tensor(rng.normal(size=(5, 3)))).shape == (5, 2)
+
+    def test_no_hidden_is_linear(self, rng):
+        mlp = MLP(3, [], 2, rng)
+        assert len(mlp.linears) == 1
+
+    def test_rejects_unknown_activation(self, rng):
+        with pytest.raises(ValueError):
+            MLP(3, [4], 2, rng, activation="swish")
+
+    def test_final_activation(self, rng):
+        mlp = MLP(3, [4], 2, rng, final_activation="sigmoid")
+        out = mlp(Tensor(rng.normal(size=(10, 3)))).data
+        assert np.all((out > 0) & (out < 1))
+
+    def test_gradients_reach_every_parameter(self, rng):
+        mlp = MLP(3, [4, 4], 2, rng)
+        (mlp(Tensor(rng.normal(size=(5, 3)))) ** 2).sum().backward()
+        assert all(p.grad is not None for p in mlp.parameters())

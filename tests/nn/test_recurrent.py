@@ -1,0 +1,93 @@
+"""GRU / LSTM cell semantics and gradient flow."""
+
+import numpy as np
+import pytest
+
+from repro.autodiff import Tensor, gradcheck
+from repro.nn import GRU, GRUCell, LSTMCell
+
+
+class TestGRUCell:
+    def test_output_shape(self, rng):
+        cell = GRUCell(3, 5, rng)
+        h = cell(Tensor(rng.normal(size=(4, 3))), cell.initial_state(4))
+        assert h.shape == (4, 5)
+
+    def test_state_bounded_when_started_at_zero(self, rng):
+        cell = GRUCell(3, 5, rng)
+        h = cell.initial_state(2)
+        for _ in range(20):
+            h = cell(Tensor(rng.normal(size=(2, 3))), h)
+        assert np.all(np.abs(h.data) <= 1.0 + 1e-9)
+
+    def test_gradcheck_through_two_steps(self, rng):
+        cell = GRUCell(2, 3, rng)
+
+        def fn(x):
+            h = cell.initial_state(1)
+            h = cell(x, h)
+            h = cell(x, h)
+            return (h ** 2).sum()
+
+        gradcheck(fn, [rng.normal(size=(1, 2))])
+
+    def test_gradients_reach_all_parameters(self, rng):
+        cell = GRUCell(2, 3, rng)
+        h = cell(Tensor(rng.normal(size=(4, 2))), cell.initial_state(4))
+        (h ** 2).sum().backward()
+        assert all(p.grad is not None for p in cell.parameters())
+
+
+class TestLSTMCell:
+    def test_output_shapes(self, rng):
+        cell = LSTMCell(3, 5, rng)
+        h, c = cell(Tensor(rng.normal(size=(4, 3))), cell.initial_state(4))
+        assert h.shape == (4, 5) and c.shape == (4, 5)
+
+    def test_hidden_bounded(self, rng):
+        cell = LSTMCell(3, 4, rng)
+        state = cell.initial_state(2)
+        for _ in range(10):
+            state = cell(Tensor(rng.normal(size=(2, 3))), state)
+        assert np.all(np.abs(state[0].data) <= 1.0 + 1e-9)
+
+    def test_grad_flow(self, rng):
+        cell = LSTMCell(2, 3, rng)
+        h, c = cell(Tensor(rng.normal(size=(2, 2))), cell.initial_state(2))
+        (h.sum() + c.sum()).backward()
+        assert all(p.grad is not None for p in cell.parameters())
+
+
+class TestGRUEncoder:
+    def test_sequence_shape(self, rng):
+        enc = GRU(3, 6, rng)
+        out = enc(Tensor(rng.normal(size=(2, 7, 3))))
+        assert out.shape == (2, 7, 6)
+
+    def test_use_time_appends_channel(self, rng):
+        enc = GRU(3, 6, rng, use_time=True)
+        times = np.sort(rng.random((2, 7)), axis=1)
+        out = enc(Tensor(rng.normal(size=(2, 7, 3))), times=times)
+        assert out.shape == (2, 7, 6)
+
+    def test_use_time_requires_times(self, rng):
+        enc = GRU(3, 6, rng, use_time=True)
+        with pytest.raises(ValueError):
+            enc(Tensor(rng.normal(size=(2, 7, 3))))
+
+    def test_causality(self, rng):
+        """State at step t must not depend on inputs after t."""
+        enc = GRU(2, 4, rng)
+        x = rng.normal(size=(1, 6, 2))
+        out1 = enc(Tensor(x)).data
+        x2 = x.copy()
+        x2[0, 4:] += 10.0  # perturb the future
+        out2 = enc(Tensor(x2)).data
+        np.testing.assert_allclose(out1[0, :4], out2[0, :4])
+        assert not np.allclose(out1[0, 4:], out2[0, 4:])
+
+    def test_initial_state_override(self, rng):
+        enc = GRU(2, 4, rng)
+        h0 = Tensor(np.ones((1, 4)))
+        out = enc(Tensor(np.zeros((1, 3, 2))), h0=h0)
+        assert not np.allclose(out.data[0, 0], 0.0)

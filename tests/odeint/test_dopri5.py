@@ -1,0 +1,48 @@
+"""Adaptive Dormand-Prince solver tests."""
+
+import numpy as np
+import pytest
+
+from repro.autodiff import Tensor
+from repro.odeint import dopri5_integrate
+
+
+class TestDopri5:
+    def test_zero_span_returns_input(self):
+        y0 = Tensor(np.ones((2, 2)))
+        assert dopri5_integrate(lambda t, y: -y, y0, 1.0, 1.0) is y0
+
+    def test_tolerance_controls_error(self):
+        def solve(rtol):
+            out = dopri5_integrate(lambda t, y: -y,
+                                   Tensor(np.array([[1.0]])), 0.0, 3.0,
+                                   rtol=rtol, atol=rtol * 1e-2)
+            return abs(out.data[0, 0] - np.exp(-3.0))
+
+        assert solve(1e-8) < solve(1e-3)
+        assert solve(1e-8) < 1e-7
+
+    def test_stiffish_problem_adapts(self):
+        # lambda = -50 forces small steps initially
+        out = dopri5_integrate(lambda t, y: y * (-50.0),
+                               Tensor(np.array([[1.0]])), 0.0, 1.0,
+                               rtol=1e-6, atol=1e-8)
+        np.testing.assert_allclose(out.data[0, 0], np.exp(-50.0), atol=1e-7)
+
+    def test_backward_integration(self):
+        out = dopri5_integrate(lambda t, y: -y,
+                               Tensor(np.array([[np.exp(-1.0)]])), 1.0, 0.0)
+        np.testing.assert_allclose(out.data[0, 0], 1.0, atol=1e-5)
+
+    def test_max_steps_guard(self):
+        with pytest.raises(RuntimeError):
+            dopri5_integrate(lambda t, y: y * 1000.0,
+                             Tensor(np.array([[1.0]])), 0.0, 10.0,
+                             rtol=1e-12, atol=1e-14, max_steps=5)
+
+    def test_time_dependent_rhs(self):
+        # y' = 2t -> y(1) = y(0) + 1
+        out = dopri5_integrate(
+            lambda t, y: Tensor(np.full_like(y.data, 2.0 * t)),
+            Tensor(np.array([[0.5]])), 0.0, 1.0)
+        np.testing.assert_allclose(out.data[0, 0], 1.5, atol=1e-6)

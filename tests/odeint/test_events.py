@@ -1,0 +1,65 @@
+"""Event-terminated integration tests."""
+
+import numpy as np
+import pytest
+
+from repro.autodiff import Tensor
+from repro.odeint import odeint_event
+
+
+class TestEvents:
+    def test_exponential_threshold_crossing(self):
+        """y' = -y, y(0)=1; y crosses 0.5 at t = ln 2."""
+        t_ev, y_ev = odeint_event(
+            lambda t, y: -y, Tensor(np.array([[1.0]])), 0.0,
+            lambda t, y: float(y.data[0, 0] - 0.5), t_max=5.0,
+            step_size=0.05)
+        np.testing.assert_allclose(t_ev, np.log(2.0), atol=1e-6)
+        np.testing.assert_allclose(y_ev.data[0, 0], 0.5, atol=1e-6)
+
+    def test_time_based_event(self):
+        t_ev, _ = odeint_event(
+            lambda t, y: y * 0.0, Tensor(np.ones((1, 1))), 0.0,
+            lambda t, y: t - 0.73, t_max=2.0, step_size=0.1)
+        np.testing.assert_allclose(t_ev, 0.73, atol=1e-6)
+
+    def test_oscillator_zero_crossing(self):
+        """x'' = -x, x(0)=1, v(0)=0: x crosses zero at pi/2."""
+        from repro.autodiff import concat
+
+        def f(t, y):
+            return concat([y[:, 1:], -y[:, :1]], axis=-1)
+
+        t_ev, y_ev = odeint_event(
+            f, Tensor(np.array([[1.0, 0.0]])), 0.0,
+            lambda t, y: float(y.data[0, 0]), t_max=4.0, step_size=0.02)
+        np.testing.assert_allclose(t_ev, np.pi / 2.0, atol=1e-4)
+
+    def test_no_event_raises(self):
+        with pytest.raises(RuntimeError):
+            odeint_event(lambda t, y: y * 0.0, Tensor(np.ones((1, 1))),
+                         0.0, lambda t, y: 1.0, t_max=0.5, step_size=0.1)
+
+    def test_event_at_start_returns_immediately(self):
+        t_ev, y_ev = odeint_event(
+            lambda t, y: -y, Tensor(np.ones((1, 1))), 0.0,
+            lambda t, y: 0.0, t_max=1.0)
+        assert t_ev == 0.0
+
+    def test_invalid_arguments(self):
+        y0 = Tensor(np.ones((1, 1)))
+        with pytest.raises(ValueError):
+            odeint_event(lambda t, y: -y, y0, 0.0, lambda t, y: 1.0,
+                         t_max=-1.0)
+        with pytest.raises(ValueError):
+            odeint_event(lambda t, y: -y, y0, 0.0, lambda t, y: 1.0,
+                         t_max=1.0, method="dopri5")
+
+    def test_state_remains_differentiable(self):
+        y0 = Tensor(np.array([[2.0]]), requires_grad=True)
+        _, y_ev = odeint_event(
+            lambda t, y: -y, y0, 0.0,
+            lambda t, y: float(y.data[0, 0] - 1.0), t_max=3.0,
+            step_size=0.05)
+        y_ev.sum().backward()
+        assert y0.grad is not None and np.isfinite(y0.grad[0, 0])

@@ -1,0 +1,75 @@
+"""Metric definitions (Eqs. 37-38)."""
+
+import numpy as np
+import pytest
+
+from repro.training import MSE_SCALE, RunningAverage, scaled_mse, \
+    top1_accuracy
+
+
+class TestAccuracy:
+    def test_perfect(self):
+        logits = np.array([[0.1, 0.9], [0.8, 0.2]])
+        assert top1_accuracy(logits, np.array([1, 0])) == 1.0
+
+    def test_all_wrong(self):
+        logits = np.array([[0.1, 0.9], [0.8, 0.2]])
+        assert top1_accuracy(logits, np.array([0, 1])) == 0.0
+
+    def test_partial(self):
+        logits = np.eye(4)
+        labels = np.array([0, 1, 0, 0])
+        assert top1_accuracy(logits, labels) == pytest.approx(0.5)
+
+
+class TestScaledMSE:
+    def test_unmasked_matches_numpy(self, rng):
+        a, b = rng.normal(size=(3, 4)), rng.normal(size=(3, 4))
+        assert scaled_mse(a, b) == pytest.approx(
+            ((a - b) ** 2).mean() * MSE_SCALE)
+
+    def test_mask_restricts(self):
+        pred = np.array([[1.0, 5.0]])
+        target = np.array([[0.0, 0.0]])
+        mask = np.array([[1.0, 0.0]])
+        assert scaled_mse(pred, target, mask) == pytest.approx(1.0 * MSE_SCALE)
+
+    def test_empty_mask_is_zero(self):
+        assert scaled_mse(np.ones((2, 2)), np.zeros((2, 2)),
+                          np.zeros((2, 2))) == 0.0
+
+
+class TestRunningAverage:
+    def test_weighted_mean(self):
+        avg = RunningAverage()
+        avg.update(1.0, weight=1.0)
+        avg.update(3.0, weight=3.0)
+        assert avg.value == pytest.approx(2.5)
+
+    def test_empty_is_nan(self):
+        assert np.isnan(RunningAverage().value)
+
+
+class TestMaeRmse:
+    def test_mae_matches_numpy(self, rng):
+        from repro.training import mae
+        a, b = rng.normal(size=(3, 4)), rng.normal(size=(3, 4))
+        assert mae(a, b) == pytest.approx(np.abs(a - b).mean())
+
+    def test_mae_masked(self):
+        from repro.training import mae
+        pred = np.array([[1.0, 100.0]])
+        target = np.zeros((1, 2))
+        mask = np.array([[1.0, 0.0]])
+        assert mae(pred, target, mask) == pytest.approx(1.0)
+
+    def test_rmse_is_sqrt_mse(self, rng):
+        from repro.training import rmse
+        a, b = rng.normal(size=(5,)), rng.normal(size=(5,))
+        assert rmse(a, b) == pytest.approx(np.sqrt(((a - b) ** 2).mean()))
+
+    def test_mae_never_exceeds_rmse(self, rng):
+        from repro.training import mae, rmse
+        for _ in range(5):
+            a, b = rng.normal(size=(8,)), rng.normal(size=(8,))
+            assert mae(a, b) <= rmse(a, b) + 1e-12

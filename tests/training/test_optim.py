@@ -1,0 +1,134 @@
+"""Optimizer correctness: convergence on quadratics, clipping, decay."""
+
+import numpy as np
+import pytest
+
+from repro.autodiff import Tensor
+from repro.nn import Parameter
+from repro.training import SGD, Adam, AdamW, clip_grad_norm
+
+
+def _quadratic_loss(p: Parameter, target: np.ndarray) -> Tensor:
+    diff = p - Tensor(target)
+    return (diff * diff).sum()
+
+
+class TestSGD:
+    def test_converges_on_quadratic(self):
+        p = Parameter(np.zeros(3))
+        target = np.array([1.0, -2.0, 3.0])
+        opt = SGD([p], lr=0.1)
+        for _ in range(200):
+            opt.zero_grad()
+            _quadratic_loss(p, target).backward()
+            opt.step()
+        np.testing.assert_allclose(p.data, target, atol=1e-6)
+
+    def test_momentum_accelerates(self):
+        def loss_after(momentum, steps=25):
+            p = Parameter(np.zeros(1))
+            opt = SGD([p], lr=0.01, momentum=momentum)
+            for _ in range(steps):
+                opt.zero_grad()
+                _quadratic_loss(p, np.array([5.0])).backward()
+                opt.step()
+            return abs(p.data[0] - 5.0)
+
+        assert loss_after(0.9) < loss_after(0.0)
+
+    def test_weight_decay_shrinks(self):
+        p = Parameter(np.array([10.0]))
+        opt = SGD([p], lr=0.1, weight_decay=1.0)
+        opt.zero_grad()
+        (p * 0.0).sum().backward()
+        opt.step()
+        assert abs(p.data[0]) < 10.0
+
+    def test_skips_params_without_grad(self):
+        p = Parameter(np.array([1.0]))
+        SGD([p], lr=0.1).step()  # no grad -> no move, no crash
+        assert p.data[0] == 1.0
+
+    def test_rejects_empty_params(self):
+        with pytest.raises(ValueError):
+            SGD([], lr=0.1)
+
+
+class TestAdam:
+    def test_converges_on_quadratic(self):
+        p = Parameter(np.zeros(4))
+        target = np.array([0.5, -1.0, 2.0, -3.0])
+        opt = Adam([p], lr=0.05)
+        for _ in range(500):
+            opt.zero_grad()
+            _quadratic_loss(p, target).backward()
+            opt.step()
+        np.testing.assert_allclose(p.data, target, atol=1e-4)
+
+    def test_bias_correction_first_step(self):
+        """The very first Adam step should be ~ lr * sign(grad)."""
+        p = Parameter(np.array([0.0]))
+        opt = Adam([p], lr=0.1)
+        opt.zero_grad()
+        (p * 3.0).sum().backward()
+        opt.step()
+        np.testing.assert_allclose(p.data, [-0.1], atol=1e-6)
+
+    def test_handles_sparse_gradient_scales(self):
+        """Adam must make progress on badly scaled problems."""
+        p = Parameter(np.zeros(2))
+        scales = np.array([1000.0, 0.001])
+        opt = Adam([p], lr=0.05)
+        for _ in range(300):
+            opt.zero_grad()
+            diff = (p - Tensor(np.ones(2))) * Tensor(scales)
+            (diff * diff).sum().backward()
+            opt.step()
+        np.testing.assert_allclose(p.data, np.ones(2), atol=0.05)
+
+
+class TestAdamW:
+    def test_decay_is_decoupled(self):
+        """AdamW decay acts on the weight directly, independent of grads."""
+        p = Parameter(np.array([2.0]))
+        opt = AdamW([p], lr=0.1, weight_decay=0.5)
+        opt.zero_grad()
+        (p * 0.0).sum().backward()
+        opt.step()
+        np.testing.assert_allclose(p.data, [2.0 * (1 - 0.1 * 0.5)],
+                                   atol=1e-9)
+
+    def test_weight_decay_value_restored(self):
+        p = Parameter(np.array([1.0]))
+        opt = AdamW([p], lr=0.1, weight_decay=0.3)
+        opt.zero_grad()
+        (p * 2.0).sum().backward()
+        opt.step()
+        assert opt.weight_decay == 0.3
+
+
+class TestClipping:
+    def test_clips_large_norm(self):
+        p = Parameter(np.zeros(3))
+        p.grad = np.array([3.0, 4.0, 0.0])  # norm 5
+        norm = clip_grad_norm([p], 1.0)
+        assert norm == pytest.approx(5.0)
+        np.testing.assert_allclose(np.linalg.norm(p.grad), 1.0)
+
+    def test_leaves_small_norm(self):
+        p = Parameter(np.zeros(2))
+        p.grad = np.array([0.3, 0.4])
+        clip_grad_norm([p], 1.0)
+        np.testing.assert_allclose(p.grad, [0.3, 0.4])
+
+    def test_global_norm_across_params(self):
+        p1, p2 = Parameter(np.zeros(1)), Parameter(np.zeros(1))
+        p1.grad, p2.grad = np.array([3.0]), np.array([4.0])
+        clip_grad_norm([p1, p2], 1.0)
+        total = np.sqrt(p1.grad[0] ** 2 + p2.grad[0] ** 2)
+        np.testing.assert_allclose(total, 1.0)
+
+    def test_handles_none_grads(self):
+        p1, p2 = Parameter(np.zeros(1)), Parameter(np.zeros(1))
+        p1.grad = np.array([2.0])
+        assert clip_grad_norm([p1, p2], 10.0) == pytest.approx(2.0)

@@ -1,0 +1,71 @@
+"""Property-based optimizer tests (hypothesis)."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.autodiff import Tensor
+from repro.nn import Parameter
+from repro.training import SGD, Adam, clip_grad_norm
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.floats(min_value=0.01, max_value=0.3),
+       st.integers(0, 1000))
+def test_sgd_descends_convex_quadratic(lr, seed):
+    """Any stable step size must not increase a quadratic's value."""
+    rng = np.random.default_rng(seed)
+    target = rng.normal(size=4)
+    p = Parameter(rng.normal(size=4))
+    opt = SGD([p], lr=lr)
+
+    def value():
+        return float(((p.data - target) ** 2).sum())
+
+    before = value()
+    opt.zero_grad()
+    ((p - Tensor(target)) ** 2).sum().backward()
+    opt.step()
+    assert value() <= before + 1e-12
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.integers(0, 1000))
+def test_adam_first_step_bounded_by_lr(seed):
+    """Adam's update magnitude never exceeds ~lr per coordinate."""
+    rng = np.random.default_rng(seed)
+    p = Parameter(rng.normal(size=6))
+    before = p.data.copy()
+    opt = Adam([p], lr=0.05)
+    opt.zero_grad()
+    (p * Tensor(rng.normal(size=6) * 100.0)).sum().backward()
+    opt.step()
+    assert np.abs(p.data - before).max() <= 0.05 * 1.01
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.floats(min_value=0.1, max_value=10.0), st.integers(0, 1000))
+def test_clip_norm_invariants(max_norm, seed):
+    rng = np.random.default_rng(seed)
+    p = Parameter(np.zeros(8))
+    p.grad = rng.normal(size=8) * 100.0
+    direction_before = p.grad / np.linalg.norm(p.grad)
+    returned = clip_grad_norm([p], max_norm)
+    after = np.linalg.norm(p.grad)
+    # norm respected, direction preserved, returned value = original norm
+    assert after <= max_norm + 1e-9
+    np.testing.assert_allclose(p.grad / after, direction_before,
+                               atol=1e-9)
+    assert returned >= after - 1e-9
+
+
+@settings(max_examples=15, deadline=None)
+@given(st.integers(0, 1000))
+def test_zero_grad_is_no_op_step(seed):
+    rng = np.random.default_rng(seed)
+    p = Parameter(rng.normal(size=5))
+    before = p.data.copy()
+    opt = Adam([p], lr=0.1)
+    opt.zero_grad()
+    opt.step()  # no gradient accumulated
+    np.testing.assert_array_equal(p.data, before)

@@ -1,0 +1,108 @@
+"""Learning-rate schedule tests."""
+
+import numpy as np
+import pytest
+
+from repro.nn import Parameter
+from repro.training import (
+    Adam,
+    ConstantLR,
+    CosineAnnealingLR,
+    ReduceLROnPlateau,
+    StepLR,
+    WarmupWrapper,
+)
+
+
+@pytest.fixture
+def opt():
+    return Adam([Parameter(np.zeros(2))], lr=0.1)
+
+
+class TestConstant:
+    def test_never_changes(self, opt):
+        sched = ConstantLR(opt)
+        for _ in range(10):
+            assert sched.step() == pytest.approx(0.1)
+
+
+class TestStepLR:
+    def test_decays_at_boundaries(self, opt):
+        sched = StepLR(opt, step_size=3, gamma=0.1)
+        lrs = [sched.step() for _ in range(7)]
+        assert lrs[0] == pytest.approx(0.1)
+        assert lrs[2] == pytest.approx(0.01)   # after 3 steps
+        assert lrs[5] == pytest.approx(0.001)  # after 6 steps
+
+    def test_applies_to_optimizer(self, opt):
+        sched = StepLR(opt, step_size=1, gamma=0.5)
+        sched.step()
+        assert opt.lr == pytest.approx(0.05)
+
+    def test_rejects_bad_step_size(self, opt):
+        with pytest.raises(ValueError):
+            StepLR(opt, step_size=0)
+
+
+class TestCosine:
+    def test_endpoints(self, opt):
+        sched = CosineAnnealingLR(opt, t_max=10, eta_min=0.01)
+        first = sched.step()
+        assert first < 0.1  # already decaying
+        for _ in range(9):
+            last = sched.step()
+        assert last == pytest.approx(0.01)
+
+    def test_monotone_decreasing(self, opt):
+        sched = CosineAnnealingLR(opt, t_max=20)
+        lrs = [sched.step() for _ in range(20)]
+        assert all(a >= b for a, b in zip(lrs, lrs[1:]))
+
+    def test_midpoint_is_half(self, opt):
+        sched = CosineAnnealingLR(opt, t_max=10, eta_min=0.0)
+        lrs = [sched.step() for _ in range(5)]
+        assert lrs[-1] == pytest.approx(0.05)
+
+    def test_clamps_past_t_max(self, opt):
+        sched = CosineAnnealingLR(opt, t_max=3, eta_min=0.02)
+        for _ in range(10):
+            lr = sched.step()
+        assert lr == pytest.approx(0.02)
+
+
+class TestWarmup:
+    def test_ramps_linearly(self, opt):
+        sched = WarmupWrapper(ConstantLR(opt), warmup=4)
+        lrs = [sched.step() for _ in range(4)]
+        np.testing.assert_allclose(lrs, [0.025, 0.05, 0.075, 0.1])
+
+    def test_hands_off_to_inner(self, opt):
+        sched = WarmupWrapper(StepLR(opt, step_size=2, gamma=0.1),
+                              warmup=2)
+        lrs = [sched.step() for _ in range(6)]
+        assert lrs[1] == pytest.approx(0.1)       # warmup done
+        assert lrs[3] == pytest.approx(0.01)      # inner decayed once
+
+
+class TestPlateau:
+    def test_reduces_after_patience(self, opt):
+        sched = ReduceLROnPlateau(opt, factor=0.5, patience=2)
+        sched.step_metric(1.0)
+        for _ in range(3):  # no improvement for > patience
+            lr = sched.step_metric(1.0)
+        assert lr == pytest.approx(0.05)
+
+    def test_improvement_resets(self, opt):
+        sched = ReduceLROnPlateau(opt, factor=0.5, patience=2)
+        sched.step_metric(1.0)
+        sched.step_metric(1.0)
+        sched.step_metric(0.5)  # improvement
+        lr = sched.step_metric(0.6)
+        assert lr == pytest.approx(0.1)
+
+    def test_respects_min_lr(self, opt):
+        sched = ReduceLROnPlateau(opt, factor=0.1, patience=0,
+                                  min_lr=0.01)
+        for _ in range(10):
+            lr = sched.step_metric(1.0)
+        assert lr == pytest.approx(0.01)

@@ -1,0 +1,92 @@
+"""Hyperparameter sweep tests."""
+
+import numpy as np
+import pytest
+
+from repro.data import Dataset, Sample
+from repro.nn import MLP, Module
+from repro.autodiff import Tensor
+from repro.training import SweepResult, SweepTrial, grid, run_sweep
+
+
+class TestGrid:
+    def test_cartesian_product(self):
+        g = grid(a=[1, 2], b=["x", "y", "z"])
+        assert len(g) == 6
+        assert {"a": 1, "b": "x"} in g and {"a": 2, "b": "z"} in g
+
+    def test_single_axis(self):
+        assert grid(lr=[0.1]) == [{"lr": 0.1}]
+
+
+class TestSweepResult:
+    def test_best_lower_is_better(self):
+        res = SweepResult(lower_is_better=True)
+        res.trials = [SweepTrial({"a": 1}, 0.5, 1.0),
+                      SweepTrial({"a": 2}, 0.2, 1.0)]
+        assert res.best.params == {"a": 2}
+
+    def test_best_higher_is_better(self):
+        res = SweepResult(lower_is_better=False)
+        res.trials = [SweepTrial({"a": 1}, 0.5, 1.0),
+                      SweepTrial({"a": 2}, 0.2, 1.0)]
+        assert res.best.params == {"a": 1}
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            SweepResult().best
+
+    def test_summary_mentions_params(self):
+        res = SweepResult()
+        res.trials = [SweepTrial({"lr": 0.1}, 0.3, 2.0)]
+        assert "lr" in res.summary()
+
+
+class _MeanModel(Module):
+    def __init__(self, hidden, rng):
+        super().__init__()
+        self.net = MLP(1, [hidden], 2, rng)
+        self.num_classes = 2
+
+    def forward(self, batch):
+        m = batch.mask[..., None]
+        mean = (batch.values * m).sum(axis=1) / np.maximum(m.sum(axis=1), 1)
+        return self.net(Tensor(mean[:, :1]))
+
+
+def _dataset(rng, n=40):
+    samples = []
+    for i in range(n):
+        label = i % 2
+        center = 1.5 if label else -1.5
+        times = np.sort(rng.random(6))
+        samples.append(Sample(times=times,
+                              values=rng.normal(center, 0.4, size=(6, 1)),
+                              label=label))
+    return Dataset("sweepable", samples, num_features=1, num_classes=2)
+
+
+class TestRunSweep:
+    def test_finds_reasonable_config(self, rng):
+        ds = _dataset(rng)
+        result = run_sweep(
+            lambda p: _MeanModel(p["hidden"], np.random.default_rng(0)),
+            ds,
+            grid(hidden=[4, 8], lr=[1e-3, 3e-2]),
+            task="classification", epochs=8, batch_size=10)
+        assert len(result.trials) == 4
+        assert not result.lower_is_better
+        assert result.best.score >= max(t.score for t in result.trials) - 1e-9
+
+    def test_optimizer_params_separated_from_model_params(self, rng):
+        ds = _dataset(rng, n=16)
+        seen = []
+
+        def factory(params):
+            seen.append(dict(params))
+            return _MeanModel(4, np.random.default_rng(0))
+
+        run_sweep(factory, ds, grid(lr=[0.01], weight_decay=[0.0]),
+                  task="classification", epochs=1, batch_size=8)
+        # lr / weight_decay must NOT reach the model factory
+        assert seen == [{}]

@@ -1,0 +1,146 @@
+"""Training-loop behaviour: learning, early stopping, best-weight restore."""
+
+import numpy as np
+import pytest
+
+from repro.data import Dataset, Sample
+from repro.nn import MLP, Module
+from repro.autodiff import Tensor
+from repro.training import EvalResult, TrainConfig, Trainer
+
+
+class MeanClassifier(Module):
+    """Tiny model: classify by the mean of the observed values."""
+
+    def __init__(self, rng, num_classes=2):
+        super().__init__()
+        self.net = MLP(1, [8], num_classes, rng)
+        self.num_classes = num_classes
+
+    def forward(self, batch):
+        m = batch.mask[..., None]
+        mean = (batch.values * m).sum(axis=1) / np.maximum(
+            m.sum(axis=1), 1.0)
+        return self.net(Tensor(mean[:, :1]))
+
+
+class MeanRegressor(Module):
+    def __init__(self, rng):
+        super().__init__()
+        self.net = MLP(2, [8], 1, rng)
+
+    def forward(self, batch):
+        m = batch.mask[..., None]
+        mean = (batch.values * m).sum(axis=1) / np.maximum(m.sum(axis=1), 1.0)
+        nq = batch.target_times.shape[1]
+        feats = np.concatenate(
+            [np.repeat(mean[:, None, :1], nq, axis=1),
+             batch.target_times[..., None]], axis=-1)
+        return self.net(Tensor(feats))
+
+
+def _cls_dataset(rng, n=60):
+    samples = []
+    for _ in range(n):
+        label = int(rng.random() > 0.5)
+        center = 2.0 if label else -2.0
+        times = np.sort(rng.random(8))
+        values = rng.normal(loc=center, scale=0.5, size=(8, 1))
+        samples.append(Sample(times=times, values=values, label=label))
+    return Dataset("sep", samples, num_features=1, num_classes=2)
+
+
+def _reg_dataset(rng, n=40):
+    samples = []
+    for _ in range(n):
+        bias = rng.normal()
+        times = np.sort(rng.random(8))
+        values = np.full((8, 1), bias)
+        tq = np.sort(rng.random(4))
+        samples.append(Sample(times=times, values=values,
+                              target_times=tq,
+                              target_values=np.full((4, 1), bias),
+                              target_mask=np.ones((4, 1))))
+    return Dataset("reg", samples, num_features=1)
+
+
+class TestClassificationLoop:
+    def test_learns_separable_data(self, rng):
+        ds = _cls_dataset(rng)
+        model = MeanClassifier(np.random.default_rng(0))
+        trainer = Trainer(model, "classification",
+                          TrainConfig(epochs=30, batch_size=16, lr=0.01))
+        trainer.fit(ds.subset(range(40)), ds.subset(range(40, 50)))
+        result = trainer.evaluate(ds.subset(range(50, 60)))
+        assert result.accuracy >= 0.9
+
+    def test_loss_decreases(self, rng):
+        ds = _cls_dataset(rng)
+        model = MeanClassifier(np.random.default_rng(1))
+        trainer = Trainer(model, "classification",
+                          TrainConfig(epochs=15, batch_size=16, lr=0.01))
+        hist = trainer.fit(ds, None)
+        assert hist.train_loss[-1] < hist.train_loss[0]
+
+    def test_eval_result_primary(self):
+        assert EvalResult(loss=0.1, accuracy=0.9).primary == 0.9
+        assert EvalResult(loss=0.1, mse=0.5).primary == 0.5
+
+
+class TestRegressionLoop:
+    def test_learns_constant_functions(self, rng):
+        ds = _reg_dataset(rng)
+        model = MeanRegressor(np.random.default_rng(2))
+        trainer = Trainer(model, "regression",
+                          TrainConfig(epochs=60, batch_size=8, lr=0.02))
+        trainer.fit(ds.subset(range(30)), None)
+        result = trainer.evaluate(ds.subset(range(30, 40)))
+        assert result.mse < 0.1
+
+
+class TestEarlyStopping:
+    def test_stops_before_max_epochs(self, rng):
+        ds = _cls_dataset(rng, n=30)
+        model = MeanClassifier(np.random.default_rng(3))
+        trainer = Trainer(model, "classification",
+                          TrainConfig(epochs=200, batch_size=8, lr=0.05,
+                                      patience=3))
+        hist = trainer.fit(ds.subset(range(20)), ds.subset(range(20, 30)))
+        assert len(hist.train_loss) < 200
+
+    def test_restores_best_weights(self, rng):
+        ds = _cls_dataset(rng, n=30)
+        model = MeanClassifier(np.random.default_rng(4))
+        trainer = Trainer(model, "classification",
+                          TrainConfig(epochs=40, batch_size=8, lr=0.1,
+                                      patience=40))
+        val = ds.subset(range(20, 30))
+        hist = trainer.fit(ds.subset(range(20)), val)
+        restored = trainer.evaluate(val).loss
+        assert restored == pytest.approx(min(hist.val_loss), abs=1e-6)
+
+    def test_unknown_task_rejected(self, rng):
+        with pytest.raises(ValueError):
+            Trainer(MeanClassifier(rng), "ranking")
+
+
+class TestSchedulerIntegration:
+    def test_scheduler_steps_each_epoch(self, rng):
+        from repro.training import StepLR
+        ds = _cls_dataset(rng, n=20)
+        model = MeanClassifier(np.random.default_rng(5))
+        trainer = Trainer(
+            model, "classification",
+            TrainConfig(epochs=4, batch_size=10, lr=0.1),
+            scheduler_factory=lambda opt: StepLR(opt, step_size=2,
+                                                 gamma=0.1))
+        trainer.fit(ds, None)
+        assert trainer.optimizer.lr == pytest.approx(0.001)
+
+    def test_no_scheduler_keeps_lr(self, rng):
+        ds = _cls_dataset(rng, n=20)
+        model = MeanClassifier(np.random.default_rng(6))
+        trainer = Trainer(model, "classification",
+                          TrainConfig(epochs=3, batch_size=10, lr=0.02))
+        trainer.fit(ds, None)
+        assert trainer.optimizer.lr == pytest.approx(0.02)
