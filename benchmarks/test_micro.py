@@ -18,6 +18,8 @@ from repro.core import (
     recover_z_literal,
     solve_p_max_hoyer,
 )
+from repro.benchmarks import run as run_solver_bench
+from repro.benchmarks import run_current_solver, run_seed_emulation
 from repro.odeint import AdamsBashforthMoulton
 
 
@@ -98,3 +100,28 @@ def test_bench_implicit_adams_step(benchmark, problem):
         for i in range(4):
             y = solver.step(i * 0.05, 0.05, y)
         benchmark(lambda: solver.step(0.5, 0.05, y))
+
+
+def test_bench_dopri5_workload(benchmark):
+    """Full adaptive solve of the batch-decay workload (FSAL + dense)."""
+    benchmark(lambda: run_current_solver())
+
+
+def test_dopri5_beats_seed_solver(save_result):
+    """The continuous dopri5 path must save >= 25% of RHS evaluations over
+    the seed's restart-per-interval solver at equal tolerances, while both
+    stay within tolerance of the exact decay solution."""
+    from .conftest import RESULTS_DIR
+
+    RESULTS_DIR.mkdir(exist_ok=True)
+    payload = run_solver_bench(RESULTS_DIR / "BENCH_solver.json")
+
+    nfev_seed, err_seed = payload["seed_nfev"], payload["seed_max_abs_error"]
+    assert payload["nfev_reduction"] >= 0.25, payload
+    assert payload["max_abs_error"] < 1e-4
+    assert err_seed < 1e-4
+    save_result("BENCH_solver", (
+        f"dopri5 workload: nfev={payload['nfev']} "
+        f"(seed {nfev_seed}, -{payload['nfev_reduction']:.1%}), "
+        f"steps={payload['steps']} rejects={payload['rejects']} "
+        f"dense_evals={payload['dense_evals']}"))

@@ -360,10 +360,18 @@ class Tensor:
         return Tensor._make(data, (self,), backward)
 
     def transpose(self, axis0: int | None = None, axis1: int | None = None) -> "Tensor":
-        """Swap two axes (defaults to the last two, or reverse for 2-D)."""
+        """Swap two axes (defaults to the last two; identity for 0-D/1-D).
+
+        Always returns a fresh tape node, never ``self``: callers treat the
+        result as a distinct tensor (renaming it, accumulating into its
+        ``.grad``), which must not alias the source.
+        """
         if axis0 is None and axis1 is None:
             if self.ndim < 2:
-                return self
+                def identity_backward(g):
+                    return (g,)
+
+                return Tensor._make(self.data, (self,), identity_backward)
             axis0, axis1 = -2, -1
         data = np.swapaxes(self.data, axis0, axis1)
 

@@ -14,7 +14,7 @@ import numpy as np
 
 from ..autodiff import Tensor, concat
 from ..nn import GRUCell, MLP
-from ..odeint import odeint
+from ..odeint import ADAPTIVE_METHODS, odeint
 from ..core.model import interpolate_grid_states
 from .base import SequenceModel, encoder_features
 
@@ -24,10 +24,15 @@ __all__ = ["LatentODEBaseline"]
 class LatentODEBaseline(SequenceModel):
     def __init__(self, input_dim: int, hidden_dim: int, latent_dim: int,
                  rng: np.random.Generator, grid_size: int = 24,
-                 num_classes: int | None = None, out_dim: int | None = None):
+                 num_classes: int | None = None, out_dim: int | None = None,
+                 method: str = "rk4", rtol: float = 1e-5, atol: float = 1e-7):
         super().__init__(num_classes, out_dim)
         self.latent_dim = latent_dim
         self.grid = np.linspace(0.0, 1.0, grid_size)
+        self.method = method
+        self.rtol = rtol
+        self.atol = atol
+        self.last_solver_stats = None
         self.encoder_cell = GRUCell(input_dim + 2, hidden_dim, rng)
         self.to_z0 = MLP(hidden_dim, [hidden_dim], latent_dim, rng)
         self.f = MLP(latent_dim + 1, [hidden_dim], latent_dim, rng)
@@ -50,8 +55,17 @@ class LatentODEBaseline(SequenceModel):
 
     def _trajectory(self, values, times, mask) -> Tensor:
         z0 = self._encode_z0(values, times, mask)
-        return odeint(self._dynamics, z0, self.grid, method="rk4",
-                      step_size=float(self.grid[1] - self.grid[0]))
+        if self.method in ADAPTIVE_METHODS:
+            traj, stats = odeint(self._dynamics, z0, self.grid,
+                                 method=self.method, rtol=self.rtol,
+                                 atol=self.atol, return_stats=True)
+        else:
+            traj, stats = odeint(self._dynamics, z0, self.grid,
+                                 method=self.method,
+                                 step_size=float(self.grid[1] - self.grid[0]),
+                                 return_stats=True)
+        self.last_solver_stats = stats
+        return traj
 
     def forward_classification(self, values, times, mask) -> Tensor:
         traj = self._trajectory(values, times, mask)

@@ -19,7 +19,7 @@ import numpy as np
 
 from ..autodiff import Tensor, concat, masked_mse_loss
 from ..nn import GRUCell, MLP
-from ..odeint import odeint
+from ..odeint import ADAPTIVE_METHODS, odeint
 from ..core.model import interpolate_grid_states
 from .base import SequenceModel, encoder_features
 
@@ -38,11 +38,16 @@ class LatentODEVAEBaseline(SequenceModel):
                  rng: np.random.Generator, grid_size: int = 24,
                  kl_weight: float = 1.0, noise_std: float = 0.1,
                  num_classes: int | None = None, out_dim: int | None = None,
-                 sample_seed: int = 0):
+                 sample_seed: int = 0, method: str = "rk4",
+                 rtol: float = 1e-5, atol: float = 1e-7):
         super().__init__(num_classes, out_dim)
         self.latent_dim = latent_dim
         self.kl_weight = kl_weight
         self.noise_std = noise_std
+        self.method = method
+        self.rtol = rtol
+        self.atol = atol
+        self.last_solver_stats = None
         self.grid = np.linspace(0.0, 1.0, grid_size)
         self.encoder_cell = GRUCell(input_dim + 2, hidden_dim, rng)
         self.to_posterior = MLP(hidden_dim, [hidden_dim], 2 * latent_dim, rng)
@@ -71,8 +76,17 @@ class LatentODEVAEBaseline(SequenceModel):
         return self.f(concat([z, t_col], axis=-1))
 
     def _rollout(self, z0: Tensor) -> Tensor:
-        return odeint(self._dynamics, z0, self.grid, method="rk4",
-                      step_size=float(self.grid[1] - self.grid[0]))
+        if self.method in ADAPTIVE_METHODS:
+            traj, stats = odeint(self._dynamics, z0, self.grid,
+                                 method=self.method, rtol=self.rtol,
+                                 atol=self.atol, return_stats=True)
+        else:
+            traj, stats = odeint(self._dynamics, z0, self.grid,
+                                 method=self.method,
+                                 step_size=float(self.grid[1] - self.grid[0]),
+                                 return_stats=True)
+        self.last_solver_stats = stats
+        return traj
 
     # ------------------------------------------------------------------
     def compute_loss(self, batch) -> Tensor:

@@ -1,0 +1,154 @@
+"""Solver-efficiency smoke target: ``python -m repro.benchmarks``.
+
+Runs a representative dopri5 workload (a batch of decays whose rates span
+two orders of magnitude, read out on an irregular grid) through the current
+adaptive solver and through an emulation of the seed solver -- one
+restarted ``dopri5_integrate`` per output interval, ``dt`` reset to
+``span/10`` each time, 7 RHS evaluations per trial step (no FSAL), one
+global RMS error norm and plain I-control -- then reports the saved RHS
+evaluations as ``BENCH_solver.json``.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import sys
+
+import numpy as np
+
+from .autodiff import Tensor, no_grad
+from .odeint import odeint
+
+__all__ = ["solver_workload", "run_current_solver", "run_seed_emulation",
+           "run", "main"]
+
+RTOL, ATOL = 1e-5, 1e-7
+
+# Seed tableau (identical coefficients; only the driver logic differed).
+_C = (0.0, 1 / 5, 3 / 10, 4 / 5, 8 / 9, 1.0, 1.0)
+_A = (
+    (),
+    (1 / 5,),
+    (3 / 40, 9 / 40),
+    (44 / 45, -56 / 15, 32 / 9),
+    (19372 / 6561, -25360 / 2187, 64448 / 6561, -212 / 729),
+    (9017 / 3168, -355 / 33, 46732 / 5247, 49 / 176, -5103 / 18656),
+    (35 / 384, 0.0, 500 / 1113, 125 / 192, -2187 / 6784, 11 / 84),
+)
+_B5 = (35 / 384, 0.0, 500 / 1113, 125 / 192, -2187 / 6784, 11 / 84, 0.0)
+_B4 = (5179 / 57600, 0.0, 7571 / 16695, 393 / 640, -92097 / 339200,
+       187 / 2100, 1 / 40)
+
+
+def solver_workload():
+    """Batch-16 exponential decays, rates 0.5..40, 20 irregular readouts."""
+    rates = np.geomspace(0.5, 40.0, 16)[:, None]
+    rng = np.random.default_rng(7)
+    times = np.concatenate([[0.0], np.sort(rng.random(18)), [1.0]])
+
+    def rhs(t, y):
+        return y * Tensor(-rates)
+
+    return rhs, rates, times
+
+
+def run_current_solver():
+    rhs, rates, times = solver_workload()
+    with no_grad():
+        sol, stats = odeint(rhs, Tensor(np.ones_like(rates)), times,
+                            method="dopri5", rtol=RTOL, atol=ATOL,
+                            return_stats=True)
+    exact = np.exp(-rates[:, 0][None, :] * times[:, None])
+    err = float(np.abs(sol.data[:, :, 0] - exact).max())
+    return stats, err
+
+
+def _seed_interval(f, y, t0, t1, rtol, atol):
+    """The seed ``dopri5_integrate`` loop on plain arrays; returns
+    ``(y(t1), trial_steps)`` -- each trial step cost 7 RHS evals."""
+    direction = 1.0 if t1 > t0 else -1.0
+    span = abs(t1 - t0)
+    dt = span / 10.0
+    t, trials = t0, 0
+    while (t1 - t) * direction > 1e-12:
+        dt = min(dt, abs(t1 - t))
+        h = direction * dt
+        trials += 1
+        k = []
+        for stage in range(7):
+            yi = y
+            for j, a in enumerate(_A[stage]):
+                if a != 0.0:
+                    yi = yi + k[j] * (a * h)
+            k.append(f(t + _C[stage] * h, yi))
+        y5 = y
+        y4 = y.copy()
+        for j in range(7):
+            if _B5[j] != 0.0:
+                y5 = y5 + k[j] * (_B5[j] * h)
+            if _B4[j] != 0.0:
+                y4 = y4 + k[j] * (_B4[j] * h)
+        scale = atol + rtol * np.maximum(np.abs(y), np.abs(y5))
+        err = float(np.sqrt(np.mean(((y5 - y4) / scale) ** 2)))
+        if err <= 1.0 or dt <= 1e-10 * span:
+            t, y = t + h, y5
+            dt *= float(np.clip(0.9 * max(err, 1e-10) ** -0.2, 0.2, 5.0))
+        else:
+            dt *= float(np.clip(0.9 * err ** -0.25, 0.1, 0.9))
+    return y, trials
+
+
+def run_seed_emulation():
+    _, rates, times = solver_workload()
+
+    def f(t, y):
+        return -rates * y
+
+    y = np.ones_like(rates)
+    trials = 0
+    outputs = [y]
+    for t0, t1 in zip(times[:-1], times[1:]):
+        y, n = _seed_interval(f, y, float(t0), float(t1), RTOL, ATOL)
+        trials += n
+        outputs.append(y)
+    exact = np.exp(-rates[:, 0][None, :] * times[:, None])
+    err = float(np.abs(np.stack(outputs)[:, :, 0] - exact).max())
+    return 7 * trials, err
+
+
+def run(out_path: str | pathlib.Path = "BENCH_solver.json") -> dict:
+    stats, err_new = run_current_solver()
+    nfev_seed, err_seed = run_seed_emulation()
+    payload = {
+        "workload": "batch-16 decay, rates 0.5..40, 20 irregular readouts",
+        "rtol": RTOL,
+        "atol": ATOL,
+        **stats.as_dict(),
+        "max_abs_error": err_new,
+        "seed_nfev": nfev_seed,
+        "seed_max_abs_error": err_seed,
+        "nfev_reduction": 1.0 - stats.nfev / nfev_seed,
+    }
+    path = pathlib.Path(out_path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(payload, indent=2) + "\n")
+    return payload
+
+
+def main(argv: list[str] | None = None) -> int:
+    argv = sys.argv[1:] if argv is None else argv
+    out = argv[0] if argv else "BENCH_solver.json"
+    payload = run(out)
+    print(f"dopri5 workload @ rtol={RTOL:g} atol={ATOL:g}")
+    print(f"  current: nfev={payload['nfev']}  steps={payload['steps']}  "
+          f"rejects={payload['rejects']}  err={payload['max_abs_error']:.2e}")
+    print(f"  seed:    nfev={payload['seed_nfev']}  "
+          f"err={payload['seed_max_abs_error']:.2e}")
+    print(f"  RHS evals saved: {payload['nfev_reduction']:.1%}")
+    print(f"  wrote {out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

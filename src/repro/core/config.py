@@ -36,8 +36,14 @@ class DiffODEConfig:
     encoder: str = "gru"
     #: ODE solver (paper: implicit Adams)
     method: str = "implicit_adams"
-    #: ODE integration step on the normalized [0, 1] time axis
+    #: ODE integration step on the normalized [0, 1] time axis; for the
+    #: adaptive ``dopri5`` method this only sets the readout-grid density
+    #: (the solver controls its own step via ``rtol``/``atol``)
     step_size: float = 0.05
+    #: relative error tolerance for adaptive solvers
+    rtol: float = 1e-5
+    #: absolute error tolerance for adaptive solvers
+    atol: float = 1e-7
     #: number of readout grid points = round(1/step_size) + 1
     max_len: int = 512
     #: classification classes (None for regression tasks)

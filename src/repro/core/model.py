@@ -23,7 +23,7 @@ import numpy as np
 
 from ..autodiff import Tensor, concat
 from ..nn import GRU, Linear, MLP, Module
-from ..odeint import odeint
+from ..odeint import ADAPTIVE_METHODS, odeint
 from .config import DiffODEConfig
 from .dhs import DHSContext, dhs_attention
 from .dynamics import AugmentedDynamics, DHSDynamics, PlainLatentDynamics
@@ -113,6 +113,9 @@ class DiffODE(Module):
             self.head = MLP(state_dim, [config.hidden_dim],
                             config.out_dim, rng)
 
+        #: :class:`~repro.odeint.SolverStats` of the most recent ODE solve.
+        self.last_solver_stats = None
+
     # ------------------------------------------------------------------
     # encoding
     # ------------------------------------------------------------------
@@ -173,9 +176,21 @@ class DiffODE(Module):
         self.latent_dynamics.bind(contexts)
         state0 = self.initial_state(z, contexts)
         grid = self.grid()
-        states = odeint(self.dynamics, state0, grid,
-                        method=self.config.method,
-                        step_size=self.config.step_size)
+        if self.config.method in ADAPTIVE_METHODS:
+            # Adaptive solve: one continuous integration, grid states come
+            # from the dense-output interpolant; step_size only shaped the
+            # readout grid above.
+            states, stats = odeint(self.dynamics, state0, grid,
+                                   method=self.config.method,
+                                   rtol=self.config.rtol,
+                                   atol=self.config.atol,
+                                   return_stats=True)
+        else:
+            states, stats = odeint(self.dynamics, state0, grid,
+                                   method=self.config.method,
+                                   step_size=self.config.step_size,
+                                   return_stats=True)
+        self.last_solver_stats = stats
         return states, grid
 
     # ------------------------------------------------------------------

@@ -1,20 +1,29 @@
 """Differentiable ODE solvers (the torchdiffeq stand-in)."""
 
-from .interface import METHODS, odeint
+from .interface import ADAPTIVE_METHODS, METHODS, odeint
 from .adjoint import odeint_adjoint
 from .events import odeint_event
 from .adams import AdamsBashforthMoulton
-from .dopri5 import dopri5_integrate
-from .fixed import FIXED_STEPPERS, euler_step, midpoint_step, rk4_step
+from .dopri5 import PIController, dopri5_integrate, dopri5_solve, \
+    initial_step_size
+from .fixed import FIXED_STEPPERS, STEP_NFEV, euler_step, midpoint_step, \
+    rk4_step
+from .stats import SolverStats
 
 __all__ = [
     "odeint",
     "odeint_adjoint",
     "odeint_event",
     "METHODS",
+    "ADAPTIVE_METHODS",
     "AdamsBashforthMoulton",
     "dopri5_integrate",
+    "dopri5_solve",
+    "initial_step_size",
+    "PIController",
+    "SolverStats",
     "FIXED_STEPPERS",
+    "STEP_NFEV",
     "euler_step",
     "midpoint_step",
     "rk4_step",

@@ -19,8 +19,9 @@ import numpy as np
 
 from ..autodiff import Tensor, no_grad
 from ..nn import Module
-from .fixed import FIXED_STEPPERS
+from .fixed import FIXED_STEPPERS, STEP_NFEV
 from .interface import _validate_times
+from .stats import SolverStats
 
 __all__ = ["odeint_adjoint"]
 
@@ -43,17 +44,25 @@ def _vjp(func: Module, t: float, y_value: np.ndarray,
 
 
 def odeint_adjoint(func: Module, y0: Tensor, t: Sequence[float],
-                   method: str = "rk4", step_size: float | None = None) -> Tensor:
+                   method: str = "rk4", step_size: float | None = None,
+                   return_stats: bool = False):
     """Drop-in for :func:`repro.odeint.odeint` using the adjoint backward.
 
     ``func`` must be a Module so its parameters are discoverable; gradients
     are accumulated directly into ``func``'s parameters and into ``y0``.
+
+    With ``return_stats=True`` returns ``(solution, SolverStats)``.  The
+    stats record is shared with the backward closure: at return time it
+    counts the forward solve; running ``.backward()`` adds the augmented
+    backward sweep's evaluations (each augmented-dynamics call counts the
+    plain RHS evaluation plus the VJP forward pass).
     """
     if method not in FIXED_STEPPERS:
         raise ValueError("odeint_adjoint supports fixed-grid methods only")
     times = _validate_times(t)
     stepper = FIXED_STEPPERS[method]
     params = list(func.parameters())
+    stats = SolverStats(method=f"adjoint[{method}]")
 
     # ------------------------------------------------------------------
     # forward pass: no tape
@@ -69,7 +78,9 @@ def odeint_adjoint(func: Module, y0: Tensor, t: Sequence[float],
             for _ in range(n_sub):
                 y = stepper(func, tau, dt, y)
                 tau += dt
+            stats.steps += n_sub
             states.append(np.array(y.data, copy=True))
+        stats.nfev = stats.steps * STEP_NFEV[method]
     solution = np.stack(states, axis=0)
 
     def backward(grad_outputs: np.ndarray) -> tuple[np.ndarray | None, ...]:
@@ -80,6 +91,7 @@ def odeint_adjoint(func: Module, y0: Tensor, t: Sequence[float],
             with no_grad():
                 f_val = func(t_val, Tensor(y_val)).data
             vjp_y, vjp_p = _vjp(func, t_val, y_val, a_val)
+            stats.nfev += 2  # plain RHS eval + the VJP forward pass
             return f_val, -vjp_y, [-g for g in vjp_p]
 
         for idx in range(len(times) - 1, 0, -1):
@@ -119,4 +131,4 @@ def odeint_adjoint(func: Module, y0: Tensor, t: Sequence[float],
         out.requires_grad = True
         out._parents = (y0,)
         out._backward = backward
-    return out
+    return (out, stats) if return_stats else out

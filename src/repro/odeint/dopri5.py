@@ -1,20 +1,49 @@
-"""Adaptive Dormand-Prince 4(5) solver with PI step-size control.
+"""Adaptive Dormand-Prince 4(5) solver.
+
+One continuous integration answers every requested output time:
+
+* **FSAL** (first-same-as-last): the 7th stage of an accepted step is
+  evaluated at ``(t + h, y_{n+1})`` with the 5th-order weights, so it *is*
+  the next step's first stage.  Each trial step after the first costs 6
+  fresh RHS evaluations instead of 7 (rejected trials keep their first
+  stage too, because ``(t, y)`` did not move).
+* **Dense output**: output times that fall inside an accepted step are
+  answered by the standard 4th-order Dormand-Prince interpolant (the same
+  coefficient matrix scipy's ``RK45`` uses), so the cost of a solve is set
+  by the dynamics, not by how many output times the caller wants.
+* **PI step-size control** (Hairer-Norsett-Wanner II.4): the growth factor
+  is ``safety * err^-alpha * err_prev^beta`` with ``alpha = 0.7/5`` and
+  ``beta = 0.4/5``; rejected steps shrink with the plain I-factor
+  ``safety * err^-0.2`` and the next accepted step may not grow.  The
+  initial step, when not supplied, comes from the HNW starting-step
+  heuristic instead of an arbitrary fraction of the span.
+* **Per-sample error control**: the error norm is taken per batch element,
+  and the controller follows the worst *active* sample.  Samples whose
+  error stays a factor ``freeze_threshold`` below tolerance for
+  ``freeze_patience`` consecutive accepted steps are frozen - they stop
+  throttling step growth (in the spirit of Lam et al.'s batching strategy)
+  but are still monitored: a frozen sample whose error estimate exceeds 1
+  un-freezes immediately and forces a rejection, so freezing never trades
+  away tolerance.
 
 Step-size decisions are made on detached values (standard practice: the
 controller is piecewise-constant in the inputs so it does not need a
-gradient), while the accepted states remain differentiable Tensor
-expressions.
+gradient), while accepted states and dense interpolants remain
+differentiable Tensor expressions.
 """
 
 from __future__ import annotations
 
-from typing import Callable
+from dataclasses import dataclass
+from typing import Callable, Sequence
 
 import numpy as np
 
-from ..autodiff import Tensor
+from ..autodiff import Tensor, no_grad, stack
+from .stats import SolverStats
 
-__all__ = ["dopri5_integrate"]
+__all__ = ["dopri5_integrate", "dopri5_solve", "PIController",
+           "initial_step_size"]
 
 OdeFunc = Callable[[float, Tensor], Tensor]
 
@@ -32,61 +61,261 @@ _A = (
 _B5 = (35 / 384, 0.0, 500 / 1113, 125 / 192, -2187 / 6784, 11 / 84, 0.0)
 _B4 = (5179 / 57600, 0.0, 7571 / 16695, 393 / 640, -92097 / 339200,
        187 / 2100, 1 / 40)
+# Error weights: B5 - B4 (the embedded 4th-order defect).
+_E = tuple(b5 - b4 for b5, b4 in zip(_B5, _B4))
+
+# Dense-output interpolant: y(t + theta*h) = y + h * sum_i k_i * Q_i(theta)
+# with Q_i(theta) = sum_j P[i][j] * theta^(j+1).  Rows sum to _B5, so the
+# interpolant matches y_{n+1} exactly at theta = 1.
+_P = (
+    (1.0, -8048581381 / 2820520608, 8663915743 / 2820520608,
+     -12715105075 / 11282082432),
+    (0.0, 0.0, 0.0, 0.0),
+    (0.0, 131558114200 / 32700410799, -68118460800 / 10900136933,
+     87487479700 / 32700410799),
+    (0.0, -1754552775 / 470086768, 14199869525 / 1410260304,
+     -10690763975 / 1880347072),
+    (0.0, 127303824393 / 49829197408, -318862633887 / 49829197408,
+     701980252875 / 199316789632),
+    (0.0, -282668133 / 205662961, 2019193451 / 616988883,
+     -1453857185 / 822651844),
+    (0.0, 40617522 / 29380423, -110615467 / 29380423, 69997945 / 29380423),
+)
+
+_ORDER = 5           # order of the error estimator (q + 1)
+_EPS_ERR = 1e-10     # floor so err^-alpha stays finite
 
 
-def _error_norm(err: np.ndarray, y0: np.ndarray, y1: np.ndarray,
-                rtol: float, atol: float) -> float:
+@dataclass
+class PIController:
+    """Proportional-integral step-size controller (HNW II.4, PI.4.2).
+
+    Deterministic update rule, unit-testable in isolation:
+
+    * a trial step is **accepted** iff its error norm ``err <= 1``;
+    * accepted:  ``factor = clip(safety * err^-alpha * err_prev^beta,
+      factor_min, factor_max)``, additionally capped at 1.0 when the
+      previous trial was a rejection (no growth spike right after
+      back-off); ``err_prev`` then becomes ``max(err, 1e-10)``;
+    * rejected:  ``factor = clip(safety * err^(-1/order), 0.1, 1.0)``
+      (plain I-control shrink; ``err_prev`` is left untouched).
+
+    ``err_prev`` starts at 1.0, so the very first step reduces to
+    I-control.
+    """
+
+    safety: float = 0.9
+    alpha: float = 0.7 / _ORDER
+    beta: float = 0.4 / _ORDER
+    factor_min: float = 0.2
+    factor_max: float = 5.0
+    err_prev: float = 1.0
+    last_rejected: bool = False
+
+    def accept(self, err: float) -> bool:
+        return err <= 1.0
+
+    def next_dt(self, dt: float, err: float, accepted: bool) -> float:
+        err = max(float(err), _EPS_ERR)
+        if accepted:
+            factor = (self.safety * err ** -self.alpha
+                      * self.err_prev ** self.beta)
+            factor = float(np.clip(factor, self.factor_min, self.factor_max))
+            if self.last_rejected:
+                factor = min(factor, 1.0)
+            self.err_prev = err
+            self.last_rejected = False
+        else:
+            factor = float(np.clip(self.safety * err ** (-1.0 / _ORDER),
+                                   0.1, 1.0))
+            self.last_rejected = True
+        return dt * factor
+
+
+def _scaled_rms(x: np.ndarray, scale: np.ndarray) -> float:
+    return float(np.sqrt(np.mean((x / scale) ** 2)))
+
+
+def initial_step_size(func: OdeFunc, t0: float, y0: Tensor, f0: Tensor,
+                      direction: float, rtol: float, atol: float) -> float:
+    """HNW starting-step heuristic (Hairer-Norsett-Wanner I, II.4).
+
+    Costs one extra RHS evaluation (on detached values).  Returns a
+    positive step magnitude.
+    """
+    y = y0.data
+    f = f0.data
+    scale = atol + rtol * np.abs(y)
+    d0 = _scaled_rms(y, scale)
+    d1 = _scaled_rms(f, scale)
+    h0 = 1e-6 if (d0 < 1e-5 or d1 < 1e-5) else 0.01 * d0 / d1
+
+    with no_grad():
+        y1 = Tensor(y + direction * h0 * f)
+        f1 = func(t0 + direction * h0, y1)
+    d2 = _scaled_rms(f1.data - f, scale) / h0
+
+    if max(d1, d2) <= 1e-15:
+        h1 = max(1e-6, h0 * 1e-3)
+    else:
+        h1 = (0.01 / max(d1, d2)) ** (1.0 / _ORDER)
+    return min(100.0 * h0, h1)
+
+
+def _per_sample_error(err: np.ndarray, y0: np.ndarray, y1: np.ndarray,
+                      rtol: float, atol: float) -> np.ndarray:
+    """Scaled RMS error norm per batch element (axis 0 when ndim >= 2)."""
     scale = atol + rtol * np.maximum(np.abs(y0), np.abs(y1))
-    return float(np.sqrt(np.mean((err / scale) ** 2)))
+    ratio = (err / scale) ** 2
+    if ratio.ndim < 2:
+        return np.sqrt(np.atleast_1d(ratio.mean()))
+    return np.sqrt(ratio.reshape(ratio.shape[0], -1).mean(axis=1))
+
+
+def _dense_eval(y_old: Tensor, k: list[Tensor], h: float,
+                theta: float) -> Tensor:
+    """Evaluate the quartic dense-output interpolant at fraction ``theta``."""
+    out = y_old
+    for i in range(7):
+        q = 0.0
+        power = theta
+        for j in range(4):
+            q += _P[i][j] * power
+            power *= theta
+        if q != 0.0:
+            out = out + k[i] * (h * q)
+    return out
+
+
+def _dopri5_core(func: OdeFunc, y0: Tensor, times: np.ndarray,
+                 rtol: float, atol: float,
+                 first_step: float | None,
+                 max_steps: int,
+                 freeze_threshold: float = 1e-2,
+                 freeze_patience: int = 3
+                 ) -> tuple[list[Tensor], SolverStats]:
+    """One continuous adaptive integration over all ``times``."""
+    t0, t_end = float(times[0]), float(times[-1])
+    direction = 1.0 if t_end > t0 else -1.0
+    span = abs(t_end - t0)
+    stats = SolverStats(method="dopri5")
+
+    n_samples = y0.shape[0] if y0.ndim >= 2 else 1
+    frozen = np.zeros(n_samples, dtype=bool)
+    calm_streak = np.zeros(n_samples, dtype=np.int64)
+    freeze_counts = np.zeros(n_samples, dtype=np.int64)
+
+    t = t0
+    y = y0
+    f0 = func(t, y)                       # stage 1, reused via FSAL
+    stats.nfev += 1
+
+    if first_step is not None:
+        dt = abs(float(first_step))
+    else:
+        dt = initial_step_size(func, t, y, f0, direction, rtol, atol)
+        stats.nfev += 1
+    dt = min(dt, span)
+    stats.first_step = dt
+
+    controller = PIController()
+    outputs: list[Tensor] = [y0]
+    next_idx = 1
+
+    while next_idx < len(times):
+        if stats.trial_steps >= max_steps:
+            raise RuntimeError(f"dopri5 exceeded {max_steps} steps")
+        dt = min(dt, abs(t_end - t))
+        h = direction * dt
+
+        k: list[Tensor] = [f0]
+        for stage in range(1, 7):
+            yi = y
+            for j, a in enumerate(_A[stage]):
+                if a != 0.0:
+                    yi = yi + k[j] * (a * h)
+            k.append(func(t + _C[stage] * h, yi))
+        stats.nfev += 6
+
+        y5 = y
+        for j, b in enumerate(_B5):
+            if b != 0.0:
+                y5 = y5 + k[j] * (b * h)
+
+        # Embedded 4th-order defect (values only; the controller needs no
+        # gradient because it is piecewise-constant in its inputs).
+        err = np.zeros_like(y.data)
+        for j, e in enumerate(_E):
+            if e != 0.0:
+                err = err + k[j].data * (e * h)
+        err_sample = _per_sample_error(err, y.data, y5.data, rtol, atol)
+
+        # A frozen sample that drifted past tolerance rejoins step control.
+        frozen &= ~(err_sample > 1.0)
+        active = ~frozen
+        err_ctrl = float(err_sample[active].max() if active.any()
+                         else err_sample.max())
+
+        accepted = controller.accept(err_ctrl) or dt <= 1e-10 * span
+        if accepted:
+            freeze_counts += frozen
+            calm = err_sample < freeze_threshold
+            calm_streak = np.where(calm, calm_streak + 1, 0)
+            frozen |= calm_streak >= freeze_patience
+
+            t_new = t + h
+            while next_idx < len(times):
+                tq = float(times[next_idx])
+                eps_t = 1e-12 * max(1.0, abs(tq))
+                if (tq - t_new) * direction > eps_t:
+                    break
+                if abs(tq - t_new) <= eps_t:
+                    outputs.append(y5)
+                else:
+                    outputs.append(_dense_eval(y, k, h, (tq - t) / h))
+                    stats.dense_evals += 1
+                next_idx += 1
+
+            t = t_new
+            y = y5
+            f0 = k[6]                      # FSAL: stage 7 is next stage 1
+            stats.steps += 1
+        else:
+            stats.rejects += 1
+        dt = controller.next_dt(dt, err_ctrl, accepted)
+
+    stats.freeze_counts = freeze_counts
+    return outputs, stats
+
+
+def dopri5_solve(func: OdeFunc, y0: Tensor, times: Sequence[float],
+                 rtol: float = 1e-5, atol: float = 1e-7,
+                 first_step: float | None = None,
+                 max_steps: int = 10_000) -> tuple[Tensor, SolverStats]:
+    """Adaptive solve over all output ``times`` in one continuous pass.
+
+    Returns ``(solution, stats)`` where ``solution`` stacks the states at
+    every requested time along a new leading axis (``times[0]`` maps to
+    ``y0``) and ``stats`` is the :class:`~repro.odeint.SolverStats` record
+    of the solve.
+    """
+    times = np.asarray(times, dtype=np.float64).reshape(-1)
+    outputs, stats = _dopri5_core(func, y0, times, rtol, atol,
+                                  first_step, max_steps)
+    return stack(outputs, axis=0), stats
 
 
 def dopri5_integrate(func: OdeFunc, y0: Tensor, t0: float, t1: float,
                      rtol: float = 1e-5, atol: float = 1e-7,
                      first_step: float | None = None,
                      max_steps: int = 10_000) -> Tensor:
-    """Integrate from ``t0`` to ``t1`` adaptively; returns y(t1)."""
+    """Integrate from ``t0`` to ``t1`` adaptively; returns ``y(t1)``.
+
+    Thin wrapper over :func:`dopri5_solve` kept for API compatibility.
+    """
     if t1 == t0:
         return y0
-    direction = 1.0 if t1 > t0 else -1.0
-    span = abs(t1 - t0)
-    dt = first_step if first_step is not None else span / 10.0
-    dt = min(dt, span)
-
-    t = t0
-    y = y0
-    steps = 0
-    while (t1 - t) * direction > 1e-12:
-        if steps >= max_steps:
-            raise RuntimeError(f"dopri5 exceeded {max_steps} steps")
-        steps += 1
-        dt = min(dt, abs(t1 - t))
-        h = direction * dt
-
-        k: list[Tensor] = []
-        for stage in range(7):
-            ti = t + _C[stage] * h
-            yi = y
-            for j, a in enumerate(_A[stage]):
-                if a != 0.0:
-                    yi = yi + k[j] * (a * h)
-            k.append(func(ti, yi))
-
-        y5 = y
-        for j, b in enumerate(_B5):
-            if b != 0.0:
-                y5 = y5 + k[j] * (b * h)
-        # Embedded 4th-order estimate for error control (values only).
-        y4 = y.data.copy()
-        for j, b in enumerate(_B4):
-            if b != 0.0:
-                y4 = y4 + k[j].data * (b * h)
-
-        err = _error_norm(y5.data - y4, y.data, y5.data, rtol, atol)
-        if err <= 1.0 or dt <= 1e-10 * span:
-            t = t + h
-            y = y5
-            growth = 0.9 * (max(err, 1e-10) ** -0.2)
-            dt = dt * float(np.clip(growth, 0.2, 5.0))
-        else:
-            dt = dt * float(np.clip(0.9 * err ** -0.25, 0.1, 0.9))
-    return y
+    times = np.array([t0, t1], dtype=np.float64)
+    outputs, _ = _dopri5_core(func, y0, times, rtol, atol,
+                              first_step, max_steps)
+    return outputs[-1]

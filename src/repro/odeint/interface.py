@@ -5,6 +5,12 @@ solution at every requested time, stacked along a new leading axis.  All
 methods are differentiable by backprop through the solver's internal Tensor
 expressions; :mod:`repro.odeint.adjoint` offers the memory-light continuous
 adjoint alternative.
+
+The ``dopri5`` method runs **one** continuous adaptive integration across
+the whole time grid: the tuned step size carries over between output times
+and intermediate times are answered by the dense-output interpolant (see
+:mod:`repro.odeint.dopri5`).  Every call can also report what it cost via
+``return_stats=True``, which returns ``(solution, SolverStats)``.
 """
 
 from __future__ import annotations
@@ -16,14 +22,16 @@ import numpy as np
 
 from ..autodiff import Tensor, stack
 from .adams import AdamsBashforthMoulton
-from .dopri5 import dopri5_integrate
-from .fixed import FIXED_STEPPERS
+from .dopri5 import dopri5_solve
+from .fixed import FIXED_STEPPERS, STEP_NFEV
+from .stats import CountingFunc, SolverStats
 
-__all__ = ["odeint", "METHODS"]
+__all__ = ["odeint", "METHODS", "ADAPTIVE_METHODS"]
 
 OdeFunc = Callable[[float, Tensor], Tensor]
 
 METHODS = ("euler", "midpoint", "rk4", "implicit_adams", "dopri5")
+ADAPTIVE_METHODS = ("dopri5",)
 
 
 def _validate_times(t: Sequence[float]) -> np.ndarray:
@@ -39,7 +47,10 @@ def _validate_times(t: Sequence[float]) -> np.ndarray:
 def odeint(func: OdeFunc, y0: Tensor, t: Sequence[float],
            method: str = "rk4", step_size: float | None = None,
            rtol: float = 1e-5, atol: float = 1e-7,
-           corrector_iters: int = 1) -> Tensor:
+           corrector_iters: int = 1,
+           first_step: float | None = None,
+           max_steps: int = 10_000,
+           return_stats: bool = False):
     """Integrate an ODE and evaluate at times ``t``.
 
     Parameters
@@ -55,29 +66,52 @@ def odeint(func: OdeFunc, y0: Tensor, t: Sequence[float],
     method:
         One of ``euler | midpoint | rk4 | implicit_adams | dopri5``.
     step_size:
-        Maximum internal step for the fixed-grid methods; defaults to the
-        spacing of ``t`` (one step per interval).
+        Maximum internal step for the **fixed-grid** methods; defaults to
+        the spacing of ``t`` (one step per interval).  Rejected for
+        ``dopri5``, which controls its own step - use ``first_step``.
+    rtol, atol:
+        Error tolerances for the adaptive ``dopri5`` method.
+    first_step:
+        Optional initial step magnitude for ``dopri5`` (the HNW starting
+        heuristic is used otherwise).  Rejected for fixed-grid methods.
+    max_steps:
+        Trial-step budget for ``dopri5``.
+    return_stats:
+        When True, return ``(solution, SolverStats)`` instead of just the
+        solution.
 
     Returns
     -------
-    Tensor of shape ``(len(t), *y0.shape)``.
+    Tensor of shape ``(len(t), *y0.shape)``; with ``return_stats=True`` a
+    ``(Tensor, SolverStats)`` pair.
     """
     times = _validate_times(t)
     if method not in METHODS:
         raise ValueError(f"unknown method {method!r}; choose from {METHODS}")
 
+    if method == "dopri5":
+        if step_size is not None:
+            raise ValueError(
+                "dopri5 is adaptive: 'step_size' only applies to fixed-grid "
+                "methods. Pass 'first_step' to seed the adaptive controller.")
+        solution, stats = dopri5_solve(func, y0, times, rtol=rtol, atol=atol,
+                                       first_step=first_step,
+                                       max_steps=max_steps)
+        return (solution, stats) if return_stats else solution
+
+    if first_step is not None:
+        raise ValueError(
+            "'first_step' only applies to the adaptive dopri5 method; "
+            "fixed-grid methods take 'step_size'.")
+
+    stats = SolverStats(method=method)
     outputs: list[Tensor] = [y0]
     y = y0
 
-    if method == "dopri5":
-        for t0, t1 in zip(times[:-1], times[1:]):
-            y = dopri5_integrate(func, y, float(t0), float(t1),
-                                 rtol=rtol, atol=atol, first_step=step_size)
-            outputs.append(y)
-        return stack(outputs, axis=0)
-
     if method == "implicit_adams":
-        solver = AdamsBashforthMoulton(func, corrector_iters=corrector_iters)
+        counted = CountingFunc(func, stats)
+        solver = AdamsBashforthMoulton(counted,
+                                       corrector_iters=corrector_iters)
         last_dt = None
         for t0, t1 in zip(times[:-1], times[1:]):
             span = float(t1 - t0)
@@ -91,8 +125,10 @@ def odeint(func: OdeFunc, y0: Tensor, t: Sequence[float],
             for _ in range(n_sub):
                 y = solver.step(tau, dt, y)
                 tau += dt
+            stats.steps += n_sub
             outputs.append(y)
-        return stack(outputs, axis=0)
+        solution = stack(outputs, axis=0)
+        return (solution, stats) if return_stats else solution
 
     stepper = FIXED_STEPPERS[method]
     for t0, t1 in zip(times[:-1], times[1:]):
@@ -103,5 +139,8 @@ def odeint(func: OdeFunc, y0: Tensor, t: Sequence[float],
         for _ in range(n_sub):
             y = stepper(func, tau, dt, y)
             tau += dt
+        stats.steps += n_sub
         outputs.append(y)
-    return stack(outputs, axis=0)
+    stats.nfev = stats.steps * STEP_NFEV[method]
+    solution = stack(outputs, axis=0)
+    return (solution, stats) if return_stats else solution

@@ -75,8 +75,14 @@ def run_sweep(model_factory: Callable[[dict], object],
     ``model_factory(params)`` builds a fresh model; optimization params
     (``lr``, ``weight_decay``, ``clip_norm``) inside ``params`` go to the
     TrainConfig instead of the factory.
+
+    Selection direction follows the metric itself
+    (:attr:`EvalResult.higher_is_better`): regression sweeps score scaled
+    MSE and select the *minimum*, classification sweeps score accuracy and
+    select the *maximum*.  Pass ``lower_is_better`` to override.
     """
     if lower_is_better is None:
+        # Matches EvalResult.higher_is_better for the task's metric.
         lower_is_better = task == "regression"
     result = SweepResult(lower_is_better=lower_is_better)
     rng = np.random.default_rng(seed + 1)
@@ -95,7 +101,15 @@ def run_sweep(model_factory: Callable[[dict], object],
             epochs=epochs, batch_size=batch_size, seed=seed, **opt_params))
         trainer.fit(train_set, val_set)
         outcome = trainer.evaluate(val_set)
-        score = outcome.mse if task == "regression" else outcome.accuracy
+        score = outcome.primary
+        # Guard against the selection direction drifting from the metric:
+        # a lower-is-better sweep must be scoring a lower-is-better metric.
+        if lower_is_better != (not outcome.higher_is_better):
+            raise ValueError(
+                f"sweep direction mismatch: lower_is_better={lower_is_better}"
+                f" but the {task} metric is "
+                f"{'higher' if outcome.higher_is_better else 'lower'}"
+                "-is-better")
         result.trials.append(SweepTrial(
             params=dict(params), score=float(score),
             seconds=time.perf_counter() - start))

@@ -39,8 +39,17 @@ class EvalResult:
 
     @property
     def primary(self) -> float:
-        """Metric to report: accuracy (higher better) or scaled MSE."""
+        """Metric to report: accuracy or scaled MSE.
+
+        Check :attr:`higher_is_better` before comparing ``primary`` across
+        runs - accuracy and MSE rank in opposite directions.
+        """
         return self.accuracy if self.accuracy is not None else self.mse
+
+    @property
+    def higher_is_better(self) -> bool:
+        """Direction of :attr:`primary`: True for accuracy, False for MSE."""
+        return self.accuracy is not None
 
 
 @dataclass

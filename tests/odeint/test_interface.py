@@ -70,6 +70,24 @@ class TestInterface:
     @pytest.mark.parametrize("method", METHODS)
     def test_first_output_is_initial_state(self, method):
         y0 = Tensor(np.array([[3.0, -2.0]]))
+        kwargs = {} if method == "dopri5" else {"step_size": 0.1}
         sol = odeint(lambda _, y: -y, y0, [0.0, 1.0], method=method,
-                     step_size=0.1)
+                     **kwargs)
         np.testing.assert_array_equal(sol.data[0], y0.data)
+
+    def test_step_size_rejected_for_dopri5(self):
+        # step_size used to be silently repurposed as the first step.
+        with pytest.raises(ValueError, match="first_step"):
+            odeint(lambda _, y: -y, Tensor(np.ones((1, 1))), [0.0, 1.0],
+                   method="dopri5", step_size=0.1)
+
+    def test_first_step_rejected_for_fixed_grid(self):
+        with pytest.raises(ValueError, match="step_size"):
+            odeint(lambda _, y: -y, Tensor(np.ones((1, 1))), [0.0, 1.0],
+                   method="rk4", first_step=0.1)
+
+    def test_dopri5_accepts_explicit_first_step(self):
+        sol = odeint(lambda _, y: -y, Tensor(np.ones((1, 1))), [0.0, 1.0],
+                     method="dopri5", first_step=0.05)
+        np.testing.assert_allclose(sol.data[-1, 0, 0], np.exp(-1.0),
+                                   atol=1e-6)

@@ -17,6 +17,11 @@ def harmonic(t, y):
     return concat([v, -x], axis=-1)
 
 
+def _solver_kwargs(method, step_size):
+    """dopri5 is adaptive and rejects step_size; fixed methods need it."""
+    return {} if method == "dopri5" else {"step_size": step_size}
+
+
 class TestAccuracy:
     @pytest.mark.parametrize("method,tol", [
         ("euler", 0.05), ("midpoint", 2e-3), ("rk4", 1e-7),
@@ -25,7 +30,7 @@ class TestAccuracy:
     def test_exponential_decay(self, method, tol):
         t = np.linspace(0.0, 2.0, 11)
         sol = odeint(exp_decay, Tensor(np.ones((1, 2))), t,
-                     method=method, step_size=0.05)
+                     method=method, **_solver_kwargs(method, 0.05))
         err = np.abs(sol.data[:, 0, 0] - np.exp(-t)).max()
         assert err < tol, f"{method}: {err}"
 
@@ -35,7 +40,8 @@ class TestAccuracy:
     def test_harmonic_oscillator(self, method, tol):
         t = np.linspace(0.0, 2 * np.pi, 9)
         y0 = Tensor(np.array([[1.0, 0.0]]))
-        sol = odeint(harmonic, y0, t, method=method, step_size=0.02)
+        sol = odeint(harmonic, y0, t, method=method,
+                     **_solver_kwargs(method, 0.02))
         np.testing.assert_allclose(sol.data[-1], [[1.0, 0.0]], atol=tol)
 
     def test_energy_conservation_rk4(self):
@@ -78,7 +84,7 @@ class TestDifferentiability:
         # y(t) = y0 e^{-t}; d y(1)/d y0 = e^{-1}
         y0 = Tensor(np.array([[2.0]]), requires_grad=True)
         sol = odeint(exp_decay, y0, [0.0, 1.0], method=method,
-                     step_size=0.02)
+                     **_solver_kwargs(method, 0.02))
         sol[-1].sum().backward()
         np.testing.assert_allclose(y0.grad, [[np.exp(-1.0)]], atol=atol)
 

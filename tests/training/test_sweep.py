@@ -66,6 +66,35 @@ def _dataset(rng, n=40):
     return Dataset("sweepable", samples, num_features=1, num_classes=2)
 
 
+class _MeanRegressor(Module):
+    def __init__(self, hidden, rng):
+        super().__init__()
+        self.net = MLP(2, [hidden], 1, rng)
+
+    def forward(self, batch):
+        m = batch.mask[..., None]
+        mean = (batch.values * m).sum(axis=1) / np.maximum(m.sum(axis=1), 1)
+        nq = batch.target_times.shape[1]
+        feats = np.concatenate(
+            [np.repeat(mean[:, None, :1], nq, axis=1),
+             batch.target_times[..., None]], axis=-1)
+        return self.net(Tensor(feats))
+
+
+def _reg_dataset(rng, n=24):
+    samples = []
+    for _ in range(n):
+        bias = rng.normal()
+        times = np.sort(rng.random(6))
+        tq = np.sort(rng.random(3))
+        samples.append(Sample(times=times,
+                              values=np.full((6, 1), bias),
+                              target_times=tq,
+                              target_values=np.full((3, 1), bias),
+                              target_mask=np.ones((3, 1))))
+    return Dataset("reg", samples, num_features=1)
+
+
 class TestRunSweep:
     def test_finds_reasonable_config(self, rng):
         ds = _dataset(rng)
@@ -90,3 +119,37 @@ class TestRunSweep:
                   task="classification", epochs=1, batch_size=8)
         # lr / weight_decay must NOT reach the model factory
         assert seen == [{}]
+
+
+class TestSelectionDirection:
+    """``best`` used to pick max(primary) regardless of the metric, which
+    selected the WORST regression config.  Pin the direction per task."""
+
+    def test_classification_selects_maximum_accuracy(self, rng):
+        ds = _dataset(rng, n=24)
+        result = run_sweep(
+            lambda p: _MeanModel(p["hidden"], np.random.default_rng(0)),
+            ds, grid(hidden=[4, 8]),
+            task="classification", epochs=2, batch_size=8)
+        assert not result.lower_is_better
+        assert result.best.score == max(t.score for t in result.trials)
+
+    def test_regression_selects_minimum_mse(self, rng):
+        ds = _reg_dataset(rng)
+        result = run_sweep(
+            lambda p: _MeanRegressor(p["hidden"], np.random.default_rng(0)),
+            ds, grid(hidden=[4, 8]),
+            task="regression", epochs=2, batch_size=8)
+        assert result.lower_is_better
+        assert result.best.score == min(t.score for t in result.trials)
+
+    def test_direction_override_mismatch_raises(self, rng):
+        # Forcing lower_is_better on an accuracy sweep is a footgun the
+        # guard in run_sweep now rejects.
+        ds = _dataset(rng, n=16)
+        with pytest.raises(ValueError, match="direction"):
+            run_sweep(
+                lambda p: _MeanModel(4, np.random.default_rng(0)),
+                ds, grid(hidden=[4]),
+                task="classification", epochs=1, batch_size=8,
+                lower_is_better=True)

@@ -86,6 +86,11 @@ class TestClassificationLoop:
         assert EvalResult(loss=0.1, accuracy=0.9).primary == 0.9
         assert EvalResult(loss=0.1, mse=0.5).primary == 0.5
 
+    def test_eval_result_direction(self):
+        # accuracy ranks up, MSE ranks down; selection code must check this.
+        assert EvalResult(loss=0.1, accuracy=0.9).higher_is_better
+        assert not EvalResult(loss=0.1, mse=0.5).higher_is_better
+
 
 class TestRegressionLoop:
     def test_learns_constant_functions(self, rng):
