@@ -24,6 +24,7 @@ from .functional import (
 )
 from .einsum import einsum
 from .gradcheck import gradcheck, numeric_grad
+from .profiler import OpRecord, TapeProfiler, active_profiler, tape_profile
 
 __all__ = [
     "Tensor",
@@ -47,4 +48,8 @@ __all__ = [
     "einsum",
     "gradcheck",
     "numeric_grad",
+    "OpRecord",
+    "TapeProfiler",
+    "tape_profile",
+    "active_profiler",
 ]

@@ -24,6 +24,7 @@ losses, attention) are built from these primitives in
 from __future__ import annotations
 
 import contextlib
+import sys
 import threading
 from typing import Callable, Iterable, Sequence
 
@@ -42,6 +43,11 @@ __all__ = [
 ]
 
 _STATE = threading.local()
+
+#: Active :class:`repro.autodiff.profiler.TapeProfiler`, installed by
+#: ``tape_profile()``.  When None (the default) the tape hot path pays one
+#: global load + ``is None`` branch per node and nothing else.
+_PROFILER = None
 
 
 def is_grad_enabled() -> bool:
@@ -114,6 +120,13 @@ class Tensor:
             out.requires_grad = True
             out._parents = parents
             out._backward = backward
+        if _PROFILER is not None:
+            # The caller of _make is always the op itself (__add__, exp,
+            # concat, ...), so its code name labels the node for free.
+            op = sys._getframe(1).f_code.co_name
+            _PROFILER._record_node(op, out.data.nbytes)
+            if out._backward is not None:
+                out._backward = _PROFILER._wrap_backward(op, out._backward)
         return out
 
     @property
@@ -169,6 +182,8 @@ class Tensor:
         """
         if not self.requires_grad:
             raise RuntimeError("backward() called on a tensor without grad")
+        if _PROFILER is not None:
+            _PROFILER._record_backward_pass()
         if grad is None:
             if self.size != 1:
                 raise RuntimeError("grad must be provided for non-scalar outputs")

@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from .base import SequenceModel, encoder_features, previous_state_readout, snap_to_grid
+from .base import Model, SequenceModel, encoder_features, previous_state_readout, snap_to_grid
 from .gru import GRUBaseline, GRUDBaseline
 from .odernn import GRUODEBayesBaseline, ODERNNBaseline, PolyODEBaseline
 from .latent_ode import LatentODEBaseline
@@ -48,6 +48,7 @@ __all__ = [
     "BASELINE_REGISTRY",
     "BASELINE_CATEGORIES",
     "build_baseline",
+    "Model",
 ]
 
 #: paper-table name -> constructor

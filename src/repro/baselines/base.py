@@ -17,17 +17,41 @@ Two readout helpers cover the two families of models:
 
 from __future__ import annotations
 
+from typing import Iterator, Protocol, runtime_checkable
+
 import numpy as np
 
 from ..autodiff import Tensor, concat
-from ..nn import Module
+from ..nn import Module, Parameter
 
 __all__ = [
+    "Model",
     "SequenceModel",
     "encoder_features",
     "previous_state_readout",
     "snap_to_grid",
 ]
+
+
+@runtime_checkable
+class Model(Protocol):
+    """What the Trainer/evaluator/sweep machinery requires of a model.
+
+    Any :class:`~repro.nn.Module` subclass with a ``forward(batch)``
+    satisfies this structurally — DiffODE and every baseline do.  The
+    protocol exists so the contract is written down in one place and
+    checkable at runtime (``isinstance(model, Model)``).
+    """
+
+    def forward(self, batch) -> Tensor: ...
+
+    def parameters(self) -> Iterator[Parameter]: ...
+
+    def zero_grad(self) -> None: ...
+
+    def num_parameters(self) -> int: ...
+
+    def describe(self) -> dict: ...
 
 
 class SequenceModel(Module):
@@ -53,6 +77,16 @@ class SequenceModel(Module):
 
     def forward_regression(self, values, times, mask, query_times):  # pragma: no cover
         raise NotImplementedError
+
+    def describe(self) -> dict:
+        out = super().describe()
+        out["task"] = ("classification" if self.num_classes is not None
+                       else "regression")
+        if self.num_classes is not None:
+            out["num_classes"] = self.num_classes
+        else:
+            out["out_dim"] = self.out_dim
+        return out
 
 
 def encoder_features(values: np.ndarray, times: np.ndarray) -> np.ndarray:

@@ -14,7 +14,7 @@ import numpy as np
 
 from ..autodiff import Tensor, concat
 from ..nn import GRUCell, MLP
-from ..odeint import ADAPTIVE_METHODS, odeint
+from ..odeint import ADAPTIVE_METHODS, SolverOptions, odeint
 from ..core.model import interpolate_grid_states
 from .base import SequenceModel, encoder_features
 
@@ -56,14 +56,12 @@ class LatentODEBaseline(SequenceModel):
     def _trajectory(self, values, times, mask) -> Tensor:
         z0 = self._encode_z0(values, times, mask)
         if self.method in ADAPTIVE_METHODS:
-            traj, stats = odeint(self._dynamics, z0, self.grid,
-                                 method=self.method, rtol=self.rtol,
-                                 atol=self.atol, return_stats=True)
+            opts = SolverOptions(rtol=self.rtol, atol=self.atol)
         else:
-            traj, stats = odeint(self._dynamics, z0, self.grid,
-                                 method=self.method,
-                                 step_size=float(self.grid[1] - self.grid[0]),
-                                 return_stats=True)
+            opts = SolverOptions(step_size=float(self.grid[1] - self.grid[0]))
+        traj, stats = odeint(self._dynamics, z0, self.grid,
+                             method=self.method, options=opts,
+                             return_stats=True)
         self.last_solver_stats = stats
         return traj
 

@@ -19,7 +19,7 @@ import numpy as np
 
 from ..autodiff import Tensor, concat, masked_mse_loss
 from ..nn import GRUCell, MLP
-from ..odeint import ADAPTIVE_METHODS, odeint
+from ..odeint import ADAPTIVE_METHODS, SolverOptions, odeint
 from ..core.model import interpolate_grid_states
 from .base import SequenceModel, encoder_features
 
@@ -77,14 +77,12 @@ class LatentODEVAEBaseline(SequenceModel):
 
     def _rollout(self, z0: Tensor) -> Tensor:
         if self.method in ADAPTIVE_METHODS:
-            traj, stats = odeint(self._dynamics, z0, self.grid,
-                                 method=self.method, rtol=self.rtol,
-                                 atol=self.atol, return_stats=True)
+            opts = SolverOptions(rtol=self.rtol, atol=self.atol)
         else:
-            traj, stats = odeint(self._dynamics, z0, self.grid,
-                                 method=self.method,
-                                 step_size=float(self.grid[1] - self.grid[0]),
-                                 return_stats=True)
+            opts = SolverOptions(step_size=float(self.grid[1] - self.grid[0]))
+        traj, stats = odeint(self._dynamics, z0, self.grid,
+                             method=self.method, options=opts,
+                             return_stats=True)
         self.last_solver_stats = stats
         return traj
 

@@ -18,7 +18,7 @@ import sys
 import numpy as np
 
 from .autodiff import Tensor, no_grad
-from .odeint import odeint
+from .odeint import SolverOptions, odeint
 
 __all__ = ["solver_workload", "run_current_solver", "run_seed_emulation",
            "run", "main"]
@@ -57,7 +57,8 @@ def run_current_solver():
     rhs, rates, times = solver_workload()
     with no_grad():
         sol, stats = odeint(rhs, Tensor(np.ones_like(rates)), times,
-                            method="dopri5", rtol=RTOL, atol=ATOL,
+                            method="dopri5",
+                            options=SolverOptions(rtol=RTOL, atol=ATOL),
                             return_stats=True)
     exact = np.exp(-rates[:, 0][None, :] * times[:, None])
     err = float(np.abs(sol.data[:, :, 0] - exact).max())

@@ -8,18 +8,23 @@ Examples::
         --task interpolation
     python -m repro.cli evaluate --checkpoint diffode.npz \
         --dataset synthetic
+    python -m repro.cli profile --model DIFFODE --dataset synthetic \
+        --method dopri5 --trace profile.jsonl
     python -m repro.cli list
 
 Dataset sizes follow the scale preset (``--scale`` / ``REPRO_SCALE``).
+``--trace out.jsonl`` on train/evaluate/profile writes the structured
+telemetry event stream (see :mod:`repro.telemetry.trace`).
 """
 
 from __future__ import annotations
 
 import argparse
+import contextlib
 
 import numpy as np
 
-from .data import Dataset, train_val_test_split
+from .data import Dataset, batch_iter, train_val_test_split
 from .experiments import (
     ALL_MODELS,
     build_model,
@@ -27,6 +32,7 @@ from .experiments import (
     get_scale,
     regression_dataset,
 )
+from .telemetry import telemetry_session
 from .training import TrainConfig, Trainer, load_diffode, save_diffode
 
 __all__ = ["main", "build_parser"]
@@ -59,6 +65,8 @@ def build_parser() -> argparse.ArgumentParser:
     train.add_argument("--seed", type=int, default=0)
     train.add_argument("--save", default=None,
                        help="write a .npz checkpoint (DIFFODE only)")
+    train.add_argument("--trace", default=None, metavar="OUT.jsonl",
+                       help="write the telemetry event stream as JSONL")
 
     ev = sub.add_parser("evaluate", help="evaluate a DIFFODE checkpoint")
     ev.add_argument("--checkpoint", required=True)
@@ -70,6 +78,35 @@ def build_parser() -> argparse.ArgumentParser:
     ev.add_argument("--scale", default=None,
                     choices=["smoke", "bench", "paper"])
     ev.add_argument("--seed", type=int, default=0)
+    ev.add_argument("--trace", default=None, metavar="OUT.jsonl",
+                    help="write the telemetry event stream as JSONL")
+
+    prof = sub.add_parser(
+        "profile",
+        help="train a few steps under the tape profiler and report costs")
+    prof.add_argument("--model", default="DIFFODE",
+                      help=f"one of {ALL_MODELS}")
+    prof.add_argument("--dataset", required=True,
+                      choices=sorted(_CLS_DATASETS) + sorted(_REG_DATASETS))
+    prof.add_argument("--task", default=None,
+                      choices=["classification", "interpolation",
+                               "extrapolation"])
+    prof.add_argument("--scale", default=None,
+                      choices=["smoke", "bench", "paper"])
+    prof.add_argument("--steps", type=int, default=3,
+                      help="optimizer steps to profile (default 3)")
+    prof.add_argument("--top", type=int, default=12,
+                      help="rows in the per-op table (default 12)")
+    prof.add_argument("--sort", default="total_s",
+                      choices=["total_s", "forward_s", "backward_s",
+                               "count", "bytes"])
+    prof.add_argument("--method", default=None,
+                      choices=["euler", "midpoint", "rk4", "implicit_adams",
+                               "dopri5"],
+                      help="override the DIFFODE ODE solver")
+    prof.add_argument("--trace", default=None, metavar="OUT.jsonl",
+                      help="write the telemetry event stream as JSONL")
+    prof.add_argument("--seed", type=int, default=0)
 
     sub.add_parser("list", help="list available models and datasets")
     return parser
@@ -113,8 +150,13 @@ def _cmd_train(args) -> int:
     trainer = Trainer(model, task, config)
     print(f"training {args.model} on {dataset.name} "
           f"({len(train_set)} train series, {epochs} epochs max)")
-    trainer.fit(train_set, val_set)
-    result = trainer.evaluate(test_set)
+    telemetry = (telemetry_session(trace_path=args.trace)
+                 if args.trace else contextlib.nullcontext())
+    with telemetry:
+        trainer.fit(train_set, val_set)
+        result = trainer.evaluate(test_set)
+    if args.trace:
+        print(f"trace written to {args.trace}")
     if task == "classification":
         print(f"test accuracy: {result.accuracy:.4f}")
     else:
@@ -139,11 +181,110 @@ def _cmd_evaluate(args) -> int:
     dataset, _ = _resolve_dataset(args.dataset, want, scale, args.seed)
     _, _, test_set = _split(dataset, task, args.seed)
     trainer = Trainer(model, task)
-    result = trainer.evaluate(test_set)
+    telemetry = (telemetry_session(trace_path=args.trace)
+                 if args.trace else contextlib.nullcontext())
+    with telemetry:
+        result = trainer.evaluate(test_set)
     if task == "classification":
         print(f"test accuracy: {result.accuracy:.4f}")
     else:
         print(f"test MSE: {result.mse:.4f}")
+    if args.trace:
+        print(f"trace written to {args.trace}")
+    return 0
+
+
+def _fmt_seconds(s: float) -> str:
+    return f"{s * 1e3:8.2f}ms" if s < 1.0 else f"{s:8.3f}s "
+
+
+def _cmd_profile(args) -> int:
+    scale = get_scale(args.scale)
+    dataset, task = _resolve_dataset(args.dataset, args.task, scale,
+                                     args.seed)
+    train_set, _, _ = _split(dataset, task, args.seed)
+    model = build_model(args.model, dataset, scale, seed=args.seed)
+    if args.method is not None:
+        if not hasattr(model, "config") or not hasattr(model.config, "method"):
+            raise SystemExit("--method only applies to DIFFODE")
+        model.config.method = args.method
+    batch_size = (scale.batch_cls if task == "classification"
+                  else scale.batch_reg)
+    trainer = Trainer(model, task, TrainConfig(
+        batch_size=batch_size, lr=scale.lr,
+        weight_decay=scale.weight_decay, seed=args.seed))
+
+    print("model:")
+    for key, value in model.describe().items():
+        print(f"  {key}: {value}")
+
+    from .training.optim import clip_grad_norm
+    solver_totals: dict[str, float] = {}
+    rng = np.random.default_rng(args.seed)
+    with telemetry_session(trace_path=args.trace,
+                           profile_tape=True) as session:
+        reg = session.registry
+        with reg.timer("profile"):
+            for i, batch in enumerate(batch_iter(train_set, batch_size, rng)):
+                if i >= args.steps:
+                    break
+                trainer.optimizer.zero_grad()
+                with reg.timer("forward"):
+                    loss = trainer.loss_fn(batch)
+                with reg.timer("backward"):
+                    loss.backward()
+                with reg.timer("optimizer"):
+                    clip_grad_norm(trainer.optimizer.params,
+                                   trainer.config.clip_norm)
+                    trainer.optimizer.step()
+                stats = getattr(model, "last_solver_stats", None)
+                if stats is not None:
+                    solver_totals["method"] = stats.method
+                    for key in ("nfev", "steps", "rejects", "dense_evals"):
+                        solver_totals[key] = (solver_totals.get(key, 0)
+                                              + getattr(stats, key))
+        summary = session.summary()
+
+    print(f"\nphase breakdown ({args.steps} steps):")
+    for path, stat in summary["timers"].items():
+        indent = "  " * path.count("/")
+        print(f"  {indent}{path.rsplit('/', 1)[-1]:<12} "
+              f"{_fmt_seconds(stat['total_s'])}  x{stat['count']}  "
+              f"(self {_fmt_seconds(stat['self_s'])})")
+
+    rows = session.profiler.table(top_k=args.top, sort=args.sort)
+    print(f"\ntop {len(rows)} tape ops by {args.sort} "
+          f"({session.profiler.nodes} nodes, "
+          f"{session.profiler.bytes_allocated / 1e6:.1f} MB allocated):")
+    header = (f"  {'op':<16} {'count':>8} {'fwd':>10} {'bwd':>10} "
+              f"{'total':>10} {'MB':>8}")
+    print(header)
+    for row in rows:
+        print(f"  {row['op']:<16} {row['count']:>8} "
+              f"{row['forward_s'] * 1e3:>8.2f}ms "
+              f"{row['backward_s'] * 1e3:>8.2f}ms "
+              f"{row['total_s'] * 1e3:>8.2f}ms "
+              f"{row['bytes_allocated'] / 1e6:>8.2f}")
+
+    solver_counters = {k: v for k, v in summary["counters"].items()
+                       if k.startswith("solver.")}
+    if solver_counters:
+        print("\nsolver counters:")
+        for name, value in solver_counters.items():
+            print(f"  {name}: {int(value)}")
+    if solver_totals:
+        method = solver_totals.pop("method")
+        registry_nfev = int(summary["counters"].get(
+            f"solver.{method}.nfev", -1))
+        direct_nfev = int(solver_totals["nfev"])
+        status = "OK" if registry_nfev == direct_nfev else "MISMATCH"
+        print(f"\nNFE cross-check [{status}]: SolverStats total "
+              f"{direct_nfev} vs registry solver.{method}.nfev "
+              f"{registry_nfev}")
+        if status == "MISMATCH":
+            return 1
+    if args.trace:
+        print(f"\ntrace written to {args.trace}")
     return 0
 
 
@@ -159,7 +300,7 @@ def _cmd_list(_args) -> int:
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     handlers = {"train": _cmd_train, "evaluate": _cmd_evaluate,
-                "list": _cmd_list}
+                "profile": _cmd_profile, "list": _cmd_list}
     return handlers[args.command](args)
 
 

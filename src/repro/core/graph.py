@@ -28,7 +28,7 @@ except ImportError:  # pragma: no cover
 
 from ..autodiff import Tensor, concat
 from ..nn import GRU, Linear, MLP, Module, Parameter
-from ..odeint import odeint
+from ..odeint import SolverOptions, odeint
 from .dhs import dhs_attention
 from .dynamics import DHSDynamics
 from .model import interpolate_grid_states
@@ -142,7 +142,8 @@ class GraphDiffODE(Module):
         grid = np.linspace(0.0, 1.0,
                            max(2, int(round(1.0 / self.step_size)) + 1))
         states = odeint(self.dynamics, s0, grid, method="rk4",
-                        step_size=self.step_size)           # (L, B*V, d)
+                        options=SolverOptions(step_size=self.step_size))
+        # states: (L, B*V, d)
         q = np.repeat(np.asarray(query_times), self.num_nodes, axis=0)
         at_q = interpolate_grid_states(states, grid, q)    # (B*V, nq, d)
         out = self.head(at_q)

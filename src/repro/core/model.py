@@ -23,7 +23,7 @@ import numpy as np
 
 from ..autodiff import Tensor, concat
 from ..nn import GRU, Linear, MLP, Module
-from ..odeint import ADAPTIVE_METHODS, odeint
+from ..odeint import ADAPTIVE_METHODS, SolverOptions, odeint
 from .config import DiffODEConfig
 from .dhs import DHSContext, dhs_attention
 from .dynamics import AugmentedDynamics, DHSDynamics, PlainLatentDynamics
@@ -116,6 +116,22 @@ class DiffODE(Module):
         #: :class:`~repro.odeint.SolverStats` of the most recent ODE solve.
         self.last_solver_stats = None
 
+    def describe(self) -> dict:
+        out = super().describe()
+        cfg = self.config
+        out.update(
+            task=("classification" if cfg.num_classes is not None
+                  else "regression"),
+            solver=cfg.method,
+            latent_dim=cfg.latent_dim,
+            state_dim=self.state_dim,
+            num_heads=cfg.num_heads,
+            encoder=cfg.encoder,
+            use_attention=cfg.use_attention,
+            use_hippo=cfg.use_hippo,
+        )
+        return out
+
     # ------------------------------------------------------------------
     # encoding
     # ------------------------------------------------------------------
@@ -180,16 +196,13 @@ class DiffODE(Module):
             # Adaptive solve: one continuous integration, grid states come
             # from the dense-output interpolant; step_size only shaped the
             # readout grid above.
-            states, stats = odeint(self.dynamics, state0, grid,
-                                   method=self.config.method,
-                                   rtol=self.config.rtol,
-                                   atol=self.config.atol,
-                                   return_stats=True)
+            opts = SolverOptions(rtol=self.config.rtol,
+                                 atol=self.config.atol)
         else:
-            states, stats = odeint(self.dynamics, state0, grid,
-                                   method=self.config.method,
-                                   step_size=self.config.step_size,
-                                   return_stats=True)
+            opts = SolverOptions(step_size=self.config.step_size)
+        states, stats = odeint(self.dynamics, state0, grid,
+                               method=self.config.method, options=opts,
+                               return_stats=True)
         self.last_solver_stats = stats
         return states, grid
 

@@ -2,15 +2,17 @@
 
 Theoretical time complexity plus measured wall-clock seconds per training
 epoch on the USHCN interpolation task, for the seven models the paper
-lists.
+lists.  Measurement runs under a :func:`~repro.telemetry.telemetry_session`
+so the numbers come from the same registry every other consumer reads: the
+``train.epoch_seconds`` histogram provides the median epoch time and the
+``solver.*.nfev`` counters the per-epoch function-evaluation cost.
 """
 
 from __future__ import annotations
 
-import time
-
 import numpy as np
 
+from ..telemetry import telemetry_session
 from ..training import TrainConfig, Trainer
 from ..data import train_val_test_split
 from .common import build_model, regression_dataset
@@ -18,14 +20,19 @@ from .paper_values import TABLE5_TIME
 from .reporting import TableResult
 from .scale import Scale, get_scale
 
-__all__ = ["run_table5", "measure_epoch_seconds"]
+__all__ = ["run_table5", "measure_epoch_seconds", "measure_epoch_telemetry"]
 
 _MODELS = list(TABLE5_TIME)
 
 
-def measure_epoch_seconds(model_name: str, scale: Scale, seed: int = 0,
-                          repeats: int = 1) -> float:
-    """Median wall-clock time of one training epoch on USHCN interp."""
+def measure_epoch_telemetry(model_name: str, scale: Scale, seed: int = 0,
+                            repeats: int = 1) -> dict:
+    """Train ``repeats`` epochs on USHCN interp under telemetry.
+
+    Returns ``{"seconds": median epoch seconds, "nfev": mean ODE function
+    evaluations per epoch}`` (``nfev`` is 0 for solver-free models), both
+    read back from the metrics registry rather than ad-hoc stopwatches.
+    """
     dataset = regression_dataset("USHCN", "interpolation", scale, seed=seed)
     train_set, _, _ = train_val_test_split(
         dataset, 0.6, 0.2, np.random.default_rng(seed + 1))
@@ -33,12 +40,20 @@ def measure_epoch_seconds(model_name: str, scale: Scale, seed: int = 0,
     trainer = Trainer(model, "regression", TrainConfig(
         epochs=1, batch_size=scale.batch_reg, lr=scale.lr, seed=seed))
     rng = np.random.default_rng(seed)
-    times = []
-    for _ in range(repeats):
-        start = time.perf_counter()
-        trainer.train_epoch(train_set, rng)
-        times.append(time.perf_counter() - start)
-    return float(np.median(times))
+    with telemetry_session() as session:
+        for _ in range(repeats):
+            trainer.train_epoch(train_set, rng)
+        epoch_hist = session.registry.histogram("train.epoch_seconds")
+        seconds = epoch_hist.percentile(50)
+        nfev = session.registry.counter("solver.nfev").value / repeats
+    return {"seconds": float(seconds), "nfev": float(nfev)}
+
+
+def measure_epoch_seconds(model_name: str, scale: Scale, seed: int = 0,
+                          repeats: int = 1) -> float:
+    """Median wall-clock time of one training epoch on USHCN interp."""
+    return measure_epoch_telemetry(model_name, scale, seed=seed,
+                                   repeats=repeats)["seconds"]
 
 
 def run_table5(scale: Scale | None = None,
@@ -48,13 +63,16 @@ def run_table5(scale: Scale | None = None,
     models = models or _MODELS
     result = TableResult(
         title=f"Table V - efficiency on USHCN interpolation [{scale.name}]",
-        columns=["Complexity", "s/epoch", "s/epoch (paper)"],
+        columns=["Complexity", "s/epoch", "NFE/epoch", "s/epoch (paper)"],
         notes=["absolute times are CPU+numpy vs the paper's GPU; compare "
-               "relative ordering"])
+               "relative ordering",
+               "NFE/epoch counts ODE right-hand-side evaluations "
+               "(0 = no ODE solver)"])
     for name in models:
         complexity, paper_sec = TABLE5_TIME.get(name, ("-", None))
-        sec = measure_epoch_seconds(name, scale)
-        result.add_row(name, [complexity, sec,
+        measured = measure_epoch_telemetry(name, scale)
+        result.add_row(name, [complexity, measured["seconds"],
+                              int(measured["nfev"]),
                               "-" if paper_sec is None else f"{paper_sec}"])
     return result
 

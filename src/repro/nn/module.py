@@ -62,6 +62,28 @@ class Module:
     def num_parameters(self) -> int:
         return sum(p.size for p in self.parameters())
 
+    def flops_per_obs(self) -> int:
+        """Rough multiply-add count per observation processed.
+
+        Dense layers touch each weight once per input (one multiply, one
+        add), so 2x the parameter count is the standard estimate.  Models
+        whose cost is dominated by something other than their parameters
+        (e.g. an adaptive ODE solve) should override this.
+        """
+        return 2 * self.num_parameters()
+
+    def describe(self) -> dict:
+        """Structured summary used by telemetry and the CLI.
+
+        Subclasses extend the returned dict with architecture-specific
+        fields (solver method, latent sizes, task heads, ...).
+        """
+        return {
+            "class": type(self).__name__,
+            "num_parameters": self.num_parameters(),
+            "flops_per_obs": self.flops_per_obs(),
+        }
+
     def train(self, mode: bool = True) -> "Module":
         for module in self.modules():
             object.__setattr__(module, "training", mode)

@@ -8,10 +8,13 @@ from .dopri5 import PIController, dopri5_integrate, dopri5_solve, \
     initial_step_size
 from .fixed import FIXED_STEPPERS, STEP_NFEV, euler_step, midpoint_step, \
     rk4_step
+from .options import SolverOptions, validate_times
 from .stats import SolverStats
 
 __all__ = [
     "odeint",
+    "SolverOptions",
+    "validate_times",
     "odeint_adjoint",
     "odeint_event",
     "METHODS",

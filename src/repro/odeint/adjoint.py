@@ -19,8 +19,9 @@ import numpy as np
 
 from ..autodiff import Tensor, no_grad
 from ..nn import Module
+from ..telemetry import get_registry
 from .fixed import FIXED_STEPPERS, STEP_NFEV
-from .interface import _validate_times
+from .options import UNSET, SolverOptions, resolve_options, validate_times
 from .stats import SolverStats
 
 __all__ = ["odeint_adjoint"]
@@ -44,12 +45,20 @@ def _vjp(func: Module, t: float, y_value: np.ndarray,
 
 
 def odeint_adjoint(func: Module, y0: Tensor, t: Sequence[float],
-                   method: str = "rk4", step_size: float | None = None,
-                   return_stats: bool = False):
+                   method: str = "rk4",
+                   options: SolverOptions | None = None,
+                   return_stats: bool = False,
+                   step_size: float | None = UNSET):
     """Drop-in for :func:`repro.odeint.odeint` using the adjoint backward.
 
     ``func`` must be a Module so its parameters are discoverable; gradients
     are accumulated directly into ``func``'s parameters and into ``y0``.
+
+    Solver settings travel in the same
+    :class:`~repro.odeint.SolverOptions` object ``odeint`` takes (only
+    ``step_size`` applies to the fixed-grid methods supported here);
+    passing ``step_size=`` directly still works with a
+    ``DeprecationWarning``.
 
     With ``return_stats=True`` returns ``(solution, SolverStats)``.  The
     stats record is shared with the backward closure: at return time it
@@ -59,7 +68,10 @@ def odeint_adjoint(func: Module, y0: Tensor, t: Sequence[float],
     """
     if method not in FIXED_STEPPERS:
         raise ValueError("odeint_adjoint supports fixed-grid methods only")
-    times = _validate_times(t)
+    times = validate_times(t)
+    opts = resolve_options(options, {"step_size": step_size},
+                           caller="odeint_adjoint").validate_for(method)
+    step_size = opts.step_size
     stepper = FIXED_STEPPERS[method]
     params = list(func.parameters())
     stats = SolverStats(method=f"adjoint[{method}]")
@@ -84,6 +96,7 @@ def odeint_adjoint(func: Module, y0: Tensor, t: Sequence[float],
     solution = np.stack(states, axis=0)
 
     def backward(grad_outputs: np.ndarray) -> tuple[np.ndarray | None, ...]:
+        nfev_before = stats.nfev
         adj_y = np.array(grad_outputs[-1], copy=True)
         adj_params = [np.zeros_like(p.data) for p in params]
 
@@ -124,8 +137,14 @@ def odeint_adjoint(func: Module, y0: Tensor, t: Sequence[float],
 
         for p, g in zip(params, adj_params):
             p.grad = g if p.grad is None else p.grad + g
+        registry = get_registry()
+        if registry.enabled:
+            delta = stats.nfev - nfev_before
+            registry.inc(f"solver.{stats.method}.backward_nfev", delta)
+            registry.inc("solver.nfev", delta)
         return (adj_y,)
 
+    stats.publish(get_registry())
     out = Tensor(solution)
     if y0.requires_grad or any(p.requires_grad for p in params):
         out.requires_grad = True

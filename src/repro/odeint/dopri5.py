@@ -40,6 +40,7 @@ from typing import Callable, Sequence
 import numpy as np
 
 from ..autodiff import Tensor, no_grad, stack
+from .options import validate_times
 from .stats import SolverStats
 
 __all__ = ["dopri5_integrate", "dopri5_solve", "PIController",
@@ -298,8 +299,15 @@ def dopri5_solve(func: OdeFunc, y0: Tensor, times: Sequence[float],
     every requested time along a new leading axis (``times[0]`` maps to
     ``y0``) and ``stats`` is the :class:`~repro.odeint.SolverStats` record
     of the solve.
+
+    ``times`` must be strictly monotonic but may run in either direction;
+    decreasing grids integrate backwards in time (the dense-output emission
+    loop follows the integration direction - see
+    ``tests/odeint/test_reverse_time.py``).  Before this validation a
+    non-monotonic grid silently produced dense-output extrapolations with
+    ``theta`` outside [0, 1].
     """
-    times = np.asarray(times, dtype=np.float64).reshape(-1)
+    times = validate_times(times)
     outputs, stats = _dopri5_core(func, y0, times, rtol, atol,
                                   first_step, max_steps)
     return stack(outputs, axis=0), stats

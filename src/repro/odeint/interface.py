@@ -6,11 +6,17 @@ methods are differentiable by backprop through the solver's internal Tensor
 expressions; :mod:`repro.odeint.adjoint` offers the memory-light continuous
 adjoint alternative.
 
+Solver tunables travel in a single :class:`~repro.odeint.SolverOptions`
+object (``odeint(..., options=SolverOptions(rtol=1e-6))``); the historical
+per-method kwargs still work but emit one ``DeprecationWarning`` per call.
+
 The ``dopri5`` method runs **one** continuous adaptive integration across
 the whole time grid: the tuned step size carries over between output times
 and intermediate times are answered by the dense-output interpolant (see
 :mod:`repro.odeint.dopri5`).  Every call can also report what it cost via
-``return_stats=True``, which returns ``(solution, SolverStats)``.
+``return_stats=True``, which returns ``(solution, SolverStats)``; when the
+process-wide telemetry registry is enabled the same stats are published as
+``solver.<method>.*`` counters automatically.
 """
 
 from __future__ import annotations
@@ -18,12 +24,12 @@ from __future__ import annotations
 import math
 from typing import Callable, Sequence
 
-import numpy as np
-
 from ..autodiff import Tensor, stack
+from ..telemetry import get_registry
 from .adams import AdamsBashforthMoulton
 from .dopri5 import dopri5_solve
 from .fixed import FIXED_STEPPERS, STEP_NFEV
+from .options import UNSET, SolverOptions, resolve_options, validate_times
 from .stats import CountingFunc, SolverStats
 
 __all__ = ["odeint", "METHODS", "ADAPTIVE_METHODS"]
@@ -33,24 +39,19 @@ OdeFunc = Callable[[float, Tensor], Tensor]
 METHODS = ("euler", "midpoint", "rk4", "implicit_adams", "dopri5")
 ADAPTIVE_METHODS = ("dopri5",)
 
-
-def _validate_times(t: Sequence[float]) -> np.ndarray:
-    times = np.asarray(t, dtype=np.float64).reshape(-1)
-    if times.size < 2:
-        raise ValueError("odeint needs at least two time points")
-    diffs = np.diff(times)
-    if not (np.all(diffs > 0) or np.all(diffs < 0)):
-        raise ValueError("time points must be strictly monotonic")
-    return times
+# Backwards-compatible alias; the shared implementation lives in
+# .options so dopri5_solve can validate without a circular import.
+_validate_times = validate_times
 
 
 def odeint(func: OdeFunc, y0: Tensor, t: Sequence[float],
-           method: str = "rk4", step_size: float | None = None,
-           rtol: float = 1e-5, atol: float = 1e-7,
-           corrector_iters: int = 1,
-           first_step: float | None = None,
-           max_steps: int = 10_000,
-           return_stats: bool = False):
+           method: str = "rk4", options: SolverOptions | None = None,
+           return_stats: bool = False,
+           step_size: float | None = UNSET,
+           rtol: float = UNSET, atol: float = UNSET,
+           corrector_iters: int = UNSET,
+           first_step: float | None = UNSET,
+           max_steps: int = UNSET):
     """Integrate an ODE and evaluate at times ``t``.
 
     Parameters
@@ -62,20 +63,15 @@ def odeint(func: OdeFunc, y0: Tensor, t: Sequence[float],
         Initial state at ``t[0]``.
     t:
         Strictly monotonic sequence of output times (first entry = initial
-        time).
+        time).  Decreasing grids integrate backwards in time.
     method:
         One of ``euler | midpoint | rk4 | implicit_adams | dopri5``.
-    step_size:
-        Maximum internal step for the **fixed-grid** methods; defaults to
-        the spacing of ``t`` (one step per interval).  Rejected for
-        ``dopri5``, which controls its own step - use ``first_step``.
-    rtol, atol:
-        Error tolerances for the adaptive ``dopri5`` method.
-    first_step:
-        Optional initial step magnitude for ``dopri5`` (the HNW starting
-        heuristic is used otherwise).  Rejected for fixed-grid methods.
-    max_steps:
-        Trial-step budget for ``dopri5``.
+    options:
+        :class:`~repro.odeint.SolverOptions` carrying every tunable
+        (``step_size``, ``rtol``, ``atol``, ``corrector_iters``,
+        ``first_step``, ``max_steps``).  The same names are still accepted
+        as direct kwargs for backwards compatibility, with a
+        ``DeprecationWarning``; mixing both styles raises ``TypeError``.
     return_stats:
         When True, return ``(solution, SolverStats)`` instead of just the
         solution.
@@ -88,34 +84,34 @@ def odeint(func: OdeFunc, y0: Tensor, t: Sequence[float],
     times = _validate_times(t)
     if method not in METHODS:
         raise ValueError(f"unknown method {method!r}; choose from {METHODS}")
+    opts = resolve_options(
+        options,
+        {"step_size": step_size, "rtol": rtol, "atol": atol,
+         "corrector_iters": corrector_iters, "first_step": first_step,
+         "max_steps": max_steps},
+        caller="odeint").validate_for(method)
 
     if method == "dopri5":
-        if step_size is not None:
-            raise ValueError(
-                "dopri5 is adaptive: 'step_size' only applies to fixed-grid "
-                "methods. Pass 'first_step' to seed the adaptive controller.")
-        solution, stats = dopri5_solve(func, y0, times, rtol=rtol, atol=atol,
-                                       first_step=first_step,
-                                       max_steps=max_steps)
+        solution, stats = dopri5_solve(func, y0, times, rtol=opts.rtol,
+                                       atol=opts.atol,
+                                       first_step=opts.first_step,
+                                       max_steps=opts.max_steps)
+        stats.publish(get_registry())
         return (solution, stats) if return_stats else solution
-
-    if first_step is not None:
-        raise ValueError(
-            "'first_step' only applies to the adaptive dopri5 method; "
-            "fixed-grid methods take 'step_size'.")
 
     stats = SolverStats(method=method)
     outputs: list[Tensor] = [y0]
     y = y0
+    h_max = opts.step_size
 
     if method == "implicit_adams":
         counted = CountingFunc(func, stats)
         solver = AdamsBashforthMoulton(counted,
-                                       corrector_iters=corrector_iters)
+                                       corrector_iters=opts.corrector_iters)
         last_dt = None
         for t0, t1 in zip(times[:-1], times[1:]):
             span = float(t1 - t0)
-            n_sub = max(1, math.ceil(abs(span) / step_size)) if step_size else 1
+            n_sub = max(1, math.ceil(abs(span) / h_max)) if h_max else 1
             dt = span / n_sub
             if last_dt is not None and abs(dt - last_dt) > 1e-12:
                 # ABM history is only valid on a uniform grid.
@@ -128,12 +124,13 @@ def odeint(func: OdeFunc, y0: Tensor, t: Sequence[float],
             stats.steps += n_sub
             outputs.append(y)
         solution = stack(outputs, axis=0)
+        stats.publish(get_registry())
         return (solution, stats) if return_stats else solution
 
     stepper = FIXED_STEPPERS[method]
     for t0, t1 in zip(times[:-1], times[1:]):
         span = float(t1 - t0)
-        n_sub = max(1, math.ceil(abs(span) / step_size)) if step_size else 1
+        n_sub = max(1, math.ceil(abs(span) / h_max)) if h_max else 1
         dt = span / n_sub
         tau = float(t0)
         for _ in range(n_sub):
@@ -143,4 +140,5 @@ def odeint(func: OdeFunc, y0: Tensor, t: Sequence[float],
         outputs.append(y)
     stats.nfev = stats.steps * STEP_NFEV[method]
     solution = stack(outputs, axis=0)
+    stats.publish(get_registry())
     return (solution, stats) if return_stats else solution

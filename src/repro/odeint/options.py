@@ -1,0 +1,146 @@
+"""Consolidated solver configuration: :class:`SolverOptions`.
+
+``odeint`` grew one keyword per solver family (``step_size`` for fixed
+grids, ``rtol``/``atol``/``first_step``/``max_steps`` for dopri5,
+``corrector_iters`` for implicit Adams).  Following torchdiffeq's
+``options=`` idiom, all of them now live on one dataclass::
+
+    from repro.odeint import SolverOptions, odeint
+    sol = odeint(f, y0, t, method="dopri5",
+                 options=SolverOptions(rtol=1e-6, atol=1e-8))
+
+The old per-method kwargs keep working through a deprecation shim
+(:func:`resolve_options`) that emits exactly one ``DeprecationWarning`` per
+call and converts them into a ``SolverOptions``.  Mixing both styles in a
+single call is an error.
+"""
+
+from __future__ import annotations
+
+import warnings
+from dataclasses import dataclass, fields
+from typing import Sequence
+
+import numpy as np
+
+__all__ = ["SolverOptions", "resolve_options", "validate_times", "UNSET"]
+
+
+def validate_times(t: Sequence[float]) -> np.ndarray:
+    """Check a time grid is strictly monotonic (either direction).
+
+    Shared by ``odeint``, ``odeint_adjoint`` and ``dopri5_solve`` so no
+    solver path - in particular dopri5's dense-output emission loop, which
+    walks the grid in integration order - can ever see a non-monotonic
+    grid.  Returns the grid as a float64 1-D array.
+    """
+    times = np.asarray(t, dtype=np.float64).reshape(-1)
+    if times.size < 2:
+        raise ValueError("odeint needs at least two time points")
+    diffs = np.diff(times)
+    if not (np.all(diffs > 0) or np.all(diffs < 0)):
+        raise ValueError("time points must be strictly monotonic")
+    return times
+
+
+class _Unset:
+    """Sentinel distinguishing 'not passed' from an explicit None."""
+
+    __slots__ = ()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "<UNSET>"
+
+
+UNSET = _Unset()
+
+
+@dataclass(frozen=True)
+class SolverOptions:
+    """Every tunable of every ``odeint`` method in one place.
+
+    Methods ignore the fields that do not apply to them, except for the two
+    historical safety checks: ``step_size`` is rejected by ``dopri5`` (use
+    ``first_step``) and ``first_step`` is rejected by fixed-grid methods.
+
+    Attributes
+    ----------
+    step_size:
+        Maximum internal step for fixed-grid methods; defaults to one step
+        per output interval.
+    rtol, atol:
+        Error tolerances for the adaptive ``dopri5`` method.
+    corrector_iters:
+        Corrector sweeps for ``implicit_adams`` (1 = PECE).
+    first_step:
+        Initial step magnitude for ``dopri5`` (HNW heuristic otherwise).
+    max_steps:
+        Trial-step budget for ``dopri5``.
+    """
+
+    step_size: float | None = None
+    rtol: float = 1e-5
+    atol: float = 1e-7
+    corrector_iters: int = 1
+    first_step: float | None = None
+    max_steps: int = 10_000
+
+    def __post_init__(self) -> None:
+        if self.step_size is not None and self.step_size <= 0:
+            raise ValueError("step_size must be positive")
+        if self.rtol <= 0 or self.atol <= 0:
+            raise ValueError("rtol and atol must be positive")
+        if self.corrector_iters < 1:
+            raise ValueError("corrector_iters must be >= 1")
+        if self.first_step is not None and self.first_step <= 0:
+            raise ValueError("first_step must be positive")
+        if self.max_steps < 1:
+            raise ValueError("max_steps must be >= 1")
+
+    def validate_for(self, method: str) -> "SolverOptions":
+        """Apply the per-method exclusivity rules; returns self."""
+        if method == "dopri5" and self.step_size is not None:
+            raise ValueError(
+                "dopri5 is adaptive: 'step_size' only applies to fixed-grid "
+                "methods. Pass 'first_step' to seed the adaptive controller.")
+        if method != "dopri5" and self.first_step is not None:
+            raise ValueError(
+                "'first_step' only applies to the adaptive dopri5 method; "
+                "fixed-grid methods take 'step_size'.")
+        return self
+
+
+_FIELD_NAMES = tuple(f.name for f in fields(SolverOptions))
+
+
+def resolve_options(options: SolverOptions | None,
+                    legacy: dict, *, caller: str,
+                    stacklevel: int = 3) -> SolverOptions:
+    """Merge the ``options=`` object with legacy per-method kwargs.
+
+    ``legacy`` maps field names to values, with :data:`UNSET` marking
+    kwargs the caller did not pass.  Passing any legacy kwarg emits exactly
+    one :class:`DeprecationWarning` (regardless of how many were given);
+    combining legacy kwargs with ``options=`` raises ``TypeError``.
+    """
+    supplied = {k: v for k, v in legacy.items() if v is not UNSET}
+    unknown = set(supplied) - set(_FIELD_NAMES)
+    if unknown:
+        raise TypeError(f"{caller}: unknown solver kwargs {sorted(unknown)}")
+    if options is not None:
+        if supplied:
+            raise TypeError(
+                f"{caller}: pass solver settings either via options= or via "
+                f"the legacy kwargs {sorted(supplied)}, not both")
+        if not isinstance(options, SolverOptions):
+            raise TypeError(
+                f"{caller}: options must be a SolverOptions, "
+                f"got {type(options).__name__}")
+        return options
+    if supplied:
+        warnings.warn(
+            f"{caller}: per-method solver kwargs ({', '.join(sorted(supplied))}) "
+            "are deprecated; pass odeint(..., options=SolverOptions(...)) "
+            "instead", DeprecationWarning, stacklevel=stacklevel)
+        return SolverOptions(**supplied)
+    return SolverOptions()

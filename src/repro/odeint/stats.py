@@ -72,6 +72,25 @@ class SolverStats:
                 self.freeze_counts = self.freeze_counts + other.freeze_counts
         return self
 
+    def publish(self, registry) -> None:
+        """Re-emit this record as counters on a telemetry registry.
+
+        Called by every solver entry point, so fixed-step and adams solves
+        report NFE through the same ``solver.<method>.*`` metrics dopri5
+        uses.  A no-op when ``registry`` is None or disabled, which keeps
+        the uninstrumented hot path at one branch per solve.
+        """
+        if registry is None or not getattr(registry, "enabled", False):
+            return
+        method = self.method or "unknown"
+        registry.inc(f"solver.{method}.solves")
+        registry.inc(f"solver.{method}.nfev", self.nfev)
+        registry.inc(f"solver.{method}.steps", self.steps)
+        registry.inc(f"solver.{method}.rejects", self.rejects)
+        registry.inc(f"solver.{method}.dense_evals", self.dense_evals)
+        registry.inc("solver.nfev", self.nfev)
+        registry.event("solver", method, **self.as_dict())
+
     def as_dict(self) -> dict:
         """JSON-serialisable summary (freeze counts reduced to totals)."""
         out = {

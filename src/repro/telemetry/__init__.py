@@ -1,0 +1,52 @@
+"""Unified run telemetry: metrics registry, tracing, tape profiling.
+
+Three pieces, designed to be wired through every layer of the stack:
+
+* :mod:`repro.telemetry.registry` - process-wide counters, gauges,
+  histograms and hierarchical wall-clock timers.  Disabled by default;
+  instrumented hot paths cost one branch per event when off.
+* :mod:`repro.telemetry.trace` - structured JSONL event stream per run
+  (spans, epochs, solver stats, final summary) plus a validating reader.
+* :mod:`repro.autodiff.profiler` (re-exported here) - opt-in per-op
+  forward/backward timing and allocation counts on the autodiff tape.
+
+See ``docs/telemetry.md`` for the full tour and the trace schema.
+"""
+
+from ..autodiff.profiler import (
+    OpRecord,
+    TapeProfiler,
+    active_profiler,
+    tape_profile,
+)
+from .registry import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    TimerStat,
+    get_registry,
+    set_registry,
+)
+from .session import TelemetrySession, telemetry_session
+from .trace import TRACE_SCHEMA_VERSION, TraceWriter, iter_trace, read_trace
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "TimerStat",
+    "MetricsRegistry",
+    "get_registry",
+    "set_registry",
+    "TraceWriter",
+    "read_trace",
+    "iter_trace",
+    "TRACE_SCHEMA_VERSION",
+    "TelemetrySession",
+    "telemetry_session",
+    "OpRecord",
+    "TapeProfiler",
+    "tape_profile",
+    "active_profiler",
+]

@@ -1,0 +1,304 @@
+"""Process-wide metrics registry: counters, gauges, histograms, timers.
+
+The registry is the single sink for run telemetry across the stack: solvers
+publish :class:`~repro.odeint.SolverStats` into it, the trainer reports
+per-epoch loss/grad-norm/throughput, and the tape profiler contributes
+per-op summaries.  Everything is plain python + numpy so a registry
+summary serialises straight into the JSONL trace
+(:mod:`repro.telemetry.trace`).
+
+Design constraints:
+
+* **Near-zero overhead when disabled.**  Every mutating entry point checks
+  ``self.enabled`` first and returns immediately (timers hand back a shared
+  null context manager), so instrumented hot paths cost one attribute load
+  and one branch per event when telemetry is off.
+* **Hierarchical timers.**  ``registry.timer("train")`` nested inside
+  another timer produces a slash-joined path (``train/forward``), tracked
+  per thread, so phase breakdowns reflect the call structure.  Self-time
+  (total minus the time spent in child spans) is derived at summary time.
+* **JSON-friendly.**  :meth:`MetricsRegistry.summary` returns only dicts,
+  lists, strs and floats.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import threading
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "TimerStat",
+    "MetricsRegistry",
+    "get_registry",
+    "set_registry",
+]
+
+
+@dataclass
+class Counter:
+    """Monotonically increasing count (events, NFE, epochs, ...)."""
+
+    value: float = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.value += amount
+
+
+@dataclass
+class Gauge:
+    """Last-written value (throughput, best validation loss, ...)."""
+
+    value: float = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+
+class Histogram:
+    """Streaming collection of observations with percentile queries.
+
+    Values are kept verbatim up to ``max_samples``; beyond that the buffer
+    degrades into uniform reservoir sampling so long runs stay bounded while
+    percentiles remain representative.  ``count``/``total``/``min``/``max``
+    are always exact.
+    """
+
+    __slots__ = ("values", "count", "total", "min", "max", "max_samples",
+                 "_rng")
+
+    def __init__(self, max_samples: int = 65536):
+        self.values: list[float] = []
+        self.count = 0
+        self.total = 0.0
+        self.min = float("inf")
+        self.max = float("-inf")
+        self.max_samples = max_samples
+        self._rng = np.random.default_rng(0)
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        self.count += 1
+        self.total += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+        if len(self.values) < self.max_samples:
+            self.values.append(value)
+        else:
+            # Vitter's algorithm R: keep each of the n observations with
+            # probability max_samples / n.
+            slot = int(self._rng.integers(0, self.count))
+            if slot < self.max_samples:
+                self.values[slot] = value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def percentile(self, q: float) -> float:
+        """Percentile in [0, 100] over the retained samples."""
+        if not self.values:
+            return 0.0
+        return float(np.percentile(self.values, q))
+
+    def as_dict(self) -> dict:
+        if not self.count:
+            return {"count": 0}
+        return {
+            "count": self.count,
+            "mean": self.mean,
+            "min": self.min,
+            "max": self.max,
+            "p50": self.percentile(50),
+            "p90": self.percentile(90),
+            "p99": self.percentile(99),
+        }
+
+
+@dataclass
+class TimerStat:
+    """Accumulated wall-clock for one timer path."""
+
+    total: float = 0.0
+    count: int = 0
+    #: summed time of direct children, maintained on span exit so
+    #: ``self_time`` needs no tree walk.
+    child_total: float = 0.0
+
+    @property
+    def self_time(self) -> float:
+        return max(0.0, self.total - self.child_total)
+
+
+class _NullContext:
+    """Shared do-nothing context manager for disabled timers."""
+
+    __slots__ = ()
+
+    def __enter__(self):
+        return None
+
+    def __exit__(self, *exc):
+        return False
+
+
+_NULL_CONTEXT = _NullContext()
+
+
+@dataclass
+class MetricsRegistry:
+    """Named counters/gauges/histograms plus hierarchical wall timers."""
+
+    enabled: bool = False
+    counters: dict[str, Counter] = field(default_factory=dict)
+    gauges: dict[str, Gauge] = field(default_factory=dict)
+    histograms: dict[str, Histogram] = field(default_factory=dict)
+    timers: dict[str, TimerStat] = field(default_factory=dict)
+    #: optional :class:`repro.telemetry.trace.TraceWriter`; when attached,
+    #: timer spans are mirrored into the trace as ``span`` events.
+    trace: object | None = None
+
+    def __post_init__(self):
+        self._local = threading.local()
+
+    # -- lifecycle ------------------------------------------------------
+    def enable(self) -> None:
+        self.enabled = True
+
+    def disable(self) -> None:
+        self.enabled = False
+
+    def reset(self) -> None:
+        """Drop all recorded metrics (the enabled flag is unchanged)."""
+        self.counters.clear()
+        self.gauges.clear()
+        self.histograms.clear()
+        self.timers.clear()
+
+    def attach_trace(self, writer) -> None:
+        self.trace = writer
+
+    def detach_trace(self) -> None:
+        self.trace = None
+
+    # -- metric accessors (auto-create) ---------------------------------
+    def counter(self, name: str) -> Counter:
+        c = self.counters.get(name)
+        if c is None:
+            c = self.counters[name] = Counter()
+        return c
+
+    def gauge(self, name: str) -> Gauge:
+        g = self.gauges.get(name)
+        if g is None:
+            g = self.gauges[name] = Gauge()
+        return g
+
+    def histogram(self, name: str) -> Histogram:
+        h = self.histograms.get(name)
+        if h is None:
+            h = self.histograms[name] = Histogram()
+        return h
+
+    # -- recording shortcuts (no-ops when disabled) ---------------------
+    def inc(self, name: str, amount: float = 1.0) -> None:
+        if self.enabled:
+            self.counter(name).inc(amount)
+
+    def set_gauge(self, name: str, value: float) -> None:
+        if self.enabled:
+            self.gauge(name).set(value)
+
+    def observe(self, name: str, value: float) -> None:
+        if self.enabled:
+            self.histogram(name).observe(value)
+
+    def event(self, kind: str, name: str = "", **fields) -> None:
+        """Forward a structured event to the attached trace, if any."""
+        if self.enabled and self.trace is not None:
+            self.trace.emit(kind, name, **fields)
+
+    # -- hierarchical timers --------------------------------------------
+    def _timer_stack(self) -> list[str]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
+
+    def timer(self, name: str):
+        """Context manager timing a span nested under the active span.
+
+        ``with reg.timer("train"): with reg.timer("forward"): ...``
+        accumulates into paths ``train`` and ``train/forward``.
+        """
+        if not self.enabled:
+            return _NULL_CONTEXT
+        return self._span(name)
+
+    @contextlib.contextmanager
+    def _span(self, name: str):
+        stack = self._timer_stack()
+        path = "/".join(stack + [name]) if stack else name
+        parent = "/".join(stack) if stack else None
+        stack.append(name)
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            elapsed = time.perf_counter() - start
+            stack.pop()
+            stat = self.timers.get(path)
+            if stat is None:
+                stat = self.timers[path] = TimerStat()
+            stat.total += elapsed
+            stat.count += 1
+            if parent is not None:
+                pstat = self.timers.get(parent)
+                if pstat is None:
+                    pstat = self.timers[parent] = TimerStat()
+                pstat.child_total += elapsed
+            if self.trace is not None:
+                self.trace.emit("span", path, dur_s=elapsed)
+
+    # -- summaries ------------------------------------------------------
+    def timer_summary(self) -> dict[str, dict]:
+        return {
+            path: {"total_s": s.total, "count": s.count,
+                   "self_s": s.self_time}
+            for path, s in sorted(self.timers.items())
+        }
+
+    def summary(self) -> dict:
+        """JSON-serialisable snapshot of every recorded metric."""
+        return {
+            "counters": {k: c.value for k, c in sorted(self.counters.items())},
+            "gauges": {k: g.value for k, g in sorted(self.gauges.items())},
+            "histograms": {k: h.as_dict()
+                           for k, h in sorted(self.histograms.items())},
+            "timers": self.timer_summary(),
+        }
+
+
+#: the process-wide registry; disabled until a telemetry session starts.
+_GLOBAL_REGISTRY = MetricsRegistry(enabled=False)
+
+
+def get_registry() -> MetricsRegistry:
+    """The process-wide registry every instrumented layer publishes to."""
+    return _GLOBAL_REGISTRY
+
+
+def set_registry(registry: MetricsRegistry) -> MetricsRegistry:
+    """Swap the process-wide registry (returns the previous one)."""
+    global _GLOBAL_REGISTRY
+    previous = _GLOBAL_REGISTRY
+    _GLOBAL_REGISTRY = registry
+    return previous

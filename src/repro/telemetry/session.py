@@ -1,0 +1,69 @@
+"""One-call wiring of registry + trace + tape profiler for a run.
+
+``telemetry_session`` is the entry point every consumer uses (the CLI's
+``--trace`` flag, ``cli profile``, ``experiments.table5_efficiency``, and
+tests)::
+
+    with telemetry_session(trace_path="run.jsonl", profile_tape=True) as s:
+        trainer.fit(train, val)
+    print(s.summary()["counters"]["solver.dopri5.nfev"])
+
+Entering the session resets and enables the process-wide registry (and
+attaches the trace writer / tape profiler when requested); leaving it
+writes the registry summary as the trace's final ``summary`` event,
+restores the registry's previous enabled state, and keeps the collected
+metrics readable on the returned session object.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from dataclasses import dataclass
+from pathlib import Path
+
+from ..autodiff.profiler import TapeProfiler, tape_profile
+from .registry import MetricsRegistry, get_registry
+from .trace import TraceWriter
+
+__all__ = ["TelemetrySession", "telemetry_session"]
+
+
+@dataclass
+class TelemetrySession:
+    """Handles for the live run: registry, optional profiler and trace."""
+
+    registry: MetricsRegistry
+    profiler: TapeProfiler | None = None
+    trace: TraceWriter | None = None
+
+    def summary(self) -> dict:
+        """Registry summary, plus the per-op profile when one was taken."""
+        out = self.registry.summary()
+        if self.profiler is not None:
+            out["tape"] = self.profiler.as_dict()
+        return out
+
+
+@contextlib.contextmanager
+def telemetry_session(trace_path: str | Path | None = None,
+                      profile_tape: bool = False,
+                      registry: MetricsRegistry | None = None):
+    """Enable telemetry for the block; yields a :class:`TelemetrySession`."""
+    reg = registry if registry is not None else get_registry()
+    was_enabled = reg.enabled
+    reg.reset()
+    reg.enable()
+    writer = TraceWriter(trace_path) if trace_path is not None else None
+    if writer is not None:
+        reg.attach_trace(writer)
+    session = TelemetrySession(registry=reg, trace=writer)
+    profiler_cm = tape_profile() if profile_tape else contextlib.nullcontext()
+    try:
+        with profiler_cm as profiler:
+            session.profiler = profiler
+            yield session
+    finally:
+        if writer is not None:
+            reg.detach_trace()
+            writer.close(summary=session.summary())
+        reg.enabled = was_enabled

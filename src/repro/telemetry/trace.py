@@ -1,0 +1,122 @@
+"""Structured per-run trace export: a JSONL event stream plus summary.
+
+Every line of a trace file is one JSON object with at least:
+
+``ts``
+    Seconds since the writer was opened (monotonic clock).
+``kind``
+    Event type.  The core kinds are:
+
+    * ``meta``    - written first: schema version, wall-clock start time;
+    * ``span``    - a completed timer span (``name`` = slash path,
+      ``dur_s``);
+    * ``epoch``   - one training epoch (loss, grad norm, throughput);
+    * ``val``     - one validation pass and the early-stopping state;
+    * ``solver``  - one ODE solve's :class:`~repro.odeint.SolverStats`;
+    * ``model``   - a model's ``describe()`` record;
+    * ``summary`` - written last: the full registry summary and, when tape
+      profiling was on, the per-op table.
+``name``
+    Event label (may be empty).
+
+Extra keys are event-specific and intentionally open-ended; consumers must
+ignore keys they do not know.  ``read_trace`` round-trips a file back into
+a list of dicts and is what the tier-2 smoke check uses to validate traces.
+"""
+
+from __future__ import annotations
+
+import datetime
+import json
+import time
+from pathlib import Path
+from typing import IO, Iterator
+
+__all__ = ["TRACE_SCHEMA_VERSION", "TraceWriter", "read_trace", "iter_trace"]
+
+TRACE_SCHEMA_VERSION = 1
+
+
+def _jsonable(value):
+    """Coerce numpy scalars/arrays so json.dumps never chokes."""
+    if hasattr(value, "item") and getattr(value, "size", None) == 1:
+        return value.item()
+    if hasattr(value, "tolist"):
+        return value.tolist()
+    if isinstance(value, dict):
+        return {k: _jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    return value
+
+
+class TraceWriter:
+    """Append-only JSONL event stream for one run."""
+
+    def __init__(self, path: str | Path | IO[str]):
+        if hasattr(path, "write"):
+            self._fh: IO[str] = path
+            self._owns_fh = False
+            self.path = getattr(path, "name", "<stream>")
+        else:
+            self.path = str(path)
+            self._fh = open(path, "w", encoding="utf-8")
+            self._owns_fh = True
+        self._t0 = time.perf_counter()
+        self._closed = False
+        self.emit("meta", "trace",
+                  schema=TRACE_SCHEMA_VERSION,
+                  started=datetime.datetime.now(
+                      datetime.timezone.utc).isoformat())
+
+    def emit(self, kind: str, name: str = "", **fields) -> None:
+        """Write one event line (no-op after close)."""
+        if self._closed:
+            return
+        record = {"ts": round(time.perf_counter() - self._t0, 9),
+                  "kind": kind, "name": name}
+        for key, value in fields.items():
+            record[key] = _jsonable(value)
+        self._fh.write(json.dumps(record) + "\n")
+
+    def close(self, summary: dict | None = None) -> None:
+        """Optionally write a final ``summary`` event, then close."""
+        if self._closed:
+            return
+        if summary is not None:
+            self.emit("summary", "run", **_jsonable(summary))
+        self._closed = True
+        self._fh.flush()
+        if self._owns_fh:
+            self._fh.close()
+
+    def __enter__(self) -> "TraceWriter":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        self.close()
+        return False
+
+
+def iter_trace(path: str | Path) -> Iterator[dict]:
+    """Yield trace events one line at a time (raises on malformed lines)."""
+    with open(path, encoding="utf-8") as fh:
+        for lineno, line in enumerate(fh, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                event = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise ValueError(
+                    f"{path}:{lineno}: invalid trace line: {exc}") from exc
+            if not isinstance(event, dict) or "kind" not in event:
+                raise ValueError(
+                    f"{path}:{lineno}: trace events must be objects with "
+                    f"a 'kind' key, got {event!r}")
+            yield event
+
+
+def read_trace(path: str | Path) -> list[dict]:
+    """Load and validate a whole JSONL trace file."""
+    return list(iter_trace(path))

@@ -17,7 +17,7 @@ from typing import Callable
 import numpy as np
 
 from ..data import Dataset, train_val_test_split
-from .trainer import TrainConfig, Trainer
+from .trainer import EvalResult, TrainConfig, Trainer
 
 __all__ = ["grid", "SweepTrial", "SweepResult", "run_sweep"]
 
@@ -38,6 +38,9 @@ class SweepTrial:
     params: dict
     score: float
     seconds: float
+    #: full validation metrics for the trial (newer call sites populate it;
+    #: ``score`` stays for positional compatibility and display).
+    result: EvalResult | None = None
 
 
 @dataclass
@@ -49,6 +52,14 @@ class SweepResult:
     def best(self) -> SweepTrial:
         if not self.trials:
             raise ValueError("sweep produced no trials")
+        if all(t.result is not None for t in self.trials):
+            # Direction comes from the metric itself via
+            # EvalResult.is_improvement, not from our flag.
+            winner = self.trials[0]
+            for t in self.trials[1:]:
+                if t.result.is_improvement(winner.result):
+                    winner = t
+            return winner
         key = (min if self.lower_is_better else max)
         return key(self.trials, key=lambda t: t.score)
 
@@ -112,5 +123,5 @@ def run_sweep(model_factory: Callable[[dict], object],
                 "-is-better")
         result.trials.append(SweepTrial(
             params=dict(params), score=float(score),
-            seconds=time.perf_counter() - start))
+            seconds=time.perf_counter() - start, result=outcome))
     return result

@@ -10,6 +10,7 @@ import numpy as np
 
 from ..autodiff import Tensor, cross_entropy, masked_mse_loss, no_grad
 from ..data import Batch, Dataset, batch_iter, collate
+from ..telemetry import get_registry
 from .metrics import RunningAverage, scaled_mse, top1_accuracy
 from .optim import Adam, clip_grad_norm
 
@@ -51,6 +52,39 @@ class EvalResult:
         """Direction of :attr:`primary`: True for accuracy, False for MSE."""
         return self.accuracy is not None
 
+    def is_improvement(self, other: "EvalResult | None", *,
+                       metric: str = "primary",
+                       min_delta: float = 0.0) -> bool:
+        """Whether this result beats ``other`` (the incumbent best).
+
+        Centralizes the direction logic so call sites never compare
+        ``primary`` values without consulting :attr:`higher_is_better`.
+
+        Parameters
+        ----------
+        other:
+            The current best result, or None (anything improves on None).
+        metric:
+            ``"primary"`` compares accuracy/MSE in the metric's natural
+            direction; ``"loss"`` compares validation loss (lower wins),
+            which is what early stopping uses.
+        min_delta:
+            Required margin; ties and sub-margin changes do not count.
+        """
+        if metric not in ("primary", "loss"):
+            raise ValueError(f"unknown metric {metric!r}")
+        if other is None:
+            return True
+        if metric == "loss":
+            return self.loss < other.loss - min_delta
+        if self.higher_is_better != other.higher_is_better:
+            raise ValueError(
+                "cannot compare results from different tasks "
+                "(accuracy vs MSE)")
+        if self.higher_is_better:
+            return self.primary > other.primary + min_delta
+        return self.primary < other.primary - min_delta
+
 
 @dataclass
 class TrainHistory:
@@ -61,7 +95,15 @@ class TrainHistory:
 
 
 class Trainer:
-    """Train/evaluate a model on a classification or regression task."""
+    """Train/evaluate a model on a classification or regression task.
+
+    When the process-wide telemetry registry is enabled (see
+    :mod:`repro.telemetry`), each epoch reports timing under the
+    ``train/epoch`` timer tree, observes ``train.loss`` /
+    ``train.grad_norm`` / ``train.epoch_seconds`` histograms, and gauges
+    ``train.obs_per_sec`` throughput.  With the registry disabled (the
+    default) the overhead is a handful of attribute checks per epoch.
+    """
 
     def __init__(self, model, task: str, config: TrainConfig | None = None,
                  scheduler_factory=None):
@@ -89,16 +131,46 @@ class Trainer:
             return cross_entropy(out, batch.labels)
         return masked_mse_loss(out, batch.target_values, batch.target_mask)
 
-    def train_epoch(self, dataset: Dataset, rng: np.random.Generator) -> float:
+    def train_epoch(self, dataset: Dataset, rng: np.random.Generator,
+                    max_batches: int | None = None) -> float:
+        """One pass over ``dataset``; returns the mean training loss.
+
+        ``max_batches`` caps the number of optimizer steps (used by the
+        profiling CLI to time a handful of representative steps).
+        """
+        reg = get_registry()
         self.model.train()
         avg = RunningAverage()
-        for batch in batch_iter(dataset, self.config.batch_size, rng):
-            self.optimizer.zero_grad()
-            loss = self.loss_fn(batch)
-            loss.backward()
-            clip_grad_norm(self.optimizer.params, self.config.clip_norm)
-            self.optimizer.step()
-            avg.update(loss.item(), batch.batch_size)
+        epoch_start = time.perf_counter()
+        num_obs = 0.0
+        with reg.timer("train/epoch"):
+            for i, batch in enumerate(batch_iter(dataset,
+                                                 self.config.batch_size, rng)):
+                if max_batches is not None and i >= max_batches:
+                    break
+                self.optimizer.zero_grad()
+                with reg.timer("forward"):
+                    loss = self.loss_fn(batch)
+                with reg.timer("backward"):
+                    loss.backward()
+                with reg.timer("optimizer"):
+                    grad_norm = clip_grad_norm(self.optimizer.params,
+                                               self.config.clip_norm)
+                    self.optimizer.step()
+                avg.update(loss.item(), batch.batch_size)
+                if reg.enabled:
+                    reg.observe("train.loss", loss.item())
+                    if grad_norm is not None:
+                        reg.observe("train.grad_norm", float(grad_norm))
+                    num_obs += float(np.asarray(batch.mask).sum())
+        if reg.enabled:
+            elapsed = time.perf_counter() - epoch_start
+            reg.inc("train.epochs")
+            reg.observe("train.epoch_seconds", elapsed)
+            if elapsed > 0:
+                reg.set_gauge("train.obs_per_sec", num_obs / elapsed)
+            reg.event("epoch", "train", loss=avg.value, seconds=elapsed,
+                      obs=num_obs)
         return avg.value
 
     def evaluate(self, dataset: Dataset, batch_size: int | None = None) -> EvalResult:
@@ -130,9 +202,10 @@ class Trainer:
     def fit(self, train_set: Dataset, val_set: Dataset | None = None) -> TrainHistory:
         """Train with early stopping; restores the best-validation weights."""
         cfg = self.config
+        reg = get_registry()
         rng = np.random.default_rng(cfg.seed)
         history = TrainHistory()
-        best_val = float("inf")
+        best: EvalResult | None = None
         best_state = None
         bad_epochs = 0
 
@@ -147,17 +220,30 @@ class Trainer:
             if val_set is not None and len(val_set):
                 val = self.evaluate(val_set)
                 history.val_loss.append(val.loss)
-                if val.loss < best_val - 1e-9:
-                    best_val = val.loss
+                # Early stopping selects on validation *loss*: comparable
+                # across tasks and what the paper's patience rule tracks.
+                if val.is_improvement(best, metric="loss", min_delta=1e-9):
+                    best = val
                     best_state = self.model.state_dict()
                     history.best_epoch = epoch
                     bad_epochs = 0
                 else:
                     bad_epochs += 1
+                if reg.enabled:
+                    reg.set_gauge("train.best_val_loss",
+                                  best.loss if best else val.loss)
+                    reg.set_gauge("train.bad_epochs", bad_epochs)
+                    reg.event("val", "val", epoch=epoch, loss=val.loss,
+                              primary=val.primary,
+                              best_epoch=history.best_epoch,
+                              bad_epochs=bad_epochs)
                 if cfg.verbose:
                     print(f"epoch {epoch:3d} train {train_loss:.4f} "
                           f"val {val.loss:.4f}")
                 if bad_epochs >= cfg.patience:
+                    if reg.enabled:
+                        reg.event("val", "early_stop", epoch=epoch,
+                                  best_epoch=history.best_epoch)
                     break
             elif cfg.verbose:
                 print(f"epoch {epoch:3d} train {train_loss:.4f}")

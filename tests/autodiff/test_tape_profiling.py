@@ -1,0 +1,108 @@
+"""Tape profiler: bit-identical gradients, op attribution, installation."""
+
+import numpy as np
+import pytest
+
+from repro.autodiff import Tensor, active_profiler, tape_profile
+from repro.nn import MLP
+
+
+def _loss(x: Tensor, net: MLP) -> Tensor:
+    return (net(x) ** 2).sum()
+
+
+class TestBitIdenticalGradients:
+    def test_profiled_run_matches_unprofiled_exactly(self):
+        rng = np.random.default_rng(0)
+        data = rng.normal(size=(4, 3))
+
+        def run():
+            net = MLP(3, [8], 2, np.random.default_rng(1))
+            x = Tensor(data.copy(), requires_grad=True)
+            _loss(x, net).backward()
+            return x.grad.copy(), [p.grad.copy() for p in net.parameters()]
+
+        plain_x, plain_p = run()
+        with tape_profile():
+            prof_x, prof_p = run()
+        # Bit-identical, not just close: the wrapper must forward grads
+        # untouched.
+        assert np.array_equal(plain_x, prof_x)
+        for a, b in zip(plain_p, prof_p):
+            assert np.array_equal(a, b)
+
+    def test_forward_values_unchanged(self):
+        x = Tensor(np.linspace(0, 1, 5))
+        plain = (x.exp() * 2.0).data.copy()
+        with tape_profile():
+            profiled = (x.exp() * 2.0).data.copy()
+        assert np.array_equal(plain, profiled)
+
+
+class TestOpAttribution:
+    def test_counts_match_ops_executed(self):
+        x = Tensor(np.ones(4), requires_grad=True)
+        with tape_profile() as prof:
+            y = (x * 2.0) + 1.0
+            y.sum().backward()
+        assert prof.ops["__mul__"].count == 1
+        assert prof.ops["__add__"].count == 1
+        assert prof.ops["sum"].count == 1
+        assert prof.nodes >= 3
+        assert prof.backward_passes == 1
+
+    def test_backward_calls_recorded(self):
+        x = Tensor(np.ones(4), requires_grad=True)
+        with tape_profile() as prof:
+            (x * 3.0).sum().backward()
+        assert prof.ops["__mul__"].backward_calls == 1
+        assert prof.ops["__mul__"].backward_s >= 0.0
+
+    def test_allocation_bytes_counted(self):
+        x = Tensor(np.ones(100))
+        with tape_profile() as prof:
+            _ = x * 2.0
+        # 100 float64s in the output node.
+        assert prof.ops["__mul__"].bytes_allocated == 800
+        assert prof.bytes_allocated >= 800
+
+    def test_table_sorting_and_top_k(self):
+        x = Tensor(np.ones(4), requires_grad=True)
+        with tape_profile() as prof:
+            y = x
+            for _ in range(5):
+                y = y * 2.0
+            y = y + 1.0
+            y.sum().backward()
+        rows = prof.table(top_k=1, sort="count")
+        assert len(rows) == 1
+        assert rows[0]["op"] == "__mul__"
+        with pytest.raises(ValueError, match="sort"):
+            prof.table(sort="bogus")
+
+
+class TestInstallation:
+    def test_uninstalled_outside_context(self):
+        assert active_profiler() is None
+        with tape_profile() as prof:
+            assert active_profiler() is prof
+        assert active_profiler() is None
+
+    def test_uninstalled_after_exception(self):
+        with pytest.raises(RuntimeError):
+            with tape_profile():
+                raise RuntimeError("boom")
+        assert active_profiler() is None
+
+    def test_nesting_rejected(self):
+        with tape_profile():
+            with pytest.raises(RuntimeError, match="already active"):
+                with tape_profile():
+                    pass
+
+    def test_no_recording_outside_block(self):
+        with tape_profile() as prof:
+            pass
+        x = Tensor(np.ones(3))
+        _ = x * 2.0
+        assert prof.nodes == 0

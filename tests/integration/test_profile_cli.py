@@ -1,0 +1,109 @@
+"""The ``profile`` CLI subcommand and telemetry wiring through training."""
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+from repro.data import load_synthetic, train_val_test_split
+from repro.telemetry import get_registry, read_trace, telemetry_session
+from repro.training import TrainConfig, Trainer
+
+
+@pytest.fixture(autouse=True)
+def smoke_scale(monkeypatch):
+    monkeypatch.setenv("REPRO_SCALE", "smoke")
+
+
+class TestProfileCommand:
+    def test_profile_prints_op_table_and_phases(self, capsys):
+        assert main(["profile", "--dataset", "synthetic",
+                     "--steps", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "num_parameters" in out
+        assert "phase breakdown" in out
+        assert "tape ops" in out
+        assert "forward" in out and "backward" in out
+
+    def test_profile_dopri5_nfe_cross_check(self, capsys):
+        assert main(["profile", "--dataset", "synthetic", "--steps", "2",
+                     "--method", "dopri5"]) == 0
+        out = capsys.readouterr().out
+        assert "solver.dopri5.nfev" in out
+        assert "NFE cross-check [OK]" in out
+
+    def test_profile_writes_valid_trace(self, tmp_path, capsys):
+        trace = tmp_path / "prof.jsonl"
+        assert main(["profile", "--dataset", "synthetic", "--steps", "1",
+                     "--trace", str(trace)]) == 0
+        events = read_trace(trace)
+        assert events[0]["kind"] == "meta"
+        summary = events[-1]
+        assert summary["kind"] == "summary"
+        assert summary["tape"]["nodes"] > 0
+
+    def test_profile_method_rejected_for_baselines(self):
+        with pytest.raises(SystemExit):
+            main(["profile", "--dataset", "synthetic", "--model", "GRU",
+                  "--method", "dopri5"])
+
+    def test_registry_disabled_after_profile(self, capsys):
+        main(["profile", "--dataset", "synthetic", "--steps", "1"])
+        capsys.readouterr()
+        assert not get_registry().enabled
+
+
+class TestTrainerTelemetry:
+    def test_epoch_metrics_recorded(self):
+        ds = load_synthetic(num_series=24, grid_points=16, seed=0)
+        train_set, val_set, _ = train_val_test_split(
+            ds, 0.5, 0.25, np.random.default_rng(1))
+        from repro.baselines import build_baseline
+        model = build_baseline("GRU", input_dim=ds.input_dim, hidden_dim=8,
+                              num_classes=ds.num_classes)
+        trainer = Trainer(model, "classification",
+                          TrainConfig(epochs=2, batch_size=8, patience=5))
+        with telemetry_session() as session:
+            trainer.fit(train_set, val_set)
+        summ = session.summary()
+        assert summ["counters"]["train.epochs"] == 2
+        assert summ["histograms"]["train.loss"]["count"] > 0
+        assert summ["histograms"]["train.epoch_seconds"]["count"] == 2
+        assert summ["gauges"]["train.obs_per_sec"] > 0
+        assert "train.best_val_loss" in summ["gauges"]
+        timers = summ["timers"]
+        assert "train/epoch" in timers
+        assert "train/epoch/forward" in timers
+        assert "train/epoch/backward" in timers
+
+    def test_solver_counters_from_training(self):
+        ds = load_synthetic(num_series=12, grid_points=12, seed=0)
+        train_set, _, _ = train_val_test_split(
+            ds, 0.5, 0.25, np.random.default_rng(1))
+        from repro.core import DiffODE, DiffODEConfig
+        model = DiffODE(DiffODEConfig(
+            input_dim=ds.input_dim, latent_dim=4, hidden_dim=8, hippo_dim=4,
+            info_dim=4, num_classes=ds.num_classes, step_size=0.25))
+        trainer = Trainer(model, "classification",
+                          TrainConfig(epochs=1, batch_size=6))
+        with telemetry_session() as session:
+            trainer.train_epoch(train_set, np.random.default_rng(0),
+                                max_batches=1)
+        counters = session.summary()["counters"]
+        assert counters["solver.implicit_adams.solves"] >= 1
+        assert counters["solver.nfev"] > 0
+
+    def test_trainer_overhead_free_when_disabled(self):
+        # With telemetry off, nothing may leak into the global registry.
+        ds = load_synthetic(num_series=12, grid_points=12, seed=0)
+        train_set, _, _ = train_val_test_split(
+            ds, 0.5, 0.25, np.random.default_rng(1))
+        from repro.baselines import build_baseline
+        model = build_baseline("GRU", input_dim=ds.input_dim, hidden_dim=8,
+                              num_classes=ds.num_classes)
+        trainer = Trainer(model, "classification",
+                          TrainConfig(epochs=1, batch_size=8))
+        reg = get_registry()
+        reg.reset()  # drop metrics left readable by earlier sessions
+        assert not reg.enabled
+        trainer.train_epoch(train_set, np.random.default_rng(0))
+        assert not reg.counters and not reg.timers

@@ -1,0 +1,140 @@
+"""SolverOptions consolidation: equivalence, deprecation shim, validation."""
+
+import warnings
+
+import numpy as np
+import pytest
+
+from repro.autodiff import Tensor
+from repro.nn import Module, Parameter
+from repro.odeint import SolverOptions, odeint, odeint_adjoint
+
+
+def decay(t, y):
+    return y * Tensor(np.array(-0.7))
+
+
+Y0 = Tensor(np.array([1.0, 2.0]))
+T = np.linspace(0.0, 1.0, 6)
+
+
+class TestSolverOptionsObject:
+    def test_defaults(self):
+        opts = SolverOptions()
+        assert opts.step_size is None
+        assert opts.rtol == 1e-5 and opts.atol == 1e-7
+        assert opts.corrector_iters == 1
+        assert opts.max_steps == 10_000
+
+    def test_frozen(self):
+        with pytest.raises(Exception):
+            SolverOptions().rtol = 1.0
+
+    @pytest.mark.parametrize("kwargs", [
+        {"step_size": 0.0}, {"step_size": -1.0}, {"rtol": 0.0},
+        {"atol": -1e-9}, {"corrector_iters": 0}, {"first_step": 0.0},
+        {"max_steps": 0},
+    ])
+    def test_rejects_invalid_values(self, kwargs):
+        with pytest.raises(ValueError):
+            SolverOptions(**kwargs)
+
+    def test_step_size_rejected_for_dopri5(self):
+        with pytest.raises(ValueError, match="first_step"):
+            odeint(decay, Y0, T, method="dopri5",
+                   options=SolverOptions(step_size=0.1))
+
+    def test_first_step_rejected_for_fixed(self):
+        with pytest.raises(ValueError, match="step_size"):
+            odeint(decay, Y0, T, method="rk4",
+                   options=SolverOptions(first_step=0.1))
+
+
+class TestEquivalence:
+    @pytest.mark.parametrize("method,legacy,opts", [
+        ("rk4", {"step_size": 0.05}, SolverOptions(step_size=0.05)),
+        ("euler", {"step_size": 0.02}, SolverOptions(step_size=0.02)),
+        ("implicit_adams", {"step_size": 0.05, "corrector_iters": 2},
+         SolverOptions(step_size=0.05, corrector_iters=2)),
+        ("dopri5", {"rtol": 1e-6, "atol": 1e-8},
+         SolverOptions(rtol=1e-6, atol=1e-8)),
+    ])
+    def test_options_match_legacy_kwargs(self, method, legacy, opts):
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            old = odeint(decay, Y0, T, method=method, **legacy)
+        new = odeint(decay, Y0, T, method=method, options=opts)
+        assert np.array_equal(old.data, new.data)
+
+    def test_stats_identical_across_styles(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            _, s_old = odeint(decay, Y0, T, method="dopri5", rtol=1e-6,
+                              atol=1e-8, return_stats=True)
+        _, s_new = odeint(decay, Y0, T, method="dopri5",
+                          options=SolverOptions(rtol=1e-6, atol=1e-8),
+                          return_stats=True)
+        assert s_old.nfev == s_new.nfev
+        assert s_old.steps == s_new.steps
+
+
+class TestDeprecationShim:
+    def test_legacy_kwargs_warn_exactly_once(self):
+        with warnings.catch_warnings(record=True) as rec:
+            warnings.simplefilter("always")
+            odeint(decay, Y0, T, method="dopri5", rtol=1e-4, atol=1e-6)
+        dep = [w for w in rec if issubclass(w.category, DeprecationWarning)]
+        assert len(dep) == 1
+        assert "SolverOptions" in str(dep[0].message)
+
+    def test_options_style_does_not_warn(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            odeint(decay, Y0, T, method="rk4",
+                   options=SolverOptions(step_size=0.1))
+
+    def test_defaults_do_not_warn(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            odeint(decay, Y0, T, method="rk4")
+
+    def test_mixing_styles_raises(self):
+        with pytest.raises(TypeError, match="not both"):
+            odeint(decay, Y0, T, method="dopri5",
+                   options=SolverOptions(), rtol=1e-6)
+
+    def test_options_must_be_solver_options(self):
+        with pytest.raises(TypeError, match="SolverOptions"):
+            odeint(decay, Y0, T, method="rk4", options={"step_size": 0.1})
+
+
+class _Decay(Module):
+    def __init__(self):
+        super().__init__()
+        self.a = Parameter(np.array([0.7]))
+
+    def forward(self, t, y):
+        return y * (-self.a)
+
+
+class TestAdjointRouting:
+    def test_adjoint_accepts_options(self):
+        func = _Decay()
+        y0 = Tensor(np.array([[1.0]]), requires_grad=True)
+        sol = odeint_adjoint(func, y0, [0.0, 1.0], method="rk4",
+                             options=SolverOptions(step_size=0.05))
+        sol.sum().backward()
+        assert y0.grad is not None
+
+    def test_adjoint_legacy_step_size_warns_once(self):
+        func = _Decay()
+        y0 = Tensor(np.array([[1.0]]))
+        with warnings.catch_warnings(record=True) as rec:
+            warnings.simplefilter("always")
+            old = odeint_adjoint(func, y0, [0.0, 1.0], method="rk4",
+                                 step_size=0.05)
+        dep = [w for w in rec if issubclass(w.category, DeprecationWarning)]
+        assert len(dep) == 1
+        new = odeint_adjoint(func, y0, [0.0, 1.0], method="rk4",
+                             options=SolverOptions(step_size=0.05))
+        assert np.array_equal(old.data, new.data)

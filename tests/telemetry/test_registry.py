@@ -1,0 +1,167 @@
+"""MetricsRegistry unit tests: counters, histograms, nested timers."""
+
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.telemetry import (
+    MetricsRegistry,
+    get_registry,
+    set_registry,
+)
+from repro.telemetry.registry import Histogram, _NULL_CONTEXT
+
+
+@pytest.fixture
+def reg():
+    return MetricsRegistry(enabled=True)
+
+
+class TestCountersGauges:
+    def test_counter_accumulates(self, reg):
+        reg.inc("solver.nfev", 10)
+        reg.inc("solver.nfev", 5)
+        assert reg.counter("solver.nfev").value == 15
+
+    def test_gauge_keeps_last_value(self, reg):
+        reg.set_gauge("throughput", 10.0)
+        reg.set_gauge("throughput", 3.0)
+        assert reg.gauge("throughput").value == 3.0
+
+    def test_disabled_registry_is_a_noop(self):
+        reg = MetricsRegistry(enabled=False)
+        reg.inc("a")
+        reg.set_gauge("b", 1.0)
+        reg.observe("c", 1.0)
+        assert not reg.counters and not reg.gauges and not reg.histograms
+
+    def test_disabled_timer_is_shared_null_context(self):
+        reg = MetricsRegistry(enabled=False)
+        assert reg.timer("x") is _NULL_CONTEXT
+        with reg.timer("x"):
+            pass
+        assert not reg.timers
+
+    def test_reset_clears_metrics_but_not_enabled(self, reg):
+        reg.inc("a")
+        with reg.timer("t"):
+            pass
+        reg.reset()
+        assert not reg.counters and not reg.timers
+        assert reg.enabled
+
+
+class TestHistogram:
+    def test_exact_stats(self):
+        h = Histogram()
+        for v in [1.0, 2.0, 3.0, 4.0]:
+            h.observe(v)
+        assert h.count == 4
+        assert h.total == 10.0
+        assert h.min == 1.0 and h.max == 4.0
+        assert h.mean == 2.5
+
+    def test_percentiles(self):
+        h = Histogram()
+        for v in range(101):
+            h.observe(float(v))
+        assert h.percentile(50) == 50.0
+        assert h.percentile(0) == 0.0
+        assert h.percentile(100) == 100.0
+        d = h.as_dict()
+        assert d["p50"] == 50.0 and d["p90"] == 90.0
+
+    def test_reservoir_keeps_exact_aggregates(self):
+        h = Histogram(max_samples=16)
+        values = np.arange(1000, dtype=float)
+        for v in values:
+            h.observe(v)
+        assert h.count == 1000
+        assert h.total == values.sum()
+        assert h.min == 0.0 and h.max == 999.0
+        assert len(h.values) == 16
+        # Reservoir percentiles stay in range even though downsampled.
+        assert 0.0 <= h.percentile(50) <= 999.0
+
+    def test_empty_histogram(self):
+        h = Histogram()
+        assert h.percentile(50) == 0.0
+        assert h.as_dict() == {"count": 0}
+
+
+class TestTimers:
+    def test_nesting_builds_slash_paths(self, reg):
+        with reg.timer("train"):
+            with reg.timer("forward"):
+                pass
+            with reg.timer("backward"):
+                pass
+        assert set(reg.timers) == {"train", "train/forward", "train/backward"}
+        assert reg.timers["train"].count == 1
+        assert reg.timers["train/forward"].count == 1
+
+    def test_self_time_excludes_children(self, reg):
+        with reg.timer("outer"):
+            with reg.timer("inner"):
+                time.sleep(0.02)
+        outer = reg.timers["outer"]
+        assert outer.child_total >= 0.02
+        assert outer.self_time <= outer.total - outer.child_total + 1e-9
+        assert outer.self_time < outer.total
+
+    def test_repeated_spans_accumulate(self, reg):
+        for _ in range(3):
+            with reg.timer("step"):
+                pass
+        assert reg.timers["step"].count == 3
+
+    def test_exception_still_records(self, reg):
+        with pytest.raises(RuntimeError):
+            with reg.timer("boom"):
+                raise RuntimeError("x")
+        assert reg.timers["boom"].count == 1
+
+    def test_threads_get_independent_stacks(self, reg):
+        def worker():
+            with reg.timer("w"):
+                time.sleep(0.01)
+
+        with reg.timer("main"):
+            t = threading.Thread(target=worker)
+            t.start()
+            t.join()
+        # The worker's span must NOT be nested under "main".
+        assert "w" in reg.timers
+        assert "main/w" not in reg.timers
+
+
+class TestSummary:
+    def test_summary_is_json_friendly(self, reg):
+        import json
+
+        reg.inc("c", 2)
+        reg.set_gauge("g", 1.5)
+        reg.observe("h", 0.5)
+        with reg.timer("t"):
+            pass
+        json.dumps(reg.summary())  # must not raise
+
+    def test_timer_summary_has_self_time(self, reg):
+        with reg.timer("a"):
+            with reg.timer("b"):
+                pass
+        summ = reg.timer_summary()
+        assert summ["a"]["self_s"] <= summ["a"]["total_s"]
+
+
+class TestGlobalRegistry:
+    def test_swap_and_restore(self):
+        fresh = MetricsRegistry(enabled=True)
+        previous = set_registry(fresh)
+        try:
+            assert get_registry() is fresh
+        finally:
+            set_registry(previous)
+        assert get_registry() is previous

@@ -1,0 +1,114 @@
+"""TraceWriter / read_trace round-trip and telemetry_session wiring."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.telemetry import (
+    TRACE_SCHEMA_VERSION,
+    TraceWriter,
+    get_registry,
+    read_trace,
+    telemetry_session,
+)
+
+
+class TestTraceRoundTrip:
+    def test_meta_first_summary_last(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        writer = TraceWriter(path)
+        writer.emit("epoch", "train", loss=0.5)
+        writer.close(summary={"counters": {"a": 1}})
+        events = read_trace(path)
+        assert events[0]["kind"] == "meta"
+        assert events[0]["schema"] == TRACE_SCHEMA_VERSION
+        assert events[-1]["kind"] == "summary"
+        assert events[-1]["counters"] == {"a": 1}
+
+    def test_timestamps_monotonic(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        with TraceWriter(path) as writer:
+            for i in range(5):
+                writer.emit("span", f"s{i}", dur_s=0.0)
+        ts = [e["ts"] for e in read_trace(path)]
+        assert ts == sorted(ts)
+
+    def test_numpy_values_serialise(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        with TraceWriter(path) as writer:
+            writer.emit("solver", "dopri5", nfev=np.int64(42),
+                        err=np.float64(0.5), vec=np.array([1.0, 2.0]))
+        event = read_trace(path)[1]
+        assert event["nfev"] == 42
+        assert event["vec"] == [1.0, 2.0]
+
+    def test_emit_after_close_is_noop(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        writer = TraceWriter(path)
+        writer.close()
+        writer.emit("epoch", "late")
+        assert all(e["kind"] != "epoch" for e in read_trace(path))
+
+    def test_malformed_line_raises(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"ts": 0, "kind": "meta"}\nnot json\n')
+        with pytest.raises(ValueError, match="invalid trace line"):
+            read_trace(path)
+
+    def test_missing_kind_raises(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text(json.dumps({"ts": 0.0}) + "\n")
+        with pytest.raises(ValueError, match="kind"):
+            read_trace(path)
+
+
+class TestTelemetrySession:
+    def test_enables_then_restores_registry(self):
+        reg = get_registry()
+        assert not reg.enabled
+        with telemetry_session() as session:
+            assert session.registry is reg
+            assert reg.enabled
+        assert not reg.enabled
+
+    def test_summary_collects_metrics(self):
+        with telemetry_session() as session:
+            session.registry.inc("solver.nfev", 7)
+            with session.registry.timer("phase"):
+                pass
+        summ = session.summary()
+        assert summ["counters"]["solver.nfev"] == 7
+        assert "phase" in summ["timers"]
+
+    def test_trace_file_gets_summary_event(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        with telemetry_session(trace_path=path) as session:
+            session.registry.inc("c")
+            session.registry.event("epoch", "train", loss=1.0)
+        events = read_trace(path)
+        kinds = [e["kind"] for e in events]
+        assert kinds[0] == "meta" and kinds[-1] == "summary"
+        assert "epoch" in kinds
+        assert events[-1]["counters"]["c"] == 1
+
+    def test_spans_mirrored_into_trace(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        with telemetry_session(trace_path=path) as session:
+            with session.registry.timer("outer"):
+                with session.registry.timer("inner"):
+                    pass
+        spans = [e for e in read_trace(path) if e["kind"] == "span"]
+        names = {e["name"] for e in spans}
+        assert names == {"outer", "outer/inner"}
+        assert all(e["dur_s"] >= 0 for e in spans)
+
+    def test_profile_tape_session_exposes_profiler(self):
+        from repro.autodiff import Tensor
+
+        with telemetry_session(profile_tape=True) as session:
+            x = Tensor(np.ones(3), requires_grad=True)
+            (x * 2.0).sum().backward()
+        assert session.profiler is not None
+        assert session.profiler.nodes > 0
+        assert session.summary()["tape"]["nodes"] == session.profiler.nodes

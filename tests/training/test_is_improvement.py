@@ -1,0 +1,57 @@
+"""EvalResult.is_improvement: the one place comparison direction lives."""
+
+import pytest
+
+from repro.training import EvalResult
+
+
+def acc(a, loss=1.0):
+    return EvalResult(loss=loss, accuracy=a)
+
+
+def mse(m, loss=1.0):
+    return EvalResult(loss=loss, mse=m)
+
+
+class TestPrimaryMetric:
+    def test_accuracy_higher_wins(self):
+        assert acc(0.9).is_improvement(acc(0.8))
+        assert not acc(0.8).is_improvement(acc(0.9))
+
+    def test_mse_lower_wins(self):
+        assert mse(0.1).is_improvement(mse(0.2))
+        assert not mse(0.2).is_improvement(mse(0.1))
+
+    def test_ties_are_not_improvements(self):
+        assert not acc(0.9).is_improvement(acc(0.9))
+        assert not mse(0.1).is_improvement(mse(0.1))
+
+    def test_min_delta_margin(self):
+        assert not acc(0.901).is_improvement(acc(0.9), min_delta=0.01)
+        assert acc(0.92).is_improvement(acc(0.9), min_delta=0.01)
+        assert not mse(0.099).is_improvement(mse(0.1), min_delta=0.01)
+
+    def test_none_incumbent_always_improved_on(self):
+        assert acc(0.0).is_improvement(None)
+        assert mse(1e9).is_improvement(None)
+
+    def test_cross_task_comparison_rejected(self):
+        with pytest.raises(ValueError, match="different tasks"):
+            acc(0.9).is_improvement(mse(0.1))
+
+
+class TestLossMetric:
+    def test_lower_loss_wins_for_both_tasks(self):
+        assert acc(0.5, loss=0.3).is_improvement(acc(0.9, loss=0.4),
+                                                 metric="loss")
+        assert mse(0.5, loss=0.3).is_improvement(mse(0.1, loss=0.4),
+                                                 metric="loss")
+
+    def test_loss_min_delta(self):
+        a = acc(0.9, loss=0.5)
+        b = acc(0.9, loss=0.5 - 1e-12)
+        assert not b.is_improvement(a, metric="loss", min_delta=1e-9)
+
+    def test_unknown_metric_rejected(self):
+        with pytest.raises(ValueError, match="unknown metric"):
+            acc(0.9).is_improvement(acc(0.8), metric="f1")
