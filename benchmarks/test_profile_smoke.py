@@ -14,9 +14,13 @@ import pathlib
 import subprocess
 import sys
 
+import pytest
+
 from repro.telemetry import read_trace
 
 REPO_SRC = pathlib.Path(__file__).resolve().parent.parent / "src"
+
+pytestmark = pytest.mark.tier2
 
 
 def test_profile_cli_subprocess(tmp_path):

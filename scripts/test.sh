@@ -1,0 +1,35 @@
+#!/usr/bin/env sh
+# Test lanes.
+#
+#   scripts/test.sh          fast lane: tier-1 only (default pytest config)
+#   scripts/test.sh fast     same as above, explicitly
+#   scripts/test.sh tier2    only the tier-2 subprocess/slow suites
+#   scripts/test.sh full     everything: tier 1 + tier 2
+#
+# Extra arguments after the lane go straight to pytest, e.g.
+#   scripts/test.sh fast tests/parallel -q
+set -eu
+
+cd "$(dirname "$0")/.."
+PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
+export PYTHONPATH
+
+lane="${1:-fast}"
+[ "$#" -gt 0 ] && shift
+
+case "$lane" in
+    fast)
+        exec python -m pytest -x -q "$@"
+        ;;
+    tier2)
+        exec python -m pytest -x -q -m tier2 "$@"
+        ;;
+    full)
+        # Overrides the "not tier2" filter baked into addopts.
+        exec python -m pytest -x -q -m "tier2 or not tier2" "$@"
+        ;;
+    *)
+        echo "usage: scripts/test.sh [fast|tier2|full] [pytest args...]" >&2
+        exit 2
+        ;;
+esac

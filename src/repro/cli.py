@@ -6,6 +6,8 @@ Examples::
         --epochs 30 --save diffode.npz
     python -m repro.cli train --model ODE-RNN --dataset ushcn \
         --task interpolation
+    python -m repro.cli train --model DIFFODE --dataset synthetic \
+        --workers 4
     python -m repro.cli evaluate --checkpoint diffode.npz \
         --dataset synthetic
     python -m repro.cli profile --model DIFFODE --dataset synthetic \
@@ -63,6 +65,10 @@ def build_parser() -> argparse.ArgumentParser:
     train.add_argument("--epochs", type=int, default=None)
     train.add_argument("--lr", type=float, default=None)
     train.add_argument("--seed", type=int, default=0)
+    train.add_argument("--workers", type=int, default=0, metavar="N",
+                       help="gradient-worker processes (0 = in-process; "
+                            "any N trains bit-identically, see "
+                            "docs/architecture.md)")
     train.add_argument("--save", default=None,
                        help="write a .npz checkpoint (DIFFODE only)")
     train.add_argument("--trace", default=None, metavar="OUT.jsonl",
@@ -147,9 +153,11 @@ def _cmd_train(args) -> int:
                     else scale.batch_reg),
         lr=args.lr or scale.lr, weight_decay=scale.weight_decay,
         patience=scale.patience, seed=args.seed, verbose=True)
-    trainer = Trainer(model, task, config)
+    trainer = Trainer(model, task, config, workers=args.workers)
     print(f"training {args.model} on {dataset.name} "
-          f"({len(train_set)} train series, {epochs} epochs max)")
+          f"({len(train_set)} train series, {epochs} epochs max"
+          + (f", {args.workers} gradient workers" if args.workers else "")
+          + ")")
     telemetry = (telemetry_session(trace_path=args.trace)
                  if args.trace else contextlib.nullcontext())
     with telemetry:

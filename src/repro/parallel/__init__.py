@@ -1,0 +1,39 @@
+"""Data-parallel training workers with deterministic gradient reduction.
+
+The subsystem splits every training batch into micro-shards, evaluates
+forward + backward per shard — either in-process (``workers=0``) or on a
+pool of fork workers fed through shared-memory arenas — and combines the
+shard gradients with a fixed-order tree reduction.  Because the shard
+plan and the reduction order depend only on the batch (never on the
+worker count), the resulting parameters are **bit-identical for any
+number of workers**.  See ``docs/architecture.md`` ("Parallel training")
+for the design and the determinism guarantee, and ``docs/telemetry.md``
+for the ``parallel.*`` metrics.
+
+Typical use goes through the trainer::
+
+    Trainer(model, task, config, workers=4).fit(train_set, val_set)
+
+or the CLI: ``python -m repro.cli train --dataset synthetic --workers 4``.
+"""
+
+from .config import DEFAULT_SHARD_SIZE, ParallelConfig
+from .pool import InProcessExecutor, WorkerFailure, WorkerPool, make_executor
+from .reduce import tree_reduce
+from .sharding import plan_shards, shard_batch, shard_lengths
+from .shm import Arena, ArraySpec
+
+__all__ = [
+    "ParallelConfig",
+    "DEFAULT_SHARD_SIZE",
+    "InProcessExecutor",
+    "WorkerPool",
+    "WorkerFailure",
+    "make_executor",
+    "plan_shards",
+    "shard_batch",
+    "shard_lengths",
+    "tree_reduce",
+    "Arena",
+    "ArraySpec",
+]

@@ -1,0 +1,41 @@
+"""Fixed-order tree reduction of per-shard gradient vectors.
+
+Floating-point addition is not associative, so the *shape* of the
+reduction decides the bits of the result.  The pool therefore always
+reduces in the same balanced binary tree over shard indices::
+
+    round 0:  (g0+g1) (g2+g3) (g4+g5) g6
+    round 1:  ((g0+g1)+(g2+g3)) ((g4+g5)+g6)
+    round 2:  the combined gradient
+
+Which worker produced which shard is irrelevant — only the shard order
+(fixed by :func:`~repro.parallel.plan_shards`) enters — so any worker
+count, including the in-process executor, yields bit-identical sums.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["tree_reduce"]
+
+
+def tree_reduce(arrays: list[np.ndarray]) -> tuple[np.ndarray, int]:
+    """Pairwise-reduce ``arrays`` in index order.
+
+    Returns ``(sum, adds)`` where ``adds`` counts the pairwise additions
+    performed (published as the ``parallel.reduce_adds`` counter).
+    """
+    if not arrays:
+        raise ValueError("tree_reduce needs at least one array")
+    level = list(arrays)
+    adds = 0
+    while len(level) > 1:
+        nxt = []
+        for i in range(0, len(level) - 1, 2):
+            nxt.append(level[i] + level[i + 1])
+            adds += 1
+        if len(level) % 2:
+            nxt.append(level[-1])
+        level = nxt
+    return np.asarray(level[0]), adds

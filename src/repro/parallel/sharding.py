@@ -1,0 +1,91 @@
+"""Deterministic shard planning and compact re-collation.
+
+A *shard plan* is a list of index arrays into the batch, a pure function
+of the batch contents and :class:`~repro.parallel.ParallelConfig`
+(``shard_size`` / ``sort_by_length``) — never of the worker count.  The
+plan order doubles as the tree-reduction order, which is what makes the
+combined gradient bit-identical for any number of workers.
+
+:func:`shard_batch` materialises one shard as a stand-alone
+:class:`~repro.data.Batch`, trimming the observation and target axes to
+the shard's own maximum length.  Because :func:`~repro.data.collate` pads
+with mask-0 suffix rows (which contribute exactly zero to every model's
+loss — see ``tests/autodiff/test_properties.py``), trimming changes no
+sample's contribution; it just removes padded-cell compute, which is where
+most of the single-core throughput win of the worker pool comes from on
+long-tailed datasets.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..data import Batch
+from .config import ParallelConfig
+
+__all__ = ["plan_shards", "shard_batch", "shard_lengths"]
+
+
+def shard_lengths(batch: Batch) -> np.ndarray:
+    """Per-row observation counts (the mask is a 1-prefix by collate)."""
+    return np.asarray(batch.mask).sum(axis=1).astype(np.int64)
+
+
+def plan_shards(batch: Batch, config: ParallelConfig) -> list[np.ndarray]:
+    """Split ``batch`` rows into micro-shards of ``config.shard_size``.
+
+    With ``sort_by_length`` the rows are stably ordered by descending
+    observation count first, so shards are length-homogeneous (compact
+    padding) and the longest shard is dispatched first (better tail
+    latency across workers).  Every row appears in exactly one shard.
+    """
+    n = batch.batch_size
+    order = np.arange(n)
+    if config.sort_by_length and n > 1:
+        order = order[np.argsort(-shard_lengths(batch), kind="stable")]
+    size = config.shard_size
+    return [order[start:start + size] for start in range(0, n, size)]
+
+
+def _trim_length(mask: np.ndarray) -> int:
+    """Columns to keep so that every mask-1 entry survives (min 1)."""
+    if mask.size == 0:
+        return mask.shape[1]
+    per_row = mask.shape[1] - np.argmax(mask[:, ::-1] > 0, axis=1)
+    per_row = np.where(mask.max(axis=1) > 0, per_row, 0)
+    return max(int(per_row.max()), 1)
+
+
+def shard_batch(batch: Batch, indices: np.ndarray) -> Batch:
+    """Materialise the shard ``batch[indices]`` with compact padding.
+
+    Arrays are copied (C-contiguous) so the shard can be shipped through
+    shared memory without referencing the parent batch.
+    """
+    idx = np.asarray(indices)
+    mask = np.asarray(batch.mask)[idx]
+    n_keep = _trim_length(mask)
+
+    values = np.ascontiguousarray(np.asarray(batch.values)[idx, :n_keep])
+    times = np.ascontiguousarray(np.asarray(batch.times)[idx, :n_keep])
+    mask = np.ascontiguousarray(mask[:, :n_keep])
+
+    labels = None
+    if batch.labels is not None:
+        labels = np.ascontiguousarray(np.asarray(batch.labels)[idx])
+
+    target_times = target_values = target_mask = None
+    if batch.target_times is not None:
+        tmask = np.asarray(batch.target_mask)[idx]
+        # Trim the query axis by the per-feature mask reduced over features.
+        nq_keep = _trim_length(tmask.max(axis=-1) if tmask.ndim == 3
+                               else tmask)
+        target_times = np.ascontiguousarray(
+            np.asarray(batch.target_times)[idx, :nq_keep])
+        target_values = np.ascontiguousarray(
+            np.asarray(batch.target_values)[idx, :nq_keep])
+        target_mask = np.ascontiguousarray(tmask[:, :nq_keep])
+
+    return Batch(values=values, times=times, mask=mask, labels=labels,
+                 target_times=target_times, target_values=target_values,
+                 target_mask=target_mask)

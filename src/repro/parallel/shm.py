@@ -1,0 +1,100 @@
+"""Zero-copy array transport between the trainer and its fork workers.
+
+Payload arrays never travel through pickle: the parent allocates anonymous
+shared mappings (``mmap.mmap(-1, n)`` is ``MAP_SHARED | MAP_ANONYMOUS`` on
+POSIX), forked workers inherit the mappings, and only tiny descriptors —
+``(offset, shape, dtype)`` triples — cross the control pipe.  Compared to
+``multiprocessing.shared_memory`` this needs no names, no files under
+``/dev/shm`` bookkeeping and no resource-tracker workarounds; the mapping
+disappears when the last process drops it.
+
+The one constraint is that a mapping cannot grow in place: when a step
+needs more room than was provisioned, the pool allocates a fresh arena and
+respawns its workers (cheap with ``fork``; counted by the
+``parallel.regrows`` telemetry counter).
+"""
+
+from __future__ import annotations
+
+import mmap
+from typing import NamedTuple
+
+import numpy as np
+
+__all__ = ["ArraySpec", "Arena", "aligned_capacity"]
+
+_ALIGN = 64
+
+
+class ArraySpec(NamedTuple):
+    """Picklable descriptor of an array stored in an :class:`Arena`."""
+
+    offset: int
+    shape: tuple[int, ...]
+    dtype: str
+
+
+class Arena:
+    """A bump allocator over one anonymous shared mapping.
+
+    The parent ``reset()``s and ``push()``es arrays each step; workers
+    ``view()`` the specs they receive.  Aliasing is safe because the
+    protocol is strictly phase-ordered: the parent finishes writing before
+    dispatch, workers finish reading/writing before they reply.
+    """
+
+    def __init__(self, capacity: int):
+        capacity = max(int(capacity), mmap.PAGESIZE)
+        self._mmap = mmap.mmap(-1, capacity)
+        self._buf = np.frombuffer(self._mmap, dtype=np.uint8)
+        self.capacity = capacity
+        self._cursor = 0
+
+    # -- parent side ----------------------------------------------------
+    def reset(self) -> None:
+        self._cursor = 0
+
+    def would_fit(self, nbytes: int) -> bool:
+        return self._cursor + _pad(nbytes) <= self.capacity
+
+    def push(self, array: np.ndarray) -> ArraySpec:
+        """Copy ``array`` into the arena; returns its descriptor."""
+        array = np.ascontiguousarray(array)
+        nbytes = array.nbytes
+        if not self.would_fit(nbytes):
+            raise MemoryError(f"arena overflow: need {nbytes} bytes at "
+                              f"{self._cursor}/{self.capacity}")
+        offset = self._cursor
+        dst = self._buf[offset:offset + nbytes]
+        dst[:] = array.reshape(-1).view(np.uint8)
+        self._cursor += _pad(nbytes)
+        return ArraySpec(offset, tuple(array.shape), array.dtype.str)
+
+    # -- either side ----------------------------------------------------
+    def view(self, spec: ArraySpec) -> np.ndarray:
+        """Writable ndarray view of a stored array (no copy)."""
+        dtype = np.dtype(spec.dtype)
+        count = int(np.prod(spec.shape, dtype=np.int64)) if spec.shape else 1
+        flat = np.frombuffer(self._mmap, dtype=dtype, count=count,
+                             offset=spec.offset)
+        return flat.reshape(spec.shape)
+
+    def read(self, spec: ArraySpec) -> np.ndarray:
+        """Copy of a stored array (safe to keep across resets)."""
+        return self.view(spec).copy()
+
+    def close(self) -> None:
+        # Views keep the mapping alive via the buffer protocol; dropping
+        # our references is enough, an explicit mmap.close() would raise
+        # BufferError while worker-side views exist.
+        self._buf = None
+
+
+def _pad(nbytes: int) -> int:
+    return (nbytes + _ALIGN - 1) // _ALIGN * _ALIGN
+
+
+def aligned_capacity(sizes) -> int:
+    """Arena capacity needed to ``push`` arrays of the given byte sizes
+    (each allocation rounds up to the alignment boundary)."""
+    return sum(_pad(int(n)) for n in sizes)

@@ -10,6 +10,13 @@ Three pieces, designed to be wired through every layer of the stack:
 * :mod:`repro.autodiff.profiler` (re-exported here) - opt-in per-op
   forward/backward timing and allocation counts on the autodiff tape.
 
+Publishers include the solvers (``solver.<method>.*`` counters), the
+trainer (``train.*``) and the data-parallel worker pool
+(``parallel.*``: per-worker shard counts and busy-seconds, shard-size
+histograms, tree-reduction adds, and the respawn/retry/regrow fault
+counters).  Workers themselves run with the registry disabled; the
+parent publishes on their behalf from the step replies.
+
 See ``docs/telemetry.md`` for the full tour and the trace schema.
 """
 

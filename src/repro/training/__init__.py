@@ -1,6 +1,7 @@
 """Training substrate: optimizers, metrics, trainer."""
 
-from .optim import SGD, Adam, AdamW, clip_grad_norm
+from .optim import SGD, Adam, AdamW, clip_grad_norm, pack_grads, unpack_grads
+from .objective import batch_grad, compute_loss, loss_weight
 from .metrics import MSE_SCALE, RunningAverage, mae, rmse, scaled_mse, top1_accuracy
 from .schedule import (
     ConstantLR,
@@ -24,6 +25,11 @@ __all__ = [
     "Adam",
     "AdamW",
     "clip_grad_norm",
+    "pack_grads",
+    "unpack_grads",
+    "compute_loss",
+    "loss_weight",
+    "batch_grad",
     "top1_accuracy",
     "scaled_mse",
     "MSE_SCALE",

@@ -1,0 +1,60 @@
+"""Task objectives shared by the serial trainer and the parallel workers.
+
+The gradient-worker pool (:mod:`repro.parallel`) must compute exactly the
+same per-shard loss and gradients as the in-process path, so the loss
+construction lives here — import-light and free of any trainer or pool
+state — and both sides call into it.
+
+The sharded gradient semantics are defined in terms of these functions:
+each shard ``s`` contributes ``weight(s) * grad(mean_loss(s))`` and the
+combined gradient is the fixed-order tree reduction of those terms divided
+by the total weight.  For classification the weight is the shard's row
+count (so the combination reproduces the batch-mean cross-entropy); for
+regression it is the shard's target-mask mass (reproducing
+:func:`~repro.autodiff.masked_mse_loss` over the full batch).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..autodiff import Tensor, cross_entropy, masked_mse_loss
+from .optim import pack_grads
+
+__all__ = ["compute_loss", "loss_weight", "batch_grad"]
+
+
+def compute_loss(model, task: str, batch) -> Tensor:
+    """Scalar training loss for ``batch``; mirrors ``Trainer.loss_fn``.
+
+    Models with their own training objective (e.g. the VAE Latent ODE with
+    an ELBO) expose ``compute_loss(batch)``; everything else goes through
+    ``forward`` plus the task's standard loss.
+    """
+    if hasattr(model, "compute_loss"):
+        return model.compute_loss(batch)
+    out = model.forward(batch)
+    if task == "classification":
+        return cross_entropy(out, batch.labels)
+    return masked_mse_loss(out, batch.target_values, batch.target_mask)
+
+
+def loss_weight(model, task: str, batch) -> float:
+    """Combination weight of ``batch``'s mean-style loss (see module doc)."""
+    if (task == "regression" and batch.target_mask is not None
+            and not hasattr(model, "compute_loss")):
+        return max(float(np.asarray(batch.target_mask).sum()), 1.0)
+    return float(batch.batch_size)
+
+
+def batch_grad(model, task: str, batch) -> tuple[np.ndarray, float]:
+    """Forward + backward on ``batch``; returns ``(flat_grads, loss)``.
+
+    Zeroes the model's gradients first so the returned flat vector (in
+    ``model.parameters()`` order, see :func:`~repro.training.pack_grads`)
+    contains exactly this batch's contribution.
+    """
+    model.zero_grad()
+    loss = compute_loss(model, task, batch)
+    loss.backward()
+    return pack_grads(list(model.parameters())), float(loss.item())

@@ -6,7 +6,8 @@ import numpy as np
 
 from ..nn import Parameter
 
-__all__ = ["SGD", "Adam", "AdamW", "clip_grad_norm"]
+__all__ = ["SGD", "Adam", "AdamW", "clip_grad_norm", "pack_grads",
+           "unpack_grads"]
 
 
 def clip_grad_norm(params: list[Parameter], max_norm: float) -> float:
@@ -21,6 +22,39 @@ def clip_grad_norm(params: list[Parameter], max_norm: float) -> float:
         for g in grads:
             g *= scale
     return norm
+
+
+def pack_grads(params: list[Parameter]) -> np.ndarray:
+    """Concatenate every parameter's gradient into one flat float64 vector.
+
+    Parameters with no gradient contribute zeros, so the layout depends
+    only on the parameter list (shapes and order), never on which
+    parameters happened to receive gradients.  This fixed layout is what
+    the parallel gradient workers write into shared memory and what the
+    tree reduction operates on.
+    """
+    total = sum(p.size for p in params)
+    flat = np.zeros(total, dtype=np.float64)
+    offset = 0
+    for p in params:
+        if p.grad is not None:
+            flat[offset:offset + p.size] = np.asarray(p.grad,
+                                                      dtype=np.float64).ravel()
+        offset += p.size
+    return flat
+
+
+def unpack_grads(params: list[Parameter], flat: np.ndarray) -> None:
+    """Scatter a flat vector from :func:`pack_grads` back into ``p.grad``."""
+    total = sum(p.size for p in params)
+    flat = np.asarray(flat, dtype=np.float64).ravel()
+    if flat.size != total:
+        raise ValueError(f"flat gradient has {flat.size} entries, "
+                         f"parameters need {total}")
+    offset = 0
+    for p in params:
+        p.grad = flat[offset:offset + p.size].reshape(p.shape).copy()
+        offset += p.size
 
 
 class Optimizer:

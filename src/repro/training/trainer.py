@@ -12,6 +12,7 @@ from ..autodiff import Tensor, cross_entropy, masked_mse_loss, no_grad
 from ..data import Batch, Dataset, batch_iter, collate
 from ..telemetry import get_registry
 from .metrics import RunningAverage, scaled_mse, top1_accuracy
+from .objective import compute_loss
 from .optim import Adam, clip_grad_norm
 
 __all__ = ["TrainConfig", "Trainer", "EvalResult"]
@@ -103,10 +104,21 @@ class Trainer:
     ``train.grad_norm`` / ``train.epoch_seconds`` histograms, and gauges
     ``train.obs_per_sec`` throughput.  With the registry disabled (the
     default) the overhead is a handful of attribute checks per epoch.
+
+    ``workers=N`` (or an explicit :class:`~repro.parallel.ParallelConfig`
+    via ``parallel=``) routes every gradient step through the
+    data-parallel worker pool of :mod:`repro.parallel`: the batch is split
+    into micro-shards, forward + backward runs on ``N`` fork workers over
+    shared memory, and the shard gradients are combined with a fixed-order
+    tree reduction that is bit-identical for any worker count.  The
+    default ``workers=0`` (and ``parallel=None``) keeps the current
+    in-process full-batch path.  Call :meth:`close` (done automatically at
+    the end of :meth:`fit`) to release worker processes.
     """
 
     def __init__(self, model, task: str, config: TrainConfig | None = None,
-                 scheduler_factory=None):
+                 scheduler_factory=None, workers: int = 0,
+                 parallel=None):
         """``scheduler_factory``: optional callable mapping the optimizer to
         an :class:`~repro.training.LRScheduler`, stepped once per epoch."""
         if task not in ("classification", "regression"):
@@ -118,18 +130,33 @@ class Trainer:
                               weight_decay=self.config.weight_decay)
         self.scheduler = (scheduler_factory(self.optimizer)
                           if scheduler_factory is not None else None)
+        if parallel is None and workers:
+            from ..parallel import ParallelConfig
+            parallel = ParallelConfig(workers=workers)
+        self.parallel = parallel
+        self._executor = None
 
     # ------------------------------------------------------------------
     def loss_fn(self, batch: Batch) -> Tensor:
         # Models with their own training objective (e.g. the VAE Latent ODE
         # with an ELBO) expose compute_loss(batch); evaluation still goes
         # through forward() so metrics stay comparable.
-        if hasattr(self.model, "compute_loss"):
-            return self.model.compute_loss(batch)
-        out = self.model.forward(batch)
-        if self.task == "classification":
-            return cross_entropy(out, batch.labels)
-        return masked_mse_loss(out, batch.target_values, batch.target_mask)
+        return compute_loss(self.model, self.task, batch)
+
+    def _ensure_executor(self):
+        if self.parallel is None:
+            return None
+        if self._executor is None:
+            from ..parallel import make_executor
+            self._executor = make_executor(self.model, self.task,
+                                           self.parallel)
+        return self._executor
+
+    def close(self) -> None:
+        """Release parallel worker processes (no-op for the serial path)."""
+        if self._executor is not None:
+            self._executor.close()
+            self._executor = None
 
     def train_epoch(self, dataset: Dataset, rng: np.random.Generator,
                     max_batches: int | None = None) -> float:
@@ -139,6 +166,7 @@ class Trainer:
         profiling CLI to time a handful of representative steps).
         """
         reg = get_registry()
+        executor = self._ensure_executor()
         self.model.train()
         avg = RunningAverage()
         epoch_start = time.perf_counter()
@@ -149,17 +177,24 @@ class Trainer:
                 if max_batches is not None and i >= max_batches:
                     break
                 self.optimizer.zero_grad()
-                with reg.timer("forward"):
-                    loss = self.loss_fn(batch)
-                with reg.timer("backward"):
-                    loss.backward()
+                if executor is None:
+                    with reg.timer("forward"):
+                        loss = self.loss_fn(batch)
+                    with reg.timer("backward"):
+                        loss.backward()
+                    loss_value = loss.item()
+                else:
+                    # Sharded gradient step (in-process or worker pool);
+                    # fills param.grad and returns the weighted-mean loss.
+                    with reg.timer("parallel"):
+                        loss_value = executor.grad_step(batch)
                 with reg.timer("optimizer"):
                     grad_norm = clip_grad_norm(self.optimizer.params,
                                                self.config.clip_norm)
                     self.optimizer.step()
-                avg.update(loss.item(), batch.batch_size)
+                avg.update(loss_value, batch.batch_size)
                 if reg.enabled:
-                    reg.observe("train.loss", loss.item())
+                    reg.observe("train.loss", loss_value)
                     if grad_norm is not None:
                         reg.observe("train.grad_norm", float(grad_norm))
                     num_obs += float(np.asarray(batch.mask).sum())
@@ -209,44 +244,50 @@ class Trainer:
         best_state = None
         bad_epochs = 0
 
-        for epoch in range(cfg.epochs):
-            start = time.perf_counter()
-            train_loss = self.train_epoch(train_set, rng)
-            history.train_loss.append(train_loss)
-            history.epoch_seconds.append(time.perf_counter() - start)
-            if self.scheduler is not None:
-                self.scheduler.step()
+        try:
+            for epoch in range(cfg.epochs):
+                start = time.perf_counter()
+                train_loss = self.train_epoch(train_set, rng)
+                history.train_loss.append(train_loss)
+                history.epoch_seconds.append(time.perf_counter() - start)
+                if self.scheduler is not None:
+                    self.scheduler.step()
 
-            if val_set is not None and len(val_set):
-                val = self.evaluate(val_set)
-                history.val_loss.append(val.loss)
-                # Early stopping selects on validation *loss*: comparable
-                # across tasks and what the paper's patience rule tracks.
-                if val.is_improvement(best, metric="loss", min_delta=1e-9):
-                    best = val
-                    best_state = self.model.state_dict()
-                    history.best_epoch = epoch
-                    bad_epochs = 0
-                else:
-                    bad_epochs += 1
-                if reg.enabled:
-                    reg.set_gauge("train.best_val_loss",
-                                  best.loss if best else val.loss)
-                    reg.set_gauge("train.bad_epochs", bad_epochs)
-                    reg.event("val", "val", epoch=epoch, loss=val.loss,
-                              primary=val.primary,
-                              best_epoch=history.best_epoch,
-                              bad_epochs=bad_epochs)
-                if cfg.verbose:
-                    print(f"epoch {epoch:3d} train {train_loss:.4f} "
-                          f"val {val.loss:.4f}")
-                if bad_epochs >= cfg.patience:
+                if val_set is not None and len(val_set):
+                    val = self.evaluate(val_set)
+                    history.val_loss.append(val.loss)
+                    # Early stopping selects on validation *loss*: comparable
+                    # across tasks and what the paper's patience rule tracks.
+                    if val.is_improvement(best, metric="loss",
+                                          min_delta=1e-9):
+                        best = val
+                        best_state = self.model.state_dict()
+                        history.best_epoch = epoch
+                        bad_epochs = 0
+                    else:
+                        bad_epochs += 1
                     if reg.enabled:
-                        reg.event("val", "early_stop", epoch=epoch,
-                                  best_epoch=history.best_epoch)
-                    break
-            elif cfg.verbose:
-                print(f"epoch {epoch:3d} train {train_loss:.4f}")
+                        reg.set_gauge("train.best_val_loss",
+                                      best.loss if best else val.loss)
+                        reg.set_gauge("train.bad_epochs", bad_epochs)
+                        reg.event("val", "val", epoch=epoch, loss=val.loss,
+                                  primary=val.primary,
+                                  best_epoch=history.best_epoch,
+                                  bad_epochs=bad_epochs)
+                    if cfg.verbose:
+                        print(f"epoch {epoch:3d} train {train_loss:.4f} "
+                              f"val {val.loss:.4f}")
+                    if bad_epochs >= cfg.patience:
+                        if reg.enabled:
+                            reg.event("val", "early_stop", epoch=epoch,
+                                      best_epoch=history.best_epoch)
+                        break
+                elif cfg.verbose:
+                    print(f"epoch {epoch:3d} train {train_loss:.4f}")
+        finally:
+            # Release worker processes; the executor is re-created lazily if
+            # the trainer is used again.
+            self.close()
 
         if best_state is not None:
             self.model.load_state_dict(best_state)

@@ -5,7 +5,10 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 from hypothesis.extra.numpy import array_shapes, arrays
 
-from repro.autodiff import Tensor, gradcheck, softmax
+from repro.autodiff import Tensor, cross_entropy, gradcheck, softmax
+from repro.core import interpolate_grid_states
+from repro.data import Sample, collate
+from repro.nn import MLP
 
 _floats = st.floats(min_value=-5.0, max_value=5.0,
                     allow_nan=False, allow_infinity=False)
@@ -88,3 +91,85 @@ def test_reshape_roundtrip_preserves_grad(x):
     t = Tensor(x, requires_grad=True)
     t.reshape(-1).reshape(*x.shape).sum().backward()
     np.testing.assert_allclose(t.grad, np.ones_like(x))
+
+
+# ---------------------------------------------------------------------------
+# interpolate_grid_states: linear in the states, so gradcheck must pass for
+# any grid/query configuration (including queries outside the grid range,
+# which clip to the endpoints).
+# ---------------------------------------------------------------------------
+
+@settings(max_examples=20, deadline=None)
+@given(st.integers(2, 5), st.integers(1, 3), st.integers(1, 3),
+       st.integers(1, 4), st.integers(0, 2 ** 31 - 1))
+def test_interpolate_grid_states_gradcheck(L, B, D, nq, seed):
+    rng = np.random.default_rng(seed)
+    grid = np.linspace(0.0, 1.0, L)
+    states = rng.normal(size=(L, B, D))
+    query = rng.uniform(-0.2, 1.2, size=(B, nq))  # includes out-of-range
+    gradcheck(lambda s: interpolate_grid_states(s, grid, query).sum(),
+              [states])
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.integers(2, 5), st.integers(1, 3), st.integers(1, 3),
+       st.integers(0, 2 ** 31 - 1))
+def test_interpolate_at_grid_points_is_exact(L, B, D, seed):
+    rng = np.random.default_rng(seed)
+    grid = np.linspace(0.0, 1.0, L)
+    states = rng.normal(size=(L, B, D))
+    query = np.tile(grid, (B, 1))
+    out = interpolate_grid_states(Tensor(states), grid, query).data
+    np.testing.assert_allclose(out, np.transpose(states, (1, 0, 2)),
+                               atol=1e-12)
+
+
+# ---------------------------------------------------------------------------
+# The collate padding invariant the parallel shard planner relies on:
+# collate pads with mask-0 suffix rows, and a mask-respecting model gives
+# those cells *exactly zero* gradient — perturbing padded values must leave
+# every parameter gradient bit-identical.  (This is what makes the worker
+# pool's compact shard re-collation safe; see repro/parallel/sharding.py.)
+# ---------------------------------------------------------------------------
+
+def _masked_loss(net, batch):
+    """Cross-entropy of an MLP over the masked mean of the observations."""
+    m = np.asarray(batch.mask)[..., None]
+    mean = ((np.asarray(batch.values) * m).sum(axis=1)
+            / np.maximum(m.sum(axis=1), 1.0))
+    return cross_entropy(net(Tensor(mean)), batch.labels)
+
+
+def _param_grads(net, batch):
+    for p in net.parameters():
+        p.grad = None
+    _masked_loss(net, batch).backward()
+    return [np.array(p.grad) for p in net.parameters()]
+
+
+@settings(max_examples=15, deadline=None)
+@given(st.lists(st.integers(1, 9), min_size=2, max_size=6),
+       st.integers(0, 2 ** 31 - 1))
+def test_padded_cells_have_exactly_zero_param_grad(lengths, seed):
+    if len(set(lengths)) == 1:
+        lengths[0] += 1  # force real padding
+    rng = np.random.default_rng(seed)
+    samples = [Sample(times=np.sort(rng.random(n)),
+                      values=rng.normal(size=(n, 2)),
+                      label=int(rng.integers(0, 2)))
+               for n in lengths]
+    batch = collate(samples)
+    assert np.any(np.asarray(batch.mask) == 0.0)
+
+    net = MLP(2, [5], 2, rng)
+    before = _param_grads(net, batch)
+
+    # Scribble garbage over every padded cell, then recompute.
+    pad = np.asarray(batch.mask) == 0.0
+    batch.values[pad] = rng.normal(size=(int(pad.sum()),
+                                         batch.values.shape[-1])) * 1e6
+    batch.times[pad] = rng.random(int(pad.sum())) * 1e3
+    after = _param_grads(net, batch)
+
+    for g_before, g_after in zip(before, after):
+        assert np.array_equal(g_before, g_after)

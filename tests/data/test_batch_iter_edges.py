@@ -1,0 +1,107 @@
+"""Edge cases of :func:`repro.data.batch_iter` (tier 1).
+
+Coverage partner of the parallel subsystem: the shard planner assumes
+``batch_iter`` delivers every sample exactly once per epoch regardless of
+batch size, bucketing or shuffling.
+"""
+
+import numpy as np
+import pytest
+
+from repro.data import Dataset, Sample, batch_iter
+
+
+def _dataset(n=17, rng_seed=0):
+    """Samples tagged with a unique id in ``values[0, 0]``."""
+    rng = np.random.default_rng(rng_seed)
+    samples = []
+    for i in range(n):
+        length = int(rng.integers(2, 12))
+        values = rng.normal(size=(length, 1))
+        values[0, 0] = float(i)
+        samples.append(Sample(times=np.sort(rng.random(length)),
+                              values=values, label=i % 2))
+    return Dataset("edges", samples, num_features=1, num_classes=2)
+
+
+def _ids(batches):
+    return [int(v) for b in batches
+            for v in np.asarray(b.values)[:, 0, 0]]
+
+
+class TestBatchLargerThanDataset:
+    def test_single_batch_holds_everything(self):
+        data = _dataset(n=5)
+        batches = list(batch_iter(data, batch_size=64, shuffle=False))
+        assert len(batches) == 1
+        assert batches[0].batch_size == 5
+        assert sorted(_ids(batches)) == list(range(5))
+
+    def test_with_bucketing(self):
+        data = _dataset(n=5)
+        batches = list(batch_iter(data, batch_size=64, shuffle=False,
+                                  bucket_by_length=True))
+        assert len(batches) == 1
+        assert sorted(_ids(batches)) == list(range(5))
+
+
+class TestBucketFactorOne:
+    def test_each_sample_exactly_once(self):
+        data = _dataset(n=17)
+        batches = list(batch_iter(data, batch_size=4,
+                                  rng=np.random.default_rng(1),
+                                  bucket_by_length=True, bucket_factor=1))
+        assert sorted(_ids(batches)) == list(range(17))
+
+    def test_batches_internally_length_sorted(self):
+        # bucket_factor=1 makes each super-bucket one batch: every batch
+        # must come out sorted by ascending observation count.
+        data = _dataset(n=17)
+        for batch in batch_iter(data, batch_size=4,
+                                rng=np.random.default_rng(2),
+                                bucket_by_length=True, bucket_factor=1):
+            lengths = np.asarray(batch.mask).sum(axis=1)
+            assert np.all(np.diff(lengths) >= 0)
+
+
+class TestUnshuffledBucketing:
+    def test_no_rng_needed(self):
+        data = _dataset(n=17)
+        batches = list(batch_iter(data, batch_size=4, shuffle=False,
+                                  bucket_by_length=True))
+        assert sorted(_ids(batches)) == list(range(17))
+
+    def test_deterministic_across_calls(self):
+        data = _dataset(n=17)
+        first = _ids(batch_iter(data, batch_size=4, shuffle=False,
+                                bucket_by_length=True))
+        second = _ids(batch_iter(data, batch_size=4, shuffle=False,
+                                 bucket_by_length=True))
+        assert first == second
+
+    def test_sorts_within_super_buckets_only(self):
+        data = _dataset(n=17)
+        lengths = np.array([s.num_obs for s in data.samples])
+        ids = _ids(batch_iter(data, batch_size=2, shuffle=False,
+                              bucket_by_length=True, bucket_factor=2))
+        # super-buckets of 4 samples, in original order, each length-sorted
+        for start in range(0, 17, 4):
+            got = ids[start:start + 4]
+            assert sorted(got) == sorted(range(start, min(start + 4, 17)))
+            assert np.all(np.diff(lengths[got]) >= 0)
+
+
+class TestEverySampleOncePerEpoch:
+    @pytest.mark.parametrize("batch_size", [1, 3, 17, 100])
+    @pytest.mark.parametrize("bucket", [False, True])
+    def test_shuffled(self, batch_size, bucket):
+        data = _dataset(n=17)
+        batches = list(batch_iter(data, batch_size,
+                                  rng=np.random.default_rng(3),
+                                  bucket_by_length=bucket))
+        assert sum(b.batch_size for b in batches) == 17
+        assert sorted(_ids(batches)) == list(range(17))
+
+    def test_shuffle_requires_rng(self):
+        with pytest.raises(ValueError):
+            next(batch_iter(_dataset(n=3), batch_size=2))

@@ -1,0 +1,125 @@
+"""Tiny models and datasets shared by the parallel-subsystem tests.
+
+The models live in a real module (not a test file) so fork workers can
+run them regardless of how pytest imported the test; they are also kept
+mask-correct — padded rows contribute exactly zero — because the sharded
+executors re-collate shards with compact padding.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import time
+
+import numpy as np
+
+from repro.autodiff import Tensor
+from repro.data import Dataset, Sample
+from repro.nn import MLP, Module
+
+MAGIC = 99.0  # sentinel planted in values[0, 0] of the fault-target sample
+
+
+class MeanClassifier(Module):
+    """Classify by the masked mean of the observed values."""
+
+    def __init__(self, rng, num_classes: int = 2):
+        super().__init__()
+        self.net = MLP(1, [8], num_classes, rng)
+
+    def forward(self, batch):
+        m = np.asarray(batch.mask)[..., None]
+        mean = ((np.asarray(batch.values) * m).sum(axis=1)
+                / np.maximum(m.sum(axis=1), 1.0))
+        return self.net(Tensor(mean[:, :1]))
+
+
+class MeanRegressor(Module):
+    """Predict each query from the masked mean and the query time."""
+
+    def __init__(self, rng):
+        super().__init__()
+        self.net = MLP(2, [8], 1, rng)
+
+    def forward(self, batch):
+        m = np.asarray(batch.mask)[..., None]
+        mean = ((np.asarray(batch.values) * m).sum(axis=1)
+                / np.maximum(m.sum(axis=1), 1.0))
+        nq = batch.target_times.shape[1]
+        feats = np.concatenate(
+            [np.repeat(mean[:, None, :1], nq, axis=1),
+             np.asarray(batch.target_times)[..., None]], axis=-1)
+        return self.net(Tensor(feats))
+
+
+class TokenFaultClassifier(MeanClassifier):
+    """Raises while the token file holds a positive count *and* the batch
+    contains the MAGIC sample, consuming one count per raise.
+
+    Only the shard holding the magic sample ever trips, so exactly one
+    worker fails per token count — which is what lets the tests drive
+    "fail once then succeed" vs "fail twice" deterministically.
+    """
+
+    def __init__(self, rng, token: pathlib.Path):
+        super().__init__(rng)
+        self.token = pathlib.Path(token)
+
+    def forward(self, batch):
+        if np.any(np.asarray(batch.values) >= MAGIC) and self.token.exists():
+            count = int(self.token.read_text())
+            if count > 0:
+                self.token.write_text(str(count - 1))
+                raise ValueError("injected shard fault")
+        return super().forward(batch)
+
+
+class TokenHangClassifier(MeanClassifier):
+    """Sleeps far past any test timeout once, consuming the token file."""
+
+    def __init__(self, rng, token: pathlib.Path, sleep_s: float = 120.0):
+        super().__init__(rng)
+        self.token = pathlib.Path(token)
+        self.sleep_s = sleep_s
+
+    def forward(self, batch):
+        if np.any(np.asarray(batch.values) >= MAGIC) and self.token.exists():
+            self.token.unlink()
+            time.sleep(self.sleep_s)
+        return super().forward(batch)
+
+
+def cls_dataset(rng, n: int = 48, min_len: int = 3, max_len: int = 12,
+                magic_first: bool = False) -> Dataset:
+    """Separable two-class set with uneven series lengths."""
+    samples = []
+    for i in range(n):
+        label = int(rng.random() > 0.5)
+        length = int(rng.integers(min_len, max_len + 1))
+        times = np.sort(rng.random(length))
+        values = rng.normal(loc=2.0 if label else -2.0, scale=0.5,
+                            size=(length, 1))
+        if magic_first and i == 0:
+            values[0, 0] = MAGIC
+        samples.append(Sample(times=times, values=values, label=label))
+    return Dataset("parallel-cls", samples, num_features=1, num_classes=2)
+
+
+def reg_dataset(rng, n: int = 32) -> Dataset:
+    samples = []
+    for _ in range(n):
+        length = int(rng.integers(3, 10))
+        nq = int(rng.integers(2, 7))
+        bias = rng.normal()
+        samples.append(Sample(
+            times=np.sort(rng.random(length)),
+            values=np.full((length, 1), bias),
+            target_times=np.sort(rng.random(nq)),
+            target_values=np.full((nq, 1), bias)))
+    return Dataset("parallel-reg", samples, num_features=1)
+
+
+def states_equal(a: dict, b: dict) -> bool:
+    """Bit-level equality of two ``state_dict`` snapshots."""
+    return (a.keys() == b.keys()
+            and all(np.array_equal(a[k], b[k]) for k in a))

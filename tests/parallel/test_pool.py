@@ -1,0 +1,224 @@
+"""Worker-pool behaviour: bit-exact determinism and fault handling.
+
+These spawn real fork processes, so the whole module is tier 2 (opt in
+with ``pytest -m tier2`` or ``scripts/test.sh full``); the tier-1 lane
+covers the identical arithmetic through the in-process executor.
+"""
+
+import multiprocessing as mp
+
+import numpy as np
+import pytest
+
+from repro.data import collate
+from repro.parallel import (
+    ParallelConfig,
+    WorkerFailure,
+    WorkerPool,
+    make_executor,
+)
+from repro.telemetry import MetricsRegistry, set_registry
+from repro.training import TrainConfig, Trainer, pack_grads
+
+from .helpers import (
+    MeanClassifier,
+    MeanRegressor,
+    TokenFaultClassifier,
+    TokenHangClassifier,
+    cls_dataset,
+    reg_dataset,
+    states_equal,
+)
+
+pytestmark = [
+    pytest.mark.tier2,
+    pytest.mark.skipif("fork" not in mp.get_all_start_methods(),
+                       reason="worker pool needs the POSIX fork method"),
+]
+
+
+def _train_steps(model, task, dataset, workers, steps=3, **cfg):
+    """A few seeded optimizer steps; returns the final state_dict."""
+    cfg.setdefault("shard_size", 4)
+    trainer = Trainer(
+        model, task,
+        TrainConfig(batch_size=16, lr=1e-2, seed=0),
+        parallel=ParallelConfig(workers=workers, **cfg))
+    try:
+        trainer.train_epoch(dataset, np.random.default_rng(123),
+                            max_batches=steps)
+    finally:
+        trainer.close()
+    return model.state_dict()
+
+
+class TestDeterminism:
+    def test_workers_0_and_2_bit_identical(self):
+        """The ISSUE's regression test: seeded train_epoch runs with
+        workers=0 and workers=2 end in bit-identical parameters."""
+        data = cls_dataset(np.random.default_rng(0), n=48)
+        states = [
+            _train_steps(MeanClassifier(np.random.default_rng(42)),
+                         "classification", data, workers)
+            for workers in (0, 2)
+        ]
+        assert states_equal(states[0], states[1])
+
+    def test_worker_counts_1_2_3_agree(self):
+        data = cls_dataset(np.random.default_rng(1), n=48)
+        states = [
+            _train_steps(MeanClassifier(np.random.default_rng(7)),
+                         "classification", data, workers)
+            for workers in (0, 1, 2, 3)
+        ]
+        for other in states[1:]:
+            assert states_equal(states[0], other)
+
+    def test_regression_task_bit_identical(self):
+        data = reg_dataset(np.random.default_rng(2), n=32)
+        states = [
+            _train_steps(MeanRegressor(np.random.default_rng(9)),
+                         "regression", data, workers)
+            for workers in (0, 2)
+        ]
+        assert states_equal(states[0], states[1])
+
+    def test_pool_grad_step_matches_inprocess_bitwise(self):
+        rng = np.random.default_rng(3)
+        batch = collate(cls_dataset(rng, n=21).samples)
+        grads, losses = [], []
+        for workers in (0, 2):
+            model = MeanClassifier(np.random.default_rng(5))
+            executor = make_executor(model, "classification",
+                                     ParallelConfig(workers=workers,
+                                                    shard_size=4))
+            try:
+                losses.append(executor.grad_step(batch))
+            finally:
+                executor.close()
+            grads.append(pack_grads(list(model.parameters())))
+        assert np.array_equal(grads[0], grads[1])
+        assert losses[0] == losses[1]
+
+
+class TestFaultHandling:
+    def _run(self, model, data, reg, **cfg_kwargs):
+        previous = set_registry(reg)
+        try:
+            return _train_steps(model, "classification", data, workers=2,
+                                steps=2, **cfg_kwargs)
+        finally:
+            set_registry(previous)
+
+    def test_single_fault_respawns_and_retries(self, tmp_path):
+        token = tmp_path / "faults"
+        token.write_text("1")
+        data = cls_dataset(np.random.default_rng(4), n=32,
+                           magic_first=True)
+        reg = MetricsRegistry(enabled=True)
+        faulty_state = self._run(
+            TokenFaultClassifier(np.random.default_rng(11), token),
+            data, reg)
+        assert reg.counter("parallel.respawns").value == 1
+        assert reg.counter("parallel.retries").value == 1
+        # The retried step still yields the bit-exact reference result.
+        clean_state = _train_steps(
+            MeanClassifier(np.random.default_rng(11)),
+            "classification", data, workers=0, steps=2)
+        assert states_equal(faulty_state, clean_state)
+
+    def test_repeated_fault_raises_with_worker_traceback(self, tmp_path):
+        token = tmp_path / "faults"
+        token.write_text("5")  # more failures than max_retries allows
+        data = cls_dataset(np.random.default_rng(4), n=32,
+                           magic_first=True)
+        reg = MetricsRegistry(enabled=True)
+        with pytest.raises(WorkerFailure) as excinfo:
+            self._run(TokenFaultClassifier(np.random.default_rng(11), token),
+                      data, reg)
+        assert "injected shard fault" in str(excinfo.value)
+        assert "ValueError" in str(excinfo.value)
+
+    def test_hung_worker_killed_and_respawned(self, tmp_path):
+        token = tmp_path / "hang"
+        token.write_text("1")
+        data = cls_dataset(np.random.default_rng(4), n=32,
+                           magic_first=True)
+        reg = MetricsRegistry(enabled=True)
+        state = self._run(
+            TokenHangClassifier(np.random.default_rng(11), token),
+            data, reg, timeout_s=2.0)
+        assert reg.counter("parallel.respawns").value >= 1
+        clean_state = _train_steps(
+            MeanClassifier(np.random.default_rng(11)),
+            "classification", data, workers=0, steps=2)
+        assert states_equal(state, clean_state)
+
+
+class TestLifecycle:
+    def test_close_terminates_workers(self):
+        model = MeanClassifier(np.random.default_rng(21))
+        pool = WorkerPool(model, "classification",
+                          ParallelConfig(workers=2, shard_size=4))
+        batch = collate(cls_dataset(np.random.default_rng(6), n=12).samples)
+        pool.grad_step(batch)
+        procs = [w.process for w in pool._workers if w is not None]
+        assert procs and all(p.is_alive() for p in procs)
+        pool.close()
+        assert all(not p.is_alive() for p in procs)
+        assert all(w is None for w in pool._workers)
+
+    def test_reuse_after_close_respawns(self):
+        model = MeanClassifier(np.random.default_rng(22))
+        pool = WorkerPool(model, "classification",
+                          ParallelConfig(workers=2, shard_size=4))
+        batch = collate(cls_dataset(np.random.default_rng(8), n=12).samples)
+        try:
+            first = pool.grad_step(batch)
+            pool.close()
+            second = pool.grad_step(batch)  # lazily re-forks workers
+        finally:
+            pool.close()
+        # Params did not change between the calls, so losses match exactly.
+        assert first == second
+
+    def test_batch_growth_regrows_arenas(self):
+        reg = MetricsRegistry(enabled=True)
+        previous = set_registry(reg)
+        try:
+            model = MeanClassifier(np.random.default_rng(23))
+            pool = WorkerPool(model, "classification",
+                              ParallelConfig(workers=2, shard_size=4))
+            rng = np.random.default_rng(9)
+            small = collate(cls_dataset(rng, n=8, max_len=6).samples)
+            big = collate(cls_dataset(rng, n=64, min_len=30,
+                                      max_len=120).samples)
+            try:
+                pool.grad_step(small)
+                pool.grad_step(big)
+            finally:
+                pool.close()
+            assert reg.counter("parallel.regrows").value >= 1
+        finally:
+            set_registry(previous)
+
+
+def test_hang_timeout_respawn_uses_config_timeout(tmp_path):
+    # Direct pool-level check that the deadline is ParallelConfig.timeout_s.
+    token = tmp_path / "hang"
+    token.write_text("1")
+    data = cls_dataset(np.random.default_rng(4), n=16, magic_first=True)
+    model = TokenHangClassifier(np.random.default_rng(11), token,
+                                sleep_s=120.0)
+    reg = MetricsRegistry(enabled=True)
+    previous = set_registry(reg)
+    pool = WorkerPool(model, "classification",
+                      ParallelConfig(workers=2, shard_size=4,
+                                     timeout_s=2.0))
+    try:
+        pool.grad_step(collate(data.samples))
+    finally:
+        pool.close()
+        set_registry(previous)
+    assert reg.counter("parallel.respawns").value >= 1
+    assert reg.counter("parallel.retries").value >= 1

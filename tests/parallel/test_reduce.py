@@ -1,0 +1,87 @@
+"""Fixed-order tree reduction and grad pack/unpack (tier 1)."""
+
+import numpy as np
+import pytest
+
+from repro.autodiff import Tensor
+from repro.parallel import tree_reduce
+from repro.training import pack_grads, unpack_grads
+
+
+class TestTreeReduce:
+    def test_single_array_passthrough(self):
+        arr = np.array([1.0, 2.0])
+        total, adds = tree_reduce([arr])
+        assert np.array_equal(total, arr)
+        assert adds == 0
+
+    def test_five_arrays_bitwise_tree_order(self):
+        rng = np.random.default_rng(0)
+        g = [rng.normal(size=7) * 10.0 ** rng.integers(-8, 8)
+             for _ in range(5)]
+        total, adds = tree_reduce(g)
+        # round 0: (g0+g1) (g2+g3) g4 ; round 1: (..+..) (g4 carried) ;
+        # round 2: final.  Must match this exact association, bit for bit.
+        expected = ((g[0] + g[1]) + (g[2] + g[3])) + g[4]
+        assert np.array_equal(total, expected)
+        assert adds == 4
+
+    def test_adds_is_n_minus_one(self):
+        for n in range(1, 12):
+            arrays = [np.full(3, float(i)) for i in range(n)]
+            _, adds = tree_reduce(arrays)
+            assert adds == n - 1
+
+    def test_differs_from_left_fold_when_fp_matters(self):
+        # A magnitude staircase where association changes the rounding:
+        # the tree pairs each 1.0 with a 1e16 (absorbed), the left fold
+        # cancels the 1e16s first and keeps the trailing 1.0.
+        g = [np.array([1.0]), np.array([1e16]), np.array([-1e16]),
+             np.array([1.0])]
+        tree, _ = tree_reduce(g)
+        fold = ((g[0] + g[1]) + g[2]) + g[3]
+        assert tree[0] == 0.0
+        assert fold[0] == 1.0
+
+    def test_empty_input_rejected(self):
+        with pytest.raises(ValueError):
+            tree_reduce([])
+
+
+class TestPackUnpack:
+    def _params(self):
+        rng = np.random.default_rng(3)
+        return [Tensor(rng.normal(size=(2, 3)), requires_grad=True),
+                Tensor(rng.normal(size=(4,)), requires_grad=True)]
+
+    def test_roundtrip(self):
+        params = self._params()
+        for p in params:
+            p.grad = np.full_like(p.data, fill_value=0.5)
+        flat = pack_grads(params)
+        assert flat.shape == (10,)
+        fresh = self._params()
+        unpack_grads(fresh, flat * 2.0)
+        for p in fresh:
+            assert np.array_equal(p.grad, np.ones_like(p.data))
+
+    def test_missing_grad_packs_zeros(self):
+        params = self._params()
+        params[0].grad = np.ones_like(params[0].data)
+        params[1].grad = None
+        flat = pack_grads(params)
+        assert np.array_equal(flat[:6], np.ones(6))
+        assert np.array_equal(flat[6:], np.zeros(4))
+
+    def test_unpack_rejects_wrong_length(self):
+        params = self._params()
+        with pytest.raises(ValueError):
+            unpack_grads(params, np.zeros(9))
+
+    def test_unpack_copies(self):
+        params = self._params()
+        flat = np.arange(10, dtype=np.float64)
+        unpack_grads(params, flat)
+        flat[:] = 0.0  # must not reach through to the installed grads
+        assert params[0].grad[0, 1] == 1.0
+        assert params[1].grad[-1] == 9.0

@@ -1,0 +1,134 @@
+"""Shard planning and compact re-collation invariants (tier 1)."""
+
+import numpy as np
+import pytest
+
+from repro.data import collate
+from repro.parallel import (
+    DEFAULT_SHARD_SIZE,
+    ParallelConfig,
+    plan_shards,
+    shard_batch,
+    shard_lengths,
+)
+
+from .helpers import cls_dataset, reg_dataset
+
+
+@pytest.fixture
+def cls_batch():
+    rng = np.random.default_rng(0)
+    return collate(cls_dataset(rng, n=21, min_len=2, max_len=15).samples)
+
+
+@pytest.fixture
+def reg_batch():
+    rng = np.random.default_rng(1)
+    return collate(reg_dataset(rng, n=13).samples)
+
+
+class TestPlanShards:
+    def test_every_row_exactly_once(self, cls_batch):
+        plan = plan_shards(cls_batch, ParallelConfig(shard_size=4))
+        flat = np.concatenate(plan)
+        assert sorted(flat.tolist()) == list(range(cls_batch.batch_size))
+
+    def test_shard_sizes(self, cls_batch):
+        plan = plan_shards(cls_batch, ParallelConfig(shard_size=4))
+        sizes = [len(idx) for idx in plan]
+        assert sizes == [4, 4, 4, 4, 4, 1]  # 21 rows
+
+    def test_plan_independent_of_worker_count(self, cls_batch):
+        plans = [plan_shards(cls_batch, ParallelConfig(workers=w,
+                                                       shard_size=4))
+                 for w in (0, 1, 2, 4, 7)]
+        for other in plans[1:]:
+            assert len(other) == len(plans[0])
+            for a, b in zip(plans[0], other):
+                assert np.array_equal(a, b)
+
+    def test_sorted_by_descending_length(self, cls_batch):
+        plan = plan_shards(cls_batch, ParallelConfig(shard_size=4))
+        lengths = shard_lengths(cls_batch)
+        ordered = np.concatenate([lengths[idx] for idx in plan])
+        assert np.all(np.diff(ordered) <= 0)
+
+    def test_sort_is_stable(self, cls_batch):
+        # Ties keep original row order: stable argsort on equal keys.
+        lengths = shard_lengths(cls_batch)
+        plan = plan_shards(cls_batch, ParallelConfig(shard_size=100))
+        order = plan[0]
+        for a, b in zip(order[:-1], order[1:]):
+            if lengths[a] == lengths[b]:
+                assert a < b
+
+    def test_unsorted_plan_keeps_batch_order(self, cls_batch):
+        plan = plan_shards(cls_batch, ParallelConfig(shard_size=5,
+                                                     sort_by_length=False))
+        flat = np.concatenate(plan)
+        assert flat.tolist() == list(range(cls_batch.batch_size))
+
+    def test_default_shard_size(self, cls_batch):
+        plan = plan_shards(cls_batch, ParallelConfig())
+        assert len(plan[0]) == DEFAULT_SHARD_SIZE
+
+
+class TestShardBatch:
+    def test_rows_match_source(self, cls_batch):
+        idx = np.array([3, 0, 7])
+        shard = shard_batch(cls_batch, idx)
+        keep = shard.values.shape[1]
+        assert np.array_equal(shard.values,
+                              np.asarray(cls_batch.values)[idx, :keep])
+        assert np.array_equal(shard.mask,
+                              np.asarray(cls_batch.mask)[idx, :keep])
+        assert np.array_equal(shard.labels,
+                              np.asarray(cls_batch.labels)[idx])
+
+    def test_trim_preserves_every_observation(self, cls_batch):
+        idx = np.array([2, 5])
+        shard = shard_batch(cls_batch, idx)
+        lengths = shard_lengths(cls_batch)
+        assert shard.values.shape[1] == int(lengths[idx].max())
+        assert shard.mask.sum() == lengths[idx].sum()
+
+    def test_trim_removes_padding_for_short_rows(self, cls_batch):
+        lengths = shard_lengths(cls_batch)
+        shortest = int(np.argmin(lengths))
+        shard = shard_batch(cls_batch, np.array([shortest]))
+        assert shard.values.shape[1] == int(lengths[shortest])
+        assert np.asarray(cls_batch.values).shape[1] >= shard.values.shape[1]
+
+    def test_regression_targets_trimmed(self, reg_batch):
+        idx = np.array([0, 4, 9])
+        shard = shard_batch(reg_batch, idx)
+        tmask = np.asarray(reg_batch.target_mask)[idx]
+        row_mask = tmask.max(axis=-1) if tmask.ndim == 3 else tmask
+        want = int((row_mask.shape[1]
+                    - np.argmax(row_mask[:, ::-1] > 0, axis=1)).max())
+        assert shard.target_times.shape[1] == want
+        assert shard.target_mask.sum() == tmask.sum()
+
+    def test_arrays_are_contiguous_copies(self, cls_batch):
+        shard = shard_batch(cls_batch, np.array([1, 2]))
+        for arr in (shard.values, shard.times, shard.mask):
+            assert arr.flags["C_CONTIGUOUS"]
+            assert not np.shares_memory(arr, np.asarray(cls_batch.values))
+
+
+class TestConfigValidation:
+    def test_rejects_negative_workers(self):
+        with pytest.raises(ValueError):
+            ParallelConfig(workers=-1)
+
+    def test_rejects_zero_shard_size(self):
+        with pytest.raises(ValueError):
+            ParallelConfig(shard_size=0)
+
+    def test_rejects_nonpositive_timeout(self):
+        with pytest.raises(ValueError):
+            ParallelConfig(timeout_s=0.0)
+
+    def test_rejects_negative_retries(self):
+        with pytest.raises(ValueError):
+            ParallelConfig(max_retries=-1)
