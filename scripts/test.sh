@@ -5,6 +5,8 @@
 #   scripts/test.sh fast     same as above, explicitly
 #   scripts/test.sh tier2    only the tier-2 subprocess/slow suites
 #   scripts/test.sh full     everything: tier 1 + tier 2
+#   scripts/test.sh ir       tier-1 under the trace-and-replay executor
+#                            (REPRO_EXECUTOR=replay)
 #
 # Extra arguments after the lane go straight to pytest, e.g.
 #   scripts/test.sh fast tests/parallel -q
@@ -24,12 +26,15 @@ case "$lane" in
     tier2)
         exec python -m pytest -x -q -m tier2 "$@"
         ;;
+    ir)
+        exec env REPRO_EXECUTOR=replay python -m pytest -x -q "$@"
+        ;;
     full)
         # Overrides the "not tier2" filter baked into addopts.
         exec python -m pytest -x -q -m "tier2 or not tier2" "$@"
         ;;
     *)
-        echo "usage: scripts/test.sh [fast|tier2|full] [pytest args...]" >&2
+        echo "usage: scripts/test.sh [fast|tier2|full|ir] [pytest args...]" >&2
         exit 2
         ;;
 esac

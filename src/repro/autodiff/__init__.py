@@ -1,7 +1,25 @@
-"""Reverse-mode autodiff substrate (numpy-backed), the stand-in for PyTorch."""
+"""Reverse-mode autodiff substrate (numpy-backed), the stand-in for PyTorch.
 
+The package is organised around an explicit op-graph IR:
+
+* :mod:`~repro.autodiff.ir` -- the opcode dispatch table (forward +
+  backward rule per primitive), typed tape nodes and trace recording;
+* :mod:`~repro.autodiff.tensor` -- the :class:`Tensor` handle and the
+  eager executor (``apply``);
+* :mod:`~repro.autodiff.executors` -- the trace-and-replay executor for
+  ODE right-hand sides (``REPRO_EXECUTOR=replay`` / :func:`set_executor`).
+"""
+
+from .ir import (
+    OPS,
+    OpNode,
+    OpSpec,
+    bump_graph_epoch,
+    graph_epoch,
+)
 from .tensor import (
     Tensor,
+    apply,
     as_tensor,
     concat,
     is_grad_enabled,
@@ -9,7 +27,15 @@ from .tensor import (
     minimum,
     no_grad,
     stack,
+    time_tensor,
     where,
+)
+from .executors import (
+    CompiledFunction,
+    CompiledGraph,
+    get_executor,
+    maybe_compile,
+    set_executor,
 )
 from .functional import (
     binary_cross_entropy_with_logits,
@@ -28,6 +54,7 @@ from .profiler import OpRecord, TapeProfiler, active_profiler, tape_profile
 
 __all__ = [
     "Tensor",
+    "apply",
     "as_tensor",
     "concat",
     "stack",
@@ -36,6 +63,17 @@ __all__ = [
     "minimum",
     "no_grad",
     "is_grad_enabled",
+    "time_tensor",
+    "OPS",
+    "OpSpec",
+    "OpNode",
+    "graph_epoch",
+    "bump_graph_epoch",
+    "get_executor",
+    "set_executor",
+    "maybe_compile",
+    "CompiledFunction",
+    "CompiledGraph",
     "softmax",
     "log_softmax",
     "masked_softmax",

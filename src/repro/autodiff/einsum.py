@@ -6,13 +6,18 @@ one operand is itself an einsum with the output and the other operand's
 subscripts swapped - plus care for subscripts that are *summed out* (absent
 from both the output and the other operand), which must be restored by
 broadcasting before the adjoint contraction.
+
+The contraction is registered as one IR opcode (``einsum``) whose attrs
+carry the parsed subscripts, so replayed graphs re-dispatch the exact same
+forward/backward contractions.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from .tensor import Tensor, as_tensor
+from .ir import register_op
+from .tensor import Tensor, apply, as_tensor
 
 __all__ = ["einsum"]
 
@@ -64,6 +69,26 @@ def _grad_one(spec_self: str, spec_other: str | None, spec_out: str,
     return np.ascontiguousarray(np.transpose(partial, perm))
 
 
+def _fw_einsum(ins, at):
+    return np.asarray(np.einsum(at["spec"], *ins))
+
+
+def _bw_einsum(g, ins, out, at, needs):
+    subs = at["ins"]
+    if len(ins) == 1:
+        return (_grad_one(subs[0], None, at["out"], g, None, ins[0].shape),)
+    a, b = ins
+    ga = gb = None
+    if needs[0]:
+        ga = _grad_one(subs[0], subs[1], at["out"], g, b, a.shape)
+    if needs[1]:
+        gb = _grad_one(subs[1], subs[0], at["out"], g, a, b.shape)
+    return (ga, gb)
+
+
+register_op("einsum", _fw_einsum, _bw_einsum)
+
+
 def einsum(spec: str, *operands) -> Tensor:
     """Differentiable ``np.einsum`` for one or two operands.
 
@@ -73,26 +98,6 @@ def einsum(spec: str, *operands) -> Tensor:
     >>> einsum("bij->bji", a)           # transpose
     >>> einsum("bij->b", a)             # full reduction per batch
     """
-    tensors = [as_tensor(op) for op in operands]
+    tensors = tuple(as_tensor(op) for op in operands)
     ins, out = _parse(spec, len(tensors))
-    data = np.einsum(spec, *[t.data for t in tensors])
-
-    if len(tensors) == 1:
-        a = tensors[0]
-
-        def backward(g):
-            return (_grad_one(ins[0], None, out, g, None, a.shape),)
-
-        return Tensor._make(np.asarray(data), (a,), backward)
-
-    a, b = tensors
-
-    def backward(g):
-        ga = gb = None
-        if a.requires_grad:
-            ga = _grad_one(ins[0], ins[1], out, g, b.data, a.shape)
-        if b.requires_grad:
-            gb = _grad_one(ins[1], ins[0], out, g, a.data, b.shape)
-        return (ga, gb)
-
-    return Tensor._make(np.asarray(data), (a, b), backward)
+    return apply("einsum", tensors, {"spec": spec, "ins": ins, "out": out})

@@ -1,0 +1,449 @@
+"""Executors for the op-graph IR: eager (default) and trace-and-replay.
+
+The eager executor is ``tensor.apply`` itself -- every op evaluates as it
+is declared.  This module adds the second executor: a
+:class:`CompiledGraph` that records the linear op sequence of one eager
+evaluation of an ODE right-hand side and re-executes it on fresh inputs
+without re-entering the Tensor front-end.
+
+Lifecycle of a compiled function (per ``(y-shape, grad-flag,
+y-requires-grad)`` key, all keys dropped when the global graph epoch
+bumps):
+
+1. **trace** -- the first call runs eagerly with a
+   :class:`~repro.autodiff.ir.TraceRecorder` installed; recording rides on
+   the execution, so the traced call does no duplicate work.  Ops that
+   cannot be replayed (``custom`` nodes) fail the trace and pin the key to
+   eager execution.
+2. **validate** -- the second call runs eagerly *and* replays the trace,
+   then bit-compares the outputs.  A right-hand side that does raw-numpy
+   work the recorder cannot see (data-dependent masks built outside the
+   Tensor API, randomness, time baked in without
+   :func:`~repro.autodiff.tensor.time_tensor`) produces different values
+   and permanently falls back to eager for that key.
+3. **replay** -- subsequent calls re-execute the recorded ops directly.
+   Under ``no_grad`` the replay writes into preallocated buffers and fuses
+   adjacent elementwise ops in place; under gradients it materialises
+   fresh arrays and plants a single "replay" fat node in the outer graph
+   whose backward walks the trace in reverse with the same per-opcode
+   rules the eager executor dispatches.
+
+External tensors captured by the trace (parameters, per-batch context
+constants) are resolved to their live ``.data`` at replay time, so
+in-place parameter updates are picked up without retracing.  Anything that
+swaps the captured objects themselves (e.g. ``DHSDynamics.bind``
+installing new contexts) must call
+:func:`~repro.autodiff.ir.bump_graph_epoch`.
+"""
+
+from __future__ import annotations
+
+import os
+import weakref
+
+import numpy as np
+
+from .ir import (
+    OPS,
+    OpNode,
+    TraceRecorder,
+    active_recorder,
+    graph_epoch,
+    next_node_id,
+    set_recorder,
+)
+from .tensor import Tensor, is_grad_enabled
+
+__all__ = [
+    "get_executor",
+    "set_executor",
+    "maybe_compile",
+    "CompiledFunction",
+    "CompiledGraph",
+]
+
+_VALID_MODES = ("eager", "replay")
+
+_MODE = os.environ.get("REPRO_EXECUTOR", "eager")
+if _MODE not in _VALID_MODES:
+    raise ValueError(
+        f"REPRO_EXECUTOR={_MODE!r} is not a valid executor; "
+        f"choose one of {_VALID_MODES}")
+
+
+def get_executor() -> str:
+    """The process-wide executor mode ('eager' or 'replay')."""
+    return _MODE
+
+
+def set_executor(mode: str) -> None:
+    """Select the executor for subsequent ODE solves."""
+    if mode not in _VALID_MODES:
+        raise ValueError(f"executor must be one of {_VALID_MODES}, "
+                         f"got {mode!r}")
+    global _MODE
+    _MODE = mode
+
+
+_REGISTRY = None
+
+
+def _registry():
+    global _REGISTRY
+    if _REGISTRY is None:
+        from ..telemetry import get_registry
+        _REGISTRY = get_registry()
+    return _REGISTRY
+
+
+def _inc(name: str, amount: float = 1.0) -> None:
+    _registry().inc(name, amount)
+
+
+# Ops whose output may be a view of an input array (numpy basic indexing /
+# axis shuffling).  Used to decide when a replayed output must be copied
+# before escaping to the caller: the caller may hold it across later
+# replays that overwrite the underlying persistent buffer.
+_VIEW_OPCODES = frozenset({"reshape", "transpose", "permute", "getitem"})
+
+
+class CompiledGraph:
+    """One recorded trace, executable without the Tensor front-end."""
+
+    def __init__(self, recorder: TraceRecorder, out_buf: int,
+                 grad_mode: bool):
+        self.ops = recorder.ops
+        self.inputs = recorder.inputs          # (kind, shape, requires_grad)
+        self.externals = list(recorder.externals)
+        self.out_buf = out_buf
+        self.grad_mode = grad_mode
+
+        n = len(self.ops)
+        ext_diff = [bool(e.requires_grad) for e in self.externals]
+        in_diff = [kind == "y" and rg for kind, _, rg in self.inputs]
+        # Which recorded ops carry gradient, mirroring the eager rule:
+        # differentiable op with at least one gradient-carrying parent.
+        diff = [False] * n
+        needs = [None] * n
+        for i, op in enumerate(self.ops):
+            flags = []
+            for kind, j in op.refs:
+                if kind == "buf":
+                    flags.append(diff[j])
+                elif kind == "ext":
+                    flags.append(ext_diff[j])
+                else:
+                    flags.append(in_diff[j])
+            needs[i] = tuple(flags)
+            diff[i] = OPS[op.opcode].differentiable and any(flags)
+        self.diff = diff
+        self.needs = needs
+        self.ext_diff = ext_diff
+        self.diff_ext_idx = [j for j, d in enumerate(ext_diff) if d]
+        self.diff_externals = tuple(self.externals[j]
+                                    for j in self.diff_ext_idx)
+
+        # Persistent fill buffers for time slots (no_grad replays only;
+        # gradient replays need fresh arrays because backward frames keep
+        # references past the call).
+        self._t_slots = [(j, shape) for j, (kind, shape, _) in
+                         enumerate(self.inputs) if kind == "t"]
+        self._y_slots = [j for j, (kind, _, _) in enumerate(self.inputs)
+                         if kind == "y"]
+        self._t_bufs = {j: np.empty(shape) for j, shape in self._t_slots}
+
+        self._build_nograd_plan()
+
+    # -- compile-time planning -----------------------------------------
+    def _build_nograd_plan(self) -> None:
+        ops = self.ops
+        n = len(ops)
+        last_use = [-1] * n
+        for i, op in enumerate(ops):
+            for kind, j in op.refs:
+                if kind == "buf":
+                    last_use[j] = i
+
+        buffers: dict[int, np.ndarray] = {}
+        fused = 0
+        aliases = [False] * n        # output may alias persistent storage
+        for i, op in enumerate(ops):
+            spec = OPS[op.opcode]
+            if op.opcode in _VIEW_OPCODES:
+                kind, j = op.refs[0]
+                aliases[i] = (True if kind != "buf"
+                              else (j in buffers) or aliases[j])
+            if spec.run_out is None or i == self.out_buf:
+                continue
+            # In-place fusion: write into a dying same-shape elementwise
+            # input buffer instead of allocating another one.
+            target = None
+            if spec.elementwise:
+                for kind, j in op.refs:
+                    if (kind == "buf" and j in buffers
+                            and last_use[j] == i and ops[j].shape == op.shape):
+                        target = buffers[j]
+                        fused += 1
+                        break
+            buffers[i] = np.empty(op.shape) if target is None else target
+        self._buffers = buffers
+        self._fused = fused
+        self._prealloc_bytes = int(sum(
+            buffers[i].nbytes for i in buffers
+            if not any(buffers[i] is buffers[j] for j in buffers if j < i)))
+        self._copy_output = aliases[self.out_buf] if n else False
+        self._vals: list = [None] * n
+        # Flat step plan for the replay hot loop: everything per-op
+        # (dispatch-table lookups, buffer assignment, ref decoding) is
+        # resolved at compile time, so a replayed call is one tuple unpack
+        # and one indexing chain per op.  Refs are coded as indices into
+        # the (vals, inarrs, ext_vals) source triple.
+        code = {"buf": 0, "in": 1, "ext": 2}
+        self._steps = []
+        for i, op in enumerate(ops):
+            spec = OPS[op.opcode]
+            buf = buffers.get(i)
+            coded = tuple((code[kind], j) for kind, j in op.refs)
+            self._steps.append(
+                (i, coded, op.attrs, spec.forward,
+                 spec.run_out if buf is not None else None, buf))
+        # Reusable input-slot list: time buffers are installed once and
+        # refilled in place; y slots are overwritten per call.
+        self._inarrs: list = [None] * len(self.inputs)
+        for j, _ in self._t_slots:
+            self._inarrs[j] = self._t_bufs[j]
+
+    # -- execution ------------------------------------------------------
+    def _resolve(self, refs, vals, inarrs):
+        externals = self.externals
+        return tuple(
+            vals[j] if kind == "buf"
+            else inarrs[j] if kind == "in"
+            else externals[j].data
+            for kind, j in refs)
+
+    def run_values(self, inarrs) -> list:
+        """Fresh-array execution of the whole trace (validation + grad)."""
+        vals = [None] * len(self.ops)
+        resolve = self._resolve
+        for i, op in enumerate(self.ops):
+            ins = resolve(op.refs, vals, inarrs)
+            vals[i] = np.asarray(OPS[op.opcode].forward(ins, op.attrs),
+                                 dtype=np.float64)
+        return vals
+
+    def _run_buffered(self, inarrs) -> np.ndarray:
+        vals = self._vals
+        asarray = np.asarray
+        src = (vals, inarrs, [e.data for e in self.externals])
+        for i, refs, attrs, forward, run_out, buf in self._steps:
+            ins = tuple([src[c][j] for c, j in refs])
+            if buf is None:
+                vals[i] = asarray(forward(ins, attrs), dtype=np.float64)
+            else:
+                vals[i] = run_out(ins, attrs, buf)
+        out = vals[self.out_buf]
+        if self._copy_output:
+            out = np.array(out)
+        return out
+
+    def fill_inputs(self, t: float, y_data: np.ndarray, fresh: bool):
+        inarrs: list = [None] * len(self.inputs)
+        for j in self._y_slots:
+            inarrs[j] = y_data
+        if fresh:
+            for j, shape in self._t_slots:
+                inarrs[j] = np.full(shape, float(t))
+        else:
+            for j, _ in self._t_slots:
+                buf = self._t_bufs[j]
+                buf.fill(float(t))
+                inarrs[j] = buf
+        return inarrs
+
+    def replay_nograd(self, t: float, y: Tensor) -> Tensor:
+        inarrs = self._inarrs
+        for j in self._y_slots:
+            inarrs[j] = y.data
+        ft = float(t)
+        for j, _ in self._t_slots:
+            self._t_bufs[j].fill(ft)
+        data = self._run_buffered(inarrs)
+        reg = _registry()
+        if reg.enabled:
+            reg.inc("ir.fused_ops", self._fused)
+            reg.inc("ir.bytes_reused", self._prealloc_bytes)
+        # fast-path Tensor construction: data is already a float64 ndarray
+        out = Tensor.__new__(Tensor)
+        out.data = data
+        out.grad = None
+        out.requires_grad = False
+        out._node = None
+        out.name = ""
+        return out
+
+    def replay_grad(self, t: float, y: Tensor) -> Tensor:
+        inarrs = self.fill_inputs(t, y.data, fresh=True)
+        vals = self.run_values(inarrs)
+        out = Tensor(vals[self.out_buf])
+        parents = (y,) + self.diff_externals
+        if is_grad_enabled() and any(p.requires_grad for p in parents):
+            out.requires_grad = True
+            out._node = OpNode(next_node_id(), "replay", parents,
+                               {"graph": self, "frame": (vals, inarrs)},
+                               out.data)
+        return out
+
+    def backward(self, g: np.ndarray, frame) -> tuple:
+        """Backward rule of the fat "replay" node.
+
+        Walks the trace in reverse with the same per-opcode rules the
+        eager executor dispatches, in the same (creation-descending)
+        order, so per-call gradients are bit-identical to eager.  Returns
+        one gradient per fat-node parent: ``(y, *diff_externals)``.
+        """
+        vals, inarrs = frame
+        resolve = self._resolve
+        grads: dict[int, np.ndarray] = {self.out_buf: g}
+        ext_grads: dict[int, np.ndarray] = {}
+        y_grad = None
+        for i in range(len(self.ops) - 1, -1, -1):
+            if not self.diff[i]:
+                continue
+            node_grad = grads.pop(i, None)
+            if node_grad is None:
+                continue
+            op = self.ops[i]
+            ins = resolve(op.refs, vals, inarrs)
+            parent_grads = OPS[op.opcode].backward(
+                node_grad, ins, vals[i], op.attrs, self.needs[i])
+            for (kind, j), pgrad in zip(op.refs, parent_grads):
+                if pgrad is None:
+                    continue
+                if kind == "buf":
+                    if self.diff[j]:
+                        grads[j] = grads[j] + pgrad if j in grads else pgrad
+                elif kind == "ext":
+                    if self.ext_diff[j]:
+                        ext_grads[j] = (ext_grads[j] + pgrad
+                                        if j in ext_grads else pgrad)
+                else:
+                    if self.inputs[j][0] == "y":
+                        y_grad = y_grad + pgrad if y_grad is not None else pgrad
+        return (y_grad,) + tuple(ext_grads.get(j) for j in self.diff_ext_idx)
+
+    # -- introspection ---------------------------------------------------
+    def dump(self) -> list[str]:
+        """Human-readable listing of the recorded trace."""
+        def show(ref):
+            kind, j = ref
+            if kind == "buf":
+                return f"%{j}"
+            if kind == "in":
+                return f"{self.inputs[j][0]}{j}"
+            name = getattr(self.externals[j], "name", "")
+            return f"ext{j}" + (f":{name}" if name else "")
+
+        lines = []
+        for i, op in enumerate(self.ops):
+            args = ", ".join(show(r) for r in op.refs)
+            tag = " [diff]" if self.diff[i] else ""
+            lines.append(f"%{i} = {op.opcode}({args}) shape={op.shape}{tag}")
+        lines.append(f"return %{self.out_buf}")
+        return lines
+
+
+class CompiledFunction:
+    """Trace cache wrapped around one ODE right-hand side ``func(t, y)``."""
+
+    __slots__ = ("func", "entries", "_epoch", "__weakref__")
+
+    def __init__(self, func):
+        self.func = func
+        self.entries: dict = {}
+        self._epoch = graph_epoch()
+
+    def __call__(self, t, y):
+        if _MODE != "replay" or not isinstance(y, Tensor) \
+                or active_recorder() is not None:
+            return self.func(t, y)
+        epoch = graph_epoch()
+        if epoch != self._epoch:
+            self.entries.clear()
+            self._epoch = epoch
+        key = (y.data.shape, is_grad_enabled(), y.requires_grad)
+        entry = self.entries.get(key)
+        if entry is None:
+            return self._trace(key, t, y)
+        state, graph = entry
+        if state == "ready":
+            _inc("ir.replay_hits")
+            if graph.grad_mode:
+                return graph.replay_grad(t, y)
+            return graph.replay_nograd(t, y)
+        if state == "validate":
+            return self._validate(key, graph, t, y)
+        return self.func(t, y)          # pinned to eager for this key
+
+    def _trace(self, key, t, y):
+        _inc("ir.replay_misses")
+        _inc("ir.trace_builds")
+        recorder = TraceRecorder()
+        recorder.mark_input(y, "y")
+        set_recorder(recorder)
+        try:
+            out = self.func(t, y)
+        finally:
+            set_recorder(None)
+        out_ref = (recorder.output_ref(out)
+                   if isinstance(out, Tensor) else None)
+        if recorder.failed is None and (out_ref is None
+                                        or out_ref[0] != "buf"):
+            recorder.failed = "output is not the product of a recorded op"
+        if recorder.failed is not None:
+            self.entries[key] = ("eager", recorder.failed)
+        else:
+            graph = CompiledGraph(recorder, out_ref[1],
+                                  grad_mode=is_grad_enabled())
+            self.entries[key] = ("validate", graph)
+        return out
+
+    def _validate(self, key, graph, t, y):
+        _inc("ir.replay_misses")
+        out = self.func(t, y)
+        replayed = graph.run_values(
+            graph.fill_inputs(t, y.data, fresh=True))[graph.out_buf]
+        if isinstance(out, Tensor) and out.data.shape == replayed.shape \
+                and np.array_equal(out.data, replayed):
+            self.entries[key] = ("ready", graph)
+        else:
+            # The function does work the recorder cannot see (raw-numpy
+            # masks, randomness, time baked in as a constant); stay eager.
+            self.entries[key] = ("eager", "validation mismatch")
+            _inc("ir.validation_failures")
+        return out
+
+
+_COMPILED: "weakref.WeakKeyDictionary" = weakref.WeakKeyDictionary()
+
+
+def maybe_compile(func):
+    """Wrap ``func(t, y)`` with the trace-and-replay cache when the replay
+    executor is selected; under the eager executor this is the identity.
+
+    Wrappers are cached per function object, so a model's RHS keeps its
+    traces across solver steps and training batches (until a graph-epoch
+    bump invalidates them).
+    """
+    if isinstance(func, CompiledFunction):
+        return func
+    if _MODE != "replay":
+        return func
+    try:
+        wrapper = _COMPILED.get(func)
+        if wrapper is None:
+            wrapper = CompiledFunction(func)
+            _COMPILED[func] = wrapper
+    except TypeError:
+        return CompiledFunction(func)
+    return wrapper

@@ -9,7 +9,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from .tensor import Tensor, as_tensor, where
+from .tensor import Tensor, apply, as_tensor, where
 
 __all__ = [
     "softmax",
@@ -24,10 +24,20 @@ __all__ = [
 ]
 
 
+def _const_max(x: Tensor, axis: int) -> Tensor:
+    """Keepdims max treated as a constant (no gradient through the shift).
+
+    Declared as the non-differentiable ``amax_const`` IR op rather than a
+    raw ``Tensor(x.data.max(...))`` so replayed graphs recompute the shift
+    from live inputs instead of baking a stale constant into the trace.
+    """
+    return apply("amax_const", (x,), {"axis": axis})
+
+
 def softmax(x: Tensor, axis: int = -1) -> Tensor:
     """Numerically stable softmax along ``axis``."""
     x = as_tensor(x)
-    shifted = x - Tensor(x.data.max(axis=axis, keepdims=True))
+    shifted = x - _const_max(x, axis)
     exp = shifted.exp()
     return exp / exp.sum(axis=axis, keepdims=True)
 
@@ -35,7 +45,7 @@ def softmax(x: Tensor, axis: int = -1) -> Tensor:
 def log_softmax(x: Tensor, axis: int = -1) -> Tensor:
     """Numerically stable log-softmax along ``axis``."""
     x = as_tensor(x)
-    shifted = x - Tensor(x.data.max(axis=axis, keepdims=True))
+    shifted = x - _const_max(x, axis)
     return shifted - shifted.exp().sum(axis=axis, keepdims=True).log()
 
 
@@ -99,7 +109,9 @@ def binary_cross_entropy_with_logits(logits: Tensor, target) -> Tensor:
     """Stable BCE on logits: ``max(x,0) - x*y + log(1+exp(-|x|))``."""
     target = as_tensor(target)
     zeros = Tensor(np.zeros_like(logits.data))
-    loss = where(logits.data > 0, logits, zeros) - logits * target \
+    # The mask comparison stays in Tensor space so it is recomputed from
+    # live logits when the expression is replayed from a trace.
+    loss = where(logits > 0, logits, zeros) - logits * target \
         + (-logits.abs()).exp().__add__(1.0).log()
     return loss.mean()
 

@@ -1,11 +1,13 @@
 """Opt-in per-op profiling of the autodiff tape.
 
-``with tape_profile() as prof:`` installs a hook in
-:meth:`repro.autodiff.Tensor._make` that records, for every tape node
-created inside the block:
+``with tape_profile() as prof:`` installs a hook on the IR execution path
+(:func:`repro.autodiff.tensor.apply`) that records, for every op executed
+inside the block:
 
-* the op name (``__add__``, ``exp``, ``sum``, ``concat``, ...), taken from
-  the frame that called ``_make`` so no call site needs changing;
+* the exact IR opcode (``add``, ``mul``, ``exp``, ``sum``, ``concat``,
+  ...) -- the same name the op is registered under in
+  :data:`repro.autodiff.ir.OPS`, taken straight from the dispatch, not
+  guessed from the interpreter call stack;
 * an allocation count and byte total (``out.data.nbytes``);
 * **attributed forward time**: the wall-clock elapsed since the previous
   tape node was created on this thread.  In a serial numpy program that
@@ -13,9 +15,9 @@ created inside the block:
   it is a faithful per-op cost signal - but it is an *attribution*, not a
   measurement of the kernel alone (python glue between ops is charged to
   the next op);
-* **exact backward time**: the node's backward closure is wrapped with a
-  timer.  The wrapper forwards the gradient tuple untouched, so profiled
-  and unprofiled runs produce bit-identical gradients (locked by
+* **exact backward time**: the backward pass times each per-opcode rule
+  dispatch.  The timing wrapper forwards the gradient tuple untouched, so
+  profiled and unprofiled runs produce bit-identical gradients (locked by
   ``tests/autodiff/test_tape_profiling.py``).
 
 When no profiler is active the only cost on the tape hot path is a single
@@ -80,23 +82,25 @@ class TapeProfiler:
         self.nodes += 1
         self.bytes_allocated += nbytes
 
-    def _wrap_backward(self, op: str, backward):
+    def _timed_backward(self, rule, op: str, grad, inputs, out, attrs,
+                        needs):
+        """Dispatch one backward rule under the timer.
+
+        The result passes through untouched, so profiled and unprofiled
+        backward passes are bit-identical.
+        """
         rec = self.ops.get(op)
         if rec is None:
             rec = self.ops[op] = OpRecord()
-
-        def timed_backward(grad):
-            start = time.perf_counter()
-            result = backward(grad)
-            end = time.perf_counter()
-            rec.backward_s += end - start
-            rec.backward_calls += 1
-            # Keep the forward-attribution clock current so time spent in
-            # backward closures is never charged to the next forward node.
-            self._last_ts = end
-            return result
-
-        return timed_backward
+        start = time.perf_counter()
+        result = rule(grad, inputs, out, attrs, needs)
+        end = time.perf_counter()
+        rec.backward_s += end - start
+        rec.backward_calls += 1
+        # Keep the forward-attribution clock current so time spent in
+        # backward rules is never charged to the next forward node.
+        self._last_ts = end
+        return result
 
     def _record_backward_pass(self) -> None:
         self.backward_passes += 1

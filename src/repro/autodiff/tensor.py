@@ -2,36 +2,48 @@
 
 This module is the foundation of the whole reproduction: every model in
 ``repro`` (DIFFODE itself and all baselines) is trained by backpropagating
-through a dynamically built tape of :class:`Tensor` operations, exactly the
-role PyTorch plays for the original paper.
+through a tape of :class:`Tensor` operations, exactly the role PyTorch
+plays for the original paper.
 
 Design
 ------
-* A :class:`Tensor` wraps a ``numpy.ndarray`` plus an optional gradient
-  closure.  Each differentiable operation records its parents and a
-  ``backward`` function mapping the output gradient to parent gradients.
-* ``Tensor.backward()`` runs a topological sort of the tape and accumulates
-  gradients into the leaves (``requires_grad=True`` tensors with no parents).
-* Broadcasting follows numpy semantics; gradients are "unbroadcast" (summed)
-  back to each parent's shape.
+* Every primitive is declared once in the :mod:`repro.autodiff.ir` dispatch
+  table (:data:`~repro.autodiff.ir.OPS`): an opcode, a forward rule and a
+  backward rule.  Executing a primitive through :func:`apply` evaluates the
+  forward rule and -- when gradients are enabled and needed -- appends a
+  typed :class:`~repro.autodiff.ir.OpNode` (opcode, parents, attrs, output
+  buffer) to the graph.  A :class:`Tensor` is a thin handle onto that
+  node plus the payload ndarray.
+* ``Tensor.backward()`` walks the reachable ``OpNode`` records in
+  decreasing creation-id order (creation order is a topological order) and
+  dispatches each node's backward rule from the IR table, accumulating
+  gradients into the leaves.
+* Broadcasting follows numpy semantics; gradients are "unbroadcast"
+  (summed) back to each parent's shape.
 * :func:`no_grad` disables tape construction, used for evaluation loops.
+* When a :class:`~repro.autodiff.ir.TraceRecorder` is active (see
+  :mod:`repro.autodiff.executors`), :func:`apply` also appends the op to
+  the trace so the replay executor can re-run it without re-entering this
+  front-end.
 
-Only genuinely primitive operations live here; composite functions (softmax,
-losses, attention) are built from these primitives in
+Only genuinely primitive operations live here; composite functions
+(softmax, losses, attention) are built from these primitives in
 :mod:`repro.autodiff.functional`.
 """
 
 from __future__ import annotations
 
 import contextlib
-import sys
 import threading
-from typing import Callable, Iterable, Sequence
+from typing import Iterable
 
 import numpy as np
 
+from .ir import OPS, OpNode, _unbroadcast, active_recorder, next_node_id
+
 __all__ = [
     "Tensor",
+    "apply",
     "no_grad",
     "is_grad_enabled",
     "as_tensor",
@@ -40,6 +52,7 @@ __all__ = [
     "where",
     "maximum",
     "minimum",
+    "time_tensor",
 ]
 
 _STATE = threading.local()
@@ -70,19 +83,26 @@ def no_grad():
         _STATE.grad_enabled = previous
 
 
-def _unbroadcast(grad: np.ndarray, shape: tuple[int, ...]) -> np.ndarray:
-    """Sum ``grad`` down to ``shape``, undoing numpy broadcasting."""
-    if grad.shape == shape:
-        return grad
-    # Sum over leading dimensions added by broadcasting.
-    extra = grad.ndim - len(shape)
-    if extra > 0:
-        grad = grad.sum(axis=tuple(range(extra)))
-    # Sum over dimensions that were 1 in the original shape.
-    axes = tuple(i for i, n in enumerate(shape) if n == 1 and grad.shape[i] != 1)
-    if axes:
-        grad = grad.sum(axis=axes, keepdims=True)
-    return grad.reshape(shape)
+def apply(opcode: str, parents: tuple["Tensor", ...],
+          attrs: dict | None = None) -> "Tensor":
+    """Execute one IR op eagerly and return its output tensor.
+
+    This is the single choke point every primitive goes through: forward
+    dispatch, tape-node creation, profiler notification and trace
+    recording all happen here.
+    """
+    spec = OPS[opcode]
+    out = Tensor(spec.forward(tuple(p.data for p in parents), attrs))
+    if spec.differentiable and is_grad_enabled() \
+            and any(p.requires_grad for p in parents):
+        out.requires_grad = True
+        out._node = OpNode(next_node_id(), opcode, parents, attrs, out.data)
+    if _PROFILER is not None:
+        _PROFILER._record_node(opcode, out.data.nbytes)
+    recorder = active_recorder()
+    if recorder is not None:
+        recorder.record(opcode, parents, attrs, out)
+    return out
 
 
 class Tensor:
@@ -96,7 +116,7 @@ class Tensor:
         Whether gradients should be accumulated into this tensor.
     """
 
-    __slots__ = ("data", "grad", "requires_grad", "_backward", "_parents", "name")
+    __slots__ = ("data", "grad", "requires_grad", "_node", "name")
     __array_priority__ = 100  # make numpy defer to our reflected operators
 
     def __init__(self, data, requires_grad: bool = False, name: str = ""):
@@ -105,28 +125,33 @@ class Tensor:
         self.data = np.asarray(data, dtype=np.float64)
         self.grad: np.ndarray | None = None
         self.requires_grad = bool(requires_grad) and is_grad_enabled()
-        self._backward: Callable[[np.ndarray], Sequence[np.ndarray | None]] | None = None
-        self._parents: tuple[Tensor, ...] = ()
+        self._node: OpNode | None = None
         self.name = name
 
     # ------------------------------------------------------------------
     # construction helpers
     # ------------------------------------------------------------------
     @staticmethod
-    def _make(data: np.ndarray, parents: tuple["Tensor", ...],
-              backward: Callable[[np.ndarray], Sequence[np.ndarray | None]]) -> "Tensor":
+    def _make_custom(data, parents: tuple["Tensor", ...], backward_fn,
+                     force_grad: bool = False) -> "Tensor":
+        """Build a tensor with a caller-supplied backward closure.
+
+        The escape hatch for nodes whose backward is not a data-only IR
+        rule (the adjoint method's integrate-backwards node).  The node is
+        recorded under the ``"custom"`` opcode, which poisons traces, so
+        such nodes only ever execute eagerly.
+        """
         out = Tensor(data)
-        if is_grad_enabled() and any(p.requires_grad for p in parents):
+        if is_grad_enabled() and (force_grad
+                                  or any(p.requires_grad for p in parents)):
             out.requires_grad = True
-            out._parents = parents
-            out._backward = backward
+            out._node = OpNode(next_node_id(), "custom", parents,
+                               {"fn": backward_fn}, out.data)
         if _PROFILER is not None:
-            # The caller of _make is always the op itself (__add__, exp,
-            # concat, ...), so its code name labels the node for free.
-            op = sys._getframe(1).f_code.co_name
-            _PROFILER._record_node(op, out.data.nbytes)
-            if out._backward is not None:
-                out._backward = _PROFILER._wrap_backward(op, out._backward)
+            _PROFILER._record_node("custom", out.data.nbytes)
+        recorder = active_recorder()
+        if recorder is not None:
+            recorder.record("custom", parents, None, out)
         return out
 
     @property
@@ -162,8 +187,12 @@ class Tensor:
         return float(self.data)
 
     def detach(self) -> "Tensor":
-        """Return a constant tensor sharing this tensor's data."""
-        return Tensor(self.data)
+        """Return a constant tensor sharing this tensor's data.
+
+        The ``name`` survives detaching so profiler output and IR dumps
+        keep their human-readable labels across detach boundaries.
+        """
+        return Tensor(self.data, name=self.name)
 
     def zero_grad(self) -> None:
         self.grad = None
@@ -182,40 +211,57 @@ class Tensor:
         """
         if not self.requires_grad:
             raise RuntimeError("backward() called on a tensor without grad")
-        if _PROFILER is not None:
-            _PROFILER._record_backward_pass()
+        profiler = _PROFILER
+        if profiler is not None:
+            profiler._record_backward_pass()
         if grad is None:
             if self.size != 1:
                 raise RuntimeError("grad must be provided for non-scalar outputs")
             grad = np.ones_like(self.data)
         grad = np.asarray(grad, dtype=np.float64)
 
-        order: list[Tensor] = []
+        if self._node is None:
+            self.grad = grad if self.grad is None else self.grad + grad
+            return
+
+        # Collect the reachable graph.  Interior tensors are sorted by
+        # decreasing node id -- parents always carry smaller ids than their
+        # children, so creation order doubles as a topological order.
+        interior: list[Tensor] = []
+        leaves: list[Tensor] = []
         seen: set[int] = set()
-        stack: list[tuple[Tensor, bool]] = [(self, False)]
+        stack: list[Tensor] = [self]
         while stack:
-            node, processed = stack.pop()
-            if processed:
-                order.append(node)
+            t = stack.pop()
+            if id(t) in seen:
                 continue
-            if id(node) in seen:
-                continue
-            seen.add(id(node))
-            stack.append((node, True))
-            for parent in node._parents:
-                if parent.requires_grad and id(parent) not in seen:
-                    stack.append((parent, False))
+            seen.add(id(t))
+            if t._node is not None:
+                interior.append(t)
+                for parent in t._node.parents:
+                    if parent.requires_grad and id(parent) not in seen:
+                        stack.append(parent)
+            else:
+                leaves.append(t)
+        interior.sort(key=lambda t: t._node.id, reverse=True)
 
         grads: dict[int, np.ndarray] = {id(self): grad}
-        for node in reversed(order):
-            node_grad = grads.pop(id(node), None)
+        for t in interior:
+            node_grad = grads.pop(id(t), None)
             if node_grad is None:
                 continue
-            if node._backward is None:
-                node.grad = node_grad if node.grad is None else node.grad + node_grad
-                continue
-            parent_grads = node._backward(node_grad)
-            for parent, pgrad in zip(node._parents, parent_grads):
+            node = t._node
+            spec = OPS[node.opcode]
+            needs = tuple(p.requires_grad for p in node.parents)
+            inputs = tuple(p.data for p in node.parents)
+            if profiler is not None:
+                parent_grads = profiler._timed_backward(
+                    spec.backward, node.opcode, node_grad, inputs, node.out,
+                    node.attrs, needs)
+            else:
+                parent_grads = spec.backward(node_grad, inputs, node.out,
+                                             node.attrs, needs)
+            for parent, pgrad in zip(node.parents, parent_grads):
                 if pgrad is None or not parent.requires_grad:
                     continue
                 key = id(parent)
@@ -224,141 +270,63 @@ class Tensor:
                 else:
                     grads[key] = pgrad
         # Anything left belongs to leaves encountered exactly once.
-        for node in order:
-            remaining = grads.pop(id(node), None)
+        for t in leaves:
+            remaining = grads.pop(id(t), None)
             if remaining is not None:
-                node.grad = remaining if node.grad is None else node.grad + remaining
+                t.grad = remaining if t.grad is None else t.grad + remaining
 
     # ------------------------------------------------------------------
     # arithmetic primitives
     # ------------------------------------------------------------------
     def __add__(self, other) -> "Tensor":
-        other = as_tensor(other)
-        data = self.data + other.data
-
-        def backward(g):
-            return (_unbroadcast(g, self.shape), _unbroadcast(g, other.shape))
-
-        return Tensor._make(data, (self, other), backward)
+        return apply("add", (self, as_tensor(other)))
 
     __radd__ = __add__
 
     def __sub__(self, other) -> "Tensor":
-        other = as_tensor(other)
-        data = self.data - other.data
-
-        def backward(g):
-            return (_unbroadcast(g, self.shape), _unbroadcast(-g, other.shape))
-
-        return Tensor._make(data, (self, other), backward)
+        return apply("sub", (self, as_tensor(other)))
 
     def __rsub__(self, other) -> "Tensor":
-        return as_tensor(other) - self
+        return apply("sub", (as_tensor(other), self))
 
     def __mul__(self, other) -> "Tensor":
-        other = as_tensor(other)
-        data = self.data * other.data
-        a, b = self, other
-
-        def backward(g):
-            return (
-                _unbroadcast(g * b.data, a.shape),
-                _unbroadcast(g * a.data, b.shape),
-            )
-
-        return Tensor._make(data, (a, b), backward)
+        return apply("mul", (self, as_tensor(other)))
 
     __rmul__ = __mul__
 
     def __truediv__(self, other) -> "Tensor":
-        other = as_tensor(other)
-        data = self.data / other.data
-        a, b = self, other
-
-        def backward(g):
-            return (
-                _unbroadcast(g / b.data, a.shape),
-                _unbroadcast(-g * a.data / (b.data ** 2), b.shape),
-            )
-
-        return Tensor._make(data, (a, b), backward)
+        return apply("div", (self, as_tensor(other)))
 
     def __rtruediv__(self, other) -> "Tensor":
-        return as_tensor(other) / self
+        return apply("div", (as_tensor(other), self))
 
     def __neg__(self) -> "Tensor":
-        data = -self.data
-
-        def backward(g):
-            return (-g,)
-
-        return Tensor._make(data, (self,), backward)
+        return apply("neg", (self,))
 
     def __pow__(self, exponent: float) -> "Tensor":
         if not isinstance(exponent, (int, float)):
             raise TypeError("only scalar exponents are supported")
-        data = self.data ** exponent
-        base = self
-
-        def backward(g):
-            return (g * exponent * base.data ** (exponent - 1),)
-
-        return Tensor._make(data, (self,), backward)
+        return apply("pow", (self,), {"exponent": exponent})
 
     def __matmul__(self, other) -> "Tensor":
-        other = as_tensor(other)
-        a, b = self, other
-        data = a.data @ b.data
-
-        def backward(g):
-            ga = gb = None
-            if a.requires_grad:
-                if b.ndim == 1:
-                    ga = np.multiply.outer(g, b.data) if a.ndim > 1 else g * b.data
-                    ga = _unbroadcast(np.asarray(ga), a.shape)
-                elif a.ndim == 1:
-                    # out[..., j] = sum_k a[k] b[..., k, j]
-                    ga = (b.data * g[..., None, :]).sum(axis=-1)
-                    ga = _unbroadcast(ga, a.shape)
-                else:
-                    ga = _unbroadcast(g @ np.swapaxes(b.data, -1, -2), a.shape)
-            if b.requires_grad:
-                if a.ndim == 1:
-                    if b.ndim > 1:
-                        # out[..., j] = sum_k a[k] b[..., k, j]
-                        gb = a.data[:, None] * g[..., None, :]
-                    else:
-                        gb = a.data * g
-                    gb = _unbroadcast(np.asarray(gb), b.shape)
-                elif b.ndim == 1:
-                    if a.ndim > 1:
-                        # out[..., i] = sum_k a[..., i, k] b[k]
-                        gb = (a.data * g[..., :, None]).sum(
-                            axis=tuple(range(a.ndim - 1)))
-                    else:
-                        gb = a.data * g
-                    gb = _unbroadcast(np.asarray(gb), b.shape)
-                else:
-                    gb = _unbroadcast(np.swapaxes(a.data, -1, -2) @ g, b.shape)
-            return (ga, gb)
-
-        return Tensor._make(data, (a, b), backward)
+        return apply("matmul", (self, as_tensor(other)))
 
     def __rmatmul__(self, other) -> "Tensor":
-        return as_tensor(other) @ self
+        return apply("matmul", (as_tensor(other), self))
 
-    # comparisons produce constant (non-differentiable) tensors
+    # comparisons produce constant (non-differentiable) tensors; routing
+    # them through the IR keeps data-dependent masks replayable
     def __gt__(self, other):
-        return Tensor(self.data > as_tensor(other).data)
+        return apply("greater", (self, as_tensor(other)))
 
     def __lt__(self, other):
-        return Tensor(self.data < as_tensor(other).data)
+        return apply("less", (self, as_tensor(other)))
 
     def __ge__(self, other):
-        return Tensor(self.data >= as_tensor(other).data)
+        return apply("greater_equal", (self, as_tensor(other)))
 
     def __le__(self, other):
-        return Tensor(self.data <= as_tensor(other).data)
+        return apply("less_equal", (self, as_tensor(other)))
 
     # ------------------------------------------------------------------
     # shape primitives
@@ -366,13 +334,7 @@ class Tensor:
     def reshape(self, *shape) -> "Tensor":
         if len(shape) == 1 and isinstance(shape[0], (tuple, list)):
             shape = tuple(shape[0])
-        original = self.shape
-        data = self.data.reshape(shape)
-
-        def backward(g):
-            return (g.reshape(original),)
-
-        return Tensor._make(data, (self,), backward)
+        return apply("reshape", (self,), {"shape": shape})
 
     def transpose(self, axis0: int | None = None, axis1: int | None = None) -> "Tensor":
         """Swap two axes (defaults to the last two; identity for 0-D/1-D).
@@ -381,63 +343,25 @@ class Tensor:
         result as a distinct tensor (renaming it, accumulating into its
         ``.grad``), which must not alias the source.
         """
-        if axis0 is None and axis1 is None:
-            if self.ndim < 2:
-                def identity_backward(g):
-                    return (g,)
-
-                return Tensor._make(self.data, (self,), identity_backward)
+        if axis0 is None and axis1 is None and self.ndim >= 2:
             axis0, axis1 = -2, -1
-        data = np.swapaxes(self.data, axis0, axis1)
-
-        def backward(g):
-            return (np.swapaxes(g, axis0, axis1),)
-
-        return Tensor._make(data, (self,), backward)
+        return apply("transpose", (self,), {"axis0": axis0, "axis1": axis1})
 
     def permute(self, *axes: int) -> "Tensor":
-        data = np.transpose(self.data, axes)
-        inverse = np.argsort(axes)
-
-        def backward(g):
-            return (np.transpose(g, inverse),)
-
-        return Tensor._make(data, (self,), backward)
+        return apply("permute", (self,),
+                     {"axes": axes, "inverse": np.argsort(axes)})
 
     def __getitem__(self, index) -> "Tensor":
-        data = self.data[index]
-        shape = self.shape
-
-        def backward(g):
-            out = np.zeros(shape, dtype=np.float64)
-            np.add.at(out, index, g)
-            return (out,)
-
-        return Tensor._make(data, (self,), backward)
+        return apply("getitem", (self,), {"index": index})
 
     def broadcast_to(self, shape: tuple[int, ...]) -> "Tensor":
-        original = self.shape
-        data = np.broadcast_to(self.data, shape)
-
-        def backward(g):
-            return (_unbroadcast(g, original),)
-
-        return Tensor._make(np.ascontiguousarray(data), (self,), backward)
+        return apply("broadcast_to", (self,), {"shape": shape})
 
     # ------------------------------------------------------------------
     # reductions
     # ------------------------------------------------------------------
     def sum(self, axis=None, keepdims: bool = False) -> "Tensor":
-        data = self.data.sum(axis=axis, keepdims=keepdims)
-        shape = self.shape
-
-        def backward(g):
-            if axis is None:
-                return (np.broadcast_to(g, shape).copy(),)
-            g_exp = g if keepdims else np.expand_dims(g, axis)
-            return (np.broadcast_to(g_exp, shape).copy(),)
-
-        return Tensor._make(data, (self,), backward)
+        return apply("sum", (self,), {"axis": axis, "keepdims": keepdims})
 
     def mean(self, axis=None, keepdims: bool = False) -> "Tensor":
         if axis is None:
@@ -448,133 +372,50 @@ class Tensor:
         return self.sum(axis=axis, keepdims=keepdims) * (1.0 / count)
 
     def max(self, axis=None, keepdims: bool = False) -> "Tensor":
-        data = self.data.max(axis=axis, keepdims=keepdims)
-        shape = self.shape
-
-        def backward(g):
-            if axis is None:
-                mask = (self.data == data).astype(np.float64)
-                mask /= mask.sum()
-                return (mask * g,)
-            expanded = data if keepdims else np.expand_dims(data, axis)
-            mask = (self.data == expanded).astype(np.float64)
-            mask /= mask.sum(axis=axis, keepdims=True)
-            g_exp = g if keepdims else np.expand_dims(g, axis)
-            return (np.broadcast_to(g_exp, shape) * mask,)
-
-        return Tensor._make(data, (self,), backward)
+        return apply("max", (self,), {"axis": axis, "keepdims": keepdims})
 
     # ------------------------------------------------------------------
     # elementwise primitives
     # ------------------------------------------------------------------
     def exp(self) -> "Tensor":
-        data = np.exp(self.data)
-
-        def backward(g):
-            return (g * data,)
-
-        return Tensor._make(data, (self,), backward)
+        return apply("exp", (self,))
 
     def log(self) -> "Tensor":
-        data = np.log(self.data)
-        src = self.data
-
-        def backward(g):
-            return (g / src,)
-
-        return Tensor._make(data, (self,), backward)
+        return apply("log", (self,))
 
     def sqrt(self) -> "Tensor":
-        data = np.sqrt(self.data)
-
-        def backward(g):
-            return (g * 0.5 / data,)
-
-        return Tensor._make(data, (self,), backward)
+        return apply("sqrt", (self,))
 
     def tanh(self) -> "Tensor":
-        data = np.tanh(self.data)
-
-        def backward(g):
-            return (g * (1.0 - data ** 2),)
-
-        return Tensor._make(data, (self,), backward)
+        return apply("tanh", (self,))
 
     def sigmoid(self) -> "Tensor":
-        data = 1.0 / (1.0 + np.exp(-np.clip(self.data, -60.0, 60.0)))
-
-        def backward(g):
-            return (g * data * (1.0 - data),)
-
-        return Tensor._make(data, (self,), backward)
+        return apply("sigmoid", (self,))
 
     def relu(self) -> "Tensor":
-        data = np.maximum(self.data, 0.0)
-        mask = (self.data > 0).astype(np.float64)
-
-        def backward(g):
-            return (g * mask,)
-
-        return Tensor._make(data, (self,), backward)
+        return apply("relu", (self,))
 
     def softplus(self) -> "Tensor":
-        # numerically stable: log(1 + e^x) = max(x, 0) + log1p(e^{-|x|})
-        data = np.maximum(self.data, 0.0) + np.log1p(np.exp(-np.abs(self.data)))
-        sig = 1.0 / (1.0 + np.exp(-np.clip(self.data, -60.0, 60.0)))
-
-        def backward(g):
-            return (g * sig,)
-
-        return Tensor._make(data, (self,), backward)
+        return apply("softplus", (self,))
 
     def abs(self) -> "Tensor":
-        data = np.abs(self.data)
-        sign = np.sign(self.data)
-
-        def backward(g):
-            return (g * sign,)
-
-        return Tensor._make(data, (self,), backward)
+        return apply("abs", (self,))
 
     def clip(self, lo: float, hi: float) -> "Tensor":
-        data = np.clip(self.data, lo, hi)
-        mask = ((self.data >= lo) & (self.data <= hi)).astype(np.float64)
-
-        def backward(g):
-            return (g * mask,)
-
-        return Tensor._make(data, (self,), backward)
+        return apply("clip", (self,), {"lo": lo, "hi": hi})
 
     def sin(self) -> "Tensor":
-        data = np.sin(self.data)
-        src = self.data
-
-        def backward(g):
-            return (g * np.cos(src),)
-
-        return Tensor._make(data, (self,), backward)
+        return apply("sin", (self,))
 
     def cos(self) -> "Tensor":
-        data = np.cos(self.data)
-        src = self.data
-
-        def backward(g):
-            return (-g * np.sin(src),)
-
-        return Tensor._make(data, (self,), backward)
+        return apply("cos", (self,))
 
     # ------------------------------------------------------------------
     # linear algebra primitives
     # ------------------------------------------------------------------
     def inv(self) -> "Tensor":
         """Batched matrix inverse with analytic gradient."""
-        data = np.linalg.inv(self.data)
-
-        def backward(g):
-            inv_t = np.swapaxes(data, -1, -2)
-            return (-inv_t @ g @ inv_t,)
-
-        return Tensor._make(data, (self,), backward)
+        return apply("inv", (self,))
 
     def pinv(self, rcond: float = 1e-15) -> "Tensor":
         """Batched Moore-Penrose pseudo-inverse with analytic gradient.
@@ -587,24 +428,7 @@ class Tensor:
         which matters for structurally rank-deficient matrices perturbed by
         round-off (e.g. ``J p - I`` in Eq. 34).
         """
-        a = self.data
-        plus = np.linalg.pinv(a, rcond=rcond)
-
-        def backward(g):
-            at = np.swapaxes(a, -1, -2)
-            pt = np.swapaxes(plus, -1, -2)
-            m = a.shape[-2]
-            n = a.shape[-1]
-            eye_m = np.eye(m)
-            eye_n = np.eye(n)
-            # VJP of the forward differential above.
-            term1 = -pt @ g @ pt
-            term2 = (eye_m - a @ plus) @ np.swapaxes(g, -1, -2) @ (plus @ pt)
-            term3 = (pt @ plus) @ np.swapaxes(g, -1, -2) @ (eye_n - plus @ a)
-            del at, eye_m, eye_n
-            return (term1 + term2 + term3,)
-
-        return Tensor._make(plus, (self,), backward)
+        return apply("pinv", (self,), {"rcond": rcond})
 
 
 def as_tensor(value) -> Tensor:
@@ -614,56 +438,51 @@ def as_tensor(value) -> Tensor:
     return Tensor(value)
 
 
+def time_tensor(t: float, shape: tuple[int, ...]) -> Tensor:
+    """Constant tensor filled with scalar time ``t``.
+
+    ODE right-hand sides must build their time features through this helper
+    rather than ``Tensor(np.full(shape, t))``: when a trace is being
+    recorded the fill is declared as a replay *input slot*, so the compiled
+    graph re-fills it with the current ``t`` on every replay instead of
+    baking the traced call's time in as a constant.
+    """
+    out = Tensor(np.full(shape, float(t)))
+    recorder = active_recorder()
+    if recorder is not None:
+        recorder.mark_input(out, "t")
+    return out
+
+
 def concat(tensors: Iterable[Tensor], axis: int = -1) -> Tensor:
     """Concatenate tensors along ``axis`` with gradient support."""
     tensors = tuple(as_tensor(t) for t in tensors)
-    data = np.concatenate([t.data for t in tensors], axis=axis)
     sizes = [t.shape[axis] for t in tensors]
     splits = np.cumsum(sizes)[:-1]
-
-    def backward(g):
-        return tuple(np.array_split(g, splits, axis=axis))
-
-    return Tensor._make(data, tensors, backward)
+    return apply("concat", tensors, {"axis": axis, "splits": splits})
 
 
 def stack(tensors: Iterable[Tensor], axis: int = 0) -> Tensor:
     """Stack tensors along a new ``axis`` with gradient support."""
     tensors = tuple(as_tensor(t) for t in tensors)
-    data = np.stack([t.data for t in tensors], axis=axis)
-
-    def backward(g):
-        pieces = np.split(g, len(tensors), axis=axis)
-        return tuple(np.squeeze(p, axis=axis) for p in pieces)
-
-    return Tensor._make(data, tensors, backward)
+    return apply("stack", tensors, {"axis": axis})
 
 
 def where(condition, a, b) -> Tensor:
-    """Elementwise select: gradient flows to the chosen branch only."""
-    cond = np.asarray(condition.data if isinstance(condition, Tensor) else condition)
-    a = as_tensor(a)
-    b = as_tensor(b)
-    data = np.where(cond, a.data, b.data)
+    """Elementwise select: gradient flows to the chosen branch only.
 
-    def backward(g):
-        return (
-            _unbroadcast(np.where(cond, g, 0.0), a.shape),
-            _unbroadcast(np.where(cond, 0.0, g), b.shape),
-        )
-
-    return Tensor._make(data, (a, b), backward)
+    The condition is recorded as a (non-differentiable) parent, so a
+    data-dependent mask -- e.g. ``where(x > 0, ...)`` with the comparison
+    done in Tensor space -- is recomputed from live inputs on replay.
+    """
+    return apply("where", (as_tensor(condition), as_tensor(a), as_tensor(b)))
 
 
 def maximum(a, b) -> Tensor:
     """Elementwise maximum (ties send gradient to the first argument)."""
-    a = as_tensor(a)
-    b = as_tensor(b)
-    return where(a.data >= b.data, a, b)
+    return apply("maximum", (as_tensor(a), as_tensor(b)))
 
 
 def minimum(a, b) -> Tensor:
     """Elementwise minimum (ties send gradient to the first argument)."""
-    a = as_tensor(a)
-    b = as_tensor(b)
-    return where(a.data <= b.data, a, b)
+    return apply("minimum", (as_tensor(a), as_tensor(b)))

@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..autodiff import Tensor, concat
+from ..autodiff import Tensor, concat, time_tensor
 from ..nn import GRUCell, MLP
 from ..odeint import ADAPTIVE_METHODS, SolverOptions, odeint
 from ..core.model import interpolate_grid_states
@@ -50,7 +50,7 @@ class LatentODEBaseline(SequenceModel):
         return self.to_z0(h)
 
     def _dynamics(self, t: float, z: Tensor) -> Tensor:
-        t_col = Tensor(np.full((z.shape[0], 1), float(t)))
+        t_col = time_tensor(t, (z.shape[0], 1))
         return self.f(concat([z, t_col], axis=-1))
 
     def _trajectory(self, values, times, mask) -> Tensor:

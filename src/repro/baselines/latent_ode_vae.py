@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..autodiff import Tensor, concat, masked_mse_loss
+from ..autodiff import Tensor, concat, masked_mse_loss, time_tensor
 from ..nn import GRUCell, MLP
 from ..odeint import ADAPTIVE_METHODS, SolverOptions, odeint
 from ..core.model import interpolate_grid_states
@@ -72,7 +72,7 @@ class LatentODEVAEBaseline(SequenceModel):
         return mu, logvar
 
     def _dynamics(self, t: float, z: Tensor) -> Tensor:
-        t_col = Tensor(np.full((z.shape[0], 1), float(t)))
+        t_col = time_tensor(t, (z.shape[0], 1))
         return self.f(concat([z, t_col], axis=-1))
 
     def _rollout(self, z0: Tensor) -> Tensor:

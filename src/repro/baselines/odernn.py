@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..autodiff import Tensor, concat, stack
+from ..autodiff import Tensor, concat, stack, time_tensor
 from ..linalg import hippo_legt
 from ..nn import GRUCell, Linear, MLP
 from ..core.model import interpolate_grid_states
@@ -48,7 +48,7 @@ class _GridJumpModel(SequenceModel):
 
     def _jump(self, state: Tensor, obs: Tensor, t: float) -> Tensor:
         h = state[:, :self.hidden_dim]
-        t_col = Tensor(np.full((obs.shape[0], 1), float(t)))
+        t_col = time_tensor(t, (obs.shape[0], 1))
         h_new = self.cell(concat([obs, t_col], axis=-1), h)
         if state.shape[1] == self.hidden_dim:
             return h_new
@@ -93,7 +93,7 @@ class ODERNNBaseline(_GridJumpModel):
         self.f = MLP(hidden_dim + 1, [hidden_dim], hidden_dim, rng)
 
     def _drift(self, t: float, h: Tensor) -> Tensor:
-        t_col = Tensor(np.full((h.shape[0], 1), float(t)))
+        t_col = time_tensor(t, (h.shape[0], 1))
         return self.f(concat([h, t_col], axis=-1))
 
 
@@ -150,7 +150,7 @@ class PolyODEBaseline(_GridJumpModel):
     def _drift(self, t: float, state: Tensor) -> Tensor:
         h = state[:, :self.hidden_dim]
         c = state[:, self.hidden_dim:]
-        t_col = Tensor(np.full((h.shape[0], 1), float(t)))
+        t_col = time_tensor(t, (h.shape[0], 1))
         dh = self.f(concat([h, t_col], axis=-1))
         dc = c @ Tensor(self._a_t) + self.proj(h) * Tensor(self._b)
         return concat([dh, dc], axis=-1)

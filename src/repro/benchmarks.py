@@ -1,4 +1,4 @@
-"""Benchmark targets: ``python -m repro.benchmarks [solver|parallel]``.
+"""Benchmark targets: ``python -m repro.benchmarks [solver|parallel|ir]``.
 
 ``solver`` (the default) runs a representative dopri5 workload (a batch of
 decays whose rates span two orders of magnitude, read out on an irregular
@@ -16,6 +16,12 @@ sharded`` transparency row separates the two sources of speedup: compact
 per-shard re-collation (effective even on one core) vs process
 parallelism (needs real cores); ``cpu_count`` records which regime the
 numbers were taken in.
+
+``ir`` times a neural-network right-hand side under the eager executor
+and under trace-and-replay (``BENCH_ir.json``): a direct RHS
+microbenchmark (per-call wall time and speedup), plus a full dopri5
+solve per executor with the ``ir.*`` trace-cache counters (builds, hits,
+misses, hit rate) and a bit-compare of the two solutions.
 """
 
 from __future__ import annotations
@@ -32,7 +38,8 @@ from .autodiff import Tensor, no_grad
 from .odeint import SolverOptions, odeint
 
 __all__ = ["solver_workload", "run_current_solver", "run_seed_emulation",
-           "run", "parallel_workload", "run_parallel", "main"]
+           "run", "parallel_workload", "run_parallel", "ir_workload",
+           "run_ir", "main"]
 
 RTOL, ATOL = 1e-5, 1e-7
 
@@ -229,6 +236,148 @@ def run_parallel(out_path: str | pathlib.Path = "BENCH_parallel.json",
     return payload
 
 
+def ir_workload(batch: int = 16, hidden: int = 16, seed: int = 3):
+    """Two-hidden-layer MLP dynamics at DIFFODE-scale widths: the regime
+    where per-op Python dispatch, not numpy compute, dominates the RHS --
+    exactly the overhead trace-and-replay removes."""
+    from .autodiff import time_tensor
+
+    rng = np.random.default_rng(seed)
+    w1 = Tensor(rng.standard_normal((hidden, hidden)) * 0.2, name="w1")
+    b1 = Tensor(rng.standard_normal((1, hidden)) * 0.1, name="b1")
+    w2 = Tensor(rng.standard_normal((hidden, hidden)) * 0.2, name="w2")
+    b2 = Tensor(rng.standard_normal((1, hidden)) * 0.1, name="b2")
+    w3 = Tensor(rng.standard_normal((hidden, hidden)) * 0.2, name="w3")
+
+    def rhs(t, y):
+        tt = time_tensor(t, (batch, 1))
+        h = (y @ w1 + b1 + tt).tanh()
+        h = (h @ w2 + b2).tanh()
+        return h @ w3 - y * 0.5
+
+    y0 = rng.standard_normal((batch, hidden)) * 0.3
+    return rhs, y0
+
+
+def _time_rhs_calls(fn, y, calls: int, repeats: int = 9) -> float:
+    """Best-of-``repeats`` seconds per call of ``fn(t, y)`` under no_grad."""
+    best = float("inf")
+    with no_grad():
+        for _ in range(repeats):
+            start = time.perf_counter()
+            for i in range(calls):
+                fn(0.5, y)
+            best = min(best, time.perf_counter() - start)
+    return best / calls
+
+
+def _solve_ir(mode: str):
+    """One no_grad dopri5 solve of the ir workload under ``mode``; returns
+    (solution array, nfev, seconds, ir.* counter snapshot)."""
+    from .autodiff import set_executor
+    from .telemetry import get_registry
+
+    rhs, y0 = ir_workload()
+    times = np.linspace(0.0, 2.0, 9)
+    reg = get_registry()
+    set_executor(mode)
+    reg.reset()
+    reg.enable()
+    try:
+        with no_grad():
+            start = time.perf_counter()
+            sol, stats = odeint(rhs, Tensor(y0), times, method="dopri5",
+                                options=SolverOptions(rtol=RTOL, atol=ATOL),
+                                return_stats=True)
+            elapsed = time.perf_counter() - start
+        counters = {name: c.value for name, c in reg.counters.items()
+                    if name.startswith("ir.")}
+    finally:
+        reg.disable()
+        reg.reset()
+        set_executor("eager")
+    return sol.data.copy(), stats.nfev, elapsed, counters
+
+
+def run_ir(out_path: str | pathlib.Path = "BENCH_ir.json",
+           calls: int = 300) -> dict:
+    from .autodiff import CompiledFunction, set_executor
+
+    # -- RHS microbenchmark: eager vs warmed replay --------------------
+    rhs, y0 = ir_workload()
+    y = Tensor(y0)
+    eager_s = _time_rhs_calls(rhs, y, calls)
+
+    compiled = CompiledFunction(rhs)
+    set_executor("replay")
+    try:
+        with no_grad():
+            compiled(0.5, y)        # trace
+            compiled(0.5, y)        # validate
+        replay_s = _time_rhs_calls(compiled, y, calls)
+    finally:
+        set_executor("eager")
+
+    # -- full dopri5 solve per executor with trace-cache counters ------
+    sol_eager, nfev, eager_solve_s, _ = _solve_ir("eager")
+    sol_replay, nfev_replay, replay_solve_s, counters = _solve_ir("replay")
+    hits = counters.get("ir.replay_hits", 0.0)
+    misses = counters.get("ir.replay_misses", 0.0)
+
+    payload = {
+        "workload": ("batch-16 hidden-16 two-layer MLP dynamics, "
+                     "9 readouts over t in [0, 2]"),
+        "rhs_calls": calls,
+        "eager_rhs_us": eager_s * 1e6,
+        "replay_rhs_us": replay_s * 1e6,
+        "rhs_speedup": eager_s / replay_s,
+        "solve": {
+            "nfev": nfev,
+            "nfev_replay": nfev_replay,
+            "eager_seconds": eager_solve_s,
+            "replay_seconds": replay_solve_s,
+            "solve_speedup": eager_solve_s / replay_solve_s,
+            "max_abs_diff_vs_eager": float(
+                np.abs(sol_eager - sol_replay).max()),
+        },
+        "trace_cache": {
+            "trace_builds": counters.get("ir.trace_builds", 0.0),
+            "replay_hits": hits,
+            "replay_misses": misses,
+            "hit_rate": hits / (hits + misses) if hits + misses else 0.0,
+            "fused_ops_per_replay": (
+                counters.get("ir.fused_ops", 0.0) / hits if hits else 0.0),
+            "bytes_reused_per_replay": (
+                counters.get("ir.bytes_reused", 0.0) / hits if hits else 0.0),
+        },
+    }
+    path = pathlib.Path(out_path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(payload, indent=2) + "\n")
+    return payload
+
+
+def _main_ir(out: str) -> int:
+    payload = run_ir(out)
+    cache = payload["trace_cache"]
+    solve = payload["solve"]
+    print(f"RHS microbenchmark ({payload['rhs_calls']} calls, no_grad)")
+    print(f"  eager:  {payload['eager_rhs_us']:8.1f} us/call")
+    print(f"  replay: {payload['replay_rhs_us']:8.1f} us/call  "
+          f"({payload['rhs_speedup']:.2f}x)")
+    print(f"dopri5 solve (nfev={solve['nfev']})")
+    print(f"  eager:  {solve['eager_seconds']:.3f}s")
+    print(f"  replay: {solve['replay_seconds']:.3f}s  "
+          f"({solve['solve_speedup']:.2f}x)  "
+          f"max|diff|={solve['max_abs_diff_vs_eager']:.1e}")
+    print(f"  trace cache: {cache['trace_builds']:.0f} builds, "
+          f"{cache['replay_hits']:.0f} hits / "
+          f"{cache['replay_misses']:.0f} misses "
+          f"(hit rate {cache['hit_rate']:.1%})")
+    print(f"  wrote {out}")
+    return 0
+
+
 def _main_solver(out: str) -> int:
     payload = run(out)
     print(f"dopri5 workload @ rtol={RTOL:g} atol={ATOL:g}")
@@ -261,6 +410,8 @@ def main(argv: list[str] | None = None) -> int:
     if target == "solver":
         return _main_solver(argv[1] if len(argv) > 1
                             else "BENCH_solver.json")
+    if target == "ir":
+        return _main_ir(argv[1] if len(argv) > 1 else "BENCH_ir.json")
     # Back-compat: a bare path argument means the solver benchmark.
     return _main_solver(target)
 

@@ -8,6 +8,8 @@ Examples::
         --task interpolation
     python -m repro.cli train --model DIFFODE --dataset synthetic \
         --workers 4
+    python -m repro.cli train --model DIFFODE --dataset synthetic \
+        --executor replay
     python -m repro.cli evaluate --checkpoint diffode.npz \
         --dataset synthetic
     python -m repro.cli profile --model DIFFODE --dataset synthetic \
@@ -26,6 +28,7 @@ import contextlib
 
 import numpy as np
 
+from .autodiff import set_executor
 from .data import Dataset, batch_iter, train_val_test_split
 from .experiments import (
     ALL_MODELS,
@@ -73,6 +76,11 @@ def build_parser() -> argparse.ArgumentParser:
                        help="write a .npz checkpoint (DIFFODE only)")
     train.add_argument("--trace", default=None, metavar="OUT.jsonl",
                        help="write the telemetry event stream as JSONL")
+    train.add_argument("--executor", default=None,
+                       choices=["eager", "replay"],
+                       help="autodiff executor for ODE right-hand sides "
+                            "(default: REPRO_EXECUTOR env or eager); "
+                            "gradient workers inherit the choice")
 
     ev = sub.add_parser("evaluate", help="evaluate a DIFFODE checkpoint")
     ev.add_argument("--checkpoint", required=True)
@@ -86,6 +94,9 @@ def build_parser() -> argparse.ArgumentParser:
     ev.add_argument("--seed", type=int, default=0)
     ev.add_argument("--trace", default=None, metavar="OUT.jsonl",
                     help="write the telemetry event stream as JSONL")
+    ev.add_argument("--executor", default=None,
+                    choices=["eager", "replay"],
+                    help="autodiff executor for ODE right-hand sides")
 
     prof = sub.add_parser(
         "profile",
@@ -112,6 +123,9 @@ def build_parser() -> argparse.ArgumentParser:
                       help="override the DIFFODE ODE solver")
     prof.add_argument("--trace", default=None, metavar="OUT.jsonl",
                       help="write the telemetry event stream as JSONL")
+    prof.add_argument("--executor", default=None,
+                      choices=["eager", "replay"],
+                      help="autodiff executor for ODE right-hand sides")
     prof.add_argument("--seed", type=int, default=0)
 
     sub.add_parser("list", help="list available models and datasets")
@@ -307,6 +321,8 @@ def _cmd_list(_args) -> int:
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
+    if getattr(args, "executor", None):
+        set_executor(args.executor)
     handlers = {"train": _cmd_train, "evaluate": _cmd_evaluate,
                 "profile": _cmd_profile, "list": _cmd_list}
     return handlers[args.command](args)

@@ -112,6 +112,14 @@ class DHSContext:
         self._a_ones = self.a_null @ m_col            # A_p J      (B, n, 1)
         denom = (m_col.transpose() @ self._a_ones)    # J A_p J    (B, 1, 1)
         self._denom = denom[:, 0, :] + _EPS           # (B, 1)
+        # Name the context constants: ODE right-hand-side traces capture
+        # them as externals, and the names make CompiledGraph.dump()
+        # listings readable (ext0:dhs_zt_pinv rather than a bare ext0).
+        self.z.name = "dhs_z"
+        self.zt_pinv.name = "dhs_zt_pinv"
+        self.a_null.name = "dhs_a_null"
+        self._a_ones.name = "dhs_a_ones"
+        self._denom.name = "dhs_denom"
 
     # ------------------------------------------------------------------
     def least_norm_p(self, s: Tensor) -> Tensor:

@@ -9,7 +9,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..autodiff import Tensor, concat
+from ..autodiff import Tensor, bump_graph_epoch, concat, time_tensor
 from ..linalg import hippo_legt
 from ..nn import MLP, Linear, Module, Parameter
 from .dhs import DHSContext, P_SOLVERS, recover_z
@@ -63,6 +63,10 @@ class DHSDynamics(Module):
             raise ValueError(f"expected {self.num_heads} contexts, "
                              f"got {len(contexts)}")
         self._contexts = contexts
+        # Replayed traces capture the context tensors (pinv of Z, null
+        # projectors, ...) as externals; swapping them for a new batch
+        # must invalidate every recorded trace.
+        bump_graph_epoch()
 
     def solve_p(self, ctx: DHSContext, s_head: Tensor) -> Tensor:
         solver = P_SOLVERS[self.p_solver]
@@ -84,7 +88,7 @@ class DHSDynamics(Module):
             head_data.append((ctx, p))
 
         z = concat(z_parts, axis=-1)
-        t_col = Tensor(np.full((batch, 1), float(t)))
+        t_col = time_tensor(t, (batch, 1))
         dz = self.phi(concat([z, t_col], axis=-1))  # (B, latent_dim)
 
         ds_parts: list[Tensor] = []
@@ -120,7 +124,7 @@ class PlainLatentDynamics(Module):
         return None
 
     def forward(self, t: float, s: Tensor) -> Tensor:
-        t_col = Tensor(np.full((s.shape[0], 1), float(t)))
+        t_col = time_tensor(t, (s.shape[0], 1))
         return self.phi(concat([s, t_col], axis=-1))
 
 
@@ -142,8 +146,10 @@ class AugmentedDynamics(Module):
         self.hippo_dim = hippo_dim
         self.info_dim = info_dim
         a, b = hippo_legt(hippo_dim, theta=window)
-        self._a_t = a.T.copy()           # apply as c @ A^T
-        self._b = b.copy()
+        # Constant tensors (not per-call ``Tensor(...)`` wraps) so replayed
+        # traces hold stable externals and eager calls allocate less.
+        self._a_t = Tensor(a.T.copy(), name="hippo_a_t")   # apply as c @ A^T
+        self._b = Tensor(b.copy(), name="hippo_b")
         self.w_r = Linear(info_dim, 1, rng)
         self.f_r = MLP(latent_dim + hippo_dim + info_dim, [hidden_dim],
                        info_dim, rng)
@@ -156,6 +162,6 @@ class AugmentedDynamics(Module):
         s, c, r = self.split(state)
         ds = self.latent(t, s)
         u = self.w_r(r)                                   # (B, 1)
-        dc = c @ Tensor(self._a_t) + u * Tensor(self._b)
+        dc = c @ self._a_t + u * self._b
         dr = self.f_r(concat([s, c, r], axis=-1))
         return concat([ds, dc, dr], axis=-1)

@@ -32,6 +32,10 @@ class Module:
 
     def __setattr__(self, key, value):
         if isinstance(value, Parameter):
+            if not value.name:
+                # Inherit the attribute name so profiler tables and IR
+                # trace dumps show "weight"/"bias" instead of blank labels.
+                value.name = key
             self._params[key] = value
         elif isinstance(value, Module):
             self._modules[key] = value

@@ -17,7 +17,7 @@ from typing import Callable, Sequence
 
 import numpy as np
 
-from ..autodiff import Tensor, no_grad
+from ..autodiff import Tensor, maybe_compile, no_grad
 from ..nn import Module
 from ..telemetry import get_registry
 from .fixed import FIXED_STEPPERS, STEP_NFEV
@@ -27,14 +27,18 @@ from .stats import SolverStats
 __all__ = ["odeint_adjoint"]
 
 
-def _vjp(func: Module, t: float, y_value: np.ndarray,
+def _vjp(rhs: Callable, params: list, t: float, y_value: np.ndarray,
          a_value: np.ndarray) -> tuple[np.ndarray, list[np.ndarray]]:
-    """Return ``(a^T df/dy, [a^T df/dtheta ...])`` at a single point."""
-    params = list(func.parameters())
+    """Return ``(a^T df/dy, [a^T df/dtheta ...])`` at a single point.
+
+    ``rhs`` is the (possibly replay-compiled) right-hand side; the adjoint
+    sweep rebuilds this one-step graph at every augmented evaluation, which
+    is exactly the pattern the trace cache collapses to a single fat node.
+    """
     for p in params:
         p.zero_grad()
     y = Tensor(y_value, requires_grad=True)
-    f = func(t, y)
+    f = rhs(t, y)
     f.backward(a_value)
     dy = y.grad if y.grad is not None else np.zeros_like(y_value)
     dparams = [p.grad if p.grad is not None else np.zeros_like(p.data)
@@ -74,6 +78,7 @@ def odeint_adjoint(func: Module, y0: Tensor, t: Sequence[float],
     step_size = opts.step_size
     stepper = FIXED_STEPPERS[method]
     params = list(func.parameters())
+    rhs = maybe_compile(func)
     stats = SolverStats(method=f"adjoint[{method}]")
 
     # ------------------------------------------------------------------
@@ -88,7 +93,7 @@ def odeint_adjoint(func: Module, y0: Tensor, t: Sequence[float],
             dt = span / n_sub
             tau = float(t0)
             for _ in range(n_sub):
-                y = stepper(func, tau, dt, y)
+                y = stepper(rhs, tau, dt, y)
                 tau += dt
             stats.steps += n_sub
             states.append(np.array(y.data, copy=True))
@@ -102,8 +107,8 @@ def odeint_adjoint(func: Module, y0: Tensor, t: Sequence[float],
 
         def aug_dynamics(t_val: float, y_val: np.ndarray, a_val: np.ndarray):
             with no_grad():
-                f_val = func(t_val, Tensor(y_val)).data
-            vjp_y, vjp_p = _vjp(func, t_val, y_val, a_val)
+                f_val = rhs(t_val, Tensor(y_val)).data
+            vjp_y, vjp_p = _vjp(rhs, params, t_val, y_val, a_val)
             stats.nfev += 2  # plain RHS eval + the VJP forward pass
             return f_val, -vjp_y, [-g for g in vjp_p]
 
@@ -145,9 +150,7 @@ def odeint_adjoint(func: Module, y0: Tensor, t: Sequence[float],
         return (adj_y,)
 
     stats.publish(get_registry())
-    out = Tensor(solution)
-    if y0.requires_grad or any(p.requires_grad for p in params):
-        out.requires_grad = True
-        out._parents = (y0,)
-        out._backward = backward
+    out = Tensor._make_custom(
+        solution, (y0,), backward,
+        force_grad=y0.requires_grad or any(p.requires_grad for p in params))
     return (out, stats) if return_stats else out

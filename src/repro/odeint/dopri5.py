@@ -39,7 +39,7 @@ from typing import Callable, Sequence
 
 import numpy as np
 
-from ..autodiff import Tensor, no_grad, stack
+from ..autodiff import Tensor, maybe_compile, no_grad, stack
 from .options import validate_times
 from .stats import SolverStats
 
@@ -196,6 +196,10 @@ def _dopri5_core(func: OdeFunc, y0: Tensor, times: np.ndarray,
                  freeze_patience: int = 3
                  ) -> tuple[list[Tensor], SolverStats]:
     """One continuous adaptive integration over all ``times``."""
+    # Under the replay executor the RHS goes through the per-(model,
+    # shard-shape) trace cache: it is traced on the first stage evaluation
+    # and replayed on the ~6 evaluations of every subsequent trial step.
+    func = maybe_compile(func)
     t0, t_end = float(times[0]), float(times[-1])
     direction = 1.0 if t_end > t0 else -1.0
     span = abs(t_end - t0)

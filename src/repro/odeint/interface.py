@@ -24,7 +24,7 @@ from __future__ import annotations
 import math
 from typing import Callable, Sequence
 
-from ..autodiff import Tensor, stack
+from ..autodiff import Tensor, maybe_compile, stack
 from ..telemetry import get_registry
 from .adams import AdamsBashforthMoulton
 from .dopri5 import dopri5_solve
@@ -103,6 +103,11 @@ def odeint(func: OdeFunc, y0: Tensor, t: Sequence[float],
     outputs: list[Tensor] = [y0]
     y = y0
     h_max = opts.step_size
+    # The fixed-step and multistep paths evaluate the same RHS expression
+    # at every sub-step; under the replay executor one trace serves them
+    # all.  CountingFunc wraps the compiled function, so nfev still counts
+    # logical RHS evaluations whether they replay or run eagerly.
+    func = maybe_compile(func)
 
     if method == "implicit_adams":
         counted = CountingFunc(func, stats)

@@ -1,0 +1,191 @@
+"""Op-graph IR: registry invariants, trace recording, epoch invalidation."""
+
+import numpy as np
+import pytest
+
+from repro.autodiff import (
+    OPS,
+    CompiledFunction,
+    OpSpec,
+    Tensor,
+    bump_graph_epoch,
+    get_executor,
+    gradcheck,
+    graph_epoch,
+    set_executor,
+    time_tensor,
+)
+from repro.autodiff.ir import (
+    UNREPLAYABLE,
+    TraceRecorder,
+    active_recorder,
+    next_node_id,
+    register_op,
+    set_recorder,
+)
+
+
+class TestOpRegistry:
+    def test_every_spec_is_keyed_by_its_opcode(self):
+        for opcode, spec in OPS.items():
+            assert isinstance(spec, OpSpec)
+            assert spec.opcode == opcode
+
+    def test_differentiable_ops_have_backward_rules(self):
+        for spec in OPS.values():
+            if spec.differentiable:
+                assert spec.backward is not None, spec.opcode
+
+    def test_nondifferentiable_ops_have_no_backward(self):
+        for spec in OPS.values():
+            if not spec.differentiable:
+                assert spec.backward is None, spec.opcode
+
+    def test_escape_hatches_are_unreplayable(self):
+        assert "custom" in UNREPLAYABLE
+        assert "replay" in UNREPLAYABLE
+        for opcode in UNREPLAYABLE:
+            assert opcode in OPS
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ValueError):
+            register_op("add", lambda ins, at: ins[0], None)
+
+    def test_run_out_matches_forward(self):
+        """Buffered execution must produce the bits fresh execution does."""
+        rng = np.random.default_rng(0)
+        a = rng.standard_normal((3, 4))
+        b = rng.standard_normal((3, 4))
+        cases = {
+            "add": ((a, b), None), "sub": ((a, b), None),
+            "mul": ((a, b), None), "div": ((a, np.abs(b) + 1.0), None),
+            "neg": ((a,), None), "exp": ((a,), None),
+            "log": ((np.abs(a) + 0.5,), None), "sqrt": ((np.abs(a),), None),
+            "tanh": ((a,), None), "relu": ((a,), None),
+            "abs": ((a,), None), "sin": ((a,), None), "cos": ((a,), None),
+            "pow": ((a,), {"exponent": 3}),
+            "clip": ((a,), {"lo": -0.5, "hi": 0.5}),
+        }
+        for opcode, (ins, attrs) in cases.items():
+            spec = OPS[opcode]
+            assert spec.run_out is not None, opcode
+            fresh = spec.forward(ins, attrs)
+            buf = np.empty_like(fresh)
+            spec.run_out(ins, attrs, buf)
+            np.testing.assert_array_equal(buf, fresh, err_msg=opcode)
+
+
+class TestNodeIds:
+    def test_ids_are_monotonic(self):
+        a = next_node_id()
+        b = next_node_id()
+        assert b > a
+
+    def test_tensor_ops_get_increasing_ids(self):
+        x = Tensor(np.ones(3), requires_grad=True)
+        y = x * 2.0
+        z = y + 1.0
+        assert z._node.id > y._node.id
+
+
+@pytest.fixture
+def replay_mode():
+    prev = get_executor()
+    set_executor("replay")
+    yield
+    set_executor(prev)
+
+
+class TestGraphEpoch:
+    def test_bump_increments(self):
+        before = graph_epoch()
+        assert bump_graph_epoch() == before + 1
+
+    def test_bump_clears_compiled_cache(self, replay_mode):
+        cf = CompiledFunction(lambda t, y: y * 2.0)
+        cf.entries[(1,)] = ("ready", object())
+        bump_graph_epoch()
+        cf(0.0, Tensor(np.zeros(1)))   # Tensor input notices the epoch
+        # the stale key is gone; only the freshly traced key remains
+        assert (1,) not in cf.entries
+        assert cf.entries
+
+
+class TestTraceRecorder:
+    def _trace(self, fn, y):
+        rec = TraceRecorder()
+        rec.mark_input(y, "y")
+        set_recorder(rec)
+        try:
+            out = fn(y)
+        finally:
+            set_recorder(None)
+        return rec, out
+
+    def test_refs_classify_inputs_buffers_and_externals(self):
+        w = Tensor(np.full((1, 3), 2.0), name="w")
+        y = Tensor(np.ones((1, 3)))
+        rec, out = self._trace(lambda y: (y * w) + 1.0, y)
+        assert rec.failed is None
+        assert [op.opcode for op in rec.ops] == ["mul", "add"]
+        mul, add = rec.ops
+        assert mul.refs[0] == ("in", 0)          # the marked y slot
+        assert mul.refs[1] == ("ext", 0)         # captured parameter
+        assert rec.externals[0] is w
+        assert add.refs[0] == ("buf", 0)         # the mul's output
+        assert rec.output_ref(out) == ("buf", 1)
+
+    def test_time_tensor_marks_an_input_slot(self):
+        rec = TraceRecorder()
+        set_recorder(rec)
+        try:
+            time_tensor(0.25, (2, 1))
+        finally:
+            set_recorder(None)
+        assert rec.inputs == [("t", (2, 1), False)]
+
+    def test_custom_op_fails_the_trace(self):
+        y = Tensor(np.ones(2))
+        def fn(y):
+            doubled = y * 2.0
+            return Tensor._make_custom(doubled.data, (doubled,),
+                                       lambda g: (g,), force_grad=True)
+        rec, _ = self._trace(fn, y)
+        assert rec.failed is not None
+        assert "custom" in rec.failed
+
+    def test_recorder_not_left_installed(self):
+        assert active_recorder() is None
+
+
+class TestPowBoundaryGradients:
+    """x**0 and x**1 must not manufacture inf/nan gradients at x == 0."""
+
+    def test_pow_zero_gradient_is_zero_at_zero(self):
+        x = Tensor(np.array([0.0, -1.0, 2.0]), requires_grad=True)
+        (x ** 0).sum().backward()
+        np.testing.assert_array_equal(x.grad, np.zeros(3))
+
+    def test_pow_one_gradient_is_one_at_zero(self):
+        x = Tensor(np.array([0.0, -3.0, 0.5]), requires_grad=True)
+        (x ** 1).sum().backward()
+        np.testing.assert_array_equal(x.grad, np.ones(3))
+
+    def test_pow_boundary_gradchecks(self):
+        pts = np.array([0.0, 1e-3, -2.0, 4.0])
+        assert gradcheck(lambda x: (x ** 1).sum(), [pts])
+        assert gradcheck(lambda x: (x ** 0).sum(), [pts])
+
+    def test_generic_exponent_untouched(self):
+        x = Tensor(np.array([2.0, 3.0]), requires_grad=True)
+        (x ** 3).sum().backward()
+        np.testing.assert_allclose(x.grad, 3.0 * np.array([2.0, 3.0]) ** 2)
+
+
+class TestDetach:
+    def test_detach_preserves_name(self):
+        t = Tensor(np.ones(2), requires_grad=True, name="weights")
+        d = t.detach()
+        assert d.name == "weights"
+        assert d.requires_grad is False
+        assert d._node is None

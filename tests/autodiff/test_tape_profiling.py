@@ -45,8 +45,8 @@ class TestOpAttribution:
         with tape_profile() as prof:
             y = (x * 2.0) + 1.0
             y.sum().backward()
-        assert prof.ops["__mul__"].count == 1
-        assert prof.ops["__add__"].count == 1
+        assert prof.ops["mul"].count == 1
+        assert prof.ops["add"].count == 1
         assert prof.ops["sum"].count == 1
         assert prof.nodes >= 3
         assert prof.backward_passes == 1
@@ -55,15 +55,15 @@ class TestOpAttribution:
         x = Tensor(np.ones(4), requires_grad=True)
         with tape_profile() as prof:
             (x * 3.0).sum().backward()
-        assert prof.ops["__mul__"].backward_calls == 1
-        assert prof.ops["__mul__"].backward_s >= 0.0
+        assert prof.ops["mul"].backward_calls == 1
+        assert prof.ops["mul"].backward_s >= 0.0
 
     def test_allocation_bytes_counted(self):
         x = Tensor(np.ones(100))
         with tape_profile() as prof:
             _ = x * 2.0
         # 100 float64s in the output node.
-        assert prof.ops["__mul__"].bytes_allocated == 800
+        assert prof.ops["mul"].bytes_allocated == 800
         assert prof.bytes_allocated >= 800
 
     def test_table_sorting_and_top_k(self):
@@ -76,7 +76,7 @@ class TestOpAttribution:
             y.sum().backward()
         rows = prof.table(top_k=1, sort="count")
         assert len(rows) == 1
-        assert rows[0]["op"] == "__mul__"
+        assert rows[0]["op"] == "mul"
         with pytest.raises(ValueError, match="sort"):
             prof.table(sort="bogus")
 

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.autodiff import Tensor
+from repro.autodiff import Tensor, get_executor
 from repro.odeint import PIController, dopri5_integrate, dopri5_solve
 
 
@@ -60,7 +60,13 @@ class TestFSALAccounting:
 
         _, stats = dopri5_solve(f, Tensor(np.ones((1, 2))),
                                 np.linspace(0.0, 2.0, 9))
-        assert stats.nfev == len(calls)
+        if get_executor() == "replay":
+            # The replay executor re-runs the recorded trace without
+            # re-entering the Python RHS; only the trace + validation
+            # calls (per cache key) are visible to the closure.
+            assert 2 <= len(calls) < stats.nfev
+        else:
+            assert stats.nfev == len(calls)
         # 1 initial eval + 1 for the starting-step heuristic + 6 per trial.
         assert stats.nfev == 2 + 6 * (stats.steps + stats.rejects)
 
@@ -73,7 +79,10 @@ class TestFSALAccounting:
 
         _, stats = dopri5_solve(f, Tensor(np.ones((1, 2))), [0.0, 1.0],
                                 first_step=0.1)
-        assert stats.nfev == len(calls)
+        if get_executor() == "replay":
+            assert 2 <= len(calls) < stats.nfev
+        else:
+            assert stats.nfev == len(calls)
         assert stats.nfev == 1 + 6 * (stats.steps + stats.rejects)
         assert stats.first_step == pytest.approx(0.1)
 

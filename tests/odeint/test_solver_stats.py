@@ -2,7 +2,7 @@
 
 import numpy as np
 
-from repro.autodiff import Tensor, no_grad
+from repro.autodiff import Tensor, get_executor, no_grad
 from repro.baselines import LatentODEBaseline
 from repro.core import DiffODE, DiffODEConfig
 from repro.odeint import (
@@ -45,7 +45,14 @@ class TestFixedGridStats:
                           step_size=0.1, return_stats=True)
         # RK4 warm-up for the multistep history adds a couple of steps.
         assert stats.steps >= 10
-        assert stats.nfev == len(calls)
+        if get_executor() == "replay":
+            # The replay executor re-runs the recorded trace without
+            # re-entering the Python RHS; only the trace + validation
+            # calls are visible to the closure.  nfev still counts every
+            # logical evaluation.
+            assert 2 <= len(calls) < stats.nfev
+        else:
+            assert stats.nfev == len(calls)
 
     def test_return_stats_false_keeps_old_signature(self):
         sol = odeint(decay, Tensor(np.ones((1, 1))), [0.0, 1.0],
