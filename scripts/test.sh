@@ -6,7 +6,9 @@
 #   scripts/test.sh tier2    only the tier-2 subprocess/slow suites
 #   scripts/test.sh full     everything: tier 1 + tier 2
 #   scripts/test.sh ir       tier-1 under the trace-and-replay executor
-#                            (REPRO_EXECUTOR=replay)
+#                            (REPRO_EXECUTOR=replay), once with the
+#                            optimizing passes on (REPRO_IR_PASSES=default)
+#                            and once with them off (REPRO_IR_PASSES=none)
 #
 # Extra arguments after the lane go straight to pytest, e.g.
 #   scripts/test.sh fast tests/parallel -q
@@ -27,7 +29,10 @@ case "$lane" in
         exec python -m pytest -x -q -m tier2 "$@"
         ;;
     ir)
-        exec env REPRO_EXECUTOR=replay python -m pytest -x -q "$@"
+        env REPRO_EXECUTOR=replay REPRO_IR_PASSES=default \
+            python -m pytest -x -q "$@"
+        exec env REPRO_EXECUTOR=replay REPRO_IR_PASSES=none \
+            python -m pytest -x -q "$@"
         ;;
     full)
         # Overrides the "not tier2" filter baked into addopts.

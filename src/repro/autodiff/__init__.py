@@ -7,7 +7,11 @@ The package is organised around an explicit op-graph IR:
 * :mod:`~repro.autodiff.tensor` -- the :class:`Tensor` handle and the
   eager executor (``apply``);
 * :mod:`~repro.autodiff.executors` -- the trace-and-replay executor for
-  ODE right-hand sides (``REPRO_EXECUTOR=replay`` / :func:`set_executor`).
+  ODE right-hand sides (``REPRO_EXECUTOR=replay`` / :func:`set_executor`);
+* :mod:`~repro.autodiff.passes` -- the optimizing pass pipeline (DCE,
+  CSE, constant folding + loop-invariant hoisting) applied to recorded
+  traces at compile time (``REPRO_IR_PASSES=default|none`` /
+  :func:`set_ir_passes`).
 """
 
 from .ir import (
@@ -23,6 +27,7 @@ from .tensor import (
     as_tensor,
     concat,
     is_grad_enabled,
+    mark_static,
     maximum,
     minimum,
     no_grad,
@@ -34,8 +39,16 @@ from .executors import (
     CompiledFunction,
     CompiledGraph,
     get_executor,
+    get_trace_cache_cap,
     maybe_compile,
     set_executor,
+    set_trace_cache_cap,
+)
+from .passes import (
+    get_ir_passes,
+    plan_trace,
+    recent_plans,
+    set_ir_passes,
 )
 from .functional import (
     binary_cross_entropy_with_logits,
@@ -74,6 +87,13 @@ __all__ = [
     "maybe_compile",
     "CompiledFunction",
     "CompiledGraph",
+    "mark_static",
+    "get_ir_passes",
+    "set_ir_passes",
+    "plan_trace",
+    "recent_plans",
+    "get_trace_cache_cap",
+    "set_trace_cache_cap",
     "softmax",
     "log_softmax",
     "masked_softmax",

@@ -40,6 +40,7 @@ from __future__ import annotations
 
 import os
 import weakref
+from collections import OrderedDict
 
 import numpy as np
 
@@ -52,7 +53,9 @@ from .ir import (
     next_node_id,
     set_recorder,
 )
+from .passes import log_plan, plan_trace
 from .tensor import Tensor, is_grad_enabled
+from . import tensor as _tensor
 
 __all__ = [
     "get_executor",
@@ -60,6 +63,8 @@ __all__ = [
     "maybe_compile",
     "CompiledFunction",
     "CompiledGraph",
+    "get_trace_cache_cap",
+    "set_trace_cache_cap",
 ]
 
 _VALID_MODES = ("eager", "replay")
@@ -83,6 +88,29 @@ def set_executor(mode: str) -> None:
                          f"got {mode!r}")
     global _MODE
     _MODE = mode
+
+
+#: Per-function trace-cache bound.  Sweeps over many shapes (variable-length
+#: batches, bucketed sequence lengths) mint one CompiledGraph per key; the
+#: LRU cap keeps that from growing without limit.
+_CACHE_CAP = int(os.environ.get("REPRO_IR_CACHE_CAP", "64"))
+if _CACHE_CAP < 1:
+    raise ValueError(
+        f"REPRO_IR_CACHE_CAP must be a positive integer, got {_CACHE_CAP}")
+
+
+def get_trace_cache_cap() -> int:
+    """Maximum number of cached trace entries per compiled function."""
+    return _CACHE_CAP
+
+
+def set_trace_cache_cap(cap: int) -> None:
+    """Bound the per-function trace cache (least-recently-used eviction)."""
+    cap = int(cap)
+    if cap < 1:
+        raise ValueError(f"trace cache cap must be >= 1, got {cap}")
+    global _CACHE_CAP
+    _CACHE_CAP = cap
 
 
 _REGISTRY = None
@@ -115,6 +143,7 @@ class CompiledGraph:
         self.ops = recorder.ops
         self.inputs = recorder.inputs          # (kind, shape, requires_grad)
         self.externals = list(recorder.externals)
+        self.ext_static = list(recorder.ext_static)
         self.out_buf = out_buf
         self.grad_mode = grad_mode
 
@@ -152,34 +181,67 @@ class CompiledGraph:
                          if kind == "y"]
         self._t_bufs = {j: np.empty(shape) for j, shape in self._t_slots}
 
+        # Optimizing passes (DCE / CSE / invariant hoisting): compute the
+        # execution schedule once; the invariant prefix is materialised
+        # lazily on the first replay and then shared by every call.
+        self.plan = plan_trace(self.ops, self.externals, self.ext_static,
+                               out_buf)
+        self.out_slot = self.plan.out_slot
+        self._prefix_vals: dict[int, np.ndarray] = {}
+        self._prefix_ready = False
+        self._vals_primed = False
+        self._out_in_prefix = self.out_slot in set(self.plan.prefix)
+        stats = self.plan.stats
+        reg = _registry()
+        if reg.enabled and stats.enabled:
+            reg.inc("ir.pass_dce_removed", stats.dce_removed)
+            reg.inc("ir.pass_cse_merged", stats.cse_merged)
+            reg.inc("ir.hoisted_ops", stats.hoisted)
+        log_plan("grad" if grad_mode else "no_grad", stats)
+
         self._build_nograd_plan()
 
     # -- compile-time planning -----------------------------------------
     def _build_nograd_plan(self) -> None:
+        """Buffer/fusion schedule for the per-call body of the trace.
+
+        Runs over ``plan.body`` with the pass-remapped refs: dead and
+        CSE-merged ops never get steps, and refs into the invariant prefix
+        read the memoized prefix arrays through the shared value table.
+        """
         ops = self.ops
+        plan = self.plan
+        body = plan.body
+        refs_of = plan.refs
         n = len(ops)
+        in_prefix = [False] * n
+        for i in plan.prefix:
+            in_prefix[i] = True
         last_use = [-1] * n
-        for i, op in enumerate(ops):
-            for kind, j in op.refs:
+        for i in body:
+            for kind, j in refs_of[i]:
                 if kind == "buf":
                     last_use[j] = i
 
         buffers: dict[int, np.ndarray] = {}
         fused = 0
         aliases = [False] * n        # output may alias persistent storage
-        for i, op in enumerate(ops):
+        for i in body:
+            op = ops[i]
             spec = OPS[op.opcode]
             if op.opcode in _VIEW_OPCODES:
-                kind, j = op.refs[0]
+                kind, j = refs_of[i][0]
                 aliases[i] = (True if kind != "buf"
-                              else (j in buffers) or aliases[j])
-            if spec.run_out is None or i == self.out_buf:
+                              else in_prefix[j] or (j in buffers) or aliases[j])
+            if spec.run_out is None or i == self.out_slot:
                 continue
             # In-place fusion: write into a dying same-shape elementwise
-            # input buffer instead of allocating another one.
+            # input buffer instead of allocating another one.  Prefix
+            # buffers are never candidates (they are not in ``buffers``),
+            # so memoized values cannot be clobbered.
             target = None
             if spec.elementwise:
-                for kind, j in op.refs:
+                for kind, j in refs_of[i]:
                     if (kind == "buf" and j in buffers
                             and last_use[j] == i and ops[j].shape == op.shape):
                         target = buffers[j]
@@ -191,7 +253,11 @@ class CompiledGraph:
         self._prealloc_bytes = int(sum(
             buffers[i].nbytes for i in buffers
             if not any(buffers[i] is buffers[j] for j in buffers if j < i)))
-        self._copy_output = aliases[self.out_buf] if n else False
+        # An output living in (or viewing) the invariant prefix must be
+        # copied out: the caller may hold it across replays and must never
+        # share storage with the memoized arrays.
+        self._copy_output = ((self._out_in_prefix or aliases[self.out_slot])
+                             if n else False)
         self._vals: list = [None] * n
         # Flat step plan for the replay hot loop: everything per-op
         # (dispatch-table lookups, buffer assignment, ref decoding) is
@@ -200,10 +266,11 @@ class CompiledGraph:
         # the (vals, inarrs, ext_vals) source triple.
         code = {"buf": 0, "in": 1, "ext": 2}
         self._steps = []
-        for i, op in enumerate(ops):
+        for i in body:
+            op = ops[i]
             spec = OPS[op.opcode]
             buf = buffers.get(i)
-            coded = tuple((code[kind], j) for kind, j in op.refs)
+            coded = tuple((code[kind], j) for kind, j in refs_of[i])
             self._steps.append(
                 (i, coded, op.attrs, spec.forward,
                  spec.run_out if buf is not None else None, buf))
@@ -222,18 +289,66 @@ class CompiledGraph:
             else externals[j].data
             for kind, j in refs)
 
+    def _eval_prefix(self) -> None:
+        """Execute the loop-invariant prefix once and memoize its buffers.
+
+        Prefix ops read only static externals (and each other), so the
+        results hold for the lifetime of this graph -- i.e. until the next
+        graph-epoch bump rebuilds it.  Both the buffered ``no_grad`` path
+        and the fresh-array grad path start from this cached frontier.
+        """
+        plan = self.plan
+        pv = self._prefix_vals
+        externals = self.externals
+        asarray = np.asarray
+        for i in plan.prefix:
+            op = self.ops[i]
+            ins = tuple(pv[j] if kind == "buf" else externals[j].data
+                        for kind, j in plan.refs[i])
+            pv[i] = asarray(OPS[op.opcode].forward(ins, op.attrs),
+                            dtype=np.float64)
+        self._prefix_ready = True
+        if plan.prefix:
+            _inc("ir.hoist_prefix_evals")
+
     def run_values(self, inarrs) -> list:
-        """Fresh-array execution of the whole trace (validation + grad)."""
-        vals = [None] * len(self.ops)
-        resolve = self._resolve
-        for i, op in enumerate(self.ops):
-            ins = resolve(op.refs, vals, inarrs)
-            vals[i] = np.asarray(OPS[op.opcode].forward(ins, op.attrs),
-                                 dtype=np.float64)
+        """Fresh-array execution of the optimized schedule (validation +
+        grad replays).
+
+        The returned table is indexed by *original* op ids so the backward
+        walk can traverse the unmodified trace: prefix slots point at the
+        memoized arrays, CSE duplicates alias their representative, dead
+        slots stay ``None`` (backward never reaches them).
+        """
+        if not self._prefix_ready:
+            self._eval_prefix()
+        plan = self.plan
+        externals = self.externals
+        vals: list = [None] * len(self.ops)
+        for i in plan.prefix:
+            vals[i] = self._prefix_vals[i]
+        asarray = np.asarray
+        for i in plan.body:
+            op = self.ops[i]
+            ins = tuple(
+                vals[j] if kind == "buf"
+                else inarrs[j] if kind == "in"
+                else externals[j].data
+                for kind, j in plan.refs[i])
+            vals[i] = asarray(OPS[op.opcode].forward(ins, op.attrs),
+                              dtype=np.float64)
+        for dup, rep in plan.alias_fills:
+            vals[dup] = vals[rep]
         return vals
 
     def _run_buffered(self, inarrs) -> np.ndarray:
         vals = self._vals
+        if not self._vals_primed:
+            if not self._prefix_ready:
+                self._eval_prefix()
+            for i, arr in self._prefix_vals.items():
+                vals[i] = arr
+            self._vals_primed = True
         asarray = np.asarray
         src = (vals, inarrs, [e.data for e in self.externals])
         for i, refs, attrs, forward, run_out, buf in self._steps:
@@ -242,7 +357,7 @@ class CompiledGraph:
                 vals[i] = asarray(forward(ins, attrs), dtype=np.float64)
             else:
                 vals[i] = run_out(ins, attrs, buf)
-        out = vals[self.out_buf]
+        out = vals[self.out_slot]
         if self._copy_output:
             out = np.array(out)
         return out
@@ -273,6 +388,9 @@ class CompiledGraph:
         if reg.enabled:
             reg.inc("ir.fused_ops", self._fused)
             reg.inc("ir.bytes_reused", self._prealloc_bytes)
+        profiler = _tensor._PROFILER
+        if profiler is not None:
+            profiler._record_replay(len(self._steps))
         # fast-path Tensor construction: data is already a float64 ndarray
         out = Tensor.__new__(Tensor)
         out.data = data
@@ -280,18 +398,25 @@ class CompiledGraph:
         out.requires_grad = False
         out._node = None
         out.name = ""
+        out.static = False
         return out
 
     def replay_grad(self, t: float, y: Tensor) -> Tensor:
         inarrs = self.fill_inputs(t, y.data, fresh=True)
         vals = self.run_values(inarrs)
-        out = Tensor(vals[self.out_buf])
+        data = vals[self.out_buf]
+        if self._out_in_prefix:
+            data = np.array(data)   # never hand out the memoized array
+        out = Tensor(data)
         parents = (y,) + self.diff_externals
         if is_grad_enabled() and any(p.requires_grad for p in parents):
             out.requires_grad = True
             out._node = OpNode(next_node_id(), "replay", parents,
                                {"graph": self, "frame": (vals, inarrs)},
                                out.data)
+        profiler = _tensor._PROFILER
+        if profiler is not None:
+            profiler._record_replay(len(self.plan.body))
         return out
 
     def backward(self, g: np.ndarray, frame) -> tuple:
@@ -334,7 +459,7 @@ class CompiledGraph:
 
     # -- introspection ---------------------------------------------------
     def dump(self) -> list[str]:
-        """Human-readable listing of the recorded trace."""
+        """Human-readable listing of the recorded trace with pass verdicts."""
         def show(ref):
             kind, j = ref
             if kind == "buf":
@@ -344,24 +469,48 @@ class CompiledGraph:
             name = getattr(self.externals[j], "name", "")
             return f"ext{j}" + (f":{name}" if name else "")
 
+        plan = self.plan
+        in_prefix = set(plan.prefix)
+        rep_of = dict(plan.alias_fills)
+        live = in_prefix | set(plan.body) | set(rep_of)
         lines = []
         for i, op in enumerate(self.ops):
             args = ", ".join(show(r) for r in op.refs)
             tag = " [diff]" if self.diff[i] else ""
+            if plan.stats.enabled:
+                if i in in_prefix:
+                    tag += " [hoisted]"
+                elif i in rep_of:
+                    tag += f" [cse -> %{rep_of[i]}]"
+                elif i not in live:
+                    tag += " [dead]"
             lines.append(f"%{i} = {op.opcode}({args}) shape={op.shape}{tag}")
         lines.append(f"return %{self.out_buf}")
         return lines
 
 
 class CompiledFunction:
-    """Trace cache wrapped around one ODE right-hand side ``func(t, y)``."""
+    """Trace cache wrapped around one ODE right-hand side ``func(t, y)``.
+
+    Entries live in an LRU-ordered mapping bounded by the trace-cache cap
+    (``REPRO_IR_CACHE_CAP`` / :func:`set_trace_cache_cap`): sweeps over
+    many shape keys evict the least-recently-used graph instead of growing
+    without limit.
+    """
 
     __slots__ = ("func", "entries", "_epoch", "__weakref__")
 
     def __init__(self, func):
         self.func = func
-        self.entries: dict = {}
+        self.entries: OrderedDict = OrderedDict()
         self._epoch = graph_epoch()
+
+    def _store(self, key, entry) -> None:
+        self.entries[key] = entry
+        self.entries.move_to_end(key)
+        while len(self.entries) > _CACHE_CAP:
+            self.entries.popitem(last=False)
+            _inc("ir.cache_evictions")
 
     def __call__(self, t, y):
         if _MODE != "replay" or not isinstance(y, Tensor) \
@@ -375,6 +524,7 @@ class CompiledFunction:
         entry = self.entries.get(key)
         if entry is None:
             return self._trace(key, t, y)
+        self.entries.move_to_end(key)
         state, graph = entry
         if state == "ready":
             _inc("ir.replay_hits")
@@ -401,25 +551,27 @@ class CompiledFunction:
                                         or out_ref[0] != "buf"):
             recorder.failed = "output is not the product of a recorded op"
         if recorder.failed is not None:
-            self.entries[key] = ("eager", recorder.failed)
+            self._store(key, ("eager", recorder.failed))
         else:
             graph = CompiledGraph(recorder, out_ref[1],
                                   grad_mode=is_grad_enabled())
-            self.entries[key] = ("validate", graph)
+            self._store(key, ("validate", graph))
         return out
 
     def _validate(self, key, graph, t, y):
         _inc("ir.replay_misses")
         out = self.func(t, y)
+        # run_values goes through the optimized schedule, so the bit-compare
+        # also vets the pass pipeline's rewrite of this trace.
         replayed = graph.run_values(
             graph.fill_inputs(t, y.data, fresh=True))[graph.out_buf]
         if isinstance(out, Tensor) and out.data.shape == replayed.shape \
                 and np.array_equal(out.data, replayed):
-            self.entries[key] = ("ready", graph)
+            self._store(key, ("ready", graph))
         else:
             # The function does work the recorder cannot see (raw-numpy
             # masks, randomness, time baked in as a constant); stay eager.
-            self.entries[key] = ("eager", "validation mismatch")
+            self._store(key, ("eager", "validation mismatch"))
             _inc("ir.validation_failures")
         return out
 

@@ -199,10 +199,23 @@ class TraceRecorder:
         self.ops: list[TraceOp] = []
         self.inputs: list[tuple[str, tuple, bool]] = []  # (kind, shape, requires_grad)
         self.externals: list = []                        # captured Tensors
+        self.ext_static: list[bool] = []                 # per-external invariance
         self.failed: str | None = None
         self._index: dict[int, tuple] = {}               # id(tensor) -> ref
         self._ext_index: dict[int, int] = {}
         self._keepalive: list = []                       # pin ids while tracing
+        self._transient: dict[int, object] = {}          # tensors born in-trace
+
+    def note_transient(self, tensor) -> None:
+        """Pin a tensor constructed while this trace was recording.
+
+        Such tensors are trace-local constants (re-created from the same
+        literals on every eager call, identical across replays); if one is
+        captured as a non-grad external, the optimizing passes may treat it
+        as static and constant-fold the ops consuming it.  Keeping a strong
+        reference also guards the id-keyed external index against reuse.
+        """
+        self._transient[id(tensor)] = tensor
 
     def mark_input(self, tensor, kind: str) -> None:
         """Declare ``tensor`` as replay input slot (kind 'y' or 't')."""
@@ -226,6 +239,11 @@ class TraceRecorder:
                 if j is None:
                     j = len(self.externals)
                     self.externals.append(p)
+                    # Static: explicitly promised (mark_static) or a
+                    # constant literal born inside this very trace.
+                    self.ext_static.append(
+                        bool(p.static) or (not p.requires_grad
+                                           and id(p) in self._transient))
                     self._ext_index[id(p)] = j
                 ref = ("ext", j)
             refs.append(ref)

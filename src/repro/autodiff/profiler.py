@@ -67,6 +67,8 @@ class TapeProfiler:
         self.nodes = 0
         self.bytes_allocated = 0
         self.backward_passes = 0
+        self.replays = 0
+        self.replayed_ops = 0
         self._last_ts = time.perf_counter()
 
     # -- hooks called from the tape (profiler active only) --------------
@@ -106,6 +108,17 @@ class TapeProfiler:
         self.backward_passes += 1
         self._last_ts = time.perf_counter()
 
+    def _record_replay(self, n_ops: int) -> None:
+        """One compiled-trace replay executed ``n_ops`` body ops.
+
+        Replays bypass ``tensor.apply`` so they are counted in aggregate
+        here rather than per opcode; resetting the attribution clock keeps
+        replay wall time from being charged to the next eager node.
+        """
+        self.replays += 1
+        self.replayed_ops += n_ops
+        self._last_ts = time.perf_counter()
+
     # -- reporting -------------------------------------------------------
     def table(self, top_k: int = 12, sort: str = "total_s") -> list[dict]:
         """Top-K ops as dict rows, sorted by ``total_s``/``count``/bytes."""
@@ -126,6 +139,8 @@ class TapeProfiler:
             "nodes": self.nodes,
             "bytes_allocated": self.bytes_allocated,
             "backward_passes": self.backward_passes,
+            "replays": self.replays,
+            "replayed_ops": self.replayed_ops,
             "ops": {op: rec.as_dict() for op, rec in sorted(self.ops.items())},
         }
 

@@ -39,7 +39,7 @@ from typing import Iterable
 
 import numpy as np
 
-from .ir import OPS, OpNode, _unbroadcast, active_recorder, next_node_id
+from .ir import OPS, OpNode, _TRACE, _unbroadcast, active_recorder, next_node_id
 
 __all__ = [
     "Tensor",
@@ -47,6 +47,7 @@ __all__ = [
     "no_grad",
     "is_grad_enabled",
     "as_tensor",
+    "mark_static",
     "concat",
     "stack",
     "where",
@@ -116,7 +117,7 @@ class Tensor:
         Whether gradients should be accumulated into this tensor.
     """
 
-    __slots__ = ("data", "grad", "requires_grad", "_node", "name")
+    __slots__ = ("data", "grad", "requires_grad", "_node", "name", "static")
     __array_priority__ = 100  # make numpy defer to our reflected operators
 
     def __init__(self, data, requires_grad: bool = False, name: str = ""):
@@ -127,6 +128,13 @@ class Tensor:
         self.requires_grad = bool(requires_grad) and is_grad_enabled()
         self._node: OpNode | None = None
         self.name = name
+        self.static = False
+        recorder = _TRACE.recorder
+        if recorder is not None:
+            # A tensor born inside a traced call is a trace-local constant
+            # (its data cannot change between replays of that trace); the
+            # optimizer may fold/hoist ops that consume it.
+            recorder.note_transient(self)
 
     # ------------------------------------------------------------------
     # construction helpers
@@ -436,6 +444,25 @@ def as_tensor(value) -> Tensor:
     if isinstance(value, Tensor):
         return value
     return Tensor(value)
+
+
+def mark_static(tensor: Tensor) -> Tensor:
+    """Declare ``tensor``'s data constant for the current graph epoch.
+
+    A static tensor promises that its ``.data`` array will not change (nor
+    be rebound) until the next :func:`~repro.autodiff.ir.bump_graph_epoch`
+    call -- the contract bind-time constants such as the DHS attention
+    contexts already satisfy, since ``DHSDynamics.bind`` bumps the epoch
+    when it installs new ones.  The trace-optimization passes
+    (:mod:`repro.autodiff.passes`) use the flag to prove loop invariance:
+    only ops fed exclusively by static externals may be folded into the
+    once-per-epoch prefix.  Never mark trainable parameters that an
+    optimizer updates in place.
+
+    Returns the tensor for chaining.
+    """
+    tensor.static = True
+    return tensor
 
 
 def time_tensor(t: float, shape: tuple[int, ...]) -> Tensor:

@@ -10,6 +10,8 @@ Examples::
         --workers 4
     python -m repro.cli train --model DIFFODE --dataset synthetic \
         --executor replay
+    python -m repro.cli train --model DIFFODE --dataset synthetic \
+        --executor replay --ir-passes none
     python -m repro.cli evaluate --checkpoint diffode.npz \
         --dataset synthetic
     python -m repro.cli profile --model DIFFODE --dataset synthetic \
@@ -28,7 +30,7 @@ import contextlib
 
 import numpy as np
 
-from .autodiff import set_executor
+from .autodiff import set_executor, set_ir_passes
 from .data import Dataset, batch_iter, train_val_test_split
 from .experiments import (
     ALL_MODELS,
@@ -81,6 +83,11 @@ def build_parser() -> argparse.ArgumentParser:
                        help="autodiff executor for ODE right-hand sides "
                             "(default: REPRO_EXECUTOR env or eager); "
                             "gradient workers inherit the choice")
+    train.add_argument("--ir-passes", default=None, dest="ir_passes",
+                       choices=["default", "none"],
+                       help="trace-optimization passes under the replay "
+                            "executor (default: REPRO_IR_PASSES env or "
+                            "'default'; 'none' replays raw traces)")
 
     ev = sub.add_parser("evaluate", help="evaluate a DIFFODE checkpoint")
     ev.add_argument("--checkpoint", required=True)
@@ -97,6 +104,10 @@ def build_parser() -> argparse.ArgumentParser:
     ev.add_argument("--executor", default=None,
                     choices=["eager", "replay"],
                     help="autodiff executor for ODE right-hand sides")
+    ev.add_argument("--ir-passes", default=None, dest="ir_passes",
+                    choices=["default", "none"],
+                    help="trace-optimization passes under the replay "
+                         "executor")
 
     prof = sub.add_parser(
         "profile",
@@ -126,6 +137,10 @@ def build_parser() -> argparse.ArgumentParser:
     prof.add_argument("--executor", default=None,
                       choices=["eager", "replay"],
                       help="autodiff executor for ODE right-hand sides")
+    prof.add_argument("--ir-passes", default=None, dest="ir_passes",
+                      choices=["default", "none"],
+                      help="trace-optimization passes under the replay "
+                           "executor")
     prof.add_argument("--seed", type=int, default=0)
 
     sub.add_parser("list", help="list available models and datasets")
@@ -294,6 +309,22 @@ def _cmd_profile(args) -> int:
         print("\nsolver counters:")
         for name, value in solver_counters.items():
             print(f"  {name}: {int(value)}")
+
+    ir_counters = {k: v for k, v in summary["counters"].items()
+                   if k.startswith("ir.")}
+    if ir_counters:
+        print("\nIR executor counters:")
+        for name, value in sorted(ir_counters.items()):
+            print(f"  {name}: {int(value)}")
+        from .autodiff import recent_plans
+        plans = recent_plans()
+        if plans:
+            print("compiled traces (pass pipeline, most recent):")
+            for row in plans[-8:]:
+                print(f"  {row['graph']:<8} {row['ops_in']:>4} ops -> "
+                      f"{row['body_ops']:>4} body  "
+                      f"(dce {row['dce_removed']}, cse {row['cse_merged']}, "
+                      f"hoisted {row['hoisted']})")
     if solver_totals:
         method = solver_totals.pop("method")
         registry_nfev = int(summary["counters"].get(
@@ -323,6 +354,8 @@ def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     if getattr(args, "executor", None):
         set_executor(args.executor)
+    if getattr(args, "ir_passes", None):
+        set_ir_passes(args.ir_passes)
     handlers = {"train": _cmd_train, "evaluate": _cmd_evaluate,
                 "profile": _cmd_profile, "list": _cmd_list}
     return handlers[args.command](args)

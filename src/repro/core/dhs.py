@@ -26,7 +26,7 @@ from itertools import combinations
 
 import numpy as np
 
-from ..autodiff import Tensor, as_tensor, masked_softmax, softmax
+from ..autodiff import Tensor, as_tensor, mark_static, masked_softmax, softmax
 from ..linalg import pinv_full_row_rank
 
 __all__ = [
@@ -112,6 +112,9 @@ class DHSContext:
         self._a_ones = self.a_null @ m_col            # A_p J      (B, n, 1)
         denom = (m_col.transpose() @ self._a_ones)    # J A_p J    (B, 1, 1)
         self._denom = denom[:, 0, :] + _EPS           # (B, 1)
+        # Reusable mask tensor for the solvers / recovery below: one shared
+        # handle instead of a fresh ``Tensor(ctx.mask)`` per RHS call.
+        self.mask_t = Tensor(self.mask, name="dhs_mask")
         # Name the context constants: ODE right-hand-side traces capture
         # them as externals, and the names make CompiledGraph.dump()
         # listings readable (ext0:dhs_zt_pinv rather than a bare ext0).
@@ -120,6 +123,12 @@ class DHSContext:
         self.a_null.name = "dhs_a_null"
         self._a_ones.name = "dhs_a_ones"
         self._denom.name = "dhs_denom"
+        # Contexts are bind-time constants: DHSDynamics.bind bumps the
+        # graph epoch when new ones are installed, so the trace optimizer
+        # may hoist any op that consumes only these tensors.
+        for t in (self.z, self.zt_pinv, self.a_null, self._a_ones,
+                  self._denom, self.mask_t):
+            mark_static(t)
 
     # ------------------------------------------------------------------
     def least_norm_p(self, s: Tensor) -> Tensor:
@@ -138,7 +147,7 @@ def solve_p_max_hoyer(ctx: DHSContext, s: Tensor, **_unused) -> Tensor:
     ``p^T = b_p - (J b_p - 1) A_p J / (J A_p J)`` with ``J -> mask``.
     """
     b = ctx.least_norm_p(s)                                  # (B, n)
-    excess = (b * Tensor(ctx.mask)).sum(axis=-1, keepdims=True) - 1.0
+    excess = (b * ctx.mask_t).sum(axis=-1, keepdims=True) - 1.0
     correction = ctx._a_ones[:, :, 0] * (excess / ctx._denom)
     return b - correction
 
@@ -150,7 +159,7 @@ def solve_p_adaptive(ctx: DHSContext, s: Tensor,
         raise ValueError("ada_h solver requires the trainable vector h")
     b = ctx.least_norm_p(s)
     correction = (ctx.a_null @ h.reshape(-1)[None, :, None])[:, :, 0]
-    return b + correction * Tensor(ctx.mask)
+    return b + correction * ctx.mask_t
 
 
 P_SOLVERS = {
@@ -232,7 +241,7 @@ def recover_z(p: Tensor, ctx: DHSContext, h2: Tensor) -> Tensor:
 
     Equality with the literal pinv form is covered by the tests.
     """
-    mask = Tensor(ctx.mask)
+    mask = ctx.mask_t
     p = p * mask
     pp = (p * p).sum(axis=-1, keepdims=True) + _EPS
     hp = (p * h2.reshape(-1)[None, :]).sum(axis=-1, keepdims=True)

@@ -9,7 +9,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..autodiff import Tensor, bump_graph_epoch, concat, time_tensor
+from ..autodiff import Tensor, bump_graph_epoch, concat, mark_static, time_tensor
 from ..linalg import hippo_legt
 from ..nn import MLP, Linear, Module, Parameter
 from .dhs import DHSContext, P_SOLVERS, recover_z
@@ -55,6 +55,7 @@ class DHSDynamics(Module):
         self.h = Parameter(rng.normal(scale=0.1, size=(max_len,)), name="h")
         self.h2 = Parameter(rng.normal(scale=0.1, size=(max_len,)), name="h2")
         self._contexts: list[DHSContext] | None = None
+        self._slices: dict[int, tuple[Tensor, Tensor]] = {}
 
     # ------------------------------------------------------------------
     def bind(self, contexts: list[DHSContext]) -> None:
@@ -63,14 +64,33 @@ class DHSDynamics(Module):
             raise ValueError(f"expected {self.num_heads} contexts, "
                              f"got {len(contexts)}")
         self._contexts = contexts
+        # Slice the position-indexed parameters once per bind instead of
+        # re-recording a getitem per RHS call; gradients still reach h/h2
+        # through each slice's tape node.  The slices are bind-time
+        # constants (the optimizer only steps between binds), so they are
+        # marked static for the trace hoister.
+        self._slices = {}
+        for ctx in contexts:
+            if id(ctx) not in self._slices:
+                h_s = self.h[:ctx.n]
+                h_s.name = "h_slice"
+                h2_s = self.h2[:ctx.n]
+                h2_s.name = "h2_slice"
+                self._slices[id(ctx)] = (mark_static(h_s), mark_static(h2_s))
         # Replayed traces capture the context tensors (pinv of Z, null
         # projectors, ...) as externals; swapping them for a new batch
         # must invalidate every recorded trace.
         bump_graph_epoch()
 
+    def _h_slices(self, ctx: DHSContext) -> tuple[Tensor, Tensor]:
+        cached = self._slices.get(id(ctx))
+        if cached is None:          # ctx not from bind (direct solver use)
+            return self.h[:ctx.n], self.h2[:ctx.n]
+        return cached
+
     def solve_p(self, ctx: DHSContext, s_head: Tensor) -> Tensor:
         solver = P_SOLVERS[self.p_solver]
-        return solver(ctx, s_head, h=self.h[:ctx.n])
+        return solver(ctx, s_head, h=self._h_slices(ctx)[0])
 
     # ------------------------------------------------------------------
     def forward(self, t: float, s: Tensor) -> Tensor:
@@ -84,7 +104,7 @@ class DHSDynamics(Module):
         for head, ctx in enumerate(self._contexts):
             s_head = s[:, head * hd:(head + 1) * hd]
             p = self.solve_p(ctx, s_head)
-            z_parts.append(recover_z(p, ctx, self.h2[:ctx.n]))
+            z_parts.append(recover_z(p, ctx, self._h_slices(ctx)[1]))
             head_data.append((ctx, p))
 
         z = concat(z_parts, axis=-1)
@@ -147,9 +167,10 @@ class AugmentedDynamics(Module):
         self.info_dim = info_dim
         a, b = hippo_legt(hippo_dim, theta=window)
         # Constant tensors (not per-call ``Tensor(...)`` wraps) so replayed
-        # traces hold stable externals and eager calls allocate less.
-        self._a_t = Tensor(a.T.copy(), name="hippo_a_t")   # apply as c @ A^T
-        self._b = Tensor(b.copy(), name="hippo_b")
+        # traces hold stable externals and eager calls allocate less; the
+        # HiPPO matrices never change, so they are static for the hoister.
+        self._a_t = mark_static(Tensor(a.T.copy(), name="hippo_a_t"))
+        self._b = mark_static(Tensor(b.copy(), name="hippo_b"))
         self.w_r = Linear(info_dim, 1, rng)
         self.f_r = MLP(latent_dim + hippo_dim + info_dim, [hidden_dim],
                        info_dim, rng)
