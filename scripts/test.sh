@@ -9,6 +9,9 @@
 #                            (REPRO_EXECUTOR=replay), once with the
 #                            optimizing passes on (REPRO_IR_PASSES=default)
 #                            and once with them off (REPRO_IR_PASSES=none)
+#   scripts/test.sh codegen  tier-1 under the replay executor with the
+#                            codegen backend enabled (REPRO_EXECUTOR=replay
+#                            REPRO_CODEGEN=on)
 #
 # Extra arguments after the lane go straight to pytest, e.g.
 #   scripts/test.sh fast tests/parallel -q
@@ -34,12 +37,16 @@ case "$lane" in
         exec env REPRO_EXECUTOR=replay REPRO_IR_PASSES=none \
             python -m pytest -x -q "$@"
         ;;
+    codegen)
+        exec env REPRO_EXECUTOR=replay REPRO_CODEGEN=on \
+            python -m pytest -x -q "$@"
+        ;;
     full)
         # Overrides the "not tier2" filter baked into addopts.
         exec python -m pytest -x -q -m "tier2 or not tier2" "$@"
         ;;
     *)
-        echo "usage: scripts/test.sh [fast|tier2|full|ir] [pytest args...]" >&2
+        echo "usage: scripts/test.sh [fast|tier2|full|ir|codegen] [pytest args...]" >&2
         exit 2
         ;;
 esac

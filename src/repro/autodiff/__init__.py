@@ -11,7 +11,10 @@ The package is organised around an explicit op-graph IR:
 * :mod:`~repro.autodiff.passes` -- the optimizing pass pipeline (DCE,
   CSE, constant folding + loop-invariant hoisting) applied to recorded
   traces at compile time (``REPRO_IR_PASSES=default|none`` /
-  :func:`set_ir_passes`).
+  :func:`set_ir_passes`);
+* :mod:`~repro.autodiff.codegen` -- the codegen backend lowering
+  optimized no_grad traces to flat generated Python/numpy kernels
+  (``REPRO_CODEGEN=on|off`` / :func:`set_codegen`).
 """
 
 from .ir import (
@@ -49,6 +52,12 @@ from .passes import (
     plan_trace,
     recent_plans,
     set_ir_passes,
+)
+from .codegen import (
+    CodegenError,
+    get_codegen,
+    recent_sources,
+    set_codegen,
 )
 from .functional import (
     binary_cross_entropy_with_logits,
@@ -92,6 +101,10 @@ __all__ = [
     "set_ir_passes",
     "plan_trace",
     "recent_plans",
+    "CodegenError",
+    "get_codegen",
+    "set_codegen",
+    "recent_sources",
     "get_trace_cache_cap",
     "set_trace_cache_cap",
     "softmax",

@@ -27,6 +27,13 @@ bumps):
    fresh arrays and plants a single "replay" fat node in the outer graph
    whose backward walks the trace in reverse with the same per-opcode
    rules the eager executor dispatches.
+4. **codegen** (``REPRO_CODEGEN=on``, no_grad keys only) -- validation
+   additionally lowers the optimized schedule to one flat generated
+   function (:mod:`repro.autodiff.codegen`), bit-compares its output
+   against the interpreted replay, and on success installs the kernel as
+   the entry state; replays then skip the per-op dispatch loop entirely.
+   Gradient-mode keys keep the fat-node replay, so gradients stay
+   bit-identical to eager.
 
 External tensors captured by the trace (parameters, per-batch context
 constants) are resolved to their live ``.data`` at replay time, so
@@ -53,6 +60,7 @@ from .ir import (
     next_node_id,
     set_recorder,
 )
+from .codegen import CodegenError, build_codegen, get_codegen
 from .passes import log_plan, plan_trace
 from .tensor import Tensor, is_grad_enabled
 from . import tensor as _tensor
@@ -105,12 +113,22 @@ def get_trace_cache_cap() -> int:
 
 
 def set_trace_cache_cap(cap: int) -> None:
-    """Bound the per-function trace cache (least-recently-used eviction)."""
+    """Bound the per-function trace cache (least-recently-used eviction).
+
+    Lowering the cap trims every live :class:`CompiledFunction`
+    immediately (evictions counted in ``ir.cache_evictions``) rather than
+    waiting for the next store, so already-populated caches never sit
+    over-cap.
+    """
     cap = int(cap)
     if cap < 1:
         raise ValueError(f"trace cache cap must be >= 1, got {cap}")
     global _CACHE_CAP
+    shrunk = cap < _CACHE_CAP
     _CACHE_CAP = cap
+    if shrunk:
+        for wrapper in list(_WRAPPERS):
+            wrapper._trim_to_cap()
 
 
 _REGISTRY = None
@@ -200,6 +218,8 @@ class CompiledGraph:
         log_plan("grad" if grad_mode else "no_grad", stats)
 
         self._build_nograd_plan()
+        self._codegen_fn = None
+        self._codegen_src = None
 
     # -- compile-time planning -----------------------------------------
     def _build_nograd_plan(self) -> None:
@@ -226,13 +246,16 @@ class CompiledGraph:
         buffers: dict[int, np.ndarray] = {}
         fused = 0
         aliases = [False] * n        # output may alias persistent storage
-        for i in body:
+        galiases = [False] * n       # same analysis for the grad executor:
+        for i in body:               # fresh body arrays, memoized prefix
             op = ops[i]
             spec = OPS[op.opcode]
             if op.opcode in _VIEW_OPCODES:
                 kind, j = refs_of[i][0]
                 aliases[i] = (True if kind != "buf"
                               else in_prefix[j] or (j in buffers) or aliases[j])
+                galiases[i] = (True if kind != "buf"
+                               else in_prefix[j] or galiases[j])
             if spec.run_out is None or i == self.out_slot:
                 continue
             # In-place fusion: write into a dying same-shape elementwise
@@ -258,6 +281,13 @@ class CompiledGraph:
         # share storage with the memoized arrays.
         self._copy_output = ((self._out_in_prefix or aliases[self.out_slot])
                              if n else False)
+        # Grad replays use fresh body arrays, but a trace ending in a view
+        # chain rooted at the memoized prefix, an external's live ``.data``
+        # or an input slot would still hand the caller a live view; apply
+        # the same alias rule so mutation cannot corrupt later replays.
+        self._copy_grad_output = ((self._out_in_prefix
+                                   or galiases[self.out_slot])
+                                  if n else False)
         self._vals: list = [None] * n
         # Flat step plan for the replay hot loop: everything per-op
         # (dispatch-table lookups, buffer assignment, ref decoding) is
@@ -401,12 +431,42 @@ class CompiledGraph:
         out.static = False
         return out
 
+    def try_codegen(self, tag: str = ""):
+        """Build this graph's generated kernel (``None`` when lowering
+        fails; the caller stays on the interpreted replay)."""
+        if self._codegen_fn is None:
+            try:
+                self._codegen_fn, self._codegen_src = build_codegen(self, tag)
+            except CodegenError:
+                _inc("ir.codegen_fallbacks")
+                return None
+            _inc("ir.codegen_builds")
+        return self._codegen_fn
+
+    def replay_codegen(self, t: float, y: Tensor) -> Tensor:
+        data = self._codegen_fn(float(t), y.data)
+        reg = _registry()
+        if reg.enabled:
+            reg.inc("ir.codegen_calls")
+        profiler = _tensor._PROFILER
+        if profiler is not None:
+            profiler._record_replay(len(self.plan.body), codegen=True)
+        # fast-path Tensor construction: data is already a float64 ndarray
+        out = Tensor.__new__(Tensor)
+        out.data = data
+        out.grad = None
+        out.requires_grad = False
+        out._node = None
+        out.name = ""
+        out.static = False
+        return out
+
     def replay_grad(self, t: float, y: Tensor) -> Tensor:
         inarrs = self.fill_inputs(t, y.data, fresh=True)
         vals = self.run_values(inarrs)
         data = vals[self.out_buf]
-        if self._out_in_prefix:
-            data = np.array(data)   # never hand out the memoized array
+        if self._copy_grad_output:
+            data = np.array(data)   # never hand out a view of live storage
         out = Tensor(data)
         parents = (y,) + self.diff_externals
         if is_grad_enabled() and any(p.requires_grad for p in parents):
@@ -489,6 +549,12 @@ class CompiledGraph:
         return lines
 
 
+#: Every live CompiledFunction, so a cap change can trim populated caches
+#: immediately.  A WeakSet (rather than walking ``_COMPILED``) also covers
+#: wrappers constructed directly or kept for unhashable callables.
+_WRAPPERS: "weakref.WeakSet" = weakref.WeakSet()
+
+
 class CompiledFunction:
     """Trace cache wrapped around one ODE right-hand side ``func(t, y)``.
 
@@ -504,13 +570,21 @@ class CompiledFunction:
         self.func = func
         self.entries: OrderedDict = OrderedDict()
         self._epoch = graph_epoch()
+        _WRAPPERS.add(self)
+
+    def _tag(self) -> str:
+        f = self.func
+        return getattr(f, "__qualname__", None) or type(f).__name__
+
+    def _trim_to_cap(self) -> None:
+        while len(self.entries) > _CACHE_CAP:
+            self.entries.popitem(last=False)
+            _inc("ir.cache_evictions")
 
     def _store(self, key, entry) -> None:
         self.entries[key] = entry
         self.entries.move_to_end(key)
-        while len(self.entries) > _CACHE_CAP:
-            self.entries.popitem(last=False)
-            _inc("ir.cache_evictions")
+        self._trim_to_cap()
 
     def __call__(self, t, y):
         if _MODE != "replay" or not isinstance(y, Tensor) \
@@ -531,6 +605,9 @@ class CompiledFunction:
             if graph.grad_mode:
                 return graph.replay_grad(t, y)
             return graph.replay_nograd(t, y)
+        if state == "codegen":
+            _inc("ir.replay_hits")
+            return graph.replay_codegen(t, y)
         if state == "validate":
             return self._validate(key, graph, t, y)
         return self.func(t, y)          # pinned to eager for this key
@@ -567,7 +644,19 @@ class CompiledFunction:
             graph.fill_inputs(t, y.data, fresh=True))[graph.out_buf]
         if isinstance(out, Tensor) and out.data.shape == replayed.shape \
                 and np.array_equal(out.data, replayed):
-            self._store(key, ("ready", graph))
+            state = "ready"
+            if get_codegen() == "on" and not graph.grad_mode \
+                    and graph.try_codegen(self._tag()) is not None:
+                generated = graph._codegen_fn(float(t), y.data)
+                if generated.shape == replayed.shape \
+                        and np.array_equal(generated, replayed):
+                    state = "codegen"
+                else:
+                    # Lowering produced different bits; drop the kernel
+                    # and stay on the interpreted replay for this graph.
+                    graph._codegen_fn = None
+                    _inc("ir.codegen_fallbacks")
+            self._store(key, (state, graph))
         else:
             # The function does work the recorder cannot see (raw-numpy
             # masks, randomness, time baked in as a constant); stay eager.

@@ -119,6 +119,12 @@ class OpSpec:
     candidates).  ``differentiable=False`` ops (comparisons, constant-max)
     never create tape nodes but are still recorded in traces so replay can
     recompute them from live inputs.
+
+    ``emit`` / ``emit_out`` (optional) are the codegen render rules: they
+    return Python source replicating ``forward`` / ``run_out`` exactly, so
+    a generated kernel stays bit-identical to the interpreted replay (see
+    :mod:`repro.autodiff.codegen`).  Ops without render rules fall back to
+    a closure call on ``forward`` in the generated source.
     """
 
     opcode: str
@@ -127,6 +133,8 @@ class OpSpec:
     run_out: Callable[[tuple, dict | None, np.ndarray], np.ndarray] | None = None
     elementwise: bool = False
     differentiable: bool = True
+    emit: Callable[..., str] | None = None
+    emit_out: Callable[..., str] | None = None
 
 
 OPS: dict[str, OpSpec] = {}
@@ -650,3 +658,108 @@ register_op("custom", None,
             lambda g, ins, out, at, needs: tuple(at["fn"](g)))
 register_op("replay", None,
             lambda g, ins, out, at, needs: at["graph"].backward(g, at["frame"]))
+
+
+# ---------------------------------------------------------------------------
+# codegen render rules
+# ---------------------------------------------------------------------------
+# The codegen backend (:mod:`repro.autodiff.codegen`) lowers an optimized
+# trace to flat Python/numpy source.  ``emit(args, attrs, const)`` renders
+# an op as an expression over already-rendered argument expressions;
+# ``emit_out(args, attrs, const, out)`` renders a statement writing into
+# the preallocated buffer named ``out``.  ``const(obj)`` binds ``obj`` as
+# a closure constant of the generated kernel and returns its name, so
+# attrs are baked by object identity rather than re-parsed from reprs.
+# Every rule must replicate the forward rule's numpy call sequence
+# exactly: the validation step bit-compares kernel output against the
+# interpreted replay.  Helper names (``_np``, ``_add``, ``_whr``, ...)
+# are provided by the codegen base namespace (``codegen._BASE_NS``).
+
+def _emit_transpose(a, at, c):
+    axis0 = at["axis0"]
+    if axis0 is None:
+        return a[0]
+    return f"_sw({a[0]}, {c(axis0)}, {c(at['axis1'])})"
+
+
+_EMIT_RULES = {
+    "add": (lambda a, at, c: f"({a[0]} + {a[1]})",
+            lambda a, at, c, o: f"_add({a[0]}, {a[1]}, {o})"),
+    "sub": (lambda a, at, c: f"({a[0]} - {a[1]})",
+            lambda a, at, c, o: f"_sub({a[0]}, {a[1]}, {o})"),
+    "mul": (lambda a, at, c: f"({a[0]} * {a[1]})",
+            lambda a, at, c, o: f"_mul({a[0]}, {a[1]}, {o})"),
+    "div": (lambda a, at, c: f"({a[0]} / {a[1]})",
+            lambda a, at, c, o: f"_div({a[0]}, {a[1]}, {o})"),
+    "neg": (lambda a, at, c: f"(-{a[0]})",
+            lambda a, at, c, o: f"_neg({a[0]}, {o})"),
+    "pow": (lambda a, at, c: f"({a[0]} ** {c(at['exponent'])})",
+            lambda a, at, c, o: f"_pw({a[0]}, {c(at['exponent'])}, {o})"),
+    "matmul": (lambda a, at, c: f"({a[0]} @ {a[1]})",
+               lambda a, at, c, o: f"_mm({a[0]}, {a[1]}, {o})"),
+    "greater": (lambda a, at, c: f"({a[0]} > {a[1]})", None),
+    "less": (lambda a, at, c: f"({a[0]} < {a[1]})", None),
+    "greater_equal": (lambda a, at, c: f"({a[0]} >= {a[1]})", None),
+    "less_equal": (lambda a, at, c: f"({a[0]} <= {a[1]})", None),
+    "amax_const": (
+        lambda a, at, c: f"{a[0]}.max(axis={c(at['axis'])}, keepdims=True)",
+        None),
+    "reshape": (lambda a, at, c: f"{a[0]}.reshape({c(at['shape'])})", None),
+    "transpose": (_emit_transpose, None),
+    "permute": (lambda a, at, c: f"_tr({a[0]}, {c(at['axes'])})", None),
+    "getitem": (lambda a, at, c: f"{a[0]}[{c(at['index'])}]", None),
+    "broadcast_to": (lambda a, at, c: f"_ac(_bt({a[0]}, {c(at['shape'])}))",
+                     None),
+    "sum": (lambda a, at, c:
+            f"{a[0]}.sum(axis={c(at['axis'])}, keepdims={c(at['keepdims'])})",
+            None),
+    "max": (lambda a, at, c:
+            f"{a[0]}.max(axis={c(at['axis'])}, keepdims={c(at['keepdims'])})",
+            None),
+    "exp": (lambda a, at, c: f"_exp({a[0]})",
+            lambda a, at, c, o: f"_exp({a[0]}, {o})"),
+    "log": (lambda a, at, c: f"_log({a[0]})",
+            lambda a, at, c, o: f"_log({a[0]}, {o})"),
+    "sqrt": (lambda a, at, c: f"_sqrt({a[0]})",
+             lambda a, at, c, o: f"_sqrt({a[0]}, {o})"),
+    "tanh": (lambda a, at, c: f"_tanh({a[0]})",
+             lambda a, at, c, o: f"_tanh({a[0]}, {o})"),
+    "sigmoid": (lambda a, at, c:
+                f"(1.0 / (1.0 + _exp(-_clip({a[0]}, -60.0, 60.0))))",
+                None),
+    "relu": (lambda a, at, c: f"_maxu({a[0]}, 0.0)",
+             lambda a, at, c, o: f"_maxu({a[0]}, 0.0, {o})"),
+    "softplus": (lambda a, at, c:
+                 f"(_maxu({a[0]}, 0.0) + _log1p(_exp(-_abs({a[0]}))))",
+                 None),
+    "abs": (lambda a, at, c: f"_abs({a[0]})",
+            lambda a, at, c, o: f"_abs({a[0]}, {o})"),
+    "clip": (lambda a, at, c:
+             f"_clip({a[0]}, {c(at['lo'])}, {c(at['hi'])})",
+             lambda a, at, c, o:
+             f"_clip({a[0]}, {c(at['lo'])}, {c(at['hi'])}, {o})"),
+    "sin": (lambda a, at, c: f"_sin({a[0]})",
+            lambda a, at, c, o: f"_sin({a[0]}, {o})"),
+    "cos": (lambda a, at, c: f"_cos({a[0]})",
+            lambda a, at, c, o: f"_cos({a[0]}, {o})"),
+    "inv": (lambda a, at, c: f"_inv({a[0]})", None),
+    "pinv": (lambda a, at, c: f"_pinv({a[0]}, rcond={c(at['rcond'])})", None),
+    "concat": (lambda a, at, c:
+               f"_cat(({', '.join(a)},), {c(at['axis'])})", None),
+    "stack": (lambda a, at, c:
+              f"_stk(({', '.join(a)},), {c(at['axis'])})", None),
+    "where": (lambda a, at, c: f"_whr({a[0]}, {a[1]}, {a[2]})", None),
+    "maximum": (lambda a, at, c:
+                f"_whr({a[0]} >= {a[1]}, {a[0]}, {a[1]})", None),
+    "minimum": (lambda a, at, c:
+                f"_whr({a[0]} <= {a[1]}, {a[0]}, {a[1]})", None),
+}
+
+
+def _attach_emitters() -> None:
+    from dataclasses import replace
+    for opcode, (emit, emit_out) in _EMIT_RULES.items():
+        OPS[opcode] = replace(OPS[opcode], emit=emit, emit_out=emit_out)
+
+
+_attach_emitters()

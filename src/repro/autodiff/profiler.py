@@ -69,6 +69,7 @@ class TapeProfiler:
         self.backward_passes = 0
         self.replays = 0
         self.replayed_ops = 0
+        self.codegen_replays = 0
         self._last_ts = time.perf_counter()
 
     # -- hooks called from the tape (profiler active only) --------------
@@ -108,15 +109,18 @@ class TapeProfiler:
         self.backward_passes += 1
         self._last_ts = time.perf_counter()
 
-    def _record_replay(self, n_ops: int) -> None:
+    def _record_replay(self, n_ops: int, codegen: bool = False) -> None:
         """One compiled-trace replay executed ``n_ops`` body ops.
 
         Replays bypass ``tensor.apply`` so they are counted in aggregate
         here rather than per opcode; resetting the attribution clock keeps
         replay wall time from being charged to the next eager node.
+        ``codegen=True`` marks replays served by a generated kernel.
         """
         self.replays += 1
         self.replayed_ops += n_ops
+        if codegen:
+            self.codegen_replays += 1
         self._last_ts = time.perf_counter()
 
     # -- reporting -------------------------------------------------------
@@ -141,6 +145,7 @@ class TapeProfiler:
             "backward_passes": self.backward_passes,
             "replays": self.replays,
             "replayed_ops": self.replayed_ops,
+            "codegen_replays": self.codegen_replays,
             "ops": {op: rec.as_dict() for op, rec in sorted(self.ops.items())},
         }
 

@@ -1,5 +1,5 @@
 """Benchmark targets: ``python -m repro.benchmarks
-[solver|parallel|ir|passes]``.
+[solver|parallel|ir|passes|codegen]``.
 
 ``solver`` (the default) runs a representative dopri5 workload (a batch of
 decays whose rates span two orders of magnitude, read out on an irregular
@@ -23,6 +23,12 @@ and under trace-and-replay (``BENCH_ir.json``): a direct RHS
 microbenchmark (per-call wall time and speedup), plus a full dopri5
 solve per executor with the ``ir.*`` trace-cache counters (builds, hits,
 misses, hit rate) and a bit-compare of the two solutions.
+
+``codegen`` measures the codegen backend on the ``ir`` workload
+(``BENCH_codegen.json``): per-call RHS wall time and NFE-normalized
+dopri5 solve time under eager, interpreted replay and generated kernels
+(``REPRO_CODEGEN=on``), with bit-compares of the solutions against eager
+and of the fat-node gradients (codegen never touches the grad path).
 
 ``passes`` measures the trace-optimization pipeline (``BENCH_passes.json``):
 the batch-16 DHS dynamics microbench written the *naive* way -- the
@@ -50,7 +56,7 @@ from .odeint import SolverOptions, odeint
 
 __all__ = ["solver_workload", "run_current_solver", "run_seed_emulation",
            "run", "parallel_workload", "run_parallel", "ir_workload",
-           "run_ir", "passes_workload", "run_passes", "main"]
+           "run_ir", "passes_workload", "run_passes", "run_codegen", "main"]
 
 RTOL, ATOL = 1e-5, 1e-7
 
@@ -389,6 +395,180 @@ def _main_ir(out: str) -> int:
     return 0
 
 
+def _codegen_grad_workload(batch: int = 16, hidden: int = 16, seed: int = 3):
+    """The ir workload with trainable weights, for the gradient
+    bit-compare: codegen must leave the fat-node backward untouched."""
+    from .autodiff import time_tensor
+
+    rng = np.random.default_rng(seed)
+    w1 = Tensor(rng.standard_normal((hidden, hidden)) * 0.2,
+                requires_grad=True, name="w1")
+    b1 = Tensor(rng.standard_normal((1, hidden)) * 0.1,
+                requires_grad=True, name="b1")
+    w2 = Tensor(rng.standard_normal((hidden, hidden)) * 0.2,
+                requires_grad=True, name="w2")
+    b2 = Tensor(rng.standard_normal((1, hidden)) * 0.1,
+                requires_grad=True, name="b2")
+    w3 = Tensor(rng.standard_normal((hidden, hidden)) * 0.2,
+                requires_grad=True, name="w3")
+
+    def rhs(t, y):
+        tt = time_tensor(t, (batch, 1))
+        h = (y @ w1 + b1 + tt).tanh()
+        h = (h @ w2 + b2).tanh()
+        return h @ w3 - y * 0.5
+
+    y0 = rng.standard_normal((batch, hidden)) * 0.3
+    params = {"w1": w1, "b1": b1, "w2": w2, "b2": b2, "w3": w3}
+    return rhs, y0, params
+
+
+def _codegen_grads(use_replay: bool) -> dict:
+    """Gradients of ``sum(rhs(0.5, y))`` -- eager tape, or the fat-node
+    replay with the codegen backend switched on."""
+    from .autodiff import (CompiledFunction, get_codegen, set_codegen,
+                           set_executor)
+
+    rhs, y0, params = _codegen_grad_workload()
+    y = Tensor(y0, requires_grad=True, name="y")
+    if not use_replay:
+        out = rhs(0.5, y)
+        out.backward(np.ones_like(out.data))
+    else:
+        compiled = CompiledFunction(rhs)
+        prev = get_codegen()
+        set_executor("replay")
+        set_codegen("on")
+        try:
+            compiled(0.5, y)            # trace
+            compiled(0.5, y)            # validate
+            out = compiled(0.5, y)      # fat-node replay (grad-mode key)
+            out.backward(np.ones_like(out.data))
+        finally:
+            set_executor("eager")
+            set_codegen(prev)
+    grads = {"y": np.array(y.grad, copy=True)}
+    for name, p in params.items():
+        grads[name] = np.array(p.grad, copy=True)
+    return grads
+
+
+def run_codegen(out_path: str | pathlib.Path = "BENCH_codegen.json",
+                calls: int = 300) -> dict:
+    from .autodiff import (CompiledFunction, get_codegen, set_codegen,
+                           set_executor)
+
+    # -- RHS microbenchmark: eager vs interpreted replay vs codegen ----
+    rhs, y0 = ir_workload()
+    y = Tensor(y0)
+    eager_us = _time_rhs_calls(rhs, y, calls) * 1e6
+
+    prev = get_codegen()
+    rhs_us = {}
+    states = {}
+    for cg_mode in ("off", "on"):
+        compiled = CompiledFunction(rhs)
+        set_executor("replay")
+        set_codegen(cg_mode)
+        try:
+            with no_grad():
+                compiled(0.5, y)        # trace
+                compiled(0.5, y)        # validate (+ kernel bit-compare)
+            rhs_us[cg_mode] = _time_rhs_calls(compiled, y, calls) * 1e6
+            (state, _), = compiled.entries.values()
+            states[cg_mode] = state
+        finally:
+            set_executor("eager")
+            set_codegen(prev)
+
+    # -- full dopri5 solve per backend, NFE-normalized -----------------
+    sol_eager, nfev_eager, eager_s, _ = _solve_ir("eager")
+    sol_replay, nfev_replay, replay_s, _ = _solve_ir("replay")
+    set_codegen("on")
+    try:
+        sol_cg, nfev_cg, cg_s, counters = _solve_ir("replay")
+    finally:
+        set_codegen(prev)
+    replay_per_nfe = replay_s / nfev_replay
+    cg_per_nfe = cg_s / nfev_cg
+
+    # -- gradient bit-identity: codegen on must not change grads -------
+    g_eager = _codegen_grads(use_replay=False)
+    g_cg = _codegen_grads(use_replay=True)
+    grad_diff = max(float(np.abs(g_eager[k] - g_cg[k]).max())
+                    for k in g_eager)
+    grad_bit_identical = all(np.array_equal(g_eager[k], g_cg[k])
+                             for k in g_eager)
+
+    payload = {
+        "workload": ("batch-16 hidden-16 two-layer MLP dynamics, "
+                     "9 readouts over t in [0, 2]"),
+        "rhs_calls": calls,
+        "rhs": {
+            "eager_us": eager_us,
+            "replay_us": rhs_us["off"],
+            "codegen_us": rhs_us["on"],
+            "codegen_vs_replay": rhs_us["off"] / rhs_us["on"],
+            "codegen_vs_eager": eager_us / rhs_us["on"],
+            "entry_states": states,
+        },
+        "solve": {
+            "nfev": nfev_eager,
+            "nfev_replay": nfev_replay,
+            "nfev_codegen": nfev_cg,
+            "eager_seconds": eager_s,
+            "replay_seconds": replay_s,
+            "codegen_seconds": cg_s,
+            "eager_us_per_nfe": eager_s / nfev_eager * 1e6,
+            "replay_us_per_nfe": replay_per_nfe * 1e6,
+            "codegen_us_per_nfe": cg_per_nfe * 1e6,
+            "codegen_vs_replay_per_nfe": replay_per_nfe / cg_per_nfe,
+            "max_abs_diff_replay": float(
+                np.abs(sol_eager - sol_replay).max()),
+            "max_abs_diff_codegen": float(np.abs(sol_eager - sol_cg).max()),
+        },
+        "grads": {
+            "max_abs_diff": grad_diff,
+            "bit_identical": grad_bit_identical,
+            "leaves": sorted(g_eager),
+        },
+        "codegen": {
+            "builds": counters.get("ir.codegen_builds", 0.0),
+            "calls": counters.get("ir.codegen_calls", 0.0),
+            "fallbacks": counters.get("ir.codegen_fallbacks", 0.0),
+        },
+    }
+    path = pathlib.Path(out_path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(payload, indent=2) + "\n")
+    return payload
+
+
+def _main_codegen(out: str) -> int:
+    payload = run_codegen(out)
+    rhs, solve = payload["rhs"], payload["solve"]
+    grads, cg = payload["grads"], payload["codegen"]
+    print(f"RHS microbenchmark ({payload['rhs_calls']} calls, no_grad)")
+    print(f"  eager:   {rhs['eager_us']:8.1f} us/call")
+    print(f"  replay:  {rhs['replay_us']:8.1f} us/call")
+    print(f"  codegen: {rhs['codegen_us']:8.1f} us/call  "
+          f"({rhs['codegen_vs_replay']:.2f}x vs replay, "
+          f"{rhs['codegen_vs_eager']:.2f}x vs eager)")
+    print(f"dopri5 solve (nfev={solve['nfev']})")
+    print(f"  eager:   {solve['eager_us_per_nfe']:8.1f} us/NFE")
+    print(f"  replay:  {solve['replay_us_per_nfe']:8.1f} us/NFE  "
+          f"max|diff|={solve['max_abs_diff_replay']:.1e}")
+    print(f"  codegen: {solve['codegen_us_per_nfe']:8.1f} us/NFE  "
+          f"({solve['codegen_vs_replay_per_nfe']:.2f}x vs replay)  "
+          f"max|diff|={solve['max_abs_diff_codegen']:.1e}")
+    print(f"  grads: max|diff|={grads['max_abs_diff']:.1e}  "
+          f"bit_identical={grads['bit_identical']}")
+    print(f"  codegen: {cg['builds']:.0f} builds, {cg['calls']:.0f} calls, "
+          f"{cg['fallbacks']:.0f} fallbacks")
+    print(f"  wrote {out}")
+    return 0
+
+
 def passes_workload(batch: int = 16, n: int = 48, d: int = 8,
                     hidden: int = 32, seed: int = 5):
     """Batch-16 DHS dynamics written the naive way: the Eq. 32/34 context
@@ -643,6 +823,9 @@ def main(argv: list[str] | None = None) -> int:
     if target == "passes":
         return _main_passes(argv[1] if len(argv) > 1
                             else "BENCH_passes.json")
+    if target == "codegen":
+        return _main_codegen(argv[1] if len(argv) > 1
+                             else "BENCH_codegen.json")
     # Back-compat: a bare path argument means the solver benchmark.
     return _main_solver(target)
 

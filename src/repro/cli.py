@@ -30,7 +30,7 @@ import contextlib
 
 import numpy as np
 
-from .autodiff import set_executor, set_ir_passes
+from .autodiff import set_codegen, set_executor, set_ir_passes
 from .data import Dataset, batch_iter, train_val_test_split
 from .experiments import (
     ALL_MODELS,
@@ -88,6 +88,10 @@ def build_parser() -> argparse.ArgumentParser:
                        help="trace-optimization passes under the replay "
                             "executor (default: REPRO_IR_PASSES env or "
                             "'default'; 'none' replays raw traces)")
+    train.add_argument("--codegen", default=None,
+                       choices=["on", "off"],
+                       help="generated flat kernels for no_grad replays "
+                            "(default: REPRO_CODEGEN env or off)")
 
     ev = sub.add_parser("evaluate", help="evaluate a DIFFODE checkpoint")
     ev.add_argument("--checkpoint", required=True)
@@ -108,6 +112,9 @@ def build_parser() -> argparse.ArgumentParser:
                     choices=["default", "none"],
                     help="trace-optimization passes under the replay "
                          "executor")
+    ev.add_argument("--codegen", default=None,
+                    choices=["on", "off"],
+                    help="generated flat kernels for no_grad replays")
 
     prof = sub.add_parser(
         "profile",
@@ -141,6 +148,9 @@ def build_parser() -> argparse.ArgumentParser:
                       choices=["default", "none"],
                       help="trace-optimization passes under the replay "
                            "executor")
+    prof.add_argument("--codegen", default=None,
+                      choices=["on", "off"],
+                      help="generated flat kernels for no_grad replays")
     prof.add_argument("--seed", type=int, default=0)
 
     sub.add_parser("list", help="list available models and datasets")
@@ -255,9 +265,11 @@ def _cmd_profile(args) -> int:
     for key, value in model.describe().items():
         print(f"  {key}: {value}")
 
+    from .autodiff import no_grad
     from .training.optim import clip_grad_norm
     solver_totals: dict[str, float] = {}
     rng = np.random.default_rng(args.seed)
+    last_batch = None
     with telemetry_session(trace_path=args.trace,
                            profile_tape=True) as session:
         reg = session.registry
@@ -265,6 +277,7 @@ def _cmd_profile(args) -> int:
             for i, batch in enumerate(batch_iter(train_set, batch_size, rng)):
                 if i >= args.steps:
                     break
+                last_batch = batch
                 trainer.optimizer.zero_grad()
                 with reg.timer("forward"):
                     loss = trainer.loss_fn(batch)
@@ -280,6 +293,20 @@ def _cmd_profile(args) -> int:
                     for key in ("nfev", "steps", "rejects", "dense_evals"):
                         solver_totals[key] = (solver_totals.get(key, 0)
                                               + getattr(stats, key))
+            if last_batch is not None:
+                # Inference-path profile: no_grad forwards hit the replay
+                # executor's no_grad keys (and the codegen backend when
+                # enabled), which training steps never exercise.
+                with reg.timer("inference"), no_grad():
+                    for _ in range(3):       # trace, validate, replay
+                        trainer.loss_fn(last_batch)
+                        stats = getattr(model, "last_solver_stats", None)
+                        if stats is not None:
+                            for key in ("nfev", "steps", "rejects",
+                                        "dense_evals"):
+                                solver_totals[key] = (
+                                    solver_totals.get(key, 0)
+                                    + getattr(stats, key))
         summary = session.summary()
 
     print(f"\nphase breakdown ({args.steps} steps):")
@@ -316,7 +343,7 @@ def _cmd_profile(args) -> int:
         print("\nIR executor counters:")
         for name, value in sorted(ir_counters.items()):
             print(f"  {name}: {int(value)}")
-        from .autodiff import recent_plans
+        from .autodiff import recent_plans, recent_sources
         plans = recent_plans()
         if plans:
             print("compiled traces (pass pipeline, most recent):")
@@ -325,6 +352,15 @@ def _cmd_profile(args) -> int:
                       f"{row['body_ops']:>4} body  "
                       f"(dce {row['dce_removed']}, cse {row['cse_merged']}, "
                       f"hoisted {row['hoisted']})")
+        sources = recent_sources()
+        if sources:
+            print("generated codegen kernels (most recent):")
+            for row in sources[-4:]:
+                print(f"  --- {row['tag']} ({row['body_ops']} body ops, "
+                      f"{row['inlined']} inlined, "
+                      f"{row['buffers']} buffers) ---")
+                for line in row["source"].splitlines():
+                    print(f"  {line}")
     if solver_totals:
         method = solver_totals.pop("method")
         registry_nfev = int(summary["counters"].get(
@@ -356,6 +392,8 @@ def main(argv: list[str] | None = None) -> int:
         set_executor(args.executor)
     if getattr(args, "ir_passes", None):
         set_ir_passes(args.ir_passes)
+    if getattr(args, "codegen", None):
+        set_codegen(args.codegen)
     handlers = {"train": _cmd_train, "evaluate": _cmd_evaluate,
                 "profile": _cmd_profile, "list": _cmd_list}
     return handlers[args.command](args)

@@ -10,6 +10,7 @@ from repro.autodiff import (
     CompiledFunction,
     Tensor,
     get_executor,
+    mark_static,
     maximum,
     maybe_compile,
     no_grad,
@@ -215,3 +216,63 @@ class TestBitIdentity:
             np.testing.assert_array_equal(eg, rg)
         for ep, rp in zip(eager_p, replay_p):
             np.testing.assert_array_equal(ep, rp)
+
+
+class TestGradReplayAliasing:
+    """Regressions for the grad-path view-alias fix: ``replay_grad`` must
+    never hand out a view of live storage (an external's ``.data``, the
+    caller's ``y`` array, or a memoized prefix array)."""
+
+    def test_grad_output_never_views_external(self, replay_mode):
+        w = Tensor(np.arange(6.0).reshape(2, 3), requires_grad=True)
+
+        def f(t, y):
+            return w.transpose(0, 1)
+
+        cf = CompiledFunction(f)
+        y = Tensor(np.ones((2, 3)), requires_grad=True)
+        expected = np.arange(6.0).reshape(2, 3).T
+        for t in (0.0, 0.1, 0.2):
+            out = cf(t, y)                   # third call: fat-node replay
+        assert not np.shares_memory(out.data, w.data)
+        out.data[...] = -99.0                # must not corrupt the param
+        np.testing.assert_array_equal(w.data,
+                                      np.arange(6.0).reshape(2, 3))
+        later = cf(0.3, y)
+        np.testing.assert_array_equal(later.data, expected)
+        np.testing.assert_array_equal(f(0.3, y).data, expected)
+
+    def test_grad_output_never_views_input(self, replay_mode):
+        def f(t, y):
+            return y.transpose(0, 1)
+
+        cf = CompiledFunction(f)
+        y = Tensor(np.arange(6.0).reshape(2, 3), requires_grad=True)
+        for t in (0.0, 0.1, 0.2):
+            out = cf(t, y)
+        assert not np.shares_memory(out.data, y.data)
+        out.data[...] = -1.0
+        np.testing.assert_array_equal(y.data,
+                                      np.arange(6.0).reshape(2, 3))
+
+    def test_mutating_grad_output_keeps_later_replays_eager(
+            self, replay_mode):
+        """A trace ending in a view of a hoisted (memoized-prefix) op must
+        return a copy: mutating it in place must leave later replays
+        bit-identical to eager."""
+        A = Tensor(np.arange(6.0).reshape(2, 3))
+        mark_static(A)
+
+        def f(t, y):
+            return (A * 2.0).transpose(0, 1)
+
+        cf = CompiledFunction(f)
+        y = Tensor(np.ones((2, 3)), requires_grad=True)
+        expected = (np.arange(6.0).reshape(2, 3) * 2.0).T
+        for t in (0.0, 0.1, 0.2):
+            out = cf(t, y)
+        np.testing.assert_array_equal(out.data, expected)
+        out.data[...] = 7.0                  # caller scribbles on it
+        later = cf(0.3, y)
+        np.testing.assert_array_equal(later.data, expected)
+        np.testing.assert_array_equal(f(0.3, y).data, expected)

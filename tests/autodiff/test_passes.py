@@ -10,12 +10,14 @@ from hypothesis.extra.numpy import arrays
 from repro.autodiff import (
     CompiledFunction,
     Tensor,
+    get_codegen,
     get_executor,
     get_ir_passes,
     get_trace_cache_cap,
     mark_static,
     no_grad,
     plan_trace,
+    set_codegen,
     set_executor,
     set_ir_passes,
     set_trace_cache_cap,
@@ -268,6 +270,41 @@ def test_trace_cache_cap_validation():
         set_trace_cache_cap(0)
 
 
+def test_lowering_cap_trims_populated_caches_immediately(replay_mode,
+                                                         counters):
+    """Regression: shrinking the cap must evict from already-populated
+    caches at once (counted in ``ir.cache_evictions``), not lazily on the
+    next store, and must keep the most recently used entries."""
+    prev = get_trace_cache_cap()
+    try:
+        set_trace_cache_cap(8)
+        calls = []
+
+        def f(t, y):
+            calls.append(y.data.size)
+            return y * 2.0 + 1.0
+
+        cf = CompiledFunction(f)
+        with no_grad():
+            for size in (2, 3, 4, 5):        # four distinct trace keys
+                for t in (0.0, 0.1, 0.2):
+                    cf(t, Tensor(np.ones(size)))
+        assert len(cf.entries) == 4
+        before = counters.counter("ir.cache_evictions").value
+        set_trace_cache_cap(2)               # shrink below the population
+        assert len(cf.entries) == 2          # trimmed immediately
+        assert counters.counter("ir.cache_evictions").value == before + 2
+        # LRU order: the two most recently used keys (sizes 4, 5) survive,
+        # so replaying them does not re-enter the traced function.
+        n_calls = len(calls)
+        with no_grad():
+            cf(0.3, Tensor(np.ones(4)))
+            cf(0.3, Tensor(np.ones(5)))
+        assert len(calls) == n_calls
+    finally:
+        set_trace_cache_cap(prev)
+
+
 # ---------------------------------------------------------------------------
 # bit-identity with eager: DHS dynamics forward + backward, both modes
 # ---------------------------------------------------------------------------
@@ -276,12 +313,15 @@ def test_trace_cache_cap_validation():
 @given(num_heads=st.sampled_from([1, 2]),
        batch=st.integers(min_value=1, max_value=5),
        mode=st.sampled_from(["default", "none"]),
+       codegen=st.sampled_from(["on", "off"]),
        data=st.data())
 def test_replay_matches_eager_forward_and_backward(num_heads, batch, mode,
-                                                   data):
+                                                   codegen, data):
     """Optimized replay must reproduce eager forward values and gradients
     bit-for-bit for the DHS dynamics, for 1- and 2-head models, across
-    batch sizes, with the pass pipeline on and off."""
+    batch sizes, with the pass pipeline on and off, and with the codegen
+    backend swept on and off (gradients stay on the fat-node replay; the
+    no_grad forward goes through the generated kernel when it is on)."""
     head_dim, n = 4, 6
     latent = head_dim * num_heads
     rng = np.random.default_rng(17)
@@ -312,18 +352,35 @@ def test_replay_matches_eager_forward_and_backward(num_heads, batch, mode,
                  for p in (s, *params)]
         return out.data.copy(), grads
 
-    prev_exec, prev_mode = get_executor(), get_ir_passes()
+    def run_nograd(executor):
+        dyn.bind(contexts)
+        s = Tensor(s0.copy())
+        with no_grad():
+            if executor == "eager":
+                return dyn(0.3, s).data.copy()
+            cf = CompiledFunction(dyn)
+            for _ in range(3):          # trace, validate, replay/codegen
+                out = cf(0.3, s)
+            return out.data.copy()
+
+    prev_exec = get_executor()
+    prev_mode, prev_cg = get_ir_passes(), get_codegen()
     try:
         set_executor("eager")
         set_ir_passes(mode)
+        set_codegen(codegen)
         out_eager, grads_eager = run("eager")
+        ng_eager = run_nograd("eager")
         set_executor("replay")
         out_replay, grads_replay = run("replay")
+        ng_replay = run_nograd("replay")
     finally:
         set_executor(prev_exec)
         set_ir_passes(prev_mode)
+        set_codegen(prev_cg)
 
     np.testing.assert_array_equal(out_eager, out_replay)
+    np.testing.assert_array_equal(ng_eager, ng_replay)
     assert len(grads_eager) == len(grads_replay)
     for ge, gr in zip(grads_eager, grads_replay):
         assert (ge is None) == (gr is None)
