@@ -1,0 +1,33 @@
+"""Acceptance benchmark for union-grid batching (ISSUE 7).
+
+Regenerates ``BENCH_batching.json``: on PhysioNet- and LargeST-like
+observation grids with varied windows, :func:`repro.parallel.union_solve`
+(overlap-planned buckets, one dopri5 solve per bucket, per-sample dense
+readout) must cut NFE per sample versus the per-shard padded baseline
+while matching its outputs within solver tolerance.
+"""
+
+from repro.benchmarks import run_batching
+
+
+def test_union_batching_beats_padded_shards(save_result):
+    """Union-grid solves must reduce NFE/sample on *both* generator
+    workloads and agree with the padded baseline within the solver's
+    tolerance band (NFE counting is deterministic, so one run suffices)."""
+    from .conftest import RESULTS_DIR
+
+    RESULTS_DIR.mkdir(exist_ok=True)
+    payload = run_batching(RESULTS_DIR / "BENCH_batching.json")
+
+    assert len(payload["rows"]) == 2, payload
+    for row in payload["rows"]:
+        assert row["nfe_per_sample_union"] < row["nfe_per_sample_padded"], row
+        assert row["nfe_reduction"] >= 0.25, row
+        assert row["within_tolerance"], row
+        assert row["max_abs_diff"] <= row["tolerance_band"], row
+        assert row["buckets"] >= 1, row
+    save_result("BENCH_batching", "union-grid batching: " + "; ".join(
+        f"{r['workload']} NFE/sample {r['nfe_per_sample_padded']:.1f} -> "
+        f"{r['nfe_per_sample_union']:.1f} (-{r['nfe_reduction']:.1%}), "
+        f"max|diff| {r['max_abs_diff']:.1e}"
+        for r in payload["rows"]))

@@ -12,6 +12,9 @@
 #   scripts/test.sh codegen  tier-1 under the replay executor with the
 #                            codegen backend enabled (REPRO_EXECUTOR=replay
 #                            REPRO_CODEGEN=on)
+#   scripts/test.sh batching the union-grid batching suites (planner,
+#                            solve driver, solve() facade) plus the
+#                            BENCH_batching acceptance benchmark
 #
 # Extra arguments after the lane go straight to pytest, e.g.
 #   scripts/test.sh fast tests/parallel -q
@@ -41,12 +44,19 @@ case "$lane" in
         exec env REPRO_EXECUTOR=replay REPRO_CODEGEN=on \
             python -m pytest -x -q "$@"
         ;;
+    batching)
+        exec python -m pytest -x -q tests/data/test_batching.py \
+            tests/parallel/test_union_solve.py \
+            tests/odeint/test_solve_api.py \
+            benchmarks/test_batching.py -p no:cacheprovider \
+            -m "tier2 or not tier2" "$@"
+        ;;
     full)
         # Overrides the "not tier2" filter baked into addopts.
         exec python -m pytest -x -q -m "tier2 or not tier2" "$@"
         ;;
     *)
-        echo "usage: scripts/test.sh [fast|tier2|full|ir|codegen] [pytest args...]" >&2
+        echo "usage: scripts/test.sh [fast|tier2|full|ir|codegen|batching] [pytest args...]" >&2
         exit 2
         ;;
 esac

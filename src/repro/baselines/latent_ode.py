@@ -14,7 +14,7 @@ import numpy as np
 
 from ..autodiff import Tensor, concat, time_tensor
 from ..nn import GRUCell, MLP
-from ..odeint import ADAPTIVE_METHODS, SolverOptions, odeint
+from ..odeint import ADAPTIVE_METHODS, SolverOptions, solve
 from ..core.model import interpolate_grid_states
 from .base import SequenceModel, encoder_features
 
@@ -59,11 +59,10 @@ class LatentODEBaseline(SequenceModel):
             opts = SolverOptions(rtol=self.rtol, atol=self.atol)
         else:
             opts = SolverOptions(step_size=float(self.grid[1] - self.grid[0]))
-        traj, stats = odeint(self._dynamics, z0, self.grid,
-                             method=self.method, options=opts,
-                             return_stats=True)
-        self.last_solver_stats = stats
-        return traj
+        sol = solve(self._dynamics, z0, self.grid,
+                    method=self.method, options=opts)
+        self.last_solver_stats = sol.stats
+        return sol.ys
 
     def forward_classification(self, values, times, mask) -> Tensor:
         traj = self._trajectory(values, times, mask)

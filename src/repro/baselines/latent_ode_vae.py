@@ -19,7 +19,7 @@ import numpy as np
 
 from ..autodiff import Tensor, concat, masked_mse_loss, time_tensor
 from ..nn import GRUCell, MLP
-from ..odeint import ADAPTIVE_METHODS, SolverOptions, odeint
+from ..odeint import ADAPTIVE_METHODS, SolverOptions, solve
 from ..core.model import interpolate_grid_states
 from .base import SequenceModel, encoder_features
 
@@ -80,11 +80,10 @@ class LatentODEVAEBaseline(SequenceModel):
             opts = SolverOptions(rtol=self.rtol, atol=self.atol)
         else:
             opts = SolverOptions(step_size=float(self.grid[1] - self.grid[0]))
-        traj, stats = odeint(self._dynamics, z0, self.grid,
-                             method=self.method, options=opts,
-                             return_stats=True)
-        self.last_solver_stats = stats
-        return traj
+        sol = solve(self._dynamics, z0, self.grid,
+                    method=self.method, options=opts)
+        self.last_solver_stats = sol.stats
+        return sol.ys
 
     # ------------------------------------------------------------------
     def compute_loss(self, batch) -> Tensor:

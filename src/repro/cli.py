@@ -74,6 +74,12 @@ def build_parser() -> argparse.ArgumentParser:
                        help="gradient-worker processes (0 = in-process; "
                             "any N trains bit-identically, see "
                             "docs/architecture.md)")
+    train.add_argument("--union-batching", action="store_true",
+                       dest="union_batching",
+                       help="group gradient micro-shards by time-grid "
+                            "overlap (union-grid batching planner) instead "
+                            "of by length; implies the sharded path even "
+                            "with --workers 0")
     train.add_argument("--save", default=None,
                        help="write a .npz checkpoint (DIFFODE only)")
     train.add_argument("--trace", default=None, metavar="OUT.jsonl",
@@ -192,10 +198,12 @@ def _cmd_train(args) -> int:
                     else scale.batch_reg),
         lr=args.lr or scale.lr, weight_decay=scale.weight_decay,
         patience=scale.patience, seed=args.seed, verbose=True)
-    trainer = Trainer(model, task, config, workers=args.workers)
+    trainer = Trainer(model, task, config, workers=args.workers,
+                      union_batching=args.union_batching)
     print(f"training {args.model} on {dataset.name} "
           f"({len(train_set)} train series, {epochs} epochs max"
           + (f", {args.workers} gradient workers" if args.workers else "")
+          + (", union-grid batching" if args.union_batching else "")
           + ")")
     telemetry = (telemetry_session(trace_path=args.trace)
                  if args.trace else contextlib.nullcontext())

@@ -23,7 +23,7 @@ import numpy as np
 
 from ..autodiff import Tensor, concat
 from ..nn import GRU, Linear, MLP, Module
-from ..odeint import ADAPTIVE_METHODS, SolverOptions, odeint
+from ..odeint import ADAPTIVE_METHODS, SolverOptions, solve
 from .config import DiffODEConfig
 from .dhs import DHSContext, dhs_attention
 from .dynamics import AugmentedDynamics, DHSDynamics, PlainLatentDynamics
@@ -200,11 +200,10 @@ class DiffODE(Module):
                                  atol=self.config.atol)
         else:
             opts = SolverOptions(step_size=self.config.step_size)
-        states, stats = odeint(self.dynamics, state0, grid,
-                               method=self.config.method, options=opts,
-                               return_stats=True)
-        self.last_solver_stats = stats
-        return states, grid
+        sol = solve(self.dynamics, state0, grid,
+                    method=self.config.method, options=opts)
+        self.last_solver_stats = sol.stats
+        return sol.ys, grid
 
     # ------------------------------------------------------------------
     # task heads

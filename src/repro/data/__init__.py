@@ -1,4 +1,12 @@
-"""Datasets and irregular-sampling utilities."""
+"""Datasets and irregular-sampling utilities.
+
+Everything re-exported here is the package's public data API; see the
+"repro.data API stability" table in ``docs/architecture.md`` for which
+names are stable contracts (``Batch``/``collate``/``batch_iter``, the
+union-grid planner ``plan_union_buckets`` + ``Batch.observation_grid``,
+the dataset loaders) versus internal helpers that may change with the
+experiments.
+"""
 
 from .base import (
     Batch,
@@ -7,6 +15,12 @@ from .base import (
     batch_iter,
     collate,
     train_val_test_split,
+)
+from .batching import (
+    UnionBucket,
+    interval_jaccard,
+    merge_time_grids,
+    plan_union_buckets,
 )
 from .sampling import (
     drop_time_points,
@@ -32,6 +46,10 @@ __all__ = [
     "collate",
     "batch_iter",
     "train_val_test_split",
+    "UnionBucket",
+    "interval_jaccard",
+    "merge_time_grids",
+    "plan_union_buckets",
     "poisson_subsample",
     "random_feature_dropout",
     "drop_time_points",

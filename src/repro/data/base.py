@@ -88,6 +88,22 @@ class Batch:
     def batch_size(self) -> int:
         return self.values.shape[0]
 
+    def observation_grid(self, index: int | None = None
+                         ) -> np.ndarray | list[np.ndarray]:
+        """Per-sample observation times with the padding trimmed off.
+
+        ``collate`` pads every row's ``times`` by repeating the last valid
+        time, so the raw array cannot distinguish real observations from
+        padding; this reads the mask to recover each sample's true grid.
+        With ``index`` set, returns that sample's 1-D time array; without,
+        returns one array per row.  This is the input shape
+        :func:`repro.data.batching.plan_union_buckets` expects.
+        """
+        if index is not None:
+            valid = self.mask[index] > 0
+            return np.asarray(self.times[index][valid], dtype=np.float64)
+        return [self.observation_grid(i) for i in range(self.batch_size)]
+
 
 def collate(samples: Sequence[Sample]) -> Batch:
     """Pad samples to the longest observation/target length in the batch."""

@@ -21,10 +21,11 @@ from ..autodiff import Tensor, maybe_compile, no_grad
 from ..nn import Module
 from ..telemetry import get_registry
 from .fixed import FIXED_STEPPERS, STEP_NFEV
-from .options import UNSET, SolverOptions, resolve_options, validate_times
+from .options import (UNSET, SolverOptions, resolve_options, validate_times,
+                      warn_return_stats)
 from .stats import SolverStats
 
-__all__ = ["odeint_adjoint"]
+__all__ = ["odeint_adjoint", "adjoint_solve"]
 
 
 def _vjp(rhs: Callable, params: list, t: float, y_value: np.ndarray,
@@ -53,33 +54,23 @@ def _vjp(rhs: Callable, params: list, t: float, y_value: np.ndarray,
     return dy, dparams
 
 
-def odeint_adjoint(func: Module, y0: Tensor, t: Sequence[float],
-                   method: str = "rk4",
-                   options: SolverOptions | None = None,
-                   return_stats: bool = False,
-                   step_size: float | None = UNSET):
-    """Drop-in for :func:`repro.odeint.odeint` using the adjoint backward.
+def adjoint_solve(func: Module, y0: Tensor, times: np.ndarray,
+                  method: str, opts: SolverOptions
+                  ) -> tuple[Tensor, SolverStats]:
+    """Continuous-adjoint integration core shared by every entry point.
 
-    ``func`` must be a Module so its parameters are discoverable; gradients
-    are accumulated directly into ``func``'s parameters and into ``y0``.
-
-    Solver settings travel in the same
-    :class:`~repro.odeint.SolverOptions` object ``odeint`` takes (only
-    ``step_size`` applies to the fixed-grid methods supported here);
-    passing ``step_size=`` directly still works with a
-    ``DeprecationWarning``.
-
-    With ``return_stats=True`` returns ``(solution, SolverStats)``.  The
-    stats record is shared with the backward closure: at return time it
-    counts the forward solve; running ``.backward()`` adds the augmented
-    backward sweep's evaluations (each augmented-dynamics call counts the
-    plain RHS evaluation plus the VJP forward pass).
+    ``times`` must already be validated and ``method`` must be a
+    fixed-grid stepper; :func:`repro.odeint.solve` and
+    :func:`odeint_adjoint` both delegate here.  Returns
+    ``(solution, stats)`` — the stats record is shared with the backward
+    closure: at return time it counts the forward solve, and running
+    ``.backward()`` adds the augmented backward sweep's evaluations (each
+    augmented-dynamics call counts the plain RHS evaluation plus the VJP
+    forward pass).  Gradients accumulate into ``func``'s parameters and
+    into ``y0``.
     """
     if method not in FIXED_STEPPERS:
         raise ValueError("odeint_adjoint supports fixed-grid methods only")
-    times = validate_times(t)
-    opts = resolve_options(options, {"step_size": step_size},
-                           caller="odeint_adjoint").validate_for(method)
     step_size = opts.step_size
     stepper = FIXED_STEPPERS[method]
     params = list(func.parameters())
@@ -154,8 +145,42 @@ def odeint_adjoint(func: Module, y0: Tensor, t: Sequence[float],
             registry.inc("solver.nfev", delta)
         return (adj_y,)
 
-    stats.publish(get_registry())
     out = Tensor._make_custom(
         solution, (y0,), backward,
         force_grad=y0.requires_grad or any(p.requires_grad for p in params))
-    return (out, stats) if return_stats else out
+    return out, stats
+
+
+def odeint_adjoint(func: Module, y0: Tensor, t: Sequence[float],
+                   method: str = "rk4",
+                   options: SolverOptions | None = None,
+                   return_stats: bool = False,
+                   step_size: float | None = UNSET):
+    """Drop-in for :func:`repro.odeint.odeint` using the adjoint backward.
+
+    Thin wrapper over :func:`adjoint_solve` (the same core
+    :func:`repro.odeint.solve` dispatches to with
+    ``SolverOptions(adjoint=True)``).  ``func`` must be a Module so its
+    parameters are discoverable; gradients are accumulated directly into
+    ``func``'s parameters and into ``y0``.
+
+    Solver settings travel in the same
+    :class:`~repro.odeint.SolverOptions` object ``odeint`` takes (only
+    ``step_size`` applies to the fixed-grid methods supported here);
+    passing ``step_size=`` directly still works with a
+    ``DeprecationWarning``.
+
+    ``return_stats=True`` (deprecated — prefer ``solve().stats``) returns
+    ``(solution, SolverStats)`` and warns once per call.
+    """
+    if method not in FIXED_STEPPERS:
+        raise ValueError("odeint_adjoint supports fixed-grid methods only")
+    times = validate_times(t)
+    opts = resolve_options(options, {"step_size": step_size},
+                           caller="odeint_adjoint").validate_for(method)
+    out, stats = adjoint_solve(func, y0, times, method, opts)
+    stats.publish(get_registry())
+    if return_stats:
+        warn_return_stats("odeint_adjoint")
+        return out, stats
+    return out

@@ -1,0 +1,163 @@
+"""Unified solver facade: :func:`solve` returning a :class:`Solution`.
+
+Historically the package grew one entry point per concern — ``odeint``
+(backprop through the solver), ``odeint_adjoint`` (continuous adjoint),
+``dopri5_solve`` (tuple-returning adaptive solve) — each with its own
+return convention.  :func:`solve` subsumes all of them behind a single
+call: every tunable and routing decision lives on
+:class:`~repro.odeint.SolverOptions` (``adjoint=True`` selects the
+continuous-adjoint backward, ``dense=True`` requests a continuous
+interpolant), and every call returns a :class:`Solution` carrying the
+states, the :class:`~repro.odeint.SolverStats` record and, when
+available, the dense-output callable.  The historical entry points remain
+as thin delegating wrappers.
+
+Solver stats are published to the process-wide telemetry registry on
+every call, exactly once, regardless of the entry point used.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+import numpy as np
+
+from ..autodiff import Tensor, maybe_compile, stack
+from ..telemetry import get_registry
+from .adams import AdamsBashforthMoulton
+from .adjoint import adjoint_solve
+from .dopri5 import DenseOutput, dopri5_solve
+from .fixed import FIXED_STEPPERS, STEP_NFEV
+from .options import SolverOptions, validate_times
+from .stats import CountingFunc, SolverStats
+
+__all__ = ["Solution", "solve", "METHODS", "ADAPTIVE_METHODS"]
+
+OdeFunc = Callable[[float, Tensor], Tensor]
+
+METHODS = ("euler", "midpoint", "rk4", "implicit_adams", "dopri5")
+ADAPTIVE_METHODS = ("dopri5",)
+
+
+@dataclass
+class Solution:
+    """Everything one ODE solve produced.
+
+    Attributes
+    ----------
+    ys:
+        Differentiable Tensor of shape ``(len(t), *y0.shape)`` — the state
+        at every requested output time (``t[0]`` maps to ``y0``).
+    stats:
+        The :class:`~repro.odeint.SolverStats` cost record of the solve.
+    times:
+        The validated float64 output grid actually integrated over.
+    dense:
+        Continuous interpolant ``dense(t) -> Tensor`` over the integration
+        span, present when the solve was run with
+        ``SolverOptions(dense=True)`` on an adaptive method; ``None``
+        otherwise.
+    """
+
+    ys: Tensor
+    stats: SolverStats
+    times: np.ndarray
+    dense: DenseOutput | None = None
+
+
+def _fixed_grid_solve(func: OdeFunc, y0: Tensor, times: np.ndarray,
+                      method: str, opts: SolverOptions
+                      ) -> tuple[Tensor, SolverStats]:
+    """Fixed-step and multistep integration over an explicit grid."""
+    stats = SolverStats(method=method)
+    outputs: list[Tensor] = [y0]
+    y = y0
+    h_max = opts.step_size
+    # The fixed-step and multistep paths evaluate the same RHS expression
+    # at every sub-step; under the replay executor one trace serves them
+    # all.  CountingFunc wraps the compiled function, so nfev still counts
+    # logical RHS evaluations whether they replay or run eagerly.
+    func = maybe_compile(func)
+
+    if method == "implicit_adams":
+        counted = CountingFunc(func, stats)
+        solver = AdamsBashforthMoulton(counted,
+                                       corrector_iters=opts.corrector_iters)
+        last_dt = None
+        for t0, t1 in zip(times[:-1], times[1:]):
+            span = float(t1 - t0)
+            n_sub = max(1, math.ceil(abs(span) / h_max)) if h_max else 1
+            dt = span / n_sub
+            if last_dt is not None and abs(dt - last_dt) > 1e-12:
+                # ABM history is only valid on a uniform grid.
+                solver.reset()
+            last_dt = dt
+            tau = float(t0)
+            for _ in range(n_sub):
+                y = solver.step(tau, dt, y)
+                tau += dt
+            stats.steps += n_sub
+            outputs.append(y)
+        return stack(outputs, axis=0), stats
+
+    stepper = FIXED_STEPPERS[method]
+    for t0, t1 in zip(times[:-1], times[1:]):
+        span = float(t1 - t0)
+        n_sub = max(1, math.ceil(abs(span) / h_max)) if h_max else 1
+        dt = span / n_sub
+        tau = float(t0)
+        for _ in range(n_sub):
+            y = stepper(func, tau, dt, y)
+            tau += dt
+        stats.steps += n_sub
+        outputs.append(y)
+    stats.nfev = stats.steps * STEP_NFEV[method]
+    return stack(outputs, axis=0), stats
+
+
+def solve(func: OdeFunc, y0: Tensor, t: Sequence[float],
+          method: str = "dopri5",
+          options: SolverOptions | None = None) -> Solution:
+    """Integrate ``dy/dt = func(t, y)`` and return a :class:`Solution`.
+
+    The one entry point for every solver in the package:
+
+    * ``method`` picks the integrator (``euler | midpoint | rk4 |
+      implicit_adams | dopri5``; the default is the adaptive ``dopri5``);
+    * ``options.adjoint=True`` computes gradients with the continuous
+      adjoint (O(state) memory, fixed-grid methods only, ``func`` must be
+      a Module so its parameters are discoverable);
+    * ``options.dense=True`` additionally returns the continuous
+      dense-output interpolant as ``Solution.dense`` (dopri5 only).
+
+    ``t`` must be strictly monotonic (either direction); ``y0`` is the
+    state at ``t[0]``.  Solver stats publish to the telemetry registry
+    exactly once per call.
+    """
+    times = validate_times(t)
+    if method not in METHODS:
+        raise ValueError(f"unknown method {method!r}; choose from {METHODS}")
+    opts = options if options is not None else SolverOptions()
+    if not isinstance(opts, SolverOptions):
+        raise TypeError(
+            f"solve: options must be a SolverOptions, "
+            f"got {type(opts).__name__}")
+    opts.validate_for(method)
+
+    dense = None
+    if opts.adjoint:
+        ys, stats = adjoint_solve(func, y0, times, method, opts)
+    elif method == "dopri5":
+        segments: list | None = [] if opts.dense else None
+        ys, stats = dopri5_solve(func, y0, times, rtol=opts.rtol,
+                                 atol=opts.atol, first_step=opts.first_step,
+                                 max_steps=opts.max_steps, segments=segments)
+        if segments:
+            dense = DenseOutput(segments, float(times[0]), y0)
+    else:
+        ys, stats = _fixed_grid_solve(func, y0, times, method, opts)
+
+    stats.publish(get_registry())
+    return Solution(ys=ys, stats=stats, times=times, dense=dense)

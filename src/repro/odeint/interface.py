@@ -1,43 +1,39 @@
 """User-facing ``odeint`` entry point (the torchdiffeq stand-in).
 
 ``odeint(func, y0, t)`` integrates ``dy/dt = func(t, y)`` and returns the
-solution at every requested time, stacked along a new leading axis.  All
-methods are differentiable by backprop through the solver's internal Tensor
-expressions; :mod:`repro.odeint.adjoint` offers the memory-light continuous
-adjoint alternative.
+solution at every requested time, stacked along a new leading axis.  It is
+now a thin wrapper over :func:`repro.odeint.solve`, which returns the
+richer :class:`~repro.odeint.Solution` object; prefer ``solve`` in new
+code.  All methods are differentiable by backprop through the solver's
+internal Tensor expressions; ``SolverOptions(adjoint=True)`` (or the
+:mod:`repro.odeint.adjoint` wrapper) selects the memory-light continuous
+adjoint instead.
 
-Solver tunables travel in a single :class:`~repro.odeint.SolverOptions`
-object (``odeint(..., options=SolverOptions(rtol=1e-6))``); the historical
-per-method kwargs still work but emit one ``DeprecationWarning`` per call.
+Solver tunables travel exclusively in a single
+:class:`~repro.odeint.SolverOptions` object
+(``odeint(..., options=SolverOptions(rtol=1e-6))``).  The historical
+per-method kwargs (``step_size=``, ``rtol=``, ...) were removed after a
+four-PR deprecation window; passing one now raises ``TypeError`` naming
+the replacement.
 
 The ``dopri5`` method runs **one** continuous adaptive integration across
 the whole time grid: the tuned step size carries over between output times
 and intermediate times are answered by the dense-output interpolant (see
-:mod:`repro.odeint.dopri5`).  Every call can also report what it cost via
-``return_stats=True``, which returns ``(solution, SolverStats)``; when the
-process-wide telemetry registry is enabled the same stats are published as
-``solver.<method>.*`` counters automatically.
+:mod:`repro.odeint.dopri5`).  Solver cost is always published to the
+telemetry registry as ``solver.<method>.*`` counters; ``return_stats=True``
+still returns ``(solution, SolverStats)`` but is deprecated in favour of
+``solve(...).stats`` and warns once per call.
 """
 
 from __future__ import annotations
 
-import math
-from typing import Callable, Sequence
+from typing import Sequence
 
-from ..autodiff import Tensor, maybe_compile, stack
-from ..telemetry import get_registry
-from .adams import AdamsBashforthMoulton
-from .dopri5 import dopri5_solve
-from .fixed import FIXED_STEPPERS, STEP_NFEV
-from .options import UNSET, SolverOptions, resolve_options, validate_times
-from .stats import CountingFunc, SolverStats
+from ..autodiff import Tensor
+from .api import ADAPTIVE_METHODS, METHODS, OdeFunc, solve
+from .options import SolverOptions, validate_times, warn_return_stats
 
 __all__ = ["odeint", "METHODS", "ADAPTIVE_METHODS"]
-
-OdeFunc = Callable[[float, Tensor], Tensor]
-
-METHODS = ("euler", "midpoint", "rk4", "implicit_adams", "dopri5")
-ADAPTIVE_METHODS = ("dopri5",)
 
 # Backwards-compatible alias; the shared implementation lives in
 # .options so dopri5_solve can validate without a circular import.
@@ -46,13 +42,12 @@ _validate_times = validate_times
 
 def odeint(func: OdeFunc, y0: Tensor, t: Sequence[float],
            method: str = "rk4", options: SolverOptions | None = None,
-           return_stats: bool = False,
-           step_size: float | None = UNSET,
-           rtol: float = UNSET, atol: float = UNSET,
-           corrector_iters: int = UNSET,
-           first_step: float | None = UNSET,
-           max_steps: int = UNSET):
+           return_stats: bool = False, **legacy):
     """Integrate an ODE and evaluate at times ``t``.
+
+    Thin wrapper over :func:`repro.odeint.solve` kept for API parity with
+    torchdiffeq; returns the bare solution Tensor instead of a
+    :class:`~repro.odeint.Solution`.
 
     Parameters
     ----------
@@ -69,81 +64,23 @@ def odeint(func: OdeFunc, y0: Tensor, t: Sequence[float],
     options:
         :class:`~repro.odeint.SolverOptions` carrying every tunable
         (``step_size``, ``rtol``, ``atol``, ``corrector_iters``,
-        ``first_step``, ``max_steps``).  The same names are still accepted
-        as direct kwargs for backwards compatibility, with a
-        ``DeprecationWarning``; mixing both styles raises ``TypeError``.
+        ``first_step``, ``max_steps``).  The removed legacy per-method
+        kwargs raise ``TypeError``.
     return_stats:
-        When True, return ``(solution, SolverStats)`` instead of just the
-        solution.
+        Deprecated (warns once per call): when True, return
+        ``(solution, SolverStats)``.  Prefer ``solve(...).stats``.
 
     Returns
     -------
     Tensor of shape ``(len(t), *y0.shape)``; with ``return_stats=True`` a
     ``(Tensor, SolverStats)`` pair.
     """
-    times = _validate_times(t)
-    if method not in METHODS:
-        raise ValueError(f"unknown method {method!r}; choose from {METHODS}")
-    opts = resolve_options(
-        options,
-        {"step_size": step_size, "rtol": rtol, "atol": atol,
-         "corrector_iters": corrector_iters, "first_step": first_step,
-         "max_steps": max_steps},
-        caller="odeint").validate_for(method)
-
-    if method == "dopri5":
-        solution, stats = dopri5_solve(func, y0, times, rtol=opts.rtol,
-                                       atol=opts.atol,
-                                       first_step=opts.first_step,
-                                       max_steps=opts.max_steps)
-        stats.publish(get_registry())
-        return (solution, stats) if return_stats else solution
-
-    stats = SolverStats(method=method)
-    outputs: list[Tensor] = [y0]
-    y = y0
-    h_max = opts.step_size
-    # The fixed-step and multistep paths evaluate the same RHS expression
-    # at every sub-step; under the replay executor one trace serves them
-    # all.  CountingFunc wraps the compiled function, so nfev still counts
-    # logical RHS evaluations whether they replay or run eagerly.
-    func = maybe_compile(func)
-
-    if method == "implicit_adams":
-        counted = CountingFunc(func, stats)
-        solver = AdamsBashforthMoulton(counted,
-                                       corrector_iters=opts.corrector_iters)
-        last_dt = None
-        for t0, t1 in zip(times[:-1], times[1:]):
-            span = float(t1 - t0)
-            n_sub = max(1, math.ceil(abs(span) / h_max)) if h_max else 1
-            dt = span / n_sub
-            if last_dt is not None and abs(dt - last_dt) > 1e-12:
-                # ABM history is only valid on a uniform grid.
-                solver.reset()
-            last_dt = dt
-            tau = float(t0)
-            for _ in range(n_sub):
-                y = solver.step(tau, dt, y)
-                tau += dt
-            stats.steps += n_sub
-            outputs.append(y)
-        solution = stack(outputs, axis=0)
-        stats.publish(get_registry())
-        return (solution, stats) if return_stats else solution
-
-    stepper = FIXED_STEPPERS[method]
-    for t0, t1 in zip(times[:-1], times[1:]):
-        span = float(t1 - t0)
-        n_sub = max(1, math.ceil(abs(span) / h_max)) if h_max else 1
-        dt = span / n_sub
-        tau = float(t0)
-        for _ in range(n_sub):
-            y = stepper(func, tau, dt, y)
-            tau += dt
-        stats.steps += n_sub
-        outputs.append(y)
-    stats.nfev = stats.steps * STEP_NFEV[method]
-    solution = stack(outputs, axis=0)
-    stats.publish(get_registry())
-    return (solution, stats) if return_stats else solution
+    if legacy:
+        raise TypeError(
+            f"odeint: legacy solver kwargs {sorted(legacy)} were removed; "
+            "pass odeint(..., options=SolverOptions(...)) instead")
+    sol = solve(func, y0, t, method=method, options=options)
+    if return_stats:
+        warn_return_stats("odeint")
+        return sol.ys, sol.stats
+    return sol.ys

@@ -23,7 +23,22 @@ from typing import Sequence
 
 import numpy as np
 
-__all__ = ["SolverOptions", "resolve_options", "validate_times", "UNSET"]
+__all__ = ["SolverOptions", "resolve_options", "validate_times",
+           "warn_return_stats", "UNSET"]
+
+
+def warn_return_stats(caller: str) -> None:
+    """Emit the one ``return_stats=True`` deprecation warning.
+
+    The legacy entry points still honour ``return_stats`` but the
+    sanctioned way to read solve cost is ``repro.odeint.solve(...).stats``;
+    this shared helper keeps the message identical across ``odeint`` and
+    ``odeint_adjoint`` (one warning per call, like the legacy-kwarg shim).
+    """
+    warnings.warn(
+        f"{caller}: return_stats=True is deprecated; call "
+        "repro.odeint.solve() and read Solution.stats instead",
+        DeprecationWarning, stacklevel=3)
 
 
 def validate_times(t: Sequence[float]) -> np.ndarray:
@@ -76,6 +91,14 @@ class SolverOptions:
         Initial step magnitude for ``dopri5`` (HNW heuristic otherwise).
     max_steps:
         Trial-step budget for ``dopri5``.
+    adjoint:
+        Route :func:`repro.odeint.solve` through the continuous adjoint
+        backward (O(state) memory) instead of backprop through the solver;
+        fixed-grid methods only.
+    dense:
+        Ask :func:`repro.odeint.solve` to also return a continuous
+        ``Solution.dense`` interpolant (dopri5 only; pins the accepted
+        steps' stage Tensors for the life of the Solution).
     """
 
     step_size: float | None = None
@@ -84,6 +107,8 @@ class SolverOptions:
     corrector_iters: int = 1
     first_step: float | None = None
     max_steps: int = 10_000
+    adjoint: bool = False
+    dense: bool = False
 
     def __post_init__(self) -> None:
         if self.step_size is not None and self.step_size <= 0:
@@ -102,11 +127,19 @@ class SolverOptions:
         if method == "dopri5" and self.step_size is not None:
             raise ValueError(
                 "dopri5 is adaptive: 'step_size' only applies to fixed-grid "
-                "methods. Pass 'first_step' to seed the adaptive controller.")
+                "methods. Pass SolverOptions.first_step to seed the adaptive "
+                "controller.")
         if method != "dopri5" and self.first_step is not None:
             raise ValueError(
                 "'first_step' only applies to the adaptive dopri5 method; "
                 "fixed-grid methods take 'step_size'.")
+        if self.adjoint and method == "dopri5":
+            raise ValueError(
+                "the continuous adjoint supports fixed-grid methods only; "
+                "dopri5 differentiates by backprop through the solver")
+        if self.dense and method != "dopri5":
+            raise ValueError(
+                "dense output requires the dopri5 method")
         return self
 
 

@@ -22,6 +22,7 @@ from .pool import InProcessExecutor, WorkerFailure, WorkerPool, make_executor
 from .reduce import tree_reduce
 from .sharding import plan_shards, shard_batch, shard_lengths
 from .shm import Arena, ArraySpec
+from .union import padded_shard_solve, union_solve
 
 __all__ = [
     "ParallelConfig",
@@ -34,6 +35,8 @@ __all__ = [
     "shard_batch",
     "shard_lengths",
     "tree_reduce",
+    "union_solve",
+    "padded_shard_solve",
     "Arena",
     "ArraySpec",
 ]

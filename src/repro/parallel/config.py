@@ -43,6 +43,13 @@ class ParallelConfig:
         ``"replay"`` (per-shard-shape compiled RHS graphs, reused across
         steps) or ``None`` to inherit whatever the parent process selected
         (fork copies the process-wide mode).
+    union_batching:
+        Group shard rows by time-grid overlap
+        (:func:`repro.data.plan_union_buckets` capped at ``shard_size``)
+        instead of by descending length, so each micro-shard pads to a
+        near-shared observation grid (the union-grid batching strategy,
+        arXiv 2207.05708).  Still a pure function of the batch, so the
+        bit-exactness-across-worker-counts guarantee is preserved.
     """
 
     workers: int = 0
@@ -51,6 +58,7 @@ class ParallelConfig:
     timeout_s: float = 60.0
     max_retries: int = 1
     executor: str | None = None
+    union_batching: bool = False
 
     def __post_init__(self):
         if self.workers < 0:

@@ -21,6 +21,8 @@ from __future__ import annotations
 import numpy as np
 
 from ..data import Batch
+from ..data.batching import plan_union_buckets
+from ..telemetry import get_registry
 from .config import ParallelConfig
 
 __all__ = ["plan_shards", "shard_batch", "shard_lengths"]
@@ -38,12 +40,30 @@ def plan_shards(batch: Batch, config: ParallelConfig) -> list[np.ndarray]:
     observation count first, so shards are length-homogeneous (compact
     padding) and the longest shard is dispatched first (better tail
     latency across workers).  Every row appears in exactly one shard.
+
+    With ``config.union_batching`` the rows are instead grouped by
+    time-grid overlap via :func:`repro.data.plan_union_buckets` (capped
+    at ``shard_size``), so each shard's rows share a near-common
+    observation window — the grouping half of union-grid batching.  Both
+    plans are pure functions of the batch, preserving the bit-exact
+    reduction order across worker counts.
     """
     n = batch.batch_size
+    size = config.shard_size
+    if config.union_batching and n > 1:
+        buckets = plan_union_buckets(batch.observation_grid(),
+                                     max_bucket=size)
+        registry = get_registry()
+        if registry is not None and getattr(registry, "enabled", False):
+            registry.inc("batching.buckets", len(buckets))
+            for b in buckets:
+                registry.observe("batching.union_grid_len",
+                                 float(len(b.grid)))
+                registry.observe("batching.bucket_size", float(b.size))
+        return [b.indices for b in buckets]
     order = np.arange(n)
     if config.sort_by_length and n > 1:
         order = order[np.argsort(-shard_lengths(batch), kind="stable")]
-    size = config.shard_size
     return [order[start:start + size] for start in range(0, n, size)]
 
 

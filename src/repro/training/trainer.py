@@ -118,9 +118,15 @@ class Trainer:
 
     def __init__(self, model, task: str, config: TrainConfig | None = None,
                  scheduler_factory=None, workers: int = 0,
-                 parallel=None):
+                 parallel=None, union_batching: bool = False):
         """``scheduler_factory``: optional callable mapping the optimizer to
-        an :class:`~repro.training.LRScheduler`, stepped once per epoch."""
+        an :class:`~repro.training.LRScheduler`, stepped once per epoch.
+
+        ``union_batching=True`` opts the sharded gradient path into
+        union-grid micro-shard planning (rows grouped by time-grid overlap
+        — see :mod:`repro.parallel.union`); it implies the sharded path
+        even with ``workers=0``.  Ignored when an explicit ``parallel=``
+        config is given (set ``ParallelConfig.union_batching`` there)."""
         if task not in ("classification", "regression"):
             raise ValueError(f"unknown task {task!r}")
         self.model = model
@@ -130,9 +136,10 @@ class Trainer:
                               weight_decay=self.config.weight_decay)
         self.scheduler = (scheduler_factory(self.optimizer)
                           if scheduler_factory is not None else None)
-        if parallel is None and workers:
+        if parallel is None and (workers or union_batching):
             from ..parallel import ParallelConfig
-            parallel = ParallelConfig(workers=workers)
+            parallel = ParallelConfig(workers=workers,
+                                      union_batching=union_batching)
         self.parallel = parallel
         self._executor = None
 

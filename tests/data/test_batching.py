@@ -1,0 +1,203 @@
+"""Union-grid batching planner: clustering, merging, determinism."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data import (
+    Batch,
+    UnionBucket,
+    collate,
+    interval_jaccard,
+    merge_time_grids,
+    plan_union_buckets,
+)
+from repro.data.base import Sample
+
+
+def _grids(rng, n, max_len=12):
+    out = []
+    for _ in range(n):
+        length = int(rng.integers(0, max_len))
+        out.append(np.sort(rng.choice(np.linspace(0, 1, 101), size=length,
+                                      replace=False)))
+    return out
+
+
+class TestIntervalJaccard:
+    def test_identical_intervals(self):
+        assert interval_jaccard((0.0, 1.0), (0.0, 1.0)) == 1.0
+
+    def test_identical_points(self):
+        assert interval_jaccard((0.5, 0.5), (0.5, 0.5)) == 1.0
+
+    def test_disjoint(self):
+        assert interval_jaccard((0.0, 0.4), (0.6, 1.0)) == 0.0
+
+    def test_touching_endpoints(self):
+        assert interval_jaccard((0.0, 0.5), (0.5, 1.0)) == 0.0
+
+    def test_half_overlap(self):
+        assert interval_jaccard((0.0, 2.0), (1.0, 3.0)) == pytest.approx(1 / 3)
+
+    def test_point_inside_interval(self):
+        assert interval_jaccard((0.5, 0.5), (0.0, 1.0)) == 0.0
+
+    def test_symmetry(self):
+        a, b = (0.1, 0.7), (0.3, 0.9)
+        assert interval_jaccard(a, b) == interval_jaccard(b, a)
+
+
+class TestMergeTimeGrids:
+    def test_union_is_sorted_unique(self):
+        grid, _ = merge_time_grids([np.array([0.0, 0.5]),
+                                    np.array([0.25, 0.5, 1.0])])
+        np.testing.assert_array_equal(grid, [0.0, 0.25, 0.5, 1.0])
+
+    def test_positions_recover_each_sample(self):
+        samples = [np.array([0.1, 0.9]), np.array([0.1, 0.4, 0.6])]
+        grid, positions = merge_time_grids(samples)
+        for arr, pos in zip(samples, positions):
+            np.testing.assert_array_equal(grid[pos], arr)
+
+    def test_exact_duplicates_merge(self):
+        grid, _ = merge_time_grids([np.array([0.2, 0.4])] * 3)
+        assert grid.size == 2
+
+    def test_empty_grids_allowed(self):
+        grid, positions = merge_time_grids([np.empty(0), np.array([0.5])])
+        np.testing.assert_array_equal(grid, [0.5])
+        assert positions[0].size == 0
+
+    def test_all_empty(self):
+        grid, _ = merge_time_grids([np.empty(0), np.empty(0)])
+        assert grid.size == 0
+
+    def test_no_grids_raises(self):
+        with pytest.raises(ValueError, match="at least one"):
+            merge_time_grids([])
+
+
+class TestPlanUnionBuckets:
+    def test_partition_every_index_once(self):
+        rng = np.random.default_rng(0)
+        grids = _grids(rng, 17)
+        plan = plan_union_buckets(grids, max_bucket=4)
+        seen = np.sort(np.concatenate([b.indices for b in plan]))
+        np.testing.assert_array_equal(seen, np.arange(17))
+
+    def test_identical_spans_share_bucket(self):
+        grids = [np.array([0.0, 0.3, 1.0]), np.array([0.0, 0.7, 1.0]),
+                 np.array([0.0, 1.0])]
+        plan = plan_union_buckets(grids)
+        assert len(plan) == 1
+        assert plan[0].size == 3
+
+    def test_disjoint_spans_never_merge(self):
+        grids = [np.array([0.0, 0.2]), np.array([0.5, 0.7]),
+                 np.array([0.9, 1.0])]
+        plan = plan_union_buckets(grids, min_overlap=0.05)
+        assert len(plan) == 3
+
+    def test_max_bucket_cap(self):
+        grids = [np.array([0.0, 1.0])] * 10
+        plan = plan_union_buckets(grids, max_bucket=4)
+        assert [b.size for b in plan] == [4, 4, 2]
+
+    def test_max_bucket_below_one_raises(self):
+        with pytest.raises(ValueError, match="max_bucket"):
+            plan_union_buckets([np.array([0.0])], max_bucket=0)
+
+    def test_min_overlap_above_one_forces_singletons(self):
+        grids = [np.array([0.0, 1.0])] * 5
+        plan = plan_union_buckets(grids, min_overlap=1.5)
+        assert all(b.size == 1 for b in plan)
+
+    def test_empty_grids_are_singletons(self):
+        grids = [np.array([0.0, 1.0]), np.empty(0), np.array([0.0, 0.9])]
+        plan = plan_union_buckets(grids)
+        empties = [b for b in plan if not b.grid.size]
+        assert len(empties) == 1
+        assert empties[0].size == 1
+
+    def test_non_increasing_times_raise(self):
+        with pytest.raises(ValueError, match="strictly increasing"):
+            plan_union_buckets([np.array([0.0, 0.5, 0.5])])
+
+    def test_no_samples(self):
+        assert plan_union_buckets([]) == []
+
+    def test_bucket_grid_is_member_union(self):
+        rng = np.random.default_rng(1)
+        grids = _grids(rng, 9)
+        for b in plan_union_buckets(grids, max_bucket=3):
+            member_union = np.unique(np.concatenate(
+                [grids[int(i)] for i in b.indices])) \
+                if any(grids[int(i)].size for i in b.indices) else np.empty(0)
+            np.testing.assert_array_equal(b.grid, member_union)
+            for k, i in enumerate(b.indices):
+                np.testing.assert_array_equal(b.grid[b.positions[k]],
+                                              grids[int(i)])
+
+    def test_deterministic(self):
+        rng = np.random.default_rng(2)
+        grids = _grids(rng, 20)
+        a = plan_union_buckets(grids, max_bucket=6)
+        b = plan_union_buckets([g.copy() for g in grids], max_bucket=6)
+        assert len(a) == len(b)
+        for x, y in zip(a, b):
+            np.testing.assert_array_equal(x.indices, y.indices)
+            np.testing.assert_array_equal(x.grid, y.grid)
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.integers(min_value=0, max_value=20),
+           st.integers(min_value=1, max_value=7),
+           st.floats(min_value=0.0, max_value=1.0),
+           st.integers(min_value=0, max_value=2**31 - 1))
+    def test_partition_property(self, n, max_bucket, min_overlap, seed):
+        grids = _grids(np.random.default_rng(seed), n)
+        plan = plan_union_buckets(grids, max_bucket=max_bucket,
+                                  min_overlap=min_overlap)
+        seen = (np.sort(np.concatenate([b.indices for b in plan]))
+                if plan else np.empty(0, dtype=np.int64))
+        np.testing.assert_array_equal(seen, np.arange(n))
+        assert all(b.size <= max_bucket for b in plan)
+        for b in plan:
+            if b.grid.size:
+                assert np.all(np.diff(b.grid) > 0)
+
+
+class TestUnionBucket:
+    def test_span_and_size(self):
+        b = UnionBucket(indices=np.array([3, 1]),
+                        grid=np.array([0.1, 0.5, 0.8]),
+                        positions=(np.array([0, 2]), np.array([1])))
+        assert b.size == 2
+        assert b.span == (0.1, 0.8)
+
+
+class TestObservationGrid:
+    def _batch(self):
+        samples = [
+            Sample(times=np.array([0.1, 0.4, 0.9]),
+                   values=np.ones((3, 2)), label=0),
+            Sample(times=np.array([0.2]), values=np.ones((1, 2)), label=1),
+        ]
+        return collate(samples)
+
+    def test_single_row_strips_padding(self):
+        batch = self._batch()
+        np.testing.assert_array_equal(batch.observation_grid(1), [0.2])
+
+    def test_all_rows(self):
+        batch = self._batch()
+        grids = batch.observation_grid()
+        assert len(grids) == batch.batch_size
+        np.testing.assert_array_equal(grids[0], [0.1, 0.4, 0.9])
+
+    def test_feeds_planner(self):
+        batch = self._batch()
+        plan = plan_union_buckets(batch.observation_grid())
+        assert isinstance(batch, Batch)
+        assert sum(b.size for b in plan) == batch.batch_size

@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.autodiff import Tensor
-from repro.odeint import AdamsBashforthMoulton, odeint
+from repro.odeint import SolverOptions, AdamsBashforthMoulton, odeint
 
 
 class TestABM:
@@ -27,7 +27,7 @@ class TestABM:
     def test_fourth_order_accuracy(self):
         def err(h):
             sol = odeint(lambda t, y: -y, Tensor(np.array([[1.0]])),
-                         [0.0, 1.0], method="implicit_adams", step_size=h)
+                         [0.0, 1.0], method="implicit_adams", options=SolverOptions(step_size=h))
             return abs(sol.data[-1, 0, 0] - np.exp(-1.0))
 
         # halving the step should cut the error by ~2^4
@@ -37,8 +37,7 @@ class TestABM:
     def test_more_corrector_iterations_not_worse(self):
         def final(iters):
             sol = odeint(lambda t, y: -(y ** 3), Tensor(np.array([[1.0]])),
-                         [0.0, 1.0], method="implicit_adams",
-                         step_size=0.05, corrector_iters=iters)
+                         [0.0, 1.0], method="implicit_adams", options=SolverOptions(step_size=0.05, corrector_iters=iters))
             return sol.data[-1, 0, 0]
 
         exact = 1.0 / np.sqrt(3.0)  # y' = -y^3, y(0)=1 -> 1/sqrt(1+2t)
@@ -49,13 +48,12 @@ class TestABM:
         # the result must still be accurate.
         t = np.array([0.0, 0.3, 0.35, 0.9, 1.0])
         sol = odeint(lambda t_, y: -y, Tensor(np.array([[1.0]])), t,
-                     method="implicit_adams", step_size=0.05)
+                     method="implicit_adams", options=SolverOptions(step_size=0.05))
         np.testing.assert_allclose(sol.data[:, 0, 0], np.exp(-t), atol=1e-5)
 
     def test_differentiable_through_corrector(self):
         y0 = Tensor(np.array([[1.2]]), requires_grad=True)
         sol = odeint(lambda t, y: -y, y0, [0.0, 1.0],
-                     method="implicit_adams", step_size=0.05,
-                     corrector_iters=2)
+                     method="implicit_adams", options=SolverOptions(step_size=0.05, corrector_iters=2))
         sol[-1].sum().backward()
         np.testing.assert_allclose(y0.grad, [[np.exp(-1.0)]], atol=1e-4)

@@ -5,7 +5,7 @@ import pytest
 
 from repro.autodiff import Tensor
 from repro.nn import Linear, Module
-from repro.odeint import odeint, odeint_adjoint
+from repro.odeint import SolverOptions, odeint, odeint_adjoint
 
 
 class SmallField(Module):
@@ -23,7 +23,7 @@ class TestAdjoint:
         y0_data = rng.normal(size=(2, 3))
 
         y0a = Tensor(y0_data.copy(), requires_grad=True)
-        out_a = odeint(fmod, y0a, times, method="rk4", step_size=0.05)
+        out_a = odeint(fmod, y0a, times, method="rk4", options=SolverOptions(step_size=0.05))
         (out_a ** 2).mean().backward()
         grads_bp = ([p.grad.copy() for p in fmod.parameters()],
                     y0a.grad.copy())

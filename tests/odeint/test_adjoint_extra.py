@@ -5,7 +5,7 @@ import pytest
 
 from repro.autodiff import Tensor, concat
 from repro.nn import Linear, Module
-from repro.odeint import odeint, odeint_adjoint
+from repro.odeint import SolverOptions, odeint, odeint_adjoint
 
 
 class TimeField(Module):
@@ -27,7 +27,7 @@ class TestAdjointTimeDependent:
         y0 = Tensor(rng.normal(size=(2, 2)), requires_grad=True)
         solver = odeint_adjoint if use_adjoint else odeint
         out = solver(field, y0, [0.0, 0.4, 1.1], method="rk4",
-                     step_size=0.05)
+                     options=SolverOptions(step_size=0.05))
         ((out - 0.3) ** 2).mean().backward()
         return (y0.grad.copy(),
                 [p.grad.copy() for p in field.parameters()],

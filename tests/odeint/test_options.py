@@ -1,4 +1,4 @@
-"""SolverOptions consolidation: equivalence, deprecation shim, validation."""
+"""SolverOptions consolidation: validation, legacy-kwarg removal, routing."""
 
 import warnings
 
@@ -7,7 +7,7 @@ import pytest
 
 from repro.autodiff import Tensor
 from repro.nn import Module, Parameter
-from repro.odeint import SolverOptions, odeint, odeint_adjoint
+from repro.odeint import SolverOptions, odeint, odeint_adjoint, solve
 
 
 def decay(t, y):
@@ -25,6 +25,8 @@ class TestSolverOptionsObject:
         assert opts.rtol == 1e-5 and opts.atol == 1e-7
         assert opts.corrector_iters == 1
         assert opts.max_steps == 10_000
+        assert opts.adjoint is False
+        assert opts.dense is False
 
     def test_frozen(self):
         with pytest.raises(Exception):
@@ -40,7 +42,7 @@ class TestSolverOptionsObject:
             SolverOptions(**kwargs)
 
     def test_step_size_rejected_for_dopri5(self):
-        with pytest.raises(ValueError, match="first_step"):
+        with pytest.raises(ValueError, match="SolverOptions.first_step"):
             odeint(decay, Y0, T, method="dopri5",
                    options=SolverOptions(step_size=0.1))
 
@@ -49,43 +51,48 @@ class TestSolverOptionsObject:
             odeint(decay, Y0, T, method="rk4",
                    options=SolverOptions(first_step=0.1))
 
+    def test_adjoint_rejected_for_dopri5(self):
+        with pytest.raises(ValueError, match="adjoint"):
+            solve(decay, Y0, T, method="dopri5",
+                  options=SolverOptions(adjoint=True))
+
+    def test_dense_rejected_for_fixed(self):
+        with pytest.raises(ValueError, match="dense"):
+            solve(decay, Y0, T, method="rk4",
+                  options=SolverOptions(dense=True))
+
 
 class TestEquivalence:
-    @pytest.mark.parametrize("method,legacy,opts", [
-        ("rk4", {"step_size": 0.05}, SolverOptions(step_size=0.05)),
-        ("euler", {"step_size": 0.02}, SolverOptions(step_size=0.02)),
-        ("implicit_adams", {"step_size": 0.05, "corrector_iters": 2},
-         SolverOptions(step_size=0.05, corrector_iters=2)),
-        ("dopri5", {"rtol": 1e-6, "atol": 1e-8},
-         SolverOptions(rtol=1e-6, atol=1e-8)),
+    @pytest.mark.parametrize("method,opts", [
+        ("rk4", SolverOptions(step_size=0.05)),
+        ("euler", SolverOptions(step_size=0.02)),
+        ("implicit_adams", SolverOptions(step_size=0.05, corrector_iters=2)),
+        ("dopri5", SolverOptions(rtol=1e-6, atol=1e-8)),
     ])
-    def test_options_match_legacy_kwargs(self, method, legacy, opts):
+    def test_odeint_matches_solve(self, method, opts):
+        old = odeint(decay, Y0, T, method=method, options=opts)
+        new = solve(decay, Y0, T, method=method, options=opts)
+        assert np.array_equal(old.data, new.ys.data)
+
+    def test_stats_identical_across_entry_points(self):
+        opts = SolverOptions(rtol=1e-6, atol=1e-8)
+        sol = solve(decay, Y0, T, method="dopri5", options=opts)
         with warnings.catch_warnings():
             warnings.simplefilter("ignore", DeprecationWarning)
-            old = odeint(decay, Y0, T, method=method, **legacy)
-        new = odeint(decay, Y0, T, method=method, options=opts)
-        assert np.array_equal(old.data, new.data)
-
-    def test_stats_identical_across_styles(self):
-        with warnings.catch_warnings():
-            warnings.simplefilter("ignore", DeprecationWarning)
-            _, s_old = odeint(decay, Y0, T, method="dopri5", rtol=1e-6,
-                              atol=1e-8, return_stats=True)
-        _, s_new = odeint(decay, Y0, T, method="dopri5",
-                          options=SolverOptions(rtol=1e-6, atol=1e-8),
-                          return_stats=True)
-        assert s_old.nfev == s_new.nfev
-        assert s_old.steps == s_new.steps
+            _, s_old = odeint(decay, Y0, T, method="dopri5", options=opts,
+                              return_stats=True)
+        assert s_old.nfev == sol.stats.nfev
+        assert s_old.steps == sol.stats.steps
 
 
-class TestDeprecationShim:
-    def test_legacy_kwargs_warn_exactly_once(self):
-        with warnings.catch_warnings(record=True) as rec:
-            warnings.simplefilter("always")
-            odeint(decay, Y0, T, method="dopri5", rtol=1e-4, atol=1e-6)
-        dep = [w for w in rec if issubclass(w.category, DeprecationWarning)]
-        assert len(dep) == 1
-        assert "SolverOptions" in str(dep[0].message)
+class TestLegacyKwargRemoval:
+    def test_legacy_step_size_raises(self):
+        with pytest.raises(TypeError, match="SolverOptions"):
+            odeint(decay, Y0, T, method="rk4", step_size=0.05)
+
+    def test_legacy_tolerances_raise(self):
+        with pytest.raises(TypeError, match="removed"):
+            odeint(decay, Y0, T, method="dopri5", rtol=1e-6, atol=1e-8)
 
     def test_options_style_does_not_warn(self):
         with warnings.catch_warnings():
@@ -98,10 +105,14 @@ class TestDeprecationShim:
             warnings.simplefilter("error", DeprecationWarning)
             odeint(decay, Y0, T, method="rk4")
 
-    def test_mixing_styles_raises(self):
-        with pytest.raises(TypeError, match="not both"):
-            odeint(decay, Y0, T, method="dopri5",
-                   options=SolverOptions(), rtol=1e-6)
+    def test_return_stats_warns_once(self):
+        with warnings.catch_warnings(record=True) as rec:
+            warnings.simplefilter("always")
+            out = odeint(decay, Y0, T, method="rk4", return_stats=True)
+        assert isinstance(out, tuple) and len(out) == 2
+        dep = [w for w in rec if issubclass(w.category, DeprecationWarning)]
+        assert len(dep) == 1
+        assert "Solution.stats" in str(dep[0].message)
 
     def test_options_must_be_solver_options(self):
         with pytest.raises(TypeError, match="SolverOptions"):
@@ -138,3 +149,15 @@ class TestAdjointRouting:
         new = odeint_adjoint(func, y0, [0.0, 1.0], method="rk4",
                              options=SolverOptions(step_size=0.05))
         assert np.array_equal(old.data, new.data)
+
+    def test_solve_adjoint_matches_wrapper(self):
+        opts = SolverOptions(step_size=0.05)
+        func = _Decay()
+        y0 = Tensor(np.array([[1.0]]))
+        via_wrapper = odeint_adjoint(func, y0, [0.0, 1.0], method="rk4",
+                                     options=opts)
+        via_solve = solve(_Decay(), Tensor(np.array([[1.0]])), [0.0, 1.0],
+                          method="rk4",
+                          options=SolverOptions(step_size=0.05, adjoint=True))
+        assert np.array_equal(via_wrapper.data, via_solve.ys.data)
+        assert via_solve.stats.method == "adjoint[rk4]"

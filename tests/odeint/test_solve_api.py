@@ -1,0 +1,226 @@
+"""The unified solve() facade: Solution fields, dense output, dispatch."""
+
+import numpy as np
+import pytest
+
+from repro.autodiff import Tensor, get_executor, no_grad, set_executor
+from repro.odeint import (
+    DenseOutput,
+    METHODS,
+    Solution,
+    SolverOptions,
+    SolverStats,
+    dopri5_dense_solve,
+    dopri5_solve,
+    odeint,
+    odeint_adjoint,
+    solve,
+)
+
+
+def _decay(rate=1.3):
+    neg = Tensor(np.full((2, 1), -rate))
+
+    def rhs(t, y):
+        return y * neg
+
+    return rhs, rate
+
+
+class TestSolutionFields:
+    def test_solution_contents(self):
+        rhs, rate = _decay()
+        times = np.linspace(0.0, 1.0, 6)
+        sol = solve(rhs, Tensor(np.ones((2, 1))), times, method="dopri5")
+        assert isinstance(sol, Solution)
+        assert isinstance(sol.ys, Tensor)
+        assert isinstance(sol.stats, SolverStats)
+        assert sol.ys.shape == (6, 2, 1)
+        np.testing.assert_array_equal(sol.times, times)
+        assert sol.dense is None  # not requested
+
+    def test_stats_are_populated(self):
+        rhs, _ = _decay()
+        sol = solve(rhs, Tensor(np.ones((2, 1))), np.linspace(0, 1, 4),
+                    method="dopri5")
+        assert sol.stats.nfev > 0
+        assert sol.stats.steps > 0
+        assert sol.stats.method == "dopri5"
+
+    def test_fixed_method_solution(self):
+        rhs, rate = _decay()
+        sol = solve(rhs, Tensor(np.ones((2, 1))), np.linspace(0, 1, 11),
+                    method="rk4", options=SolverOptions(step_size=0.1))
+        exact = np.exp(-rate)
+        assert abs(float(sol.ys.data[-1, 0, 0]) - exact) < 1e-6
+        assert sol.dense is None
+
+    def test_accuracy_matches_exact_solution(self):
+        rhs, rate = _decay()
+        times = np.linspace(0.0, 1.0, 9)
+        sol = solve(rhs, Tensor(np.ones((2, 1))), times, method="dopri5")
+        exact = np.exp(-rate * times)
+        err = np.abs(sol.ys.data[:, 0, 0] - exact).max()
+        assert err < 1e-4
+
+
+class TestDenseOutput:
+    def _dense_solution(self):
+        rhs, rate = _decay()
+        times = np.linspace(0.0, 1.0, 5)
+        sol = solve(rhs, Tensor(np.ones((2, 1))), times, method="dopri5",
+                    options=SolverOptions(dense=True))
+        return sol, rate
+
+    def test_dense_is_returned_when_requested(self):
+        sol, _ = self._dense_solution()
+        assert isinstance(sol.dense, DenseOutput)
+        lo, hi = sol.dense.span
+        assert (lo, hi) == (0.0, pytest.approx(1.0))
+
+    def test_dense_interpolates_off_grid(self):
+        sol, rate = self._dense_solution()
+        for t in (0.05, 0.37, 0.61, 0.93):
+            y = sol.dense(t)
+            assert abs(float(y.data[0, 0]) - np.exp(-rate * t)) < 1e-5
+
+    def test_dense_at_t0_returns_initial_state(self):
+        sol, _ = self._dense_solution()
+        np.testing.assert_array_equal(sol.dense(0.0).data, np.ones((2, 1)))
+
+    def test_dense_outside_span_raises(self):
+        sol, _ = self._dense_solution()
+        with pytest.raises(ValueError, match="outside the integration span"):
+            sol.dense(1.5)
+        with pytest.raises(ValueError, match="outside the integration span"):
+            sol.dense(-0.1)
+
+    def test_dense_matches_grid_outputs(self):
+        sol, _ = self._dense_solution()
+        for i, t in enumerate(sol.times):
+            np.testing.assert_allclose(sol.dense(float(t)).data,
+                                       sol.ys.data[i], rtol=1e-7, atol=1e-9)
+
+    def test_dense_rejected_for_fixed_methods(self):
+        rhs, _ = _decay()
+        with pytest.raises(ValueError, match="dense"):
+            solve(rhs, Tensor(np.ones((2, 1))), np.linspace(0, 1, 5),
+                  method="rk4",
+                  options=SolverOptions(step_size=0.1, dense=True))
+
+
+class TestDispatch:
+    def test_default_method_is_dopri5(self):
+        rhs, _ = _decay()
+        sol = solve(rhs, Tensor(np.ones((2, 1))), np.linspace(0, 1, 4))
+        assert sol.stats.method == "dopri5"
+
+    def test_every_method_accepted(self):
+        rhs, _ = _decay()
+        times = np.linspace(0.0, 0.5, 6)
+        for method in METHODS:
+            opts = (None if method == "dopri5"
+                    else SolverOptions(step_size=0.05))
+            sol = solve(rhs, Tensor(np.ones((2, 1))), times, method=method,
+                        options=opts)
+            assert sol.ys.shape[0] == 6, method
+
+    def test_unknown_method_raises(self):
+        rhs, _ = _decay()
+        with pytest.raises(ValueError, match="unknown method"):
+            solve(rhs, Tensor(np.ones((2, 1))), [0.0, 1.0], method="rk99")
+
+    def test_options_type_checked(self):
+        rhs, _ = _decay()
+        with pytest.raises(TypeError, match="SolverOptions"):
+            solve(rhs, Tensor(np.ones((2, 1))), [0.0, 1.0],
+                  options={"rtol": 1e-6})
+
+    def test_adjoint_routing(self):
+        from repro.nn import Linear, Module
+
+        class Field(Module):
+            def __init__(self):
+                super().__init__()
+                self.lin = Linear(1, 1, np.random.default_rng(0))
+
+            def forward(self, t, y):
+                return self.lin(y).tanh()
+
+        rhs = Field()
+        times = np.linspace(0.0, 1.0, 5)
+        sol = solve(rhs, Tensor(np.ones((2, 1))), times, method="rk4",
+                    options=SolverOptions(step_size=0.1, adjoint=True))
+        ref = odeint_adjoint(rhs, Tensor(np.ones((2, 1))), times,
+                             method="rk4",
+                             options=SolverOptions(step_size=0.1))
+        np.testing.assert_array_equal(sol.ys.data, ref.data)
+        assert sol.stats.method == "adjoint[rk4]"
+
+    def test_odeint_wrapper_delegates(self):
+        rhs, _ = _decay()
+        times = np.linspace(0.0, 1.0, 5)
+        ys = odeint(rhs, Tensor(np.ones((2, 1))), times, method="dopri5")
+        sol = solve(rhs, Tensor(np.ones((2, 1))), times, method="dopri5")
+        np.testing.assert_array_equal(ys.data, sol.ys.data)
+
+
+class TestExecutors:
+    @pytest.mark.parametrize("mode", ["eager", "replay"])
+    def test_solve_equivalent_under_executor(self, mode):
+        rng = np.random.default_rng(0)
+        w = rng.normal(size=(3, 3)) * 0.4
+        wt = Tensor(w)
+
+        def rhs(t, y):
+            return y @ wt
+
+        times = np.linspace(0.0, 1.0, 6)
+        prev = get_executor()
+        try:
+            set_executor("eager")
+            with no_grad():
+                ref = solve(rhs, Tensor(np.ones((2, 3))), times).ys.data
+            set_executor(mode)
+            with no_grad():
+                out = solve(rhs, Tensor(np.ones((2, 3))), times).ys.data
+        finally:
+            set_executor(prev)
+        np.testing.assert_array_equal(out, ref)
+
+
+class TestDenseSolveVsGridSolve:
+    def test_shared_grid_matches_dopri5_solve(self):
+        """When every sample's grid is the union grid, the dense-readout
+        path must reproduce dopri5_solve exactly (same steps, same
+        interpolant evaluations)."""
+        rng = np.random.default_rng(1)
+        n, dim = 4, 3
+        rates = rng.uniform(0.3, 2.0, size=(n, dim))
+        neg = Tensor(-rates)
+
+        def rhs(t, y):
+            return y * neg
+
+        times = np.concatenate([[0.0], np.sort(rng.random(7)), [1.0]])
+        y0 = Tensor(rng.normal(size=(n, dim)))
+        with no_grad():
+            grid_out, grid_stats = dopri5_solve(rhs, y0, times)
+            per_sample, dense_stats = dopri5_dense_solve(
+                rhs, y0, [times] * n)
+        assert dense_stats.nfev == grid_stats.nfev
+        for i, out in enumerate(per_sample):
+            np.testing.assert_array_equal(out.data, grid_out.data[:, i])
+
+    def test_mismatched_grid_count_raises(self):
+        rhs, _ = _decay()
+        with pytest.raises(ValueError, match="sample grids"):
+            dopri5_dense_solve(rhs, Tensor(np.ones((2, 1))),
+                               [np.array([0.0, 1.0])])
+
+    def test_sample_time_before_t0_raises(self):
+        rhs, _ = _decay()
+        with pytest.raises(ValueError, match="precedes"):
+            dopri5_dense_solve(rhs, Tensor(np.ones((2, 1))),
+                               [np.array([0.0, 1.0]),
+                                np.array([0.5, 1.0])], t0=0.2)

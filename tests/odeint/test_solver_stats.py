@@ -7,6 +7,7 @@ from repro.baselines import LatentODEBaseline
 from repro.core import DiffODE, DiffODEConfig
 from repro.odeint import (
     STEP_NFEV,
+    SolverOptions,
     SolverStats,
     odeint,
     odeint_adjoint,
@@ -20,8 +21,7 @@ def decay(t, y):
 class TestFixedGridStats:
     def test_rk4_counts(self):
         sol, stats = odeint(decay, Tensor(np.ones((1, 1))),
-                            np.linspace(0, 1, 5), method="rk4",
-                            step_size=0.05, return_stats=True)
+                            np.linspace(0, 1, 5), method="rk4", options=SolverOptions(step_size=0.05), return_stats=True)
         assert stats.method == "rk4"
         assert stats.steps == 20          # 4 intervals x 5 sub-steps
         assert stats.rejects == 0
@@ -41,8 +41,7 @@ class TestFixedGridStats:
             return -y
 
         _, stats = odeint(f, Tensor(np.ones((1, 1))),
-                          np.linspace(0, 1, 11), method="implicit_adams",
-                          step_size=0.1, return_stats=True)
+                          np.linspace(0, 1, 11), method="implicit_adams", options=SolverOptions(step_size=0.1), return_stats=True)
         # RK4 warm-up for the multistep history adds a couple of steps.
         assert stats.steps >= 10
         if get_executor() == "replay":
@@ -56,7 +55,7 @@ class TestFixedGridStats:
 
     def test_return_stats_false_keeps_old_signature(self):
         sol = odeint(decay, Tensor(np.ones((1, 1))), [0.0, 1.0],
-                     method="rk4", step_size=0.1)
+                     method="rk4", options=SolverOptions(step_size=0.1))
         assert isinstance(sol, Tensor)
 
 

@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.autodiff import Tensor, concat
-from repro.odeint import odeint
+from repro.odeint import SolverOptions, odeint
 
 
 def exp_decay(t, y):
@@ -19,7 +19,9 @@ def harmonic(t, y):
 
 def _solver_kwargs(method, step_size):
     """dopri5 is adaptive and rejects step_size; fixed methods need it."""
-    return {} if method == "dopri5" else {"step_size": step_size}
+    if method == "dopri5":
+        return {}
+    return {"options": SolverOptions(step_size=step_size)}
 
 
 class TestAccuracy:
@@ -47,14 +49,14 @@ class TestAccuracy:
     def test_energy_conservation_rk4(self):
         t = np.linspace(0.0, 10.0, 21)
         sol = odeint(harmonic, Tensor(np.array([[1.0, 0.0]])), t,
-                     method="rk4", step_size=0.01)
+                     method="rk4", options=SolverOptions(step_size=0.01))
         energy = (sol.data ** 2).sum(axis=-1).reshape(-1)
         np.testing.assert_allclose(energy, energy[0], rtol=1e-8)
 
     def test_backward_time_integration(self):
         t = np.linspace(2.0, 0.0, 9)
         y0 = Tensor(np.array([[np.exp(-2.0)]]))
-        sol = odeint(exp_decay, y0, t, method="rk4", step_size=0.05)
+        sol = odeint(exp_decay, y0, t, method="rk4", options=SolverOptions(step_size=0.05))
         np.testing.assert_allclose(sol.data[-1, 0, 0], 1.0, atol=1e-7)
 
 
@@ -62,7 +64,7 @@ class TestConvergenceOrder:
     def _error(self, method, n_steps):
         t = [0.0, 1.0]
         sol = odeint(exp_decay, Tensor(np.array([[1.0]])), t,
-                     method=method, step_size=1.0 / n_steps)
+                     method=method, options=SolverOptions(step_size=1.0 / n_steps))
         return abs(sol.data[-1, 0, 0] - np.exp(-1.0))
 
     @pytest.mark.parametrize("method,order", [
@@ -92,7 +94,7 @@ class TestDifferentiability:
         # dy/dt = -a*y; d y(1)/d a = -y0 e^{-a}
         a = Tensor(np.array([0.7]), requires_grad=True)
         sol = odeint(lambda t, y: -(a * y), Tensor(np.array([[1.5]])),
-                     [0.0, 1.0], method="rk4", step_size=0.02)
+                     [0.0, 1.0], method="rk4", options=SolverOptions(step_size=0.02))
         sol[-1].sum().backward()
         np.testing.assert_allclose(a.grad, [-1.5 * np.exp(-0.7)], atol=1e-6)
 
@@ -113,7 +115,6 @@ class TestValidation:
 
     def test_output_stacks_all_times(self):
         t = np.linspace(0, 1, 7)
-        sol = odeint(exp_decay, Tensor(np.ones((3, 2))), t, method="euler",
-                     step_size=0.1)
+        sol = odeint(exp_decay, Tensor(np.ones((3, 2))), t, method="euler", options=SolverOptions(step_size=0.1))
         assert sol.shape == (7, 3, 2)
         np.testing.assert_allclose(sol.data[0], np.ones((3, 2)))
