@@ -15,6 +15,10 @@
 #   scripts/test.sh batching the union-grid batching suites (planner,
 #                            solve driver, solve() facade) plus the
 #                            BENCH_batching acceptance benchmark
+#   scripts/test.sh adjoint  tier-1 under trace-checkpointed backprop
+#                            (REPRO_CHECKPOINT_GRADS=on), once with the
+#                            eager executor and once under replay
+#                            (REPRO_EXECUTOR=replay)
 #
 # Extra arguments after the lane go straight to pytest, e.g.
 #   scripts/test.sh fast tests/parallel -q
@@ -44,6 +48,12 @@ case "$lane" in
         exec env REPRO_EXECUTOR=replay REPRO_CODEGEN=on \
             python -m pytest -x -q "$@"
         ;;
+    adjoint)
+        env REPRO_CHECKPOINT_GRADS=on \
+            python -m pytest -x -q "$@"
+        exec env REPRO_CHECKPOINT_GRADS=on REPRO_EXECUTOR=replay \
+            python -m pytest -x -q "$@"
+        ;;
     batching)
         exec python -m pytest -x -q tests/data/test_batching.py \
             tests/parallel/test_union_solve.py \
@@ -56,7 +66,7 @@ case "$lane" in
         exec python -m pytest -x -q -m "tier2 or not tier2" "$@"
         ;;
     *)
-        echo "usage: scripts/test.sh [fast|tier2|full|ir|codegen|batching] [pytest args...]" >&2
+        echo "usage: scripts/test.sh [fast|tier2|full|ir|codegen|batching|adjoint] [pytest args...]" >&2
         exit 2
         ;;
 esac

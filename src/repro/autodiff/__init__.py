@@ -41,11 +41,15 @@ from .tensor import (
 from .executors import (
     CompiledFunction,
     CompiledGraph,
+    get_checkpoint_grads,
     get_executor,
     get_trace_cache_cap,
     maybe_compile,
+    reset_tape_stats,
+    set_checkpoint_grads,
     set_executor,
     set_trace_cache_cap,
+    tape_stats,
 )
 from .passes import (
     get_ir_passes,
@@ -107,6 +111,10 @@ __all__ = [
     "recent_sources",
     "get_trace_cache_cap",
     "set_trace_cache_cap",
+    "get_checkpoint_grads",
+    "set_checkpoint_grads",
+    "tape_stats",
+    "reset_tape_stats",
     "softmax",
     "log_softmax",
     "masked_softmax",

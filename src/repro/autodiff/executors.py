@@ -35,6 +35,14 @@ bumps):
    Gradient-mode keys keep the fat-node replay, so gradients stay
    bit-identical to eager.
 
+``REPRO_CHECKPOINT_GRADS=on`` (:func:`set_checkpoint_grads`) switches the
+grad-mode replays of step 3 to **checkpointed frames**: the fat node keeps
+only the step inputs (t, y, non-static externals' data versions) and the
+backward walk re-runs the forward schedule to rebuild intermediates.
+Traces are cheap to re-execute, so this trades one extra forward per step
+during backward for a tape that grows with step *inputs* instead of
+step *intermediates*; gradients stay bit-identical.
+
 External tensors captured by the trace (parameters, per-batch context
 constants) are resolved to their live ``.data`` at replay time, so
 in-place parameter updates are picked up without retracing.  Anything that
@@ -73,6 +81,10 @@ __all__ = [
     "CompiledGraph",
     "get_trace_cache_cap",
     "set_trace_cache_cap",
+    "get_checkpoint_grads",
+    "set_checkpoint_grads",
+    "tape_stats",
+    "reset_tape_stats",
 ]
 
 _VALID_MODES = ("eager", "replay")
@@ -96,6 +108,95 @@ def set_executor(mode: str) -> None:
                          f"got {mode!r}")
     global _MODE
     _MODE = mode
+
+
+_VALID_CKPT = ("on", "off")
+
+_CKPT = os.environ.get("REPRO_CHECKPOINT_GRADS", "off")
+if _CKPT not in _VALID_CKPT:
+    raise ValueError(
+        f"REPRO_CHECKPOINT_GRADS={_CKPT!r} is not valid; "
+        f"choose one of {_VALID_CKPT}")
+
+
+def get_checkpoint_grads() -> str:
+    """Whether grad-mode replays checkpoint their frames ('on' or 'off')."""
+    return _CKPT
+
+
+def set_checkpoint_grads(mode: str) -> None:
+    """Select trace-checkpointed backprop for grad-mode replays.
+
+    When 'on', a gradient replay's fat node stores only the step inputs
+    (``t``, ``y`` and the non-static externals' data versions) instead of
+    the full forward value table; the backward walk re-runs the forward
+    schedule to rebuild intermediates.  Peak tape memory drops from
+    O(steps x trace length) to O(steps) in step inputs, at the price of
+    one extra forward execution per step during backward.  Gradients stay
+    bit-identical: the recompute runs the same optimized schedule over the
+    same inputs (rebinding a non-static external's ``.data`` between
+    forward and backward raises ``RuntimeError``).
+    """
+    if mode not in _VALID_CKPT:
+        raise ValueError(f"checkpoint-grads mode must be one of "
+                         f"{_VALID_CKPT}, got {mode!r}")
+    global _CKPT
+    _CKPT = mode
+
+
+# -- tape accounting ---------------------------------------------------------
+# Live/peak bytes retained by grad-replay frames.  Frames account their
+# retained storage on creation and release it when their backward consumes
+# them; frames that are never backwarded (e.g. a discarded forward) stay
+# counted until reset_tape_stats().  Mirrored to the ir.tape_live_bytes /
+# ir.tape_peak_bytes gauges when telemetry is enabled.
+
+_TAPE = {"live": 0, "peak": 0}
+
+
+def tape_stats() -> dict:
+    """Snapshot of grad-replay frame storage: live and peak bytes."""
+    return {"live_bytes": _TAPE["live"], "peak_bytes": _TAPE["peak"]}
+
+
+def reset_tape_stats() -> None:
+    """Zero the live/peak frame-byte accounting (start of a measurement)."""
+    _TAPE["live"] = 0
+    _TAPE["peak"] = 0
+
+
+def _tape_add(nbytes: int) -> None:
+    _TAPE["live"] += nbytes
+    if _TAPE["live"] > _TAPE["peak"]:
+        _TAPE["peak"] = _TAPE["live"]
+    reg = _registry()
+    if reg.enabled:
+        reg.set_gauge("ir.tape_live_bytes", _TAPE["live"])
+        reg.set_gauge("ir.tape_peak_bytes", _TAPE["peak"])
+
+
+def _tape_release(nbytes: int) -> None:
+    _TAPE["live"] = max(0, _TAPE["live"] - nbytes)
+    reg = _registry()
+    if reg.enabled:
+        reg.set_gauge("ir.tape_live_bytes", _TAPE["live"])
+
+
+class _CkptFrame:
+    """Checkpointed grad-replay frame: step inputs only, no value table.
+
+    Stores the step time and the identity/shape of every non-static
+    external's data array at forward time; the backward walk rebuilds the
+    forward value table by re-running the schedule on the step's ``y``
+    (read from the fat node's parent data) and verifies the externals were
+    not rebound in between.
+    """
+
+    __slots__ = ("t", "ext_versions")
+
+    def __init__(self, t: float, ext_versions: tuple):
+        self.t = t
+        self.ext_versions = ext_versions
 
 
 #: Per-function trace-cache bound.  Sweeps over many shapes (variable-length
@@ -309,6 +410,19 @@ class CompiledGraph:
         self._inarrs: list = [None] * len(self.inputs)
         for j, _ in self._t_slots:
             self._inarrs[j] = self._t_bufs[j]
+        # Frame storage accounting for grad replays: a full frame retains
+        # the step input y, every non-view body intermediate and the fresh
+        # time buffers; a checkpointed frame retains only the step input
+        # (views share their base's storage, so they are not counted).
+        y_elems = (int(np.prod(self.inputs[self._y_slots[0]][1]))
+                   if self._y_slots else 0)
+        body_elems = sum(int(np.prod(ops[i].shape)) for i in body
+                         if ops[i].opcode not in _VIEW_OPCODES)
+        t_elems = sum(int(np.prod(shape)) for _, shape in self._t_slots)
+        self._full_frame_bytes = 8 * (y_elems + body_elems + t_elems)
+        self._ckpt_frame_bytes = 8 * y_elems
+        self._nonstatic_ext = tuple(
+            j for j, static in enumerate(self.ext_static) if not static)
 
     # -- execution ------------------------------------------------------
     def _resolve(self, refs, vals, inarrs):
@@ -471,23 +585,59 @@ class CompiledGraph:
         parents = (y,) + self.diff_externals
         if is_grad_enabled() and any(p.requires_grad for p in parents):
             out.requires_grad = True
+            if _CKPT == "on":
+                frame = _CkptFrame(float(t), tuple(
+                    (id(self.externals[j].data),
+                     self.externals[j].data.shape)
+                    for j in self._nonstatic_ext))
+                _tape_add(self._ckpt_frame_bytes)
+                _inc("ir.ckpt_frames")
+            else:
+                frame = (vals, inarrs)
+                _tape_add(self._full_frame_bytes)
             out._node = OpNode(next_node_id(), "replay", parents,
-                               {"graph": self, "frame": (vals, inarrs)},
+                               {"graph": self, "frame": frame},
                                out.data)
         profiler = _tensor._PROFILER
         if profiler is not None:
             profiler._record_replay(len(self.plan.body))
         return out
 
-    def backward(self, g: np.ndarray, frame) -> tuple:
+    def backward(self, g: np.ndarray, frame, ins=()) -> tuple:
         """Backward rule of the fat "replay" node.
 
         Walks the trace in reverse with the same per-opcode rules the
         eager executor dispatches, in the same (creation-descending)
         order, so per-call gradients are bit-identical to eager.  Returns
         one gradient per fat-node parent: ``(y, *diff_externals)``.
+
+        ``ins`` is the fat node's parent data (``ins[0]`` = the step input
+        ``y``); a checkpointed frame uses it to re-run the forward schedule
+        and rebuild the value table the reverse walk reads.  The recompute
+        follows the exact path the forward took (same optimized schedule,
+        same memoized prefix), so gradients stay bit-identical to the
+        uncheckpointed replay — and therefore to eager.
         """
-        vals, inarrs = frame
+        if isinstance(frame, _CkptFrame):
+            for j, (ident, shape) in zip(self._nonstatic_ext,
+                                         frame.ext_versions):
+                data = self.externals[j].data
+                if id(data) != ident or data.shape != shape:
+                    name = getattr(self.externals[j], "name", "") or f"#{j}"
+                    raise RuntimeError(
+                        f"checkpointed backward: external tensor {name} "
+                        "was rebound between forward and backward, so the "
+                        "recompute would not match the recorded forward; "
+                        "rebind parameters only after backward, or "
+                        "set_checkpoint_grads('off')")
+            inarrs = self.fill_inputs(frame.t, ins[0], fresh=True)
+            vals = self.run_values(inarrs)
+            _inc("ir.ckpt_recomputes")
+            _inc("ir.ckpt_recomputed_ops", len(self.plan.body))
+            _tape_release(self._ckpt_frame_bytes)
+        else:
+            vals, inarrs = frame
+            _tape_release(self._full_frame_bytes)
         resolve = self._resolve
         grads: dict[int, np.ndarray] = {self.out_buf: g}
         ext_grads: dict[int, np.ndarray] = {}

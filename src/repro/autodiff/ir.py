@@ -656,8 +656,12 @@ register_op("minimum", _fw_minimum, _bw_minimum)
 
 register_op("custom", None,
             lambda g, ins, out, at, needs: tuple(at["fn"](g)))
+# The replay backward also receives the parents' live data (``ins[0]`` is
+# the step input ``y``) so checkpointed frames — which drop the forward
+# value table — can re-run the trace from the stored inputs alone.
 register_op("replay", None,
-            lambda g, ins, out, at, needs: at["graph"].backward(g, at["frame"]))
+            lambda g, ins, out, at, needs:
+                at["graph"].backward(g, at["frame"], ins))
 
 
 # ---------------------------------------------------------------------------

@@ -1,5 +1,5 @@
 """Benchmark targets: ``python -m repro.benchmarks
-[solver|parallel|ir|passes|codegen|batching]``.
+[solver|parallel|ir|passes|codegen|batching|memory]``.
 
 ``solver`` (the default) runs a representative dopri5 workload (a batch of
 decays whose rates span two orders of magnitude, read out on an irregular
@@ -47,6 +47,17 @@ by hand.  It replays the solve under ``REPRO_IR_PASSES=none`` and
 ``default`` and reports the NFE-normalized replay-RHS speedup from
 hoisting that derivation, a bit-compare of the two solutions, and an
 eager-vs-optimized-replay bit-compare of the gradients.
+
+``memory`` measures long-horizon backward-pass storage
+(``BENCH_memory.json``): one rk4 solve over 50 to 5000 uniform readouts
+(one accepted step per interval) under plain backprop-through-the-solver
+(replay executor, full frames), trace-checkpointed backprop
+(``REPRO_CHECKPOINT_GRADS=on``, frames keep only the step input) and the
+continuous adjoint (no tape at all; the retained output states are its
+storage).  Reports peak backward-pass bytes and wall time per mode, the
+reduction factors at each length, a bit-compare of the checkpointed
+gradients against plain backprop (must be exactly 0) and the adjoint's
+gradient error against its tolerance band.
 """
 
 from __future__ import annotations
@@ -65,7 +76,7 @@ from .odeint import SolverOptions, solve
 __all__ = ["solver_workload", "run_current_solver", "run_seed_emulation",
            "run", "parallel_workload", "run_parallel", "ir_workload",
            "run_ir", "passes_workload", "run_passes", "run_codegen",
-           "batching_workloads", "run_batching", "main"]
+           "batching_workloads", "run_batching", "run_memory", "main"]
 
 RTOL, ATOL = 1e-5, 1e-7
 
@@ -977,6 +988,140 @@ def run_batching(out_path: str | pathlib.Path = "BENCH_batching.json",
     return payload
 
 
+# ---------------------------------------------------------------------------
+# memory: long-horizon backward-pass storage (backprop / checkpointed /
+# adjoint)
+# ---------------------------------------------------------------------------
+
+#: gradient-error band for the continuous adjoint in the memory benchmark:
+#: both sweeps are 4th order on the same grid, so the disagreement is a
+#: small multiple of the forward truncation error, far below this.
+ADJOINT_GRAD_BAND = 1e-5
+
+
+def _memory_mode_run(mode: str, n_obs: int, dim: int, batch: int, seed: int):
+    """One rk4 solve + backward over ``n_obs`` readouts under ``mode``.
+
+    Returns ``(peak_backward_bytes, wall_seconds, gy, gparams)``.  Peak
+    bytes count what the backward pass keeps alive: replay tape frames
+    for the backprop modes, the retained per-readout output states (plus
+    the one transient VJP frame) for the adjoint.
+    """
+    from .autodiff import (reset_tape_stats, set_checkpoint_grads,
+                           set_executor, tape_stats)
+    from .nn import Linear, Module
+
+    class _Field(Module):
+        def __init__(self, rng):
+            super().__init__()
+            self.lin = Linear(dim, dim, rng)
+
+        def forward(self, t, y):
+            return self.lin(y).tanh() * 0.9
+
+    rng = np.random.default_rng(seed)
+    field = _Field(rng)
+    y0 = Tensor(rng.normal(size=(batch, dim)), requires_grad=True)
+    times = np.linspace(0.0, 1.0, n_obs)
+    opts = SolverOptions(step_size=float(times[1] - times[0]),
+                         adjoint=(mode == "adjoint"))
+
+    set_executor("replay")
+    set_checkpoint_grads("on" if mode == "checkpointed" else "off")
+    reset_tape_stats()
+    try:
+        start = time.perf_counter()
+        sol = solve(field, y0, times, method="rk4", options=opts)
+        (sol.ys ** 2).mean().backward()
+        wall = time.perf_counter() - start
+    finally:
+        set_checkpoint_grads("off")
+        set_executor("eager")
+
+    peak = tape_stats()["peak_bytes"]
+    if mode == "adjoint":
+        peak += sol.ys.data.nbytes
+    return (peak, wall, y0.grad.copy(),
+            [p.grad.copy() for p in field.parameters()])
+
+
+def run_memory(out_path: str | pathlib.Path = "BENCH_memory.json",
+               lengths: tuple[int, ...] = (50, 500, 2000, 5000),
+               dim: int = 8, batch: int = 4, seed: int = 0) -> dict:
+    """Peak backward-pass bytes and wall time vs sequence length.
+
+    Same workload per mode (identical seed, field and grid), so the
+    checkpointed gradients must match plain backprop bitwise and the
+    adjoint gradients must land within :data:`ADJOINT_GRAD_BAND`.
+    """
+    rows = []
+    for n_obs in lengths:
+        modes = {}
+        grads = {}
+        for mode in ("backprop", "checkpointed", "adjoint"):
+            peak, wall, gy, gp = _memory_mode_run(mode, n_obs, dim, batch,
+                                                  seed)
+            modes[mode] = {"peak_backward_bytes": peak,
+                           "wall_seconds": wall}
+            grads[mode] = (gy, gp)
+
+        gy_bp, gp_bp = grads["backprop"]
+        gy_ck, gp_ck = grads["checkpointed"]
+        gy_adj, gp_adj = grads["adjoint"]
+        ckpt_diff = max(float(np.abs(gy_ck - gy_bp).max()),
+                        max(float(np.abs(a - b).max())
+                            for a, b in zip(gp_ck, gp_bp)))
+        ref = max(float(np.abs(gy_bp).max()),
+                  max(float(np.abs(g).max()) for g in gp_bp), 1e-12)
+        adj_err = max(float(np.abs(gy_adj - gy_bp).max()),
+                      max(float(np.abs(a - b).max())
+                          for a, b in zip(gp_adj, gp_bp))) / ref
+        bp_peak = modes["backprop"]["peak_backward_bytes"]
+        rows.append({
+            "n_obs": n_obs,
+            "modes": modes,
+            "reduction_checkpointed": (
+                bp_peak / modes["checkpointed"]["peak_backward_bytes"]),
+            "reduction_adjoint": (
+                bp_peak / modes["adjoint"]["peak_backward_bytes"]),
+            "ckpt_max_abs_diff": ckpt_diff,
+            "adjoint_rel_err": adj_err,
+            "adjoint_band": ADJOINT_GRAD_BAND,
+        })
+
+    payload = {
+        "workload": (f"batch-{batch} dim-{dim} linear+tanh field, rk4 with "
+                     "one accepted step per readout interval over [0, 1]"),
+        "method": "rk4",
+        "note": ("peak_backward_bytes: replay tape frames for the backprop "
+                 "modes; retained output states + one transient VJP frame "
+                 "for the adjoint.  checkpointed gradients are bit-identical "
+                 "to backprop; adjoint gradients are tolerance-bounded"),
+        "rows": rows,
+    }
+    path = pathlib.Path(out_path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(payload, indent=2) + "\n")
+    return payload
+
+
+def _main_memory(out: str) -> int:
+    payload = run_memory(out)
+    print("long-horizon backward-pass storage (rk4, one step per interval)")
+    for row in payload["rows"]:
+        m = row["modes"]
+        print(f"  n={row['n_obs']:>5}  "
+              f"backprop {m['backprop']['peak_backward_bytes']:>12,} B  "
+              f"ckpt {m['checkpointed']['peak_backward_bytes']:>10,} B "
+              f"({row['reduction_checkpointed']:5.1f}x)  "
+              f"adjoint {m['adjoint']['peak_backward_bytes']:>10,} B "
+              f"({row['reduction_adjoint']:5.1f}x)  "
+              f"ckpt|diff|={row['ckpt_max_abs_diff']:.1e}  "
+              f"adj err={row['adjoint_rel_err']:.1e}")
+    print(f"  wrote {out}")
+    return 0
+
+
 def _main_batching(out: str) -> int:
     payload = run_batching(out)
     print(f"union-grid batching vs padded shards "
@@ -1038,6 +1183,9 @@ def main(argv: list[str] | None = None) -> int:
     if target == "batching":
         return _main_batching(argv[1] if len(argv) > 1
                               else "BENCH_batching.json")
+    if target == "memory":
+        return _main_memory(argv[1] if len(argv) > 1
+                            else "BENCH_memory.json")
     # Back-compat: a bare path argument means the solver benchmark.
     return _main_solver(target)
 

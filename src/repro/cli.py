@@ -30,7 +30,8 @@ import contextlib
 
 import numpy as np
 
-from .autodiff import set_codegen, set_executor, set_ir_passes
+from .autodiff import (set_checkpoint_grads, set_codegen, set_executor,
+                       set_ir_passes)
 from .data import Dataset, batch_iter, train_val_test_split
 from .experiments import (
     ALL_MODELS,
@@ -98,6 +99,17 @@ def build_parser() -> argparse.ArgumentParser:
                        choices=["on", "off"],
                        help="generated flat kernels for no_grad replays "
                             "(default: REPRO_CODEGEN env or off)")
+    train.add_argument("--adjoint", action="store_true",
+                       help="differentiate the ODE solve with the "
+                            "continuous adjoint (O(state) memory, "
+                            "tolerance-bounded gradients) instead of "
+                            "backprop through the solver (DIFFODE only)")
+    train.add_argument("--checkpoint-grads", default=None,
+                       dest="checkpoint_grads", choices=["on", "off"],
+                       help="trace-checkpointed backprop under the replay "
+                            "executor: frames keep only step inputs and "
+                            "intermediates are rebuilt during backward "
+                            "(default: REPRO_CHECKPOINT_GRADS env or off)")
 
     ev = sub.add_parser("evaluate", help="evaluate a DIFFODE checkpoint")
     ev.add_argument("--checkpoint", required=True)
@@ -157,6 +169,13 @@ def build_parser() -> argparse.ArgumentParser:
     prof.add_argument("--codegen", default=None,
                       choices=["on", "off"],
                       help="generated flat kernels for no_grad replays")
+    prof.add_argument("--adjoint", action="store_true",
+                      help="differentiate the ODE solve with the "
+                           "continuous adjoint (DIFFODE only)")
+    prof.add_argument("--checkpoint-grads", default=None,
+                      dest="checkpoint_grads", choices=["on", "off"],
+                      help="trace-checkpointed backprop under the replay "
+                           "executor")
     prof.add_argument("--seed", type=int, default=0)
 
     sub.add_parser("list", help="list available models and datasets")
@@ -190,6 +209,11 @@ def _cmd_train(args) -> int:
                                      args.seed)
     train_set, val_set, test_set = _split(dataset, task, args.seed)
     model = build_model(args.model, dataset, scale, seed=args.seed)
+    if args.adjoint:
+        if not hasattr(model, "config") or not hasattr(model.config,
+                                                       "adjoint"):
+            raise SystemExit("--adjoint only applies to DIFFODE")
+        model.config.adjoint = True
     epochs = args.epochs or (scale.epochs_cls if task == "classification"
                              else scale.epochs_reg)
     config = TrainConfig(
@@ -263,6 +287,11 @@ def _cmd_profile(args) -> int:
         if not hasattr(model, "config") or not hasattr(model.config, "method"):
             raise SystemExit("--method only applies to DIFFODE")
         model.config.method = args.method
+    if args.adjoint:
+        if not hasattr(model, "config") or not hasattr(model.config,
+                                                       "adjoint"):
+            raise SystemExit("--adjoint only applies to DIFFODE")
+        model.config.adjoint = True
     batch_size = (scale.batch_cls if task == "classification"
                   else scale.batch_reg)
     trainer = Trainer(model, task, TrainConfig(
@@ -402,6 +431,8 @@ def main(argv: list[str] | None = None) -> int:
         set_ir_passes(args.ir_passes)
     if getattr(args, "codegen", None):
         set_codegen(args.codegen)
+    if getattr(args, "checkpoint_grads", None):
+        set_checkpoint_grads(args.checkpoint_grads)
     handlers = {"train": _cmd_train, "evaluate": _cmd_evaluate,
                 "profile": _cmd_profile, "list": _cmd_list}
     return handlers[args.command](args)

@@ -44,6 +44,10 @@ class DiffODEConfig:
     rtol: float = 1e-5
     #: absolute error tolerance for adaptive solvers
     atol: float = 1e-7
+    #: differentiate the ODE solve with the continuous adjoint (O(state)
+    #: memory) instead of backprop through the solver; gradients are
+    #: tolerance-bounded rather than exact w.r.t. the discrete solve
+    adjoint: bool = False
     #: number of readout grid points = round(1/step_size) + 1
     max_len: int = 512
     #: classification classes (None for regression tasks)

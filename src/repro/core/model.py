@@ -187,7 +187,16 @@ class DiffODE(Module):
                   mask: np.ndarray) -> tuple[Tensor, np.ndarray]:
         """Encode, bind contexts and solve the ODE on the readout grid."""
         z = self.encode(values, times, mask)
-        contexts = (self.build_contexts(z, mask)
+        ctx_z = z
+        if self.config.adjoint and self.config.use_attention:
+            # The continuous adjoint accumulates dynamics-path gradients
+            # into func.parameters() only (the torchdiffeq contract): bound
+            # context tensors must enter the solve as constants, otherwise
+            # every VJP evaluation of the backward sweep would walk the
+            # encoder tape and accumulate unweighted gradient into it.  The
+            # encoder still trains through the initial state below.
+            ctx_z = Tensor(z.data)
+        contexts = (self.build_contexts(ctx_z, mask)
                     if self.config.use_attention else [])
         self.latent_dynamics.bind(contexts)
         state0 = self.initial_state(z, contexts)
@@ -197,9 +206,11 @@ class DiffODE(Module):
             # from the dense-output interpolant; step_size only shaped the
             # readout grid above.
             opts = SolverOptions(rtol=self.config.rtol,
-                                 atol=self.config.atol)
+                                 atol=self.config.atol,
+                                 adjoint=self.config.adjoint)
         else:
-            opts = SolverOptions(step_size=self.config.step_size)
+            opts = SolverOptions(step_size=self.config.step_size,
+                                 adjoint=self.config.adjoint)
         sol = solve(self.dynamics, state0, grid,
                     method=self.config.method, options=opts)
         self.last_solver_stats = sol.stats

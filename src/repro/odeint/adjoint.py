@@ -9,6 +9,20 @@ backwards in time.  Memory is O(state) instead of O(state x steps), at the
 price of a second integration.  We expose it both as an API parity feature
 with torchdiffeq and to cross-check the default backprop-through-the-solver
 gradients (see tests/odeint/test_adjoint.py).
+
+Two integration families share the entry point:
+
+* **fixed-grid methods** (including ``implicit_adams``, the paper's
+  solver) co-integrate ``y`` with ``(a, g_theta)`` backward over the same
+  sub-step grid the forward used — the backward sweep always uses RK4 from
+  the stored interval states, independent of the forward stepper;
+* **dopri5** stores the forward pass's accepted-step dense-output segments
+  and reads ``y(t)`` from the quartic interpolant during the backward
+  sweep, so ``y`` does not have to be re-integrated (and cannot drift).
+  ``SolverOptions.adjoint_storage="resolve"`` trades that O(steps) segment
+  storage for re-solving each output interval on demand during backward —
+  memory O(max steps per interval) when the dense store is itself the
+  bound.
 """
 
 from __future__ import annotations
@@ -20,9 +34,10 @@ import numpy as np
 from ..autodiff import Tensor, maybe_compile, no_grad
 from ..nn import Module
 from ..telemetry import get_registry
+from .adams import AdamsBashforthMoulton
+from .dopri5 import _P, DenseOutput, _dopri5_core
 from .fixed import FIXED_STEPPERS, STEP_NFEV
-from .options import (UNSET, SolverOptions, resolve_options, validate_times,
-                      warn_return_stats)
+from .options import SolverOptions, validate_times, warn_return_stats
 from .stats import SolverStats
 
 __all__ = ["odeint_adjoint", "adjoint_solve"]
@@ -54,25 +69,219 @@ def _vjp(rhs: Callable, params: list, t: float, y_value: np.ndarray,
     return dy, dparams
 
 
+# ---------------------------------------------------------------------------
+# dopri5 adjoint: y(t) from dense-output segments
+# ---------------------------------------------------------------------------
+
+def _seg_value(seg: tuple, tau: float) -> np.ndarray:
+    """Evaluate one accepted step's quartic interpolant on raw values.
+
+    ``seg`` is ``(t, h, y_data, [k_data ...])`` — the values-only mirror of
+    a :class:`~repro.odeint.dopri5.DenseOutput` segment.
+    """
+    t_i, h_i, y_old, k = seg
+    theta = float((tau - t_i) / h_i)
+    out = np.array(y_old, copy=True)
+    for i in range(7):
+        q = 0.0
+        power = theta
+        for j in range(4):
+            q += _P[i][j] * power
+            power *= theta
+        if q != 0.0:
+            out += k[i] * (h_i * q)
+    return out
+
+
+class _SegmentTable:
+    """Locate + evaluate value-only dense segments for the backward sweep."""
+
+    def __init__(self, segments: list, direction: float):
+        # Strip Tensors down to arrays: the adjoint sweep is values-only.
+        self.segs = [(float(t), float(h), y.data, [ki.data for ki in k])
+                     for t, h, y, k in segments]
+        self.starts = np.array([s[0] for s in self.segs], dtype=np.float64)
+        self.direction = direction
+        #: internal step boundaries, in integration order (the backward
+        #: sweep steps over each forward accepted step's span).
+        self.bounds = self.starts[1:]
+
+    @property
+    def nbytes(self) -> int:
+        return sum(s[2].nbytes + sum(ki.nbytes for ki in s[3])
+                   for s in self.segs)
+
+    def __call__(self, tau: float) -> np.ndarray:
+        if self.direction > 0:
+            idx = int(np.searchsorted(self.starts, tau, side="right")) - 1
+        else:
+            idx = len(self.starts) - 1 - int(
+                np.searchsorted(self.starts[::-1], tau, side="left"))
+        idx = int(np.clip(idx, 0, len(self.segs) - 1))
+        return _seg_value(self.segs[idx], tau)
+
+
+def _sweep_interval(table: _SegmentTable, aug_dynamics, t_hi: float,
+                    t_lo: float, adj_y: np.ndarray,
+                    adj_params: list[np.ndarray]
+                    ) -> tuple[np.ndarray, list[np.ndarray]]:
+    """Integrate ``(a, g_theta)`` backward from ``t_hi`` to ``t_lo``.
+
+    One RK4 step per forward accepted-step span inside the interval, so
+    backward resolution follows wherever the forward controller needed
+    small steps.  ``y(tau)`` comes from the dense ``table``.
+    """
+    direction = table.direction
+    eps = 1e-12 * max(1.0, abs(t_hi), abs(t_lo))
+    b = table.bounds
+    if direction > 0:
+        inner = b[(b > t_lo + eps) & (b < t_hi - eps)]
+    else:
+        inner = b[(b < t_lo - eps) & (b > t_hi + eps)]
+    pts = [t_hi] + list(inner[::-1]) + [t_lo]
+
+    def rk_step(tau: float, h: float, a, p):
+        a1, p1 = aug_dynamics(tau, a)
+        a2, p2 = aug_dynamics(tau + h / 2, a + h / 2 * a1)
+        a3, p3 = aug_dynamics(tau + h / 2, a + h / 2 * a2)
+        a4, p4 = aug_dynamics(tau + h, a + h * a3)
+        a_new = a + h / 6 * (a1 + 2 * a2 + 2 * a3 + a4)
+        p_new = [pi + h / 6 * (g1 + 2 * g2 + 2 * g3 + g4)
+                 for pi, g1, g2, g3, g4 in zip(p, p1, p2, p3, p4)]
+        return a_new, p_new
+
+    for tau_hi, tau_lo in zip(pts[:-1], pts[1:]):
+        h = tau_lo - tau_hi
+        if h == 0.0:
+            continue
+        adj_y, adj_params = rk_step(tau_hi, h, adj_y, adj_params)
+    return adj_y, adj_params
+
+
+def _adjoint_dopri5(func: Module, y0: Tensor, times: np.ndarray,
+                    opts: SolverOptions
+                    ) -> tuple[Tensor, SolverStats, DenseOutput | None]:
+    """Continuous adjoint over one adaptive dopri5 integration.
+
+    The forward pass runs under ``no_grad`` collecting dense-output
+    segments; the backward closure integrates only the augmented
+    ``(a, g_theta)`` state in reverse, reading ``y(tau)`` from the
+    segments' quartic interpolant (each augmented evaluation costs one VJP
+    forward pass).  With ``opts.adjoint_storage == "resolve"`` the forward
+    keeps only the states at output times and each output interval's
+    segments are rebuilt by a fresh ``no_grad`` solve during backward.
+    """
+    params = list(func.parameters())
+    rhs = maybe_compile(func)
+    resolve = opts.adjoint_storage == "resolve"
+    direction = 1.0 if float(times[-1]) > float(times[0]) else -1.0
+
+    segments: list = []
+    with no_grad():
+        outputs, stats = _dopri5_core(
+            rhs, Tensor(np.array(y0.data, copy=True)), times,
+            opts.rtol, opts.atol, opts.first_step, opts.max_steps,
+            segments=segments)
+    stats.method = "adjoint[dopri5]"
+    solution = np.stack([o.data for o in outputs], axis=0)
+
+    dense = None
+    table = None
+    if resolve:
+        # Dense storage is the memory bound: drop the forward segments and
+        # rebuild each interval's table on demand during backward.
+        segments = None
+    else:
+        table = _SegmentTable(segments, direction)
+        registry = get_registry()
+        if registry.enabled:
+            registry.set_gauge("solver.adjoint.dense_bytes", table.nbytes)
+        if opts.dense:
+            # Values-only interpolant: the forward ran without a tape, so
+            # the DenseOutput shares the adjoint's segments but does not
+            # participate in the backward pass.
+            dense = DenseOutput(segments, float(times[0]),
+                                Tensor(solution[0]))
+
+    def backward(grad_outputs: np.ndarray) -> tuple[np.ndarray | None, ...]:
+        nfev_before = stats.nfev
+        adj_y = np.array(grad_outputs[-1], copy=True)
+        adj_params = [np.zeros_like(p.data) for p in params]
+        registry = get_registry()
+
+        def make_aug(tbl: _SegmentTable):
+            def aug_dynamics(tau: float, a_val: np.ndarray):
+                y_val = tbl(tau)
+                vjp_y, vjp_p = _vjp(rhs, params, tau, y_val, a_val)
+                stats.nfev += 1   # the VJP forward pass
+                return -vjp_y, [-g for g in vjp_p]
+            return aug_dynamics
+
+        aug = make_aug(table) if table is not None else None
+        for idx in range(len(times) - 1, 0, -1):
+            t1, t0 = float(times[idx]), float(times[idx - 1])
+            if resolve:
+                local: list = []
+                with no_grad():
+                    _, local_stats = _dopri5_core(
+                        rhs, Tensor(np.array(solution[idx - 1], copy=True)),
+                        np.array([t0, t1]), opts.rtol, opts.atol,
+                        None, opts.max_steps, segments=local)
+                stats.nfev += local_stats.nfev
+                local_table = _SegmentTable(local, direction)
+                if registry.enabled:
+                    registry.inc("solver.adjoint.resolves")
+                    registry.set_gauge("solver.adjoint.dense_bytes",
+                                       local_table.nbytes)
+                adj_y, adj_params = _sweep_interval(
+                    local_table, make_aug(local_table), t1, t0,
+                    adj_y, adj_params)
+            else:
+                adj_y, adj_params = _sweep_interval(table, aug, t1, t0,
+                                                    adj_y, adj_params)
+            adj_y = adj_y + grad_outputs[idx - 1]
+
+        for p, g in zip(params, adj_params):
+            p.grad = g if p.grad is None else p.grad + g
+        if registry.enabled:
+            delta = stats.nfev - nfev_before
+            registry.inc(f"solver.{stats.method}.backward_nfev", delta)
+            registry.inc("solver.nfev", delta)
+        return (adj_y,)
+
+    out = Tensor._make_custom(
+        solution, (y0,), backward,
+        force_grad=y0.requires_grad or any(p.requires_grad for p in params))
+    return out, stats, dense
+
+
 def adjoint_solve(func: Module, y0: Tensor, times: np.ndarray,
                   method: str, opts: SolverOptions
-                  ) -> tuple[Tensor, SolverStats]:
+                  ) -> tuple[Tensor, SolverStats, DenseOutput | None]:
     """Continuous-adjoint integration core shared by every entry point.
 
-    ``times`` must already be validated and ``method`` must be a
-    fixed-grid stepper; :func:`repro.odeint.solve` and
+    ``times`` must already be validated; ``method`` is a fixed-grid
+    stepper or ``dopri5``.  :func:`repro.odeint.solve` and
     :func:`odeint_adjoint` both delegate here.  Returns
-    ``(solution, stats)`` — the stats record is shared with the backward
-    closure: at return time it counts the forward solve, and running
-    ``.backward()`` adds the augmented backward sweep's evaluations (each
-    augmented-dynamics call counts the plain RHS evaluation plus the VJP
-    forward pass).  Gradients accumulate into ``func``'s parameters and
-    into ``y0``.
+    ``(solution, stats, dense)`` — ``dense`` is the values-only
+    interpolant when ``opts.dense`` was set on dopri5, ``None`` otherwise.
+    The stats record is shared with the backward closure: at return time
+    it counts the forward solve, and running ``.backward()`` adds the
+    augmented backward sweep's evaluations.  Gradients accumulate into
+    ``func``'s parameters and into ``y0``.
     """
-    if method not in FIXED_STEPPERS:
-        raise ValueError("odeint_adjoint supports fixed-grid methods only")
+    if not hasattr(func, "parameters"):
+        raise TypeError(
+            "the continuous adjoint needs a Module right-hand side so its "
+            f"parameters are discoverable; got {type(func).__name__}")
+    if method == "dopri5":
+        return _adjoint_dopri5(func, y0, times, opts)
+    if method not in FIXED_STEPPERS and method != "implicit_adams":
+        raise ValueError(
+            "the continuous adjoint supports the fixed-grid methods "
+            f"{sorted(FIXED_STEPPERS)}, implicit_adams and dopri5; "
+            f"got {method!r}")
     step_size = opts.step_size
-    stepper = FIXED_STEPPERS[method]
     params = list(func.parameters())
     rhs = maybe_compile(func)
     stats = SolverStats(method=f"adjoint[{method}]")
@@ -83,17 +292,47 @@ def adjoint_solve(func: Module, y0: Tensor, times: np.ndarray,
     with no_grad():
         states = [np.array(y0.data, copy=True)]
         y = Tensor(states[0])
-        for t0, t1 in zip(times[:-1], times[1:]):
-            span = float(t1 - t0)
-            n_sub = max(1, int(np.ceil(abs(span) / step_size))) if step_size else 1
-            dt = span / n_sub
-            tau = float(t0)
-            for _ in range(n_sub):
-                y = stepper(rhs, tau, dt, y)
-                tau += dt
-            stats.steps += n_sub
-            states.append(np.array(y.data, copy=True))
-        stats.nfev = stats.steps * STEP_NFEV[method]
+        if method == "implicit_adams":
+            # The paper's solver.  Only the forward pass differs: the
+            # backward sweep below co-integrates y with RK4 from the
+            # stored interval states regardless of the forward stepper
+            # (both are 4th order, so the gradient band is unchanged).
+            def counting_rhs(t_val, y_val):
+                stats.nfev += 1
+                return rhs(t_val, y_val)
+
+            solver = AdamsBashforthMoulton(
+                counting_rhs, corrector_iters=opts.corrector_iters)
+            last_dt = None
+            for t0, t1 in zip(times[:-1], times[1:]):
+                span = float(t1 - t0)
+                n_sub = (max(1, int(np.ceil(abs(span) / step_size)))
+                         if step_size else 1)
+                dt = span / n_sub
+                if last_dt is not None and abs(dt - last_dt) > 1e-12:
+                    # ABM history is only valid on a uniform grid.
+                    solver.reset()
+                last_dt = dt
+                tau = float(t0)
+                for _ in range(n_sub):
+                    y = solver.step(tau, dt, y)
+                    tau += dt
+                stats.steps += n_sub
+                states.append(np.array(y.data, copy=True))
+        else:
+            stepper = FIXED_STEPPERS[method]
+            for t0, t1 in zip(times[:-1], times[1:]):
+                span = float(t1 - t0)
+                n_sub = (max(1, int(np.ceil(abs(span) / step_size)))
+                         if step_size else 1)
+                dt = span / n_sub
+                tau = float(t0)
+                for _ in range(n_sub):
+                    y = stepper(rhs, tau, dt, y)
+                    tau += dt
+                stats.steps += n_sub
+                states.append(np.array(y.data, copy=True))
+            stats.nfev = stats.steps * STEP_NFEV[method]
     solution = np.stack(states, axis=0)
 
     def backward(grad_outputs: np.ndarray) -> tuple[np.ndarray | None, ...]:
@@ -148,14 +387,13 @@ def adjoint_solve(func: Module, y0: Tensor, times: np.ndarray,
     out = Tensor._make_custom(
         solution, (y0,), backward,
         force_grad=y0.requires_grad or any(p.requires_grad for p in params))
-    return out, stats
+    return out, stats, None
 
 
 def odeint_adjoint(func: Module, y0: Tensor, t: Sequence[float],
                    method: str = "rk4",
                    options: SolverOptions | None = None,
-                   return_stats: bool = False,
-                   step_size: float | None = UNSET):
+                   return_stats: bool = False, **legacy):
     """Drop-in for :func:`repro.odeint.odeint` using the adjoint backward.
 
     Thin wrapper over :func:`adjoint_solve` (the same core
@@ -164,21 +402,33 @@ def odeint_adjoint(func: Module, y0: Tensor, t: Sequence[float],
     parameters are discoverable; gradients are accumulated directly into
     ``func``'s parameters and into ``y0``.
 
-    Solver settings travel in the same
-    :class:`~repro.odeint.SolverOptions` object ``odeint`` takes (only
-    ``step_size`` applies to the fixed-grid methods supported here);
-    passing ``step_size=`` directly still works with a
-    ``DeprecationWarning``.
+    Solver settings travel exclusively in a single
+    :class:`~repro.odeint.SolverOptions` object, exactly as in ``odeint``;
+    the removed legacy per-method kwargs (``step_size=``, ...) raise
+    ``TypeError`` naming the replacement.
 
     ``return_stats=True`` (deprecated — prefer ``solve().stats``) returns
     ``(solution, SolverStats)`` and warns once per call.
     """
-    if method not in FIXED_STEPPERS:
-        raise ValueError("odeint_adjoint supports fixed-grid methods only")
+    if legacy:
+        raise TypeError(
+            f"odeint_adjoint: legacy solver kwargs {sorted(legacy)} were "
+            "removed; pass odeint_adjoint(..., options=SolverOptions(...)) "
+            "instead")
+    if method not in FIXED_STEPPERS and method not in (
+            "implicit_adams", "dopri5"):
+        raise ValueError(
+            "odeint_adjoint supports the fixed-grid methods "
+            f"{sorted(FIXED_STEPPERS)}, implicit_adams and dopri5; "
+            f"got {method!r}")
     times = validate_times(t)
-    opts = resolve_options(options, {"step_size": step_size},
-                           caller="odeint_adjoint").validate_for(method)
-    out, stats = adjoint_solve(func, y0, times, method, opts)
+    opts = options if options is not None else SolverOptions()
+    if not isinstance(opts, SolverOptions):
+        raise TypeError(
+            f"odeint_adjoint: options must be a SolverOptions, "
+            f"got {type(opts).__name__}")
+    opts.validate_for(method)
+    out, stats, _ = adjoint_solve(func, y0, times, method, opts)
     stats.publish(get_registry())
     if return_stats:
         warn_return_stats("odeint_adjoint")

@@ -127,10 +127,14 @@ def solve(func: OdeFunc, y0: Tensor, t: Sequence[float],
     * ``method`` picks the integrator (``euler | midpoint | rk4 |
       implicit_adams | dopri5``; the default is the adaptive ``dopri5``);
     * ``options.adjoint=True`` computes gradients with the continuous
-      adjoint (O(state) memory, fixed-grid methods only, ``func`` must be
-      a Module so its parameters are discoverable);
+      adjoint (O(state) memory; ``func`` must be a Module so its
+      parameters are discoverable).  Fixed-grid methods co-integrate ``y``
+      backward; dopri5 reads ``y(t)`` from its dense-output segments
+      (``options.adjoint_storage`` picks between storing them all and
+      re-solving per interval);
     * ``options.dense=True`` additionally returns the continuous
-      dense-output interpolant as ``Solution.dense`` (dopri5 only).
+      dense-output interpolant as ``Solution.dense`` (dopri5 only;
+      values-only when combined with the adjoint).
 
     ``t`` must be strictly monotonic (either direction); ``y0`` is the
     state at ``t[0]``.  Solver stats publish to the telemetry registry
@@ -148,7 +152,7 @@ def solve(func: OdeFunc, y0: Tensor, t: Sequence[float],
 
     dense = None
     if opts.adjoint:
-        ys, stats = adjoint_solve(func, y0, times, method, opts)
+        ys, stats, dense = adjoint_solve(func, y0, times, method, opts)
     elif method == "dopri5":
         segments: list | None = [] if opts.dense else None
         ys, stats = dopri5_solve(func, y0, times, rtol=opts.rtol,

@@ -9,22 +9,20 @@ grids, ``rtol``/``atol``/``first_step``/``max_steps`` for dopri5,
     sol = odeint(f, y0, t, method="dopri5",
                  options=SolverOptions(rtol=1e-6, atol=1e-8))
 
-The old per-method kwargs keep working through a deprecation shim
-(:func:`resolve_options`) that emits exactly one ``DeprecationWarning`` per
-call and converts them into a ``SolverOptions``.  Mixing both styles in a
-single call is an error.
+The old per-method kwargs are gone: every entry point (``odeint``,
+``odeint_adjoint``, ``solve``) raises ``TypeError`` naming this class when
+one is passed.
 """
 
 from __future__ import annotations
 
 import warnings
-from dataclasses import dataclass, fields
+from dataclasses import dataclass
 from typing import Sequence
 
 import numpy as np
 
-__all__ = ["SolverOptions", "resolve_options", "validate_times",
-           "warn_return_stats", "UNSET"]
+__all__ = ["SolverOptions", "validate_times", "warn_return_stats"]
 
 
 def warn_return_stats(caller: str) -> None:
@@ -58,18 +56,6 @@ def validate_times(t: Sequence[float]) -> np.ndarray:
     return times
 
 
-class _Unset:
-    """Sentinel distinguishing 'not passed' from an explicit None."""
-
-    __slots__ = ()
-
-    def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        return "<UNSET>"
-
-
-UNSET = _Unset()
-
-
 @dataclass(frozen=True)
 class SolverOptions:
     """Every tunable of every ``odeint`` method in one place.
@@ -93,12 +79,23 @@ class SolverOptions:
         Trial-step budget for ``dopri5``.
     adjoint:
         Route :func:`repro.odeint.solve` through the continuous adjoint
-        backward (O(state) memory) instead of backprop through the solver;
-        fixed-grid methods only.
+        backward (O(state) memory) instead of backprop through the solver.
+        Fixed-grid methods and ``implicit_adams`` co-integrate ``y``
+        backward with RK4; dopri5 reads ``y(t)`` from the forward pass's
+        dense-output segments.
+    adjoint_storage:
+        How the dopri5 adjoint keeps the forward trajectory for its
+        backward sweep: ``"dense"`` (default) stores every accepted step's
+        dense-output segment, ``"resolve"`` keeps only the states at output
+        times and re-solves each interval on demand during backward —
+        memory O(max steps per interval) when the dense store is itself
+        the bound.  Only meaningful with ``adjoint=True`` on dopri5.
     dense:
         Ask :func:`repro.odeint.solve` to also return a continuous
         ``Solution.dense`` interpolant (dopri5 only; pins the accepted
-        steps' stage Tensors for the life of the Solution).
+        steps' stage Tensors for the life of the Solution).  Combined with
+        ``adjoint=True`` the interpolant is values-only (the adjoint
+        forward runs without a tape).
     """
 
     step_size: float | None = None
@@ -108,6 +105,7 @@ class SolverOptions:
     first_step: float | None = None
     max_steps: int = 10_000
     adjoint: bool = False
+    adjoint_storage: str = "dense"
     dense: bool = False
 
     def __post_init__(self) -> None:
@@ -121,6 +119,10 @@ class SolverOptions:
             raise ValueError("first_step must be positive")
         if self.max_steps < 1:
             raise ValueError("max_steps must be >= 1")
+        if self.adjoint_storage not in ("dense", "resolve"):
+            raise ValueError(
+                "adjoint_storage must be 'dense' or 'resolve', "
+                f"got {self.adjoint_storage!r}")
 
     def validate_for(self, method: str) -> "SolverOptions":
         """Apply the per-method exclusivity rules; returns self."""
@@ -133,47 +135,18 @@ class SolverOptions:
             raise ValueError(
                 "'first_step' only applies to the adaptive dopri5 method; "
                 "fixed-grid methods take 'step_size'.")
-        if self.adjoint and method == "dopri5":
-            raise ValueError(
-                "the continuous adjoint supports fixed-grid methods only; "
-                "dopri5 differentiates by backprop through the solver")
+        if self.adjoint_storage != "dense":
+            if not self.adjoint or method != "dopri5":
+                raise ValueError(
+                    "adjoint_storage='resolve' only applies to the dopri5 "
+                    "continuous adjoint (adjoint=True, method='dopri5')")
+            if self.dense:
+                raise ValueError(
+                    "dense=True needs the segment store the 'resolve' "
+                    "adjoint storage discards; use adjoint_storage='dense'")
         if self.dense and method != "dopri5":
             raise ValueError(
                 "dense output requires the dopri5 method")
         return self
 
 
-_FIELD_NAMES = tuple(f.name for f in fields(SolverOptions))
-
-
-def resolve_options(options: SolverOptions | None,
-                    legacy: dict, *, caller: str,
-                    stacklevel: int = 3) -> SolverOptions:
-    """Merge the ``options=`` object with legacy per-method kwargs.
-
-    ``legacy`` maps field names to values, with :data:`UNSET` marking
-    kwargs the caller did not pass.  Passing any legacy kwarg emits exactly
-    one :class:`DeprecationWarning` (regardless of how many were given);
-    combining legacy kwargs with ``options=`` raises ``TypeError``.
-    """
-    supplied = {k: v for k, v in legacy.items() if v is not UNSET}
-    unknown = set(supplied) - set(_FIELD_NAMES)
-    if unknown:
-        raise TypeError(f"{caller}: unknown solver kwargs {sorted(unknown)}")
-    if options is not None:
-        if supplied:
-            raise TypeError(
-                f"{caller}: pass solver settings either via options= or via "
-                f"the legacy kwargs {sorted(supplied)}, not both")
-        if not isinstance(options, SolverOptions):
-            raise TypeError(
-                f"{caller}: options must be a SolverOptions, "
-                f"got {type(options).__name__}")
-        return options
-    if supplied:
-        warnings.warn(
-            f"{caller}: per-method solver kwargs ({', '.join(sorted(supplied))}) "
-            "are deprecated; pass odeint(..., options=SolverOptions(...)) "
-            "instead", DeprecationWarning, stacklevel=stacklevel)
-        return SolverOptions(**supplied)
-    return SolverOptions()

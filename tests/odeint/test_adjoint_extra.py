@@ -46,7 +46,7 @@ class TestAdjointTimeDependent:
         field = TimeField(rng)
         y0 = Tensor(rng.normal(size=(1, 2)), requires_grad=True)
         out = odeint_adjoint(field, y0, np.linspace(0, 5, 6),
-                             method="rk4", step_size=0.1)
+                             method="rk4", options=SolverOptions(step_size=0.1))
         (out ** 2).mean().backward()
         assert np.all(np.isfinite(y0.grad))
 
@@ -56,14 +56,14 @@ class TestAdjointTimeDependent:
         field = TimeField(rng)
         y0 = Tensor(rng.normal(size=(1, 2)), requires_grad=True)
         out = odeint_adjoint(field, y0, [0.0, 1.0], method="euler",
-                             step_size=0.01)
+                             options=SolverOptions(step_size=0.01))
         (out ** 2).mean().backward()
         g_euler = y0.grad.copy()
 
         field.zero_grad()
         y0b = Tensor(y0.data.copy(), requires_grad=True)
         out2 = odeint_adjoint(field, y0b, [0.0, 1.0], method="rk4",
-                              step_size=0.01)
+                              options=SolverOptions(step_size=0.01))
         (out2 ** 2).mean().backward()
         # first-order forward error carries into the adjoint: O(h) ~ 1e-2
         np.testing.assert_allclose(g_euler, y0b.grad, atol=2e-2)

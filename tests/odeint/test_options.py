@@ -51,10 +51,25 @@ class TestSolverOptionsObject:
             odeint(decay, Y0, T, method="rk4",
                    options=SolverOptions(first_step=0.1))
 
-    def test_adjoint_rejected_for_dopri5(self):
-        with pytest.raises(ValueError, match="adjoint"):
+    def test_adjoint_accepted_for_dopri5(self):
+        # PR 8 lifted the old restriction: the continuous adjoint now
+        # covers the adaptive method via dense-output segments.
+        sol = solve(_Decay(), Tensor(np.ones((1, 1))), T, method="dopri5",
+                    options=SolverOptions(adjoint=True))
+        assert sol.stats.method == "adjoint[dopri5]"
+
+    def test_resolve_storage_requires_adjoint_dopri5(self):
+        with pytest.raises(ValueError, match="adjoint_storage"):
+            solve(decay, Y0, T, method="rk4",
+                  options=SolverOptions(step_size=0.1,
+                                        adjoint=True,
+                                        adjoint_storage="resolve"))
+
+    def test_resolve_storage_incompatible_with_dense(self):
+        with pytest.raises(ValueError, match="dense"):
             solve(decay, Y0, T, method="dopri5",
-                  options=SolverOptions(adjoint=True))
+                  options=SolverOptions(adjoint=True, dense=True,
+                                        adjoint_storage="resolve"))
 
     def test_dense_rejected_for_fixed(self):
         with pytest.raises(ValueError, match="dense"):
@@ -137,18 +152,12 @@ class TestAdjointRouting:
         sol.sum().backward()
         assert y0.grad is not None
 
-    def test_adjoint_legacy_step_size_warns_once(self):
+    def test_adjoint_legacy_step_size_raises(self):
         func = _Decay()
         y0 = Tensor(np.array([[1.0]]))
-        with warnings.catch_warnings(record=True) as rec:
-            warnings.simplefilter("always")
-            old = odeint_adjoint(func, y0, [0.0, 1.0], method="rk4",
-                                 step_size=0.05)
-        dep = [w for w in rec if issubclass(w.category, DeprecationWarning)]
-        assert len(dep) == 1
-        new = odeint_adjoint(func, y0, [0.0, 1.0], method="rk4",
-                             options=SolverOptions(step_size=0.05))
-        assert np.array_equal(old.data, new.data)
+        with pytest.raises(TypeError, match="SolverOptions"):
+            odeint_adjoint(func, y0, [0.0, 1.0], method="rk4",
+                           step_size=0.05)
 
     def test_solve_adjoint_matches_wrapper(self):
         opts = SolverOptions(step_size=0.05)

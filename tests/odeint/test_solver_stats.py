@@ -108,7 +108,8 @@ class TestAdjointStats:
         fmod = Field()
         out, stats = odeint_adjoint(fmod, Tensor(np.ones((1, 3))),
                                     [0.0, 1.0], method="rk4",
-                                    step_size=0.25, return_stats=True)
+                                    options=SolverOptions(step_size=0.25),
+                                    return_stats=True)
         assert stats.steps == 4
         forward_nfev = stats.nfev
         assert forward_nfev == 4 * STEP_NFEV["rk4"]
