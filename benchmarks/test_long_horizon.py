@@ -1,0 +1,24 @@
+"""Benchmark: long-horizon streaming — flat incremental cost, exact answers."""
+
+import numpy as np
+
+from repro.experiments import run_long_horizon
+
+
+def test_long_horizon(benchmark, scale, save_result):
+    table = benchmark.pedantic(lambda: run_long_horizon(scale),
+                               rounds=1, iterations=1)
+    save_result("long_horizon", table.render())
+
+    for quarter in table.columns:
+        col = table.column(quarter)
+        # Same prequential protocol: incremental MSE tracks the per-arrival
+        # full recompute within solver tolerance, in every stream quarter.
+        assert np.isclose(col["prequential MSE (incremental)"],
+                          col["prequential MSE (recompute)"],
+                          rtol=1e-3, atol=1e-5), quarter
+    # The recompute cost per observation grows along the stream; the
+    # incremental session must be cheaper by the final quarter.
+    inc = table.column("Q4")["ms/obs (incremental)"]
+    rec = table.column("Q4")["ms/obs (recompute)"]
+    assert inc < rec, (inc, rec)

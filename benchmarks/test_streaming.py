@@ -1,0 +1,45 @@
+"""Acceptance benchmark for incremental streaming inference (ISSUE 9).
+
+Regenerates ``BENCH_streaming.json``: the incremental session's per-step
+latency must stay sub-linear in the stream length (bounded growth while
+the stream grows 50x), beat the full prequential recompute by at least 5x
+at the 5000-observation point, agree with the recompute path within the
+solver tolerance band, and resume bitwise-identically across split solves.
+"""
+
+from repro.benchmarks import run_streaming
+
+
+def test_streaming_incremental_scaling(save_result):
+    from .conftest import RESULTS_DIR
+
+    RESULTS_DIR.mkdir(exist_ok=True)
+    payload = run_streaming(RESULTS_DIR / "BENCH_streaming.json")
+
+    rows = {row["n_obs"]: row for row in payload["rows"]}
+    assert max(rows) >= 5000, payload
+    for row in payload["rows"]:
+        assert row["within_tolerance"], row
+        assert row["resume_bitwise_equal"], row
+        # Incremental context maintenance actually ran (one extend per
+        # post-warmup arrival; drift rebuilds are allowed but rare).
+        assert row["extends"] > 0.9 * row["n_obs"], row
+        assert row["rebuilds"] <= row["n_obs"] // 50 + 1, row
+        # Recompute cost grows with the prefix; the incremental step must
+        # beat it more and more as the stream lengthens.
+        marks = row["checkpoints"]
+        assert marks[-1]["speedup"] > marks[0]["speedup"], row
+
+    smallest, largest = rows[min(rows)], rows[max(rows)]
+    assert largest["checkpoints"][-1]["speedup"] >= 5.0, largest
+    # Sub-linear per-observation step: the stream grows 50x, the per-step
+    # latency may not (rank-1 extend + resumed one-interval solve).
+    step_small = smallest["checkpoints"][-1]["incremental_ms"]
+    step_large = largest["checkpoints"][-1]["incremental_ms"]
+    growth = max(rows) / min(rows)
+    assert step_large < step_small * growth / 5.0, (step_small, step_large)
+
+    save_result("BENCH_streaming", "incremental streaming: " + "; ".join(
+        f"n={r['n_obs']} step {r['checkpoints'][-1]['incremental_ms']:.2f}ms "
+        f"({r['checkpoints'][-1]['speedup']:.0f}x vs recompute)"
+        for r in payload["rows"]))

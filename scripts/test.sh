@@ -15,6 +15,12 @@
 #   scripts/test.sh batching the union-grid batching suites (planner,
 #                            solve driver, solve() facade) plus the
 #                            BENCH_batching acceptance benchmark
+#   scripts/test.sh streaming the incremental-state suites (ContextState
+#                            extend, resumable solves, stream sessions,
+#                            prequential eval) under the eager executor
+#                            and again under replay, plus the
+#                            BENCH_streaming acceptance benchmark and the
+#                            long-horizon smoke experiment
 #   scripts/test.sh adjoint  tier-1 under trace-checkpointed backprop
 #                            (REPRO_CHECKPOINT_GRADS=on), once with the
 #                            eager executor and once under replay
@@ -61,12 +67,24 @@ case "$lane" in
             benchmarks/test_batching.py -p no:cacheprovider \
             -m "tier2 or not tier2" "$@"
         ;;
+    streaming)
+        python -m pytest -x -q tests/core/test_context_state.py \
+            tests/odeint/test_resume.py tests/data/test_streaming.py \
+            tests/training/test_prequential.py "$@"
+        env REPRO_EXECUTOR=replay \
+            python -m pytest -x -q tests/core/test_context_state.py \
+            tests/odeint/test_resume.py tests/data/test_streaming.py \
+            tests/training/test_prequential.py "$@"
+        exec python -m pytest -x -q tests/experiments/test_long_horizon.py \
+            benchmarks/test_streaming.py -p no:cacheprovider \
+            -m "tier2 or not tier2" "$@"
+        ;;
     full)
         # Overrides the "not tier2" filter baked into addopts.
         exec python -m pytest -x -q -m "tier2 or not tier2" "$@"
         ;;
     *)
-        echo "usage: scripts/test.sh [fast|tier2|full|ir|codegen|batching|adjoint] [pytest args...]" >&2
+        echo "usage: scripts/test.sh [fast|tier2|full|ir|codegen|batching|streaming|adjoint] [pytest args...]" >&2
         exit 2
         ;;
 esac

@@ -1,5 +1,5 @@
 """Benchmark targets: ``python -m repro.benchmarks
-[solver|parallel|ir|passes|codegen|batching|memory]``.
+[solver|parallel|ir|passes|codegen|batching|memory|streaming]``.
 
 ``solver`` (the default) runs a representative dopri5 workload (a batch of
 decays whose rates span two orders of magnitude, read out on an irregular
@@ -48,6 +48,18 @@ by hand.  It replays the solve under ``REPRO_IR_PASSES=none`` and
 hoisting that derivation, a bit-compare of the two solutions, and an
 eager-vs-optimized-replay bit-compare of the gradients.
 
+``streaming`` measures the incremental online-inference path
+(``BENCH_streaming.json``): one long drifting series of 100 to 5000
+observations consumed one at a time through ``DiffODE.open_stream``.  The
+incremental session (rank-1 ``ContextState.extend`` + resumed solves)
+reports per-observation latency at checkpoints along the stream; the
+full-recompute cost at arrival ``k`` is the cumulative wall time of the
+exact session through ``k`` -- exactly what a stateless server replaying
+the prequential evolution from scratch would pay for that arrival.
+Also checks that the two sessions' predictions agree within the solver
+tolerance band and that a split resumable solve is bitwise-equal to the
+monolithic one on the same grid.
+
 ``memory`` measures long-horizon backward-pass storage
 (``BENCH_memory.json``): one rk4 solve over 50 to 5000 uniform readouts
 (one accepted step per interval) under plain backprop-through-the-solver
@@ -76,7 +88,8 @@ from .odeint import SolverOptions, solve
 __all__ = ["solver_workload", "run_current_solver", "run_seed_emulation",
            "run", "parallel_workload", "run_parallel", "ir_workload",
            "run_ir", "passes_workload", "run_passes", "run_codegen",
-           "batching_workloads", "run_batching", "run_memory", "main"]
+           "batching_workloads", "run_batching", "run_memory",
+           "run_streaming", "main"]
 
 RTOL, ATOL = 1e-5, 1e-7
 
@@ -989,6 +1002,170 @@ def run_batching(out_path: str | pathlib.Path = "BENCH_batching.json",
 
 
 # ---------------------------------------------------------------------------
+# streaming: incremental online inference vs full prequential recompute
+# ---------------------------------------------------------------------------
+
+
+def _streaming_model(n_obs: int, seed: int):
+    """Tiny dopri5 regression model sized for an ``n_obs`` stream."""
+    from .core import DiffODE, DiffODEConfig
+
+    return DiffODE(DiffODEConfig(
+        input_dim=1, latent_dim=4, hidden_dim=8, num_heads=1,
+        use_hippo=False, use_attention=True, method="dopri5",
+        step_size=0.1, rtol=RTOL, atol=ATOL, out_dim=1, num_classes=None,
+        max_len=n_obs + 8, seed=seed))
+
+
+def _streaming_session_run(model, sample, *, incremental: bool):
+    """Stream ``sample`` through one session; returns the predictions."""
+    from .data import iter_stream
+
+    session = model.open_stream(incremental=incremental)
+    preds = [session.step(obs) for obs in iter_stream(sample)]
+    return preds, session
+
+
+def _resume_bitwise_check(model, sample) -> bool:
+    """Split resumable solve == monolithic resumable solve, bitwise.
+
+    Binds the model's dynamics to exact contexts over the stream prefix
+    (a real DHS right-hand side, not a toy), solves a 9-point grid in one
+    resumable call and again split at the middle output, and compares the
+    trajectories exactly.
+    """
+    from .core.dhs import ContextState
+
+    z = model.encode(np.asarray(sample.values)[None, :8],
+                     np.asarray(sample.times)[None, :8], np.ones((1, 8)))
+    ctx = ContextState.build(Tensor(z.data), ridge=model.config.ridge)
+    model.latent_dynamics.bind([ctx])
+    y0 = Tensor(z.data[:, 0, :])
+    grid = np.linspace(0.0, 1.0, 9)
+    opts = SolverOptions(rtol=RTOL, atol=ATOL, resumable=True)
+    with no_grad():
+        whole = solve(model.dynamics, y0, grid, method="dopri5",
+                      options=opts)
+        first = solve(model.dynamics, y0, grid[:5], method="dopri5",
+                      options=opts)
+        second = solve(model.dynamics, None, grid[4:], method="dopri5",
+                       resume_from=first.resume_state)
+    stitched = np.concatenate([first.ys.data, second.ys.data[1:]], axis=0)
+    return bool(np.array_equal(whole.ys.data, stitched))
+
+
+def run_streaming(out_path: str | pathlib.Path = "BENCH_streaming.json",
+                  lengths: tuple[int, ...] = (100, 500, 1000, 5000),
+                  seed: int = 0) -> dict:
+    """Incremental streaming step() vs full prequential recompute.
+
+    For each stream length, one drifting series is consumed observation by
+    observation through both session modes of
+    :meth:`repro.core.DiffODE.open_stream`.  At checkpoints ``k`` along
+    the stream the row reports
+
+    * ``incremental_ms``: the incremental session's per-observation
+      latency near ``k`` (should stay flat - the step is a rank-1 context
+      extend plus a solve resumed over one inter-arrival interval);
+    * ``recompute_ms``: cumulative exact-session wall time through ``k``
+      - the cost a stateless server pays to replay the prequential
+      evolution from scratch for arrival ``k``;
+    * ``speedup``: their ratio.
+
+    Also reports the max prediction deviation between the two sessions
+    against the solver tolerance band, and a bitwise split-vs-monolithic
+    check of the resumable solver on the bound DHS dynamics.
+    """
+    from .data import load_synthetic_drifting
+
+    rows = []
+    for n_obs in lengths:
+        dataset = load_synthetic_drifting(
+            num_series=1, grid_points=n_obs, keep_rate=1.0, drift=1.5,
+            seed=seed, min_obs=min(12, n_obs))
+        sample = dataset.samples[0]
+        model = _streaming_model(n_obs, seed)
+
+        inc_preds, inc_session = _streaming_session_run(
+            model, sample, incremental=True)
+        ex_preds, _ = _streaming_session_run(
+            model, sample, incremental=False)
+
+        max_dev = y_scale = 0.0
+        for a, b in zip(inc_preds, ex_preds):
+            if a.warmup:
+                continue
+            max_dev = max(max_dev, float(np.abs(a.y_hat - b.y_hat).max()))
+            y_scale = max(y_scale, float(np.abs(b.y_hat).max()))
+        tol_band = 50.0 * (ATOL + RTOL * y_scale)
+
+        ex_cumsum = np.cumsum([p.latency for p in ex_preds])
+        n = len(inc_preds)
+        checkpoints = sorted({max(n // 10, 1), n // 4, n // 2, n - 1})
+        marks = []
+        for k in checkpoints:
+            window = [p.latency for p in inc_preds[max(0, k - 25):k + 1]]
+            inc_ms = float(np.median(window)) * 1e3
+            rec_ms = float(ex_cumsum[k]) * 1e3
+            marks.append({
+                "k": int(k),
+                "incremental_ms": inc_ms,
+                "recompute_ms": rec_ms,
+                "speedup": rec_ms / max(inc_ms, 1e-9),
+            })
+        stats = inc_session.context_stats
+        rows.append({
+            "n_obs": int(n),
+            "checkpoints": marks,
+            "total_incremental_s": float(sum(p.latency
+                                             for p in inc_preds)),
+            "total_recompute_s": float(ex_cumsum[-1]),
+            "mean_nfev_incremental": float(np.mean([p.nfev
+                                                    for p in inc_preds])),
+            "extends": stats["extends"],
+            "rebuilds": stats["rebuilds"],
+            "max_pred_deviation": max_dev,
+            "tolerance_band": tol_band,
+            "within_tolerance": bool(max_dev <= tol_band),
+            "resume_bitwise_equal": _resume_bitwise_check(model, sample),
+        })
+
+    final_marks = rows[-1]["checkpoints"]
+    payload = {
+        "rtol": RTOL, "atol": ATOL,
+        "model": "DIFFODE d=4 single-head, no HiPPO, dopri5",
+        "note": ("recompute_ms at arrival k is the cumulative exact-session "
+                 "wall time through k: the cost of statelessly replaying "
+                 "the prequential evolution (per-arrival context rebuild + "
+                 "fresh solves) that the incremental session's carried "
+                 "state avoids"),
+        "rows": rows,
+        "speedup_at_max": final_marks[-1]["speedup"],
+    }
+    path = pathlib.Path(out_path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(payload, indent=2) + "\n")
+    return payload
+
+
+def _main_streaming(out: str) -> int:
+    payload = run_streaming(out)
+    print(f"incremental streaming vs prequential recompute "
+          f"(rtol={payload['rtol']:g} atol={payload['atol']:g})")
+    for row in payload["rows"]:
+        last = row["checkpoints"][-1]
+        print(f"  n={row['n_obs']:>5}  step {last['incremental_ms']:7.2f} ms"
+              f"  recompute {last['recompute_ms']:10.1f} ms  "
+              f"({last['speedup']:8.1f}x)  "
+              f"extends={row['extends']} rebuilds={row['rebuilds']}  "
+              f"max|dev|={row['max_pred_deviation']:.1e} "
+              f"{'OK' if row['within_tolerance'] else 'OUT OF TOLERANCE'}  "
+              f"resume {'bitwise' if row['resume_bitwise_equal'] else 'DIFFERS'}")
+    print(f"  wrote {out}")
+    return 0
+
+
+# ---------------------------------------------------------------------------
 # memory: long-horizon backward-pass storage (backprop / checkpointed /
 # adjoint)
 # ---------------------------------------------------------------------------
@@ -1186,6 +1363,9 @@ def main(argv: list[str] | None = None) -> int:
     if target == "memory":
         return _main_memory(argv[1] if len(argv) > 1
                             else "BENCH_memory.json")
+    if target == "streaming":
+        return _main_streaming(argv[1] if len(argv) > 1
+                               else "BENCH_streaming.json")
     # Back-compat: a bare path argument means the solver benchmark.
     return _main_solver(target)
 

@@ -16,6 +16,7 @@ Examples::
         --dataset synthetic
     python -m repro.cli profile --model DIFFODE --dataset synthetic \
         --method dopri5 --trace profile.jsonl
+    python -m repro.cli stream --dataset drifting --series 4
     python -m repro.cli list
 
 Dataset sizes follow the scale preset (``--scale`` / ``REPRO_SCALE``).
@@ -177,6 +178,35 @@ def build_parser() -> argparse.ArgumentParser:
                       help="trace-checkpointed backprop under the replay "
                            "executor")
     prof.add_argument("--seed", type=int, default=0)
+
+    st = sub.add_parser(
+        "stream",
+        help="online prequential evaluation: observations arrive one at a "
+             "time through DiffODE.open_stream")
+    st.add_argument("--checkpoint", default=None,
+                    help="DIFFODE .npz to stream with; default builds an "
+                         "untrained model for the dataset")
+    st.add_argument("--dataset", default="drifting",
+                    choices=["drifting"] + sorted(_CLS_DATASETS)
+                    + sorted(_REG_DATASETS))
+    st.add_argument("--task", default=None,
+                    choices=["classification", "interpolation",
+                             "extrapolation"])
+    st.add_argument("--scale", default=None,
+                    choices=["smoke", "bench", "paper"])
+    st.add_argument("--series", type=int, default=None, metavar="N",
+                    help="cap the number of streamed series")
+    st.add_argument("--max-obs", type=int, default=None, dest="max_obs",
+                    metavar="M", help="cap observations per series")
+    st.add_argument("--exact", action="store_true",
+                    help="full-recompute reference sessions instead of "
+                         "incremental (rank-1 extend + resumed solve)")
+    st.add_argument("--seed", type=int, default=0)
+    st.add_argument("--trace", default=None, metavar="OUT.jsonl",
+                    help="write the telemetry event stream as JSONL")
+    st.add_argument("--executor", default=None,
+                    choices=["eager", "replay"],
+                    help="autodiff executor for ODE right-hand sides")
 
     sub.add_parser("list", help="list available models and datasets")
     return parser
@@ -414,6 +444,53 @@ def _cmd_profile(args) -> int:
     return 0
 
 
+def _cmd_stream(args) -> int:
+    from .data import load_synthetic_drifting
+    from .training import load_diffode, prequential_evaluate
+
+    scale = get_scale(args.scale)
+    if args.dataset == "drifting":
+        dataset = load_synthetic_drifting(
+            num_series=max(4, scale.synthetic_series // 4),
+            grid_points=scale.synthetic_grid, seed=args.seed)
+        task = "classification"
+    else:
+        dataset, task = _resolve_dataset(args.dataset, args.task, scale,
+                                         args.seed)
+    if args.checkpoint:
+        model = load_diffode(args.checkpoint)
+        model_task = ("classification" if model.config.num_classes is not None
+                      else "regression")
+        if model_task != task:
+            raise SystemExit(f"checkpoint is a {model_task} model but "
+                             f"{args.dataset} streams a {task} task")
+    else:
+        model = build_model("DIFFODE", dataset, scale, seed=args.seed)
+    mode = "exact full-recompute" if args.exact else "incremental"
+    print(f"streaming {dataset.name} ({len(dataset)} series, {mode} "
+          f"sessions, method {model.config.method})")
+    telemetry = (telemetry_session(trace_path=args.trace)
+                 if args.trace else contextlib.nullcontext())
+    with telemetry:
+        report = prequential_evaluate(model, dataset,
+                                      incremental=not args.exact,
+                                      max_series=args.series,
+                                      max_obs=args.max_obs)
+    print(f"series: {report['num_series']}  "
+          f"scored observations: {report['num_scored']}")
+    if "accuracy" in report:
+        print(f"prequential accuracy: {report['accuracy']:.4f}")
+    else:
+        print(f"prequential MSE: {report['mse']:.4f}")
+    print(f"mean latency: {report['mean_latency'] * 1e3:.2f} ms/obs  "
+          f"mean NFE: {report['mean_nfev']:.1f}")
+    print(f"context maintenance: {report['extends']} extends, "
+          f"{report['rebuilds']} drift rebuilds")
+    if args.trace:
+        print(f"trace written to {args.trace}")
+    return 0
+
+
 def _cmd_list(_args) -> int:
     print("models:")
     for name in ALL_MODELS:
@@ -434,7 +511,8 @@ def main(argv: list[str] | None = None) -> int:
     if getattr(args, "checkpoint_grads", None):
         set_checkpoint_grads(args.checkpoint_grads)
     handlers = {"train": _cmd_train, "evaluate": _cmd_evaluate,
-                "profile": _cmd_profile, "list": _cmd_list}
+                "profile": _cmd_profile, "stream": _cmd_stream,
+                "list": _cmd_list}
     return handlers[args.command](args)
 
 

@@ -2,6 +2,7 @@
 
 from .config import DiffODEConfig
 from .dhs import (
+    ContextState,
     DHSContext,
     P_SOLVERS,
     dhs_attention,
@@ -15,11 +16,15 @@ from .dhs import (
 from .dynamics import AugmentedDynamics, DHSDynamics, PlainLatentDynamics
 from .graph import GraphDiffODE, normalized_adjacency
 from .model import DiffODE, interpolate_grid_states
+from .streaming import StreamPrediction, StreamSession
 
 __all__ = [
     "DiffODEConfig",
     "DiffODE",
+    "ContextState",
     "DHSContext",
+    "StreamPrediction",
+    "StreamSession",
     "dhs_attention",
     "P_SOLVERS",
     "solve_p_min_norm",

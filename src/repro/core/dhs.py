@@ -27,10 +27,11 @@ from itertools import combinations
 import numpy as np
 
 from ..autodiff import Tensor, as_tensor, mark_static, masked_softmax, softmax
-from ..linalg import pinv_full_row_rank
+from ..telemetry import get_registry
 
 __all__ = [
     "dhs_attention",
+    "ContextState",
     "DHSContext",
     "solve_p_min_norm",
     "solve_p_max_hoyer",
@@ -68,11 +69,274 @@ def dhs_attention(z_query: Tensor, z_all: Tensor,
     return s, p
 
 
-class DHSContext:
+def _exact_state_fields(z: Tensor, mask: np.ndarray | None,
+                        ridge: float) -> dict:
+    """Exact (from-scratch) computation of every context constant.
+
+    One shared implementation behind :meth:`ContextState.build`,
+    :meth:`ContextState.rebuild` and :class:`DHSContext` so an incremental
+    state rebuilt after drift is *bitwise identical* to a freshly
+    constructed context over the same observations.  The pseudo-inverse
+    replicates :func:`repro.linalg.pinv_full_row_rank` op for op (Gram +
+    ridge, then ``inv``), but keeps the intermediate Gram matrix and its
+    inverse for the rank-1 ``extend`` bookkeeping.
+    """
+    z = as_tensor(z)
+    batch, n, d = z.shape
+    if n <= d:
+        raise ValueError(
+            f"DHS requires more observations than latent dims (n > d); "
+            f"got n={n}, d={d}")
+    if mask is None:
+        mask = np.ones((batch, n))
+    mask = np.asarray(mask, dtype=np.float64)
+    # Zero out padded rows so they do not contribute to the Gram matrix.
+    z = z * Tensor(mask[..., None])
+    gram = z.transpose() @ z
+    if ridge:
+        gram = gram + Tensor(ridge * np.eye(d))
+    gram_inv = gram.inv()
+    zt_pinv = z @ gram_inv
+    m_col = Tensor(mask[..., None])               # (B, n, 1)
+    s_m = z.transpose() @ m_col                   # Z^T m      (B, d, 1)
+    # A_p J computed without materializing A_p: diag(m) m = m exactly for
+    # a 0/1 mask, so A_p J = m - (Z^T)^+ (Z^T m).  O(n d) instead of the
+    # O(n^2) projector product - the form the rank-1 extend also uses.
+    a_ones = m_col - zt_pinv @ s_m                # A_p J      (B, n, 1)
+    denom = (m_col.transpose() @ a_ones)          # J A_p J    (B, 1, 1)
+    return dict(z=z, mask=mask, zt_pinv=zt_pinv, a_ones=a_ones,
+                denom=denom[:, 0, :] + _EPS,
+                gram=gram.data, gram_inv=gram_inv.data, s_m=s_m.data)
+
+
+class ContextState:
+    """Pure DHS context state with an incremental ``extend`` bind.
+
+    Holds exactly the per-batch constants the ODE right-hand side reads at
+    every integration step (``(Z^T)^+``, the cached Eq. 32 terms, the
+    mask) plus the O(d^2) Gram bookkeeping that makes a rank-1
+    :meth:`extend` possible.  Instances are immutable: ``extend`` /
+    ``rebuild`` / ``take`` return *new* states, so compiled RHS traces
+    keyed on the old tensors stay valid for their bind generation and the
+    caller decides when to re-bind (and bump the graph epoch).
+
+    Construction paths:
+
+    * :meth:`build` - exact, differentiable Tensor computation (the
+      training path; what :class:`DHSContext` has always done);
+    * :meth:`extend` - Sherman-Morrison rank-1 update of the Gram inverse
+      and ``(Z^T)^+`` for one new observation row, O(n d) numpy on
+      detached values (the streaming/inference path), with a drift check
+      ``max |G G^{-1} - I|`` that falls back to :meth:`rebuild` past
+      ``drift_threshold``;
+    * :meth:`rebuild` - exact recompute from the accumulated rows,
+      bitwise identical to a fresh :class:`DHSContext` over the same
+      observations;
+    * :meth:`take` - differentiable batch-row slice (union-grid
+      bucketing).
+    """
+
+    #: drift on ``G @ G^{-1}`` past which ``extend`` rebuilds exactly
+    DRIFT_THRESHOLD = 1e-6
+
+    def __init__(self, *, z: Tensor, mask: np.ndarray, zt_pinv: Tensor,
+                 a_ones: Tensor, denom: Tensor, gram: np.ndarray,
+                 gram_inv: np.ndarray, s_m: np.ndarray, ridge: float,
+                 mask_t: Tensor | None = None, a_null: Tensor | None = None,
+                 drift_threshold: float | None = None, generation: int = 0,
+                 extends: int = 0, rebuilds: int = 0,
+                 last_drift: float = 0.0):
+        batch, n, d = z.shape
+        self.z = z
+        self.mask = mask
+        self.zt_pinv = zt_pinv
+        self._a_ones = a_ones
+        self._denom = denom
+        self._gram = gram
+        self._gram_inv = gram_inv
+        self._s_m = s_m
+        self.ridge = float(ridge)
+        self.n = n
+        self.d = d
+        # Reusable mask tensor for the solvers / recovery below: one shared
+        # handle instead of a fresh ``Tensor(ctx.mask)`` per RHS call.
+        self.mask_t = (Tensor(mask, name="dhs_mask")
+                       if mask_t is None else mask_t)
+        self._a_null = a_null
+        self.drift_threshold = (self.DRIFT_THRESHOLD
+                                if drift_threshold is None
+                                else float(drift_threshold))
+        #: bind generation: 0 for a fresh build, +1 per extend/rebuild
+        self.generation = generation
+        #: cumulative rank-1 extends / exact rebuilds along this lineage
+        self.extends = extends
+        self.rebuilds = rebuilds
+        #: ``max |G G^{-1} - I|`` measured by the most recent extend
+        self.last_drift = last_drift
+        # Name the context constants: ODE right-hand-side traces capture
+        # them as externals, and the names make CompiledGraph.dump()
+        # listings readable (ext0:dhs_zt_pinv rather than a bare ext0).
+        self.z.name = "dhs_z"
+        self.zt_pinv.name = "dhs_zt_pinv"
+        self._a_ones.name = "dhs_a_ones"
+        self._denom.name = "dhs_denom"
+        # Contexts are bind-time constants: DHSDynamics.bind bumps the
+        # graph epoch when new ones are installed, so the trace optimizer
+        # may hoist any op that consumes only these tensors.
+        for t in (self.z, self.zt_pinv, self._a_ones, self._denom,
+                  self.mask_t):
+            mark_static(t)
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def build(cls, z: Tensor, mask: np.ndarray | None = None,
+              ridge: float = 1e-6, *,
+              drift_threshold: float | None = None) -> "ContextState":
+        """Exact state over ``z`` (B, n, d) - the differentiable path."""
+        fields = _exact_state_fields(z, mask, ridge)
+        return cls(ridge=ridge, drift_threshold=drift_threshold, **fields)
+
+    @property
+    def a_null(self) -> Tensor:
+        """``A_p = diag(m) - (Z^T)^+ Z^T`` (B, n, n), built lazily.
+
+        Only the ``ada_h`` p-solver and the exact-KKT validation read the
+        full projector; everything else uses the cached ``A_p J`` columns,
+        so streaming states never pay the O(n^2) materialization.
+        """
+        if self._a_null is None:
+            batch, n = self.mask.shape
+            eye = np.zeros((batch, n, n))
+            idx = np.arange(n)
+            eye[:, idx, idx] = self.mask
+            a_null = Tensor(eye) - self.zt_pinv @ self.z.transpose()
+            a_null.name = "dhs_a_null"
+            self._a_null = a_null
+        return self._a_null
+
+    # ------------------------------------------------------------------
+    def extend(self, z_new: Tensor | np.ndarray,
+               mask_new: np.ndarray | None = None) -> "ContextState":
+        """Incorporate one new observation row per batch element.
+
+        Rank-1 (Sherman-Morrison) update of the Gram inverse, ``(Z^T)^+``
+        and the cached Eq. 32 terms in O(n d) numpy on detached values -
+        the streaming bind is an inference-time operation, so the returned
+        tensors are constants (no tape).  When the accumulated drift
+        ``max |G G^{-1} - I|`` exceeds ``drift_threshold`` the update
+        falls back to an exact :meth:`rebuild` over all rows.
+
+        Parameters
+        ----------
+        z_new:
+            New latent row(s), shape (B, d) or (B, 1, d).
+        mask_new:
+            Optional (B,) validity of the new row (default: all valid).
+            Masked rows are zeroed and leave the state unchanged except
+            for the extra (inert) position.
+        """
+        zn = z_new.data if isinstance(z_new, Tensor) else z_new
+        zn = np.asarray(zn, dtype=np.float64).reshape(self.z.shape[0], self.d)
+        if mask_new is None:
+            m_new = np.ones(zn.shape[0], dtype=np.float64)
+        else:
+            m_new = np.asarray(mask_new, dtype=np.float64).reshape(-1)
+        zn = zn * m_new[:, None]
+        z_all = np.concatenate([self.z.data, zn[:, None, :]], axis=1)
+        mask_all = np.concatenate([self.mask, m_new[:, None]], axis=1)
+
+        u = zn[:, :, None]                                   # (B, d, 1)
+        v = self._gram_inv @ u                               # (B, d, 1)
+        c = 1.0 / (1.0 + np.sum(u * v, axis=1, keepdims=True))
+        gram_inv = self._gram_inv - c * (v @ np.swapaxes(v, 1, 2))
+        gram = self._gram + u @ np.swapaxes(u, 1, 2)
+
+        drift = float(np.max(np.abs(
+            gram @ gram_inv - np.eye(self.d)[None, :, :])))
+        reg = get_registry()
+        if drift > self.drift_threshold:
+            state = self._rebuilt_from(z_all, mask_all, drift)
+            if reg.enabled:
+                reg.inc("streaming.rebuilds")
+            return state
+
+        w = self.zt_pinv.data @ u                            # (B, n, 1)
+        pinv_top = self.zt_pinv.data - (c * w) @ np.swapaxes(v, 1, 2)
+        new_row = np.swapaxes(gram_inv @ u, 1, 2)            # (B, 1, d)
+        zt_pinv = np.concatenate([pinv_top, new_row], axis=1)
+        s_m = self._s_m + u
+        m_col = mask_all[..., None]
+        a_ones = m_col - zt_pinv @ s_m
+        denom = (np.swapaxes(m_col, 1, 2) @ a_ones)[:, 0, :] + _EPS
+        if reg.enabled:
+            reg.inc("streaming.extends")
+        return ContextState(
+            z=Tensor(z_all), mask=mask_all, zt_pinv=Tensor(zt_pinv),
+            a_ones=Tensor(a_ones), denom=Tensor(denom), gram=gram,
+            gram_inv=gram_inv, s_m=s_m, ridge=self.ridge,
+            drift_threshold=self.drift_threshold,
+            generation=self.generation + 1, extends=self.extends + 1,
+            rebuilds=self.rebuilds, last_drift=drift)
+
+    def _rebuilt_from(self, z_all: np.ndarray, mask_all: np.ndarray,
+                      drift: float) -> "ContextState":
+        fields = _exact_state_fields(Tensor(z_all), mask_all, self.ridge)
+        return ContextState(
+            ridge=self.ridge, drift_threshold=self.drift_threshold,
+            generation=self.generation + 1, extends=self.extends + 1,
+            rebuilds=self.rebuilds + 1, last_drift=drift, **fields)
+
+    def rebuild(self) -> "ContextState":
+        """Exact recompute over the accumulated rows.
+
+        Returns a state bitwise identical (tensor data) to a fresh
+        :class:`DHSContext` built over the same ``z`` and mask; resets the
+        incremental drift to zero.  Counts as a new generation.
+        """
+        fields = _exact_state_fields(Tensor(self.z.data), self.mask,
+                                     self.ridge)
+        reg = get_registry()
+        if reg.enabled:
+            reg.inc("streaming.rebuilds")
+        return ContextState(
+            ridge=self.ridge, drift_threshold=self.drift_threshold,
+            generation=self.generation + 1, extends=self.extends,
+            rebuilds=self.rebuilds + 1, last_drift=0.0, **fields)
+
+    # ------------------------------------------------------------------
+    def take(self, indices: np.ndarray) -> "ContextState":
+        """Batch-row slice (differentiable): the context for a sub-batch.
+
+        Used by union-grid bucketing to bind one per-bucket context
+        without recomputing any inverse; gradients still flow to the full
+        ``z`` through the gather.
+        """
+        idx = np.asarray(indices, dtype=np.int64).reshape(-1)
+        return ContextState(
+            z=self.z[idx], mask=self.mask[idx],
+            zt_pinv=self.zt_pinv[idx], a_ones=self._a_ones[idx],
+            denom=self._denom[idx], gram=self._gram[idx],
+            gram_inv=self._gram_inv[idx], s_m=self._s_m[idx],
+            ridge=self.ridge,
+            a_null=None if self._a_null is None else self._a_null[idx],
+            drift_threshold=self.drift_threshold,
+            generation=self.generation, extends=self.extends,
+            rebuilds=self.rebuilds, last_drift=self.last_drift)
+
+    # ------------------------------------------------------------------
+    def least_norm_p(self, s: Tensor) -> Tensor:
+        """``b_p = ((Z^T)^+ S^T)^T`` - the minimum-norm solution, (B, n)."""
+        return (self.zt_pinv @ s[:, :, None])[:, :, 0]
+
+
+class DHSContext(ContextState):
     """Batch constants for integrating the DHS dynamics.
 
     Built once per forward pass from the encoder output ``Z``; consumed by
-    every evaluation of the ODE right-hand side.
+    every evaluation of the ODE right-hand side.  This is the exact,
+    differentiable construction path of :class:`ContextState` with the
+    null-space projector materialized eagerly (the historical contract:
+    ``ctx.a_null`` is a bind-time static external of RHS traces).
 
     Attributes
     ----------
@@ -88,52 +352,9 @@ class DHSContext:
 
     def __init__(self, z: Tensor, mask: np.ndarray | None = None,
                  ridge: float = 1e-6):
-        z = as_tensor(z)
-        batch, n, d = z.shape
-        if n <= d:
-            raise ValueError(
-                f"DHS requires more observations than latent dims (n > d); "
-                f"got n={n}, d={d}")
-        if mask is None:
-            mask = np.ones((batch, n))
-        self.mask = np.asarray(mask, dtype=np.float64)
-        # Zero out padded rows so they do not contribute to the Gram matrix.
-        z = z * Tensor(self.mask[..., None])
-        self.z = z
-        self.d = d
-        self.n = n
-        self.zt_pinv = pinv_full_row_rank(z, ridge=ridge)
-        eye = np.zeros((batch, n, n))
-        idx = np.arange(n)
-        eye[:, idx, idx] = self.mask
-        self.a_null = Tensor(eye) - self.zt_pinv @ z.transpose()
-        # Cached pieces of the Eq. 32 closed form.
-        m_col = Tensor(self.mask[..., None])          # (B, n, 1)
-        self._a_ones = self.a_null @ m_col            # A_p J      (B, n, 1)
-        denom = (m_col.transpose() @ self._a_ones)    # J A_p J    (B, 1, 1)
-        self._denom = denom[:, 0, :] + _EPS           # (B, 1)
-        # Reusable mask tensor for the solvers / recovery below: one shared
-        # handle instead of a fresh ``Tensor(ctx.mask)`` per RHS call.
-        self.mask_t = Tensor(self.mask, name="dhs_mask")
-        # Name the context constants: ODE right-hand-side traces capture
-        # them as externals, and the names make CompiledGraph.dump()
-        # listings readable (ext0:dhs_zt_pinv rather than a bare ext0).
-        self.z.name = "dhs_z"
-        self.zt_pinv.name = "dhs_zt_pinv"
-        self.a_null.name = "dhs_a_null"
-        self._a_ones.name = "dhs_a_ones"
-        self._denom.name = "dhs_denom"
-        # Contexts are bind-time constants: DHSDynamics.bind bumps the
-        # graph epoch when new ones are installed, so the trace optimizer
-        # may hoist any op that consumes only these tensors.
-        for t in (self.z, self.zt_pinv, self.a_null, self._a_ones,
-                  self._denom, self.mask_t):
-            mark_static(t)
-
-    # ------------------------------------------------------------------
-    def least_norm_p(self, s: Tensor) -> Tensor:
-        """``b_p = ((Z^T)^+ S^T)^T`` - the minimum-norm solution, (B, n)."""
-        return (self.zt_pinv @ s[:, :, None])[:, :, 0]
+        fields = _exact_state_fields(z, mask, ridge)
+        ContextState.__init__(self, ridge=ridge, **fields)
+        mark_static(self.a_null)  # eager materialization (property caches)
 
 
 def solve_p_min_norm(ctx: DHSContext, s: Tensor, **_unused) -> Tensor:

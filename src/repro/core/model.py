@@ -21,9 +21,10 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..autodiff import Tensor, concat
+from ..autodiff import Tensor, concat, stack
 from ..nn import GRU, Linear, MLP, Module
 from ..odeint import ADAPTIVE_METHODS, SolverOptions, solve
+from ..telemetry import get_registry
 from .config import DiffODEConfig
 from .dhs import DHSContext, dhs_attention
 from .dynamics import AugmentedDynamics, DHSDynamics, PlainLatentDynamics
@@ -42,15 +43,25 @@ def interpolate_grid_states(states: Tensor, grid: np.ndarray,
     grid:
         (L,) strictly increasing grid times.
     query_times:
-        (B, nq) times to evaluate at (clipped into the grid range).
+        (B, nq) times to evaluate at.  Times outside ``[grid[0],
+        grid[-1]]`` are clipped onto the boundary - the model answers
+        out-of-range queries with the nearest endpoint state rather than
+        extrapolating.  Each clipped query increments the
+        ``model.query_clipped`` telemetry counter, so silent truncation
+        of target times is observable (see ``docs/telemetry.md``).
 
     Returns
     -------
     Tensor (B, nq, D).
     """
     grid = np.asarray(grid, dtype=np.float64)
-    q = np.clip(np.asarray(query_times, dtype=np.float64),
-                grid[0], grid[-1])
+    raw = np.asarray(query_times, dtype=np.float64)
+    q = np.clip(raw, grid[0], grid[-1])
+    clipped = int(np.count_nonzero(q != raw))
+    if clipped:
+        reg = get_registry()
+        if reg.enabled:
+            reg.inc("model.query_clipped", clipped)
     # Position of each query on the grid.
     idx_hi = np.searchsorted(grid, q, side="left")
     idx_hi = np.clip(idx_hi, 1, len(grid) - 1)
@@ -115,6 +126,12 @@ class DiffODE(Module):
 
         #: :class:`~repro.odeint.SolverStats` of the most recent ODE solve.
         self.last_solver_stats = None
+        #: route the regression forward through union-grid batched solves
+        #: (:func:`repro.parallel.union_solve`) instead of the uniform
+        #: readout grid.  Set by the Trainer when ``union_batching`` is on;
+        #: only takes effect for adaptive solvers without the continuous
+        #: adjoint (the union path backpropagates through the solver).
+        self.union_forward = False
 
     def describe(self) -> dict:
         out = super().describe()
@@ -231,14 +248,105 @@ class DiffODE(Module):
         return self.head(concat([s_mean, final], axis=-1))
 
     def forward_regression(self, values: np.ndarray, times: np.ndarray,
-                           mask: np.ndarray,
-                           query_times: np.ndarray) -> Tensor:
-        """Predictions (B, nq, out_dim) at per-sequence ``query_times``."""
+                           mask: np.ndarray, query_times: np.ndarray,
+                           query_mask: np.ndarray | None = None) -> Tensor:
+        """Predictions (B, nq, out_dim) at per-sequence ``query_times``.
+
+        ``query_mask`` (B, nq) marks which query columns are real (padding
+        otherwise); it is only consulted by the union-grid forward, where
+        padded queries would otherwise lengthen the per-sample solve grids.
+        The default grid-interpolation path evaluates every column - the
+        loss masks padding itself.
+        """
         if self.config.out_dim is None:
             raise RuntimeError("model was not configured for regression")
+        if (self.union_forward and not self.config.adjoint
+                and self.config.method in ADAPTIVE_METHODS):
+            return self._union_forward_regression(values, times, mask,
+                                                  query_times, query_mask)
         states, grid = self.integrate(values, times, mask)
         at_queries = interpolate_grid_states(states, grid, query_times)
         return self.head(at_queries)
+
+    def _union_forward_regression(self, values: np.ndarray,
+                                  times: np.ndarray, mask: np.ndarray,
+                                  query_times: np.ndarray,
+                                  query_mask: np.ndarray | None) -> Tensor:
+        """Regression forward via union-grid buckets (one solve per bucket).
+
+        Instead of integrating every sample over the uniform readout grid
+        and interpolating, the batch is bucketed by query-span overlap and
+        each bucket is integrated once directly to its members' query
+        times (:func:`repro.parallel.union_solve`); per-head contexts are
+        sliced to each bucket with :meth:`ContextState.take`, so gradients
+        still reach the encoder.  Padded query columns come back as zeros
+        - the masked loss ignores them.
+        """
+        from ..parallel import union_solve
+
+        z = self.encode(values, times, mask)
+        contexts = (self.build_contexts(z, mask)
+                    if self.config.use_attention else [])
+        state0 = self.initial_state(z, contexts)
+
+        def func_for(idx: np.ndarray):
+            self.latent_dynamics.bind([ctx.take(idx) for ctx in contexts])
+            return self.dynamics
+
+        q = np.asarray(query_times, dtype=np.float64)
+        keep = None
+        if query_mask is not None:
+            qm = np.asarray(query_mask)
+            # (B, nq, F_out) per-feature masks: a query is real if any
+            # feature is observed there; (B, nq) masks pass through.
+            keep = qm.any(axis=-1) if qm.ndim == 3 else qm > 0
+        grids = []
+        for i in range(q.shape[0]):
+            grids.append(q[i] if keep is None else q[i][keep[i]])
+        per_sample, stats = union_solve(
+            func_for, state0, grids, t0=0.0,
+            rtol=self.config.rtol, atol=self.config.atol)
+        self.last_solver_stats = stats
+
+        nq = q.shape[1]
+        out_dim = self.config.out_dim
+        zero_row = Tensor(np.zeros((1, out_dim)))
+        outs = []
+        for i, states_i in enumerate(per_sample):
+            kept_idx = (np.flatnonzero(keep[i]) if keep is not None
+                        else np.arange(nq))
+            n_kept = len(kept_idx)
+            if n_kept:
+                pred = self.head(states_i)           # (n_kept, out_dim)
+                pred_ext = concat([pred, zero_row], axis=0)
+            else:
+                pred_ext = zero_row
+            # Scatter predictions back to their query columns; masked-out
+            # columns gather the trailing zero row.
+            rows = np.full(nq, n_kept, dtype=np.int64)
+            rows[kept_idx] = np.arange(n_kept)
+            outs.append(pred_ext[rows])
+        return stack(outs, axis=0)
+
+    # ------------------------------------------------------------------
+    # streaming / online inference
+    # ------------------------------------------------------------------
+    def open_stream(self, *, incremental: bool = True,
+                    drift_threshold: float | None = None):
+        """Open a :class:`~repro.core.streaming.StreamSession`.
+
+        The session consumes one observation at a time (see
+        :func:`repro.data.iter_stream`) and serves prequential
+        predictions; with ``incremental=True`` (the default) each step is
+        a rank-1 context extend plus a resumed solve rather than a full
+        forward pass.  ``incremental=False`` gives the exact
+        full-recompute reference.  Sessions do not touch each other or
+        training state beyond the shared dynamics bind, so open a fresh
+        session per series.
+        """
+        from .streaming import StreamSession
+        return StreamSession(self, incremental=incremental,
+                             drift_threshold=drift_threshold)
 
     # unified entry point used by the task harness
     def forward(self, batch) -> Tensor:
@@ -246,4 +354,5 @@ class DiffODE(Module):
             return self.forward_classification(batch.values, batch.times,
                                                batch.mask)
         return self.forward_regression(batch.values, batch.times, batch.mask,
-                                       batch.target_times)
+                                       batch.target_times,
+                                       query_mask=batch.target_mask)

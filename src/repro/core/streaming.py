@@ -1,0 +1,284 @@
+"""Incremental (streaming) forward pass of DIFFODE.
+
+:class:`StreamSession` is the online counterpart of
+:meth:`~repro.core.DiffODE.integrate`: observations arrive one at a time
+and each :meth:`~StreamSession.step` (1) *predicts* at the arriving
+timestamp from the state built on the observations seen so far - the
+prequential protocol - and then (2) *ingests* the observation:
+
+* the GRU encoder advances its carried hidden state by one cell step
+  (no re-encoding of the prefix);
+* each attention head's :class:`~repro.core.dhs.ContextState` is extended
+  by the new latent row - a rank-1 update with a drift-triggered exact
+  rebuild - and re-bound (one graph-epoch bump per observation);
+* the ODE state advances by resuming the solver from its last frontier
+  (:mod:`repro.odeint.resume`) instead of re-integrating from ``t=0``.
+
+Per-observation work is therefore O(n d) in the number of observations
+seen so far, versus the O(n^2 d) context rebuild + O(n) re-integration of
+the offline path - the difference ``repro.benchmarks streaming``
+measures.
+
+``incremental=False`` runs the same prequential loop with exact context
+rebuilds and fresh (non-resumed) solves each step: this is the
+full-recompute reference the incremental path is validated against (one
+exact session run to observation ``k`` costs what a stateless
+recompute-per-arrival server pays for observation ``k`` alone).
+
+Sessions run under ``no_grad`` - streaming is an inference path; training
+still uses the offline differentiable pipeline.
+"""
+
+from __future__ import annotations
+
+import time as _time
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..autodiff import Tensor, concat, no_grad
+from ..odeint import SolverOptions, solve
+from ..telemetry import get_registry
+from .dhs import ContextState
+
+__all__ = ["StreamPrediction", "StreamSession"]
+
+_EPS_T = 1e-12
+
+
+@dataclass
+class StreamPrediction:
+    """What one prequential step produced (before ingesting its input).
+
+    ``y_hat``/``logits`` are ``None`` while the session is warming up
+    (the DHS needs more observations than latent dims per head before the
+    first context can be built).
+    """
+
+    time: float
+    y_hat: np.ndarray | None = None      # (out_dim,) regression prediction
+    logits: np.ndarray | None = None     # (C,) classification logits
+    warmup: bool = False
+    #: observations ingested so far (excluding this step's)
+    n_obs: int = 0
+    #: RHS evaluations this step's solve(s) cost
+    nfev: int = 0
+    #: wall-clock seconds this step took (predict + ingest)
+    latency: float = 0.0
+
+
+class StreamSession:
+    """One series' incremental forward pass (see module docstring).
+
+    Create via :meth:`repro.core.DiffODE.open_stream`.  A session installs
+    its contexts on the model's dynamics at each ingest, so only one
+    session may be *interleaved* per model instance at a time — stream
+    series sequentially (or use separate model copies) rather than
+    alternating ``step`` calls between sessions of one model.
+    """
+
+    def __init__(self, model, *, incremental: bool = True,
+                 drift_threshold: float | None = None):
+        self.model = model
+        self.incremental = bool(incremental)
+        self.drift_threshold = drift_threshold
+        cfg = model.config
+        self.cfg = cfg
+        self.task = ("classification" if cfg.num_classes is not None
+                     else "regression")
+        heads = cfg.num_heads if cfg.use_attention else 0
+        self._head_dim = cfg.latent_dim // heads if heads else 0
+        #: observations needed before the first context (n > d per head)
+        self.min_context = (self._head_dim + 1 if cfg.use_attention else 1)
+        self._grid = model.grid()
+        # --- encoder carry ---
+        self._enc_h: Tensor | None = None
+        self._last_time: float | None = None
+        self._z_rows: list[np.ndarray] = []     # (1, latent_dim) each
+        self._times: list[float] = []
+        # --- ODE state ---
+        self._contexts: list[ContextState] | None = None
+        self._y: Tensor | None = None           # state at the frontier
+        self._t: float = 0.0                    # frontier time
+        self._resume = None
+        self._grid_idx = 0                      # next un-pooled grid point
+        self._s_sum: np.ndarray | None = None   # pooled latent (class. head)
+        self._s_count = 0
+        self.n_obs = 0
+        #: cumulative RHS evaluations across the session
+        self.total_nfev = 0
+
+    # ------------------------------------------------------------------
+    # encoding carry
+    # ------------------------------------------------------------------
+    def _encode_row(self, obs) -> np.ndarray:
+        """One encoder step; returns the new latent row (1, latent_dim)."""
+        model = self.model
+        t = float(obs.time)
+        x = np.asarray(obs.inputs, dtype=np.float64).reshape(1, -1)
+        if self.cfg.encoder == "gru":
+            dt = 0.0 if self._last_time is None else t - self._last_time
+            feats = np.concatenate([x, [[dt]], [[t]]], axis=-1)
+            if self._enc_h is None:
+                self._enc_h = model.encoder.cell.initial_state(1)
+            self._enc_h = model.encoder.cell(Tensor(feats), self._enc_h)
+            z = model.enc_proj(self._enc_h)
+        else:  # pointwise MLP encoder sees (x_t, t)
+            feats = np.concatenate([x, [[t]]], axis=-1)
+            z = model.encoder(Tensor(feats))
+        self._last_time = t
+        return np.asarray(z.data, dtype=np.float64).reshape(1, -1)
+
+    # ------------------------------------------------------------------
+    # context maintenance
+    # ------------------------------------------------------------------
+    def _z_tensor(self) -> Tensor:
+        return Tensor(np.stack(self._z_rows, axis=1))   # (1, n, d)
+
+    def _build_contexts(self) -> list[ContextState]:
+        z = self._z_tensor()
+        heads = self.cfg.num_heads
+        hd = self._head_dim
+        kwargs = {}
+        if self.drift_threshold is not None:
+            kwargs["drift_threshold"] = self.drift_threshold
+        return [ContextState.build(z[:, :, i * hd:(i + 1) * hd],
+                                   ridge=self.cfg.ridge, **kwargs)
+                for i in range(heads)]
+
+    def _init_state(self) -> None:
+        """First bind: exact contexts over the warmup prefix, S0 at t=0."""
+        model = self.model
+        contexts: list[ContextState] = []
+        if self.cfg.use_attention:
+            if len(self._z_rows) > self.cfg.max_len:
+                raise RuntimeError(
+                    f"stream exceeded max_len={self.cfg.max_len} "
+                    "observations; configure DiffODEConfig.max_len for "
+                    "the horizon")
+            contexts = self._build_contexts()
+        model.latent_dynamics.bind(contexts)
+        self._contexts = contexts
+        z = self._z_tensor()
+        self._y = model.initial_state(z, contexts)
+        self._t = 0.0
+        self._resume = None
+        self._grid_idx = 1                      # grid[0] == 0.0 pooled now
+        d = self.cfg.latent_dim
+        self._s_sum = np.array(self._y.data[:, :d], copy=True)
+        self._s_count = 1
+
+    def _extend_contexts(self, z_row: np.ndarray) -> None:
+        model = self.model
+        if not self.cfg.use_attention:
+            return
+        if self.n_obs > self.cfg.max_len:
+            raise RuntimeError(
+                f"stream exceeded max_len={self.cfg.max_len} "
+                "observations; configure DiffODEConfig.max_len for "
+                "the horizon")
+        hd = self._head_dim
+        if self.incremental:
+            self._contexts = [
+                ctx.extend(z_row[:, i * hd:(i + 1) * hd])
+                for i, ctx in enumerate(self._contexts)]
+        else:
+            self._contexts = self._build_contexts()
+        # Re-bind: bumps the graph epoch, so compiled RHS traces from the
+        # previous bind generation can never replay against new contexts.
+        model.latent_dynamics.bind(self._contexts)
+        if self._resume is not None:
+            # The dynamics changed: continue from the just-predicted
+            # frontier, dropping RHS caches (FSAL stage, Adams history).
+            self._resume = self._resume.rebased(self._t, self._y)
+
+    # ------------------------------------------------------------------
+    # solver advance
+    # ------------------------------------------------------------------
+    def _solver_options(self) -> SolverOptions:
+        cfg = self.cfg
+        if cfg.method == "dopri5":
+            return SolverOptions(rtol=cfg.rtol, atol=cfg.atol,
+                                 resumable=self.incremental)
+        return SolverOptions(step_size=cfg.step_size,
+                             resumable=self.incremental)
+
+    def _advance(self, tau: float) -> int:
+        """Integrate the frontier forward to ``tau``; returns nfev."""
+        if tau <= self._t + _EPS_T:
+            return 0
+        ts: list[float] = [self._t]
+        flags: list[bool] = []                  # True = uniform grid point
+        grid = self._grid
+        while (self._grid_idx < len(grid)
+               and grid[self._grid_idx] <= tau + _EPS_T):
+            g = float(grid[self._grid_idx])
+            if g > self._t + _EPS_T:
+                ts.append(g)
+                flags.append(True)
+            self._grid_idx += 1
+        if tau - ts[-1] > _EPS_T:
+            ts.append(float(tau))
+            flags.append(False)
+        sol = solve(self.model.dynamics, self._y, np.asarray(ts),
+                    method=self.cfg.method, options=self._solver_options(),
+                    resume_from=self._resume if self.incremental else None)
+        d = self.cfg.latent_dim
+        for j, on_grid in enumerate(flags):
+            if on_grid:
+                self._s_sum += sol.ys.data[j + 1][:, :d]
+                self._s_count += 1
+        self._y = sol.ys[len(ts) - 1]
+        self._t = float(ts[-1])
+        if self.incremental:
+            self._resume = sol.resume_state
+        self.model.last_solver_stats = sol.stats
+        return sol.stats.nfev
+
+    # ------------------------------------------------------------------
+    def _predict(self, tau: float) -> StreamPrediction:
+        pred = StreamPrediction(time=float(tau), n_obs=self.n_obs)
+        if self._y is None:
+            pred.warmup = True
+            return pred
+        pred.nfev = self._advance(float(tau))
+        if self.task == "regression":
+            out = self.model.head(self._y)
+            pred.y_hat = np.asarray(out.data).reshape(-1)
+        else:
+            s_mean = Tensor(self._s_sum / float(self._s_count))
+            out = self.model.head(concat([s_mean, self._y], axis=-1))
+            pred.logits = np.asarray(out.data).reshape(-1)
+        return pred
+
+    def step(self, obs) -> StreamPrediction:
+        """Predict at ``obs.time``, then ingest ``obs``; prequential."""
+        start = _time.perf_counter()
+        with no_grad():
+            pred = self._predict(obs.time)
+            z_row = self._encode_row(obs)
+            self._z_rows.append(z_row)
+            self._times.append(float(obs.time))
+            self.n_obs += 1
+            if self._contexts is None:
+                if self.n_obs >= self.min_context:
+                    self._init_state()
+            else:
+                self._extend_contexts(z_row)
+        pred.latency = _time.perf_counter() - start
+        self.total_nfev += pred.nfev
+        reg = get_registry()
+        if reg.enabled:
+            reg.inc("streaming.observations")
+            reg.observe("streaming.step_seconds", pred.latency)
+        return pred
+
+    # ------------------------------------------------------------------
+    @property
+    def context_stats(self) -> dict:
+        """Extend/rebuild counters of the current bind generation."""
+        if not self._contexts:
+            return {"extends": 0, "rebuilds": 0, "generation": 0}
+        ctx = self._contexts[0]
+        return {"extends": ctx.extends, "rebuilds": ctx.rebuilds,
+                "generation": ctx.generation}

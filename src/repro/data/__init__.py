@@ -30,6 +30,12 @@ from .sampling import (
     random_feature_dropout,
 )
 from .synthetic import load_synthetic
+from .streaming import (
+    StreamObservation,
+    iter_stream,
+    load_synthetic_drifting,
+    stream_dataset,
+)
 from .lorenz import load_lorenz, simulate_lorenz63, simulate_lorenz96
 from .ushcn import USHCN_VARIABLES, generate_station, load_ushcn
 from .physionet import NUM_CHANNELS, generate_patient, load_physionet
@@ -56,6 +62,10 @@ __all__ = [
     "make_interpolation_sample",
     "make_extrapolation_sample",
     "load_synthetic",
+    "StreamObservation",
+    "iter_stream",
+    "stream_dataset",
+    "load_synthetic_drifting",
     "load_lorenz",
     "simulate_lorenz63",
     "simulate_lorenz96",

@@ -21,6 +21,7 @@ from .fig4_scalability import FIG4_FRACTIONS, FIG4_MODELS, run_fig4
 from .fig5_ablation import ABLATION_VARIANTS, run_fig5
 from .fig6_heads import run_fig6
 from .ablation_kkt import run_kkt_ablation
+from .long_horizon import LONG_HORIZON_OBS, run_long_horizon
 from .report import generate_report
 
 #: experiment id -> callable returning TableResult (or a list of them)
@@ -35,6 +36,7 @@ EXPERIMENTS = {
     "fig5": run_fig5,
     "fig6": run_fig6,
     "kkt": run_kkt_ablation,
+    "long_horizon": run_long_horizon,
 }
 
 __all__ = [
@@ -70,5 +72,7 @@ __all__ = [
     "FIG4_FRACTIONS",
     "EXPERIMENTS",
     "run_kkt_ablation",
+    "run_long_horizon",
+    "LONG_HORIZON_OBS",
     "generate_report",
 ]

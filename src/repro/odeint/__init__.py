@@ -10,6 +10,7 @@ from .dopri5 import DenseOutput, PIController, dopri5_dense_solve, \
 from .fixed import FIXED_STEPPERS, STEP_NFEV, euler_step, midpoint_step, \
     rk4_step
 from .options import SolverOptions, validate_times
+from .resume import ResumeState
 from .stats import SolverStats
 
 __all__ = [
@@ -17,6 +18,7 @@ __all__ = [
     "Solution",
     "odeint",
     "SolverOptions",
+    "ResumeState",
     "validate_times",
     "odeint_adjoint",
     "adjoint_solve",

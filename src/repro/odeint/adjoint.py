@@ -178,7 +178,7 @@ def _adjoint_dopri5(func: Module, y0: Tensor, times: np.ndarray,
 
     segments: list = []
     with no_grad():
-        outputs, stats = _dopri5_core(
+        outputs, stats, _ = _dopri5_core(
             rhs, Tensor(np.array(y0.data, copy=True)), times,
             opts.rtol, opts.atol, opts.first_step, opts.max_steps,
             segments=segments)
@@ -223,7 +223,7 @@ def _adjoint_dopri5(func: Module, y0: Tensor, times: np.ndarray,
             if resolve:
                 local: list = []
                 with no_grad():
-                    _, local_stats = _dopri5_core(
+                    _, local_stats, _ = _dopri5_core(
                         rhs, Tensor(np.array(solution[idx - 1], copy=True)),
                         np.array([t0, t1]), opts.rtol, opts.atol,
                         None, opts.max_steps, segments=local)

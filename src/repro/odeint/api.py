@@ -28,9 +28,10 @@ from ..autodiff import Tensor, maybe_compile, stack
 from ..telemetry import get_registry
 from .adams import AdamsBashforthMoulton
 from .adjoint import adjoint_solve
-from .dopri5 import DenseOutput, dopri5_solve
+from .dopri5 import DenseOutput, _dopri5_core
 from .fixed import FIXED_STEPPERS, STEP_NFEV
 from .options import SolverOptions, validate_times
+from .resume import ResumeState
 from .stats import CountingFunc, SolverStats
 
 __all__ = ["Solution", "solve", "METHODS", "ADAPTIVE_METHODS"]
@@ -59,21 +60,49 @@ class Solution:
         span, present when the solve was run with
         ``SolverOptions(dense=True)`` on an adaptive method; ``None``
         otherwise.
+    resume_state:
+        Continuation point for ``solve(..., resume_from=...)``, present
+        when the solve ran with ``SolverOptions(resumable=True)`` or was
+        itself resumed; ``None`` otherwise.
     """
 
     ys: Tensor
     stats: SolverStats
     times: np.ndarray
     dense: DenseOutput | None = None
+    resume_state: ResumeState | None = None
 
 
-def _fixed_grid_solve(func: OdeFunc, y0: Tensor, times: np.ndarray,
-                      method: str, opts: SolverOptions
-                      ) -> tuple[Tensor, SolverStats]:
-    """Fixed-step and multistep integration over an explicit grid."""
+def _fixed_grid_solve(func: OdeFunc, y0: Tensor | None, times: np.ndarray,
+                      method: str, opts: SolverOptions,
+                      resume: ResumeState | None = None,
+                      resumable: bool = False
+                      ) -> tuple[Tensor, SolverStats, ResumeState | None]:
+    """Fixed-step and multistep integration over an explicit grid.
+
+    With ``resume`` set, integration continues from the carried state:
+    ``times[0]`` must coincide with the resume frontier (fixed-grid
+    methods have no interpolant to answer earlier times) and ``y0`` is
+    ignored in favour of the carried state.  For ``implicit_adams`` the
+    carried f-history window seeds the multistep scheme — it is reused
+    only while the grid spacing stays the one it was built on (the
+    uniform-grid reset below drops it otherwise), which makes a resumed
+    solve bitwise-identical to the unsplit one on the same grid.
+    """
     stats = SolverStats(method=method)
-    outputs: list[Tensor] = [y0]
-    y = y0
+    last_dt = None
+    if resume is not None:
+        t_start = float(times[0])
+        eps_t = 1e-12 * max(1.0, abs(t_start))
+        if abs(t_start - float(resume.t)) > eps_t:
+            raise ValueError(
+                f"{method} resume must continue at the frontier "
+                f"t={float(resume.t)}; the output grid starts at {t_start}")
+        y = resume.y
+        last_dt = resume.dt
+    else:
+        y = y0
+    outputs: list[Tensor] = [y]
     h_max = opts.step_size
     # The fixed-step and multistep paths evaluate the same RHS expression
     # at every sub-step; under the replay executor one trace serves them
@@ -85,7 +114,8 @@ def _fixed_grid_solve(func: OdeFunc, y0: Tensor, times: np.ndarray,
         counted = CountingFunc(func, stats)
         solver = AdamsBashforthMoulton(counted,
                                        corrector_iters=opts.corrector_iters)
-        last_dt = None
+        if resume is not None and resume.history:
+            solver._history = list(resume.history)
         for t0, t1 in zip(times[:-1], times[1:]):
             span = float(t1 - t0)
             n_sub = max(1, math.ceil(abs(span) / h_max)) if h_max else 1
@@ -100,13 +130,18 @@ def _fixed_grid_solve(func: OdeFunc, y0: Tensor, times: np.ndarray,
                 tau += dt
             stats.steps += n_sub
             outputs.append(y)
-        return stack(outputs, axis=0), stats
+        state = None
+        if resumable:
+            state = ResumeState(method=method, t=float(times[-1]), y=y,
+                                dt=last_dt, history=list(solver._history))
+        return stack(outputs, axis=0), stats, state
 
     stepper = FIXED_STEPPERS[method]
     for t0, t1 in zip(times[:-1], times[1:]):
         span = float(t1 - t0)
         n_sub = max(1, math.ceil(abs(span) / h_max)) if h_max else 1
         dt = span / n_sub
+        last_dt = dt
         tau = float(t0)
         for _ in range(n_sub):
             y = stepper(func, tau, dt, y)
@@ -114,12 +149,17 @@ def _fixed_grid_solve(func: OdeFunc, y0: Tensor, times: np.ndarray,
         stats.steps += n_sub
         outputs.append(y)
     stats.nfev = stats.steps * STEP_NFEV[method]
-    return stack(outputs, axis=0), stats
+    state = None
+    if resumable:
+        state = ResumeState(method=method, t=float(times[-1]), y=y,
+                            dt=last_dt)
+    return stack(outputs, axis=0), stats, state
 
 
-def solve(func: OdeFunc, y0: Tensor, t: Sequence[float],
+def solve(func: OdeFunc, y0: Tensor | None, t: Sequence[float],
           method: str = "dopri5",
-          options: SolverOptions | None = None) -> Solution:
+          options: SolverOptions | None = None,
+          resume_from: ResumeState | None = None) -> Solution:
     """Integrate ``dy/dt = func(t, y)`` and return a :class:`Solution`.
 
     The one entry point for every solver in the package:
@@ -139,6 +179,15 @@ def solve(func: OdeFunc, y0: Tensor, t: Sequence[float],
     ``t`` must be strictly monotonic (either direction); ``y0`` is the
     state at ``t[0]``.  Solver stats publish to the telemetry registry
     exactly once per call.
+
+    ``resume_from`` continues a previous resumable solve from its
+    ``Solution.resume_state``: ``y0`` may then be ``None`` (the carried
+    state is the initial condition) and the method must match the state's.
+    A resumed solve is itself resumable, so a stream of observations costs
+    one warm continuation per arrival instead of re-integrating from
+    ``t[0]``; on an identical output grid the concatenated results are
+    bitwise-equal to the unsplit resumable solve (see
+    :mod:`repro.odeint.resume` for the exact contract).
     """
     times = validate_times(t)
     if method not in METHODS:
@@ -149,19 +198,44 @@ def solve(func: OdeFunc, y0: Tensor, t: Sequence[float],
             f"solve: options must be a SolverOptions, "
             f"got {type(opts).__name__}")
     opts.validate_for(method)
+    if resume_from is not None:
+        if resume_from.method != method:
+            raise ValueError(
+                f"resume_from carries {resume_from.method!r} state; "
+                f"cannot resume with method {method!r}")
+        if opts.adjoint:
+            raise ValueError("resume_from cannot be combined with the "
+                             "continuous adjoint")
+    elif y0 is None:
+        raise ValueError("solve: y0 may only be None with resume_from")
+    resumable = opts.resumable or resume_from is not None
 
     dense = None
+    state = None
     if opts.adjoint:
         ys, stats, dense = adjoint_solve(func, y0, times, method, opts)
     elif method == "dopri5":
         segments: list | None = [] if opts.dense else None
-        ys, stats = dopri5_solve(func, y0, times, rtol=opts.rtol,
-                                 atol=opts.atol, first_step=opts.first_step,
-                                 max_steps=opts.max_steps, segments=segments)
+        outputs, stats, state = _dopri5_core(
+            func, y0, times, opts.rtol, opts.atol, opts.first_step,
+            opts.max_steps, segments=segments, resume=resume_from,
+            resumable=resumable)
+        ys = stack(outputs, axis=0)
         if segments:
-            dense = DenseOutput(segments, float(times[0]), y0)
+            dense = DenseOutput(segments, float(times[0]),
+                                y0 if y0 is not None else outputs[0])
+        reg = get_registry()
+        if resume_from is not None and reg.enabled:
+            reg.inc("streaming.resume_hits")
     else:
-        ys, stats = _fixed_grid_solve(func, y0, times, method, opts)
+        ys, stats, state = _fixed_grid_solve(func, y0, times, method, opts,
+                                             resume=resume_from,
+                                             resumable=resumable)
+        if resume_from is not None:
+            reg = get_registry()
+            if reg.enabled:
+                reg.inc("streaming.resume_hits")
 
     stats.publish(get_registry())
-    return Solution(ys=ys, stats=stats, times=times, dense=dense)
+    return Solution(ys=ys, stats=stats, times=times, dense=dense,
+                    resume_state=state)

@@ -41,6 +41,7 @@ import numpy as np
 
 from ..autodiff import Tensor, maybe_compile, no_grad, stack
 from .options import validate_times
+from .resume import ResumeState
 from .stats import SolverStats
 
 __all__ = ["DenseOutput", "dopri5_dense_solve", "dopri5_integrate",
@@ -238,55 +239,120 @@ class DenseOutput:
         return _dense_eval(y_old, k, h_i, theta)
 
 
-def _dopri5_core(func: OdeFunc, y0: Tensor, times: np.ndarray,
+def _dopri5_core(func: OdeFunc, y0: Tensor | None, times: np.ndarray,
                  rtol: float, atol: float,
                  first_step: float | None,
                  max_steps: int,
                  freeze_threshold: float = 1e-2,
                  freeze_patience: int = 3,
-                 segments: list | None = None
-                 ) -> tuple[list[Tensor], SolverStats]:
+                 segments: list | None = None,
+                 resume: ResumeState | None = None,
+                 resumable: bool = False
+                 ) -> tuple[list[Tensor], SolverStats, ResumeState | None]:
     """One continuous adaptive integration over all ``times``.
 
     When ``segments`` is a list, every accepted step appends
     ``(t, h, y_old, k)`` to it so the caller can build a
     :class:`DenseOutput` — opt-in because it pins O(steps) extra Tensors.
+
+    ``resumable=True`` switches to the continuation-friendly stepping
+    contract (see :mod:`repro.odeint.resume`): trial steps are *not*
+    clamped at ``times[-1]`` (outputs past the last accepted step come
+    from the dense interpolant), so splitting the output grid across
+    several calls - each fed the previous call's returned
+    :class:`ResumeState` via ``resume=`` - reproduces the unsplit solve
+    bitwise.  With ``resume`` set, ``times`` are *all* treated as output
+    requests: entries at/behind the resume frontier are answered from the
+    carried state or its last dense segment, the rest by integrating on.
+    The third return value is the continuation state (``None`` unless
+    resumable).
     """
     # Under the replay executor the RHS goes through the per-(model,
     # shard-shape) trace cache: it is traced on the first stage evaluation
     # and replayed on the ~6 evaluations of every subsequent trial step.
     func = maybe_compile(func)
+    resumable = resumable or resume is not None
     t0, t_end = float(times[0]), float(times[-1])
-    direction = 1.0 if t_end > t0 else -1.0
-    span = abs(t_end - t0)
     stats = SolverStats(method="dopri5")
+    outputs: list[Tensor] = []
 
-    n_samples = y0.shape[0] if y0.ndim >= 2 else 1
+    if resume is not None:
+        t = float(resume.t)
+        y = resume.y
+        f0 = resume.f
+        last_seg = resume.segment
+        direction = 1.0 if t_end > t else -1.0
+        span = abs(t_end - t)
+        controller = PIController(err_prev=resume.err_prev,
+                                  last_rejected=resume.last_rejected)
+        # Answer output times at/behind the frontier from the carried
+        # state: bitwise the same expressions the producing solve used.
+        next_idx = 0
+        while next_idx < len(times):
+            tq = float(times[next_idx])
+            eps_t = 1e-12 * max(1.0, abs(tq))
+            if abs(tq - t) <= eps_t:
+                outputs.append(y)
+            elif last_seg is not None:
+                t_s, h_s, y_s, k_s = last_seg
+                theta = (tq - t_s) / h_s
+                if not (-1e-9 <= theta <= 1.0 + 1e-9):
+                    break
+                outputs.append(_dense_eval(y_s, k_s, h_s, theta))
+                stats.dense_evals += 1
+            else:
+                break
+            next_idx += 1
+        if next_idx < len(times) and (float(times[next_idx]) - t) * direction <= 0:
+            raise ValueError(
+                f"resume state at t={t} cannot answer time "
+                f"{float(times[next_idx])}: behind the frontier and outside "
+                "the last accepted step")
+    else:
+        t = t0
+        y = y0
+        direction = 1.0 if t_end > t0 else -1.0
+        span = abs(t_end - t0)
+        controller = PIController()
+        last_seg = None
+        f0 = None
+        outputs.append(y0)
+        next_idx = 1
+
+    n_samples = y.shape[0] if y.ndim >= 2 else 1
     frozen = np.zeros(n_samples, dtype=bool)
     calm_streak = np.zeros(n_samples, dtype=np.int64)
     freeze_counts = np.zeros(n_samples, dtype=np.int64)
+    if resume is not None:
+        if resume.frozen is not None and resume.frozen.shape == frozen.shape:
+            frozen = resume.frozen.copy()
+        if (resume.calm_streak is not None
+                and resume.calm_streak.shape == calm_streak.shape):
+            calm_streak = resume.calm_streak.copy()
 
-    t = t0
-    y = y0
-    f0 = func(t, y)                       # stage 1, reused via FSAL
-    stats.nfev += 1
-
-    if first_step is not None:
-        dt = abs(float(first_step))
+    if resume is not None and next_idx >= len(times):
+        # Every request answered without moving: pass the state through.
+        dt = resume.dt
     else:
-        dt = initial_step_size(func, t, y, f0, direction, rtol, atol)
-        stats.nfev += 1
-    dt = min(dt, span)
+        if f0 is None:
+            f0 = func(t, y)               # stage 1, reused via FSAL
+            stats.nfev += 1
+        if resume is not None and resume.dt is not None:
+            dt = float(resume.dt)
+        elif first_step is not None:
+            dt = abs(float(first_step))
+        else:
+            dt = initial_step_size(func, t, y, f0, direction, rtol, atol)
+            stats.nfev += 1
+        if not resumable:
+            dt = min(dt, span)
     stats.first_step = dt
-
-    controller = PIController()
-    outputs: list[Tensor] = [y0]
-    next_idx = 1
 
     while next_idx < len(times):
         if stats.trial_steps >= max_steps:
             raise RuntimeError(f"dopri5 exceeded {max_steps} steps")
-        dt = min(dt, abs(t_end - t))
+        if not resumable:
+            dt = min(dt, abs(t_end - t))
         h = direction * dt
 
         k: list[Tensor] = [f0]
@@ -317,7 +383,12 @@ def _dopri5_core(func: OdeFunc, y0: Tensor, times: np.ndarray,
         err_ctrl = float(err_sample[active].max() if active.any()
                          else err_sample.max())
 
-        accepted = controller.accept(err_ctrl) or dt <= 1e-10 * span
+        # The degenerate-step escape hatch is an absolute floor in
+        # resumable mode: ``span`` depends on where the caller split the
+        # grid, and the continuation contract promises split-independent
+        # stepping.
+        accepted = controller.accept(err_ctrl) or (
+            dt <= 1e-14 if resumable else dt <= 1e-10 * span)
         if accepted:
             freeze_counts += frozen
             calm = err_sample < freeze_threshold
@@ -326,6 +397,8 @@ def _dopri5_core(func: OdeFunc, y0: Tensor, times: np.ndarray,
 
             if segments is not None:
                 segments.append((t, h, y, list(k)))
+            if resumable:
+                last_seg = (t, h, y, list(k))
             t_new = t + h
             while next_idx < len(times):
                 tq = float(times[next_idx])
@@ -348,7 +421,15 @@ def _dopri5_core(func: OdeFunc, y0: Tensor, times: np.ndarray,
         dt = controller.next_dt(dt, err_ctrl, accepted)
 
     stats.freeze_counts = freeze_counts
-    return outputs, stats
+    state = None
+    if resumable:
+        state = ResumeState(
+            method="dopri5", t=t, y=y, dt=dt, f=f0,
+            err_prev=controller.err_prev,
+            last_rejected=controller.last_rejected,
+            segment=last_seg, frozen=frozen.copy(),
+            calm_streak=calm_streak.copy())
+    return outputs, stats, state
 
 
 def dopri5_solve(func: OdeFunc, y0: Tensor, times: Sequence[float],
@@ -374,8 +455,8 @@ def dopri5_solve(func: OdeFunc, y0: Tensor, times: Sequence[float],
     ``(t, h, y_old, k)`` record for building a :class:`DenseOutput`.
     """
     times = validate_times(times)
-    outputs, stats = _dopri5_core(func, y0, times, rtol, atol,
-                                  first_step, max_steps, segments=segments)
+    outputs, stats, _ = _dopri5_core(func, y0, times, rtol, atol,
+                                     first_step, max_steps, segments=segments)
     return stack(outputs, axis=0), stats
 
 
@@ -390,8 +471,8 @@ def dopri5_integrate(func: OdeFunc, y0: Tensor, t0: float, t1: float,
     if t1 == t0:
         return y0
     times = np.array([t0, t1], dtype=np.float64)
-    outputs, _ = _dopri5_core(func, y0, times, rtol, atol,
-                              first_step, max_steps)
+    outputs, _, _ = _dopri5_core(func, y0, times, rtol, atol,
+                                 first_step, max_steps)
     return outputs[-1]
 
 
@@ -441,8 +522,8 @@ def dopri5_dense_solve(func: OdeFunc, y0: Tensor,
         outputs = [y0]
         stats = SolverStats(method="dopri5")
     else:
-        outputs, stats = _dopri5_core(func, y0, grid, rtol, atol,
-                                      first_step, max_steps)
+        outputs, stats, _ = _dopri5_core(func, y0, grid, rtol, atol,
+                                         first_step, max_steps)
     stacked = stack(outputs, axis=0)
 
     per_sample: list[Tensor] = []

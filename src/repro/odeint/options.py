@@ -96,6 +96,16 @@ class SolverOptions:
         steps' stage Tensors for the life of the Solution).  Combined with
         ``adjoint=True`` the interpolant is values-only (the adjoint
         forward runs without a tape).
+    resumable:
+        Ask :func:`repro.odeint.solve` to return a continuation point as
+        ``Solution.resume_state`` (see :mod:`repro.odeint.resume`) for a
+        later ``solve(..., resume_from=state)``.  For dopri5 this also
+        switches to split-independent stepping: trial steps are no longer
+        clamped at the final output time (trailing outputs come from the
+        dense interpolant), so a grid solved in one call and the same grid
+        split across resumed calls produce bitwise-identical states.
+        Incompatible with ``adjoint=True`` (the continuation carries
+        forward-solver internals only).
     """
 
     step_size: float | None = None
@@ -107,6 +117,7 @@ class SolverOptions:
     adjoint: bool = False
     adjoint_storage: str = "dense"
     dense: bool = False
+    resumable: bool = False
 
     def __post_init__(self) -> None:
         if self.step_size is not None and self.step_size <= 0:
@@ -147,6 +158,11 @@ class SolverOptions:
         if self.dense and method != "dopri5":
             raise ValueError(
                 "dense output requires the dopri5 method")
+        if self.resumable and self.adjoint:
+            raise ValueError(
+                "resumable solves carry forward-solver internals; they "
+                "cannot be combined with the continuous adjoint "
+                "(adjoint=True)")
         return self
 
 

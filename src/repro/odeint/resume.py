@@ -1,0 +1,90 @@
+"""Resumable-solve continuation state: :class:`ResumeState`.
+
+A streaming forward pass advances the ODE state a tiny interval at a time
+(one per arriving observation).  Re-entering :func:`repro.odeint.solve`
+from scratch for every interval would re-pay the starting-step heuristic,
+re-warm the PI controller and (for implicit Adams) re-bootstrap the
+multistep history on each call.  :class:`ResumeState` captures everything
+the integrator needs to continue exactly where it stopped:
+
+* **dopri5** - current ``(t, y)``, the FSAL stage ``f(t, y)``, the next
+  proposed step ``dt``, the PI controller memory (``err_prev``,
+  ``last_rejected``), the per-sample freeze state, and the last accepted
+  step's dense-output segment so output times that fall *behind* the
+  frontier are still answerable bitwise-identically;
+* **implicit Adams** - the f-history window tail and the grid spacing it
+  was built on (``history`` is only reusable when the next solve keeps the
+  same spacing);
+* **fixed-grid methods** - just ``(t, y)``; they are stateless.
+
+The contract (covered by ``tests/odeint/test_resume.py``): a solve run in
+``resumable`` mode and split at *any* output time yields bitwise-identical
+trajectories to the unsplit resumable solve over the same grid.  Resumable
+dopri5 differs from the default mode only in step placement near the final
+time: the default clamps trial steps at ``t_end`` while the resumable mode
+integrates past it (final outputs come from the dense interpolant), so the
+continuation never depends on where one call's grid happened to stop.
+
+When the right-hand side changes between calls (a new streaming bind
+generation), call :meth:`ResumeState.after_rhs_change` - the cached FSAL
+stage and Adams history belong to the *old* RHS and must be dropped.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+import numpy as np
+
+from ..autodiff import Tensor
+
+__all__ = ["ResumeState"]
+
+
+@dataclass
+class ResumeState:
+    """Continuation point of one resumable solve (see module docstring).
+
+    Produced as ``Solution.resume_state`` by ``solve(...)`` when
+    ``SolverOptions(resumable=True)`` (or ``resume_from=`` is given);
+    consumed by the next ``solve(..., resume_from=state)``.
+    """
+
+    method: str
+    #: integration frontier: time of the last accepted step
+    t: float
+    #: state at the frontier (constant w.r.t. the next solve's tape)
+    y: Tensor
+    #: next proposed step magnitude (dopri5) / last grid spacing (fixed)
+    dt: float | None = None
+    #: FSAL stage ``f(t, y)`` (dopri5); ``None`` forces a re-evaluation
+    f: Tensor | None = None
+    #: PI controller memory (dopri5)
+    err_prev: float = 1.0
+    last_rejected: bool = False
+    #: last accepted step's ``(t_start, h, y_start, k)`` dense segment
+    segment: tuple | None = field(default=None, repr=False)
+    #: per-sample freeze bookkeeping (dopri5 batch error control)
+    frozen: np.ndarray | None = field(default=None, repr=False)
+    calm_streak: np.ndarray | None = field(default=None, repr=False)
+    #: implicit-Adams f-history tail (oldest to newest), valid for ``dt``
+    history: list[Tensor] | None = field(default=None, repr=False)
+
+    def after_rhs_change(self) -> "ResumeState":
+        """Continuation state for a *new* right-hand side.
+
+        Keeps ``(t, y)``, the proposed step and the controller memory -
+        those describe the trajectory and its smoothness - but drops the
+        cached RHS evaluations (FSAL stage, Adams history) and the dense
+        segment, all of which were computed under the old dynamics.
+        """
+        return replace(self, f=None, history=None, segment=None)
+
+    def rebased(self, t: float, y: Tensor) -> "ResumeState":
+        """:meth:`after_rhs_change` with the frontier moved to ``(t, y)``.
+
+        The streaming step uses this after each incremental bind: the new
+        dynamics take over from the just-predicted observation time, while
+        the warm step size and controller memory carry across.
+        """
+        return replace(self.after_rhs_change(), t=float(t), y=y)

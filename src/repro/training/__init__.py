@@ -2,7 +2,8 @@
 
 from .optim import SGD, Adam, AdamW, clip_grad_norm, pack_grads, unpack_grads
 from .objective import batch_grad, compute_loss, loss_weight
-from .metrics import MSE_SCALE, RunningAverage, mae, rmse, scaled_mse, top1_accuracy
+from .metrics import MSE_SCALE, RunningAverage, mae, prequential_evaluate, \
+    rmse, scaled_mse, top1_accuracy
 from .schedule import (
     ConstantLR,
     CosineAnnealingLR,
@@ -32,6 +33,7 @@ __all__ = [
     "batch_grad",
     "top1_accuracy",
     "scaled_mse",
+    "prequential_evaluate",
     "MSE_SCALE",
     "mae",
     "rmse",

@@ -148,6 +148,13 @@ class Trainer:
                                       union_batching=union_batching)
         self.parallel = parallel
         self._executor = None
+        if (self.parallel is not None
+                and getattr(self.parallel, "union_batching", False)
+                and hasattr(model, "union_forward")):
+            # Continuous models route their regression forward through
+            # union-grid batched solves (repro.parallel.union_solve); the
+            # flag is inert for classification / non-adaptive solvers.
+            model.union_forward = True
         if self.config.checkpoint_grads:
             # Process-wide switch (gradient workers inherit it at fork);
             # only ever turned on here so one Trainer cannot silently undo

@@ -1,0 +1,41 @@
+"""Tier-2 smoke test: the long-horizon streaming experiment end-to-end.
+
+Streams one drifting series (hundreds of observations at smoke scale;
+thousands at bench/paper via ``LONG_HORIZON_OBS``) through both session
+modes of ``DiffODE.open_stream`` and checks the produced table is
+well-formed: finite prequential errors per stream quarter, incremental
+and recompute rows agreeing, and the incremental context actually being
+maintained by rank-1 extends.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments import LONG_HORIZON_OBS, SCALES, run_long_horizon
+
+pytestmark = pytest.mark.tier2
+
+SMOKE = SCALES["smoke"]
+
+
+def test_long_horizon_smoke_table():
+    table = run_long_horizon(SMOKE)
+    assert table.columns == ["Q1", "Q2", "Q3", "Q4"]
+    assert set(table.rows) == {
+        "prequential MSE (incremental)", "prequential MSE (recompute)",
+        "ms/obs (incremental)", "ms/obs (recompute)"}
+    for name, cells in table.rows.items():
+        for cell in cells:
+            assert np.isfinite(cell.mean), (name, cell)
+    inc = [c.mean for c in table.rows["prequential MSE (incremental)"]]
+    rec = [c.mean for c in table.rows["prequential MSE (recompute)"]]
+    # Same prequential protocol, same model: the incremental session must
+    # track the full-recompute reference within solver tolerance.
+    assert np.allclose(inc, rec, rtol=1e-3, atol=1e-5), (inc, rec)
+    assert any("extends" in note for note in table.notes), table.notes
+
+
+def test_long_horizon_scales_configured():
+    assert LONG_HORIZON_OBS["paper"] >= 1000   # thousands-of-observations
+    assert (LONG_HORIZON_OBS["smoke"] < LONG_HORIZON_OBS["bench"]
+            < LONG_HORIZON_OBS["paper"])

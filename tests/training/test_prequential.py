@@ -1,0 +1,81 @@
+"""Prequential (predict-then-ingest) streaming evaluation."""
+
+import numpy as np
+import pytest
+
+from repro.core import DiffODE, DiffODEConfig
+from repro.data import load_synthetic_drifting
+from repro.training import prequential_evaluate
+
+
+def _model(task, seed=0):
+    kw = dict(input_dim=1, latent_dim=4, hidden_dim=8, num_heads=1,
+              use_hippo=False, method="dopri5", step_size=0.1,
+              max_len=128, seed=seed)
+    if task == "classification":
+        kw["num_classes"] = 2
+    else:
+        kw["out_dim"] = 1
+    return DiffODE(DiffODEConfig(**kw))
+
+
+@pytest.fixture(scope="module")
+def drifting():
+    return load_synthetic_drifting(num_series=3, grid_points=30,
+                                   keep_rate=1.0, seed=0)
+
+
+class TestPrequentialEvaluate:
+    def test_classification_report(self, drifting):
+        report = prequential_evaluate(_model("classification"), drifting,
+                                      max_series=2, max_obs=20)
+        assert report["num_series"] == 2
+        assert 0.0 <= report["accuracy"] <= 1.0
+        assert report["mean_latency"] > 0
+        assert report["mean_nfev"] > 0
+        assert report["extends"] > 0
+        assert report["incremental"] is True
+
+    def test_incremental_matches_recompute(self, drifting):
+        """Rank-1 session tracks the exact per-arrival rebuild reference."""
+        inc = prequential_evaluate(_model("classification", seed=3),
+                                   drifting, incremental=True,
+                                   max_series=2, max_obs=18)
+        exact = prequential_evaluate(_model("classification", seed=3),
+                                     drifting, incremental=False,
+                                     max_series=2, max_obs=18)
+        assert inc["accuracy"] == exact["accuracy"]
+        assert exact["extends"] == 0  # recompute mode never rank-1 extends
+        assert exact["incremental"] is False
+
+    def test_regression_mse(self, drifting):
+        report = prequential_evaluate(_model("regression"), drifting,
+                                      max_series=1, max_obs=16)
+        assert np.isfinite(report["mse"]) and report["mse"] >= 0
+        assert report["num_scored"] > 0
+
+
+class TestStreamSession:
+    def test_open_stream_prequential_predictions(self, drifting):
+        from repro.data import iter_stream
+
+        # One session per model: a session's bind is installed on the
+        # model's dynamics, so interleaved sessions need their own copy.
+        inc = _model("regression", seed=1).open_stream(incremental=True)
+        exact = _model("regression", seed=1).open_stream(incremental=False)
+        sample = drifting.samples[0]
+        diffs = []
+        for obs in iter_stream(sample):
+            if obs.index >= 14:
+                break
+            a = inc.step(obs)
+            b = exact.step(obs)
+            assert a.warmup == b.warmup
+            if not a.warmup:
+                diffs.append(float(np.abs(a.y_hat - b.y_hat).max()))
+        assert diffs, "stream never left warmup"
+        # Within the solver tolerance band (rtol=1e-5, atol=1e-7 defaults).
+        assert max(diffs) < 1e-4
+        assert inc.context_stats["extends"] > 0
+        assert inc.context_stats["generation"] > 0
+        assert exact.context_stats["extends"] == 0
