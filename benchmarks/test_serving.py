@@ -1,0 +1,46 @@
+"""Acceptance benchmark for the async serving stack (ISSUE 10).
+
+Regenerates ``BENCH_serving.json``: micro-batched dispatch must clear at
+least 2x the throughput of batch-size-1 dispatch under saturating load,
+the warm-cache p50 must sit at or below half the cold p50 on
+repeat-series queries, every served prediction must stay within the
+``50*(atol+rtol*|y|)`` band of the offline ``solve()``, and the QPS sweep
+must complete error-free.
+"""
+
+from repro.benchmarks import run_serving
+
+
+def test_serving_acceptance(save_result):
+    from .conftest import RESULTS_DIR
+
+    RESULTS_DIR.mkdir(exist_ok=True)
+    payload = run_serving(RESULTS_DIR / "BENCH_serving.json")
+
+    throughput = payload["throughput"]
+    assert throughput["batched"]["completed"] == \
+        throughput["batched"]["requests"], throughput
+    assert throughput["single"]["completed"] == \
+        throughput["single"]["requests"], throughput
+    assert throughput["speedup"] >= 2.0, throughput
+
+    cache = payload["cache"]
+    assert cache["warm_over_cold"] <= 0.5, cache
+
+    accuracy = payload["accuracy"]
+    assert accuracy["within_band"], accuracy
+    assert accuracy["checked_requests"] >= 2 * cache["repeat_requests"]
+
+    for point in payload["qps_sweep"]:
+        assert point["errors"] == 0, point
+        assert point["completed"] == point["requests"], point
+        assert point["cache_hits"] > 0, point
+
+    save_result("BENCH_serving", "async serving: " + "; ".join([
+        f"batched {throughput['batched']['rps']:.0f} rps vs single "
+        f"{throughput['single']['rps']:.0f} rps "
+        f"({throughput['speedup']:.2f}x)",
+        f"warm p50 {cache['warm_p50_ms']:.1f}ms vs cold "
+        f"{cache['cold_p50_ms']:.1f}ms ({cache['warm_over_cold']:.2f}x)",
+        f"max band ratio {accuracy['max_band_ratio']:.3f} over "
+        f"{accuracy['checked_requests']} responses"]))

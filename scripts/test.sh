@@ -21,6 +21,11 @@
 #                            and again under replay, plus the
 #                            BENCH_streaming acceptance benchmark and the
 #                            long-horizon smoke experiment
+#   scripts/test.sh serving  the async serving suites (protocol, cache,
+#                            micro-batcher, engine, server, streaming
+#                            session entry points) plus the tier-2
+#                            subprocess smoke (CLI serve + loadgen) and
+#                            the BENCH_serving acceptance benchmark
 #   scripts/test.sh adjoint  tier-1 under trace-checkpointed backprop
 #                            (REPRO_CHECKPOINT_GRADS=on), once with the
 #                            eager executor and once under replay
@@ -79,12 +84,20 @@ case "$lane" in
             benchmarks/test_streaming.py -p no:cacheprovider \
             -m "tier2 or not tier2" "$@"
         ;;
+    serving)
+        python -m pytest -x -q tests/serving \
+            tests/baselines/test_union_forward.py \
+            tests/training/test_serialization.py "$@"
+        exec python -m pytest -x -q tests/integration/test_serving_cli.py \
+            benchmarks/test_serving.py -p no:cacheprovider \
+            -m "tier2 or not tier2" "$@"
+        ;;
     full)
         # Overrides the "not tier2" filter baked into addopts.
         exec python -m pytest -x -q -m "tier2 or not tier2" "$@"
         ;;
     *)
-        echo "usage: scripts/test.sh [fast|tier2|full|ir|codegen|batching|streaming|adjoint] [pytest args...]" >&2
+        echo "usage: scripts/test.sh [fast|tier2|full|ir|codegen|batching|streaming|serving|adjoint] [pytest args...]" >&2
         exit 2
         ;;
 esac

@@ -16,12 +16,17 @@ from ..autodiff import Tensor, concat, time_tensor
 from ..nn import GRUCell, MLP
 from ..odeint import ADAPTIVE_METHODS, SolverOptions, solve
 from ..core.model import interpolate_grid_states
-from .base import SequenceModel, encoder_features
+from .base import SequenceModel, encoder_features, union_regression_predict
 
 __all__ = ["LatentODEBaseline"]
 
 
 class LatentODEBaseline(SequenceModel):
+    #: When True (set by the Trainer under ``--union-batching``) and the
+    #: solver is adaptive, regression queries are answered by union-grid
+    #: batched solves instead of the padded uniform-grid rollout.
+    union_forward = False
+
     def __init__(self, input_dim: int, hidden_dim: int, latent_dim: int,
                  rng: np.random.Generator, grid_size: int = 24,
                  num_classes: int | None = None, out_dim: int | None = None,
@@ -69,6 +74,13 @@ class LatentODEBaseline(SequenceModel):
         return self.head(traj[-1])
 
     def forward_regression(self, values, times, mask, query_times) -> Tensor:
+        if self.union_forward and self.method in ADAPTIVE_METHODS:
+            z0 = self._encode_z0(values, times, mask)
+            out, stats = union_regression_predict(
+                self._dynamics, self.head, z0, query_times,
+                rtol=self.rtol, atol=self.atol)
+            self.last_solver_stats = stats
+            return out
         traj = self._trajectory(values, times, mask)
         at_q = interpolate_grid_states(traj, self.grid, np.asarray(query_times))
         return self.head(at_q)

@@ -21,7 +21,7 @@ from ..autodiff import Tensor, concat, masked_mse_loss, time_tensor
 from ..nn import GRUCell, MLP
 from ..odeint import ADAPTIVE_METHODS, SolverOptions, solve
 from ..core.model import interpolate_grid_states
-from .base import SequenceModel, encoder_features
+from .base import SequenceModel, encoder_features, union_regression_predict
 
 __all__ = ["LatentODEVAEBaseline", "gaussian_kl"]
 
@@ -34,6 +34,10 @@ def gaussian_kl(mu: Tensor, logvar: Tensor) -> Tensor:
 
 
 class LatentODEVAEBaseline(SequenceModel):
+    #: Trainer-set union-batching opt-in, as on ``LatentODEBaseline``;
+    #: applies to the deterministic (posterior-mean) regression path.
+    union_forward = False
+
     def __init__(self, input_dim: int, hidden_dim: int, latent_dim: int,
                  rng: np.random.Generator, grid_size: int = 24,
                  kl_weight: float = 1.0, noise_std: float = 0.1,
@@ -112,6 +116,12 @@ class LatentODEVAEBaseline(SequenceModel):
 
     def forward_regression(self, values, times, mask, query_times) -> Tensor:
         mu, _ = self.posterior(values, times, mask)
+        if self.union_forward and self.method in ADAPTIVE_METHODS:
+            out, stats = union_regression_predict(
+                self._dynamics, self.head, mu, query_times,
+                rtol=self.rtol, atol=self.atol)
+            self.last_solver_stats = stats
+            return out
         traj = self._rollout(mu)
         return self.head(interpolate_grid_states(
             traj, self.grid, np.asarray(query_times)))

@@ -1,5 +1,5 @@
 """Benchmark targets: ``python -m repro.benchmarks
-[solver|parallel|ir|passes|codegen|batching|memory|streaming]``.
+[solver|parallel|ir|passes|codegen|batching|memory|streaming|serving]``.
 
 ``solver`` (the default) runs a representative dopri5 workload (a batch of
 decays whose rates span two orders of magnitude, read out on an irregular
@@ -60,6 +60,17 @@ Also checks that the two sessions' predictions agree within the solver
 tolerance band and that a split resumable solve is bitwise-equal to the
 monolithic one on the same grid.
 
+``serving`` measures the async inference-serving stack end to end over
+real sockets (``BENCH_serving.json``): 64 distinct cold series blasted
+concurrently through a ``max_batch=16`` server vs a ``max_batch=1``
+server (dynamic micro-batching routes co-arriving series into shared
+union-grid solves — at least a 2x throughput gain), cold vs repeat-series
+warm-cache request latency (per-series context cache: rank-1 extends +
+resumed solves — warm p50 at most half of cold), a served-vs-offline
+accuracy check (every prediction within ``50*(atol+rtol*|y|)`` of a
+single-series ``solve()``), and an open-loop Poisson QPS sweep with
+latency percentiles.
+
 ``memory`` measures long-horizon backward-pass storage
 (``BENCH_memory.json``): one rk4 solve over 50 to 5000 uniform readouts
 (one accepted step per interval) under plain backprop-through-the-solver
@@ -74,6 +85,7 @@ gradient error against its tolerance band.
 
 from __future__ import annotations
 
+import asyncio
 import json
 import os
 import pathlib
@@ -89,7 +101,7 @@ __all__ = ["solver_workload", "run_current_solver", "run_seed_emulation",
            "run", "parallel_workload", "run_parallel", "ir_workload",
            "run_ir", "passes_workload", "run_passes", "run_codegen",
            "batching_workloads", "run_batching", "run_memory",
-           "run_streaming", "main"]
+           "run_streaming", "run_serving", "main"]
 
 RTOL, ATOL = 1e-5, 1e-7
 
@@ -1317,6 +1329,229 @@ def _main_batching(out: str) -> int:
     return 0
 
 
+# ---------------------------------------------------------------------------
+# serving: micro-batched async inference vs batch-size-1, warm-cache latency
+# ---------------------------------------------------------------------------
+
+def _serving_model(seed: int = 0):
+    """The streaming benchmark's tiny dopri5 regression model."""
+    return _streaming_model(64, seed)
+
+
+def _serving_offline_reference(model, times, values,
+                               query_times) -> np.ndarray:
+    """Offline single-series ``solve()`` the served answers must match."""
+    t = np.asarray(times, dtype=np.float64)[None]
+    v = np.asarray(values, dtype=np.float64)[None]
+    mask = np.ones_like(t)
+    q = np.asarray(query_times, dtype=np.float64)
+    with no_grad():
+        z = model.encode(v, t, mask)
+        contexts = (model.build_contexts(z, mask)
+                    if model.config.use_attention else [])
+        model.latent_dynamics.bind(contexts)
+        y0 = model.initial_state(z, contexts)
+        uniq, inv = np.unique(q, return_inverse=True)
+        grid = (uniq if uniq[0] <= 1e-12
+                else np.concatenate(([0.0], uniq)))
+        offset = len(grid) - len(uniq)
+        sol = solve(model.dynamics, y0, grid, method="dopri5",
+                    options=SolverOptions(rtol=model.config.rtol,
+                                          atol=model.config.atol))
+        rows = [model.head(sol.ys[offset + k]).data[0] for k in inv]
+    return np.stack(rows, axis=0)
+
+
+def _serving_payloads(model, n: int, seed: int, n_queries: int = 4,
+                      n_obs: int | None = None,
+                      t_max: float = 0.6) -> list[dict]:
+    from .serving import make_series
+
+    rng = np.random.default_rng(seed)
+    info = {"input_dim": model.config.input_dim,
+            "min_context": (model.config.latent_dim
+                            // model.config.num_heads + 1),
+            "max_len": model.config.max_len}
+    payloads = []
+    for i in range(n):
+        times, values = make_series(info, rng, n_obs=n_obs, t_max=t_max)
+        query = np.sort(rng.uniform(0.05, 1.0, size=n_queries))
+        payloads.append({"op": "predict", "series_id": f"bench-{seed}-{i}",
+                         "times": times.tolist(),
+                         "values": values.tolist(),
+                         "query_times": query.tolist()})
+    return payloads
+
+
+async def _serving_request(host: str, port: int, payload: dict) -> dict:
+    from .serving import read_frame, write_frame
+
+    reader, writer = await asyncio.open_connection(host, port)
+    try:
+        await write_frame(writer, payload)
+        response = await read_frame(reader)
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+    return response
+
+
+async def _serving_blast(host: str, port: int,
+                         payloads: list[dict]) -> tuple[float, list[dict]]:
+    """Saturating load: every request in flight at once; wall to drain."""
+    loop = asyncio.get_running_loop()
+    start = loop.time()
+    responses = await asyncio.gather(
+        *(_serving_request(host, port, p) for p in payloads))
+    return loop.time() - start, list(responses)
+
+
+async def _run_serving_async(seed: int) -> dict:
+    from .serving import ModelServer, run_loadgen
+
+    # -- (a) batched vs batch-size-1 throughput under saturating load ----
+    throughput = {}
+    blast_payloads = _serving_payloads(_serving_model(seed), 64, seed + 10)
+    for label, max_batch in (("batched", 16), ("single", 1)):
+        server = ModelServer(model=_serving_model(seed), max_batch=max_batch,
+                             max_wait_ms=5.0)
+        await server.start()
+        try:
+            elapsed, responses = await _serving_blast(
+                server.host, server.port, blast_payloads)
+        finally:
+            await server.stop()
+        ok = sum(1 for r in responses if r and r.get("ok"))
+        throughput[label] = {
+            "max_batch": max_batch, "requests": len(blast_payloads),
+            "completed": ok, "seconds": elapsed,
+            "rps": ok / elapsed if elapsed > 0 else 0.0}
+    throughput["speedup"] = (throughput["batched"]["rps"]
+                             / max(throughput["single"]["rps"], 1e-12))
+
+    # -- (b) + (c) warm-cache latency and served-vs-offline accuracy -----
+    # Cold = first touch of a series (encode + context build + solve over
+    # the full query span).  Warm = the natural follow-up poll: the same
+    # observations re-queried just past the previous horizon, which the
+    # cached session answers with a resumed solve from its frontier.
+    # Measured as engine service time — the socket/batcher constant
+    # (identical on both paths) is covered by the sweep below.
+    from .serving import InferenceEngine
+
+    model = _serving_model(seed)
+    engine = InferenceEngine(model)
+    cold_lat, warm_lat = [], []
+    max_ratio, checked = 0.0, 0
+    payloads = _serving_payloads(model, 24, seed + 20, n_queries=6,
+                                 n_obs=56, t_max=0.5)
+    rng = np.random.default_rng(seed + 30)
+    for phase, lats in (("cold", cold_lat), ("warm", warm_lat)):
+        for p in payloads:
+            req = dict(p)
+            if phase == "warm":
+                lo = max(p["query_times"]) + 0.01
+                req["query_times"] = np.sort(
+                    rng.uniform(lo, lo + 0.1, size=6)).tolist()
+            t0 = time.perf_counter()
+            response = engine.execute([req])[0]
+            lats.append(time.perf_counter() - t0)
+            assert response.get("ok"), response
+            assert response["cache"] == ("hit" if phase == "warm"
+                                         else "miss"), response
+            ref = _serving_offline_reference(
+                model, req["times"], req["values"], req["query_times"])
+            got = np.asarray(response["predictions"])
+            band = 50.0 * (model.config.atol
+                           + model.config.rtol * np.abs(ref))
+            max_ratio = max(max_ratio,
+                            float((np.abs(got - ref) / band).max()))
+            checked += 1
+    cache = {
+        "repeat_requests": len(warm_lat),
+        "cold_p50_ms": float(np.percentile(cold_lat, 50) * 1000.0),
+        "warm_p50_ms": float(np.percentile(warm_lat, 50) * 1000.0),
+    }
+    cache["warm_over_cold"] = cache["warm_p50_ms"] / cache["cold_p50_ms"]
+    accuracy = {
+        "checked_requests": checked,
+        "band": "50 * (atol + rtol * |offline|)",
+        "max_band_ratio": max_ratio,
+        "within_band": bool(max_ratio <= 1.0),
+    }
+
+    # -- QPS sweep through the open-loop Poisson load generator ----------
+    sweep = []
+    server = ModelServer(model=_serving_model(seed), max_batch=16,
+                         max_wait_ms=5.0)
+    await server.start()
+    try:
+        for qps in (10.0, 30.0, 60.0):
+            sweep.append(await run_loadgen(
+                server.host, server.port, qps=qps, duration_s=2.0,
+                n_series=32, repeat_ratio=0.5, seed=seed))
+    finally:
+        await server.stop()
+
+    return {"rtol": RTOL, "atol": ATOL, "throughput": throughput,
+            "cache": cache, "accuracy": accuracy, "qps_sweep": sweep}
+
+
+def run_serving(out_path: str | pathlib.Path = "BENCH_serving.json",
+                seed: int = 0) -> dict:
+    """Benchmark the async serving stack end to end (real sockets).
+
+    Three measurements against :class:`repro.serving.ModelServer`:
+
+    * **throughput** — 64 distinct cold series blasted concurrently
+      (saturating load) through a ``max_batch=16`` server vs a
+      ``max_batch=1`` server; micro-batching routes co-arriving series
+      into shared union-grid solves, so the batched server should clear
+      at least 2x the requests/second.
+    * **cache** — per-request latency for 24 cold series vs repeat
+      queries on the same series (rank-1 context extend + resumed solve);
+      the warm p50 should be at most half the cold p50.
+    * **accuracy** — every served prediction compared against an offline
+      single-series ``solve()``; must sit within ``50*(atol+rtol*|y|)``.
+
+    Plus an open-loop Poisson QPS sweep (10/30/60 rps) recording achieved
+    throughput and latency percentiles.  Writes ``BENCH_serving.json``.
+    """
+    payload = asyncio.run(_run_serving_async(seed))
+    path = pathlib.Path(out_path)
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return payload
+
+
+def _main_serving(out: str) -> int:
+    payload = run_serving(out)
+    tp = payload["throughput"]
+    print(f"serving stack (rtol={payload['rtol']:g} "
+          f"atol={payload['atol']:g})")
+    print(f"  throughput: batched {tp['batched']['rps']:7.1f} rps  "
+          f"single {tp['single']['rps']:7.1f} rps  "
+          f"({tp['speedup']:.2f}x)")
+    cache = payload["cache"]
+    print(f"  cache: cold p50 {cache['cold_p50_ms']:6.1f} ms  "
+          f"warm p50 {cache['warm_p50_ms']:6.1f} ms  "
+          f"({cache['warm_over_cold']:.2f}x)")
+    acc = payload["accuracy"]
+    print(f"  accuracy: {acc['checked_requests']} served responses, "
+          f"max band ratio {acc['max_band_ratio']:.3f} "
+          f"{'OK' if acc['within_band'] else 'OUT OF TOLERANCE'}")
+    for row in payload["qps_sweep"]:
+        p50 = row.get("latency_p50_ms", float("nan"))
+        p99 = row.get("latency_p99_ms", float("nan"))
+        print(f"  qps {row['offered_qps']:5.1f}: achieved "
+              f"{row['achieved_qps']:5.1f}  p50 {p50:6.1f} ms  "
+              f"p99 {p99:6.1f} ms  errors {row['errors']}  "
+              f"hits {row['cache_hits']}")
+    print(f"  wrote {out}")
+    return 0
+
+
 def _main_solver(out: str) -> int:
     payload = run(out)
     print(f"dopri5 workload @ rtol={RTOL:g} atol={ATOL:g}")
@@ -1366,6 +1601,9 @@ def main(argv: list[str] | None = None) -> int:
     if target == "streaming":
         return _main_streaming(argv[1] if len(argv) > 1
                                else "BENCH_streaming.json")
+    if target == "serving":
+        return _main_serving(argv[1] if len(argv) > 1
+                             else "BENCH_serving.json")
     # Back-compat: a bare path argument means the solver benchmark.
     return _main_solver(target)
 

@@ -17,6 +17,8 @@ Examples::
     python -m repro.cli profile --model DIFFODE --dataset synthetic \
         --method dopri5 --trace profile.jsonl
     python -m repro.cli stream --dataset drifting --series 4
+    python -m repro.cli serve --checkpoint diffode.npz --port 7077
+    python -m repro.cli loadgen --port 7077 --qps 50 --duration-s 10
     python -m repro.cli list
 
 Dataset sizes follow the scale preset (``--scale`` / ``REPRO_SCALE``).
@@ -207,6 +209,58 @@ def build_parser() -> argparse.ArgumentParser:
     st.add_argument("--executor", default=None,
                     choices=["eager", "replay"],
                     help="autodiff executor for ODE right-hand sides")
+
+    srv = sub.add_parser(
+        "serve",
+        help="serve a DIFFODE checkpoint over the async socket protocol "
+             "(dynamic micro-batching + per-series context caching)")
+    srv.add_argument("--checkpoint", required=True,
+                     help="DIFFODE .npz to serve (regression, adaptive "
+                          "solver)")
+    srv.add_argument("--host", default="127.0.0.1")
+    srv.add_argument("--port", type=int, default=7077,
+                     help="listen port (0 picks an ephemeral port)")
+    srv.add_argument("--max-batch", type=int, default=16, dest="max_batch",
+                     help="micro-batcher flush size (default 16)")
+    srv.add_argument("--max-wait-ms", type=float, default=5.0,
+                     dest="max_wait_ms",
+                     help="micro-batcher flush deadline (default 5 ms)")
+    srv.add_argument("--cache-capacity", type=int, default=256,
+                     dest="cache_capacity",
+                     help="per-series context-cache entries (default 256)")
+    srv.add_argument("--workers", type=int, default=0, metavar="N",
+                     help="fork inference workers (0 = in-process; series "
+                          "route to workers by id affinity)")
+    srv.add_argument("--slo-ms", type=float, default=250.0, dest="slo_ms",
+                     help="latency objective for serving.slo_violations")
+    srv.add_argument("--reload-poll-s", type=float, default=0.0,
+                     dest="reload_poll_s",
+                     help="poll the checkpoint mtime every S seconds and "
+                          "hot-reload on change (SIGHUP always works)")
+    srv.add_argument("--executor", default=None,
+                     choices=["eager", "replay"],
+                     help="autodiff executor for ODE right-hand sides")
+    srv.add_argument("--codegen", default=None, choices=["on", "off"],
+                     help="generated flat kernels for no_grad replays")
+
+    lg = sub.add_parser(
+        "loadgen",
+        help="open-loop Poisson load generator against a running server")
+    lg.add_argument("--host", default="127.0.0.1")
+    lg.add_argument("--port", type=int, required=True)
+    lg.add_argument("--qps", type=float, default=20.0,
+                    help="offered load (default 20 requests/s)")
+    lg.add_argument("--duration-s", type=float, default=5.0,
+                    dest="duration_s")
+    lg.add_argument("--series", type=int, default=32, dest="n_series",
+                    help="distinct synthetic series in the pool")
+    lg.add_argument("--queries", type=int, default=4, dest="n_queries",
+                    help="query times per request")
+    lg.add_argument("--repeat-ratio", type=float, default=0.5,
+                    dest="repeat_ratio",
+                    help="fraction of requests that re-query a previously "
+                         "sent series (cache-hit path)")
+    lg.add_argument("--seed", type=int, default=0)
 
     sub.add_parser("list", help="list available models and datasets")
     return parser
@@ -491,6 +545,60 @@ def _cmd_stream(args) -> int:
     return 0
 
 
+def _cmd_serve(args) -> int:
+    import asyncio
+
+    from .serving import ModelServer
+    from .telemetry import get_registry
+
+    # The serving process records its own serving.* metrics so the
+    # ``stats`` op has something to report.
+    get_registry().enable()
+    server = ModelServer(args.checkpoint, host=args.host, port=args.port,
+                         max_batch=args.max_batch,
+                         max_wait_ms=args.max_wait_ms,
+                         cache_capacity=args.cache_capacity,
+                         workers=args.workers, slo_ms=args.slo_ms,
+                         reload_poll_s=args.reload_poll_s)
+
+    async def run() -> None:
+        await server.start()
+        print(f"serving {args.checkpoint} on {server.host}:{server.port} "
+              f"(max_batch={args.max_batch}, "
+              f"max_wait={args.max_wait_ms:g}ms, "
+              f"workers={args.workers})", flush=True)
+        await server.serve_forever()
+
+    try:
+        asyncio.run(run())
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
+def _cmd_loadgen(args) -> int:
+    import asyncio
+
+    from .serving import run_loadgen
+
+    report = asyncio.run(run_loadgen(
+        args.host, args.port, qps=args.qps, duration_s=args.duration_s,
+        n_series=args.n_series, n_queries=args.n_queries,
+        repeat_ratio=args.repeat_ratio, seed=args.seed))
+    print(f"offered {report['offered_qps']:g} qps for "
+          f"{report['duration_s']:g}s: {report['completed']}/"
+          f"{report['requests']} ok, {report['errors']} errors, "
+          f"achieved {report['achieved_qps']:.1f} qps")
+    if "latency_p50_ms" in report:
+        print(f"latency p50/p90/p99: {report['latency_p50_ms']:.1f} / "
+              f"{report['latency_p90_ms']:.1f} / "
+              f"{report['latency_p99_ms']:.1f} ms "
+              f"(mean {report['latency_mean_ms']:.1f} ms)")
+    print(f"cache: {report['cache_hits']} hits, "
+          f"{report['cache_misses']} misses")
+    return 0
+
+
 def _cmd_list(_args) -> int:
     print("models:")
     for name in ALL_MODELS:
@@ -512,6 +620,7 @@ def main(argv: list[str] | None = None) -> int:
         set_checkpoint_grads(args.checkpoint_grads)
     handlers = {"train": _cmd_train, "evaluate": _cmd_evaluate,
                 "profile": _cmd_profile, "stream": _cmd_stream,
+                "serve": _cmd_serve, "loadgen": _cmd_loadgen,
                 "list": _cmd_list}
     return handlers[args.command](args)
 

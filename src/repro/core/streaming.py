@@ -36,7 +36,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from ..autodiff import Tensor, concat, no_grad
+from ..autodiff import Tensor, concat, graph_epoch, no_grad
 from ..odeint import SolverOptions, solve
 from ..telemetry import get_registry
 from .dhs import ContextState
@@ -70,11 +70,14 @@ class StreamPrediction:
 class StreamSession:
     """One series' incremental forward pass (see module docstring).
 
-    Create via :meth:`repro.core.DiffODE.open_stream`.  A session installs
-    its contexts on the model's dynamics at each ingest, so only one
-    session may be *interleaved* per model instance at a time — stream
-    series sequentially (or use separate model copies) rather than
-    alternating ``step`` calls between sessions of one model.
+    Create via :meth:`repro.core.DiffODE.open_stream`, or — on the serving
+    path — via :meth:`from_state` to seed a warm session from a batched
+    cold solve.  A session installs its contexts on the model's dynamics
+    before every solve (:meth:`ensure_bound`), so sessions of one model
+    instance may be interleaved: each re-bind bumps the graph epoch, at
+    the cost of recompiling RHS traces when consecutive solves belong to
+    different sessions.  Consecutive solves of the *same* session skip the
+    re-bind and keep their compiled traces warm.
     """
 
     def __init__(self, model, *, incremental: bool = True,
@@ -97,6 +100,7 @@ class StreamSession:
         self._z_rows: list[np.ndarray] = []     # (1, latent_dim) each
         self._times: list[float] = []
         # --- ODE state ---
+        self._bound_epoch = -1              # graph epoch of our last bind
         self._contexts: list[ContextState] | None = None
         self._y: Tensor | None = None           # state at the frontier
         self._t: float = 0.0                    # frontier time
@@ -111,11 +115,10 @@ class StreamSession:
     # ------------------------------------------------------------------
     # encoding carry
     # ------------------------------------------------------------------
-    def _encode_row(self, obs) -> np.ndarray:
+    def _encode_row(self, t: float, inputs) -> np.ndarray:
         """One encoder step; returns the new latent row (1, latent_dim)."""
         model = self.model
-        t = float(obs.time)
-        x = np.asarray(obs.inputs, dtype=np.float64).reshape(1, -1)
+        x = np.asarray(inputs, dtype=np.float64).reshape(1, -1)
         if self.cfg.encoder == "gru":
             dt = 0.0 if self._last_time is None else t - self._last_time
             feats = np.concatenate([x, [[dt]], [[t]]], axis=-1)
@@ -158,6 +161,7 @@ class StreamSession:
                     "the horizon")
             contexts = self._build_contexts()
         model.latent_dynamics.bind(contexts)
+        self._bound_epoch = graph_epoch()
         self._contexts = contexts
         z = self._z_tensor()
         self._y = model.initial_state(z, contexts)
@@ -187,10 +191,26 @@ class StreamSession:
         # Re-bind: bumps the graph epoch, so compiled RHS traces from the
         # previous bind generation can never replay against new contexts.
         model.latent_dynamics.bind(self._contexts)
+        self._bound_epoch = graph_epoch()
         if self._resume is not None:
             # The dynamics changed: continue from the just-predicted
             # frontier, dropping RHS caches (FSAL stage, Adams history).
             self._resume = self._resume.rebased(self._t, self._y)
+
+    def ensure_bound(self) -> None:
+        """Install this session's contexts on the model if anything else
+        (another session, an offline forward, a weight reload) bound or
+        invalidated the dynamics since our last bind — detected via the
+        graph epoch, which every such event bumps.  Re-binding the same
+        context *values* keeps any carried
+        :class:`~repro.odeint.resume.ResumeState` numerically valid — its
+        cached FSAL stage was evaluated against identical statics."""
+        if self._contexts is None:
+            return
+        if self._bound_epoch == graph_epoch():
+            return
+        self.model.latent_dynamics.bind(self._contexts)
+        self._bound_epoch = graph_epoch()
 
     # ------------------------------------------------------------------
     # solver advance
@@ -207,19 +227,48 @@ class StreamSession:
         """Integrate the frontier forward to ``tau``; returns nfev."""
         if tau <= self._t + _EPS_T:
             return 0
+        _, nfev = self._advance_many([float(tau)])
+        return nfev
+
+    def _advance_many(self, taus) -> tuple[list, int]:
+        """Advance through every ``tau`` (ascending) with ONE resumed
+        solve; returns the frontier state at each tau plus total nfev.
+
+        Bitwise equal to one :meth:`_advance` per tau — resumable solves
+        stitch exactly, so the merged output grid produces the same
+        trajectory — but the per-solve overhead (options, validation,
+        controller start-up) is paid once.  The serving warm path leans
+        on this: a repeat query with several horizon times costs one
+        solve, not one per time.  Taus at or behind the frontier answer
+        with the current frontier state.
+        """
+        self.ensure_bound()
+        states: list = [None] * len(taus)
+        pending: list[tuple[int, float]] = []
+        for k, tau in enumerate(taus):
+            tau = float(tau)
+            if tau <= self._t + _EPS_T:
+                states[k] = self._y
+            else:
+                pending.append((k, tau))
+        if not pending:
+            return states, 0
         ts: list[float] = [self._t]
         flags: list[bool] = []                  # True = uniform grid point
+        answers: dict[int, list[int]] = {}      # ts index -> taus positions
         grid = self._grid
-        while (self._grid_idx < len(grid)
-               and grid[self._grid_idx] <= tau + _EPS_T):
-            g = float(grid[self._grid_idx])
-            if g > self._t + _EPS_T:
-                ts.append(g)
-                flags.append(True)
-            self._grid_idx += 1
-        if tau - ts[-1] > _EPS_T:
-            ts.append(float(tau))
-            flags.append(False)
+        for k, tau in pending:
+            while (self._grid_idx < len(grid)
+                   and grid[self._grid_idx] <= tau + _EPS_T):
+                g = float(grid[self._grid_idx])
+                if g > ts[-1] + _EPS_T:
+                    ts.append(g)
+                    flags.append(True)
+                self._grid_idx += 1
+            if tau - ts[-1] > _EPS_T:
+                ts.append(tau)
+                flags.append(False)
+            answers.setdefault(len(ts) - 1, []).append(k)
         sol = solve(self.model.dynamics, self._y, np.asarray(ts),
                     method=self.cfg.method, options=self._solver_options(),
                     resume_from=self._resume if self.incremental else None)
@@ -233,7 +282,11 @@ class StreamSession:
         if self.incremental:
             self._resume = sol.resume_state
         self.model.last_solver_stats = sol.stats
-        return sol.stats.nfev
+        for j, ks in answers.items():
+            state = sol.ys[j]
+            for k in ks:
+                states[k] = state
+        return states, sol.stats.nfev
 
     # ------------------------------------------------------------------
     def _predict(self, tau: float) -> StreamPrediction:
@@ -251,20 +304,54 @@ class StreamSession:
             pred.logits = np.asarray(out.data).reshape(-1)
         return pred
 
-    def step(self, obs) -> StreamPrediction:
-        """Predict at ``obs.time``, then ingest ``obs``; prequential."""
-        start = _time.perf_counter()
+    def ingest(self, time: float, inputs) -> None:
+        """Ingest one observation without predicting.
+
+        The serving warm path uses this directly: a repeat query on a
+        growing series ingests only the new suffix rows (rank-1 context
+        ``extend()`` + resume rebase each), then answers via
+        :meth:`predict_times`.
+
+        An observation *behind* the solver frontier (possible in serving,
+        where queries may have advanced the frontier past it; impossible
+        in the prequential loop) resets the solve to ``t=0`` under the
+        extended contexts — the carried frontier state reflects dynamics
+        that never saw this observation, so resuming from it would answer
+        later queries with a permanently stale trajectory.
+        """
         with no_grad():
-            pred = self._predict(obs.time)
-            z_row = self._encode_row(obs)
+            z_row = self._encode_row(float(time), inputs)
             self._z_rows.append(z_row)
-            self._times.append(float(obs.time))
+            self._times.append(float(time))
             self.n_obs += 1
             if self._contexts is None:
                 if self.n_obs >= self.min_context:
                     self._init_state()
             else:
                 self._extend_contexts(z_row)
+                # Reset also when the frontier still sits at the origin:
+                # S_0 is a function of the contexts (forward attention),
+                # so extending them re-derives it for free there.
+                if self._y is not None and (float(time) < self._t - _EPS_T
+                                            or self._t <= _EPS_T):
+                    self._reset_frontier()
+
+    def _reset_frontier(self) -> None:
+        """Restart the solve from ``t=0`` over the current contexts."""
+        self._y = self.model.initial_state(self._z_tensor(), self._contexts)
+        self._t = 0.0
+        self._resume = None
+        self._grid_idx = 1
+        d = self.cfg.latent_dim
+        self._s_sum = np.array(self._y.data[:, :d], copy=True)
+        self._s_count = 1
+
+    def step(self, obs) -> StreamPrediction:
+        """Predict at ``obs.time``, then ingest ``obs``; prequential."""
+        start = _time.perf_counter()
+        with no_grad():
+            pred = self._predict(obs.time)
+            self.ingest(obs.time, obs.inputs)
         pred.latency = _time.perf_counter() - start
         self.total_nfev += pred.nfev
         reg = get_registry()
@@ -272,6 +359,110 @@ class StreamSession:
             reg.inc("streaming.observations")
             reg.observe("streaming.step_seconds", pred.latency)
         return pred
+
+    # ------------------------------------------------------------------
+    # serving entry points
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_state(cls, model, *, enc_h, last_time, z_rows, times, contexts,
+                   y, t, resume=None, incremental: bool = True,
+                   drift_threshold: float | None = None) -> "StreamSession":
+        """Seed a warm session from externally computed state.
+
+        The serving engine builds sessions this way after a *batched* cold
+        solve: encoder carry and latent rows come from the batched encode,
+        per-head contexts are sliced out of the batch contexts via
+        ``ContextState.take([i])``, and the frontier ``(t, y)`` is read
+        off the union solve.  ``resume=None`` is fine — the first warm
+        ``predict_times`` just starts a fresh resumable solve from the
+        frontier, which the grid-independent stepper makes consistent with
+        the unsplit solve.
+        """
+        sess = cls(model, incremental=incremental,
+                   drift_threshold=drift_threshold)
+        if sess.task != "regression":
+            raise NotImplementedError(
+                "from_state seeds regression sessions only (the pooled "
+                "classification state cannot be reconstructed from a "
+                "frontier)")
+        sess._enc_h = enc_h
+        sess._last_time = None if last_time is None else float(last_time)
+        sess._z_rows = [np.asarray(r, dtype=np.float64).reshape(1, -1)
+                        for r in z_rows]
+        sess._times = [float(v) for v in times]
+        sess.n_obs = len(sess._times)
+        sess._contexts = contexts
+        sess._y = y
+        sess._t = float(t)
+        sess._resume = resume
+        sess._grid_idx = int(np.searchsorted(sess._grid, sess._t + _EPS_T))
+        d = sess.cfg.latent_dim
+        sess._s_sum = np.array(y.data[:, :d], copy=True)
+        sess._s_count = 1
+        return sess
+
+    def predict_times(self, query_times) -> tuple[np.ndarray, int]:
+        """Regression predictions at arbitrary query times.
+
+        Queries at or ahead of the solver frontier advance it (resumed
+        solve, in time order); queries *behind* the frontier are answered
+        by a read-only auxiliary solve from ``t=0`` over the current
+        contexts — the frontier/resume state is untouched, and the
+        grid-independent stepper keeps both within solver tolerance of
+        the offline solve.  Returns ``(predictions (nq, out_dim), nfev)``.
+        """
+        if self.task != "regression":
+            raise NotImplementedError("predict_times is regression-only")
+        if self._y is None:
+            raise RuntimeError(
+                f"session is still warming up ({self.n_obs} observations, "
+                f"needs {self.min_context})")
+        q = np.asarray(query_times, dtype=np.float64).reshape(-1)
+        if q.size == 0:
+            return np.zeros((0, int(self.cfg.out_dim or 1))), 0
+        if np.any(q < -_EPS_T):
+            raise ValueError("query times must be >= 0")
+        nfev = 0
+        preds: dict[float, np.ndarray] = {}
+        with no_grad():
+            behind = np.unique(q[q < self._t - _EPS_T])
+            if behind.size:
+                vals, n = self._solve_behind(behind)
+                nfev += n
+                for tau, v in zip(behind, vals):
+                    preds[float(tau)] = v
+            ahead = np.unique(q[q >= self._t - _EPS_T])
+            if ahead.size:
+                states, n = self._advance_many(ahead)
+                nfev += n
+                for tau, state in zip(ahead, states):
+                    out = self.model.head(state)
+                    preds[float(tau)] = np.asarray(out.data).reshape(-1)
+        self.total_nfev += nfev
+        return np.stack([preds[float(tau)] for tau in q], axis=0), nfev
+
+    def _solve_behind(self, uniq: np.ndarray) -> tuple[list[np.ndarray], int]:
+        """Read-only solve from ``t=0`` for behind-frontier query times."""
+        model = self.model
+        self.ensure_bound()
+        y0 = model.initial_state(self._z_tensor(), self._contexts)
+        ts = uniq
+        offset = 0
+        if uniq[0] > _EPS_T:
+            ts = np.concatenate([[0.0], uniq])
+            offset = 1
+        if len(ts) == 1:        # every query sits at t=0: no integration
+            out = model.head(y0)
+            return [np.asarray(out.data).reshape(-1)] * len(uniq), 0
+        cfg = self.cfg
+        if cfg.method == "dopri5":
+            opts = SolverOptions(rtol=cfg.rtol, atol=cfg.atol)
+        else:
+            opts = SolverOptions(step_size=cfg.step_size)
+        sol = solve(model.dynamics, y0, ts, method=cfg.method, options=opts)
+        vals = [np.asarray(model.head(sol.ys[j]).data).reshape(-1)
+                for j in range(offset, len(ts))]
+        return vals, sol.stats.nfev
 
     # ------------------------------------------------------------------
     @property

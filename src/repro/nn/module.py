@@ -115,6 +115,13 @@ class Module:
                 raise ValueError(f"shape mismatch for {name}: "
                                  f"{value.shape} vs {param.shape}")
             param.data[...] = value
+        # In-place weight swap (hot-reload): compiled traces read parameter
+        # externals live, and mark_static() slices are views over parameter
+        # buffers, so the writes above already flow through.  Bump the
+        # graph epoch anyway so any executor that snapshots statics by
+        # value can never replay a stale-weight trace.
+        from ..autodiff import bump_graph_epoch
+        bump_graph_epoch()
 
     def __call__(self, *args, **kwargs):
         return self.forward(*args, **kwargs)

@@ -37,7 +37,7 @@ from ..telemetry import get_registry
 from .adams import AdamsBashforthMoulton
 from .dopri5 import _P, DenseOutput, _dopri5_core
 from .fixed import FIXED_STEPPERS, STEP_NFEV
-from .options import SolverOptions, validate_times, warn_return_stats
+from .options import SolverOptions, validate_times
 from .stats import SolverStats
 
 __all__ = ["odeint_adjoint", "adjoint_solve"]
@@ -392,8 +392,7 @@ def adjoint_solve(func: Module, y0: Tensor, times: np.ndarray,
 
 def odeint_adjoint(func: Module, y0: Tensor, t: Sequence[float],
                    method: str = "rk4",
-                   options: SolverOptions | None = None,
-                   return_stats: bool = False, **legacy):
+                   options: SolverOptions | None = None, **legacy):
     """Drop-in for :func:`repro.odeint.odeint` using the adjoint backward.
 
     Thin wrapper over :func:`adjoint_solve` (the same core
@@ -405,12 +404,15 @@ def odeint_adjoint(func: Module, y0: Tensor, t: Sequence[float],
     Solver settings travel exclusively in a single
     :class:`~repro.odeint.SolverOptions` object, exactly as in ``odeint``;
     the removed legacy per-method kwargs (``step_size=``, ...) raise
-    ``TypeError`` naming the replacement.
-
-    ``return_stats=True`` (deprecated — prefer ``solve().stats``) returns
-    ``(solution, SolverStats)`` and warns once per call.
+    ``TypeError`` naming the replacement, as does the removed
+    ``return_stats=`` flag (read ``solve(...).stats`` instead).
     """
     if legacy:
+        if "return_stats" in legacy:
+            raise TypeError(
+                "odeint_adjoint: return_stats was removed after its "
+                "deprecation window; call repro.odeint.solve() and read "
+                "Solution.stats")
         raise TypeError(
             f"odeint_adjoint: legacy solver kwargs {sorted(legacy)} were "
             "removed; pass odeint_adjoint(..., options=SolverOptions(...)) "
@@ -430,7 +432,4 @@ def odeint_adjoint(func: Module, y0: Tensor, t: Sequence[float],
     opts.validate_for(method)
     out, stats, _ = adjoint_solve(func, y0, times, method, opts)
     stats.publish(get_registry())
-    if return_stats:
-        warn_return_stats("odeint_adjoint")
-        return out, stats
     return out

@@ -20,9 +20,10 @@ The ``dopri5`` method runs **one** continuous adaptive integration across
 the whole time grid: the tuned step size carries over between output times
 and intermediate times are answered by the dense-output interpolant (see
 :mod:`repro.odeint.dopri5`).  Solver cost is always published to the
-telemetry registry as ``solver.<method>.*`` counters; ``return_stats=True``
-still returns ``(solution, SolverStats)`` but is deprecated in favour of
-``solve(...).stats`` and warns once per call.
+telemetry registry as ``solver.<method>.*`` counters; to read it
+programmatically call :func:`repro.odeint.solve` and use
+``Solution.stats`` (the deprecated ``return_stats=True`` form was removed
+after its deprecation window).
 """
 
 from __future__ import annotations
@@ -31,7 +32,7 @@ from typing import Sequence
 
 from ..autodiff import Tensor
 from .api import ADAPTIVE_METHODS, METHODS, OdeFunc, solve
-from .options import SolverOptions, validate_times, warn_return_stats
+from .options import SolverOptions, validate_times
 
 __all__ = ["odeint", "METHODS", "ADAPTIVE_METHODS"]
 
@@ -42,7 +43,7 @@ _validate_times = validate_times
 
 def odeint(func: OdeFunc, y0: Tensor, t: Sequence[float],
            method: str = "rk4", options: SolverOptions | None = None,
-           return_stats: bool = False, **legacy):
+           **legacy):
     """Integrate an ODE and evaluate at times ``t``.
 
     Thin wrapper over :func:`repro.odeint.solve` kept for API parity with
@@ -65,22 +66,19 @@ def odeint(func: OdeFunc, y0: Tensor, t: Sequence[float],
         :class:`~repro.odeint.SolverOptions` carrying every tunable
         (``step_size``, ``rtol``, ``atol``, ``corrector_iters``,
         ``first_step``, ``max_steps``).  The removed legacy per-method
-        kwargs raise ``TypeError``.
-    return_stats:
-        Deprecated (warns once per call): when True, return
-        ``(solution, SolverStats)``.  Prefer ``solve(...).stats``.
+        kwargs raise ``TypeError``, as does the removed ``return_stats=``
+        flag (read ``solve(...).stats`` instead).
 
     Returns
     -------
-    Tensor of shape ``(len(t), *y0.shape)``; with ``return_stats=True`` a
-    ``(Tensor, SolverStats)`` pair.
+    Tensor of shape ``(len(t), *y0.shape)``.
     """
     if legacy:
+        if "return_stats" in legacy:
+            raise TypeError(
+                "odeint: return_stats was removed after its deprecation "
+                "window; call repro.odeint.solve() and read Solution.stats")
         raise TypeError(
             f"odeint: legacy solver kwargs {sorted(legacy)} were removed; "
             "pass odeint(..., options=SolverOptions(...)) instead")
-    sol = solve(func, y0, t, method=method, options=options)
-    if return_stats:
-        warn_return_stats("odeint")
-        return sol.ys, sol.stats
-    return sol.ys
+    return solve(func, y0, t, method=method, options=options).ys

@@ -16,27 +16,12 @@ one is passed.
 
 from __future__ import annotations
 
-import warnings
 from dataclasses import dataclass
 from typing import Sequence
 
 import numpy as np
 
-__all__ = ["SolverOptions", "validate_times", "warn_return_stats"]
-
-
-def warn_return_stats(caller: str) -> None:
-    """Emit the one ``return_stats=True`` deprecation warning.
-
-    The legacy entry points still honour ``return_stats`` but the
-    sanctioned way to read solve cost is ``repro.odeint.solve(...).stats``;
-    this shared helper keeps the message identical across ``odeint`` and
-    ``odeint_adjoint`` (one warning per call, like the legacy-kwarg shim).
-    """
-    warnings.warn(
-        f"{caller}: return_stats=True is deprecated; call "
-        "repro.odeint.solve() and read Solution.stats instead",
-        DeprecationWarning, stacklevel=3)
+__all__ = ["SolverOptions", "validate_times"]
 
 
 def validate_times(t: Sequence[float]) -> np.ndarray:

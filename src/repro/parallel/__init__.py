@@ -18,6 +18,7 @@ or the CLI: ``python -m repro.cli train --dataset synthetic --workers 4``.
 """
 
 from .config import DEFAULT_SHARD_SIZE, ParallelConfig
+from .inference import InferencePool
 from .pool import InProcessExecutor, WorkerFailure, WorkerPool, make_executor
 from .reduce import tree_reduce
 from .sharding import plan_shards, shard_batch, shard_lengths
@@ -28,6 +29,7 @@ __all__ = [
     "ParallelConfig",
     "DEFAULT_SHARD_SIZE",
     "InProcessExecutor",
+    "InferencePool",
     "WorkerPool",
     "WorkerFailure",
     "make_executor",

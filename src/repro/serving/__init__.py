@@ -1,0 +1,52 @@
+"""Async inference serving: micro-batching, context caching, hot-reload.
+
+The serving stack turns the offline DIFFODE pipeline into an online
+service (stdlib-only: asyncio + sockets + json):
+
+* :mod:`~repro.serving.protocol` — length-prefixed JSON frames;
+* :mod:`~repro.serving.batcher` — dynamic micro-batching (flush on
+  ``max_batch`` or ``max_wait_ms``, whichever first);
+* :mod:`~repro.serving.engine` — batched execution: cold requests share
+  one union-grid dopri5 solve, warm requests resume cached
+  :class:`~repro.core.streaming.StreamSession` state;
+* :mod:`~repro.serving.cache` — the per-series LRU
+  :class:`~repro.serving.cache.ContextCache`;
+* :mod:`~repro.serving.server` — the asyncio socket server with
+  checkpoint hot-reload (SIGHUP / mtime / ``reload`` op);
+* :mod:`~repro.serving.client` — blocking client + the open-loop Poisson
+  load generator behind ``python -m repro.benchmarks serving``.
+
+Start a server with ``python -m repro.cli serve --checkpoint model.npz``
+and drive it with ``python -m repro.cli loadgen``.  See
+``docs/architecture.md`` ("Serving") for the request lifecycle and
+``docs/telemetry.md`` for the ``serving.*`` metrics.
+"""
+
+from .batcher import MicroBatcher
+from .cache import CacheEntry, ContextCache, observation_digest
+from .client import ServingClient, make_series, run_loadgen
+from .engine import InferenceEngine, RequestError
+from .protocol import (MAX_FRAME, ProtocolError, decode_body, encode_frame,
+                       read_frame, recv_frame, send_frame, write_frame)
+from .server import ModelServer
+
+__all__ = [
+    "MicroBatcher",
+    "CacheEntry",
+    "ContextCache",
+    "observation_digest",
+    "ServingClient",
+    "make_series",
+    "run_loadgen",
+    "InferenceEngine",
+    "RequestError",
+    "ModelServer",
+    "MAX_FRAME",
+    "ProtocolError",
+    "decode_body",
+    "encode_frame",
+    "read_frame",
+    "recv_frame",
+    "send_frame",
+    "write_frame",
+]

@@ -1,0 +1,174 @@
+"""Dynamic micro-batching for the asyncio serving loop.
+
+:class:`MicroBatcher` queues incoming predict payloads and flushes them to
+an executor callback in arrival order when either
+
+* the queue holds ``max_batch`` requests (a full batch — flush now), or
+* the *oldest* queued request has waited ``max_wait_ms`` (latency budget —
+  flush whatever is there),
+
+whichever happens first.  Co-arriving requests therefore share one
+batched encode + union-grid solve (see
+:class:`~repro.serving.engine.InferenceEngine`), while a lone request
+never waits more than the budget.
+
+Flush composition is deterministic given an arrival order: batches are
+always contiguous FIFO slices of the queue, so replaying the same arrival
+schedule yields the same batches (the property the batcher tests pin).
+Requests cancelled while queued (client gone, asyncio timeout) are
+dropped at flush time without occupying a batch slot.
+
+Telemetry: ``serving.batch_size`` histogram, ``serving.queue_depth``
+gauge, ``serving.flush_full`` / ``serving.flush_timeout`` /
+``serving.cancelled`` counters.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from collections import deque
+from dataclasses import dataclass, field
+
+from ..telemetry import get_registry
+
+__all__ = ["MicroBatcher"]
+
+
+@dataclass
+class _Pending:
+    seq: int
+    payload: dict
+    future: asyncio.Future
+    enqueued_at: float = field(default=0.0)
+
+
+class MicroBatcher:
+    """Coalesces ``submit()`` calls into batched ``execute`` calls.
+
+    Parameters
+    ----------
+    execute:
+        Async callable ``execute(payloads) -> list[results]`` returning
+        one result per payload, in order.  Typically wraps
+        ``loop.run_in_executor(None, engine.execute, payloads)``.
+    max_batch:
+        Flush as soon as this many requests are queued.
+    max_wait_ms:
+        Flush when the oldest queued request has waited this long.
+    """
+
+    def __init__(self, execute, *, max_batch: int = 16,
+                 max_wait_ms: float = 5.0):
+        if max_batch < 1:
+            raise ValueError("max_batch must be >= 1")
+        self.execute = execute
+        self.max_batch = int(max_batch)
+        self.max_wait = float(max_wait_ms) / 1000.0
+        self._queue: deque[_Pending] = deque()
+        self._wakeup = asyncio.Event()
+        self._seq = 0
+        self._task: asyncio.Task | None = None
+        self._closed = False
+        #: flush counters (mirrored into telemetry when enabled)
+        self.flushes_full = 0
+        self.flushes_timeout = 0
+
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        if self._task is None:
+            self._task = asyncio.get_running_loop().create_task(
+                self._flusher(), name="repro-serving-flusher")
+
+    async def close(self) -> None:
+        """Flush what is queued, then stop the flusher."""
+        self._closed = True
+        self._wakeup.set()
+        if self._task is not None:
+            await self._task
+            self._task = None
+        for pending in self._queue:
+            if not pending.future.done():
+                pending.future.set_exception(
+                    RuntimeError("batcher closed"))
+        self._queue.clear()
+
+    # ------------------------------------------------------------------
+    async def submit(self, payload: dict) -> dict:
+        """Queue one payload; resolves with its result after the flush."""
+        if self._closed:
+            raise RuntimeError("batcher closed")
+        self.start()
+        loop = asyncio.get_running_loop()
+        pending = _Pending(self._seq, payload, loop.create_future(),
+                           loop.time())
+        self._seq += 1
+        self._queue.append(pending)
+        reg = get_registry()
+        if reg.enabled:
+            reg.set_gauge("serving.queue_depth", float(len(self._queue)))
+        self._wakeup.set()
+        return await pending.future
+
+    # ------------------------------------------------------------------
+    async def _flusher(self) -> None:
+        loop = asyncio.get_running_loop()
+        while not (self._closed and not self._queue):
+            if not self._queue:
+                self._wakeup.clear()
+                await self._wakeup.wait()
+                continue
+            if len(self._queue) < self.max_batch and not self._closed:
+                # Sleep until the oldest request's deadline; a new arrival
+                # sets the event, letting a filling batch flush early.
+                deadline = self._queue[0].enqueued_at + self.max_wait
+                remaining = deadline - loop.time()
+                if remaining > 0:
+                    self._wakeup.clear()
+                    try:
+                        await asyncio.wait_for(self._wakeup.wait(),
+                                               timeout=remaining)
+                    except asyncio.TimeoutError:
+                        pass
+                    if (len(self._queue) < self.max_batch
+                            and not self._closed
+                            and self._queue
+                            and self._queue[0].enqueued_at + self.max_wait
+                            > loop.time()):
+                        continue
+            await self._flush_once()
+
+    async def _flush_once(self) -> None:
+        reg = get_registry()
+        batch: list[_Pending] = []
+        cancelled = 0
+        while self._queue and len(batch) < self.max_batch:
+            pending = self._queue.popleft()
+            if pending.future.done():       # cancelled while queued
+                cancelled += 1
+                continue
+            batch.append(pending)
+        if reg.enabled:
+            reg.set_gauge("serving.queue_depth", float(len(self._queue)))
+            if cancelled:
+                reg.inc("serving.cancelled", cancelled)
+        if not batch:
+            return
+        full = len(batch) == self.max_batch
+        if full:
+            self.flushes_full += 1
+        else:
+            self.flushes_timeout += 1
+        if reg.enabled:
+            reg.inc("serving.flush_full" if full else "serving.flush_timeout")
+            reg.observe("serving.batch_size", float(len(batch)))
+        try:
+            results = await self.execute([p.payload for p in batch])
+        except Exception as exc:
+            for pending in batch:
+                if not pending.future.done():
+                    pending.future.set_exception(
+                        RuntimeError(f"batch execution failed: {exc}"))
+            return
+        for pending, result in zip(batch, results):
+            if not pending.future.done():   # cancelled mid-execute
+                pending.future.set_result(result)

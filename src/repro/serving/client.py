@@ -1,0 +1,189 @@
+"""Client-side of the serving protocol: blocking client + load generator.
+
+:class:`ServingClient` is the plain blocking client (one socket, one
+request in flight) used by tests, the CLI and anything that just wants a
+prediction.  :func:`run_loadgen` is the benchmark driver: an *open-loop*
+Poisson load generator — arrivals are scheduled from the offered QPS
+independently of response latency, so server slowdown shows up as queue
+growth and latency, not as reduced offered load — measuring per-request
+latency percentiles and achieved throughput.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import socket
+
+import numpy as np
+
+from .protocol import (ProtocolError, read_frame, recv_frame, send_frame,
+                       write_frame)
+
+__all__ = ["ServingClient", "make_series", "run_loadgen"]
+
+
+class ServingClient:
+    """Blocking client for one serving connection."""
+
+    def __init__(self, host: str, port: int, timeout: float = 60.0):
+        self.sock = socket.create_connection((host, port), timeout=timeout)
+
+    def request(self, message: dict) -> dict:
+        send_frame(self.sock, message)
+        response = recv_frame(self.sock)
+        if response is None:
+            raise ProtocolError("server closed the connection")
+        return response
+
+    def predict(self, series_id: str, times, values, query_times) -> dict:
+        return self.request({
+            "op": "predict", "series_id": series_id,
+            "times": np.asarray(times, dtype=np.float64).tolist(),
+            "values": np.asarray(values, dtype=np.float64).tolist(),
+            "query_times": np.asarray(query_times,
+                                      dtype=np.float64).tolist()})
+
+    def ping(self) -> dict:
+        return self.request({"op": "ping"})
+
+    def info(self) -> dict:
+        return self.request({"op": "info"})
+
+    def stats(self) -> dict:
+        return self.request({"op": "stats"})
+
+    def reload(self) -> dict:
+        return self.request({"op": "reload"})
+
+    def shutdown(self) -> dict:
+        return self.request({"op": "shutdown"})
+
+    def close(self) -> None:
+        try:
+            self.sock.close()
+        except OSError:
+            pass
+
+    def __enter__(self) -> "ServingClient":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+# ---------------------------------------------------------------------------
+# synthetic request workload
+# ---------------------------------------------------------------------------
+def make_series(info: dict, rng: np.random.Generator, *,
+                n_obs: int | None = None,
+                t_max: float = 0.6) -> tuple[np.ndarray, np.ndarray]:
+    """One synthetic observation series compatible with the served model.
+
+    ``info`` is the server's ``info`` response — it pins ``input_dim`` and
+    the ``min_context``/``max_len`` observation-count window.
+    """
+    lo = int(info["min_context"])
+    hi = max(lo + 1, min(int(info["max_len"]) - 4, lo + 12))
+    if n_obs is None:
+        n_obs = int(rng.integers(lo, hi + 1))
+    n_obs = max(lo, min(n_obs, int(info["max_len"])))
+    times = np.sort(rng.uniform(0.0, t_max, size=n_obs))
+    # Strictly increasing with a floor gap (the server validates this).
+    times = np.maximum.accumulate(times + 1e-6 * np.arange(n_obs))
+    values = rng.normal(size=(n_obs, int(info["input_dim"])))
+    return times, values
+
+
+async def run_loadgen(host: str, port: int, *, qps: float = 20.0,
+                      duration_s: float = 5.0, n_series: int = 32,
+                      n_queries: int = 4, repeat_ratio: float = 0.5,
+                      seed: int = 0, timeout_s: float = 60.0) -> dict:
+    """Drive the server with an open-loop Poisson workload.
+
+    ``n_series`` distinct series are pre-generated; each request picks one
+    at random — with probability ``repeat_ratio`` an already-queried
+    series (a cache hit unless evicted), otherwise a fresh one.  Returns
+    the latency/throughput summary that feeds ``BENCH_serving.json``.
+    """
+    rng = np.random.default_rng(seed)
+    reader, writer = await asyncio.open_connection(host, port)
+    await write_frame(writer, {"op": "info"})
+    info = await read_frame(reader)
+    writer.close()
+    await writer.wait_closed()
+    if info is None or not info.get("ok"):
+        raise RuntimeError(f"info op failed: {info}")
+
+    series = []
+    for i in range(n_series):
+        times, values = make_series(info, rng)
+        query = np.sort(rng.uniform(0.05, 1.0, size=n_queries))
+        series.append({"series_id": f"loadgen-{seed}-{i}",
+                       "times": times.tolist(),
+                       "values": values.tolist(),
+                       "query_times": query.tolist()})
+
+    queried: list[int] = []
+    latencies: list[float] = []
+    hits = misses = errors = 0
+    tasks: list[asyncio.Task] = []
+    loop = asyncio.get_running_loop()
+
+    async def one_request(payload: dict) -> None:
+        nonlocal hits, misses, errors
+        start = loop.time()
+        try:
+            r, w = await asyncio.open_connection(host, port)
+            await write_frame(w, dict(payload, op="predict"))
+            response = await asyncio.wait_for(read_frame(r), timeout_s)
+            w.close()
+            await w.wait_closed()
+        except (OSError, ProtocolError, asyncio.TimeoutError):
+            errors += 1
+            return
+        latencies.append(loop.time() - start)
+        if response is None or not response.get("ok"):
+            errors += 1
+        elif response.get("cache") == "hit":
+            hits += 1
+        else:
+            misses += 1
+
+    n_offered = 0
+    t_start = loop.time()
+    t_next = t_start
+    while t_next - t_start < duration_s:
+        delay = t_next - loop.time()
+        if delay > 0:
+            await asyncio.sleep(delay)
+        if queried and rng.random() < repeat_ratio:
+            idx = int(queried[int(rng.integers(0, len(queried)))])
+        else:
+            idx = int(rng.integers(0, n_series))
+            if idx not in queried:
+                queried.append(idx)
+        tasks.append(asyncio.ensure_future(one_request(series[idx])))
+        n_offered += 1
+        # Open loop: exponential inter-arrival gaps at the offered rate.
+        t_next += float(rng.exponential(1.0 / qps))
+    await asyncio.gather(*tasks)
+    elapsed = loop.time() - t_start
+
+    lat = np.asarray(latencies, dtype=np.float64)
+    summary = {
+        "offered_qps": qps,
+        "duration_s": elapsed,
+        "requests": n_offered,
+        "completed": int(lat.size),
+        "errors": errors,
+        "cache_hits": hits,
+        "cache_misses": misses,
+        "achieved_qps": lat.size / elapsed if elapsed > 0 else 0.0,
+    }
+    if lat.size:
+        summary.update(
+            latency_p50_ms=float(np.percentile(lat, 50) * 1000.0),
+            latency_p90_ms=float(np.percentile(lat, 90) * 1000.0),
+            latency_p99_ms=float(np.percentile(lat, 99) * 1000.0),
+            latency_mean_ms=float(lat.mean() * 1000.0))
+    return summary

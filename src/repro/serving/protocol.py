@@ -1,0 +1,132 @@
+"""Length-prefixed JSON framing for the serving socket protocol.
+
+One frame = a 4-byte big-endian unsigned length followed by that many
+bytes of UTF-8 JSON.  The framing is symmetric: the same functions back
+the asyncio server (:mod:`repro.serving.server`), the blocking client and
+the async load generator (:mod:`repro.serving.client`).
+
+Request messages are JSON objects with an ``op`` field:
+
+``predict``
+    ``{"op": "predict", "series_id": str, "times": [t...],
+    "values": [[x...]...], "query_times": [t...]}`` — per-series query:
+    predict the regression output at each query time given the series'
+    observations so far.  Repeat requests for the same ``series_id`` whose
+    observation prefix is unchanged hit the server's
+    :class:`~repro.serving.cache.ContextCache`.
+``ping`` / ``info`` / ``stats``
+    Liveness probe; model + serving configuration; a snapshot of the
+    ``serving.*`` telemetry.
+``reload``
+    Hot-reload the checkpoint now (same effect as SIGHUP / the mtime
+    watcher).
+``shutdown``
+    Stop the server loop.
+
+Responses always carry ``"ok": true/false``; errors ride in ``"error"``.
+A malformed or oversized frame closes the connection — framing errors are
+not recoverable mid-stream.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import socket
+import struct
+
+__all__ = ["MAX_FRAME", "encode_frame", "decode_body", "read_frame",
+           "write_frame", "send_frame", "recv_frame", "ProtocolError"]
+
+#: refuse frames above this size (64 MiB) — a corrupt length prefix would
+#: otherwise make the reader allocate arbitrary memory.
+MAX_FRAME = 64 * 1024 * 1024
+
+_HEADER = struct.Struct(">I")
+
+
+class ProtocolError(RuntimeError):
+    """Malformed frame (bad length prefix or non-JSON body)."""
+
+
+def encode_frame(message: dict) -> bytes:
+    """Serialise one message to its wire form (header + JSON body)."""
+    body = json.dumps(message, separators=(",", ":")).encode("utf-8")
+    if len(body) > MAX_FRAME:
+        raise ProtocolError(f"frame of {len(body)} bytes exceeds the "
+                            f"{MAX_FRAME}-byte limit")
+    return _HEADER.pack(len(body)) + body
+
+
+def decode_body(body: bytes) -> dict:
+    try:
+        message = json.loads(body.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ProtocolError(f"undecodable frame body: {exc}") from exc
+    if not isinstance(message, dict):
+        raise ProtocolError("frame body must be a JSON object")
+    return message
+
+
+def _check_length(length: int) -> int:
+    if length > MAX_FRAME:
+        raise ProtocolError(f"frame of {length} bytes exceeds the "
+                            f"{MAX_FRAME}-byte limit")
+    return length
+
+
+# ---------------------------------------------------------------------------
+# asyncio streams
+# ---------------------------------------------------------------------------
+async def read_frame(reader: asyncio.StreamReader) -> dict | None:
+    """Read one message; ``None`` on a clean EOF at a frame boundary."""
+    try:
+        header = await reader.readexactly(_HEADER.size)
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            return None
+        raise ProtocolError("connection closed mid-header") from exc
+    length = _check_length(_HEADER.unpack(header)[0])
+    try:
+        body = await reader.readexactly(length)
+    except asyncio.IncompleteReadError as exc:
+        raise ProtocolError("connection closed mid-frame") from exc
+    return decode_body(body)
+
+
+async def write_frame(writer: asyncio.StreamWriter, message: dict) -> None:
+    writer.write(encode_frame(message))
+    await writer.drain()
+
+
+# ---------------------------------------------------------------------------
+# blocking sockets (the synchronous client)
+# ---------------------------------------------------------------------------
+def _recv_exactly(sock: socket.socket, n: int) -> bytes | None:
+    chunks = []
+    remaining = n
+    while remaining:
+        chunk = sock.recv(remaining)
+        if not chunk:
+            if remaining == n and not chunks:
+                return None
+            raise ProtocolError("connection closed mid-frame")
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+def send_frame(sock: socket.socket, message: dict) -> None:
+    sock.sendall(encode_frame(message))
+
+
+def recv_frame(sock: socket.socket) -> dict | None:
+    """Blocking read of one message; ``None`` on clean EOF."""
+    header = _recv_exactly(sock, _HEADER.size)
+    if header is None:
+        return None
+    length = _check_length(_HEADER.unpack(header)[0])
+    body = _recv_exactly(sock, length)
+    if body is None:
+        raise ProtocolError("connection closed mid-frame")
+    return decode_body(body)

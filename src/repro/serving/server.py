@@ -1,0 +1,273 @@
+"""The asyncio model server.
+
+One :class:`ModelServer` owns the socket listener, the
+:class:`~repro.serving.batcher.MicroBatcher`, and either an in-process
+:class:`~repro.serving.engine.InferenceEngine` (``workers=0``) or a fork
+:class:`~repro.parallel.InferencePool` routing series to worker processes
+by series-id affinity.  Request lifecycle::
+
+    accept -> read_frame -> batcher.submit -> [coalesce]
+        -> plan_union_buckets/union_solve (engine) -> write_frame
+
+Batches execute on the event loop's default thread-pool executor, so the
+loop keeps accepting and coalescing while numpy works.  Checkpoint
+hot-reload (SIGHUP, file-mtime watcher, or the ``reload`` op) loads the
+new weights off-loop, then swaps them under the engine lock: in-flight
+batches finish on the old weights, later batches see the new ones, and
+the context cache is invalidated wholesale.
+
+Telemetry: ``serving.request_seconds`` (+ ``.cold`` / ``.warm``
+variants), ``serving.requests`` / ``serving.errors`` /
+``serving.slo_violations`` counters, plus the batcher/cache families —
+see ``docs/telemetry.md``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import os
+import signal
+
+from ..telemetry import get_registry
+from ..training.serialization import load_diffode
+from .batcher import MicroBatcher
+from .engine import InferenceEngine
+from .protocol import ProtocolError, read_frame, write_frame
+
+__all__ = ["ModelServer"]
+
+
+class ModelServer:
+    """Serve one checkpointed DIFFODE model over the socket protocol.
+
+    Parameters
+    ----------
+    checkpoint:
+        Path of a ``save_diffode`` checkpoint.  Pass ``model=`` instead to
+        serve an in-memory model (no hot-reload watcher then).
+    host, port:
+        Listen address; ``port=0`` picks an ephemeral port — read
+        :attr:`port` after :meth:`start`.
+    max_batch, max_wait_ms:
+        Micro-batcher flush knobs.
+    workers:
+        ``0`` (default) executes batches in-process; ``> 0`` forks an
+        :class:`~repro.parallel.InferencePool` with per-worker caches.
+    slo_ms:
+        Latency objective; responses slower than this count into
+        ``serving.slo_violations``.
+    reload_poll_s:
+        ``> 0`` polls the checkpoint mtime and hot-reloads on change.
+    """
+
+    def __init__(self, checkpoint: str | None = None, *, model=None,
+                 host: str = "127.0.0.1", port: int = 0,
+                 max_batch: int = 16, max_wait_ms: float = 5.0,
+                 cache_capacity: int = 256, workers: int = 0,
+                 max_bucket: int = 64, min_overlap: float = 0.25,
+                 slo_ms: float = 250.0, reload_poll_s: float = 0.0):
+        if (checkpoint is None) == (model is None):
+            raise ValueError("pass exactly one of checkpoint= or model=")
+        self.checkpoint = checkpoint
+        if model is None:
+            model = load_diffode(checkpoint)
+        self.host = host
+        self.port = int(port)
+        self.slo = float(slo_ms) / 1000.0
+        self.reload_poll_s = float(reload_poll_s)
+        self.workers = int(workers)
+        engine_kwargs = dict(cache_capacity=cache_capacity,
+                             max_bucket=max_bucket, min_overlap=min_overlap)
+        if self.workers > 0:
+            from ..parallel import InferencePool
+            self.backend = InferencePool(model, workers=self.workers,
+                                         **engine_kwargs)
+        else:
+            self.backend = InferenceEngine(model, **engine_kwargs)
+        self.batcher = MicroBatcher(self._execute_batch,
+                                    max_batch=max_batch,
+                                    max_wait_ms=max_wait_ms)
+        self._server: asyncio.base_events.Server | None = None
+        self._stopping: asyncio.Event | None = None
+        self._watcher: asyncio.Task | None = None
+        self._reload_lock: asyncio.Lock | None = None
+        self._mtime = (os.path.getmtime(checkpoint)
+                       if checkpoint is not None else None)
+        self.reloads = 0
+
+    # ------------------------------------------------------------------
+    async def _execute_batch(self, payloads: list[dict]) -> list[dict]:
+        loop = asyncio.get_running_loop()
+        return await loop.run_in_executor(None, self.backend.execute,
+                                          payloads)
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    async def start(self) -> None:
+        """Bind the listener and install the reload triggers."""
+        self._stopping = asyncio.Event()
+        self._reload_lock = asyncio.Lock()
+        self.batcher.start()
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.host, self.port)
+        self.port = self._server.sockets[0].getsockname()[1]
+        loop = asyncio.get_running_loop()
+        try:
+            loop.add_signal_handler(
+                signal.SIGHUP, lambda: loop.create_task(self.reload_now()))
+        except (NotImplementedError, ValueError, RuntimeError):
+            pass  # non-main thread / platform without signal support
+        if self.checkpoint is not None and self.reload_poll_s > 0:
+            self._watcher = loop.create_task(self._watch_checkpoint(),
+                                             name="repro-serving-watcher")
+
+    async def serve_forever(self) -> None:
+        """`start()` + block until a ``shutdown`` op (or cancellation)."""
+        if self._server is None:
+            await self.start()
+        await self._stopping.wait()
+        await self.stop()
+
+    async def stop(self) -> None:
+        if self._watcher is not None:
+            self._watcher.cancel()
+            try:
+                await self._watcher
+            except asyncio.CancelledError:
+                pass
+            self._watcher = None
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        await self.batcher.close()
+        close = getattr(self.backend, "close", None)
+        if close is not None:
+            close()
+
+    # ------------------------------------------------------------------
+    # hot reload
+    # ------------------------------------------------------------------
+    async def _watch_checkpoint(self) -> None:
+        while True:
+            await asyncio.sleep(self.reload_poll_s)
+            try:
+                mtime = os.path.getmtime(self.checkpoint)
+            except OSError:
+                continue                    # mid-rewrite; retry next poll
+            if self._mtime is None or mtime > self._mtime:
+                self._mtime = mtime
+                await self.reload_now()
+
+    async def reload_now(self) -> dict:
+        """Load the checkpoint off-loop and swap it in without downtime."""
+        if self.checkpoint is None:
+            return {"ok": False, "error": "server has no checkpoint path"}
+        async with self._reload_lock:
+            loop = asyncio.get_running_loop()
+            try:
+                if self.workers > 0:
+                    # Workers re-load from the path themselves.
+                    version = await loop.run_in_executor(
+                        None, self.backend.swap_model, self.checkpoint)
+                else:
+                    model = await loop.run_in_executor(None, load_diffode,
+                                                       self.checkpoint)
+                    version = await loop.run_in_executor(
+                        None, self.backend.swap_model, model)
+            except Exception as exc:
+                reg = get_registry()
+                if reg.enabled:
+                    reg.inc("serving.reload_errors")
+                return {"ok": False, "error": f"reload failed: {exc}"}
+            try:
+                self._mtime = os.path.getmtime(self.checkpoint)
+            except OSError:
+                pass
+            self.reloads += 1
+            return {"ok": True, "model_version": version}
+
+    # ------------------------------------------------------------------
+    # connections
+    # ------------------------------------------------------------------
+    async def _handle_connection(self, reader: asyncio.StreamReader,
+                                 writer: asyncio.StreamWriter) -> None:
+        try:
+            while True:
+                try:
+                    message = await read_frame(reader)
+                except ProtocolError as exc:
+                    await write_frame(writer, {"ok": False,
+                                               "error": str(exc)})
+                    break
+                if message is None:
+                    break
+                response = await self._dispatch(message)
+                await write_frame(writer, response)
+                if message.get("op") == "shutdown":
+                    break
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+
+    async def _dispatch(self, message: dict) -> dict:
+        op = message.get("op")
+        if op == "predict":
+            return await self._predict(message)
+        if op == "ping":
+            return {"ok": True, "op": "ping"}
+        if op == "info":
+            info = self.backend.info()
+            info.update(ok=True, max_batch=self.batcher.max_batch,
+                        max_wait_ms=self.batcher.max_wait * 1000.0,
+                        workers=self.workers, reloads=self.reloads)
+            return info
+        if op == "stats":
+            return {"ok": True, "stats": self._stats_snapshot()}
+        if op == "reload":
+            return await self.reload_now()
+        if op == "shutdown":
+            self._stopping.set()
+            return {"ok": True, "op": "shutdown"}
+        return {"ok": False, "error": f"unknown op {op!r}"}
+
+    async def _predict(self, message: dict) -> dict:
+        reg = get_registry()
+        loop = asyncio.get_running_loop()
+        start = loop.time()
+        try:
+            response = await self.batcher.submit(message)
+        except Exception as exc:
+            if reg.enabled:
+                reg.inc("serving.errors")
+            return {"ok": False, "error": str(exc)}
+        elapsed = loop.time() - start
+        response.setdefault("latency_s", elapsed)
+        if reg.enabled:
+            reg.inc("serving.requests")
+            reg.observe("serving.request_seconds", elapsed)
+            kind = response.get("cache")
+            if kind in ("hit", "miss"):
+                reg.observe("serving.request_seconds."
+                            + ("warm" if kind == "hit" else "cold"), elapsed)
+            if not response.get("ok"):
+                reg.inc("serving.errors")
+            if elapsed > self.slo:
+                reg.inc("serving.slo_violations")
+        return response
+
+    def _stats_snapshot(self) -> dict:
+        """The serving-relevant slice of the telemetry registry."""
+        summary = get_registry().summary()
+        prefixes = ("serving.", "batching.", "streaming.")
+        return {
+            family: {name: value for name, value in metrics.items()
+                     if name.startswith(prefixes)}
+            for family, metrics in summary.items() if family != "timers"
+        }

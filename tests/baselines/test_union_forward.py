@@ -1,0 +1,126 @@
+"""Union-grid batched regression forward for the latent-ODE baselines.
+
+Under ``--union-batching`` the Trainer sets ``model.union_forward = True``
+on any model exposing the attribute; with an adaptive solver the latent-ODE
+baselines then answer regression queries by integrating union-grid buckets
+directly to the query times (``repro.parallel.union_solve``) instead of
+rolling out the uniform readout grid and interpolating.  These tests pin
+that routing against direct per-sample solves.
+"""
+
+import numpy as np
+import pytest
+
+from repro.autodiff import Tensor, no_grad
+from repro.baselines import LatentODEBaseline, LatentODEVAEBaseline
+from repro.odeint import SolverOptions, solve
+
+RTOL, ATOL = 1e-7, 1e-9
+
+
+def make_batch(rng, batch=4, n=6, nq=5, input_dim=2):
+    values = rng.normal(size=(batch, n, input_dim))
+    times = np.sort(rng.uniform(0.0, 1.0, (batch, n)), axis=1)
+    mask = np.ones((batch, n))
+    q = np.sort(rng.uniform(0.05, 1.0, (batch, nq)), axis=1)
+    # Mimic collate padding: the last query time repeats.
+    q[:, -1] = q[:, -2]
+    return values, times, mask, q
+
+
+def per_sample_reference(model, z0, query_times):
+    """Solve each sample alone over [0] + its deduped query times."""
+    q = np.asarray(query_times, dtype=np.float64)
+    outs = []
+    for i in range(q.shape[0]):
+        uniq, inv = np.unique(q[i], return_inverse=True)
+        grid = uniq if uniq[0] <= 1e-12 else np.concatenate(([0.0], uniq))
+        offset = len(grid) - len(uniq)
+        sol = solve(model._dynamics, z0[i:i + 1], grid, method="dopri5",
+                    options=SolverOptions(rtol=model.rtol, atol=model.atol))
+        states = sol.ys  # (len(grid), 1, latent)
+        rows = [model.head(states[offset + k])[0] for k in inv]
+        outs.append(np.stack([r.data for r in rows], axis=0))
+    return np.stack(outs, axis=0)
+
+
+class TestLatentODEUnionForward:
+    def test_matches_per_sample_solve(self):
+        rng = np.random.default_rng(0)
+        model = LatentODEBaseline(input_dim=2, hidden_dim=8, latent_dim=4,
+                                  rng=rng, out_dim=2, method="dopri5",
+                                  rtol=RTOL, atol=ATOL)
+        model.union_forward = True
+        values, times, mask, q = make_batch(rng)
+        with no_grad():
+            out = model.forward_regression(values, times, mask, q)
+            z0 = model._encode_z0(values, times, mask)
+            ref = per_sample_reference(model, z0, q)
+        assert out.shape == (4, 5, 2)
+        np.testing.assert_allclose(out.data, ref, rtol=1e-5, atol=1e-6)
+        assert model.last_solver_stats is not None
+        assert model.last_solver_stats.method == "dopri5"
+
+    def test_duplicate_queries_share_columns(self):
+        rng = np.random.default_rng(1)
+        model = LatentODEBaseline(input_dim=2, hidden_dim=8, latent_dim=4,
+                                  rng=rng, out_dim=1, method="dopri5",
+                                  rtol=RTOL, atol=ATOL)
+        model.union_forward = True
+        values, times, mask, q = make_batch(rng, nq=4)
+        with no_grad():
+            out = model.forward_regression(values, times, mask, q)
+        # The repeated padded column must equal the column it repeats.
+        np.testing.assert_array_equal(out.data[:, -1], out.data[:, -2])
+
+    def test_fixed_method_ignores_flag(self):
+        rng = np.random.default_rng(2)
+        model = LatentODEBaseline(input_dim=2, hidden_dim=8, latent_dim=4,
+                                  rng=rng, out_dim=1, method="rk4")
+        values, times, mask, q = make_batch(rng)
+        with no_grad():
+            base = model.forward_regression(values, times, mask, q)
+            model.union_forward = True
+            routed = model.forward_regression(values, times, mask, q)
+        np.testing.assert_array_equal(base.data, routed.data)
+
+    def test_gradients_flow_to_encoder(self):
+        rng = np.random.default_rng(3)
+        model = LatentODEBaseline(input_dim=2, hidden_dim=8, latent_dim=4,
+                                  rng=rng, out_dim=1, method="dopri5",
+                                  rtol=1e-5, atol=1e-7)
+        model.union_forward = True
+        values, times, mask, q = make_batch(rng, batch=3, nq=3)
+        out = model.forward_regression(values, times, mask, q)
+        (out ** 2).mean().backward()
+        grads = [p.grad for p in model.encoder_cell.parameters()]
+        assert all(g is not None for g in grads)
+        assert any(np.abs(g).max() > 0 for g in grads)
+
+    def test_trainer_flag_routes_baseline(self):
+        from repro.training import Trainer
+
+        rng = np.random.default_rng(4)
+        model = LatentODEBaseline(input_dim=2, hidden_dim=8, latent_dim=4,
+                                  rng=rng, out_dim=1, method="dopri5")
+        assert model.union_forward is False
+        trainer = Trainer(model, "regression", union_batching=True)
+        try:
+            assert model.union_forward is True
+        finally:
+            trainer.close()
+
+
+class TestVAEUnionForward:
+    def test_posterior_mean_path_matches_per_sample_solve(self):
+        rng = np.random.default_rng(5)
+        model = LatentODEVAEBaseline(input_dim=2, hidden_dim=8, latent_dim=4,
+                                     rng=rng, out_dim=2, method="dopri5",
+                                     rtol=RTOL, atol=ATOL)
+        model.union_forward = True
+        values, times, mask, q = make_batch(rng)
+        with no_grad():
+            out = model.forward_regression(values, times, mask, q)
+            mu, _ = model.posterior(values, times, mask)
+            ref = per_sample_reference(model, mu, q)
+        np.testing.assert_allclose(out.data, ref, rtol=1e-5, atol=1e-6)

@@ -1,0 +1,137 @@
+"""Tier-2 subprocess smoke of the serving CLI + benchmark schema.
+
+Starts a real ``python -m repro.cli serve`` process on an ephemeral port,
+drives it with the ``loadgen`` subcommand at low QPS, shuts it down over
+the wire, and checks the ``BENCH_serving.json`` schema contract that the
+acceptance tooling reads.  Opt-in (``scripts/test.sh serving`` /
+``tier2`` / ``full``) — forking servers is too slow for the tier-1 lane.
+"""
+
+import json
+import os
+import pathlib
+import re
+import subprocess
+import sys
+
+import pytest
+
+from repro.core import DiffODE, DiffODEConfig
+from repro.serving import ServingClient
+from repro.training import save_diffode
+
+pytestmark = [
+    pytest.mark.tier2,
+]
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[2]
+
+
+def _env():
+    env = dict(os.environ)
+    src = str(REPO_ROOT / "src")
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    return env
+
+
+@pytest.fixture
+def checkpoint(tmp_path):
+    model = DiffODE(DiffODEConfig(
+        input_dim=1, latent_dim=4, hidden_dim=8, num_heads=1,
+        use_hippo=False, use_attention=True, method="dopri5",
+        step_size=0.1, rtol=1e-5, atol=1e-7, out_dim=1, num_classes=None,
+        max_len=40, seed=0))
+    path = tmp_path / "serve.npz"
+    save_diffode(model, path)
+    return path
+
+
+@pytest.fixture
+def served(checkpoint):
+    """A live ``repro.cli serve`` subprocess; yields (host, port, proc)."""
+    proc = subprocess.Popen(
+        [sys.executable, "-u", "-m", "repro.cli", "serve",
+         "--checkpoint", str(checkpoint), "--port", "0",
+         "--max-wait-ms", "2"],
+        cwd=REPO_ROOT, env=_env(), stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT, text=True)
+    try:
+        banner = proc.stdout.readline()
+        match = re.search(r"on ([\d.]+):(\d+)", banner)
+        assert match, f"no listen banner, got: {banner!r}"
+        yield match.group(1), int(match.group(2)), proc
+    finally:
+        if proc.poll() is None:
+            proc.terminate()
+        proc.wait(timeout=30)
+
+
+class TestServeLoadgenSmoke:
+    def test_low_qps_loadgen_round_trip(self, served):
+        host, port, proc = served
+        with ServingClient(host, port) as client:
+            assert client.ping() == {"ok": True, "op": "ping"}
+            info = client.info()
+            assert info["ok"] and info["input_dim"] == 1
+
+        loadgen = subprocess.run(
+            [sys.executable, "-m", "repro.cli", "loadgen", "--host", host,
+             "--port", str(port), "--qps", "10", "--duration-s", "1.5",
+             "--series", "8", "--seed", "3"],
+            cwd=REPO_ROOT, env=_env(), capture_output=True, text=True,
+            timeout=120)
+        assert loadgen.returncode == 0, loadgen.stderr
+        assert "0 errors" in loadgen.stdout, loadgen.stdout
+        assert re.search(r"latency p50/p90/p99: [\d./ ]+ms", loadgen.stdout)
+
+        with ServingClient(host, port) as client:
+            stats = client.stats()
+            assert stats["ok"]
+            counters = stats["stats"].get("counters", {})
+            assert counters.get("serving.requests", 0) > 0
+            assert client.shutdown()["ok"]
+        assert proc.wait(timeout=30) == 0
+
+
+class TestBenchSchema:
+    """Contract for BENCH_serving.json, pinned on a committed artefact if
+    present (repo root or benchmarks/results), else on a fresh smoke run
+    at tiny scale."""
+
+    @pytest.fixture(scope="class")
+    def payload(self, tmp_path_factory):
+        for candidate in (REPO_ROOT / "BENCH_serving.json",
+                          REPO_ROOT / "benchmarks" / "results"
+                          / "BENCH_serving.json"):
+            if candidate.is_file():
+                return json.loads(candidate.read_text())
+        from repro.benchmarks import run_serving
+
+        out = tmp_path_factory.mktemp("bench") / "BENCH_serving.json"
+        return run_serving(out)
+
+    def test_schema(self, payload):
+        assert set(payload) >= {"rtol", "atol", "throughput", "cache",
+                                "accuracy", "qps_sweep"}
+        tp = payload["throughput"]
+        for label in ("batched", "single"):
+            assert set(tp[label]) >= {"max_batch", "requests", "completed",
+                                      "seconds", "rps"}
+            assert tp[label]["completed"] == tp[label]["requests"]
+        assert tp["speedup"] > 0
+        cache = payload["cache"]
+        assert set(cache) >= {"repeat_requests", "cold_p50_ms",
+                              "warm_p50_ms", "warm_over_cold"}
+        accuracy = payload["accuracy"]
+        assert accuracy["checked_requests"] > 0
+        assert accuracy["band"].startswith("50 *")
+        assert isinstance(accuracy["within_band"], bool)
+        for point in payload["qps_sweep"]:
+            assert set(point) >= {"offered_qps", "duration_s", "requests",
+                                  "completed", "errors", "cache_hits",
+                                  "cache_misses", "achieved_qps"}
+
+    def test_acceptance_criteria(self, payload):
+        assert payload["throughput"]["speedup"] >= 2.0, payload["throughput"]
+        assert payload["cache"]["warm_over_cold"] <= 0.5, payload["cache"]
+        assert payload["accuracy"]["within_band"], payload["accuracy"]

@@ -5,7 +5,7 @@ import pytest
 
 from repro.autodiff import Tensor
 from repro.nn import Linear, Module
-from repro.odeint import SolverOptions, odeint, odeint_adjoint
+from repro.odeint import SolverOptions, odeint, odeint_adjoint, solve
 
 
 class SmallField(Module):
@@ -86,9 +86,9 @@ class TestAdjoint:
         fmod.zero_grad()
 
         y0b = Tensor(y0_data.copy(), requires_grad=True)
-        out_b, stats = odeint_adjoint(
-            fmod, y0b, times, method="implicit_adams", options=opts,
-            return_stats=True)
+        sol_b = solve(fmod, y0b, times, method="implicit_adams",
+                      options=SolverOptions(step_size=0.05, adjoint=True))
+        out_b, stats = sol_b.ys, sol_b.stats
         (out_b ** 2).mean().backward()
 
         assert stats.method == "adjoint[implicit_adams]"

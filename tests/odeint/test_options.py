@@ -92,12 +92,9 @@ class TestEquivalence:
     def test_stats_identical_across_entry_points(self):
         opts = SolverOptions(rtol=1e-6, atol=1e-8)
         sol = solve(decay, Y0, T, method="dopri5", options=opts)
-        with warnings.catch_warnings():
-            warnings.simplefilter("ignore", DeprecationWarning)
-            _, s_old = odeint(decay, Y0, T, method="dopri5", options=opts,
-                              return_stats=True)
-        assert s_old.nfev == sol.stats.nfev
-        assert s_old.steps == sol.stats.steps
+        again = solve(decay, Y0, T, method="dopri5", options=opts)
+        assert again.stats.nfev == sol.stats.nfev
+        assert again.stats.steps == sol.stats.steps
 
 
 class TestLegacyKwargRemoval:
@@ -120,14 +117,13 @@ class TestLegacyKwargRemoval:
             warnings.simplefilter("error", DeprecationWarning)
             odeint(decay, Y0, T, method="rk4")
 
-    def test_return_stats_warns_once(self):
-        with warnings.catch_warnings(record=True) as rec:
-            warnings.simplefilter("always")
-            out = odeint(decay, Y0, T, method="rk4", return_stats=True)
-        assert isinstance(out, tuple) and len(out) == 2
-        dep = [w for w in rec if issubclass(w.category, DeprecationWarning)]
-        assert len(dep) == 1
-        assert "Solution.stats" in str(dep[0].message)
+    def test_return_stats_raises(self):
+        with pytest.raises(TypeError,
+                           match="return_stats was removed.*Solution.stats"):
+            odeint(decay, Y0, T, method="rk4", return_stats=True)
+        with pytest.raises(TypeError,
+                           match="return_stats was removed.*Solution.stats"):
+            odeint_adjoint(decay, Y0, T, method="rk4", return_stats=True)
 
     def test_options_must_be_solver_options(self):
         with pytest.raises(TypeError, match="SolverOptions"):

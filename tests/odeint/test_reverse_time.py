@@ -10,7 +10,7 @@ import numpy as np
 import pytest
 
 from repro.autodiff import Tensor
-from repro.odeint import SolverOptions, dopri5_solve, odeint
+from repro.odeint import SolverOptions, dopri5_solve, odeint, solve
 
 
 class TestReverseAccuracy:
@@ -36,13 +36,12 @@ class TestReverseAccuracy:
         # Coarse tolerances force long solver steps, so most outputs come
         # from the dense interpolant rather than step endpoints.
         t = np.linspace(1.0, 0.0, 33)
-        sol, stats = odeint(lambda _, y: -y, Tensor(np.array([2.0])), t,
-                            method="dopri5",
-                            options=SolverOptions(rtol=1e-6, atol=1e-8),
-                            return_stats=True)
-        assert stats.dense_evals > 0
+        sol = solve(lambda _, y: -y, Tensor(np.array([2.0])), t,
+                    method="dopri5",
+                    options=SolverOptions(rtol=1e-6, atol=1e-8))
+        assert sol.stats.dense_evals > 0
         expected = 2.0 * np.exp(1.0 - t)[:, None]
-        np.testing.assert_allclose(sol.data, expected, rtol=1e-4)
+        np.testing.assert_allclose(sol.ys.data, expected, rtol=1e-4)
 
     def test_forward_and_reverse_are_inverses(self):
         t_fwd = np.linspace(0.0, 1.0, 5)

@@ -1,6 +1,7 @@
 """SolverStats instrumentation across solvers, the model, and baselines."""
 
 import numpy as np
+import pytest
 
 from repro.autodiff import Tensor, get_executor, no_grad
 from repro.baselines import LatentODEBaseline
@@ -11,6 +12,7 @@ from repro.odeint import (
     SolverStats,
     odeint,
     odeint_adjoint,
+    solve,
 )
 
 
@@ -20,16 +22,18 @@ def decay(t, y):
 
 class TestFixedGridStats:
     def test_rk4_counts(self):
-        sol, stats = odeint(decay, Tensor(np.ones((1, 1))),
-                            np.linspace(0, 1, 5), method="rk4", options=SolverOptions(step_size=0.05), return_stats=True)
+        sol = solve(decay, Tensor(np.ones((1, 1))),
+                    np.linspace(0, 1, 5), method="rk4",
+                    options=SolverOptions(step_size=0.05))
+        stats = sol.stats
         assert stats.method == "rk4"
         assert stats.steps == 20          # 4 intervals x 5 sub-steps
         assert stats.rejects == 0
         assert stats.nfev == 20 * STEP_NFEV["rk4"]
 
     def test_euler_default_one_step_per_interval(self):
-        _, stats = odeint(decay, Tensor(np.ones((1, 1))), [0.0, 0.5, 1.0],
-                          method="euler", return_stats=True)
+        stats = solve(decay, Tensor(np.ones((1, 1))), [0.0, 0.5, 1.0],
+                      method="euler").stats
         assert stats.steps == 2
         assert stats.nfev == 2
 
@@ -40,8 +44,9 @@ class TestFixedGridStats:
             calls.append(t)
             return -y
 
-        _, stats = odeint(f, Tensor(np.ones((1, 1))),
-                          np.linspace(0, 1, 11), method="implicit_adams", options=SolverOptions(step_size=0.1), return_stats=True)
+        stats = solve(f, Tensor(np.ones((1, 1))),
+                      np.linspace(0, 1, 11), method="implicit_adams",
+                      options=SolverOptions(step_size=0.1)).stats
         # RK4 warm-up for the multistep history adds a couple of steps.
         assert stats.steps >= 10
         if get_executor() == "replay":
@@ -53,17 +58,22 @@ class TestFixedGridStats:
         else:
             assert stats.nfev == len(calls)
 
-    def test_return_stats_false_keeps_old_signature(self):
+    def test_odeint_keeps_bare_tensor_signature(self):
         sol = odeint(decay, Tensor(np.ones((1, 1))), [0.0, 1.0],
                      method="rk4", options=SolverOptions(step_size=0.1))
         assert isinstance(sol, Tensor)
 
+    def test_odeint_return_stats_removed(self):
+        with pytest.raises(TypeError, match="return_stats was removed"):
+            odeint(decay, Tensor(np.ones((1, 1))), [0.0, 1.0],
+                   method="rk4", options=SolverOptions(step_size=0.1),
+                   return_stats=True)
+
 
 class TestDopri5Stats:
     def test_stats_fields_populated(self):
-        _, stats = odeint(decay, Tensor(np.ones((2, 3))),
-                          np.linspace(0, 1, 4), method="dopri5",
-                          return_stats=True)
+        stats = solve(decay, Tensor(np.ones((2, 3))),
+                      np.linspace(0, 1, 4), method="dopri5").stats
         assert stats.method == "dopri5"
         assert stats.steps > 0
         assert stats.nfev == 2 + 6 * stats.trial_steps
@@ -74,8 +84,8 @@ class TestDopri5Stats:
     def test_as_dict_is_json_friendly(self):
         import json
 
-        _, stats = odeint(decay, Tensor(np.ones((2, 3))), [0.0, 1.0],
-                          method="dopri5", return_stats=True)
+        stats = solve(decay, Tensor(np.ones((2, 3))), [0.0, 1.0],
+                      method="dopri5").stats
         payload = json.loads(json.dumps(stats.as_dict()))
         assert payload["method"] == "dopri5"
         assert payload["nfev"] == stats.nfev
@@ -106,16 +116,35 @@ class TestAdjointStats:
                 return self.lin(y).tanh()
 
         fmod = Field()
-        out, stats = odeint_adjoint(fmod, Tensor(np.ones((1, 3))),
-                                    [0.0, 1.0], method="rk4",
-                                    options=SolverOptions(step_size=0.25),
-                                    return_stats=True)
+        sol = solve(fmod, Tensor(np.ones((1, 3))), [0.0, 1.0],
+                    method="rk4",
+                    options=SolverOptions(step_size=0.25, adjoint=True))
+        out, stats = sol.ys, sol.stats
         assert stats.steps == 4
         forward_nfev = stats.nfev
         assert forward_nfev == 4 * STEP_NFEV["rk4"]
         (out ** 2).mean().backward()
         # Backward sweep adds augmented-dynamics evaluations on top.
         assert stats.nfev > forward_nfev
+
+    def test_odeint_adjoint_return_stats_removed(self):
+        from repro.nn import Linear, Module
+
+        rng = np.random.default_rng(0)
+
+        class Field(Module):
+            def __init__(self):
+                super().__init__()
+                self.lin = Linear(3, 3, rng)
+
+            def forward(self, t, y):
+                return self.lin(y).tanh()
+
+        with pytest.raises(TypeError, match="return_stats was removed"):
+            odeint_adjoint(Field(), Tensor(np.ones((1, 3))), [0.0, 1.0],
+                           method="rk4",
+                           options=SolverOptions(step_size=0.25),
+                           return_stats=True)
 
 
 class TestModelStats:

@@ -1,0 +1,65 @@
+"""Shared fixtures for the serving suite: a tiny dopri5 regression model
+plus request-payload helpers sized so warm/cold solves stay cheap."""
+
+import numpy as np
+import pytest
+
+from repro.core import DiffODE, DiffODEConfig
+from repro.odeint import SolverOptions, solve
+
+RTOL, ATOL = 1e-5, 1e-7
+
+
+def tiny_model(seed: int = 0, max_len: int = 48) -> DiffODE:
+    return DiffODE(DiffODEConfig(
+        input_dim=1, latent_dim=4, hidden_dim=8, num_heads=1,
+        use_hippo=False, use_attention=True, method="dopri5",
+        step_size=0.1, rtol=RTOL, atol=ATOL, out_dim=1, num_classes=None,
+        max_len=max_len, seed=seed))
+
+
+@pytest.fixture
+def model():
+    return tiny_model()
+
+
+def make_payload(rng, *, series_id: str = "s", n_obs: int = 8,
+                 n_queries: int = 3, t_max: float = 0.5,
+                 input_dim: int = 1) -> dict:
+    times = np.sort(rng.uniform(0.0, t_max, size=n_obs))
+    times = np.maximum.accumulate(times + 1e-6 * np.arange(n_obs))
+    values = rng.normal(size=(n_obs, input_dim))
+    query = np.sort(rng.uniform(0.05, 1.0, size=n_queries))
+    return {"series_id": series_id, "times": times.tolist(),
+            "values": values.tolist(), "query_times": query.tolist()}
+
+
+def offline_predictions(model, payload: dict) -> np.ndarray:
+    """Single-series offline reference: encode, build, solve, gather."""
+    from repro.autodiff import no_grad
+
+    times = np.asarray(payload["times"], dtype=np.float64)
+    values = np.asarray(payload["values"],
+                        dtype=np.float64).reshape(len(times), -1)
+    query = np.asarray(payload["query_times"], dtype=np.float64)
+    cfg = model.config
+    mask = np.ones((1, len(times)))
+    with no_grad():
+        z = model.encode(values[None], times[None], mask)
+        contexts = (model.build_contexts(z, mask)
+                    if cfg.use_attention else [])
+        model.latent_dynamics.bind(contexts)
+        y0 = model.initial_state(z, contexts)
+        uniq, inv = np.unique(query, return_inverse=True)
+        ts = uniq if uniq[0] <= 1e-12 else np.concatenate([[0.0], uniq])
+        offset = len(ts) - len(uniq)
+        sol = solve(model.dynamics, y0, ts, method=cfg.method,
+                    options=SolverOptions(rtol=cfg.rtol, atol=cfg.atol))
+        preds = np.stack([np.asarray(model.head(sol.ys[offset + k]).data[0])
+                          for k in inv], axis=0)
+    return preds
+
+
+def tolerance_band(model, ref: np.ndarray) -> np.ndarray:
+    cfg = model.config
+    return 50.0 * (cfg.atol + cfg.rtol * np.abs(ref))

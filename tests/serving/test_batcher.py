@@ -1,0 +1,177 @@
+"""MicroBatcher: flush triggers, FIFO determinism, cancellation."""
+
+import asyncio
+
+import pytest
+
+from repro.serving import MicroBatcher
+
+
+class Recorder:
+    """Echo executor that records the exact batch composition."""
+
+    def __init__(self, delay: float = 0.0):
+        self.batches: list[list[int]] = []
+        self.delay = delay
+
+    async def __call__(self, payloads):
+        self.batches.append([p["i"] for p in payloads])
+        if self.delay:
+            await asyncio.sleep(self.delay)
+        return [{"i": p["i"], "batch": len(self.batches) - 1}
+                for p in payloads]
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+class TestFlushTriggers:
+    def test_full_batch_flushes_immediately(self):
+        async def main():
+            recorder = Recorder()
+            batcher = MicroBatcher(recorder, max_batch=4,
+                                   max_wait_ms=10_000.0)
+            results = await asyncio.gather(
+                *[batcher.submit({"i": i}) for i in range(4)])
+            await batcher.close()
+            return recorder, results
+
+        recorder, results = run(main())
+        # One full flush, never the (10 s) timeout.
+        assert recorder.batches == [[0, 1, 2, 3]]
+        assert [r["i"] for r in results] == [0, 1, 2, 3]
+
+    def test_timeout_flushes_partial_batch(self):
+        async def main():
+            recorder = Recorder()
+            batcher = MicroBatcher(recorder, max_batch=64, max_wait_ms=5.0)
+            result = await asyncio.wait_for(batcher.submit({"i": 0}),
+                                            timeout=5.0)
+            await batcher.close()
+            return recorder, batcher, result
+
+        recorder, batcher, result = run(main())
+        assert recorder.batches == [[0]]
+        assert batcher.flushes_timeout == 1 and batcher.flushes_full == 0
+
+    def test_full_and_timeout_counters(self):
+        async def main():
+            recorder = Recorder()
+            batcher = MicroBatcher(recorder, max_batch=2, max_wait_ms=5.0)
+            await asyncio.gather(*[batcher.submit({"i": i})
+                                   for i in range(5)])
+            await batcher.close()
+            return recorder, batcher
+
+        recorder, batcher = run(main())
+        assert sum(len(b) for b in recorder.batches) == 5
+        assert batcher.flushes_full >= 1   # at least the first two pairs
+        assert batcher.flushes_full + batcher.flushes_timeout == \
+            len(recorder.batches)
+
+    def test_max_batch_validated(self):
+        with pytest.raises(ValueError):
+            MicroBatcher(Recorder(), max_batch=0)
+
+
+class TestDeterminism:
+    def test_batches_are_contiguous_fifo_slices(self):
+        """Replaying one arrival schedule yields the same batches."""
+        async def schedule():
+            recorder = Recorder(delay=0.002)
+            batcher = MicroBatcher(recorder, max_batch=3,
+                                   max_wait_ms=1_000.0)
+            tasks = []
+            for i in range(9):
+                tasks.append(asyncio.ensure_future(
+                    batcher.submit({"i": i})))
+                await asyncio.sleep(0)      # keep arrival order exact
+            results = await asyncio.gather(*tasks)
+            await batcher.close()
+            return recorder.batches, results
+
+        batches_a, results_a = run(schedule())
+        batches_b, results_b = run(schedule())
+        assert batches_a == batches_b
+        flat = [i for batch in batches_a for i in batch]
+        assert flat == list(range(9))       # FIFO, no reordering
+        for batch in batches_a:
+            assert batch == sorted(batch)
+        assert [r["i"] for r in results_a] == list(range(9))
+        assert results_a == results_b
+
+    def test_results_route_back_to_their_futures(self):
+        async def main():
+            batcher = MicroBatcher(Recorder(), max_batch=4, max_wait_ms=2.0)
+            results = await asyncio.gather(
+                *[batcher.submit({"i": i}) for i in range(10)])
+            await batcher.close()
+            return results
+
+        results = run(main())
+        assert [r["i"] for r in results] == list(range(10))
+
+
+class TestCancellation:
+    def test_cancelled_request_skips_its_batch_slot(self):
+        async def main():
+            recorder = Recorder()
+            batcher = MicroBatcher(recorder, max_batch=8, max_wait_ms=20.0)
+            keep = [asyncio.ensure_future(batcher.submit({"i": i}))
+                    for i in range(2)]
+            victim = asyncio.ensure_future(batcher.submit({"i": 99}))
+            await asyncio.sleep(0)          # let all three enqueue
+            victim.cancel()
+            results = await asyncio.gather(*keep)
+            with pytest.raises(asyncio.CancelledError):
+                await victim
+            await batcher.close()
+            return recorder, results
+
+        recorder, results = run(main())
+        assert recorder.batches == [[0, 1]]      # 99 never executed
+        assert [r["i"] for r in results] == [0, 1]
+
+    def test_execute_failure_propagates_to_every_future(self):
+        async def boom(payloads):
+            raise RuntimeError("engine fell over")
+
+        async def main():
+            batcher = MicroBatcher(boom, max_batch=2, max_wait_ms=5.0)
+            futs = [asyncio.ensure_future(batcher.submit({"i": i}))
+                    for i in range(2)]
+            results = await asyncio.gather(*futs, return_exceptions=True)
+            await batcher.close()
+            return results
+
+        results = run(main())
+        assert all(isinstance(r, RuntimeError) for r in results)
+        assert all("batch execution failed" in str(r) for r in results)
+
+
+class TestClose:
+    def test_close_flushes_queued_work(self):
+        async def main():
+            recorder = Recorder()
+            batcher = MicroBatcher(recorder, max_batch=64,
+                                   max_wait_ms=60_000.0)
+            futs = [asyncio.ensure_future(batcher.submit({"i": i}))
+                    for i in range(3)]
+            await asyncio.sleep(0)
+            await batcher.close()
+            return recorder, await asyncio.gather(*futs)
+
+        recorder, results = run(main())
+        assert recorder.batches == [[0, 1, 2]]
+        assert [r["i"] for r in results] == [0, 1, 2]
+
+    def test_submit_after_close_raises(self):
+        async def main():
+            batcher = MicroBatcher(Recorder(), max_batch=2, max_wait_ms=1.0)
+            await batcher.submit({"i": 0})
+            await batcher.close()
+            with pytest.raises(RuntimeError, match="closed"):
+                await batcher.submit({"i": 1})
+
+        run(main())

@@ -1,0 +1,130 @@
+"""ContextCache semantics: digests, LRU order, eviction triggers."""
+
+import numpy as np
+import pytest
+
+from repro.serving import CacheEntry, ContextCache, observation_digest
+
+
+def entry(series_id: str, times, values, version: int = 0) -> CacheEntry:
+    times = np.asarray(times, dtype=np.float64)
+    values = np.asarray(values, dtype=np.float64)
+    return CacheEntry(series_id=series_id,
+                      obs_hash=observation_digest(times, values),
+                      n_obs=len(times), session=object(),
+                      model_version=version)
+
+
+def obs(rng, n=6):
+    return (np.sort(rng.uniform(0, 1, n)), rng.normal(size=(n, 2)))
+
+
+class TestDigest:
+    def test_bit_exact(self, rng):
+        t, v = obs(rng)
+        assert observation_digest(t, v) == observation_digest(t.copy(),
+                                                              v.copy())
+
+    def test_any_bit_flip_changes_digest(self, rng):
+        t, v = obs(rng)
+        base = observation_digest(t, v)
+        v2 = v.copy()
+        v2[3, 1] = np.nextafter(v2[3, 1], np.inf)
+        assert observation_digest(t, v2) != base
+        t2 = t.copy()
+        t2[0] = np.nextafter(t2[0], np.inf)
+        assert observation_digest(t2, v) != base
+
+    def test_dtype_normalised(self, rng):
+        t, v = obs(rng)
+        assert observation_digest(t.astype(np.float64),
+                                  v.astype(np.float64)) == \
+            observation_digest(t, np.ascontiguousarray(v[::-1])[::-1])
+
+
+class TestLookup:
+    def test_miss_then_hit(self, rng):
+        cache = ContextCache(4)
+        t, v = obs(rng)
+        assert cache.lookup("a", t, v, 0) is None
+        cache.store(entry("a", t, v))
+        hit = cache.lookup("a", t, v, 0)
+        assert hit is not None and hit.series_id == "a"
+        assert cache.hits == 1 and cache.misses == 1
+
+    def test_longer_request_hits_on_shared_prefix(self, rng):
+        cache = ContextCache(4)
+        t, v = obs(rng, n=5)
+        cache.store(entry("a", t, v))
+        t_long = np.concatenate([t, [t[-1] + 0.1]])
+        v_long = np.concatenate([v, rng.normal(size=(1, 2))])
+        hit = cache.lookup("a", t_long, v_long, 0)
+        assert hit is not None and hit.n_obs == 5
+
+    def test_suffix_hash_mismatch_evicts(self, rng):
+        """A diverged prefix must fall back to a cold rebuild."""
+        cache = ContextCache(4)
+        t, v = obs(rng)
+        cache.store(entry("a", t, v))
+        v2 = v.copy()
+        v2[2, 0] += 1.0
+        assert cache.lookup("a", t, v2, 0) is None
+        assert "a" not in cache
+        assert cache.evictions == 1
+
+    def test_shrunk_series_evicts(self, rng):
+        cache = ContextCache(4)
+        t, v = obs(rng, n=6)
+        cache.store(entry("a", t, v))
+        assert cache.lookup("a", t[:4], v[:4], 0) is None
+        assert "a" not in cache
+
+    def test_stale_model_version_evicts(self, rng):
+        cache = ContextCache(4)
+        t, v = obs(rng)
+        cache.store(entry("a", t, v, version=0))
+        assert cache.lookup("a", t, v, 1) is None
+        assert "a" not in cache
+
+    def test_absorb_tracks_growth(self, rng):
+        t, v = obs(rng, n=4)
+        e = entry("a", t, v)
+        t2 = np.concatenate([t, [2.0]])
+        v2 = np.concatenate([v, rng.normal(size=(1, 2))])
+        e.absorb(t2, v2)
+        assert e.n_obs == 5
+        assert e.obs_hash == observation_digest(t2, v2)
+
+
+class TestLRU:
+    def test_capacity_validated(self):
+        with pytest.raises(ValueError):
+            ContextCache(0)
+
+    def test_store_evicts_least_recently_used(self, rng):
+        cache = ContextCache(2)
+        series = {}
+        for sid in ("a", "b", "c"):
+            series[sid] = obs(rng)
+            cache.store(entry(sid, *series[sid]))
+        assert len(cache) == 2
+        assert "a" not in cache and "b" in cache and "c" in cache
+        assert cache.evictions == 1
+
+    def test_lookup_refreshes_recency(self, rng):
+        cache = ContextCache(2)
+        series = {sid: obs(rng) for sid in ("a", "b", "c")}
+        cache.store(entry("a", *series["a"]))
+        cache.store(entry("b", *series["b"]))
+        assert cache.lookup("a", *series["a"], 0) is not None
+        cache.store(entry("c", *series["c"]))
+        # "b" was the least recently used after the "a" hit.
+        assert "a" in cache and "b" not in cache and "c" in cache
+
+    def test_clear_drops_everything(self, rng):
+        cache = ContextCache(4)
+        for sid in ("a", "b"):
+            cache.store(entry(sid, *obs(rng)))
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.evictions == 2

@@ -1,0 +1,235 @@
+"""InferenceEngine: warm/cold routing, validation, hot reload."""
+
+import numpy as np
+import pytest
+
+from repro.core import DiffODE, DiffODEConfig
+from repro.serving import InferenceEngine, RequestError
+
+from .conftest import make_payload, offline_predictions, tiny_model, \
+    tolerance_band
+
+
+def assert_within_band(model, payload, response):
+    ref = offline_predictions(model, payload)
+    got = np.asarray(response["predictions"])
+    assert got.shape == ref.shape
+    np.testing.assert_array_less(np.abs(got - ref),
+                                 tolerance_band(model, ref) + 1e-300)
+
+
+class TestModelChecks:
+    def test_rejects_classification_model(self):
+        clf = DiffODE(DiffODEConfig(input_dim=1, latent_dim=4, hidden_dim=8,
+                                    num_heads=1, use_hippo=False,
+                                    method="dopri5", num_classes=3, seed=0))
+        with pytest.raises(ValueError, match="regression"):
+            InferenceEngine(clf)
+
+    def test_rejects_fixed_step_method(self):
+        fixed = DiffODE(DiffODEConfig(input_dim=1, latent_dim=4,
+                                      hidden_dim=8, num_heads=1,
+                                      use_hippo=False, method="rk4",
+                                      out_dim=1, num_classes=None, seed=0))
+        with pytest.raises(ValueError, match="adaptive"):
+            InferenceEngine(fixed)
+
+    def test_info_reports_request_window(self, model):
+        info = InferenceEngine(model).info()
+        assert info["input_dim"] == 1 and info["out_dim"] == 1
+        assert info["min_context"] == 5          # latent/heads + 1
+        assert info["max_len"] == model.config.max_len
+        assert info["model_version"] == 0
+
+
+class TestValidation:
+    @pytest.fixture
+    def engine(self, model):
+        return InferenceEngine(model)
+
+    def test_normalises_well_formed_payload(self, engine, rng):
+        req = engine.validate(make_payload(rng))
+        assert req["times"].dtype == np.float64
+        assert req["values"].shape == (8, 1)
+
+    @pytest.mark.parametrize("mutate, match", [
+        (lambda p: p.pop("series_id"), "malformed"),
+        (lambda p: p.update(times=p["times"][:3]), "values must be"),
+        (lambda p: p.update(times=sorted(p["times"], reverse=True)),
+         "strictly increasing"),
+        (lambda p: p.update(times=[p["times"][0]] * len(p["times"])),
+         "strictly increasing"),
+        (lambda p: p.update(query_times=[]), "at least one query"),
+        (lambda p: p.update(query_times=[-0.5]), ">= 0"),
+        (lambda p: p.update(query_times=[float("nan")]), "finite"),
+        (lambda p: p.update(values=[[float("inf")]] * len(p["times"])),
+         "finite"),
+    ])
+    def test_rejects_malformed_payloads(self, engine, rng, mutate, match):
+        payload = make_payload(rng)
+        mutate(payload)
+        with pytest.raises(RequestError, match=match):
+            engine.validate(payload)
+
+    def test_rejects_too_few_observations(self, engine, rng):
+        with pytest.raises(RequestError, match="need >= 5"):
+            engine.validate(make_payload(rng, n_obs=3))
+
+    def test_rejects_series_beyond_max_len(self, engine, rng):
+        payload = make_payload(rng, n_obs=engine.model.config.max_len + 1)
+        with pytest.raises(RequestError, match="max_len"):
+            engine.validate(payload)
+
+    def test_invalid_slot_does_not_poison_the_batch(self, engine, rng):
+        good = make_payload(rng, series_id="good")
+        bad = {"series_id": "bad"}
+        out = engine.execute([good, bad])
+        assert out[0]["ok"] and not out[1]["ok"]
+        assert "malformed" in out[1]["error"]
+
+
+class TestColdPath:
+    def test_matches_offline_solve(self, model, rng):
+        engine = InferenceEngine(model)
+        payload = make_payload(rng)
+        (response,) = engine.execute([payload])
+        assert response["ok"] and response["cache"] == "miss"
+        assert response["nfev"] > 0
+        assert_within_band(model, payload, response)
+
+    def test_batched_cold_requests_match_offline(self, model, rng):
+        """Heterogeneous series collated into one union solve must each
+        match their own single-series offline solve."""
+        engine = InferenceEngine(model)
+        payloads = [make_payload(rng, series_id=f"s{i}", n_obs=6 + 2 * i,
+                                 n_queries=2 + i) for i in range(4)]
+        responses = engine.execute(payloads)
+        for payload, response in zip(payloads, responses):
+            assert response["ok"] and response["cache"] == "miss"
+            assert response["series_id"] == payload["series_id"]
+            assert_within_band(model, payload, response)
+
+    def test_duplicate_query_times_share_answers(self, model, rng):
+        engine = InferenceEngine(model)
+        payload = make_payload(rng)
+        payload["query_times"] = [0.4, 0.4, 0.7]
+        (response,) = engine.execute([payload])
+        preds = np.asarray(response["predictions"])
+        np.testing.assert_array_equal(preds[0], preds[1])
+
+
+class TestWarmPath:
+    def test_repeat_query_hits_and_matches_offline(self, model, rng):
+        engine = InferenceEngine(model)
+        payload = make_payload(rng)
+        engine.execute([payload])
+        repeat = dict(payload)
+        lo = max(payload["query_times"]) + 0.01
+        repeat["query_times"] = np.linspace(lo, lo + 0.2, 3).tolist()
+        (response,) = engine.execute([repeat])
+        assert response["cache"] == "hit"
+        assert engine.cache.hits == 1
+        assert_within_band(model, repeat, response)
+
+    def test_behind_frontier_repeat_matches_offline(self, model, rng):
+        """Warm queries behind the advanced frontier take the read-only
+        solve-from-zero path and still sit in the tolerance band."""
+        engine = InferenceEngine(model)
+        payload = make_payload(rng)
+        engine.execute([payload])
+        repeat = dict(payload)
+        repeat["query_times"] = [0.02, max(payload["query_times"]) + 0.05]
+        (response,) = engine.execute([repeat])
+        assert response["cache"] == "hit"
+        assert_within_band(model, repeat, response)
+
+    def test_growing_series_extends_instead_of_rebuilding(self, model, rng):
+        engine = InferenceEngine(model)
+        payload = make_payload(rng, n_obs=8)
+        engine.execute([payload])
+        entry = engine.cache.lookup(
+            payload["series_id"],
+            np.asarray(payload["times"]),
+            np.asarray(payload["values"]).reshape(8, -1), 0)
+        assert entry is not None
+        grown = dict(payload)
+        grown["times"] = payload["times"] + [payload["times"][-1] + 0.1,
+                                             payload["times"][-1] + 0.2]
+        grown["values"] = payload["values"] + [[0.3], [-0.4]]
+        grown["query_times"] = [grown["times"][-1] + 0.1]
+        (response,) = engine.execute([grown])
+        assert response["ok"] and response["cache"] == "hit"
+        assert entry.n_obs == 10                 # absorbed the suffix
+        assert entry.session.context_stats["extends"] >= 2
+        assert_within_band(model, grown, response)
+
+    def test_diverged_series_rebuilds_cold(self, model, rng):
+        engine = InferenceEngine(model)
+        payload = make_payload(rng)
+        engine.execute([payload])
+        forked = dict(payload)
+        forked["values"] = [[v[0] + 1.0] for v in payload["values"]]
+        (response,) = engine.execute([forked])
+        assert response["ok"] and response["cache"] == "miss"
+        assert_within_band(model, forked, response)
+
+    def test_mixed_batch_keeps_slot_order(self, model, rng):
+        engine = InferenceEngine(model)
+        warm = make_payload(rng, series_id="warm")
+        engine.execute([warm])
+        warm2 = dict(warm)
+        warm2["query_times"] = [max(warm["query_times"]) + 0.05]
+        cold = make_payload(rng, series_id="cold")
+        responses = engine.execute([cold, warm2, {"bad": 1}])
+        assert responses[0]["series_id"] == "cold"
+        assert responses[0]["cache"] == "miss"
+        assert responses[1]["series_id"] == "warm"
+        assert responses[1]["cache"] == "hit"
+        assert not responses[2]["ok"]
+
+
+class TestHotReload:
+    def test_swap_model_invalidates_cache_and_serves_new_weights(self, rng):
+        old, new = tiny_model(seed=0), tiny_model(seed=7)
+        engine = InferenceEngine(old)
+        payload = make_payload(rng)
+        (before,) = engine.execute([payload])
+        version = engine.swap_model(new)
+        assert version == 1
+        assert len(engine.cache) == 0
+        (after,) = engine.execute([payload])
+        assert after["cache"] == "miss"          # old entry unusable
+        assert after["model_version"] == 1
+        assert_within_band(new, payload, after)
+        assert not np.allclose(np.asarray(before["predictions"]),
+                               np.asarray(after["predictions"]))
+
+    def test_swap_waits_for_in_flight_batch(self, rng):
+        """A hot reload must not interleave with an executing batch: the
+        old weights serve it end to end, the swap lands afterwards."""
+        import threading
+
+        engine = InferenceEngine(tiny_model(seed=0))
+        done = threading.Event()
+
+        def swap():
+            engine.swap_model(tiny_model(seed=7))
+            done.set()
+
+        with engine._lock:                      # simulate in-flight batch
+            thread = threading.Thread(target=swap)
+            thread.start()
+            assert not done.wait(0.05)
+            assert engine.model_version == 0    # still the old weights
+        assert done.wait(5.0)
+        thread.join()
+        assert engine.model_version == 1
+
+    def test_swap_rejects_incompatible_model(self, model):
+        engine = InferenceEngine(model)
+        clf = DiffODE(DiffODEConfig(input_dim=1, latent_dim=4, hidden_dim=8,
+                                    num_heads=1, use_hippo=False,
+                                    method="dopri5", num_classes=2, seed=1))
+        with pytest.raises(ValueError, match="regression"):
+            engine.swap_model(clf)
+        assert engine.model_version == 0         # unchanged on failure

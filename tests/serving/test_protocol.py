@@ -1,0 +1,153 @@
+"""Length-prefixed JSON framing: wire round trips and failure modes."""
+
+import asyncio
+import socket
+import struct
+import threading
+
+import pytest
+
+from repro.serving import (MAX_FRAME, ProtocolError, decode_body,
+                           encode_frame, read_frame, recv_frame, send_frame,
+                           write_frame)
+
+
+class TestEncodeDecode:
+    def test_roundtrip(self):
+        message = {"op": "predict", "series_id": "a", "times": [0.1, 0.2],
+                   "values": [[1.0], [2.0]], "query_times": [0.3]}
+        frame = encode_frame(message)
+        length = struct.unpack(">I", frame[:4])[0]
+        assert length == len(frame) - 4
+        assert decode_body(frame[4:]) == message
+
+    def test_compact_separators(self):
+        assert b" " not in encode_frame({"a": [1, 2], "b": "x"})[4:]
+
+    def test_non_json_body_raises(self):
+        with pytest.raises(ProtocolError, match="undecodable"):
+            decode_body(b"\xff\xfe not json")
+
+    def test_non_object_body_raises(self):
+        with pytest.raises(ProtocolError, match="JSON object"):
+            decode_body(b"[1, 2, 3]")
+
+    def test_oversized_frame_refused(self, monkeypatch):
+        import repro.serving.protocol as protocol
+
+        monkeypatch.setattr(protocol, "MAX_FRAME", 16)
+        with pytest.raises(ProtocolError, match="exceeds"):
+            protocol.encode_frame({"pad": "x" * 64})
+
+    def test_max_frame_is_sane(self):
+        assert MAX_FRAME >= 1024 * 1024
+
+
+class TestAsyncStreams:
+    def _run(self, coro):
+        return asyncio.run(coro)
+
+    def _reader(self, data: bytes) -> asyncio.StreamReader:
+        reader = asyncio.StreamReader()
+        reader.feed_data(data)
+        reader.feed_eof()
+        return reader
+
+    def test_read_frame_roundtrip(self):
+        async def main():
+            message = {"op": "ping", "n": 7}
+            return await read_frame(self._reader(encode_frame(message)))
+
+        assert self._run(main()) == {"op": "ping", "n": 7}
+
+    def test_two_frames_back_to_back(self):
+        async def main():
+            reader = self._reader(encode_frame({"i": 1})
+                                  + encode_frame({"i": 2}))
+            return [await read_frame(reader), await read_frame(reader),
+                    await read_frame(reader)]
+
+        assert self._run(main()) == [{"i": 1}, {"i": 2}, None]
+
+    def test_clean_eof_returns_none(self):
+        async def main():
+            return await read_frame(self._reader(b""))
+
+        assert self._run(main()) is None
+
+    def test_eof_mid_header_raises(self):
+        async def main():
+            with pytest.raises(ProtocolError, match="mid-header"):
+                await read_frame(self._reader(b"\x00\x00"))
+
+        self._run(main())
+
+    def test_eof_mid_frame_raises(self):
+        async def main():
+            frame = encode_frame({"op": "ping"})
+            with pytest.raises(ProtocolError, match="mid-frame"):
+                await read_frame(self._reader(frame[:-2]))
+
+        self._run(main())
+
+    def test_corrupt_length_prefix_refused(self):
+        async def main():
+            header = struct.pack(">I", MAX_FRAME + 1)
+            with pytest.raises(ProtocolError, match="exceeds"):
+                await read_frame(self._reader(header))
+
+        self._run(main())
+
+
+class TestBlockingSockets:
+    def test_roundtrip_with_async_writer(self):
+        """The blocking client reads what the asyncio server writes."""
+        lhs, rhs = socket.socketpair()
+        try:
+            message = {"op": "stats", "payload": list(range(100))}
+
+            async def write_side():
+                loop = asyncio.get_running_loop()
+                # write_frame needs a StreamWriter; socketpair + asyncio
+                # connection gives us one over the same fd pair.
+                reader, writer = await asyncio.open_connection(sock=lhs)
+                await write_frame(writer, message)
+                writer.close()
+                try:
+                    await writer.wait_closed()
+                except (ConnectionResetError, BrokenPipeError):
+                    pass
+
+            thread = threading.Thread(target=asyncio.run,
+                                      args=(write_side(),))
+            thread.start()
+            try:
+                assert recv_frame(rhs) == message
+                assert recv_frame(rhs) is None      # clean EOF
+            finally:
+                thread.join()
+        finally:
+            rhs.close()
+
+    def test_send_recv_roundtrip(self):
+        lhs, rhs = socket.socketpair()
+        try:
+            send_frame(lhs, {"op": "ping"})
+            send_frame(lhs, {"op": "info"})
+            lhs.close()
+            assert recv_frame(rhs) == {"op": "ping"}
+            assert recv_frame(rhs) == {"op": "info"}
+            assert recv_frame(rhs) is None
+        finally:
+            rhs.close()
+
+    def test_truncated_stream_raises(self):
+        lhs, rhs = socket.socketpair()
+        try:
+            frame = encode_frame({"op": "ping"})
+            lhs.sendall(frame[:-1])
+            lhs.close()
+            with pytest.raises(ProtocolError, match="mid-frame"):
+                recv_frame(rhs)
+        finally:
+            rhs.close()

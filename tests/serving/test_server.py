@@ -1,0 +1,257 @@
+"""ModelServer end to end over real sockets (in-process event loop)."""
+
+import asyncio
+
+import numpy as np
+import pytest
+
+from repro.serving import ModelServer, read_frame, write_frame
+from repro.training import save_diffode
+
+from .conftest import make_payload, offline_predictions, tiny_model, \
+    tolerance_band
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+async def request(host, port, message):
+    reader, writer = await asyncio.open_connection(host, port)
+    try:
+        await write_frame(writer, message)
+        return await read_frame(reader)
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+
+
+class TestConstruction:
+    def test_requires_exactly_one_source(self, model):
+        with pytest.raises(ValueError, match="exactly one"):
+            ModelServer()
+        with pytest.raises(ValueError, match="exactly one"):
+            ModelServer("ckpt.npz", model=model)
+
+
+class TestOps:
+    def test_ping_info_stats_unknown(self, model):
+        async def main():
+            server = ModelServer(model=model, max_wait_ms=1.0)
+            await server.start()
+            try:
+                ping = await request(server.host, server.port,
+                                     {"op": "ping"})
+                info = await request(server.host, server.port,
+                                     {"op": "info"})
+                stats = await request(server.host, server.port,
+                                      {"op": "stats"})
+                unknown = await request(server.host, server.port,
+                                        {"op": "frobnicate"})
+            finally:
+                await server.stop()
+            return ping, info, stats, unknown
+
+        ping, info, stats, unknown = run(main())
+        assert ping == {"ok": True, "op": "ping"}
+        assert info["ok"] and info["input_dim"] == 1
+        assert info["max_batch"] == 16 and info["workers"] == 0
+        assert stats["ok"] and isinstance(stats["stats"], dict)
+        assert not unknown["ok"] and "frobnicate" in unknown["error"]
+
+    def test_shutdown_op_stops_serve_forever(self, model):
+        async def main():
+            server = ModelServer(model=model, max_wait_ms=1.0)
+            await server.start()
+            forever = asyncio.ensure_future(server.serve_forever())
+            response = await request(server.host, server.port,
+                                     {"op": "shutdown"})
+            await asyncio.wait_for(forever, timeout=5.0)
+            return response
+
+        assert run(main())["ok"]
+
+    def test_malformed_frame_gets_error_and_close(self, model):
+        async def main():
+            server = ModelServer(model=model, max_wait_ms=1.0)
+            await server.start()
+            try:
+                reader, writer = await asyncio.open_connection(
+                    server.host, server.port)
+                writer.write(b"\x00\x00\x00\x04oops")
+                await writer.drain()
+                response = await read_frame(reader)
+                trailer = await reader.read()        # server closed
+                writer.close()
+                try:
+                    await writer.wait_closed()
+                except (ConnectionResetError, BrokenPipeError):
+                    pass
+            finally:
+                await server.stop()
+            return response, trailer
+
+        response, trailer = run(main())
+        assert not response["ok"] and "undecodable" in response["error"]
+        assert trailer == b""
+
+
+class TestPredict:
+    def test_cold_then_warm_over_sockets(self, model, rng):
+        payload = make_payload(rng)
+        repeat = dict(payload)
+        lo = max(payload["query_times"]) + 0.01
+        repeat["query_times"] = np.linspace(lo, lo + 0.1, 3).tolist()
+
+        async def main():
+            server = ModelServer(model=model, max_wait_ms=1.0)
+            await server.start()
+            try:
+                cold = await request(server.host, server.port,
+                                     dict(payload, op="predict"))
+                warm = await request(server.host, server.port,
+                                     dict(repeat, op="predict"))
+            finally:
+                await server.stop()
+            return cold, warm
+
+        cold, warm = run(main())
+        assert cold["ok"] and cold["cache"] == "miss"
+        assert warm["ok"] and warm["cache"] == "hit"
+        assert cold["latency_s"] > 0 and warm["latency_s"] > 0
+        for req, response in ((payload, cold), (repeat, warm)):
+            ref = offline_predictions(model, req)
+            got = np.asarray(response["predictions"])
+            np.testing.assert_array_less(
+                np.abs(got - ref), tolerance_band(model, ref) + 1e-300)
+
+    def test_concurrent_requests_share_batches(self, model, rng):
+        payloads = [make_payload(rng, series_id=f"c{i}") for i in range(6)]
+
+        async def main():
+            server = ModelServer(model=model, max_batch=6, max_wait_ms=50.0)
+            await server.start()
+            try:
+                responses = await asyncio.gather(
+                    *[request(server.host, server.port,
+                              dict(p, op="predict")) for p in payloads])
+            finally:
+                await server.stop()
+            return responses, server.batcher.flushes_full
+
+        responses, full_flushes = run(main())
+        assert all(r["ok"] for r in responses)
+        ids = sorted(r["series_id"] for r in responses)
+        assert ids == sorted(p["series_id"] for p in payloads)
+        assert full_flushes >= 1                # they coalesced
+
+    def test_invalid_predict_is_per_request_error(self, model):
+        async def main():
+            server = ModelServer(model=model, max_wait_ms=1.0)
+            await server.start()
+            try:
+                return await request(
+                    server.host, server.port,
+                    {"op": "predict", "series_id": "x", "times": [0.1],
+                     "values": [[0.0]], "query_times": [0.5]})
+            finally:
+                await server.stop()
+
+        response = run(main())
+        assert not response["ok"] and "need >=" in response["error"]
+
+
+class TestHotReload:
+    def test_reload_op_swaps_checkpoint_weights(self, rng, tmp_path):
+        ckpt = tmp_path / "serve.npz"
+        save_diffode(tiny_model(seed=0), ckpt)
+        payload = dict(make_payload(rng), op="predict")
+
+        async def main():
+            server = ModelServer(str(ckpt), max_wait_ms=1.0)
+            await server.start()
+            try:
+                before = await request(server.host, server.port, payload)
+                save_diffode(tiny_model(seed=7), ckpt)
+                reload_resp = await request(server.host, server.port,
+                                            {"op": "reload"})
+                after = await request(server.host, server.port, payload)
+            finally:
+                await server.stop()
+            return before, reload_resp, after
+
+        before, reload_resp, after = run(main())
+        assert reload_resp == {"ok": True, "model_version": 1}
+        assert after["cache"] == "miss"          # cache invalidated
+        assert after["model_version"] == 1
+        assert not np.allclose(np.asarray(before["predictions"]),
+                               np.asarray(after["predictions"]))
+
+    def test_mtime_watcher_reloads_without_request(self, rng, tmp_path):
+        import os
+
+        ckpt = tmp_path / "watched.npz"
+        save_diffode(tiny_model(seed=0), ckpt)
+
+        async def main():
+            server = ModelServer(str(ckpt), max_wait_ms=1.0,
+                                 reload_poll_s=0.02)
+            await server.start()
+            try:
+                save_diffode(tiny_model(seed=7), ckpt)
+                os.utime(ckpt, (os.path.getmtime(ckpt) + 2,) * 2)
+                for _ in range(250):
+                    if server.reloads:
+                        break
+                    await asyncio.sleep(0.02)
+            finally:
+                await server.stop()
+            return server.reloads, server.backend.model_version
+
+        reloads, version = run(main())
+        assert reloads == 1 and version == 1
+
+    def test_reload_without_checkpoint_errors(self, model):
+        async def main():
+            server = ModelServer(model=model, max_wait_ms=1.0)
+            await server.start()
+            try:
+                return await request(server.host, server.port,
+                                     {"op": "reload"})
+            finally:
+                await server.stop()
+
+        response = run(main())
+        assert not response["ok"] and "no checkpoint" in response["error"]
+
+    def test_corrupt_checkpoint_keeps_old_weights(self, rng, tmp_path):
+        ckpt = tmp_path / "serve.npz"
+        save_diffode(tiny_model(seed=0), ckpt)
+        payload = dict(make_payload(rng), op="predict")
+
+        async def main():
+            server = ModelServer(str(ckpt), max_wait_ms=1.0)
+            await server.start()
+            try:
+                before = await request(server.host, server.port, payload)
+                ckpt.write_bytes(b"not an npz")
+                reload_resp = await request(server.host, server.port,
+                                            {"op": "reload"})
+                after = await request(server.host, server.port, payload)
+            finally:
+                await server.stop()
+            return before, reload_resp, after
+
+        before, reload_resp, after = run(main())
+        assert not reload_resp["ok"] and "reload failed" in \
+            reload_resp["error"]
+        assert after["ok"] and after["model_version"] == 0
+        # Still the old weights: the warm re-answer (resumed solve) sits
+        # in the solver band around the cold answer, not a new model's.
+        ref = np.asarray(before["predictions"])
+        got = np.asarray(after["predictions"])
+        np.testing.assert_array_less(np.abs(got - ref),
+                                     tolerance_band(tiny_model(0), ref))

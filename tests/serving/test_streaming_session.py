@@ -1,0 +1,139 @@
+"""StreamSession serving entry points: ingest / predict_times /
+the merged multi-horizon advance."""
+
+import numpy as np
+import pytest
+
+from repro.core import DiffODE, DiffODEConfig
+
+from .conftest import make_payload, offline_predictions, tiny_model, \
+    tolerance_band
+
+
+def fed_session(model, payload):
+    session = model.open_stream()
+    times = np.asarray(payload["times"], dtype=np.float64)
+    values = np.asarray(payload["values"], dtype=np.float64)
+    for t, v in zip(times, values):
+        session.ingest(float(t), v)
+    return session
+
+
+class TestAdvanceMany:
+    def test_bitwise_equals_sequential_advances(self, rng):
+        """One merged resumed solve through several horizons must land on
+        exactly the states a per-horizon advance loop produces."""
+        payload = make_payload(rng)
+        taus = [0.45, 0.6, 0.85, 1.1]
+        merged = fed_session(tiny_model(), payload)
+        stepped = fed_session(tiny_model(), payload)
+
+        states, nfev = merged._advance_many(taus)
+        seq_states, seq_nfev = [], 0
+        for tau in taus:
+            seq_nfev += stepped._advance(tau)
+            seq_states.append(np.array(stepped._y.data, copy=True))
+
+        assert nfev > 0
+        for got, want in zip(states, seq_states):
+            np.testing.assert_array_equal(np.asarray(got.data), want)
+        np.testing.assert_array_equal(np.asarray(merged._y.data),
+                                      np.asarray(stepped._y.data))
+        assert merged._t == stepped._t
+        # The merged path pays the per-solve overhead once, never more
+        # RHS work than the stepped loop.
+        assert nfev <= seq_nfev
+
+    def test_taus_behind_frontier_answer_with_frontier_state(self, rng):
+        payload = make_payload(rng)
+        session = fed_session(tiny_model(), payload)
+        session._advance(0.8)
+        frontier = np.array(session._y.data, copy=True)
+        states, nfev = session._advance_many([0.1, 0.5])
+        assert nfev == 0
+        for state in states:
+            np.testing.assert_array_equal(np.asarray(state.data), frontier)
+
+
+class TestPredictTimes:
+    def test_matches_offline_solve(self, model, rng):
+        payload = make_payload(rng, n_queries=5)
+        session = fed_session(model, payload)
+        preds, nfev = session.predict_times(payload["query_times"])
+        assert nfev > 0
+        ref = offline_predictions(model, payload)
+        np.testing.assert_array_less(np.abs(preds - ref),
+                                     tolerance_band(model, ref) + 1e-300)
+
+    def test_unsorted_and_duplicate_queries_keep_request_order(self, rng):
+        payload = make_payload(rng)
+        session = fed_session(tiny_model(), payload)
+        q = [0.9, 0.3, 0.9, 0.6]
+        preds, _ = session.predict_times(q)
+        assert preds.shape == (4, 1)
+        np.testing.assert_array_equal(preds[0], preds[2])
+        sorted_preds, _ = fed_session(tiny_model(),
+                                      payload).predict_times(sorted(q))
+        order = np.argsort(q, kind="stable")
+        np.testing.assert_allclose(preds[order][1:], sorted_preds[1:],
+                                   rtol=1e-9, atol=1e-12)
+
+    def test_behind_frontier_queries_leave_frontier_untouched(self, rng):
+        payload = make_payload(rng)
+        session = fed_session(tiny_model(), payload)
+        session.predict_times([0.9])
+        frontier_t, frontier_y = session._t, np.array(session._y.data,
+                                                      copy=True)
+        preds, nfev = session.predict_times([0.1, 0.4])
+        assert nfev > 0                     # read-only auxiliary solve
+        assert session._t == frontier_t
+        np.testing.assert_array_equal(np.asarray(session._y.data),
+                                      frontier_y)
+        assert preds.shape == (2, 1)
+
+    def test_empty_query_list(self, model, rng):
+        session = fed_session(model, make_payload(rng))
+        preds, nfev = session.predict_times([])
+        assert preds.shape == (0, 1) and nfev == 0
+
+    def test_negative_query_rejected(self, model, rng):
+        session = fed_session(model, make_payload(rng))
+        with pytest.raises(ValueError, match=">= 0"):
+            session.predict_times([-0.2])
+
+    def test_warming_up_session_raises(self, model):
+        session = model.open_stream()
+        session.ingest(0.1, np.zeros(1))
+        with pytest.raises(RuntimeError, match="warming up"):
+            session.predict_times([0.5])
+
+    def test_classification_session_rejected(self):
+        clf = DiffODE(DiffODEConfig(input_dim=1, latent_dim=4, hidden_dim=8,
+                                    num_heads=1, use_hippo=False,
+                                    method="dopri5", num_classes=2, seed=0))
+        session = clf.open_stream()
+        with pytest.raises(NotImplementedError, match="regression"):
+            session.predict_times([0.5])
+
+
+class TestIngestBehindFrontier:
+    def test_late_observation_resets_and_stays_in_band(self, model, rng):
+        """An observation behind the advanced frontier restarts the solve
+        from t=0; later answers must match the offline solve over the
+        full (now longer) series."""
+        payload = make_payload(rng, n_obs=8, t_max=0.5)
+        session = fed_session(model, payload)
+        session.predict_times([0.9])        # frontier well past t_max
+        late_t = 0.55
+        late_v = np.array([0.3])
+        session.ingest(late_t, late_v)
+        assert session._t == 0.0 and session._resume is None
+
+        grown = dict(payload)
+        grown["times"] = payload["times"] + [late_t]
+        grown["values"] = payload["values"] + [late_v.tolist()]
+        grown["query_times"] = [0.7, 1.0]
+        preds, _ = session.predict_times(grown["query_times"])
+        ref = offline_predictions(model, grown)
+        np.testing.assert_array_less(np.abs(preds - ref),
+                                     tolerance_band(model, ref) + 1e-300)
