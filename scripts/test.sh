@@ -89,6 +89,7 @@ case "$lane" in
             tests/baselines/test_union_forward.py \
             tests/training/test_serialization.py "$@"
         exec python -m pytest -x -q tests/integration/test_serving_cli.py \
+            tests/serving/test_pool.py \
             benchmarks/test_serving.py -p no:cacheprovider \
             -m "tier2 or not tier2" "$@"
         ;;

@@ -23,6 +23,7 @@ from __future__ import annotations
 
 import hashlib
 import multiprocessing as mp
+import threading
 import traceback
 
 from ..telemetry import get_registry
@@ -82,6 +83,14 @@ class InferencePool:
         self.workers = int(workers)
         self.model = model
         self._engine_kwargs = dict(engine_kwargs)
+        #: mirrors the workers' engine version (bumped by hot reloads).
+        self._version = 0
+        # The batcher runs ``execute`` on one executor thread while
+        # ``reload_now`` runs ``swap_model`` on another; the pipes carry
+        # no request ids, so interleaved send/recv pairs would cross
+        # reload acks with batch responses.  Serialise every pipe
+        # round-trip, mirroring ``InferenceEngine._lock``.
+        self._lock = threading.Lock()
         self._ctx = mp.get_context("fork")
         self._conns = []
         self._procs = []
@@ -101,6 +110,7 @@ class InferencePool:
     def info(self) -> dict:
         from ..serving.engine import InferenceEngine
         info = InferenceEngine(self.model, **self._engine_kwargs).info()
+        info["model_version"] = self._version
         info["pool_workers"] = self.workers
         return info
 
@@ -110,39 +120,52 @@ class InferencePool:
         for i, payload in enumerate(payloads):
             wid = _series_slot(payload.get("series_id", ""), self.workers)
             sub.setdefault(wid, []).append((i, payload))
-        for wid, items in sub.items():
-            self._conns[wid].send(("batch", [p for _, p in items]))
         results: list[dict | None] = [None] * len(payloads)
-        for wid, items in sub.items():
-            msg = self._recv(wid)
-            if msg[0] == "ok":
-                for (i, _), response in zip(items, msg[2]):
-                    results[i] = response
-            else:
-                for i, _ in items:
-                    results[i] = {"ok": False,
-                                  "error": f"worker {wid} failed:\n{msg[2]}"}
+        with self._lock:
+            for wid, items in sub.items():
+                self._conns[wid].send(("batch", [p for _, p in items]))
+            for wid, items in sub.items():
+                msg = self._recv(wid)
+                if msg[0] == "ok":
+                    for (i, _), response in zip(items, msg[2]):
+                        results[i] = response
+                else:
+                    for i, _ in items:
+                        results[i] = {
+                            "ok": False,
+                            "error": f"worker {wid} failed:\n{msg[2]}"}
         return results  # type: ignore[return-value]
 
     def swap_model(self, checkpoint_path) -> int:
         """Broadcast a hot-reload; returns the new model version.
 
         Unlike the in-process engine, the pool reloads from the
-        checkpoint *path* — the parent's model object is only a template
-        for ``info``.  Accepts a path (str); passing a model object is a
-        programming error here.
+        checkpoint *path* — the parent keeps a template model for
+        ``info``, refreshed here so metadata tracks the served weights.
+        Accepts a path (str); passing a model object is a programming
+        error here.
         """
         if not isinstance(checkpoint_path, str):
             raise TypeError("InferencePool.swap_model takes a checkpoint "
                             "path; in-memory swap needs workers=0")
+        # Load + validate in the parent before broadcasting, so a bad
+        # checkpoint fails here without half-reloaded workers.
+        from ..serving.engine import InferenceEngine
+        from ..training.serialization import load_diffode
+        new_model = load_diffode(checkpoint_path)
+        InferenceEngine._check_model(new_model)
         version = 0
-        for wid in range(self.workers):
-            self._conns[wid].send(("reload", checkpoint_path))
-        for wid in range(self.workers):
-            msg = self._recv(wid)
-            if msg[0] != "ok":
-                raise RuntimeError(f"worker {wid} reload failed:\n{msg[2]}")
-            version = max(version, int(msg[2]["model_version"]))
+        with self._lock:
+            for wid in range(self.workers):
+                self._conns[wid].send(("reload", checkpoint_path))
+            for wid in range(self.workers):
+                msg = self._recv(wid)
+                if msg[0] != "ok":
+                    raise RuntimeError(
+                        f"worker {wid} reload failed:\n{msg[2]}")
+                version = max(version, int(msg[2]["model_version"]))
+            self.model = new_model
+            self._version = version
         get_registry().inc("serving.reloads")
         return version
 
@@ -153,7 +176,10 @@ class InferencePool:
             return ("err", wid, "worker process died")
 
     def close(self) -> None:
-        for conn, proc in zip(self._conns, self._procs):
+        with self._lock:
+            conns, procs = self._conns, self._procs
+            self._conns, self._procs = [], []
+        for conn, proc in zip(conns, procs):
             try:
                 conn.send(("stop",))
             except (OSError, BrokenPipeError):
@@ -166,7 +192,6 @@ class InferencePool:
             if proc.is_alive():  # pragma: no cover - stubborn hang
                 proc.terminate()
                 proc.join(timeout=2.0)
-        self._conns, self._procs = [], []
 
     def __del__(self):  # pragma: no cover - interpreter-shutdown safety
         try:

@@ -121,7 +121,12 @@ class InferenceEngine:
                                dtype=np.float64).reshape(-1)
         except (KeyError, TypeError, ValueError) as exc:
             raise RequestError(f"malformed predict payload: {exc}") from exc
-        if values.size and values.size % max(len(times), 1) == 0:
+        if len(times) == 0:
+            # Reject before the reshape below: values.reshape(0, -1) on a
+            # non-empty array raises a raw ValueError, which would escape
+            # execute() and fail the whole co-batched micro-batch.
+            raise RequestError("need at least one observation")
+        if values.size and values.size % len(times) == 0:
             values = values.reshape(len(times), -1)
         if values.shape != (len(times), cfg.input_dim):
             raise RequestError(

@@ -59,6 +59,8 @@ class TestValidation:
          "strictly increasing"),
         (lambda p: p.update(times=[p["times"][0]] * len(p["times"])),
          "strictly increasing"),
+        (lambda p: p.update(times=[]), "at least one observation"),
+        (lambda p: p.update(times=[], values=[]), "at least one"),
         (lambda p: p.update(query_times=[]), "at least one query"),
         (lambda p: p.update(query_times=[-0.5]), ">= 0"),
         (lambda p: p.update(query_times=[float("nan")]), "finite"),
@@ -86,6 +88,17 @@ class TestValidation:
         out = engine.execute([good, bad])
         assert out[0]["ok"] and not out[1]["ok"]
         assert "malformed" in out[1]["error"]
+
+    def test_empty_times_slot_does_not_poison_the_batch(self, engine, rng):
+        """Regression: times=[] with non-empty values reshaped to (0, -1)
+        and raised a raw ValueError past execute(), failing every
+        co-batched request."""
+        good = make_payload(rng, series_id="good")
+        bad = make_payload(rng, series_id="bad")
+        bad["times"] = []
+        out = engine.execute([good, bad])
+        assert out[0]["ok"] and not out[1]["ok"]
+        assert "at least one observation" in out[1]["error"]
 
 
 class TestColdPath:
